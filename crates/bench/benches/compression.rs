@@ -1,0 +1,45 @@
+//! Compression substrate throughput and ratios: the gzip-like stream
+//! coder and both delta coders.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use msync_corpus::{apply_edits, EditProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn source(n: usize, seed: u64) -> Vec<u8> {
+    msync_corpus::text::source_file(&mut StdRng::seed_from_u64(seed), n)
+}
+
+fn bench_stream_compress(c: &mut Criterion) {
+    let input = source(1 << 18, 1);
+    let mut group = c.benchmark_group("lz_stream_256KiB_source");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("compress", |b| b.iter(|| black_box(msync_compress::compress(&input))));
+    let compressed = msync_compress::compress(&input);
+    group.bench_function("decompress", |b| {
+        b.iter(|| black_box(msync_compress::decompress(&compressed).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let reference = source(1 << 17, 2);
+    let target = apply_edits(&reference, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(3));
+    let mut group = c.benchmark_group("delta_128KiB_minor_edit");
+    group.throughput(Throughput::Bytes(target.len() as u64));
+    group.bench_function("zdelta_encode", |b| {
+        b.iter(|| black_box(msync_compress::delta_encode(&reference, &target)))
+    });
+    let delta = msync_compress::delta_encode(&reference, &target);
+    group.bench_function("zdelta_decode", |b| {
+        b.iter(|| black_box(msync_compress::delta_decode(&reference, &delta).unwrap()))
+    });
+    group.bench_function("vcdiff_encode", |b| {
+        b.iter(|| black_box(msync_compress::vcdiff_encode(&reference, &target)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_compress, bench_delta);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Throughput of the hash primitives — the CPU-side cost the paper's §7
+//! flags as the next bottleneck ("for faster networks and highly
+//! redundant data sets, CPU performance would currently be a
+//! bottleneck").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msync_hash::rolling::scan_rolling;
+use msync_hash::{DecomposableAdler, Md4, Md5, RabinHash, RsyncRolling};
+use std::hint::black_box;
+
+fn data(n: usize) -> Vec<u8> {
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+fn bench_rolling_scan(c: &mut Criterion) {
+    let input = data(1 << 20);
+    let mut group = c.benchmark_group("rolling_scan_1MiB_window256");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("rsync_adler", |b| {
+        b.iter(|| {
+            let mut h = RsyncRolling::new();
+            let mut acc = 0u64;
+            scan_rolling(&mut h, &input, 256, |_, v| acc ^= v);
+            black_box(acc)
+        })
+    });
+    group.bench_function("decomposable_adler", |b| {
+        b.iter(|| {
+            let mut h = DecomposableAdler::new();
+            let mut acc = 0u64;
+            scan_rolling(&mut h, &input, 256, |_, v| acc ^= v);
+            black_box(acc)
+        })
+    });
+    group.bench_function("rabin_karp", |b| {
+        b.iter(|| {
+            let mut h = RabinHash::new();
+            let mut acc = 0u64;
+            scan_rolling(&mut h, &input, 256, |_, v| acc ^= v);
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_strong_digests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_digest");
+    for size in [64usize, 4096, 1 << 16] {
+        let input = data(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("md4", size), &input, |b, input| {
+            b.iter(|| black_box(Md4::digest(input)))
+        });
+        group.bench_with_input(BenchmarkId::new("md5", size), &input, |b, input| {
+            b.iter(|| black_box(Md5::digest(input)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rolling_scan, bench_strong_digests);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Throughput of the extension subsystems: CDC chunking and sync,
+//! in-place reconstruction, and changed-file reconciliation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use msync_cdc::ChunkParams;
+use msync_corpus::{apply_edits, EditProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn source(n: usize, seed: u64) -> Vec<u8> {
+    msync_corpus::text::source_file(&mut StdRng::seed_from_u64(seed), n)
+}
+
+fn bench_cdc(c: &mut Criterion) {
+    let data = source(1 << 20, 21);
+    let params = ChunkParams::default();
+    let mut group = c.benchmark_group("cdc_1MiB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("chunk", |b| b.iter(|| black_box(msync_cdc::chunk(&data, &params))));
+    let old = source(1 << 18, 22);
+    let new = apply_edits(&old, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(23));
+    group.throughput(Throughput::Bytes(new.len() as u64));
+    group.bench_function("sync_256KiB_minor_edit", |b| {
+        b.iter(|| black_box(msync_cdc::sync(&old, &new, &params)))
+    });
+    group.finish();
+}
+
+fn bench_inplace(c: &mut Criterion) {
+    let old = source(1 << 18, 31);
+    // Swap the halves: worst case, every copy is in a cycle.
+    let half = old.len() / 2;
+    let new = [&old[half..], &old[..half]].concat();
+    let sigs = msync_rsync::Signatures::compute(&old, 2048);
+    let tokens = msync_rsync::matcher::match_tokens(&new, &sigs);
+    let mut group = c.benchmark_group("inplace_256KiB_half_swap");
+    group.throughput(Throughput::Bytes(new.len() as u64));
+    // NOTE: each iteration clones the 256 KiB buffer; the reported
+    // throughput includes that memcpy.
+    group.bench_function("clone_plus_apply_inplace", |b| {
+        b.iter(|| {
+            let mut buf = old.clone();
+            msync_rsync::inplace::apply_inplace(&mut buf, &sigs, &tokens).unwrap();
+            black_box(buf)
+        })
+    });
+    group.finish();
+}
+
+fn bench_recon(c: &mut Criterion) {
+    use msync_recon::{canonicalize, Item};
+    let mut a: Vec<Item> = (0..4096)
+        .map(|i| Item {
+            name: format!("dir{:02}/f{i:05}", i % 31),
+            fp: msync_hash::file_fingerprint(format!("c{i}").as_bytes()),
+        })
+        .collect();
+    canonicalize(&mut a);
+    let mut b = a.clone();
+    b[1000].fp = msync_hash::file_fingerprint(b"changed");
+    let mut group = c.benchmark_group("recon_4096_files_1_change");
+    group.bench_function("merkle", |bch| {
+        bch.iter(|| black_box(msync_recon::merkle::reconcile(&a, &b)))
+    });
+    group.bench_function("group_testing", |bch| {
+        bch.iter(|| black_box(msync_recon::group_testing::reconcile(&a, &b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdc, bench_inplace, bench_recon);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end synchronization throughput: msync (all techniques and
+//! basic) against the rsync baseline on one minor-release file pair.
+//! Wire costs are the experiments' business (`exp` binary); these
+//! benches track raw protocol CPU speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use msync_core::{sync_file, ProtocolConfig};
+use msync_corpus::{apply_edits, EditProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pair(n: usize) -> (Vec<u8>, Vec<u8>) {
+    let old = msync_corpus::text::source_file(&mut StdRng::seed_from_u64(11), n);
+    let new = apply_edits(&old, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(12));
+    (old, new)
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let (old, new) = pair(1 << 17);
+    let mut group = c.benchmark_group("sync_128KiB_minor_edit");
+    group.throughput(Throughput::Bytes(new.len() as u64));
+    group.sample_size(20);
+    let full = ProtocolConfig::default();
+    group.bench_function("msync_all_techniques", |b| {
+        b.iter(|| black_box(sync_file(&old, &new, &full).unwrap()))
+    });
+    let basic = ProtocolConfig::basic(64);
+    group.bench_function("msync_basic", |b| {
+        b.iter(|| black_box(sync_file(&old, &new, &basic).unwrap()))
+    });
+    group.bench_function("rsync_700", |b| b.iter(|| black_box(msync_rsync::sync(&old, &new, 700))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! exp <id> [--scale S] [--json]
+//! ids: fig6-1 fig6-2 fig6-3 fig6-4 table6-1 table6-2 ablation restricted adaptive baselines broadcast recon all
+//! ```
+
+use msync_bench::experiments as exp;
+use msync_bench::experiments::Report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut scale: Option<f64> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--scale needs a number")),
+                );
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other if id.is_none() => id = Some(other.to_string()),
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let id = id.unwrap_or_else(|| {
+        usage();
+        std::process::exit(2)
+    });
+
+    let reports = run(&id, scale);
+    for r in reports {
+        if json {
+            println!("{}", serde_json::to_string(&r));
+        } else {
+            println!("{}", r.render());
+        }
+    }
+}
+
+fn run(id: &str, scale: Option<f64>) -> Vec<Report> {
+    // Default scales keep full runs in tens of seconds while staying
+    // large enough (dozens of files / megabytes) for stable shapes.
+    let s_src = scale.unwrap_or(0.10);
+    let s_web = scale.unwrap_or(0.02);
+    match id {
+        "fig6-1" => vec![exp::fig6_basic("gcc", s_src)],
+        "fig6-2" => vec![exp::fig6_basic("emacs", s_src)],
+        "fig6-3" => vec![exp::fig6_3(s_src)],
+        "fig6-4" => vec![exp::fig6_4(s_src)],
+        "table6-1" => vec![exp::table6_1(s_src)],
+        "table6-2" => vec![exp::table6_2(s_web)],
+        "ablation" => vec![exp::ablation(s_src)],
+        "restricted" => vec![exp::restricted(s_src)],
+        "adaptive" => vec![exp::adaptive(s_src)],
+        "baselines" => vec![exp::baselines(s_src)],
+        "broadcast" => vec![exp::broadcast(s_src)],
+        "recon" => vec![exp::recon(s_web * 5.0)],
+        "all" => vec![
+            exp::fig6_basic("gcc", s_src),
+            exp::fig6_basic("emacs", s_src),
+            exp::fig6_3(s_src),
+            exp::fig6_4(s_src),
+            exp::table6_1(s_src),
+            exp::table6_2(s_web),
+            exp::ablation(s_src),
+            exp::restricted(s_src),
+            exp::adaptive(s_src),
+            exp::baselines(s_src),
+            exp::broadcast(s_src),
+            exp::recon(s_web * 5.0),
+        ],
+        other => {
+            die(&format!("unknown experiment `{other}`"));
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: exp <id> [--scale S] [--json]\n\
+         ids: fig6-1 fig6-2 fig6-3 fig6-4 table6-1 table6-2 ablation restricted adaptive baselines broadcast recon all\n\
+         scale: corpus size fraction (1.0 = the paper's full size)"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+// Minimal hand-rolled JSON to avoid pulling serde_json: reports are
+// simple enough that serde's derive plus this shim covers the need.
+mod serde_json {
+    use super::Report;
+
+    pub fn to_string(r: &Report) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\"id\":{},\"title\":{},\"columns\":[{}],\"rows\":[",
+            quote(&r.id),
+            quote(&r.title),
+            r.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )
+        .expect("writing to String cannot fail");
+        for (i, row) in r.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"label\":{},\"cells\":[{}]}}",
+                quote(&row.label),
+                row.cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            )
+            .expect("writing to String cannot fail");
+        }
+        write!(
+            out,
+            "],\"notes\":[{}]}}",
+            r.notes.iter().map(|n| quote(n)).collect::<Vec<_>>().join(",")
+        )
+        .expect("writing to String cannot fail");
+        out
+    }
+
+    fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}

@@ -1,0 +1,172 @@
+//! Content-defined chunking.
+//!
+//! The hash-based related work the paper discusses in §4 (LBFS,
+//! Pastiche, value-based web caching, Spring–Wetherall) "use string
+//! fingerprinting techniques proposed by Karp and Rabin to partition a
+//! data stream into blocks in a consistent manner on both sides of a
+//! communication link". A chunk boundary is declared wherever the
+//! rolling fingerprint of the last `WINDOW` bytes hits a magic value
+//! modulo the target size — so an insertion only disturbs the chunks it
+//! touches, unlike fixed-size blocks where everything downstream shifts.
+
+use msync_hash::rolling::RollingHash;
+use msync_hash::RabinHash;
+
+/// Rolling window the boundary test looks at (LBFS uses 48).
+pub const WINDOW: usize = 48;
+
+/// Chunking parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkParams {
+    /// Average chunk size; must be a power of two (the boundary test is
+    /// `fingerprint mod avg == avg - 1`).
+    pub avg_size: usize,
+    /// No boundary before this many bytes.
+    pub min_size: usize,
+    /// Forced boundary after this many bytes.
+    pub max_size: usize,
+}
+
+impl Default for ChunkParams {
+    /// ~2 KiB average: suited to the paper's ~15 KB web pages. (LBFS
+    /// uses 8 KiB for whole file systems.)
+    fn default() -> Self {
+        Self { avg_size: 2048, min_size: 256, max_size: 16_384 }
+    }
+}
+
+/// One chunk: `data[offset .. offset+len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Start offset in the buffer.
+    pub offset: usize,
+    /// Chunk length.
+    pub len: usize,
+}
+
+/// Split `data` into content-defined chunks. Concatenated chunks always
+/// reproduce `data` exactly; the empty file has no chunks.
+pub fn chunk(data: &[u8], params: &ChunkParams) -> Vec<Chunk> {
+    assert!(params.avg_size.is_power_of_two(), "avg_size must be a power of two");
+    assert!(params.min_size >= WINDOW, "min_size must cover the rolling window");
+    assert!(params.max_size >= params.min_size);
+    let mask = (params.avg_size - 1) as u64;
+    let magic = mask; // boundary when low bits are all ones
+
+    let mut chunks = Vec::with_capacity(data.len() / params.avg_size + 1);
+    let mut start = 0usize;
+    let mut h = RabinHash::new();
+    while start < data.len() {
+        let remaining = data.len() - start;
+        if remaining <= params.min_size {
+            chunks.push(Chunk { offset: start, len: remaining });
+            break;
+        }
+        // Position the window so the first boundary test happens at
+        // exactly min_size bytes into the chunk.
+        let first_test = start + params.min_size;
+        h.reset(&data[first_test - WINDOW..first_test]);
+        let mut end = first_test;
+        let hard_end = (start + params.max_size).min(data.len());
+        loop {
+            if h.value() & mask == magic || end >= hard_end {
+                break;
+            }
+            h.roll(data[end - WINDOW], data[end]);
+            end += 1;
+        }
+        chunks.push(Chunk { offset: start, len: end - start });
+        start = end;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        let d = data(100_000, 1);
+        let chunks = chunk(&d, &ChunkParams::default());
+        let mut pos = 0;
+        for c in &chunks {
+            assert_eq!(c.offset, pos);
+            assert!(c.len > 0);
+            pos += c.len;
+        }
+        assert_eq!(pos, d.len());
+    }
+
+    #[test]
+    fn sizes_respect_bounds_and_average() {
+        let d = data(400_000, 2);
+        let p = ChunkParams::default();
+        let chunks = chunk(&d, &p);
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.len >= p.min_size, "chunk below min: {}", c.len);
+            assert!(c.len <= p.max_size, "chunk above max: {}", c.len);
+        }
+        let avg = d.len() / chunks.len();
+        assert!(
+            (p.avg_size / 3..=p.avg_size * 3).contains(&avg),
+            "average {avg} too far from target {}",
+            p.avg_size
+        );
+    }
+
+    #[test]
+    fn insertion_only_disturbs_local_chunks() {
+        // The CDC property: after inserting bytes in the middle, the
+        // chunk sequences share a long common suffix (and prefix).
+        let d = data(200_000, 3);
+        let mut edited = d.clone();
+        edited.splice(100_000..100_000, data(100, 4));
+        let p = ChunkParams::default();
+        let a = chunk(&d, &p);
+        let b = chunk(&edited, &p);
+        let hash = |buf: &[u8], c: &Chunk| msync_hash::Md5::digest(&buf[c.offset..c.offset + c.len]);
+        let mut common_suffix = 0;
+        while common_suffix < a.len().min(b.len()) {
+            let ca = &a[a.len() - 1 - common_suffix];
+            let cb = &b[b.len() - 1 - common_suffix];
+            if ca.len != cb.len || hash(&d, ca) != hash(&edited, cb) {
+                break;
+            }
+            common_suffix += 1;
+        }
+        assert!(
+            common_suffix * 3 > a.len(),
+            "only {common_suffix}/{} trailing chunks survived an insertion",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let p = ChunkParams::default();
+        assert!(chunk(b"", &p).is_empty());
+        let tiny = chunk(b"abc", &p);
+        assert_eq!(tiny.len(), 1);
+        assert_eq!(tiny[0], Chunk { offset: 0, len: 3 });
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = data(50_000, 5);
+        let p = ChunkParams::default();
+        assert_eq!(chunk(&d, &p), chunk(&d, &p));
+    }
+}

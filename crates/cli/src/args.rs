@@ -1,0 +1,224 @@
+//! Argument parsing (hand-rolled; the dependency set is fixed).
+
+use std::path::PathBuf;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+}
+
+/// The tool's subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Synchronize `old` to `new`, reporting wire costs.
+    Sync {
+        /// Outdated file or directory (the client side).
+        old: PathBuf,
+        /// Current file or directory (the server side).
+        new: PathBuf,
+        /// Configuration source.
+        config: ConfigSource,
+        /// Also run rsync / CDC / zdelta for comparison.
+        compare: bool,
+        /// Write the reconstructed files under this directory.
+        write: Option<PathBuf>,
+    },
+    /// Per-round protocol trace for one file pair.
+    Inspect {
+        /// Outdated file.
+        old: PathBuf,
+        /// Current file.
+        new: PathBuf,
+        /// Configuration source.
+        config: ConfigSource,
+    },
+    /// Show the content-defined chunking of a file.
+    Chunks {
+        /// File to chunk.
+        file: PathBuf,
+        /// Average chunk size (power of two).
+        avg: usize,
+    },
+    /// Print a parameter file for a preset.
+    Params {
+        /// Preset name.
+        preset: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Where the protocol configuration comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigSource {
+    /// A named preset: `default`, `basic`, or `restricted:<levels>`.
+    Preset(String),
+    /// A parameter file on disk (the paper's configuration mechanism).
+    File(PathBuf),
+}
+
+impl Default for ConfigSource {
+    fn default() -> Self {
+        ConfigSource::Preset("default".into())
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+msync — multi-round file synchronization over slow links
+
+USAGE:
+    msync sync <OLD> <NEW> [--config FILE | --preset NAME] [--compare] [--write DIR]
+    msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
+    msync chunks <FILE> [--avg BYTES]
+    msync params [--preset NAME]
+    msync help
+
+OLD/NEW may both be files or both be directories.
+Presets: default, basic, restricted:<levels> (e.g. restricted:3).
+--config takes a parameter file (see `msync params` for the syntax).
+";
+
+/// Parse `argv[1..]`.
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter().peekable();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    let command = match sub {
+        "help" | "--help" | "-h" => Command::Help,
+        "sync" | "inspect" => {
+            let old = PathBuf::from(it.next().ok_or("missing <OLD> path")?);
+            let new = PathBuf::from(it.next().ok_or("missing <NEW> path")?);
+            let mut config = ConfigSource::default();
+            let mut compare = false;
+            let mut write = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--config" => {
+                        config = ConfigSource::File(PathBuf::from(
+                            it.next().ok_or("--config needs a file path")?,
+                        ))
+                    }
+                    "--preset" => {
+                        config =
+                            ConfigSource::Preset(it.next().ok_or("--preset needs a name")?.clone())
+                    }
+                    "--compare" if sub == "sync" => compare = true,
+                    "--write" if sub == "sync" => {
+                        write = Some(PathBuf::from(it.next().ok_or("--write needs a directory")?))
+                    }
+                    other => return Err(format!("unknown flag `{other}` for `{sub}`")),
+                }
+            }
+            if sub == "sync" {
+                Command::Sync { old, new, config, compare, write }
+            } else {
+                Command::Inspect { old, new, config }
+            }
+        }
+        "chunks" => {
+            let file = PathBuf::from(it.next().ok_or("missing <FILE> path")?);
+            let mut avg = 2048usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--avg" => {
+                        avg = it
+                            .next()
+                            .ok_or("--avg needs a byte count")?
+                            .parse()
+                            .map_err(|_| "--avg needs an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag `{other}` for `chunks`")),
+                }
+            }
+            if !avg.is_power_of_two() || avg < 64 {
+                return Err("--avg must be a power of two ≥ 64".into());
+            }
+            Command::Chunks { file, avg }
+        }
+        "params" => {
+            let mut preset = "default".to_string();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--preset" => preset = it.next().ok_or("--preset needs a name")?.clone(),
+                    other => return Err(format!("unknown flag `{other}` for `params`")),
+                }
+            }
+            Command::Params { preset }
+        }
+        other => return Err(format!("unknown subcommand `{other}`")),
+    };
+    Ok(Cli { command })
+}
+
+/// Resolve a preset name into a configuration.
+pub fn preset_config(name: &str) -> Result<msync_core::ProtocolConfig, String> {
+    if let Some(levels) = name.strip_prefix("restricted:") {
+        let levels: u32 = levels.parse().map_err(|_| "restricted:<levels> needs an integer")?;
+        return Ok(msync_core::ProtocolConfig::restricted(levels));
+    }
+    match name {
+        "default" | "all" => Ok(msync_core::ProtocolConfig::default()),
+        "basic" => Ok(msync_core::ProtocolConfig::basic(64)),
+        other => Err(format!(
+            "unknown preset `{other}` (try: default, basic, restricted:<levels>)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Cli, String> {
+        let v: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn sync_with_flags() {
+        let cli = parse(&["sync", "a", "b", "--preset", "basic", "--compare"]).unwrap();
+        match cli.command {
+            Command::Sync { old, new, config, compare, write } => {
+                assert_eq!(old, PathBuf::from("a"));
+                assert_eq!(new, PathBuf::from("b"));
+                assert_eq!(config, ConfigSource::Preset("basic".into()));
+                assert!(compare);
+                assert!(write.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inspect_rejects_sync_only_flags() {
+        assert!(parse(&["inspect", "a", "b", "--compare"]).is_err());
+    }
+
+    #[test]
+    fn chunks_validation() {
+        assert!(parse(&["chunks", "f", "--avg", "1000"]).is_err()); // not pow2
+        assert!(parse(&["chunks", "f", "--avg", "32"]).is_err()); // too small
+        let cli = parse(&["chunks", "f", "--avg", "4096"]).unwrap();
+        assert_eq!(cli.command, Command::Chunks { file: PathBuf::from("f"), avg: 4096 });
+    }
+
+    #[test]
+    fn missing_args_reported() {
+        assert!(parse(&["sync"]).unwrap_err().contains("OLD"));
+        assert!(parse(&["sync", "a"]).unwrap_err().contains("NEW"));
+        assert!(parse(&["bogus"]).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&[]).is_ok()); // → help
+    }
+
+    #[test]
+    fn presets_resolve() {
+        assert!(preset_config("default").is_ok());
+        assert!(preset_config("basic").is_ok());
+        let r = preset_config("restricted:3").unwrap();
+        assert_eq!(r.global_levels(), 3);
+        assert!(preset_config("nope").is_err());
+        assert!(preset_config("restricted:x").is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Command implementations. Everything returns its report as a `String`
+//! so the logic is unit-testable without capturing stdout.
+
+use crate::args::{preset_config, Cli, Command, ConfigSource, USAGE};
+use msync_core::{sync_collection, sync_file, FileEntry, ProtocolConfig};
+use msync_corpus::fsload::load_dir;
+use msync_corpus::Collection;
+use msync_protocol::LinkModel;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Run a parsed invocation; returns the text to print.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Params { preset } => {
+            let cfg = preset_config(preset)?;
+            Ok(msync_core::params::render(&cfg))
+        }
+        Command::Chunks { file, avg } => chunks(file, *avg),
+        Command::Sync { old, new, config, compare, write } => {
+            sync_cmd(old, new, config, *compare, write.as_deref())
+        }
+        Command::Inspect { old, new, config } => inspect(old, new, config),
+    }
+}
+
+fn load_config(source: &ConfigSource) -> Result<ProtocolConfig, String> {
+    match source {
+        ConfigSource::Preset(name) => preset_config(name),
+        ConfigSource::File(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            msync_core::params::parse(&text)
+        }
+    }
+}
+
+/// Load OLD/NEW as collections: both files or both directories.
+fn load_pair(old: &Path, new: &Path) -> Result<(Collection, Collection), String> {
+    let err = |p: &Path, e: std::io::Error| format!("cannot read {}: {e}", p.display());
+    let old_is_dir = old.is_dir();
+    let new_is_dir = new.is_dir();
+    if old_is_dir != new_is_dir {
+        return Err("OLD and NEW must both be files or both be directories".into());
+    }
+    if old_is_dir {
+        Ok((load_dir(old).map_err(|e| err(old, e))?, load_dir(new).map_err(|e| err(new, e))?))
+    } else {
+        let mut a = Collection::new();
+        a.push("file", fs::read(old).map_err(|e| err(old, e))?);
+        let mut b = Collection::new();
+        b.push("file", fs::read(new).map_err(|e| err(new, e))?);
+        Ok((a, b))
+    }
+}
+
+fn entries(c: &Collection) -> Vec<FileEntry> {
+    c.files().iter().map(|f| FileEntry::new(f.name.clone(), f.data.clone())).collect()
+}
+
+fn human(bytes: u64) -> String {
+    if bytes < 4 * 1024 {
+        format!("{bytes} B")
+    } else if bytes < 4 * 1024 * 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+fn sync_cmd(
+    old: &Path,
+    new: &Path,
+    config: &ConfigSource,
+    compare: bool,
+    write: Option<&Path>,
+) -> Result<String, String> {
+    let cfg = load_config(config)?;
+    let (old_col, new_col) = load_pair(old, new)?;
+    let out = sync_collection(&entries(&old_col), &entries(&new_col), &cfg)
+        .map_err(|e| e.to_string())?;
+
+    let mut report = String::new();
+    let raw = new_col.total_bytes();
+    let t = &out.traffic;
+    let _ = writeln!(
+        report,
+        "synchronized {} file(s), {} total",
+        out.files.len(),
+        human(raw)
+    );
+    let changed = out.files.len().saturating_sub(out.unchanged + out.created);
+    let _ = writeln!(
+        report,
+        "  unchanged {} · changed {} · created {} ({} renamed) · deleted {}",
+        out.unchanged, changed, out.created, out.renamed, out.deleted
+    );
+    let _ = writeln!(
+        report,
+        "wire: {} total ({:.2}% of raw), {} roundtrips",
+        human(t.total_bytes()),
+        100.0 * t.total_bytes() as f64 / raw.max(1) as f64,
+        t.roundtrips
+    );
+    let _ = writeln!(
+        report,
+        "  map s→c {} · map c→s {} · delta {} · setup {}",
+        human(t.s2c(msync_protocol::Phase::Map)),
+        human(t.c2s(msync_protocol::Phase::Map)),
+        human(t.s2c(msync_protocol::Phase::Delta) + t.c2s(msync_protocol::Phase::Delta)),
+        human(t.s2c(msync_protocol::Phase::Setup) + t.c2s(msync_protocol::Phase::Setup)),
+    );
+    let _ = writeln!(report, "estimated transfer time:");
+    for (name, link) in [
+        ("dial-up", LinkModel::dialup()),
+        ("dsl    ", LinkModel::dsl()),
+        ("cable  ", LinkModel::cable()),
+    ] {
+        let _ = writeln!(report, "  {name}  {:.1?}", link.estimate(t));
+    }
+
+    if compare {
+        let _ = writeln!(report, "\nbaselines:");
+        let mut rsync_total = 0u64;
+        let mut cdc_total = 0u64;
+        let mut zdelta_total = 0u64;
+        for nf in new_col.files() {
+            let old_data = old_col.get(&nf.name).map(|f| f.data.clone()).unwrap_or_default();
+            rsync_total += msync_rsync::sync(&old_data, &nf.data, msync_rsync::DEFAULT_BLOCK_SIZE)
+                .stats
+                .total_bytes();
+            cdc_total += msync_cdc::sync(&old_data, &nf.data, &msync_cdc::ChunkParams::default())
+                .stats
+                .total_bytes();
+            if old_data != nf.data {
+                zdelta_total += msync_compress::delta_encode(&old_data, &nf.data).len() as u64 + 17;
+            } else {
+                zdelta_total += 17;
+            }
+        }
+        let _ = writeln!(report, "  rsync (700B)     {}", human(rsync_total));
+        let _ = writeln!(report, "  cdc (lbfs-style) {}", human(cdc_total));
+        let _ = writeln!(report, "  zdelta (bound)   {}", human(zdelta_total));
+        let _ = writeln!(report, "  msync            {}", human(t.total_bytes()));
+    }
+
+    if let Some(dir) = write {
+        for f in &out.files {
+            let path = dir.join(&f.name);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+            fs::write(&path, &f.data).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
+    }
+    Ok(report)
+}
+
+fn inspect(old: &Path, new: &Path, config: &ConfigSource) -> Result<String, String> {
+    let cfg = load_config(config)?;
+    let (old_col, new_col) = load_pair(old, new)?;
+    if old_col.len() != 1 || new_col.len() != 1 {
+        return Err("inspect works on single files, not directories".into());
+    }
+    let out = sync_file(&old_col.files()[0].data, &new_col.files()[0].data, &cfg)
+        .map_err(|e| e.to_string())?;
+
+    let mut report = String::new();
+    let stats = &out.stats;
+    let _ = writeln!(
+        report,
+        "{} → {} : {} on the wire, {} roundtrips{}",
+        human(old_col.total_bytes()),
+        human(new_col.total_bytes()),
+        human(stats.total_bytes()),
+        stats.traffic.roundtrips,
+        if out.fell_back { " (FELL BACK to full transfer)" } else { "" },
+    );
+    let _ = writeln!(
+        report,
+        "map covered {} of {} bytes; final delta {}",
+        stats.known_bytes,
+        new_col.total_bytes(),
+        human(stats.delta_bytes)
+    );
+    let _ = writeln!(report, "\n{:>9}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>8}", "block", "items", "cont", "suppr", "cand", "conf", "harvest");
+    for l in &stats.levels {
+        let _ = writeln!(
+            report,
+            "{:>9}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>7.1}%",
+            l.block_size,
+            l.items,
+            l.cont_items,
+            l.suppressed,
+            l.candidates,
+            l.confirmed,
+            100.0 * l.harvest_rate(),
+        );
+    }
+    Ok(report)
+}
+
+fn chunks(file: &Path, avg: usize) -> Result<String, String> {
+    let data = fs::read(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let params = msync_cdc::ChunkParams {
+        avg_size: avg,
+        min_size: (avg / 8).max(64),
+        max_size: avg * 8,
+    };
+    let chunks = msync_cdc::chunk(&data, &params);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{}: {} bytes in {} chunk(s), average {}",
+        file.display(),
+        data.len(),
+        chunks.len(),
+        human(if chunks.is_empty() { 0 } else { (data.len() / chunks.len()) as u64 })
+    );
+    for (i, c) in chunks.iter().enumerate() {
+        let digest = msync_hash::Md5::digest(&data[c.offset..c.offset + c.len]);
+        let hex: String = digest[..8].iter().map(|b| format!("{b:02x}")).collect();
+        let _ = writeln!(report, "  #{i:<4} offset {:>9}  len {:>7}  {hex}", c.offset, c.len);
+        if i >= 63 && chunks.len() > 65 {
+            let _ = writeln!(report, "  … {} more chunks", chunks.len() - i - 1);
+            break;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("msync-cli-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn run_words(words: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        run(&parse_args(&v)?)
+    }
+
+    #[test]
+    fn sync_files_end_to_end() {
+        let d = tmpdir("sync");
+        let old = d.join("old.txt");
+        let new = d.join("new.txt");
+        fs::write(&old, b"hello world ".repeat(2000)).unwrap();
+        fs::write(&new, b"hello world ".repeat(2000).iter().chain(b"tail").copied().collect::<Vec<u8>>()).unwrap();
+        let report = run_words(&["sync", old.to_str().unwrap(), new.to_str().unwrap(), "--compare"]).unwrap();
+        assert!(report.contains("synchronized 1 file(s)"));
+        assert!(report.contains("baselines:"));
+        assert!(report.contains("rsync (700B)"));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn sync_directories_with_write() {
+        let d = tmpdir("dirs");
+        let old_dir = d.join("v1");
+        let new_dir = d.join("v2");
+        let out_dir = d.join("out");
+        fs::create_dir_all(old_dir.join("sub")).unwrap();
+        fs::create_dir_all(new_dir.join("sub")).unwrap();
+        fs::write(old_dir.join("a.txt"), b"alpha version one").unwrap();
+        fs::write(new_dir.join("a.txt"), b"alpha version two").unwrap();
+        fs::write(new_dir.join("sub/b.txt"), b"brand new").unwrap();
+        let report = run_words(&[
+            "sync",
+            old_dir.to_str().unwrap(),
+            new_dir.to_str().unwrap(),
+            "--write",
+            out_dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("synchronized 2 file(s)"), "{report}");
+        assert_eq!(fs::read(out_dir.join("a.txt")).unwrap(), b"alpha version two");
+        assert_eq!(fs::read(out_dir.join("sub/b.txt")).unwrap(), b"brand new");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn inspect_prints_rounds() {
+        let d = tmpdir("inspect");
+        let old = d.join("o");
+        let new = d.join("n");
+        fs::write(&old, b"abcdefgh".repeat(4000)).unwrap();
+        let mut edited = b"abcdefgh".repeat(4000);
+        edited[9000] = b'X';
+        fs::write(&new, edited).unwrap();
+        let report = run_words(&["inspect", old.to_str().unwrap(), new.to_str().unwrap()]).unwrap();
+        assert!(report.contains("harvest"), "{report}");
+        assert!(report.contains("32768"), "{report}");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn chunks_lists_chunks() {
+        let d = tmpdir("chunks");
+        let f = d.join("data.bin");
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        fs::write(&f, &data).unwrap();
+        let report = run_words(&["chunks", f.to_str().unwrap(), "--avg", "1024"]).unwrap();
+        assert!(report.contains("chunk(s)"));
+        assert!(report.contains("#0"));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn params_roundtrip_through_config_file() {
+        let d = tmpdir("params");
+        let text = run_words(&["params", "--preset", "basic"]).unwrap();
+        let cfg_file = d.join("msync.conf");
+        fs::write(&cfg_file, &text).unwrap();
+        // Use the emitted file as --config for a sync.
+        let old = d.join("o");
+        let new = d.join("n");
+        fs::write(&old, b"text ".repeat(1000)).unwrap();
+        fs::write(&new, b"text ".repeat(1001)).unwrap();
+        let report = run_words(&[
+            "sync",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--config",
+            cfg_file.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("wire:"));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run_words(&["sync", "/no/such/file", "/other/missing"]).is_err());
+        assert!(run_words(&["params", "--preset", "bogus"]).is_err());
+        let d = tmpdir("mixed");
+        let f = d.join("f");
+        fs::write(&f, b"x").unwrap();
+        let e = run_words(&["sync", f.to_str().unwrap(), d.to_str().unwrap()]).unwrap_err();
+        assert!(e.contains("both"), "{e}");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn help_is_usage() {
+        let report = run_words(&["help"]).unwrap();
+        assert!(report.contains("USAGE"));
+    }
+}

@@ -1,0 +1,36 @@
+//! The `msync` command-line tool.
+//!
+//! The paper's §7: "we intend to use the presented techniques as the
+//! basis for a new general purpose tool for file synchronization over
+//! slow links that we plan to release." This is that tool, as a local
+//! analyzer/simulator: point it at an (old, new) pair of files or
+//! directory trees and it runs the full protocol, reports exactly what
+//! would cross the wire, compares against rsync/CDC/delta baselines,
+//! and estimates transfer times over standard slow links.
+//!
+//! ```text
+//! msync sync OLD NEW [--config FILE | --preset NAME] [--compare] [--write DIR]
+//! msync inspect OLD NEW [--config FILE | --preset NAME]
+//! msync chunks FILE [--avg N]
+//! msync params [--preset NAME]
+//! msync help
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Cli, Command};
+pub use commands::run;
+
+/// Process exit codes.
+pub mod exit {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// Operational failure (I/O, sync error).
+    pub const FAILURE: i32 = 1;
+    /// Usage error.
+    pub const USAGE: i32 = 2;
+}

@@ -1,0 +1,21 @@
+//! `msync` binary entry point.
+
+use msync_cli::{exit, parse_args, run};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", msync_cli::args::USAGE);
+            std::process::exit(exit::USAGE);
+        }
+    };
+    match run(&cli) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(exit::FAILURE);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Canonical Huffman coding.
+//!
+//! The entropy backend for the gzip-like stream compressor and the delta
+//! coder. Codes are canonical (assigned in order of (length, symbol)), so a
+//! table is fully described by its code lengths, which is what goes on the
+//! wire.
+
+use msync_hash::{BitReader, BitWriter};
+
+/// Maximum code length. 15 matches deflate and keeps decode tables small.
+pub const MAX_BITS: u32 = 15;
+
+/// A canonical Huffman code over symbols `0..lengths.len()`.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Code length per symbol (0 = symbol unused).
+    lengths: Vec<u8>,
+    /// Codeword per symbol, bit-reversed for LSB-first emission.
+    codes: Vec<u16>,
+}
+
+/// Errors from table construction or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The code-length sequence does not describe a valid prefix code.
+    InvalidLengths,
+    /// The bit stream ended mid-codeword or held an unassigned codeword.
+    BadStream,
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidLengths => write!(f, "invalid Huffman code lengths"),
+            Self::BadStream => write!(f, "corrupt Huffman bit stream"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// Compute length-limited code lengths from symbol frequencies.
+///
+/// Standard heap-based Huffman construction; if the resulting depth
+/// exceeds [`MAX_BITS`], frequencies are repeatedly flattened
+/// (`f ← f/2 + 1`) and the tree rebuilt — a simple, always-terminating
+/// length-limiting strategy (each flattening strictly reduces the
+/// frequency ratio that drives depth).
+pub fn build_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let mut adjusted: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = build_lengths_once(&adjusted);
+        if lengths.iter().all(|&l| (l as u32) <= MAX_BITS) {
+            return lengths;
+        }
+        for f in adjusted.iter_mut() {
+            if *f > 0 {
+                *f = *f / 2 + 1;
+            }
+        }
+        debug_assert!(n >= 2);
+    }
+}
+
+fn build_lengths_once(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Nodes: leaves first, then internal nodes appended.
+    let mut weight: Vec<u64> = used.iter().map(|&i| freqs[i]).collect();
+    let mut parent: Vec<usize> = vec![usize::MAX; used.len()];
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        weight.iter().enumerate().map(|(i, &w)| Reverse((w, i))).collect();
+    while heap.len() > 1 {
+        let Reverse((w1, i1)) = heap.pop().expect("heap non-empty");
+        let Reverse((w2, i2)) = heap.pop().expect("heap has two items");
+        let node = weight.len();
+        weight.push(w1 + w2);
+        parent.push(usize::MAX);
+        parent[i1] = node;
+        parent[i2] = node;
+        heap.push(Reverse((w1 + w2, node)));
+    }
+    // Depth of each leaf = number of parent hops to the root.
+    for (leaf, &sym) in used.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = leaf;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth as u8;
+    }
+    lengths
+}
+
+impl HuffmanCode {
+    /// Build the canonical code from per-symbol lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, HuffmanError> {
+        let mut bl_count = [0u32; (MAX_BITS + 1) as usize];
+        for &l in lengths {
+            if l as u32 > MAX_BITS {
+                return Err(HuffmanError::InvalidLengths);
+            }
+            bl_count[l as usize] += 1;
+        }
+        // Kraft check (exact for complete codes; allow the degenerate
+        // 1-symbol code which is incomplete by design).
+        let used: u32 = lengths.iter().filter(|&&l| l > 0).count() as u32;
+        if used == 0 {
+            return Ok(Self { lengths: lengths.to_vec(), codes: vec![0; lengths.len()] });
+        }
+        let mut code = 0u32;
+        let mut next_code = [0u32; (MAX_BITS + 1) as usize];
+        for bits in 1..=MAX_BITS as usize {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        // Overfull check: codes of max length must not overflow.
+        let total = (1..=MAX_BITS as usize)
+            .map(|b| (bl_count[b] as u64) << (MAX_BITS as usize - b))
+            .sum::<u64>();
+        if total > 1u64 << MAX_BITS {
+            return Err(HuffmanError::InvalidLengths);
+        }
+        if total < 1u64 << MAX_BITS && !(used == 1 && bl_count[1] == 1) {
+            // Incomplete codes would make some bit patterns undecodable;
+            // the only allowed incomplete code is the degenerate
+            // single-symbol code of length 1.
+            return Err(HuffmanError::InvalidLengths);
+        }
+        let mut codes = vec![0u16; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                codes[sym] = reverse_bits(c as u16, l as u32);
+            }
+        }
+        Ok(Self { lengths: lengths.to_vec(), codes })
+    }
+
+    /// Build directly from frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Result<Self, HuffmanError> {
+        Self::from_lengths(&build_lengths(freqs))
+    }
+
+    /// Code lengths (for wire serialization).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Emit `symbol` into `w`. Panics (debug) on an unused symbol.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "encoding unused symbol {symbol}");
+        w.write_bits(self.codes[symbol] as u64, len as u32);
+    }
+
+    /// Cost in bits of `symbol` under this code.
+    #[inline]
+    pub fn cost(&self, symbol: usize) -> u32 {
+        self.lengths[symbol] as u32
+    }
+
+    /// Build the matching decoder.
+    pub fn decoder(&self) -> HuffmanDecoder {
+        HuffmanDecoder::from_lengths(&self.lengths).expect("lengths validated at construction")
+    }
+}
+
+#[inline]
+fn reverse_bits(v: u16, bits: u32) -> u16 {
+    v.reverse_bits() >> (16 - bits)
+}
+
+/// Table-driven canonical Huffman decoder (single-level table; fine at
+/// MAX_BITS = 15 for our alphabet sizes and block counts).
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// For each possible `MAX_BITS`-bit lookahead (LSB-first), the decoded
+    /// symbol and its length. Length 0 marks an invalid pattern.
+    table: Vec<(u16, u8)>,
+    max_bits: u32,
+}
+
+impl HuffmanDecoder {
+    /// Build the decoder from code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, HuffmanError> {
+        let code = HuffmanCode::from_lengths(lengths)?;
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
+        let max_bits = max_len.max(1);
+        let mut table = vec![(0u16, 0u8); 1usize << max_bits];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let base = code.codes[sym] as usize;
+            let step = 1usize << len;
+            let mut idx = base;
+            while idx < table.len() {
+                table[idx] = (sym as u16, len);
+                idx += step;
+            }
+        }
+        Ok(Self { table, max_bits })
+    }
+
+    /// Decode one symbol from `r`.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, HuffmanError> {
+        // Peek up to max_bits (the reader may have fewer left near the end).
+        let avail = r.remaining_bits().min(self.max_bits as usize) as u32;
+        if avail == 0 {
+            return Err(HuffmanError::BadStream);
+        }
+        let mut peek = r.clone();
+        let look = peek.read_bits(avail).map_err(|_| HuffmanError::BadStream)?;
+        let (sym, len) = self.table[(look as usize) & (self.table.len() - 1)];
+        if len == 0 || len as u32 > avail {
+            return Err(HuffmanError::BadStream);
+        }
+        r.read_bits(len as u32).map_err(|_| HuffmanError::BadStream)?;
+        Ok(sym as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_skewed_alphabet() {
+        let freqs: Vec<u64> = (0..64).map(|i| if i < 4 { 1000 } else { i }).collect();
+        let code = HuffmanCode::from_freqs(&freqs).unwrap();
+        let dec = code.decoder();
+        let symbols: Vec<usize> = (0..2000).map(|i| (i * 7) % 64).filter(|&s| freqs[s] > 0).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let mut freqs = vec![1u64; 16];
+        freqs[0] = 1_000_000;
+        let lengths = build_lengths(&freqs);
+        assert!(lengths[0] < lengths[5]);
+    }
+
+    #[test]
+    fn single_symbol_code() {
+        let mut freqs = vec![0u64; 10];
+        freqs[3] = 42;
+        let code = HuffmanCode::from_freqs(&freqs).unwrap();
+        assert_eq!(code.lengths()[3], 1);
+        let dec = code.decoder();
+        let mut w = BitWriter::new();
+        code.encode(&mut w, 3);
+        code.encode(&mut w, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), 3);
+        assert_eq!(dec.decode(&mut r).unwrap(), 3);
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        // Fibonacci-ish frequencies force deep trees without limiting.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| (l as u32) <= MAX_BITS));
+        // And the result must still be a valid prefix code.
+        HuffmanCode::from_lengths(&lengths).unwrap();
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        // Three symbols of length 1 is overfull.
+        assert_eq!(
+            HuffmanCode::from_lengths(&[1, 1, 1]).unwrap_err(),
+            HuffmanError::InvalidLengths
+        );
+        // Incomplete code (single length-2 symbol plus nothing else).
+        assert_eq!(
+            HuffmanCode::from_lengths(&[2, 0, 0]).unwrap_err(),
+            HuffmanError::InvalidLengths
+        );
+    }
+
+    #[test]
+    fn kraft_exact_two_symbols() {
+        let code = HuffmanCode::from_lengths(&[1, 1]).unwrap();
+        let dec = code.decoder();
+        let mut w = BitWriter::new();
+        for s in [0usize, 1, 1, 0, 1] {
+            code.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for s in [0usize, 1, 1, 0, 1] {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let code = HuffmanCode::from_freqs(&[0, 0, 0]).unwrap();
+        assert!(code.lengths().iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Compression substrate for msync.
+//!
+//! Everything the paper's pipeline compresses with goes through this
+//! crate, implemented from scratch:
+//!
+//! * [`huffman`] — canonical, length-limited Huffman coding (the entropy
+//!   backend).
+//! * [`lz77`] — hash-chain match finding shared by all coders.
+//! * [`lz`] — a gzip-like stream compressor (LZ77 + dynamic Huffman),
+//!   standing in for the paper's "algorithm similar to gzip" that
+//!   compresses rsync's token stream and the baselines of Table 6.2.
+//! * [`delta`] — a zdelta-like reference-based delta compressor: the
+//!   protocol's delta phase and the paper's lower-bound comparator.
+//! * [`vcdiff`] — a vcdiff-like byte-aligned delta coder, the paper's
+//!   second delta baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod huffman;
+pub mod lz;
+pub mod lz77;
+pub mod vcdiff;
+
+pub use delta::{decode as delta_decode, delta_size, encode as delta_encode, DeltaError};
+pub use lz::{compress, decompress, LzError};
+pub use vcdiff::{decode as vcdiff_decode, encode as vcdiff_encode, VcdiffError};
+
+/// Compressed size of `data` under the gzip-like coder — the "gzip"
+/// column of the paper's Table 6.2.
+pub fn gzip_size(data: &[u8]) -> usize {
+    compress(data).len()
+}

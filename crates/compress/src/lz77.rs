@@ -1,0 +1,297 @@
+//! LZ77 matching machinery shared by the stream compressor, the delta
+//! coder, and the vcdiff-like coder.
+//!
+//! Matches are found through hash chains over 4-byte keys, as in zlib and
+//! zdelta: a head table maps each key to the most recent position, and a
+//! prev table chains earlier positions with the same key.
+
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 4;
+/// Cap on match length (keeps length bins small; long repeats simply emit
+/// several copies).
+pub const MAX_MATCH: usize = 1 << 16;
+
+const HASH_BITS: u32 = 16;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// Hash of the 4 bytes starting at `pos` (caller guarantees availability).
+#[inline]
+pub fn key4(data: &[u8], pos: usize) -> u32 {
+    let k = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+    (k.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)
+}
+
+/// Hash-chain index over one buffer.
+#[derive(Debug)]
+pub struct HashChains<'a> {
+    data: &'a [u8],
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    /// Positions `< indexed_to` are in the index.
+    indexed_to: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl<'a> HashChains<'a> {
+    /// Create an empty index over `data`; call [`Self::index_to`] to fill.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            head: vec![NIL; HASH_SIZE],
+            prev: vec![NIL; data.len().saturating_sub(MIN_MATCH - 1)],
+            indexed_to: 0,
+        }
+    }
+
+    /// Index all positions of the buffer at once.
+    pub fn new_full(data: &'a [u8]) -> Self {
+        let mut s = Self::new(data);
+        s.index_to(data.len());
+        s
+    }
+
+    /// The underlying buffer.
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// Extend the index so every match start `< upto` is findable.
+    pub fn index_to(&mut self, upto: usize) {
+        let limit = upto.min(self.prev.len());
+        while self.indexed_to < limit {
+            let h = key4(self.data, self.indexed_to) as usize;
+            self.prev[self.indexed_to] = self.head[h];
+            self.head[h] = self.indexed_to as u32;
+            self.indexed_to += 1;
+        }
+    }
+
+    /// Longest match between `needle[npos..]` and this buffer, restricted
+    /// to match starts `< window_end`, walking at most `max_chain` chain
+    /// links. Returns `(buffer_pos, len)` of the best match with
+    /// `len >= MIN_MATCH`, or `None`.
+    pub fn longest_match(
+        &self,
+        needle: &[u8],
+        npos: usize,
+        window_end: usize,
+        max_chain: u32,
+    ) -> Option<(usize, usize)> {
+        if npos + MIN_MATCH > needle.len() {
+            return None;
+        }
+        let h = key4(needle, npos) as usize;
+        let mut cand = self.head[h];
+        let max_len = (needle.len() - npos).min(MAX_MATCH);
+        let mut best: Option<(usize, usize)> = None;
+        let mut chain = max_chain;
+        while cand != NIL && chain > 0 {
+            let cpos = cand as usize;
+            if cpos < window_end {
+                let len = common_prefix(&self.data[cpos..], &needle[npos..], max_len);
+                if len >= MIN_MATCH && best.is_none_or(|(_, bl)| len > bl) {
+                    best = Some((cpos, len));
+                    if len == max_len {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[cpos_index(cand)];
+            chain -= 1;
+        }
+        best
+    }
+}
+
+#[inline]
+fn cpos_index(cand: u32) -> usize {
+    cand as usize
+}
+
+/// Length of the common prefix of `a` and `b`, capped at `max`.
+#[inline]
+pub fn common_prefix(a: &[u8], b: &[u8], max: usize) -> usize {
+    let n = a.len().min(b.len()).min(max);
+    // Compare 8 bytes at a time.
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        if x != y {
+            return i + ((x ^ y).trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// A token of the LZ77 parse of a buffer against itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes starting `dist` bytes back.
+    Match {
+        /// Distance back from the current position (≥ 1).
+        dist: u32,
+        /// Match length (`MIN_MATCH..=MAX_MATCH`).
+        len: u32,
+    },
+}
+
+/// Greedy-with-lazy LZ77 parse of `data` against itself (zlib-style
+/// one-step lazy matching), window capped at `max_dist`.
+pub fn parse(data: &[u8], max_dist: usize, max_chain: u32) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 4 + 16);
+    let mut chains = HashChains::new(data);
+    let mut pos = 0usize;
+    let mut pending: Option<(usize, usize)> = None; // match found at pos-1
+    while pos < data.len() {
+        chains.index_to(pos);
+        let window_start = pos.saturating_sub(max_dist);
+        let found = chains
+            .longest_match(data, pos, pos, max_chain)
+            .filter(|&(mpos, _)| mpos >= window_start);
+        match (pending.take(), found) {
+            (Some((ppos, plen)), Some((mpos, mlen))) if mlen > plen => {
+                // The lazy probe won: emit the previous byte as a literal
+                // and hold the new match as pending.
+                tokens.push(Token::Literal(data[pos - 1]));
+                pending = Some((mpos, mlen));
+                let _ = ppos;
+                pos += 1;
+            }
+            (Some((ppos, plen)), _) => {
+                // Previous match stands; it starts at pos-1.
+                tokens.push(Token::Match {
+                    dist: ((pos - 1) - ppos) as u32,
+                    len: plen as u32,
+                });
+                pos = pos - 1 + plen;
+            }
+            (None, Some((mpos, mlen))) => {
+                if pos + 1 < data.len() && mlen < 64 {
+                    // Defer: maybe the match starting at pos+1 is longer.
+                    pending = Some((mpos, mlen));
+                    pos += 1;
+                } else {
+                    tokens.push(Token::Match {
+                        dist: (pos - mpos) as u32,
+                        len: mlen as u32,
+                    });
+                    pos += mlen;
+                }
+            }
+            (None, None) => {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+        }
+    }
+    if let Some((ppos, plen)) = pending {
+        // Pending match at the final position.
+        let start = data.len() - 1;
+        let plen = plen.min(data.len() - start);
+        if plen >= MIN_MATCH {
+            tokens.push(Token::Match {
+                dist: (start - ppos) as u32,
+                len: plen as u32,
+            });
+        } else {
+            tokens.push(Token::Literal(data[start]));
+        }
+    }
+    tokens
+}
+
+/// Expand a token stream back into bytes (for tests and the decompressor).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { dist, len } => {
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    out.push(out[start + i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_expand_roundtrip() {
+        let data = b"abcabcabcabcXabcabcabc the quick brown fox the quick brown fox".to_vec();
+        let tokens = parse(&data, 1 << 15, 64);
+        assert_eq!(expand(&tokens), data);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+    }
+
+    #[test]
+    fn parse_incompressible() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let tokens = parse(&data, 1 << 15, 64);
+        assert_eq!(expand(&tokens), data);
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+    }
+
+    #[test]
+    fn parse_empty_and_tiny() {
+        assert!(parse(b"", 1 << 15, 64).is_empty());
+        let tokens = parse(b"abc", 1 << 15, 64);
+        assert_eq!(expand(&tokens), b"abc");
+    }
+
+    #[test]
+    fn parse_overlapping_run() {
+        // Classic RLE-via-LZ: dist 1, long len.
+        let data = vec![b'x'; 300];
+        let tokens = parse(&data, 1 << 15, 64);
+        assert_eq!(expand(&tokens), data);
+        assert!(tokens.len() < 10);
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        let mut data = b"HEADER-pattern-pattern".to_vec();
+        data.extend(std::iter::repeat_n(0u8, 100));
+        data.extend_from_slice(b"HEADER-pattern-pattern");
+        let tokens = parse(&data, 16, 64);
+        assert_eq!(expand(&tokens), data);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!(*dist <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn common_prefix_cases() {
+        assert_eq!(common_prefix(b"abcdef", b"abcxef", 10), 3);
+        assert_eq!(common_prefix(b"same", b"same", 10), 4);
+        assert_eq!(common_prefix(b"", b"x", 10), 0);
+        assert_eq!(common_prefix(b"aaaaaaaaaaaa", b"aaaaaaaaaaaa", 5), 5);
+        // 8-byte fast path divergence in second word
+        assert_eq!(common_prefix(b"0123456789abXdef", b"0123456789abYdef", 16), 12);
+    }
+
+    #[test]
+    fn longest_match_finds_best() {
+        let hay = b"xxx needle-short needle-long-version xxx";
+        let chains = HashChains::new_full(hay);
+        let needle = b"needle-long-ver";
+        let (pos, len) = chains.longest_match(needle, 0, hay.len(), 64).unwrap();
+        assert_eq!(&hay[pos..pos + len], &needle[..len]);
+        assert!(len >= 12);
+    }
+}

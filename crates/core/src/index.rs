@@ -1,0 +1,165 @@
+//! The client's position index: where in the old file does each hash
+//! value occur?
+//!
+//! For each round with global hashes, the client scans `f_old` once with
+//! the rolling decomposable checksum at the round's window size and
+//! stores `truncated hash → positions`. An incoming global hash then
+//! finds its candidate positions in O(1) — the same trick as rsync's
+//! hash table, one scan per block size (this is the "repeated passes over
+//! the data" the paper's CPU discussion refers to).
+
+use msync_hash::decomposable::{DecomposableAdler, DecomposableDigest};
+use msync_hash::rolling::scan_rolling;
+use msync_hash::truncate_bits;
+use std::collections::HashMap;
+
+/// Hash-value → old-file positions for one window size.
+#[derive(Debug)]
+pub struct PositionIndex {
+    map: HashMap<u64, Vec<u32>>,
+    window: usize,
+    bits: u32,
+}
+
+impl PositionIndex {
+    /// Scan `old` at `window` bytes, keeping up to `max_positions`
+    /// positions per `bits`-bit hash value.
+    pub fn build(old: &[u8], window: usize, bits: u32, max_positions: usize) -> Self {
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        if window > 0 && old.len() >= window {
+            let mut h = DecomposableAdler::new();
+            scan_rolling(&mut h, old, window, |pos, value| {
+                let key = truncate_bits(value, bits);
+                let entry = map.entry(key).or_default();
+                if entry.len() < max_positions {
+                    entry.push(pos as u32);
+                }
+            });
+        }
+        Self { map, window, bits }
+    }
+
+    /// Candidate positions for a truncated hash value.
+    pub fn lookup(&self, hash: u64) -> &[u32] {
+        self.map.get(&hash).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Window size this index was built for.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Hash width this index was built for.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+/// Compare a `bits`-bit hash against a single predicted position
+/// (continuation probes): does `old[pos..pos+len]` hash to `target`?
+pub fn matches_at(old: &[u8], pos: i64, len: usize, bits: u32, target: u64) -> bool {
+    if pos < 0 || (pos as usize) + len > old.len() {
+        return false;
+    }
+    let d = DecomposableDigest::of(&old[pos as usize..pos as usize + len]);
+    d.prefix(bits) == target
+}
+
+/// Scan the neighborhood `[lo, hi)` of the old file for a window whose
+/// `bits`-bit hash equals `target` (local hashes). Returns the first
+/// matching position.
+pub fn scan_neighborhood(old: &[u8], lo: i64, hi: i64, len: usize, bits: u32, target: u64) -> Option<u64> {
+    let lo = lo.max(0) as usize;
+    let hi = (hi.max(0) as usize).min(old.len());
+    if len == 0 || lo + len > hi {
+        return None;
+    }
+    let region = &old[lo..hi];
+    let mut found = None;
+    let mut h = DecomposableAdler::new();
+    scan_rolling(&mut h, region, len, |pos, value| {
+        if found.is_none() && truncate_bits(value, bits) == target {
+            found = Some((lo + pos) as u64);
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<u8> {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn index_finds_every_block() {
+        let old = data(2048);
+        let idx = PositionIndex::build(&old, 64, 30, 4);
+        for start in (0..2048 - 64).step_by(64) {
+            let h = DecomposableDigest::of(&old[start..start + 64]).prefix(30);
+            let positions = idx.lookup(h);
+            assert!(positions.contains(&(start as u32)), "position {start} missing");
+        }
+    }
+
+    #[test]
+    fn lookup_missing_value_empty() {
+        let old = data(256);
+        let idx = PositionIndex::build(&old, 32, 24, 4);
+        // A value that cannot be a 24-bit truncation.
+        assert!(idx.lookup(1 << 40).is_empty());
+    }
+
+    #[test]
+    fn max_positions_cap() {
+        let old = vec![0u8; 1000]; // every window identical
+        let idx = PositionIndex::build(&old, 16, 20, 3);
+        let h = DecomposableDigest::of(&old[..16]).prefix(20);
+        assert_eq!(idx.lookup(h).len(), 3);
+    }
+
+    #[test]
+    fn window_longer_than_file() {
+        let idx = PositionIndex::build(b"short", 64, 20, 4);
+        assert!(idx.map.is_empty());
+        assert_eq!(idx.window(), 64);
+        assert_eq!(idx.bits(), 20);
+    }
+
+    #[test]
+    fn matches_at_predicted_position() {
+        let old = data(512);
+        let target = DecomposableDigest::of(&old[100..132]).prefix(4);
+        assert!(matches_at(&old, 100, 32, 4, target));
+        assert!(!matches_at(&old, -1, 32, 4, target));
+        assert!(!matches_at(&old, 500, 32, 4, target)); // out of bounds
+    }
+
+    #[test]
+    fn neighborhood_scan_finds_shifted_match() {
+        let old = data(1024);
+        let target = DecomposableDigest::of(&old[300..364]).prefix(24);
+        let pos = scan_neighborhood(&old, 250, 420, 64, 24, target);
+        assert_eq!(pos, Some(300));
+        // Outside the window: not found.
+        assert_eq!(scan_neighborhood(&old, 0, 200, 64, 24, target), None);
+    }
+
+    #[test]
+    fn neighborhood_degenerate_ranges() {
+        let old = data(128);
+        assert_eq!(scan_neighborhood(&old, 100, 50, 16, 8, 0), None);
+        assert_eq!(scan_neighborhood(&old, -50, -10, 16, 8, 0), None);
+        assert_eq!(scan_neighborhood(&old, 0, 128, 0, 8, 0), None);
+    }
+}

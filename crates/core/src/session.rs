@@ -1,0 +1,929 @@
+//! The multi-round synchronization session (paper §5.6).
+//!
+//! One session synchronizes one file. The exchange, exactly as in
+//! Figure 5.2 of the paper:
+//!
+//! ```text
+//! client                                server
+//!   │ ── request: old_len, old fingerprint ──▶ │
+//!   │ ◀─ setup: new_len, new fingerprint      │
+//!   │    + hashes for the first block size ── │   round 0
+//!   │ ── candidate bitmap + verify batch 1 ─▶ │
+//!   │ ◀─ batch-1 results [+ batch wait]       │
+//!   │      ⋮  (optional extra verify batches) │
+//!   │ ◀─ final results + next round hashes ── │   round 1 …
+//!   │      ⋮                                  │
+//!   │ ◀─ final results + delta ────────────── │   delta phase
+//! ```
+//!
+//! Result bitmaps ride on the next server message ("this bitmap is
+//! included into the first roundtrip of the next round"), so a round with
+//! a single verification batch costs exactly one roundtrip.
+//!
+//! Everything both endpoints must agree on — active blocks, probe lists,
+//! hash suppressions, verification groups — is recomputed independently
+//! from shared state ([`Coverage`], the known-hash set, results bitmaps),
+//! so messages carry only hash bits and bitmaps, never structure.
+
+use crate::config::ProtocolConfig;
+use crate::coverage::Coverage;
+use crate::index::{matches_at, scan_neighborhood, PositionIndex};
+use crate::items::{self, global_hash_bits, Item, ItemKind, Side};
+use crate::map::{FileMap, Segment};
+use crate::stats::{LevelStats, SyncStats};
+use crate::verify::{StepOutcome, VerifyState};
+use msync_hash::decomposable::{prefix_decompose_left, prefix_decompose_right, DecomposableDigest};
+use msync_hash::{file_fingerprint, BitReader, BitWriter, Md5};
+use msync_protocol::{frame_wire_size, Direction, Phase, TrafficStats};
+use std::collections::{HashMap, HashSet};
+
+/// Synchronization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// The configuration is invalid.
+    Config(String),
+    /// The two endpoints fell out of lockstep — a protocol bug, never
+    /// expected in a correct build.
+    Desync(&'static str),
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Desync(what) => write!(f, "protocol desync: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// Result of a session.
+#[derive(Debug, Clone)]
+pub struct SyncOutcome {
+    /// The client's reconstruction of the server's file (always exact —
+    /// residual hash failures trigger the full-file fallback).
+    pub reconstructed: Vec<u8>,
+    /// Cost and per-level statistics.
+    pub stats: SyncStats,
+    /// Whether the whole-file fallback fired.
+    pub fell_back: bool,
+}
+
+/// One logical message part with its accounting phase.
+#[derive(Debug)]
+struct Part {
+    phase: Phase,
+    payload: Vec<u8>,
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SState {
+    AwaitCandidates,
+    AwaitBatch,
+    AwaitMaybeResend,
+    Done,
+}
+
+struct ServerSession<'a> {
+    new: &'a [u8],
+    cfg: &'a ProtocolConfig,
+    coverage: Coverage,
+    known_hashes: HashSet<(u64, u64)>,
+    global_bits: u32,
+    /// Virtual round index: `level * 2 + subround` (subround 0 = the
+    /// continuation phase of two-phase rounds, 1 = the global phase or
+    /// the whole single-phase round).
+    vidx: u32,
+    /// Probe regions of the pending continuation subround, excluded
+    /// from the same level's global subround (paper §5.4).
+    excluded: Coverage,
+    excluded_level: Option<u32>,
+    items: Vec<Item>,
+    /// Item indices the client flagged as candidates, in item order.
+    candidates: Vec<usize>,
+    verify: Option<VerifyState>,
+    state: SState,
+}
+
+impl<'a> ServerSession<'a> {
+    fn new(new: &'a [u8], cfg: &'a ProtocolConfig) -> Self {
+        Self {
+            new,
+            cfg,
+            coverage: Coverage::new(),
+            known_hashes: HashSet::new(),
+            global_bits: 0,
+            vidx: 0,
+            excluded: Coverage::new(),
+            excluded_level: None,
+            items: Vec::new(),
+            candidates: Vec::new(),
+            verify: None,
+            state: SState::Done,
+        }
+    }
+
+    fn on_request(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
+        let mut r = BitReader::new(payload);
+        let old_len = r.read_varint().map_err(|_| SyncError::Desync("request len"))?;
+        let mut old_fp = [0u8; 16];
+        for b in old_fp.iter_mut() {
+            *b = r.read_bits(8).map_err(|_| SyncError::Desync("request fp"))? as u8;
+        }
+        let new_fp = file_fingerprint(self.new);
+        let mut setup = BitWriter::new();
+        if old_fp == new_fp.0 {
+            setup.write_bit(true); // unchanged
+            self.state = SState::Done;
+            return Ok(vec![Part { phase: Phase::Setup, payload: setup.into_bytes() }]);
+        }
+        setup.write_bit(false);
+        setup.write_varint(self.new.len() as u64);
+        for &b in &new_fp.0 {
+            setup.write_bits(b as u64, 8);
+        }
+        self.global_bits = global_hash_bits(old_len, self.cfg.global_extra_bits);
+        let mut parts = vec![Part { phase: Phase::Setup, payload: setup.into_bytes() }];
+        parts.extend(self.advance());
+        Ok(parts)
+    }
+
+    /// Move to the next (sub)round with items, or the delta phase, and
+    /// emit the corresponding part.
+    fn advance(&mut self) -> Vec<Part> {
+        let total = self.cfg.total_levels() * 2;
+        while self.vidx < total {
+            let vidx = self.vidx;
+            self.vidx += 1;
+            let Some((items, level, sub)) = round_items(
+                self.cfg,
+                &self.coverage,
+                &self.known_hashes,
+                self.new.len() as u64,
+                vidx,
+                &self.excluded,
+                self.excluded_level,
+            ) else {
+                continue;
+            };
+            items::extend_known_hashes(&mut self.known_hashes, &items);
+            if self.cfg.cont_first_phase && sub == 0 {
+                // Remember this subround's probe regions for the global
+                // subround of the same level.
+                let mut excl = Coverage::new();
+                for it in &items {
+                    excl.insert(it.new_off, it.len);
+                }
+                self.excluded = excl;
+                self.excluded_level = Some(level);
+            }
+            let mut w = BitWriter::new();
+            w.write_varint(vidx as u64 + 1);
+            for it in &items {
+                let bits = it.wire_bits(self.cfg, self.global_bits);
+                if bits > 0 {
+                    let range = &self.new[it.new_off as usize..(it.new_off + it.len) as usize];
+                    w.write_bits(DecomposableDigest::of(range).prefix(bits), bits);
+                }
+            }
+            self.items = items;
+            self.state = SState::AwaitCandidates;
+            return vec![Part { phase: Phase::Map, payload: w.into_bytes() }];
+        }
+        // Delta phase: reference = known areas in new-file order.
+        let mut reference = Vec::with_capacity(self.coverage.covered_bytes() as usize);
+        for &(s, e) in self.coverage.intervals() {
+            reference.extend_from_slice(&self.new[s as usize..e as usize]);
+        }
+        let delta = msync_compress::delta_encode(&reference, self.new);
+        let mut w = BitWriter::new();
+        w.write_varint(0);
+        let mut payload = w.into_bytes();
+        payload.extend_from_slice(&delta);
+        self.state = SState::AwaitMaybeResend;
+        vec![Part { phase: Phase::Delta, payload }]
+    }
+
+    fn on_client(&mut self, parts: &[Part]) -> Result<Vec<Part>, SyncError> {
+        let part = parts.first().ok_or(SyncError::Desync("empty client message"))?;
+        match self.state {
+            SState::AwaitCandidates => self.on_candidates(&part.payload),
+            SState::AwaitBatch => self.on_batch(&part.payload),
+            SState::AwaitMaybeResend => Ok(self.on_resend()),
+            SState::Done => Err(SyncError::Desync("client message after completion")),
+        }
+    }
+
+    fn on_candidates(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
+        let mut r = BitReader::new(payload);
+        let mut candidates = Vec::new();
+        for i in 0..self.items.len() {
+            if r.read_bit().map_err(|_| SyncError::Desync("candidate bitmap"))? {
+                candidates.push(i);
+            }
+        }
+        self.candidates = candidates;
+        let verify = VerifyState::new(&self.cfg.verify, self.candidates.len());
+        self.verify = Some(verify);
+        self.check_groups(&mut r)
+    }
+
+    fn on_batch(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
+        let mut r = BitReader::new(payload);
+        self.check_groups(&mut r)
+    }
+
+    /// Read the current batch's group hashes from `r`, evaluate them,
+    /// and reply with the results bitmap (+ the next round when done).
+    fn check_groups(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Part>, SyncError> {
+        let verify = self.verify.as_mut().expect("verify state set");
+        if verify.is_trivially_done() {
+            // No candidates at all: nothing to verify, no results bitmap.
+            self.verify = None;
+            return Ok(self.advance());
+        }
+        let bits = verify.batch_config().bits;
+        let mut results = Vec::with_capacity(verify.groups().len());
+        let mut w = BitWriter::new();
+        for group in verify.groups() {
+            let sent = r.read_bits(bits).map_err(|_| SyncError::Desync("group hash"))?;
+            let mut buf = Vec::new();
+            for &cand in group {
+                let it = &self.items[self.candidates[cand]];
+                buf.extend_from_slice(&self.new[it.new_off as usize..(it.new_off + it.len) as usize]);
+            }
+            let ours = Md5::digest_bits(&buf, bits);
+            let passed = ours == sent;
+            results.push(passed);
+            w.write_bit(passed);
+        }
+        let outcome = verify.apply_results(&results);
+        let mut parts = vec![Part { phase: Phase::Map, payload: w.into_bytes() }];
+        match outcome {
+            StepOutcome::NextBatch => {
+                self.state = SState::AwaitBatch;
+            }
+            StepOutcome::Done => {
+                let verify = self.verify.take().expect("verify state set");
+                for &cand in verify.confirmed() {
+                    let it = &self.items[self.candidates[cand]];
+                    self.coverage.insert(it.new_off, it.len);
+                }
+                parts.extend(self.advance());
+            }
+        }
+        Ok(parts)
+    }
+
+    fn on_resend(&mut self) -> Vec<Part> {
+        self.state = SState::Done;
+        vec![Part { phase: Phase::Delta, payload: msync_compress::compress(self.new) }]
+    }
+}
+
+/// Items of virtual round `vidx`, or `None` when the subround is empty
+/// or skipped. Pure function of shared state — both sides call it.
+#[allow(clippy::too_many_arguments)]
+fn round_items(
+    cfg: &ProtocolConfig,
+    coverage: &Coverage,
+    known_hashes: &HashSet<(u64, u64)>,
+    new_len: u64,
+    vidx: u32,
+    excluded: &Coverage,
+    excluded_level: Option<u32>,
+) -> Option<(Vec<Item>, u32, u32)> {
+    let level = vidx / 2;
+    let sub = vidx % 2;
+    let empty = Coverage::new();
+    let (phase, excl) = if cfg.cont_first_phase {
+        if sub == 0 {
+            (items::RoundPhase::ContOnly, &empty)
+        } else {
+            let excl = if excluded_level == Some(level) { excluded } else { &empty };
+            (items::RoundPhase::Global, excl)
+        }
+    } else {
+        if sub == 0 {
+            return None; // single-phase rounds use only subround 1
+        }
+        (items::RoundPhase::Combined, &empty)
+    };
+    let items = items::enumerate_phase(cfg, coverage, known_hashes, new_len, level, phase, excl);
+    (!items.is_empty()).then_some((items, level, sub))
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the states genuinely all await something
+enum CState {
+    AwaitSetup,
+    AwaitSection,
+    AwaitResults,
+    AwaitFull,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    item_idx: usize,
+    old_pos: u64,
+}
+
+enum ClientAction {
+    Reply(Vec<Part>),
+    Done { data: Vec<u8>, fell_back: bool },
+}
+
+struct ClientSession<'a> {
+    old: &'a [u8],
+    cfg: &'a ProtocolConfig,
+    coverage: Coverage,
+    known_hashes: HashSet<(u64, u64)>,
+    /// Transmitted or derived global hash prefixes, for decomposition.
+    hash_store: HashMap<(u64, u64), u64>,
+    map: FileMap,
+    global_bits: u32,
+    new_len: u64,
+    new_fp: [u8; 16],
+    items: Vec<Item>,
+    candidates: Vec<Candidate>,
+    verify: Option<VerifyState>,
+    state: CState,
+    levels: Vec<LevelStats>,
+    delta_bytes: u64,
+    /// Cached position index for the current level's window size.
+    index: Option<PositionIndex>,
+    /// Mirror of the server's §5.4 subround bookkeeping.
+    excluded: Coverage,
+    excluded_level: Option<u32>,
+}
+
+impl<'a> ClientSession<'a> {
+    fn new(old: &'a [u8], cfg: &'a ProtocolConfig) -> Self {
+        Self {
+            old,
+            cfg,
+            coverage: Coverage::new(),
+            known_hashes: HashSet::new(),
+            hash_store: HashMap::new(),
+            map: FileMap::new(),
+            global_bits: global_hash_bits(old.len() as u64, cfg.global_extra_bits),
+            new_len: 0,
+            new_fp: [0; 16],
+            items: Vec::new(),
+            candidates: Vec::new(),
+            verify: None,
+            state: CState::AwaitSetup,
+            levels: Vec::new(),
+            delta_bytes: 0,
+            index: None,
+            excluded: Coverage::new(),
+            excluded_level: None,
+        }
+    }
+
+    fn request(&self) -> Part {
+        let mut w = BitWriter::new();
+        w.write_varint(self.old.len() as u64);
+        for &b in &file_fingerprint(self.old).0 {
+            w.write_bits(b as u64, 8);
+        }
+        Part { phase: Phase::Setup, payload: w.into_bytes() }
+    }
+
+    fn handle(&mut self, parts: Vec<Part>) -> Result<ClientAction, SyncError> {
+        let mut reply: Vec<Part> = Vec::new();
+        for part in parts {
+            match self.state {
+                CState::AwaitSetup => {
+                    let mut r = BitReader::new(&part.payload);
+                    let unchanged = r.read_bit().map_err(|_| SyncError::Desync("setup flag"))?;
+                    if unchanged {
+                        return Ok(ClientAction::Done { data: self.old.to_vec(), fell_back: false });
+                    }
+                    self.new_len = r.read_varint().map_err(|_| SyncError::Desync("new len"))?;
+                    for b in self.new_fp.iter_mut() {
+                        *b = r.read_bits(8).map_err(|_| SyncError::Desync("new fp"))? as u8;
+                    }
+                    self.state = CState::AwaitSection;
+                }
+                CState::AwaitSection => {
+                    let mut r = BitReader::new(&part.payload);
+                    let tag = r.read_varint().map_err(|_| SyncError::Desync("section tag"))?;
+                    if tag == 0 {
+                        // Delta: the rest of the payload (byte-aligned —
+                        // a zero varint is exactly one byte).
+                        let delta = &part.payload[1..];
+                        self.delta_bytes = delta.len() as u64;
+                        let reference = self.map.reference_from_old(self.old);
+                        let result = msync_compress::delta_decode(&reference, delta).ok().filter(
+                            |out| file_fingerprint(out).0 == self.new_fp,
+                        );
+                        match result {
+                            Some(data) => {
+                                return Ok(ClientAction::Done { data, fell_back: false })
+                            }
+                            None => {
+                                // Residual weak-hash failure: request the
+                                // whole file.
+                                let mut w = BitWriter::new();
+                                w.write_bit(true);
+                                self.state = CState::AwaitFull;
+                                return Ok(ClientAction::Reply(vec![Part {
+                                    phase: Phase::Delta,
+                                    payload: w.into_bytes(),
+                                }]));
+                            }
+                        }
+                    }
+                    let vidx = (tag - 1) as u32;
+                    if vidx >= self.cfg.total_levels() * 2 {
+                        return Err(SyncError::Desync("round out of range"));
+                    }
+                    reply.push(self.process_round(vidx, &mut r)?);
+                    self.state = if self.verify.as_ref().is_some_and(|v| !v.is_trivially_done()) {
+                        CState::AwaitResults
+                    } else {
+                        // Zero candidates: the server advances without a
+                        // results bitmap.
+                        self.verify = None;
+                        CState::AwaitSection
+                    };
+                }
+                CState::AwaitResults => {
+                    let mut r = BitReader::new(&part.payload);
+                    let verify = self.verify.as_mut().expect("verify set in AwaitResults");
+                    let mut results = Vec::with_capacity(verify.groups().len());
+                    for _ in 0..verify.groups().len() {
+                        results.push(r.read_bit().map_err(|_| SyncError::Desync("results bitmap"))?);
+                    }
+                    match verify.apply_results(&results) {
+                        StepOutcome::NextBatch => {
+                            let part = self.compose_batch()?;
+                            reply.push(part);
+                        }
+                        StepOutcome::Done => {
+                            let verify = self.verify.take().expect("verify set");
+                            let mut confirmed_count = 0u64;
+                            for &cand in verify.confirmed() {
+                                let c = self.candidates[cand];
+                                let it = &self.items[c.item_idx];
+                                self.coverage.insert(it.new_off, it.len);
+                                self.map.insert(Segment {
+                                    new_off: it.new_off,
+                                    old_off: c.old_pos,
+                                    len: it.len,
+                                });
+                                confirmed_count += 1;
+                            }
+                            if let Some(stats) = self.levels.last_mut() {
+                                stats.confirmed += confirmed_count as usize;
+                            }
+                            self.state = CState::AwaitSection;
+                        }
+                    }
+                }
+                CState::AwaitFull => {
+                    let data = msync_compress::decompress(&part.payload)
+                        .map_err(|_| SyncError::Desync("fallback stream"))?;
+                    return Ok(ClientAction::Done { data, fell_back: true });
+                }
+            }
+        }
+        Ok(ClientAction::Reply(reply))
+    }
+
+    /// Parse one (sub)round's hashes, find candidates, and compose the
+    /// candidate bitmap + first verification batch.
+    fn process_round(&mut self, vidx: u32, r: &mut BitReader<'_>) -> Result<Part, SyncError> {
+        let level = vidx / 2;
+        let d = self.cfg.block_size_at(level) as u64;
+        let Some((items, _, sub)) = round_items(
+            self.cfg,
+            &self.coverage,
+            &self.known_hashes,
+            self.new_len,
+            vidx,
+            &self.excluded,
+            self.excluded_level,
+        ) else {
+            return Err(SyncError::Desync("server sent hashes for an empty round"));
+        };
+        items::extend_known_hashes(&mut self.known_hashes, &items);
+        if self.cfg.cont_first_phase && sub == 0 {
+            let mut excl = Coverage::new();
+            for it in &items {
+                excl.insert(it.new_off, it.len);
+            }
+            self.excluded = excl;
+            self.excluded_level = Some(level);
+        }
+
+        // Lazy per-level position index for full-size global lookups.
+        let needs_index = items.iter().any(|it| {
+            matches!(it.kind, ItemKind::Global { .. }) && it.len == d
+        });
+        if needs_index {
+            let rebuild = self.index.as_ref().is_none_or(|ix| ix.window() != d as usize);
+            if rebuild {
+                self.index = Some(PositionIndex::build(
+                    self.old,
+                    d as usize,
+                    self.global_bits,
+                    self.cfg.max_positions_per_hash,
+                ));
+            }
+        }
+
+        let mut stats = LevelStats {
+            block_size: d as usize,
+            items: items.len(),
+            cont_items: 0,
+            local_items: 0,
+            suppressed: 0,
+            candidates: 0,
+            confirmed: 0,
+        };
+
+        let mut candidates = Vec::new();
+        let mut bitmap = BitWriter::new();
+        for (i, it) in items.iter().enumerate() {
+            let found = match it.kind {
+                ItemKind::Cont { side, anchor_edge } => {
+                    stats.cont_items += 1;
+                    let value = r
+                        .read_bits(self.cfg.cont_bits)
+                        .map_err(|_| SyncError::Desync("cont hash"))?;
+                    self.probe_position(side, anchor_edge, it.len).filter(|&pos| {
+                        matches_at(self.old, pos as i64, it.len as usize, self.cfg.cont_bits, value)
+                    })
+                }
+                ItemKind::Local => {
+                    stats.local_items += 1;
+                    let value = r
+                        .read_bits(self.cfg.local_bits)
+                        .map_err(|_| SyncError::Desync("local hash"))?;
+                    self.local_scan(it, value)
+                }
+                ItemKind::Global { suppressed } => {
+                    let value = match suppressed {
+                        None => {
+                            let v = r
+                                .read_bits(self.global_bits)
+                                .map_err(|_| SyncError::Desync("global hash"))?;
+                            Some(v)
+                        }
+                        Some(der) => {
+                            stats.suppressed += 1;
+                            self.derive_hash(it, der)
+                        }
+                    };
+                    match value {
+                        None => None,
+                        Some(v) => {
+                            self.hash_store.insert((it.new_off, it.len), v);
+                            self.global_lookup(it, v, d)
+                        }
+                    }
+                }
+            };
+            match found {
+                Some(pos) => {
+                    bitmap.write_bit(true);
+                    candidates.push(Candidate { item_idx: i, old_pos: pos });
+                }
+                None => bitmap.write_bit(false),
+            }
+        }
+        stats.candidates = candidates.len();
+        self.levels.push(stats);
+        self.items = items;
+        self.candidates = candidates;
+        let verify = VerifyState::new(&self.cfg.verify, self.candidates.len());
+        self.verify = Some(verify);
+
+        // Compose bitmap + batch-1 hashes in one part.
+        let mut payload = bitmap;
+        self.write_group_hashes(&mut payload);
+        Ok(Part { phase: Phase::Map, payload: payload.into_bytes() })
+    }
+
+    fn compose_batch(&mut self) -> Result<Part, SyncError> {
+        let mut w = BitWriter::new();
+        self.write_group_hashes(&mut w);
+        Ok(Part { phase: Phase::Map, payload: w.into_bytes() })
+    }
+
+    fn write_group_hashes(&mut self, w: &mut BitWriter) {
+        let verify = self.verify.as_ref().expect("verify state set");
+        let bits = if verify.is_trivially_done() { 0 } else { verify.batch_config().bits };
+        for group in verify.groups() {
+            let mut buf = Vec::new();
+            for &cand in group {
+                let c = self.candidates[cand];
+                let it = &self.items[c.item_idx];
+                buf.extend_from_slice(&self.old[c.old_pos as usize..(c.old_pos + it.len) as usize]);
+            }
+            w.write_bits(Md5::digest_bits(&buf, bits), bits);
+        }
+    }
+
+    /// Predicted old-file position of a continuation probe.
+    fn probe_position(&self, side: Side, anchor_edge: u64, len: u64) -> Option<u64> {
+        match side {
+            Side::Left => {
+                let seg = self.map.segment_at(anchor_edge)?;
+                let old_at_edge = seg.old_off + (anchor_edge - seg.new_off);
+                old_at_edge.checked_sub(len)
+            }
+            Side::Right => {
+                let seg = self.map.segment_at(anchor_edge.checked_sub(1)?)?;
+                let old_at_edge = seg.old_off + (anchor_edge - seg.new_off);
+                (old_at_edge + len <= self.old.len() as u64).then_some(old_at_edge)
+            }
+        }
+    }
+
+    /// Neighborhood scan for a local hash.
+    fn local_scan(&self, it: &Item, value: u64) -> Option<u64> {
+        let seg = self.nearest_segment(it.new_off)?;
+        let predicted = seg.old_off as i64 + (it.new_off as i64 - seg.new_off as i64);
+        let w = (self.cfg.local_range_blocks * it.len) as i64;
+        scan_neighborhood(
+            self.old,
+            predicted - w,
+            predicted + w + it.len as i64,
+            it.len as usize,
+            self.cfg.local_bits,
+            value,
+        )
+    }
+
+    fn nearest_segment(&self, new_off: u64) -> Option<&Segment> {
+        let segs = self.map.segments();
+        if segs.is_empty() {
+            return None;
+        }
+        let idx = segs.partition_point(|s| s.new_off <= new_off);
+        let after = segs.get(idx);
+        let before = idx.checked_sub(1).and_then(|i| segs.get(i));
+        match (before, after) {
+            (Some(b), Some(a)) => {
+                let db = new_off.saturating_sub(b.new_end());
+                let da = a.new_off.saturating_sub(new_off);
+                Some(if db <= da { b } else { a })
+            }
+            (Some(b), None) => Some(b),
+            (None, Some(a)) => Some(a),
+            (None, None) => None,
+        }
+    }
+
+    /// Derive a suppressed sibling hash from the parent's and sibling's
+    /// prefixes (paper §5.5). Returns `None` when bookkeeping is missing —
+    /// which would be a desync, surfaced as a lost candidate only.
+    fn derive_hash(&self, it: &Item, der: crate::items::Derivation) -> Option<u64> {
+        let parent = *self.hash_store.get(&(der.parent_off, it.len * 2))?;
+        let sibling = match self.hash_store.get(&(der.sibling_off, it.len)) {
+            Some(&v) => v,
+            None => {
+                // Sibling bytes fully known: compute its prefix directly.
+                let bytes = self.map.bytes_for_new_range(self.old, der.sibling_off, it.len)?;
+                DecomposableDigest::of(&bytes).prefix(self.global_bits)
+            }
+        };
+        Some(if der.is_right {
+            prefix_decompose_right(parent, sibling, self.global_bits, it.len)
+        } else {
+            prefix_decompose_left(parent, sibling, self.global_bits, it.len)
+        })
+    }
+
+    /// Look up a global hash in the position index (full-size blocks) or
+    /// by direct scan (the tail block's odd length).
+    fn global_lookup(&self, it: &Item, value: u64, d: u64) -> Option<u64> {
+        if it.len == d {
+            let index = self.index.as_ref()?;
+            index.lookup(value).first().map(|&p| p as u64)
+        } else {
+            scan_neighborhood(self.old, 0, self.old.len() as i64, it.len as usize, self.global_bits, value)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Synchronize one file: the client holds `old`, the server holds `new`;
+/// returns the client's (always exact) reconstruction plus cost stats.
+pub fn sync_file(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOutcome, SyncError> {
+    cfg.validate().map_err(SyncError::Config)?;
+    let mut client = ClientSession::new(old, cfg);
+    let mut server = ServerSession::new(new, cfg);
+    let mut traffic = TrafficStats::new();
+
+    let req = client.request();
+    traffic.record(Direction::ClientToServer, req.phase, frame_wire_size(req.payload.len()));
+    let mut parts = server.on_request(&req.payload)?;
+    let mut roundtrips = 1u32;
+
+    loop {
+        for p in &parts {
+            traffic.record(Direction::ServerToClient, p.phase, frame_wire_size(p.payload.len()));
+        }
+        match client.handle(parts)? {
+            ClientAction::Done { data, fell_back } => {
+                traffic.roundtrips = roundtrips;
+                let stats = SyncStats {
+                    traffic,
+                    levels: client.levels,
+                    known_bytes: client.map.known_bytes(),
+                    delta_bytes: client.delta_bytes,
+                };
+                return Ok(SyncOutcome { reconstructed: data, stats, fell_back });
+            }
+            ClientAction::Reply(cparts) => {
+                if cparts.is_empty() {
+                    return Err(SyncError::Desync("client had nothing to say"));
+                }
+                for p in &cparts {
+                    traffic.record(Direction::ClientToServer, p.phase, frame_wire_size(p.payload.len()));
+                }
+                roundtrips += 1;
+                parts = server.on_client(&cparts)?;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Channel transport
+// ---------------------------------------------------------------------
+
+/// Wire form of a message part on a real channel: 1 header byte
+/// (bit 0 = more parts follow in this logical message, bits 1..3 =
+/// phase tag) followed by the payload.
+fn part_header(phase: Phase, more: bool) -> u8 {
+    let tag = match phase {
+        Phase::Setup => 0u8,
+        Phase::Map => 1,
+        Phase::Delta => 2,
+    };
+    (tag << 1) | u8::from(more)
+}
+
+fn parse_part_header(b: u8) -> Option<(Phase, bool)> {
+    let phase = match b >> 1 {
+        0 => Phase::Setup,
+        1 => Phase::Map,
+        2 => Phase::Delta,
+        _ => return None,
+    };
+    Some((phase, b & 1 == 1))
+}
+
+fn send_parts(ep: &mut msync_protocol::Endpoint, parts: &[Part]) {
+    for (i, p) in parts.iter().enumerate() {
+        let more = i + 1 < parts.len();
+        let mut frame = Vec::with_capacity(p.payload.len() + 1);
+        frame.push(part_header(p.phase, more));
+        frame.extend_from_slice(&p.payload);
+        ep.set_phase(p.phase);
+        ep.send(frame);
+    }
+}
+
+fn recv_parts(ep: &msync_protocol::Endpoint) -> Result<Vec<Part>, SyncError> {
+    let mut parts = Vec::new();
+    loop {
+        let frame = ep.recv().map_err(|_| SyncError::Desync("peer disconnected"))?;
+        let (&header, payload) =
+            frame.split_first().ok_or(SyncError::Desync("empty frame"))?;
+        let (phase, more) = parse_part_header(header).ok_or(SyncError::Desync("bad part header"))?;
+        parts.push(Part { phase, payload: payload.to_vec() });
+        if !more {
+            return Ok(parts);
+        }
+    }
+}
+
+/// Run the protocol over a real duplex [`msync_protocol::Endpoint`]
+/// pair, with the server on its own thread — the deployment shape of
+/// the library, as opposed to [`sync_file`]'s lockstep in-process
+/// driver. Byte accounting comes from the channel itself (one extra
+/// header byte per message part relative to `sync_file`).
+pub fn sync_over_channel(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOutcome, SyncError> {
+    cfg.validate().map_err(SyncError::Config)?;
+    let (mut client_ep, mut server_ep) = msync_protocol::Endpoint::pair();
+
+    let server_new = new.to_vec();
+    let server_cfg = cfg.clone();
+    let handle = std::thread::spawn(move || -> Result<(), SyncError> {
+        let mut server = ServerSession::new(&server_new, &server_cfg);
+        let req = recv_parts(&server_ep)?;
+        let first = req.first().ok_or(SyncError::Desync("empty request"))?;
+        let mut reply = server.on_request(&first.payload)?;
+        loop {
+            send_parts(&mut server_ep, &reply);
+            if server.state == SState::Done {
+                return Ok(());
+            }
+            match recv_parts(&server_ep) {
+                Ok(parts) => reply = server.on_client(&parts)?,
+                // Client finished and hung up — normal termination for
+                // the states where no further client message is owed.
+                Err(_) => return Ok(()),
+            }
+        }
+    });
+
+    let mut client = ClientSession::new(old, cfg);
+    let req = client.request();
+    send_parts(&mut client_ep, std::slice::from_ref(&req));
+    let result = loop {
+        let parts = recv_parts(&client_ep)?;
+        match client.handle(parts)? {
+            ClientAction::Done { data, fell_back } => break (data, fell_back),
+            ClientAction::Reply(cparts) => {
+                if cparts.is_empty() {
+                    return Err(SyncError::Desync("client had nothing to say"));
+                }
+                send_parts(&mut client_ep, &cparts);
+            }
+        }
+    };
+    let traffic = client_ep.stats();
+    drop(client_ep);
+    handle
+        .join()
+        .map_err(|_| SyncError::Desync("server thread panicked"))??;
+
+    let (data, fell_back) = result;
+    let stats = SyncStats {
+        traffic,
+        levels: client.levels,
+        known_bytes: client.map.known_bytes(),
+        delta_bytes: client.delta_bytes,
+    };
+    Ok(SyncOutcome { reconstructed: data, stats, fell_back })
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::*;
+
+    fn blob(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(2).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn channel_run_matches_in_process_driver() {
+        let old = blob(30_000, 3);
+        let mut new = old.clone();
+        new.splice(12_000..12_050, blob(200, 4));
+        let cfg = ProtocolConfig::default();
+        let a = sync_file(&old, &new, &cfg).unwrap();
+        let b = sync_over_channel(&old, &new, &cfg).unwrap();
+        assert_eq!(a.reconstructed, new);
+        assert_eq!(b.reconstructed, new);
+        // Same protocol content; the channel adds one header byte per
+        // part, so totals agree within that overhead.
+        let diff = b.stats.total_bytes().abs_diff(a.stats.total_bytes());
+        let parts_bound = 4 * (a.stats.traffic.roundtrips as u64 + 2);
+        assert!(diff <= parts_bound, "channel {} vs driver {}", b.stats.total_bytes(), a.stats.total_bytes());
+        assert_eq!(b.stats.traffic.roundtrips, a.stats.traffic.roundtrips);
+        assert_eq!(b.stats.levels, a.stats.levels);
+    }
+
+    #[test]
+    fn channel_run_unchanged_file() {
+        let data = blob(10_000, 5);
+        let out = sync_over_channel(&data, &data, &ProtocolConfig::default()).unwrap();
+        assert_eq!(out.reconstructed, data);
+        assert!(out.stats.total_bytes() < 48);
+    }
+
+    #[test]
+    fn channel_run_empty_to_full() {
+        let new = blob(5_000, 6);
+        let out = sync_over_channel(b"", &new, &ProtocolConfig::default()).unwrap();
+        assert_eq!(out.reconstructed, new);
+    }
+}

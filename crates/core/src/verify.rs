@@ -1,0 +1,178 @@
+//! Match-verification state machine (paper §5.3).
+//!
+//! Candidates found by weak hashes must be verified "beyond a reasonable
+//! doubt". The paper models this as group testing with one-sided errors:
+//! a test asks *are all candidates in this group true matches?* — a group
+//! of true matches always passes; a group containing a false match fails
+//! except with probability `2^-bits`.
+//!
+//! The state machine is driven identically on both endpoints: the group
+//! structure of each batch is a pure function of the candidate count, the
+//! strategy, and the pass/fail results of earlier batches, so only hash
+//! values and result bitmaps ever cross the wire.
+
+use crate::config::{BatchConfig, VerifyStrategy};
+
+/// Verification progress for one round's candidates.
+#[derive(Debug, Clone)]
+pub struct VerifyState {
+    batches: Vec<BatchConfig>,
+    batch_idx: usize,
+    /// Groups of the current batch (indices into the candidate list).
+    groups: Vec<Vec<usize>>,
+    confirmed: Vec<usize>,
+    rejected: Vec<usize>,
+}
+
+/// What happens after a batch's results are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Another batch follows (one more verification roundtrip).
+    NextBatch,
+    /// Verification finished for this round.
+    Done,
+}
+
+impl VerifyState {
+    /// Start verification of `candidate_count` candidates.
+    pub fn new(strategy: &VerifyStrategy, candidate_count: usize) -> Self {
+        let batches = match strategy {
+            VerifyStrategy::PerCandidate { bits } => vec![BatchConfig { group_size: 1, bits: *bits }],
+            VerifyStrategy::GroupTesting { batches } => batches.clone(),
+        };
+        let pending: Vec<usize> = (0..candidate_count).collect();
+        let groups = form_groups(&pending, batches[0].group_size);
+        Self { batches, batch_idx: 0, groups, confirmed: Vec::new(), rejected: Vec::new() }
+    }
+
+    /// The current batch's configuration.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.batches[self.batch_idx]
+    }
+
+    /// Groups awaiting verification in the current batch.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Is there anything to verify at all?
+    pub fn is_trivially_done(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Apply the pass/fail bitmap for the current batch (one bool per
+    /// group, in group order). Returns whether another batch follows.
+    ///
+    /// Members of passing groups are confirmed. Members of failing
+    /// singleton groups are rejected outright. Members of failing larger
+    /// groups are *salvaged* into the next batch when one remains,
+    /// otherwise rejected.
+    pub fn apply_results(&mut self, results: &[bool]) -> StepOutcome {
+        debug_assert_eq!(results.len(), self.groups.len());
+        let mut unresolved = Vec::new();
+        for (group, &passed) in self.groups.iter().zip(results) {
+            if passed {
+                self.confirmed.extend_from_slice(group);
+            } else if group.len() == 1 {
+                self.rejected.extend_from_slice(group);
+            } else {
+                unresolved.extend_from_slice(group);
+            }
+        }
+        self.batch_idx += 1;
+        if unresolved.is_empty() || self.batch_idx >= self.batches.len() {
+            self.rejected.extend_from_slice(&unresolved);
+            self.groups.clear();
+            return StepOutcome::Done;
+        }
+        self.groups = form_groups(&unresolved, self.batches[self.batch_idx].group_size);
+        StepOutcome::NextBatch
+    }
+
+    /// Confirmed candidate indices (valid once `Done`).
+    pub fn confirmed(&self) -> &[usize] {
+        &self.confirmed
+    }
+
+    /// Rejected candidate indices (valid once `Done`).
+    pub fn rejected(&self) -> &[usize] {
+        &self.rejected
+    }
+}
+
+fn form_groups(pending: &[usize], group_size: usize) -> Vec<Vec<usize>> {
+    pending.chunks(group_size.max(1)).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group_strategy() -> VerifyStrategy {
+        VerifyStrategy::GroupTesting {
+            batches: vec![
+                BatchConfig { group_size: 4, bits: 12 },
+                BatchConfig { group_size: 1, bits: 16 },
+            ],
+        }
+    }
+
+    #[test]
+    fn per_candidate_single_batch() {
+        let mut v = VerifyState::new(&VerifyStrategy::PerCandidate { bits: 16 }, 3);
+        assert_eq!(v.groups().len(), 3);
+        assert_eq!(v.apply_results(&[true, false, true]), StepOutcome::Done);
+        assert_eq!(v.confirmed(), &[0, 2]);
+        assert_eq!(v.rejected(), &[1]);
+    }
+
+    #[test]
+    fn group_salvage_flow() {
+        let mut v = VerifyState::new(&group_strategy(), 10);
+        // Groups: [0..4], [4..8], [8..10]
+        assert_eq!(v.groups().len(), 3);
+        assert_eq!(v.batch_config().bits, 12);
+        // Second group fails → its 4 members go to singleton batch 2.
+        assert_eq!(v.apply_results(&[true, false, true]), StepOutcome::NextBatch);
+        assert_eq!(v.groups().len(), 4);
+        assert_eq!(v.batch_config().bits, 16);
+        assert_eq!(v.apply_results(&[true, true, false, true]), StepOutcome::Done);
+        let mut confirmed = v.confirmed().to_vec();
+        confirmed.sort_unstable();
+        assert_eq!(confirmed, vec![0, 1, 2, 3, 4, 5, 7, 8, 9]);
+        assert_eq!(v.rejected(), &[6]);
+    }
+
+    #[test]
+    fn all_pass_first_batch_finishes_early() {
+        let mut v = VerifyState::new(&group_strategy(), 8);
+        assert_eq!(v.apply_results(&[true, true]), StepOutcome::Done);
+        assert_eq!(v.confirmed().len(), 8);
+        assert!(v.rejected().is_empty());
+    }
+
+    #[test]
+    fn failed_group_at_last_batch_rejected_wholesale() {
+        let strategy = VerifyStrategy::GroupTesting {
+            batches: vec![BatchConfig { group_size: 4, bits: 12 }],
+        };
+        let mut v = VerifyState::new(&strategy, 4);
+        assert_eq!(v.apply_results(&[false]), StepOutcome::Done);
+        assert!(v.confirmed().is_empty());
+        assert_eq!(v.rejected().len(), 4);
+    }
+
+    #[test]
+    fn zero_candidates() {
+        let v = VerifyState::new(&group_strategy(), 0);
+        assert!(v.is_trivially_done());
+        assert!(v.groups().is_empty());
+    }
+
+    #[test]
+    fn partial_final_group_smaller() {
+        let v = VerifyState::new(&group_strategy(), 5);
+        assert_eq!(v.groups().len(), 2);
+        assert_eq!(v.groups()[1].len(), 1);
+    }
+}

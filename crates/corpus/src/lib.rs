@@ -1,0 +1,24 @@
+//! Synthetic data sets with the statistical shape of the paper's
+//! evaluation corpora.
+//!
+//! The paper evaluates on gcc 2.7.0→2.7.1 and emacs 19.28→19.29 source
+//! trees and on 10,000 web pages recrawled nightly in Fall 2001 — real
+//! artifacts this reproduction cannot ship. Synchronization cost is a
+//! function of corpus statistics (file count, size distribution, change
+//! fraction, edit clustering), so [`datasets`] regenerates corpora with
+//! those statistics, deterministic per seed; DESIGN.md §5 documents each
+//! substitution. [`fsload`] loads real directory pairs for users who
+//! have them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod edits;
+pub mod fsload;
+pub mod text;
+pub mod versioned;
+
+pub use datasets::{emacs_like, gcc_like, release_pair, web_collection, web_params, ReleaseParams, WebParams};
+pub use edits::{apply_edits, novelty, EditProfile};
+pub use versioned::{Collection, File, VersionedCollection};

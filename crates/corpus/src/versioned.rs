@@ -1,0 +1,113 @@
+//! Versioned collections: a named set of files plus its later versions.
+
+/// One named file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct File {
+    /// Collection-relative path.
+    pub name: String,
+    /// Contents.
+    pub data: Vec<u8>,
+}
+
+/// A set of named files (one version of a collection).
+///
+/// Lookups by name are O(1): the collection keeps a name index, so the
+/// bench harness's per-file baseline loops stay linear in collection
+/// size even at the paper's 10,000-page scale.
+#[derive(Debug, Clone, Default)]
+pub struct Collection {
+    files: Vec<File>,
+    index: std::collections::HashMap<String, usize>,
+}
+
+impl PartialEq for Collection {
+    fn eq(&self, other: &Self) -> bool {
+        self.files == other.files
+    }
+}
+
+impl Eq for Collection {}
+
+impl Collection {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a file. A later push with the same name shadows the earlier
+    /// file in lookups (but both remain in `files()`); generators never
+    /// produce duplicates.
+    pub fn push(&mut self, name: impl Into<String>, data: Vec<u8>) {
+        let name = name.into();
+        self.index.insert(name.clone(), self.files.len());
+        self.files.push(File { name, data });
+    }
+
+    /// All files, in insertion order.
+    pub fn files(&self) -> &[File] {
+        &self.files
+    }
+
+    /// Find a file by name in O(1).
+    pub fn get(&self, name: &str) -> Option<&File> {
+        self.index.get(name).map(|&i| &self.files[i])
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.data.len() as u64).sum()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the collection has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// A base collection plus one entry per later snapshot.
+#[derive(Debug, Clone)]
+pub struct VersionedCollection {
+    /// `versions[0]` is the base; `versions[k]` the k-th update.
+    pub versions: Vec<Collection>,
+}
+
+impl VersionedCollection {
+    /// The (old, new) pair for updating version `from` to version `to`.
+    pub fn pair(&self, from: usize, to: usize) -> (&Collection, &Collection) {
+        (&self.versions[from], &self.versions[to])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_basics() {
+        let mut c = Collection::new();
+        assert!(c.is_empty());
+        c.push("a", vec![1, 2, 3]);
+        c.push("b", vec![4]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_bytes(), 4);
+        assert_eq!(c.get("a").unwrap().data, vec![1, 2, 3]);
+        assert!(c.get("zzz").is_none());
+    }
+
+    #[test]
+    fn versioned_pair() {
+        let mut base = Collection::new();
+        base.push("x", vec![0]);
+        let mut next = Collection::new();
+        next.push("x", vec![1]);
+        let vc = VersionedCollection { versions: vec![base, next] };
+        let (old, new) = vc.pair(0, 1);
+        assert_eq!(old.get("x").unwrap().data, vec![0]);
+        assert_eq!(new.get("x").unwrap().data, vec![1]);
+    }
+}

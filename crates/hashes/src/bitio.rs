@@ -1,0 +1,228 @@
+//! Bit-level serialization.
+//!
+//! The map-construction phase transmits hash values of arbitrary bit width
+//! (continuation hashes are 3–4 bits, candidate hashes 8–30 bits), plus
+//! per-candidate bitmaps. Packing these tightly is where most of the
+//! paper's savings over rsync's byte-aligned wire format come from, so the
+//! whole protocol serializes through these two types.
+
+/// Accumulates values of arbitrary bit width into a byte buffer, LSB-first.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte of `buf` (0 means byte-aligned).
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of whole bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Append the low `bits` bits of `value` (LSB first). `bits` may be 0
+    /// (a no-op) and at most 64.
+    pub fn write_bits(&mut self, value: u64, bits: u32) {
+        debug_assert!(bits <= 64);
+        let mut remaining = bits;
+        let mut value = if bits < 64 {
+            value & ((1u64 << bits) - 1)
+        } else {
+            value
+        };
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.buf.push(0);
+            }
+            let last = self.buf.last_mut().expect("buffer populated above");
+            let avail = 8 - self.bit_pos;
+            let take = avail.min(remaining);
+            let chunk = (value & ((1u64 << take) - 1)) as u8;
+            *last |= chunk << self.bit_pos;
+            self.bit_pos = (self.bit_pos + take) % 8;
+            value >>= take;
+            remaining -= take;
+        }
+    }
+
+    /// Append a single boolean bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Append a variable-length unsigned integer (7 bits per byte-group,
+    /// continuation bit first). Cheap for the small counts the protocol
+    /// sends, still fine for 64-bit lengths.
+    pub fn write_varint(&mut self, mut value: u64) {
+        loop {
+            let low = value & 0x7F;
+            value >>= 7;
+            self.write_bit(value != 0);
+            self.write_bits(low, 7);
+            if value == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Pad with zero bits to the next byte boundary and return the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes once padded to a byte boundary.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Reads values written by [`BitWriter`], LSB-first.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    bit_pos: usize,
+}
+
+/// Error returned when a [`BitReader`] runs out of input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitReadError;
+
+impl std::fmt::Display for BitReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit reader exhausted")
+    }
+}
+
+impl std::error::Error for BitReadError {}
+
+impl<'a> BitReader<'a> {
+    /// Wrap a byte slice produced by [`BitWriter::into_bytes`].
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, bit_pos: 0 }
+    }
+
+    /// Bits still available (including any zero padding in the last byte).
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.bit_pos
+    }
+
+    /// Read `bits` bits (LSB first). Fails if fewer remain.
+    pub fn read_bits(&mut self, bits: u32) -> Result<u64, BitReadError> {
+        debug_assert!(bits <= 64);
+        if bits as usize > self.remaining_bits() {
+            return Err(BitReadError);
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < bits {
+            let byte = self.buf[self.bit_pos / 8];
+            let offset = (self.bit_pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(bits - got);
+            let chunk = ((byte >> offset) as u64) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            self.bit_pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Read one boolean bit.
+    pub fn read_bit(&mut self) -> Result<bool, BitReadError> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Read a varint written by [`BitWriter::write_varint`].
+    pub fn read_varint(&mut self) -> Result<u64, BitReadError> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let more = self.read_bit()?;
+            let low = self.read_bits(7)?;
+            out |= low << shift;
+            if !more {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(BitReadError);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEAD, 16);
+        w.write_bit(true);
+        w.write_bits(0x1234_5678_9ABC_DEF0, 64);
+        w.write_bits(0, 0); // no-op
+        w.write_bits(0x7F, 7);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(64).unwrap(), 0x1234_5678_9ABC_DEF0);
+        assert_eq!(r.read_bits(7).unwrap(), 0x7F);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(3, 2);
+        assert_eq!(w.bit_len(), 10);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn reader_exhaustion() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1), Err(BitReadError));
+    }
+
+    #[test]
+    fn truncates_value_to_width() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 4); // only low 4 bits kept
+        w.write_bits(0x0, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x0F]);
+    }
+}

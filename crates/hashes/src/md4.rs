@@ -1,0 +1,254 @@
+//! MD4 (RFC 1320).
+//!
+//! rsync's strong per-block checksum is MD4 (the paper: "the reliable
+//! checksum is implemented using MD4, but only two bytes of the MD4 hash
+//! are used since this provides sufficient power"). We implement the full
+//! digest and let the caller truncate.
+//!
+//! MD4 is cryptographically broken; here it is a *collision-improbable
+//! checksum against random corruption*, exactly as rsync uses it, not a
+//! security primitive.
+
+/// Incremental MD4 state.
+#[derive(Debug, Clone)]
+pub struct Md4 {
+    state: [u32; 4],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md4 {
+    fn default() -> Self {
+        Self {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+}
+
+impl Md4 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.process(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.process(block.try_into().expect("64-byte block"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and produce the 16-byte digest.
+    pub fn finish(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manual absorption of the length so `self.len` bookkeeping in
+        // `update` doesn't matter anymore.
+        self.buf[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buf;
+        self.process(&block);
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest.
+    pub fn digest(data: &[u8]) -> [u8; 16] {
+        let mut s = Self::new();
+        s.update(data);
+        s.finish()
+    }
+
+    fn process(&mut self, block: &[u8; 64]) {
+        let mut x = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            x[i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+
+        #[inline(always)]
+        fn f(x: u32, y: u32, z: u32) -> u32 {
+            (x & y) | (!x & z)
+        }
+        #[inline(always)]
+        fn g(x: u32, y: u32, z: u32) -> u32 {
+            (x & y) | (x & z) | (y & z)
+        }
+        #[inline(always)]
+        fn h(x: u32, y: u32, z: u32) -> u32 {
+            x ^ y ^ z
+        }
+
+        macro_rules! r1 {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $k:expr, $s:expr) => {
+                $a = $a
+                    .wrapping_add(f($b, $c, $d))
+                    .wrapping_add(x[$k])
+                    .rotate_left($s);
+            };
+        }
+        macro_rules! r2 {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $k:expr, $s:expr) => {
+                $a = $a
+                    .wrapping_add(g($b, $c, $d))
+                    .wrapping_add(x[$k])
+                    .wrapping_add(0x5A82_7999)
+                    .rotate_left($s);
+            };
+        }
+        macro_rules! r3 {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $k:expr, $s:expr) => {
+                $a = $a
+                    .wrapping_add(h($b, $c, $d))
+                    .wrapping_add(x[$k])
+                    .wrapping_add(0x6ED9_EBA1)
+                    .rotate_left($s);
+            };
+        }
+
+        // Round 1
+        r1!(a, b, c, d, 0, 3);
+        r1!(d, a, b, c, 1, 7);
+        r1!(c, d, a, b, 2, 11);
+        r1!(b, c, d, a, 3, 19);
+        r1!(a, b, c, d, 4, 3);
+        r1!(d, a, b, c, 5, 7);
+        r1!(c, d, a, b, 6, 11);
+        r1!(b, c, d, a, 7, 19);
+        r1!(a, b, c, d, 8, 3);
+        r1!(d, a, b, c, 9, 7);
+        r1!(c, d, a, b, 10, 11);
+        r1!(b, c, d, a, 11, 19);
+        r1!(a, b, c, d, 12, 3);
+        r1!(d, a, b, c, 13, 7);
+        r1!(c, d, a, b, 14, 11);
+        r1!(b, c, d, a, 15, 19);
+        // Round 2
+        r2!(a, b, c, d, 0, 3);
+        r2!(d, a, b, c, 4, 5);
+        r2!(c, d, a, b, 8, 9);
+        r2!(b, c, d, a, 12, 13);
+        r2!(a, b, c, d, 1, 3);
+        r2!(d, a, b, c, 5, 5);
+        r2!(c, d, a, b, 9, 9);
+        r2!(b, c, d, a, 13, 13);
+        r2!(a, b, c, d, 2, 3);
+        r2!(d, a, b, c, 6, 5);
+        r2!(c, d, a, b, 10, 9);
+        r2!(b, c, d, a, 14, 13);
+        r2!(a, b, c, d, 3, 3);
+        r2!(d, a, b, c, 7, 5);
+        r2!(c, d, a, b, 11, 9);
+        r2!(b, c, d, a, 15, 13);
+        // Round 3
+        r3!(a, b, c, d, 0, 3);
+        r3!(d, a, b, c, 8, 9);
+        r3!(c, d, a, b, 4, 11);
+        r3!(b, c, d, a, 12, 15);
+        r3!(a, b, c, d, 2, 3);
+        r3!(d, a, b, c, 10, 9);
+        r3!(c, d, a, b, 6, 11);
+        r3!(b, c, d, a, 14, 15);
+        r3!(a, b, c, d, 1, 3);
+        r3!(d, a, b, c, 9, 9);
+        r3!(c, d, a, b, 5, 11);
+        r3!(b, c, d, a, 13, 15);
+        r3!(a, b, c, d, 3, 3);
+        r3!(d, a, b, c, 11, 9);
+        r3!(c, d, a, b, 7, 11);
+        r3!(b, c, d, a, 15, 15);
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: [u8; 16]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc1320_vectors() {
+        assert_eq!(hex(Md4::digest(b"")), "31d6cfe0d16ae931b73c59d7e0c089c0");
+        assert_eq!(hex(Md4::digest(b"a")), "bde52cb31de33e46245e05fbdbd6fb24");
+        assert_eq!(hex(Md4::digest(b"abc")), "a448017aaf21d8525fc10ae87aa6729d");
+        assert_eq!(
+            hex(Md4::digest(b"message digest")),
+            "d9130a8164549fe818874806e1c7014b"
+        );
+        assert_eq!(
+            hex(Md4::digest(b"abcdefghijklmnopqrstuvwxyz")),
+            "d79e1c308aa5bbcdeea8ed63df412da9"
+        );
+        assert_eq!(
+            hex(Md4::digest(
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+            )),
+            "043f8582f241db351ce627e153e7f0e4"
+        );
+        assert_eq!(
+            hex(Md4::digest(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )),
+            "e33b4ddc9c38f2199c3e7b164fcc0536"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut s = Md4::new();
+        for chunk in data.chunks(97) {
+            s.update(chunk);
+        }
+        assert_eq!(s.finish(), Md4::digest(&data));
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 56-byte padding boundary and 64-byte block.
+        for len in 54..70usize {
+            let data = vec![0xA5u8; len];
+            let mut s = Md4::new();
+            s.update(&data[..len / 2]);
+            s.update(&data[len / 2..]);
+            assert_eq!(s.finish(), Md4::digest(&data), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Rabin–Karp polynomial rolling hash.
+//!
+//! The related work the paper builds on (Karp–Rabin fingerprinting; LBFS,
+//! Pastiche, value-based web caching) uses polynomial fingerprints, both
+//! for rolling comparison and for content-defined chunk boundaries. We
+//! provide it as an alternative rolling hash and for the ablation bench
+//! comparing rolling-hash families.
+
+use crate::rolling::RollingHash;
+
+/// Modulus: the Mersenne prime 2^61 − 1, giving cheap reduction and a
+/// near-uniform 61-bit output.
+pub const MOD: u64 = (1 << 61) - 1;
+
+/// Multiplication base (any value in `[2, MOD)` with large multiplicative
+/// order works; this one is fixed as part of the protocol).
+pub const BASE: u64 = 0x1_0000_01B3; // FNV-ish constant, < 2^33
+
+#[inline]
+fn mod_mul(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % MOD as u128) as u64
+}
+
+#[inline]
+fn mod_add(a: u64, b: u64) -> u64 {
+    let s = a + b;
+    if s >= MOD {
+        s - MOD
+    } else {
+        s
+    }
+}
+
+#[inline]
+fn mod_sub(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + MOD - b
+    }
+}
+
+#[inline]
+fn mod_pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= MOD;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base);
+        }
+        base = mod_mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Rolling Rabin–Karp hash over a fixed-length window.
+///
+/// `H(s) = Σᵢ sᵢ · BASE^(L−1−i) mod (2^61 − 1)`.
+#[derive(Debug, Clone, Default)]
+pub struct RabinHash {
+    value: u64,
+    /// `BASE^(L−1)`, used to remove the leaving byte.
+    top_power: u64,
+    len: usize,
+}
+
+impl RabinHash {
+    /// Create an empty state; call [`RollingHash::reset`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One-shot fingerprint of a block.
+    pub fn fingerprint(data: &[u8]) -> u64 {
+        let mut h = Self::new();
+        h.reset(data);
+        h.value()
+    }
+}
+
+impl RollingHash for RabinHash {
+    fn reset(&mut self, data: &[u8]) {
+        let mut v = 0u64;
+        for &byte in data {
+            v = mod_add(mod_mul(v, BASE), byte as u64 + 1);
+        }
+        self.value = v;
+        self.len = data.len();
+        self.top_power = if data.is_empty() {
+            0
+        } else {
+            mod_pow(BASE, data.len() as u64 - 1)
+        };
+    }
+
+    fn roll(&mut self, out: u8, in_: u8) {
+        let without_out = mod_sub(self.value, mod_mul(out as u64 + 1, self.top_power));
+        self.value = mod_add(mod_mul(without_out, BASE), in_ as u64 + 1);
+    }
+
+    fn value(&self) -> u64 {
+        self.value
+    }
+
+    fn window_len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_matches_recompute() {
+        let data: Vec<u8> = (0..500usize).map(|i| ((i * 97 + 13) % 256) as u8).collect();
+        let window = 48;
+        let mut h = RabinHash::new();
+        h.reset(&data[..window]);
+        for start in 1..(data.len() - window) {
+            h.roll(data[start - 1], data[start + window - 1]);
+            assert_eq!(
+                h.value(),
+                RabinHash::fingerprint(&data[start..start + window]),
+                "offset {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinguishes_zero_prefixes() {
+        // The +1 byte offset ensures leading zero bytes change the hash.
+        assert_ne!(RabinHash::fingerprint(b"\0abc"), RabinHash::fingerprint(b"abc"));
+    }
+
+    #[test]
+    fn mod_pow_basics() {
+        assert_eq!(mod_pow(2, 0), 1);
+        assert_eq!(mod_pow(2, 10), 1024);
+        assert_eq!(mod_pow(MOD - 1, 2), 1); // (-1)^2 = 1
+    }
+
+    #[test]
+    fn value_below_modulus() {
+        let data = vec![0xFFu8; 1000];
+        assert!(RabinHash::fingerprint(&data) < MOD);
+    }
+}

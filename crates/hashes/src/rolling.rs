@@ -1,0 +1,156 @@
+//! Rolling checksums.
+//!
+//! A rolling checksum over a window of fixed length `L` can be updated in
+//! constant time when the window slides right by one byte. rsync uses this
+//! to compare a client block hash against *every* offset of the server
+//! file; msync uses it the same way for global hashes.
+
+/// A checksum over a fixed-length window that supports O(1) sliding.
+pub trait RollingHash {
+    /// Initialize the window over `data` (the window length is `data.len()`).
+    fn reset(&mut self, data: &[u8]);
+
+    /// Slide the window one byte to the right: `out` leaves on the left,
+    /// `in_` enters on the right.
+    fn roll(&mut self, out: u8, in_: u8);
+
+    /// Current hash value (full width; truncate for transmission).
+    fn value(&self) -> u64;
+
+    /// Window length this hash was initialized with.
+    fn window_len(&self) -> usize;
+}
+
+/// The classic rsync rolling checksum (Tridgell & MacKerras).
+///
+/// Two 16-bit sums: `a = Σ sᵢ` and `b = Σ (L−i)·sᵢ`, combined as
+/// `a | b << 16`. Fast but weak — rsync pairs it with a strong MD4 hash;
+/// msync instead pairs weak hashes with an optimized verification phase.
+#[derive(Debug, Clone, Default)]
+pub struct RsyncRolling {
+    a: u32,
+    b: u32,
+    len: usize,
+}
+
+impl RsyncRolling {
+    /// Create an empty checksum; call [`RollingHash::reset`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: checksum of a whole block.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut h = Self::new();
+        h.reset(data);
+        h.value() as u32
+    }
+}
+
+impl RollingHash for RsyncRolling {
+    fn reset(&mut self, data: &[u8]) {
+        let mut a = 0u32;
+        let mut b = 0u32;
+        let len = data.len() as u32;
+        for (i, &byte) in data.iter().enumerate() {
+            a = a.wrapping_add(byte as u32);
+            b = b.wrapping_add((len - i as u32).wrapping_mul(byte as u32));
+        }
+        self.a = a & 0xFFFF;
+        self.b = b & 0xFFFF;
+        self.len = data.len();
+    }
+
+    fn roll(&mut self, out: u8, in_: u8) {
+        let l = self.len as u32;
+        self.a = self
+            .a
+            .wrapping_sub(out as u32)
+            .wrapping_add(in_ as u32)
+            & 0xFFFF;
+        self.b = self
+            .b
+            .wrapping_sub(l.wrapping_mul(out as u32))
+            .wrapping_add(self.a)
+            & 0xFFFF;
+        // NOTE: `self.a` above is already the *new* a, matching rsync's
+        // recurrence b' = b − L·out + a'.
+    }
+
+    fn value(&self) -> u64 {
+        (self.a | (self.b << 16)) as u64
+    }
+
+    fn window_len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Scan `haystack` with a rolling hash, calling `f(offset, value)` for the
+/// window starting at every offset in `0..=haystack.len()-window`.
+///
+/// Returns immediately if `haystack` is shorter than `window` or the window
+/// is empty.
+pub fn scan_rolling<H: RollingHash>(hash: &mut H, haystack: &[u8], window: usize, mut f: impl FnMut(usize, u64)) {
+    if window == 0 || haystack.len() < window {
+        return;
+    }
+    hash.reset(&haystack[..window]);
+    f(0, hash.value());
+    for i in window..haystack.len() {
+        hash.roll(haystack[i - window], haystack[i]);
+        f(i - window + 1, hash.value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_matches_recompute() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 37 % 251) as u8).collect();
+        let window = 16;
+        let mut rolled = RsyncRolling::new();
+        rolled.reset(&data[..window]);
+        for start in 1..(data.len() - window) {
+            rolled.roll(data[start - 1], data[start + window - 1]);
+            let mut fresh = RsyncRolling::new();
+            fresh.reset(&data[start..start + window]);
+            assert_eq!(rolled.value(), fresh.value(), "offset {start}");
+        }
+    }
+
+    #[test]
+    fn scan_visits_every_offset() {
+        let data = b"abcdefghij";
+        let mut h = RsyncRolling::new();
+        let mut offsets = Vec::new();
+        scan_rolling(&mut h, data, 3, |off, _| offsets.push(off));
+        assert_eq!(offsets, (0..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_short_haystack_is_empty() {
+        let mut h = RsyncRolling::new();
+        let mut called = false;
+        scan_rolling(&mut h, b"ab", 3, |_, _| called = true);
+        assert!(!called);
+        scan_rolling(&mut h, b"ab", 0, |_, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn checksum_differs_for_permutation_sometimes() {
+        // The classic checksum's `b` component is position-weighted, so a
+        // swap of two distinct bytes changes it.
+        let x = RsyncRolling::checksum(b"abcd");
+        let y = RsyncRolling::checksum(b"abdc");
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        assert_eq!(RsyncRolling::checksum(b""), 0);
+    }
+}

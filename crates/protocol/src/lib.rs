@@ -1,0 +1,20 @@
+//! Protocol substrate: channels, traffic accounting, and link models.
+//!
+//! The synchronization algorithms in `msync-rsync` and `msync-core` are
+//! written against this crate's [`Endpoint`] abstraction — an in-memory
+//! duplex channel whose frames are charged, with framing overhead, to
+//! per-direction per-phase byte counters. That makes every experiment's
+//! cost numbers exact rather than estimated, and lets the [`LinkModel`]
+//! translate them into wall-clock time on the slow links the paper
+//! targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod link;
+pub mod stats;
+
+pub use channel::{frame_wire_size, Disconnected, Endpoint, Frame};
+pub use link::LinkModel;
+pub use stats::{Direction, Phase, TrafficStats};

@@ -1,0 +1,94 @@
+//! Slow-link cost model.
+//!
+//! The paper's motivation is "very large collections ... over slow
+//! connections": a protocol's value is the wall-clock time its traffic
+//! needs on links like dial-up, DSL, or cable. This model converts
+//! [`TrafficStats`] into an estimated transfer time, charging bandwidth
+//! per direction plus one round-trip latency per protocol roundtrip —
+//! which is exactly the trade the multi-round protocol makes (more
+//! roundtrips for fewer bytes), and lets experiments confirm the paper's
+//! claim that for large collections the extra roundtrips are negligible
+//! because many files share them.
+
+use crate::stats::TrafficStats;
+use std::time::Duration;
+
+/// A directional bandwidth + latency model of a network path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Client upload bandwidth in bits/second.
+    pub up_bps: f64,
+    /// Client download bandwidth in bits/second.
+    pub down_bps: f64,
+    /// Round-trip latency.
+    pub rtt: Duration,
+}
+
+impl LinkModel {
+    /// 56 kbit/s dial-up modem, ~150 ms RTT.
+    pub fn dialup() -> Self {
+        Self { up_bps: 33_600.0, down_bps: 56_000.0, rtt: Duration::from_millis(150) }
+    }
+
+    /// Early-2000s ADSL: 128 kbit/s up, 768 kbit/s down, 40 ms RTT — the
+    /// "cable or DSL links" the paper's web application targets.
+    pub fn dsl() -> Self {
+        Self { up_bps: 128_000.0, down_bps: 768_000.0, rtt: Duration::from_millis(40) }
+    }
+
+    /// Cable: 256 kbit/s up, 2 Mbit/s down, 25 ms RTT.
+    pub fn cable() -> Self {
+        Self { up_bps: 256_000.0, down_bps: 2_000_000.0, rtt: Duration::from_millis(25) }
+    }
+
+    /// A symmetric T1 line (1.544 Mbit/s), 15 ms RTT.
+    pub fn t1() -> Self {
+        Self { up_bps: 1_544_000.0, down_bps: 1_544_000.0, rtt: Duration::from_millis(15) }
+    }
+
+    /// Estimated wall-clock time to carry `stats` over this link.
+    pub fn estimate(&self, stats: &TrafficStats) -> Duration {
+        let up = stats.total_c2s() as f64 * 8.0 / self.up_bps;
+        let down = stats.total_s2c() as f64 * 8.0 / self.down_bps;
+        let latency = self.rtt.as_secs_f64() * stats.roundtrips as f64;
+        Duration::from_secs_f64(up + down + latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Direction, Phase};
+
+    #[test]
+    fn estimate_scales_with_bytes() {
+        let mut small = TrafficStats::new();
+        small.record(Direction::ServerToClient, Phase::Delta, 10_000);
+        let mut big = TrafficStats::new();
+        big.record(Direction::ServerToClient, Phase::Delta, 1_000_000);
+        let link = LinkModel::dsl();
+        assert!(link.estimate(&big) > link.estimate(&small));
+    }
+
+    #[test]
+    fn latency_charged_per_roundtrip() {
+        let mut a = TrafficStats::new();
+        a.roundtrips = 1;
+        let mut b = TrafficStats::new();
+        b.roundtrips = 11;
+        let link = LinkModel::dialup();
+        let diff = link.estimate(&b).as_secs_f64() - link.estimate(&a).as_secs_f64();
+        assert!((diff - 1.5).abs() < 1e-9, "10 extra roundtrips at 150ms = 1.5s, got {diff}");
+    }
+
+    #[test]
+    fn asymmetric_directions() {
+        // Same bytes cost more upstream than downstream on DSL.
+        let mut up = TrafficStats::new();
+        up.record(Direction::ClientToServer, Phase::Map, 100_000);
+        let mut down = TrafficStats::new();
+        down.record(Direction::ServerToClient, Phase::Map, 100_000);
+        let link = LinkModel::dsl();
+        assert!(link.estimate(&up) > link.estimate(&down));
+    }
+}

@@ -1,0 +1,157 @@
+//! Traffic accounting.
+//!
+//! Every figure in the paper's evaluation is a statement about *bytes on
+//! the wire per direction* (e.g. Figure 6.1 stacks client→server and
+//! server→client map-phase traffic and the final delta separately), so
+//! the accounting is first-class: channels attribute every frame to a
+//! `(direction, phase)` pair.
+
+use std::fmt;
+
+/// Transfer direction, named from the synchronization client's viewpoint
+/// (the client holds the outdated file, the server the current one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → server (e.g. rsync's block hashes, msync's verification
+    /// hashes and bitmaps).
+    ClientToServer,
+    /// Server → client (e.g. msync's candidate hashes, the final delta).
+    ServerToClient,
+}
+
+/// Protocol phase a frame belongs to, used to split costs the way the
+/// paper's stacked bars do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Per-file fingerprints and session setup.
+    Setup,
+    /// The multi-round map-construction phase.
+    Map,
+    /// The final delta transfer.
+    Delta,
+}
+
+const PHASES: usize = 3;
+
+#[inline]
+fn phase_idx(p: Phase) -> usize {
+    match p {
+        Phase::Setup => 0,
+        Phase::Map => 1,
+        Phase::Delta => 2,
+    }
+}
+
+/// Byte and roundtrip counts for one synchronization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    c2s: [u64; PHASES],
+    s2c: [u64; PHASES],
+    /// Number of communication roundtrips (direction reversals seen by
+    /// the channel, divided by two, rounded up).
+    pub roundtrips: u32,
+}
+
+impl TrafficStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` sent in `dir` during `phase`.
+    pub fn record(&mut self, dir: Direction, phase: Phase, bytes: u64) {
+        match dir {
+            Direction::ClientToServer => self.c2s[phase_idx(phase)] += bytes,
+            Direction::ServerToClient => self.s2c[phase_idx(phase)] += bytes,
+        }
+    }
+
+    /// Bytes sent client→server in `phase`.
+    pub fn c2s(&self, phase: Phase) -> u64 {
+        self.c2s[phase_idx(phase)]
+    }
+
+    /// Bytes sent server→client in `phase`.
+    pub fn s2c(&self, phase: Phase) -> u64 {
+        self.s2c[phase_idx(phase)]
+    }
+
+    /// Total client→server bytes.
+    pub fn total_c2s(&self) -> u64 {
+        self.c2s.iter().sum()
+    }
+
+    /// Total server→client bytes.
+    pub fn total_s2c(&self) -> u64 {
+        self.s2c.iter().sum()
+    }
+
+    /// Total bytes in both directions — the headline cost number.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_c2s() + self.total_s2c()
+    }
+
+    /// Merge another run's stats into this one (collection totals).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..PHASES {
+            self.c2s[i] += other.c2s[i];
+            self.s2c[i] += other.s2c[i];
+        }
+        self.roundtrips = self.roundtrips.max(other.roundtrips);
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} B (map s→c {} B, map c→s {} B, delta {} B, setup {} B, {} roundtrips)",
+            self.total_bytes(),
+            self.s2c(Phase::Map),
+            self.c2s(Phase::Map),
+            self.s2c(Phase::Delta) + self.c2s(Phase::Delta),
+            self.s2c(Phase::Setup) + self.c2s(Phase::Setup),
+            self.roundtrips,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = TrafficStats::new();
+        s.record(Direction::ClientToServer, Phase::Map, 100);
+        s.record(Direction::ServerToClient, Phase::Map, 250);
+        s.record(Direction::ServerToClient, Phase::Delta, 1000);
+        assert_eq!(s.c2s(Phase::Map), 100);
+        assert_eq!(s.s2c(Phase::Map), 250);
+        assert_eq!(s.s2c(Phase::Delta), 1000);
+        assert_eq!(s.total_bytes(), 1350);
+        assert_eq!(s.total_c2s(), 100);
+        assert_eq!(s.total_s2c(), 1250);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficStats::new();
+        a.record(Direction::ClientToServer, Phase::Setup, 16);
+        a.roundtrips = 3;
+        let mut b = TrafficStats::new();
+        b.record(Direction::ClientToServer, Phase::Setup, 16);
+        b.roundtrips = 5;
+        a.merge(&b);
+        assert_eq!(a.c2s(Phase::Setup), 32);
+        assert_eq!(a.roundtrips, 5);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let mut s = TrafficStats::new();
+        s.record(Direction::ServerToClient, Phase::Delta, 42);
+        let text = format!("{s}");
+        assert!(text.contains("42"));
+    }
+}

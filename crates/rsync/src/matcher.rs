@@ -1,0 +1,243 @@
+//! Server-side matching and token-stream generation (rsync steps 2–3).
+//!
+//! The server slides a window of the block size over its current file,
+//! checks the rolling checksum against a hash table of the client's block
+//! signatures, and confirms hits with the 2-byte strong hash. The output
+//! is a stream of literal runs and block references, which is then
+//! compressed "using an algorithm similar to gzip" before transmission.
+
+use crate::signature::{strong16, Signatures};
+use msync_hash::rolling::RollingHash;
+use msync_hash::RsyncRolling;
+use std::collections::HashMap;
+
+/// One element of the reconstruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Raw bytes not present in the client's file.
+    Literal(Vec<u8>),
+    /// Index of a client block to copy verbatim.
+    Block(u32),
+}
+
+/// Scan `new` against the client's `sigs`, producing the token stream.
+pub fn match_tokens(new: &[u8], sigs: &Signatures) -> Vec<Token> {
+    let block_size = sigs.block_size;
+    let mut by_rolling: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (i, b) in sigs.blocks.iter().enumerate() {
+        // Only full-size blocks participate in the sliding search; the
+        // final short block is matched separately at the tail.
+        if sigs.block_len(i) == block_size {
+            by_rolling.entry(b.rolling).or_default().push(i as u32);
+        }
+    }
+
+    let mut tokens = Vec::new();
+    let mut lit_start = 0usize;
+    let mut pos = 0usize;
+    let flush = |tokens: &mut Vec<Token>, from: usize, to: usize| {
+        if to > from {
+            tokens.push(Token::Literal(new[from..to].to_vec()));
+        }
+    };
+
+    if new.len() >= block_size && !by_rolling.is_empty() {
+        let mut roll = RsyncRolling::new();
+        roll.reset(&new[..block_size]);
+        loop {
+            let window = &new[pos..pos + block_size];
+            let mut matched = None;
+            if let Some(cands) = by_rolling.get(&(roll.value() as u32)) {
+                let strong = strong16(window);
+                for &idx in cands {
+                    if sigs.blocks[idx as usize].strong == strong {
+                        matched = Some(idx);
+                        break;
+                    }
+                }
+            }
+            if let Some(idx) = matched {
+                flush(&mut tokens, lit_start, pos);
+                tokens.push(Token::Block(idx));
+                pos += block_size;
+                lit_start = pos;
+                if pos + block_size > new.len() {
+                    break;
+                }
+                roll.reset(&new[pos..pos + block_size]);
+            } else {
+                if pos + block_size >= new.len() {
+                    break;
+                }
+                roll.roll(new[pos], new[pos + block_size]);
+                pos += 1;
+            }
+        }
+    }
+
+    // Tail: try to match the client's final short block against the very
+    // end of the file (the common append-only case), otherwise literal.
+    let tail_start = lit_start;
+    let mut tail_done = false;
+    if !sigs.blocks.is_empty() && sigs.last_block_len < block_size && sigs.last_block_len > 0 {
+        let last_idx = sigs.blocks.len() - 1;
+        let llen = sigs.last_block_len;
+        if new.len() >= tail_start + llen && new.len() - llen >= tail_start {
+            let cand = &new[new.len() - llen..];
+            let sig = &sigs.blocks[last_idx];
+            if RsyncRolling::checksum(cand) == sig.rolling && strong16(cand) == sig.strong {
+                flush(&mut tokens, tail_start, new.len() - llen);
+                tokens.push(Token::Block(last_idx as u32));
+                tail_done = true;
+            }
+        }
+    }
+    if !tail_done {
+        flush(&mut tokens, tail_start, new.len());
+    }
+    tokens
+}
+
+/// Serialize a token stream compactly (before gzip-like compression):
+/// per token a 1-byte tag, then varint length + bytes or varint index.
+pub fn serialize_tokens(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match t {
+            Token::Literal(bytes) => {
+                out.push(0);
+                write_leb(&mut out, bytes.len() as u64);
+                out.extend_from_slice(bytes);
+            }
+            Token::Block(idx) => {
+                out.push(1);
+                write_leb(&mut out, *idx as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`serialize_tokens`].
+pub fn deserialize_tokens(data: &[u8]) -> Option<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let tag = data[pos];
+        pos += 1;
+        match tag {
+            0 => {
+                let len = read_leb(data, &mut pos)? as usize;
+                if pos + len > data.len() {
+                    return None;
+                }
+                tokens.push(Token::Literal(data[pos..pos + len].to_vec()));
+                pos += len;
+            }
+            1 => {
+                let idx = read_leb(data, &mut pos)?;
+                tokens.push(Token::Block(u32::try_from(idx).ok()?));
+            }
+            _ => return None,
+        }
+    }
+    Some(tokens)
+}
+
+fn write_leb(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_leb(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        out |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_files_all_blocks() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let sigs = Signatures::compute(&data, 512);
+        let tokens = match_tokens(&data, &sigs);
+        assert!(tokens.iter().all(|t| matches!(t, Token::Block(_))));
+        assert_eq!(tokens.len(), 8);
+    }
+
+    #[test]
+    fn disjoint_files_all_literal() {
+        let old = vec![0u8; 2048];
+        let new: Vec<u8> = (0..2048u32).map(|i| (i % 199 + 1) as u8).collect();
+        let sigs = Signatures::compute(&old, 512);
+        let tokens = match_tokens(&new, &sigs);
+        let total_lit: usize = tokens
+            .iter()
+            .map(|t| match t {
+                Token::Literal(v) => v.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total_lit, new.len());
+    }
+
+    #[test]
+    fn shifted_content_still_matches() {
+        // Insert bytes at the front; rolling search must realign.
+        let old: Vec<u8> = (0..4000u32).map(|i| ((i * 7) % 256) as u8).collect();
+        let mut new = b"INSERTED PREFIX ".to_vec();
+        new.extend_from_slice(&old);
+        let sigs = Signatures::compute(&old, 500);
+        let tokens = match_tokens(&new, &sigs);
+        let n_blocks = tokens.iter().filter(|t| matches!(t, Token::Block(_))).count();
+        assert!(n_blocks >= 7, "only {n_blocks} blocks matched after shift");
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let tokens = vec![
+            Token::Literal(b"hello".to_vec()),
+            Token::Block(3),
+            Token::Block(200),
+            Token::Literal(vec![0u8; 300]),
+        ];
+        let wire = serialize_tokens(&tokens);
+        assert_eq!(deserialize_tokens(&wire).unwrap(), tokens);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(deserialize_tokens(&[9]).is_none());
+        assert!(deserialize_tokens(&[0, 0x80]).is_none()); // unterminated leb
+        assert!(deserialize_tokens(&[0, 10, 1, 2]).is_none()); // short literal
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let sigs = Signatures::compute(b"", 512);
+        assert!(match_tokens(b"", &sigs).is_empty());
+        let tokens = match_tokens(b"abc", &sigs);
+        assert_eq!(tokens, vec![Token::Literal(b"abc".to_vec())]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Client-side reconstruction (rsync step 3a): apply the token stream to
+//! the old file to obtain the new one.
+
+use crate::matcher::Token;
+use crate::signature::Signatures;
+
+/// Errors during reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// A block index referenced a block the client does not have.
+    BadBlockIndex,
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "token stream references an unknown block")
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// Apply `tokens` to the client's `old` file, using the block geometry in
+/// `sigs` (which the client computed itself).
+pub fn apply(old: &[u8], sigs: &Signatures, tokens: &[Token]) -> Result<Vec<u8>, ReconstructError> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match t {
+            Token::Literal(bytes) => out.extend_from_slice(bytes),
+            Token::Block(idx) => {
+                let idx = *idx as usize;
+                if idx >= sigs.blocks.len() {
+                    return Err(ReconstructError::BadBlockIndex);
+                }
+                let start = idx * sigs.block_size;
+                let len = sigs.block_len(idx);
+                if start + len > old.len() {
+                    return Err(ReconstructError::BadBlockIndex);
+                }
+                out.extend_from_slice(&old[start..start + len]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_tokens;
+
+    #[test]
+    fn end_to_end_reconstruction() {
+        let old: Vec<u8> = (0..10_000u32).map(|i| ((i * 13) % 256) as u8).collect();
+        let mut new = old.clone();
+        new.splice(5_000..5_000, b"some inserted bytes".iter().copied());
+        new.extend_from_slice(b"appended tail");
+        let sigs = Signatures::compute(&old, 700);
+        let tokens = match_tokens(&new, &sigs);
+        assert_eq!(apply(&old, &sigs, &tokens).unwrap(), new);
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let old = vec![0u8; 100];
+        let sigs = Signatures::compute(&old, 50);
+        let tokens = vec![Token::Block(99)];
+        assert_eq!(apply(&old, &sigs, &tokens), Err(ReconstructError::BadBlockIndex));
+    }
+
+    #[test]
+    fn empty_token_stream() {
+        let sigs = Signatures::compute(b"", 50);
+        assert_eq!(apply(b"", &sigs, &[]).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,152 @@
+//! Client-side block signatures (rsync step 1).
+//!
+//! The client partitions its outdated file into fixed-size blocks and
+//! sends, per block, a 4-byte rolling checksum and a 2-byte truncation of
+//! the MD4 digest — the paper's "6 bytes per block are transmitted from
+//! client to server".
+
+use msync_hash::{Md4, RsyncRolling};
+
+/// rsync's default block size in this era (the paper evaluates "rsync
+/// with default block size" against this).
+pub const DEFAULT_BLOCK_SIZE: usize = 700;
+
+/// Number of wire bytes per block signature.
+pub const SIG_BYTES_PER_BLOCK: usize = 6;
+
+/// Per-block signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSig {
+    /// 32-bit rolling checksum of the block.
+    pub rolling: u32,
+    /// First two bytes of the block's MD4 digest.
+    pub strong: u16,
+}
+
+/// Signatures of every block of the client's file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signatures {
+    /// Block size used to partition the file.
+    pub block_size: usize,
+    /// One signature per block; the final block may be short.
+    pub blocks: Vec<BlockSig>,
+    /// Length of the final (possibly short) block, 0 for an empty file.
+    pub last_block_len: usize,
+}
+
+/// Strong checksum for rsync blocks: the first two bytes of MD4.
+pub fn strong16(block: &[u8]) -> u16 {
+    let d = Md4::digest(block);
+    u16::from_le_bytes([d[0], d[1]])
+}
+
+impl Signatures {
+    /// Compute signatures of `old` with the given block size.
+    pub fn compute(old: &[u8], block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let mut blocks = Vec::with_capacity(old.len() / block_size + 1);
+        let mut last_block_len = 0;
+        for chunk in old.chunks(block_size) {
+            blocks.push(BlockSig {
+                rolling: RsyncRolling::checksum(chunk),
+                strong: strong16(chunk),
+            });
+            last_block_len = chunk.len();
+        }
+        Self { block_size, blocks, last_block_len }
+    }
+
+    /// Wire encoding: block size, count, then 6 bytes per block.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(10 + self.blocks.len() * SIG_BYTES_PER_BLOCK);
+        out.extend_from_slice(&(self.block_size as u32).to_le_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.last_block_len as u32).to_le_bytes());
+        for b in &self.blocks {
+            out.extend_from_slice(&b.rolling.to_le_bytes());
+            out.extend_from_slice(&b.strong.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode the wire form.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() < 12 {
+            return None;
+        }
+        let block_size = u32::from_le_bytes(data[0..4].try_into().ok()?) as usize;
+        let count = u32::from_le_bytes(data[4..8].try_into().ok()?) as usize;
+        let last_block_len = u32::from_le_bytes(data[8..12].try_into().ok()?) as usize;
+        if block_size == 0 || data.len() != 12 + count * SIG_BYTES_PER_BLOCK {
+            return None;
+        }
+        let mut blocks = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 12 + i * SIG_BYTES_PER_BLOCK;
+            blocks.push(BlockSig {
+                rolling: u32::from_le_bytes(data[off..off + 4].try_into().ok()?),
+                strong: u16::from_le_bytes(data[off + 4..off + 6].try_into().ok()?),
+            });
+        }
+        Some(Self { block_size, blocks, last_block_len })
+    }
+
+    /// Length in bytes of block `idx` of the original file.
+    pub fn block_len(&self, idx: usize) -> usize {
+        if idx + 1 == self.blocks.len() {
+            self.last_block_len
+        } else {
+            self.block_size
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_counts_blocks() {
+        let data = vec![7u8; 2500];
+        let sigs = Signatures::compute(&data, 700);
+        assert_eq!(sigs.blocks.len(), 4);
+        assert_eq!(sigs.last_block_len, 400);
+        assert_eq!(sigs.block_len(0), 700);
+        assert_eq!(sigs.block_len(3), 400);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        let sigs = Signatures::compute(&data, 512);
+        let wire = sigs.encode();
+        assert_eq!(wire.len(), 12 + sigs.blocks.len() * 6);
+        assert_eq!(Signatures::decode(&wire).unwrap(), sigs);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Signatures::decode(&[]).is_none());
+        assert!(Signatures::decode(&[0; 12]).is_none()); // zero block size
+        let data = vec![1u8; 100];
+        let mut wire = Signatures::compute(&data, 10).encode();
+        wire.pop();
+        assert!(Signatures::decode(&wire).is_none());
+    }
+
+    #[test]
+    fn empty_file() {
+        let sigs = Signatures::compute(b"", 700);
+        assert!(sigs.blocks.is_empty());
+        let wire = sigs.encode();
+        assert_eq!(Signatures::decode(&wire).unwrap(), sigs);
+    }
+
+    #[test]
+    fn exact_multiple_of_block_size() {
+        let data = vec![3u8; 1400];
+        let sigs = Signatures::compute(&data, 700);
+        assert_eq!(sigs.blocks.len(), 2);
+        assert_eq!(sigs.last_block_len, 700);
+    }
+}

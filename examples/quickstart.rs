@@ -1,0 +1,50 @@
+//! Quickstart: synchronize one file and inspect the cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use msync::core::{sync_file, ProtocolConfig};
+
+fn main() {
+    // The client holds yesterday's document…
+    let old: Vec<u8> = b"# Release notes\n\nNothing to report yet.\n"
+        .iter()
+        .copied()
+        .cycle()
+        .take(20_000)
+        .collect();
+
+    // …the server holds today's, with a paragraph inserted in the middle
+    // and a correction near the end.
+    let mut new = old.clone();
+    new.splice(
+        10_000..10_000,
+        b"\n## Breaking change\nThe frobnicator now defaults to level 3.\n"
+            .iter()
+            .copied(),
+    );
+    let at = new.len() - 100;
+    new[at..at + 7].copy_from_slice(b"Plenty!");
+
+    // One call runs the whole multi-round protocol: map construction
+    // (recursive splitting + continuation hashes + group-testing
+    // verification) followed by the delta transfer.
+    let outcome = sync_file(&old, &new, &ProtocolConfig::default()).expect("valid configuration");
+
+    assert_eq!(outcome.reconstructed, new, "client now holds the server's file");
+    let stats = &outcome.stats;
+    println!("file size        : {} bytes", new.len());
+    println!("bytes on the wire: {} ({:.1}% of the file)", stats.total_bytes(), 100.0 * stats.total_bytes() as f64 / new.len() as f64);
+    println!("roundtrips       : {}", stats.traffic.roundtrips);
+    println!("map knew         : {} of {} bytes before the delta phase", stats.known_bytes, new.len());
+    println!("final delta      : {} bytes", stats.delta_bytes);
+    println!();
+    println!("per-round harvest:");
+    for level in &stats.levels {
+        println!(
+            "  block {:>6} B: {:>3} items ({} continuation, {} suppressed) -> {:>3} candidates, {:>3} confirmed",
+            level.block_size, level.items, level.cont_items, level.suppressed, level.candidates, level.confirmed
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Scenario: mirroring a software release tree over a slow link — the
+//! paper's gcc/emacs experiment as an application.
+//!
+//! A mirror holds release N of a ~1000-file source tree and wants
+//! release N+1. We compare what each transfer strategy would cost and
+//! how long it would take on early-2000s links.
+//!
+//! ```text
+//! cargo run --release --example release_upgrade
+//! ```
+
+use msync::core::{sync_collection, FileEntry, ProtocolConfig};
+use msync::corpus::{gcc_like, release_pair};
+use msync::protocol::{LinkModel, TrafficStats};
+
+fn main() {
+    // A scaled-down gcc-like minor release pair (10% of the paper's
+    // 1002 files ≈ 2.7 MB; pass 1.0 to gcc_like for the full size).
+    let pair = release_pair(&gcc_like(0.1));
+    let (old, new) = pair.pair(0, 1);
+    println!(
+        "release tree: {} files, {} KB -> {} files, {} KB",
+        old.len(),
+        old.total_bytes() / 1024,
+        new.len(),
+        new.total_bytes() / 1024
+    );
+
+    let to_entries = |c: &msync::corpus::Collection| -> Vec<FileEntry> {
+        c.files().iter().map(|f| FileEntry::new(f.name.clone(), f.data.clone())).collect()
+    };
+
+    let outcome = sync_collection(&to_entries(old), &to_entries(new), &ProtocolConfig::default())
+        .expect("valid configuration");
+    for (got, want) in outcome.files.iter().zip(new.files()) {
+        assert_eq!(got.data, want.data);
+    }
+    println!(
+        "msync: {} KB total, {} roundtrips ({} unchanged, {} created, {} deleted)",
+        outcome.traffic.total_bytes() / 1024,
+        outcome.traffic.roundtrips,
+        outcome.unchanged,
+        outcome.created,
+        outcome.deleted,
+    );
+
+    // rsync comparison, file by file.
+    let mut rsync_total = TrafficStats::new();
+    for nf in new.files() {
+        let old_data = old.get(&nf.name).map(|f| f.data.clone()).unwrap_or_default();
+        let out = msync::rsync::sync(&old_data, &nf.data, msync::rsync::DEFAULT_BLOCK_SIZE);
+        rsync_total.merge(&out.stats);
+    }
+    println!("rsync: {} KB total", rsync_total.total_bytes() / 1024);
+
+    // What does that mean on a slow link?
+    println!("\nestimated transfer times:");
+    for (name, link) in [
+        ("56k dial-up", LinkModel::dialup()),
+        ("DSL        ", LinkModel::dsl()),
+        ("cable      ", LinkModel::cable()),
+        ("T1         ", LinkModel::t1()),
+    ] {
+        println!(
+            "  {name}: msync {:>7.1?}  vs  rsync {:>7.1?}",
+            link.estimate(&outcome.traffic),
+            link.estimate(&rsync_total),
+        );
+    }
+}

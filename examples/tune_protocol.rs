@@ -1,0 +1,70 @@
+//! Scenario: tuning the protocol with a parameter file — the paper's
+//! prototype is driven by "a simple parameter file" selecting the
+//! techniques per round, and §7 asks for a tool that adapts its
+//! parameters to the data set.
+//!
+//! This example parses parameter files, sweeps a few candidate
+//! configurations over a sample of the collection, and picks the
+//! cheapest — a small version of the adaptive tool the paper sketches.
+//!
+//! ```text
+//! cargo run --release --example tune_protocol
+//! ```
+
+use msync::core::params;
+use msync::core::{sync_file, ProtocolConfig};
+use msync::corpus::{gcc_like, release_pair};
+
+fn main() {
+    // Candidate configurations, written exactly like the paper's
+    // parameter files.
+    let candidates: Vec<(&str, &str)> = vec![
+        (
+            "conservative (2 roundtrip-ish, big blocks)",
+            "min_block_global = 256\nmin_block_cont = 256\nuse_continuation = false\nverify = per_candidate 24\n",
+        ),
+        (
+            "balanced (defaults)",
+            "", // empty file = library defaults
+        ),
+        (
+            "aggressive (deep recursion, 3 verify batches)",
+            "min_block_global = 64\nmin_block_cont = 8\ncont_bits = 3\nverify = group 6x12, 3x14, 1x16\n",
+        ),
+    ];
+
+    // Tune on a sample: a handful of changed files from a gcc-like pair.
+    let pair = release_pair(&gcc_like(0.03));
+    let (old, new) = pair.pair(0, 1);
+    let sample: Vec<(&[u8], &[u8])> = new
+        .files()
+        .iter()
+        .filter_map(|nf| {
+            let of = old.get(&nf.name)?;
+            (of.data != nf.data).then_some((of.data.as_slice(), nf.data.as_slice()))
+        })
+        .take(8)
+        .collect();
+    println!("tuning on {} changed files\n", sample.len());
+
+    let mut best: Option<(&str, u64, ProtocolConfig)> = None;
+    for (name, text) in &candidates {
+        let cfg = params::parse(text).expect("example parameter files are valid");
+        let mut total = 0u64;
+        let mut roundtrips = 0u32;
+        for (o, n) in &sample {
+            let out = sync_file(o, n, &cfg).expect("sync succeeds");
+            assert_eq!(out.reconstructed, *n);
+            total += out.stats.total_bytes();
+            roundtrips = roundtrips.max(out.stats.traffic.roundtrips);
+        }
+        println!("{name}\n  -> {total} bytes over the sample, ≤{roundtrips} roundtrips");
+        if best.as_ref().is_none_or(|(_, b, _)| total < *b) {
+            best = Some((name, total, cfg));
+        }
+    }
+
+    let (winner, bytes, cfg) = best.expect("candidates non-empty");
+    println!("\nwinner: {winner} ({bytes} bytes)");
+    println!("\nits parameter file:\n{}", params::render(&cfg));
+}

@@ -1,0 +1,50 @@
+//! Scenario: keeping a mirrored web-page collection fresh — the
+//! application that motivated the paper ("our main motivation for this
+//! work is to build a system for efficiently sharing large recrawls over
+//! a wide area network").
+//!
+//! A client mirrors a crawl of web pages and refreshes it after 1, 2 and
+//! 7 days of churn; we report the per-interval cost of each strategy,
+//! i.e. Table 6.2 as a library user would run it.
+//!
+//! ```text
+//! cargo run --release --example web_mirror
+//! ```
+
+use msync::core::{sync_collection, FileEntry, ProtocolConfig};
+use msync::corpus::{web_collection, web_params};
+
+fn main() {
+    // 2% of the paper's 10,000 pages (≈ 3 MB per snapshot); raise the
+    // scale for the full experiment via the `exp` binary.
+    let params = web_params(0.02);
+    let crawl = web_collection(&params, 7);
+    println!(
+        "crawl: {} pages, {} KB per snapshot",
+        crawl.versions[0].len(),
+        crawl.versions[0].total_bytes() / 1024
+    );
+
+    let to_entries = |c: &msync::corpus::Collection| -> Vec<FileEntry> {
+        c.files().iter().map(|f| FileEntry::new(f.name.clone(), f.data.clone())).collect()
+    };
+
+    println!("\nrefresh cost by update interval (msync, all techniques):");
+    for days in [1usize, 2, 7] {
+        let (old, new) = crawl.pair(0, days);
+        let out = sync_collection(&to_entries(old), &to_entries(new), &ProtocolConfig::default())
+            .expect("valid configuration");
+        let changed = new.len() - out.unchanged;
+        println!(
+            "  after {days} day(s): {:>6} KB for {:>4} changed pages ({} roundtrips, {:.1}% of raw)",
+            out.traffic.total_bytes() / 1024,
+            changed,
+            out.traffic.roundtrips,
+            100.0 * out.traffic.total_bytes() as f64 / new.total_bytes() as f64,
+        );
+    }
+
+    println!("\nThe paper's observation holds: even a week of drift syncs for a");
+    println!("few percent of the collection size, so a mirror on a DSL line can");
+    println!("stay fresh nightly.");
+}

@@ -1,0 +1,389 @@
+//! Property-based tests over the core invariants.
+//!
+//! The one invariant the whole system hangs on: *whatever the inputs,
+//! the client ends up with exactly the server's bytes.* Plus the
+//! algebraic identities of the decomposable hash and the lossless-coding
+//! roundtrips, which the protocol's correctness argument relies on.
+
+use msync::core::{sync_file, ProtocolConfig, VerifyStrategy};
+use msync::hashes::decomposable::{
+    prefix_decompose_left, prefix_decompose_right, DecomposableDigest,
+};
+use msync::hashes::rolling::RollingHash;
+use msync::hashes::{BitReader, BitWriter, DecomposableAdler};
+use proptest::prelude::*;
+
+/// Byte vectors with adversarial structure: random, repetitive, and
+/// mixed segments.
+fn file_strategy(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..max),
+        // Low-entropy: few distinct bytes, long runs.
+        proptest::collection::vec(prop_oneof![Just(0u8), Just(1u8), Just(b'a')], 0..max),
+        // Repeating phrase with occasional noise.
+        (0usize..max, any::<u8>()).prop_map(|(n, salt)| {
+            let phrase = b"the quick brown fox ";
+            (0..n)
+                .map(|i| {
+                    if i % 97 == 0 {
+                        salt.wrapping_add(i as u8)
+                    } else {
+                        phrase[i % phrase.len()]
+                    }
+                })
+                .collect()
+        }),
+    ]
+}
+
+/// A derived version: the old file plus random splices.
+pub fn edited_pair_pub(max: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    edited_pair(max)
+}
+
+fn edited_pair(max: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (file_strategy(max), proptest::collection::vec((any::<u16>(), file_strategy(64)), 0..5)).prop_map(
+        |(old, edits)| {
+            let mut new = old.clone();
+            for (pos, insert) in edits {
+                if new.is_empty() {
+                    new = insert;
+                    continue;
+                }
+                let at = pos as usize % new.len();
+                let del = (insert.len() / 2).min(new.len() - at);
+                new.splice(at..at + del, insert);
+            }
+            (old, new)
+        },
+    )
+}
+
+fn quick_cfg() -> ProtocolConfig {
+    ProtocolConfig {
+        start_block: 1 << 10,
+        min_block_global: 32,
+        min_block_cont: 8,
+        ..ProtocolConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn msync_reconstructs_exactly((old, new) in edited_pair(4096)) {
+        let out = sync_file(&old, &new, &quick_cfg()).unwrap();
+        prop_assert_eq!(&out.reconstructed, &new);
+    }
+
+    #[test]
+    fn msync_exact_with_weak_hashes((old, new) in edited_pair(2048)) {
+        // Deliberately weak parameters: correctness must come from the
+        // fingerprint fallback, not from hash strength.
+        let cfg = ProtocolConfig {
+            global_extra_bits: 0,
+            cont_bits: 1,
+            verify: VerifyStrategy::PerCandidate { bits: 2 },
+            ..quick_cfg()
+        };
+        let out = sync_file(&old, &new, &cfg).unwrap();
+        prop_assert_eq!(out.reconstructed, new);
+    }
+
+    #[test]
+    fn rsync_reconstructs_exactly((old, new) in edited_pair(4096)) {
+        let out = msync::rsync::sync(&old, &new, 128);
+        prop_assert_eq!(out.reconstructed, new);
+    }
+
+    #[test]
+    fn lz_roundtrip(data in file_strategy(8192)) {
+        let c = msync::compress::compress(&data);
+        prop_assert_eq!(msync::compress::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn delta_roundtrip((reference, target) in (file_strategy(4096), file_strategy(4096))) {
+        let d = msync::compress::delta_encode(&reference, &target);
+        prop_assert_eq!(msync::compress::delta_decode(&reference, &d).unwrap(), target);
+    }
+
+    #[test]
+    fn delta_roundtrip_similar((old, new) in edited_pair(4096)) {
+        let d = msync::compress::delta_encode(&old, &new);
+        prop_assert_eq!(&msync::compress::delta_decode(&old, &d).unwrap(), &new);
+        // Identity-ish deltas stay small relative to the file.
+        if old == new && !old.is_empty() {
+            prop_assert!(d.len() < old.len().max(256));
+        }
+    }
+
+    #[test]
+    fn vcdiff_roundtrip((reference, target) in (file_strategy(4096), file_strategy(4096))) {
+        let d = msync::compress::vcdiff_encode(&reference, &target);
+        prop_assert_eq!(msync::compress::vcdiff_decode(&reference, &d).unwrap(), target);
+    }
+
+    #[test]
+    fn decomposable_compose_decompose(data in file_strategy(2048), split_sel in any::<u16>()) {
+        let split = if data.is_empty() { 0 } else { split_sel as usize % (data.len() + 1) };
+        let l = DecomposableDigest::of(&data[..split]);
+        let r = DecomposableDigest::of(&data[split..]);
+        let p = l.compose(&r);
+        prop_assert_eq!(p, DecomposableDigest::of(&data));
+        prop_assert_eq!(p.decompose_right(&l), Some(r));
+        prop_assert_eq!(p.decompose_left(&r), Some(l));
+    }
+
+    #[test]
+    fn decomposable_prefix_identities(data in file_strategy(1024), split_sel in any::<u16>(), bits in 1u32..=64) {
+        let split = if data.is_empty() { 0 } else { split_sel as usize % (data.len() + 1) };
+        let l = DecomposableDigest::of(&data[..split]);
+        let r = DecomposableDigest::of(&data[split..]);
+        let p = l.compose(&r);
+        prop_assert_eq!(
+            prefix_decompose_right(p.prefix(bits), l.prefix(bits), bits, r.len),
+            r.prefix(bits)
+        );
+        prop_assert_eq!(
+            prefix_decompose_left(p.prefix(bits), r.prefix(bits), bits, r.len),
+            l.prefix(bits)
+        );
+    }
+
+    #[test]
+    fn rolling_equals_recompute(data in proptest::collection::vec(any::<u8>(), 2..512), window_sel in any::<u8>()) {
+        let window = 1 + (window_sel as usize) % (data.len() - 1);
+        let mut h = DecomposableAdler::new();
+        h.reset(&data[..window]);
+        for start in 1..=(data.len() - window) {
+            h.roll(data[start - 1], data[start + window - 1]);
+            prop_assert_eq!(h.value(), DecomposableDigest::of(&data[start..start + window]).value());
+        }
+    }
+
+    #[test]
+    fn bitio_roundtrip(ops in proptest::collection::vec((any::<u64>(), 0u32..=64), 0..64)) {
+        let mut w = BitWriter::new();
+        for &(v, bits) in &ops {
+            w.write_bits(v, bits);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, bits) in &ops {
+            let expect = if bits == 64 { v } else if bits == 0 { 0 } else { v & ((1u64 << bits) - 1) };
+            prop_assert_eq!(r.read_bits(bits).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate(a in file_strategy(512), b in file_strategy(512)) {
+        let fa = msync::hashes::file_fingerprint(&a);
+        let fb = msync::hashes::file_fingerprint(&b);
+        prop_assert_eq!(a == b, fa == fb);
+    }
+
+    #[test]
+    fn md5_md4_incremental(data in file_strategy(2048), chunk_sel in 1usize..64) {
+        let mut m5 = msync::hashes::Md5::new();
+        let mut m4 = msync::hashes::Md4::new();
+        for chunk in data.chunks(chunk_sel) {
+            m5.update(chunk);
+            m4.update(chunk);
+        }
+        prop_assert_eq!(m5.finish(), msync::hashes::Md5::digest(&data));
+        prop_assert_eq!(m4.finish(), msync::hashes::Md4::digest(&data));
+    }
+}
+
+/// Decoders must never panic on adversarial input — corrupt streams are
+/// a fact of life for a network tool. (Errors are fine; panics are not.)
+mod decoder_robustness {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn lz_decompress_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = msync::compress::decompress(&junk);
+        }
+
+        #[test]
+        fn delta_decode_never_panics(
+            reference in proptest::collection::vec(any::<u8>(), 0..512),
+            junk in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let _ = msync::compress::delta_decode(&reference, &junk);
+        }
+
+        #[test]
+        fn vcdiff_decode_never_panics(
+            reference in proptest::collection::vec(any::<u8>(), 0..512),
+            junk in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let _ = msync::compress::vcdiff_decode(&reference, &junk);
+        }
+
+        #[test]
+        fn signature_decode_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let _ = msync::rsync::Signatures::decode(&junk);
+        }
+
+        #[test]
+        fn token_deserialize_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let _ = msync::rsync::matcher::deserialize_tokens(&junk);
+        }
+
+        #[test]
+        fn bit_corrupted_delta_decodes_or_errors_never_wrong_silently(
+            (old, new) in super::edited_pair_pub(2048),
+            flip in any::<u16>(),
+        ) {
+            // Flip one bit in a real delta: the decoder must either
+            // error or produce bytes — and if it produces the *right*
+            // bytes the flip hit padding. It must never panic, and the
+            // outer fingerprint check (exercised in the sync tests)
+            // catches wrong output.
+            let mut d = msync::compress::delta_encode(&old, &new);
+            if !d.is_empty() {
+                let bit = flip as usize % (d.len() * 8);
+                d[bit / 8] ^= 1 << (bit % 8);
+                let _ = msync::compress::delta_decode(&old, &d);
+            }
+        }
+    }
+}
+
+/// Cross-implementation agreement and the new extension surfaces.
+mod extensions {
+    use msync::cdc::ChunkParams;
+    use msync::core::{sync_over_channel, ProtocolConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn cdc_sync_reconstructs_exactly((old, new) in super::edited_pair_pub(8192)) {
+            let params = ChunkParams { avg_size: 512, min_size: 64, max_size: 4096 };
+            let out = msync::cdc::sync(&old, &new, &params);
+            prop_assert_eq!(&out.reconstructed, &new);
+        }
+
+        #[test]
+        fn inplace_matches_out_of_place((old, new) in super::edited_pair_pub(4096)) {
+            let sigs = msync::rsync::Signatures::compute(&old, 128);
+            let tokens = msync::rsync::matcher::match_tokens(&new, &sigs);
+            let expected = msync::rsync::reconstruct::apply(&old, &sigs, &tokens).unwrap();
+            let mut buf = old.clone();
+            msync::rsync::inplace::apply_inplace(&mut buf, &sigs, &tokens).unwrap();
+            prop_assert_eq!(&buf, &expected);
+        }
+
+        #[test]
+        fn channel_sync_reconstructs_exactly((old, new) in super::edited_pair_pub(4096)) {
+            let cfg = ProtocolConfig {
+                start_block: 1 << 10,
+                min_block_global: 32,
+                min_block_cont: 8,
+                ..ProtocolConfig::default()
+            };
+            let out = sync_over_channel(&old, &new, &cfg).unwrap();
+            prop_assert_eq!(&out.reconstructed, &new);
+        }
+    }
+}
+
+/// Structural invariants of the shared interval machinery and the
+/// broadcast variant's exactness.
+mod structures {
+    use msync::core::coverage::Coverage;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn coverage_invariants_under_disjoint_inserts(blocks in proptest::collection::vec(0u8..200, 1..40)) {
+            // Interpret each value as a grid slot of width 16; dedup to
+            // keep inserts disjoint.
+            let mut slots: Vec<u64> = blocks.iter().map(|&b| b as u64).collect();
+            slots.sort_unstable();
+            slots.dedup();
+            let mut c = Coverage::new();
+            let mut order = slots.clone();
+            // Insert in a scrambled but deterministic order.
+            order.reverse();
+            let mut total = 0u64;
+            for s in order {
+                c.insert(s * 16, 16);
+                total += 16;
+            }
+            prop_assert_eq!(c.covered_bytes(), total);
+            // Intervals sorted, disjoint, non-touching.
+            let iv = c.intervals();
+            for w in iv.windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "{:?}", iv);
+            }
+            // Every inserted slot contained; gaps free.
+            for &s in &slots {
+                prop_assert!(c.contains(s * 16, 16));
+            }
+            for probe in 0..200u64 {
+                let inside = slots.contains(&probe);
+                prop_assert_eq!(c.contains(probe * 16, 16), inside);
+                prop_assert_eq!(c.is_free(probe * 16, 16), !inside);
+            }
+        }
+
+        #[test]
+        fn broadcast_reconstructs_for_all_clients(
+            (old_a, new) in super::edited_pair_pub(4096),
+            extra_edit in any::<u16>(),
+        ) {
+            // Two clients: one with the generated old version, one with a
+            // further perturbation of it.
+            let mut old_b = old_a.clone();
+            if !old_b.is_empty() {
+                let at = extra_edit as usize % old_b.len();
+                old_b[at] ^= 0xA5;
+            }
+            let cfg = msync::core::ProtocolConfig {
+                start_block: 1 << 10,
+                min_block_global: 32,
+                ..Default::default()
+            };
+            let refs: Vec<&[u8]> = vec![&old_a, &old_b];
+            let out = msync::core::sync_broadcast(&new, &refs, &cfg).unwrap();
+            prop_assert_eq!(&out.reconstructed[0], &new);
+            prop_assert_eq!(&out.reconstructed[1], &new);
+        }
+
+        #[test]
+        fn recon_strategies_always_agree(
+            names in proptest::collection::btree_set("[a-z]{1,12}", 0..60),
+            flips in proptest::collection::vec(any::<u8>(), 0..10),
+        ) {
+            use msync::recon::{self, Item};
+            use msync::hashes::file_fingerprint;
+            let mut a: Vec<Item> = names.iter().map(|n| Item {
+                name: n.clone(),
+                fp: file_fingerprint(n.as_bytes()),
+            }).collect();
+            let mut b = a.clone();
+            for &f in &flips {
+                if b.is_empty() { break; }
+                let idx = f as usize % b.len();
+                b[idx].fp = file_fingerprint(format!("flip-{}", b[idx].name).as_bytes());
+            }
+            recon::canonicalize(&mut a);
+            recon::canonicalize(&mut b);
+            let truth = recon::diff_names(&a, &b);
+            prop_assert_eq!(&recon::merkle::reconcile(&a, &b).differing, &truth);
+            prop_assert_eq!(&recon::group_testing::reconcile(&a, &b).differing, &truth);
+            prop_assert_eq!(&recon::flat_exchange(&a, &b).differing, &truth);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Quick cross-crate sanity: msync beats rsync on a localized edit.
+
+use msync_core::{sync_file, ProtocolConfig};
+
+fn blob(n: usize, seed: u64) -> Vec<u8> {
+    // Word-like compressible-ish content
+    let words = [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+    ];
+    let mut state = seed | 1;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(words[(state % 10) as usize].as_bytes());
+        out.push(b' ');
+        if state.is_multiple_of(13) {
+            out.push(b'\n');
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+#[test]
+fn msync_vs_rsync_localized_edit() {
+    let old = blob(60_000, 42);
+    let mut new = old.clone();
+    new.splice(30_000..30_050, b"a fresh edit right here in the middle yes".iter().copied());
+    let cfg = ProtocolConfig::default();
+    let m = sync_file(&old, &new, &cfg).unwrap();
+    assert_eq!(m.reconstructed, new);
+    assert!(!m.fell_back);
+    let r = msync_rsync::sync(&old, &new, 700);
+    assert_eq!(r.reconstructed, new);
+    let zd = msync_compress::delta_size(&old, &new) as u64;
+    eprintln!(
+        "msync: {} B ({} rt), rsync: {} B, zdelta bound: {} B, known {}/{}",
+        m.stats.total_bytes(),
+        m.stats.traffic.roundtrips,
+        r.stats.total_bytes(),
+        zd,
+        m.stats.known_bytes,
+        new.len()
+    );
+    for l in &m.stats.levels {
+        eprintln!("  level bs={} items={} cont={} suppr={} cand={} conf={}",
+            l.block_size, l.items, l.cont_items, l.suppressed, l.candidates, l.confirmed);
+    }
+    assert!(m.stats.total_bytes() < r.stats.total_bytes());
+}
