@@ -3,12 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use msync_corpus::{apply_edits, EditProfile};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use msync_corpus::Rng;
 use std::hint::black_box;
 
 fn source(n: usize, seed: u64) -> Vec<u8> {
-    msync_corpus::text::source_file(&mut StdRng::seed_from_u64(seed), n)
+    msync_corpus::text::source_file(&mut Rng::seed_from_u64(seed), n)
 }
 
 fn bench_stream_compress(c: &mut Criterion) {
@@ -25,7 +24,7 @@ fn bench_stream_compress(c: &mut Criterion) {
 
 fn bench_delta(c: &mut Criterion) {
     let reference = source(1 << 17, 2);
-    let target = apply_edits(&reference, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(3));
+    let target = apply_edits(&reference, &EditProfile::minor_release(), &mut Rng::seed_from_u64(3));
     let mut group = c.benchmark_group("delta_128KiB_minor_edit");
     group.throughput(Throughput::Bytes(target.len() as u64));
     group.bench_function("zdelta_encode", |b| {

@@ -4,12 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use msync_cdc::ChunkParams;
 use msync_corpus::{apply_edits, EditProfile};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use msync_corpus::Rng;
 use std::hint::black_box;
 
 fn source(n: usize, seed: u64) -> Vec<u8> {
-    msync_corpus::text::source_file(&mut StdRng::seed_from_u64(seed), n)
+    msync_corpus::text::source_file(&mut Rng::seed_from_u64(seed), n)
 }
 
 fn bench_cdc(c: &mut Criterion) {
@@ -19,7 +18,7 @@ fn bench_cdc(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(data.len() as u64));
     group.bench_function("chunk", |b| b.iter(|| black_box(msync_cdc::chunk(&data, &params))));
     let old = source(1 << 18, 22);
-    let new = apply_edits(&old, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(23));
+    let new = apply_edits(&old, &EditProfile::minor_release(), &mut Rng::seed_from_u64(23));
     group.throughput(Throughput::Bytes(new.len() as u64));
     group.bench_function("sync_256KiB_minor_edit", |b| {
         b.iter(|| black_box(msync_cdc::sync(&old, &new, &params)))

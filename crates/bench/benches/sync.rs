@@ -6,13 +6,12 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use msync_core::{sync_file, ProtocolConfig};
 use msync_corpus::{apply_edits, EditProfile};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use msync_corpus::Rng;
 use std::hint::black_box;
 
 fn pair(n: usize) -> (Vec<u8>, Vec<u8>) {
-    let old = msync_corpus::text::source_file(&mut StdRng::seed_from_u64(11), n);
-    let new = apply_edits(&old, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(12));
+    let old = msync_corpus::text::source_file(&mut Rng::seed_from_u64(11), n);
+    let new = apply_edits(&old, &EditProfile::minor_release(), &mut Rng::seed_from_u64(12));
     (old, new)
 }
 

@@ -485,11 +485,10 @@ pub fn baselines(scale: f64) -> Report {
 /// (the CDN-fill scenario), broadcast downlink vs N unicast sessions.
 pub fn broadcast(scale: f64) -> Report {
     use msync_core::broadcast::sync_broadcast;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use msync_corpus::Rng;
 
     let size = ((600_000.0 * scale) as usize).max(20_000);
-    let new = msync_corpus::text::source_file(&mut StdRng::seed_from_u64(71), size);
+    let new = msync_corpus::text::source_file(&mut Rng::seed_from_u64(71), size);
     let cfg = ProtocolConfig { min_block_global: 64, ..ProtocolConfig::default() };
 
     let mut rows = Vec::new();
@@ -500,7 +499,7 @@ pub fn broadcast(scale: f64) -> Report {
             let at = size / 3;
             o.splice(
                 at..at + 600,
-                msync_corpus::text::source_file(&mut StdRng::seed_from_u64(500 + i), 500),
+                msync_corpus::text::source_file(&mut Rng::seed_from_u64(500 + i), 500),
             );
             olds.push(o);
         }
@@ -536,13 +535,12 @@ pub fn broadcast(scale: f64) -> Report {
 /// setup cost vs number of changed files in a 10,000-page collection.
 pub fn recon(scale: f64) -> Report {
     use msync_core::{sync_collection_with, FileEntry, ReconStrategy};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use msync_corpus::Rng;
 
     let n = ((10_000.0 * scale) as usize).max(64);
     let mut old: Vec<FileEntry> = Vec::new();
     for i in 0..n {
-        let data = msync_corpus::text::html_page(&mut StdRng::seed_from_u64(3_000 + i as u64), 4_000, 1);
+        let data = msync_corpus::text::html_page(&mut Rng::seed_from_u64(3_000 + i as u64), 4_000, 1);
         old.push(FileEntry::new(format!("www/p{i:05}.html"), data));
     }
     let cfg = ProtocolConfig { start_block: 1 << 12, ..ProtocolConfig::default() };

@@ -137,7 +137,8 @@ mod tests {
         let p = ChunkParams::default();
         let a = chunk(&d, &p);
         let b = chunk(&edited, &p);
-        let hash = |buf: &[u8], c: &Chunk| msync_hash::Md5::digest(&buf[c.offset..c.offset + c.len]);
+        let hash =
+            |buf: &[u8], c: &Chunk| msync_hash::Md5::digest(&buf[c.offset..c.offset + c.len]);
         let mut common_suffix = 0;
         while common_suffix < a.len().min(b.len()) {
             let ca = &a[a.len() - 1 - common_suffix];

@@ -22,7 +22,7 @@
 //! pays only for regions that changed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chunker;
 
@@ -87,8 +87,7 @@ pub fn sync(old: &[u8], new: &[u8], params: &ChunkParams) -> CdcOutcome {
     let old_chunks = chunk(old, params);
     let mut have: HashMap<(u64, usize), usize> = HashMap::new();
     for c in &old_chunks {
-        have.entry((chunk_hash(&old[c.offset..c.offset + c.len]), c.len))
-            .or_insert(c.offset);
+        have.entry((chunk_hash(&old[c.offset..c.offset + c.len]), c.len)).or_insert(c.offset);
     }
     let mut r = BitReader::new(&desc_bytes);
     let count = r.read_varint().expect("own descriptor stream") as usize;
@@ -136,13 +135,7 @@ pub fn sync(old: &[u8], new: &[u8], params: &ChunkParams) -> CdcOutcome {
     stats.roundtrips = 2;
     let chunks_hit = hits.iter().filter(|h| h.is_some()).count();
     if file_fingerprint(&out) == new_fp {
-        CdcOutcome {
-            reconstructed: out,
-            stats,
-            chunks_total: count,
-            chunks_hit,
-            fell_back: false,
-        }
+        CdcOutcome { reconstructed: out, stats, chunks_total: count, chunks_hit, fell_back: false }
     } else {
         // 64-bit chunk-hash collision (astronomically unlikely): resend.
         let full = msync_compress::compress(new);

@@ -161,9 +161,9 @@ pub fn preset_config(name: &str) -> Result<msync_core::ProtocolConfig, String> {
     match name {
         "default" | "all" => Ok(msync_core::ProtocolConfig::default()),
         "basic" => Ok(msync_core::ProtocolConfig::basic(64)),
-        other => Err(format!(
-            "unknown preset `{other}` (try: default, basic, restricted:<levels>)"
-        )),
+        other => {
+            Err(format!("unknown preset `{other}` (try: default, basic, restricted:<levels>)"))
+        }
     }
 }
 

@@ -79,18 +79,13 @@ fn sync_cmd(
 ) -> Result<String, String> {
     let cfg = load_config(config)?;
     let (old_col, new_col) = load_pair(old, new)?;
-    let out = sync_collection(&entries(&old_col), &entries(&new_col), &cfg)
-        .map_err(|e| e.to_string())?;
+    let out =
+        sync_collection(&entries(&old_col), &entries(&new_col), &cfg).map_err(|e| e.to_string())?;
 
     let mut report = String::new();
     let raw = new_col.total_bytes();
     let t = &out.traffic;
-    let _ = writeln!(
-        report,
-        "synchronized {} file(s), {} total",
-        out.files.len(),
-        human(raw)
-    );
+    let _ = writeln!(report, "synchronized {} file(s), {} total", out.files.len(), human(raw));
     let changed = out.files.len().saturating_sub(out.unchanged + out.created);
     let _ = writeln!(
         report,
@@ -153,7 +148,8 @@ fn sync_cmd(
                 fs::create_dir_all(parent)
                     .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
             }
-            fs::write(&path, &f.data).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            fs::write(&path, &f.data)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
         let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
     }
@@ -187,7 +183,11 @@ fn inspect(old: &Path, new: &Path, config: &ConfigSource) -> Result<String, Stri
         new_col.total_bytes(),
         human(stats.delta_bytes)
     );
-    let _ = writeln!(report, "\n{:>9}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>8}", "block", "items", "cont", "suppr", "cand", "conf", "harvest");
+    let _ = writeln!(
+        report,
+        "\n{:>9}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>8}",
+        "block", "items", "cont", "suppr", "cand", "conf", "harvest"
+    );
     for l in &stats.levels {
         let _ = writeln!(
             report,
@@ -206,11 +206,8 @@ fn inspect(old: &Path, new: &Path, config: &ConfigSource) -> Result<String, Stri
 
 fn chunks(file: &Path, avg: usize) -> Result<String, String> {
     let data = fs::read(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-    let params = msync_cdc::ChunkParams {
-        avg_size: avg,
-        min_size: (avg / 8).max(64),
-        max_size: avg * 8,
-    };
+    let params =
+        msync_cdc::ChunkParams { avg_size: avg, min_size: (avg / 8).max(64), max_size: avg * 8 };
     let chunks = msync_cdc::chunk(&data, &params);
     let mut report = String::new();
     let _ = writeln!(
@@ -256,8 +253,14 @@ mod tests {
         let old = d.join("old.txt");
         let new = d.join("new.txt");
         fs::write(&old, b"hello world ".repeat(2000)).unwrap();
-        fs::write(&new, b"hello world ".repeat(2000).iter().chain(b"tail").copied().collect::<Vec<u8>>()).unwrap();
-        let report = run_words(&["sync", old.to_str().unwrap(), new.to_str().unwrap(), "--compare"]).unwrap();
+        fs::write(
+            &new,
+            b"hello world ".repeat(2000).iter().chain(b"tail").copied().collect::<Vec<u8>>(),
+        )
+        .unwrap();
+        let report =
+            run_words(&["sync", old.to_str().unwrap(), new.to_str().unwrap(), "--compare"])
+                .unwrap();
         assert!(report.contains("synchronized 1 file(s)"));
         assert!(report.contains("baselines:"));
         assert!(report.contains("rsync (700B)"));
@@ -308,7 +311,8 @@ mod tests {
     fn chunks_lists_chunks() {
         let d = tmpdir("chunks");
         let f = d.join("data.bin");
-        let data: Vec<u8> = (0..40_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> =
+            (0..40_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
         fs::write(&f, &data).unwrap();
         let report = run_words(&["chunks", f.to_str().unwrap(), "--avg", "1024"]).unwrap();
         assert!(report.contains("chunk(s)"));

@@ -17,10 +17,10 @@
 //! canonical Huffman tables.
 
 use crate::huffman::{build_lengths, HuffmanCode, HuffmanDecoder};
-use std::sync::OnceLock;
 use crate::lz::{gamma_bin, GAMMA_BINS};
 use crate::lz77::{HashChains, MIN_MATCH};
 use msync_hash::{BitReader, BitWriter};
+use std::sync::OnceLock;
 
 /// Errors from [`decode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +90,9 @@ fn parse_ops(reference: &[u8], target: &[u8]) -> Vec<Op> {
                 }
             }
             (Some((rp, rl)), None) => Some(Op::CopyRef { pos: rp as u64, len: rl as u64 }),
-            (None, Some((sp, sl))) => Some(Op::CopySelf { dist: (pos - sp) as u64, len: sl as u64 }),
+            (None, Some((sp, sl))) => {
+                Some(Op::CopySelf { dist: (pos - sp) as u64, len: sl as u64 })
+            }
             (None, None) => None,
         };
         match best {
@@ -329,12 +331,7 @@ mod tests {
         target[500..510].copy_from_slice(b"XXXXXXXXXX");
         let d = encode(&reference, &target);
         assert_eq!(decode(&reference, &d).unwrap(), target);
-        assert!(
-            d.len() < target.len() / 10,
-            "delta {} for target {}",
-            d.len(),
-            target.len()
-        );
+        assert!(d.len() < target.len() / 10, "delta {} for target {}", d.len(), target.len());
     }
 
     #[test]
@@ -401,7 +398,9 @@ mod tests {
         let other_ref = vec![0u8; 10];
         // Either an explicit error or a wrong reconstruction; never the
         // right bytes by accident.
-        if let Ok(out) = decode(&other_ref, &d) { assert_ne!(out, target) }
+        if let Ok(out) = decode(&other_ref, &d) {
+            assert_ne!(out, target)
+        }
     }
 
     #[test]

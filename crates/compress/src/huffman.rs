@@ -248,7 +248,8 @@ mod tests {
         let freqs: Vec<u64> = (0..64).map(|i| if i < 4 { 1000 } else { i }).collect();
         let code = HuffmanCode::from_freqs(&freqs).unwrap();
         let dec = code.decoder();
-        let symbols: Vec<usize> = (0..2000).map(|i| (i * 7) % 64).filter(|&s| freqs[s] > 0).collect();
+        let symbols: Vec<usize> =
+            (0..2000).map(|i| (i * 7) % 64).filter(|&s| freqs[s] > 0).collect();
         let mut w = BitWriter::new();
         for &s in &symbols {
             code.encode(&mut w, s);

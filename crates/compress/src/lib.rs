@@ -15,7 +15,7 @@
 //!   second delta baseline.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod delta;
 pub mod huffman;

@@ -167,10 +167,7 @@ pub fn parse(data: &[u8], max_dist: usize, max_chain: u32) -> Vec<Token> {
             }
             (Some((ppos, plen)), _) => {
                 // Previous match stands; it starts at pos-1.
-                tokens.push(Token::Match {
-                    dist: ((pos - 1) - ppos) as u32,
-                    len: plen as u32,
-                });
+                tokens.push(Token::Match { dist: ((pos - 1) - ppos) as u32, len: plen as u32 });
                 pos = pos - 1 + plen;
             }
             (None, Some((mpos, mlen))) => {
@@ -179,10 +176,7 @@ pub fn parse(data: &[u8], max_dist: usize, max_chain: u32) -> Vec<Token> {
                     pending = Some((mpos, mlen));
                     pos += 1;
                 } else {
-                    tokens.push(Token::Match {
-                        dist: (pos - mpos) as u32,
-                        len: mlen as u32,
-                    });
+                    tokens.push(Token::Match { dist: (pos - mpos) as u32, len: mlen as u32 });
                     pos += mlen;
                 }
             }
@@ -197,10 +191,7 @@ pub fn parse(data: &[u8], max_dist: usize, max_chain: u32) -> Vec<Token> {
         let start = data.len() - 1;
         let plen = plen.min(data.len() - start);
         if plen >= MIN_MATCH {
-            tokens.push(Token::Match {
-                dist: (start - ppos) as u32,
-                len: plen as u32,
-            });
+            tokens.push(Token::Match { dist: (start - ppos) as u32, len: plen as u32 });
         } else {
             tokens.push(Token::Literal(data[start]));
         }

@@ -30,7 +30,8 @@ const OP_RUN: u8 = 2;
 
 fn write_leb(out: &mut Vec<u8>, mut v: u64) {
     loop {
-        let byte = (v & 0x7F) as u8;
+        // Masked to 7 bits, so the byte conversion cannot lose data.
+        let byte = u8::try_from(v & 0x7F).unwrap_or(0x7F);
         v >>= 7;
         if v == 0 {
             out.push(byte);
@@ -61,7 +62,8 @@ fn read_leb(input: &[u8], pos: &mut usize) -> Result<u64, VcdiffError> {
 /// bits; size 0 means an LEB128 size follows.
 fn write_instr(out: &mut Vec<u8>, op: u8, size: u64) {
     if (1..=63).contains(&size) {
-        out.push((op << 6) | size as u8);
+        // In-range check above guarantees size fits the 6-bit field.
+        out.push((op << 6) | u8::try_from(size).unwrap_or(0));
     } else {
         out.push(op << 6);
         write_leb(out, size);
@@ -123,10 +125,11 @@ pub fn encode(reference: &[u8], target: &[u8]) -> Vec<u8> {
 /// Decode a delta produced by [`encode`] against the same `reference`.
 pub fn decode(reference: &[u8], delta: &[u8]) -> Result<Vec<u8>, VcdiffError> {
     let mut pos = 0usize;
-    let target_len = read_leb(delta, &mut pos)? as usize;
-    if target_len > (1 << 32) {
+    let target_len_raw = read_leb(delta, &mut pos)?;
+    if target_len_raw > (1 << 32) {
         return Err(VcdiffError::Corrupt);
     }
+    let target_len = usize::try_from(target_len_raw).map_err(|_| VcdiffError::Corrupt)?;
     // Allocate incrementally: `orig_len` is untrusted wire data, so a
     // corrupt header must not be able to demand gigabytes up front.
     let mut out = Vec::with_capacity(target_len.min(1 << 20));
@@ -135,11 +138,11 @@ pub fn decode(reference: &[u8], delta: &[u8]) -> Result<Vec<u8>, VcdiffError> {
         pos += 1;
         let op = instr >> 6;
         let size = if instr & 0x3F != 0 {
-            (instr & 0x3F) as u64
+            usize::from(instr & 0x3F)
         } else {
-            read_leb(delta, &mut pos)?
-        } as usize;
-        if out.len() + size > target_len {
+            usize::try_from(read_leb(delta, &mut pos)?).map_err(|_| VcdiffError::Corrupt)?
+        };
+        if out.len().checked_add(size).is_none_or(|end| end > target_len) {
             return Err(VcdiffError::Corrupt);
         }
         match op {
@@ -157,7 +160,8 @@ pub fn decode(reference: &[u8], delta: &[u8]) -> Result<Vec<u8>, VcdiffError> {
                 out.resize(out.len() + size, byte);
             }
             OP_COPY => {
-                let addr = read_leb(delta, &mut pos)? as usize;
+                let addr = usize::try_from(read_leb(delta, &mut pos)?)
+                    .map_err(|_| VcdiffError::Corrupt)?;
                 if addr < reference.len() {
                     // Copy from reference; may not cross into target space.
                     if addr + size > reference.len() {

@@ -41,7 +41,11 @@ pub fn fitted_config(base: &ProtocolConfig, file_len: usize) -> ProtocolConfig {
 }
 
 /// Synchronize one file with the start block fitted to its size.
-pub fn sync_file_adaptive(old: &[u8], new: &[u8], base: &ProtocolConfig) -> Result<SyncOutcome, SyncError> {
+pub fn sync_file_adaptive(
+    old: &[u8],
+    new: &[u8],
+    base: &ProtocolConfig,
+) -> Result<SyncOutcome, SyncError> {
     let cfg = fitted_config(base, old.len().max(new.len()));
     sync_file(old, new, &cfg)
 }
@@ -60,11 +64,7 @@ pub fn candidate_configs() -> Vec<(&'static str, ProtocolConfig)> {
         verify: VerifyStrategy::PerCandidate { bits: 20 },
         ..ProtocolConfig::default()
     };
-    vec![
-        ("deep", deep),
-        ("balanced", ProtocolConfig::default()),
-        ("shallow", shallow),
-    ]
+    vec![("deep", deep), ("balanced", ProtocolConfig::default()), ("shallow", shallow)]
 }
 
 /// Outcome of an adaptive collection sync.
@@ -108,7 +108,7 @@ pub fn sync_collection_adaptive(
     let (chosen, probe_overhead) = if probes.is_empty() {
         ("balanced", 0)
     } else {
-        let mut best: Option<(&'static str, u64)> = None;
+        let mut best: (&'static str, u64) = ("balanced", u64::MAX);
         let mut total_probe = 0u64;
         for (name, cfg) in &candidates {
             let mut bytes = 0u64;
@@ -118,21 +118,19 @@ pub fn sync_collection_adaptive(
                 bytes += out.stats.total_bytes();
             }
             total_probe += bytes;
-            if best.is_none_or(|(_, b)| bytes < b) {
-                best = Some((name, bytes));
+            if bytes < best.1 {
+                best = (name, bytes);
             }
         }
-        let (name, winner_bytes) = best.expect("candidates non-empty");
         // The winner's probe bytes are real sync work it would have done
         // anyway; only the losers' bytes are overhead.
-        (name, total_probe - winner_bytes)
+        (best.0, total_probe.saturating_sub(best.1))
     };
 
     let cfg = candidates
         .iter()
         .find(|(n, _)| *n == chosen)
-        .map(|(_, c)| c.clone())
-        .expect("chosen name comes from candidates");
+        .map_or_else(ProtocolConfig::default, |(_, c)| c.clone());
     let outcome = sync_collection_fitted(old, new, &cfg)?;
     Ok(AdaptiveOutcome { outcome, chosen, probe_overhead })
 }
@@ -160,11 +158,8 @@ fn sync_collection_fitted(
     }
     // Deleted files join the first group so the name exchange sees them.
     let new_names: std::collections::HashSet<&str> = new.iter().map(|f| f.name.as_str()).collect();
-    let deleted: Vec<FileEntry> = old
-        .iter()
-        .filter(|f| !new_names.contains(f.name.as_str()))
-        .cloned()
-        .collect();
+    let deleted: Vec<FileEntry> =
+        old.iter().filter(|f| !new_names.contains(f.name.as_str())).cloned().collect();
 
     let mut merged: Option<CollectionOutcome> = None;
     let mut first = true;
@@ -295,10 +290,8 @@ mod tests {
 
     #[test]
     fn deleted_files_counted_once() {
-        let old_files = vec![
-            FileEntry::new("keep", blob(3_000, 7)),
-            FileEntry::new("gone", blob(3_000, 8)),
-        ];
+        let old_files =
+            vec![FileEntry::new("keep", blob(3_000, 7)), FileEntry::new("gone", blob(3_000, 8))];
         let new_files = vec![FileEntry::new("keep", blob(3_000, 7))];
         let out = sync_collection_adaptive(&old_files, &new_files, 2).unwrap();
         assert_eq!(out.outcome.deleted, 1);

@@ -101,10 +101,8 @@ mod tests {
     #[test]
     fn rsync_cost_is_u_shaped() {
         let m = model();
-        let costs: Vec<f64> = [64u64, 256, 1024, 4096, 16_384]
-            .iter()
-            .map(|&b| rsync_cost(&m, b))
-            .collect();
+        let costs: Vec<f64> =
+            [64u64, 256, 1024, 4096, 16_384].iter().map(|&b| rsync_cost(&m, b)).collect();
         let min_idx = costs
             .iter()
             .enumerate()
@@ -128,9 +126,7 @@ mod tests {
         let formula = rsync_optimal_block(&m);
         let grid = (6..=14)
             .map(|p| 1u64 << p)
-            .min_by(|&a, &b| {
-                rsync_cost(&m, a).partial_cmp(&rsync_cost(&m, b)).expect("finite")
-            })
+            .min_by(|&a, &b| rsync_cost(&m, a).partial_cmp(&rsync_cost(&m, b)).expect("finite"))
             .expect("non-empty grid");
         assert!(
             formula == grid || formula == grid * 2 || formula * 2 == grid,
@@ -145,10 +141,7 @@ mod tests {
         let m = model();
         let rsync_best = rsync_cost(&m, rsync_optimal_block(&m));
         let msync_pred = msync_cost(&m, 1 << 15, 64, 25);
-        assert!(
-            msync_pred < rsync_best,
-            "model: msync {msync_pred:.0} vs rsync {rsync_best:.0}"
-        );
+        assert!(msync_pred < rsync_best, "model: msync {msync_pred:.0} vs rsync {rsync_best:.0}");
     }
 
     #[test]

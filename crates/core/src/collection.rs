@@ -144,7 +144,16 @@ pub fn sync_collection(
     }
     traffic.roundtrips = max_roundtrips + 1; // +1 for the name exchange
 
-    Ok(CollectionOutcome { files, traffic, per_file, unchanged, created, renamed, deleted, fell_back })
+    Ok(CollectionOutcome {
+        files,
+        traffic,
+        per_file,
+        unchanged,
+        created,
+        renamed,
+        deleted,
+        fell_back,
+    })
 }
 
 #[cfg(test)]
@@ -164,7 +173,12 @@ mod tests {
     }
 
     fn small_cfg() -> ProtocolConfig {
-        ProtocolConfig { start_block: 1 << 12, min_block_global: 64, min_block_cont: 16, ..Default::default() }
+        ProtocolConfig {
+            start_block: 1 << 12,
+            min_block_global: 64,
+            min_block_cont: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -205,11 +219,7 @@ mod tests {
         assert_eq!(out.renamed, 1);
         assert_eq!(out.created, 1);
         // A rename costs names + fingerprints, never a transfer.
-        assert!(
-            out.traffic.total_bytes() < 128,
-            "rename cost {} bytes",
-            out.traffic.total_bytes()
-        );
+        assert!(out.traffic.total_bytes() < 128, "rename cost {} bytes", out.traffic.total_bytes());
     }
 
     #[test]
@@ -232,12 +242,7 @@ mod tests {
         let old = vec![FileEntry::new("a", a_old), FileEntry::new("b", b_old)];
         let new = vec![FileEntry::new("a", a_new), FileEntry::new("b", b_new)];
         let out = sync_collection(&old, &new, &small_cfg()).unwrap();
-        let per_file_max = out
-            .per_file
-            .iter()
-            .map(|(_, s)| s.traffic.roundtrips)
-            .max()
-            .unwrap();
+        let per_file_max = out.per_file.iter().map(|(_, s)| s.traffic.roundtrips).max().unwrap();
         assert_eq!(out.traffic.roundtrips, per_file_max + 1);
     }
 }
@@ -293,7 +298,9 @@ pub fn sync_collection_with(
     let rec = match strategy {
         ReconStrategy::Flat => recon::flat_exchange(&client_items, &server_items),
         ReconStrategy::Merkle => recon::merkle::reconcile(&client_items, &server_items),
-        ReconStrategy::GroupTesting => recon::group_testing::reconcile(&client_items, &server_items),
+        ReconStrategy::GroupTesting => {
+            recon::group_testing::reconcile(&client_items, &server_items)
+        }
     };
     let differing: std::collections::HashSet<&str> =
         rec.differing.iter().map(String::as_str).collect();
@@ -402,9 +409,8 @@ mod recon_tests {
         let cfg = ProtocolConfig { start_block: 1 << 11, ..Default::default() };
         let flat = sync_collection_with(&old, &new, &cfg, ReconStrategy::Flat).unwrap();
         let merkle = sync_collection_with(&old, &new, &cfg, ReconStrategy::Merkle).unwrap();
-        let setup = |o: &CollectionOutcome| {
-            o.traffic.c2s(Phase::Setup) + o.traffic.s2c(Phase::Setup)
-        };
+        let setup =
+            |o: &CollectionOutcome| o.traffic.c2s(Phase::Setup) + o.traffic.s2c(Phase::Setup);
         assert!(
             setup(&merkle) * 3 < setup(&flat),
             "merkle setup {} vs flat {}",

@@ -278,7 +278,8 @@ mod tests {
 
     #[test]
     fn continuation_extends_levels() {
-        let cfg = ProtocolConfig { min_block_global: 128, min_block_cont: 16, ..Default::default() };
+        let cfg =
+            ProtocolConfig { min_block_global: 128, min_block_cont: 16, ..Default::default() };
         assert!(cfg.total_levels() > cfg.global_levels());
         assert_eq!(cfg.total_levels(), levels_between(1 << 15, 16));
     }

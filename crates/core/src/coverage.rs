@@ -41,7 +41,10 @@ impl Coverage {
         let end = start + len;
         let idx = self.ivals.partition_point(|&(s, _)| s < start);
         debug_assert!(idx == 0 || self.ivals[idx - 1].1 <= start, "overlap with predecessor");
-        debug_assert!(idx == self.ivals.len() || end <= self.ivals[idx].0, "overlap with successor");
+        debug_assert!(
+            idx == self.ivals.len() || end <= self.ivals[idx].0,
+            "overlap with successor"
+        );
         // Merge with neighbours that touch.
         let merge_prev = idx > 0 && self.ivals[idx - 1].1 == start;
         let merge_next = idx < self.ivals.len() && self.ivals[idx].0 == end;

@@ -68,7 +68,14 @@ pub fn matches_at(old: &[u8], pos: i64, len: usize, bits: u32, target: u64) -> b
 /// Scan the neighborhood `[lo, hi)` of the old file for a window whose
 /// `bits`-bit hash equals `target` (local hashes). Returns the first
 /// matching position.
-pub fn scan_neighborhood(old: &[u8], lo: i64, hi: i64, len: usize, bits: u32, target: u64) -> Option<u64> {
+pub fn scan_neighborhood(
+    old: &[u8],
+    lo: i64,
+    hi: i64,
+    len: usize,
+    bits: u32,
+    target: u64,
+) -> Option<u64> {
     let lo = lo.max(0) as usize;
     let hi = (hi.max(0) as usize).min(old.len());
     if len == 0 || lo + len > hi {

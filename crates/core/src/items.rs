@@ -117,7 +117,15 @@ pub fn enumerate(
     new_len: u64,
     level: u32,
 ) -> Vec<Item> {
-    enumerate_phase(cfg, coverage, known_hashes, new_len, level, RoundPhase::Combined, &Coverage::new())
+    enumerate_phase(
+        cfg,
+        coverage,
+        known_hashes,
+        new_len,
+        level,
+        RoundPhase::Combined,
+        &Coverage::new(),
+    )
 }
 
 /// Phase-aware variant of [`enumerate`]; `excluded` carries the regions
@@ -186,9 +194,7 @@ pub fn enumerate_phase(
                 }
             }
             let is_local = cfg.use_local
-                && coverage
-                    .distance_to_nearest(off, len)
-                    .is_some_and(|dist| dist <= local_reach);
+                && coverage.distance_to_nearest(off, len).is_some_and(|dist| dist <= local_reach);
             globals.push(Item {
                 new_off: off,
                 len,
@@ -281,9 +287,7 @@ mod tests {
         let items = enumerate(&cfg, &cov, &known, 256, 0);
         // 4 blocks of 64, no coverage → no probes.
         assert_eq!(items.len(), 4);
-        assert!(items
-            .iter()
-            .all(|i| matches!(i.kind, ItemKind::Global { suppressed: None })));
+        assert!(items.iter().all(|i| matches!(i.kind, ItemKind::Global { suppressed: None })));
         assert_eq!(items[0].new_off, 0);
         assert_eq!(items[3].new_off, 192);
     }
@@ -297,10 +301,8 @@ mod tests {
         let items = enumerate(&cfg, &cov, &known, 256, 0);
         // Block 0 covered; right probe at [64,128) claims that region, so
         // the level-0 block at 64 is excluded; blocks 128, 192 global.
-        let probes: Vec<_> = items
-            .iter()
-            .filter(|i| matches!(i.kind, ItemKind::Cont { .. }))
-            .collect();
+        let probes: Vec<_> =
+            items.iter().filter(|i| matches!(i.kind, ItemKind::Cont { .. })).collect();
         assert_eq!(probes.len(), 1);
         assert_eq!(probes[0].new_off, 64);
         let globals: Vec<_> = items
@@ -347,9 +349,7 @@ mod tests {
         let cov = Coverage::new();
         let known = HashSet::new(); // parents unknown
         let items = enumerate(&cfg, &cov, &known, 128, 1);
-        assert!(items
-            .iter()
-            .all(|i| matches!(i.kind, ItemKind::Global { suppressed: None })));
+        assert!(items.iter().all(|i| matches!(i.kind, ItemKind::Global { suppressed: None })));
     }
 
     #[test]
@@ -395,10 +395,8 @@ mod tests {
         cov.insert(0, 32); // at file start: no left probe
         let known = HashSet::new();
         let items = enumerate(&cfg, &cov, &known, 40, 3); // size 8
-        let probes: Vec<_> = items
-            .iter()
-            .filter(|i| matches!(i.kind, ItemKind::Cont { .. }))
-            .collect();
+        let probes: Vec<_> =
+            items.iter().filter(|i| matches!(i.kind, ItemKind::Cont { .. })).collect();
         assert_eq!(probes.len(), 1);
         assert_eq!(probes[0].new_off, 32);
         // Right probe would end at 48 > 40 after the one at 32..40? No:
@@ -447,7 +445,10 @@ mod tests {
         let cfg = cfg_basic();
         let g = 28;
         let mk = |kind| Item { new_off: 0, len: 16, kind };
-        assert_eq!(mk(ItemKind::Cont { side: Side::Left, anchor_edge: 16 }).wire_bits(&cfg, g), cfg.cont_bits);
+        assert_eq!(
+            mk(ItemKind::Cont { side: Side::Left, anchor_edge: 16 }).wire_bits(&cfg, g),
+            cfg.cont_bits
+        );
         assert_eq!(mk(ItemKind::Local).wire_bits(&cfg, g), cfg.local_bits);
         assert_eq!(mk(ItemKind::Global { suppressed: None }).wire_bits(&cfg, g), g);
         let der = Derivation { parent_off: 0, sibling_off: 16, is_right: true };

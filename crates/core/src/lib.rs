@@ -45,7 +45,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptive;
 pub mod analysis;
@@ -63,7 +63,9 @@ pub mod verify;
 
 pub use adaptive::{sync_collection_adaptive, sync_file_adaptive, AdaptiveOutcome};
 pub use broadcast::{sync_broadcast, BroadcastOutcome};
-pub use collection::{sync_collection, sync_collection_with, CollectionOutcome, FileEntry, ReconStrategy};
+pub use collection::{
+    sync_collection, sync_collection_with, CollectionOutcome, FileEntry, ReconStrategy,
+};
 pub use config::{BatchConfig, ProtocolConfig, VerifyStrategy};
 pub use map::{FileMap, Segment};
 pub use session::{sync_file, sync_over_channel, SyncError, SyncOutcome};

@@ -39,18 +39,28 @@ pub fn parse(text: &str) -> Result<ProtocolConfig, String> {
         let bad = |what: &str| format!("line {}: invalid {what}: `{value}`", lineno + 1);
         match key {
             "start_block" => cfg.start_block = value.parse().map_err(|_| bad("integer"))?,
-            "min_block_global" => cfg.min_block_global = value.parse().map_err(|_| bad("integer"))?,
+            "min_block_global" => {
+                cfg.min_block_global = value.parse().map_err(|_| bad("integer"))?
+            }
             "min_block_cont" => cfg.min_block_cont = value.parse().map_err(|_| bad("integer"))?,
-            "global_extra_bits" => cfg.global_extra_bits = value.parse().map_err(|_| bad("integer"))?,
+            "global_extra_bits" => {
+                cfg.global_extra_bits = value.parse().map_err(|_| bad("integer"))?
+            }
             "cont_bits" => cfg.cont_bits = value.parse().map_err(|_| bad("integer"))?,
             "local_bits" => cfg.local_bits = value.parse().map_err(|_| bad("integer"))?,
-            "local_range_blocks" => cfg.local_range_blocks = value.parse().map_err(|_| bad("integer"))?,
+            "local_range_blocks" => {
+                cfg.local_range_blocks = value.parse().map_err(|_| bad("integer"))?
+            }
             "max_positions_per_hash" => {
                 cfg.max_positions_per_hash = value.parse().map_err(|_| bad("integer"))?
             }
-            "use_continuation" => cfg.use_continuation = parse_bool(value).ok_or_else(|| bad("bool"))?,
+            "use_continuation" => {
+                cfg.use_continuation = parse_bool(value).ok_or_else(|| bad("bool"))?
+            }
             "use_local" => cfg.use_local = parse_bool(value).ok_or_else(|| bad("bool"))?,
-            "use_decomposable" => cfg.use_decomposable = parse_bool(value).ok_or_else(|| bad("bool"))?,
+            "use_decomposable" => {
+                cfg.use_decomposable = parse_bool(value).ok_or_else(|| bad("bool"))?
+            }
             "skip_sibling_of_matched" => {
                 cfg.skip_sibling_of_matched = parse_bool(value).ok_or_else(|| bad("bool"))?
             }
@@ -102,10 +112,8 @@ pub fn render(cfg: &ProtocolConfig) -> String {
     let verify = match &cfg.verify {
         VerifyStrategy::PerCandidate { bits } => format!("per_candidate {bits}"),
         VerifyStrategy::GroupTesting { batches } => {
-            let specs: Vec<String> = batches
-                .iter()
-                .map(|b| format!("{}x{}", b.group_size, b.bits))
-                .collect();
+            let specs: Vec<String> =
+                batches.iter().map(|b| format!("{}x{}", b.group_size, b.bits)).collect();
             format!("group {}", specs.join(", "))
         }
     };

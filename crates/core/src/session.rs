@@ -255,7 +255,9 @@ impl<'a> ServerSession<'a> {
             let mut buf = Vec::new();
             for &cand in group {
                 let it = &self.items[self.candidates[cand]];
-                buf.extend_from_slice(&self.new[it.new_off as usize..(it.new_off + it.len) as usize]);
+                buf.extend_from_slice(
+                    &self.new[it.new_off as usize..(it.new_off + it.len) as usize],
+                );
             }
             let ours = Md5::digest_bits(&buf, bits);
             let passed = ours == sent;
@@ -407,7 +409,10 @@ impl<'a> ClientSession<'a> {
                     let mut r = BitReader::new(&part.payload);
                     let unchanged = r.read_bit().map_err(|_| SyncError::Desync("setup flag"))?;
                     if unchanged {
-                        return Ok(ClientAction::Done { data: self.old.to_vec(), fell_back: false });
+                        return Ok(ClientAction::Done {
+                            data: self.old.to_vec(),
+                            fell_back: false,
+                        });
                     }
                     self.new_len = r.read_varint().map_err(|_| SyncError::Desync("new len"))?;
                     for b in self.new_fp.iter_mut() {
@@ -424,13 +429,11 @@ impl<'a> ClientSession<'a> {
                         let delta = &part.payload[1..];
                         self.delta_bytes = delta.len() as u64;
                         let reference = self.map.reference_from_old(self.old);
-                        let result = msync_compress::delta_decode(&reference, delta).ok().filter(
-                            |out| file_fingerprint(out).0 == self.new_fp,
-                        );
+                        let result = msync_compress::delta_decode(&reference, delta)
+                            .ok()
+                            .filter(|out| file_fingerprint(out).0 == self.new_fp);
                         match result {
-                            Some(data) => {
-                                return Ok(ClientAction::Done { data, fell_back: false })
-                            }
+                            Some(data) => return Ok(ClientAction::Done { data, fell_back: false }),
                             None => {
                                 // Residual weak-hash failure: request the
                                 // whole file.
@@ -463,7 +466,8 @@ impl<'a> ClientSession<'a> {
                     let verify = self.verify.as_mut().expect("verify set in AwaitResults");
                     let mut results = Vec::with_capacity(verify.groups().len());
                     for _ in 0..verify.groups().len() {
-                        results.push(r.read_bit().map_err(|_| SyncError::Desync("results bitmap"))?);
+                        results
+                            .push(r.read_bit().map_err(|_| SyncError::Desync("results bitmap"))?);
                     }
                     match verify.apply_results(&results) {
                         StepOutcome::NextBatch => {
@@ -528,9 +532,8 @@ impl<'a> ClientSession<'a> {
         }
 
         // Lazy per-level position index for full-size global lookups.
-        let needs_index = items.iter().any(|it| {
-            matches!(it.kind, ItemKind::Global { .. }) && it.len == d
-        });
+        let needs_index =
+            items.iter().any(|it| matches!(it.kind, ItemKind::Global { .. }) && it.len == d);
         if needs_index {
             let rebuild = self.index.as_ref().is_none_or(|ix| ix.window() != d as usize);
             if rebuild {
@@ -714,7 +717,14 @@ impl<'a> ClientSession<'a> {
             let index = self.index.as_ref()?;
             index.lookup(value).first().map(|&p| p as u64)
         } else {
-            scan_neighborhood(self.old, 0, self.old.len() as i64, it.len as usize, self.global_bits, value)
+            scan_neighborhood(
+                self.old,
+                0,
+                self.old.len() as i64,
+                it.len as usize,
+                self.global_bits,
+                value,
+            )
         }
     }
 }
@@ -756,7 +766,11 @@ pub fn sync_file(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOut
                     return Err(SyncError::Desync("client had nothing to say"));
                 }
                 for p in &cparts {
-                    traffic.record(Direction::ClientToServer, p.phase, frame_wire_size(p.payload.len()));
+                    traffic.record(
+                        Direction::ClientToServer,
+                        p.phase,
+                        frame_wire_size(p.payload.len()),
+                    );
                 }
                 roundtrips += 1;
                 parts = server.on_client(&cparts)?;
@@ -806,9 +820,9 @@ fn recv_parts(ep: &msync_protocol::Endpoint) -> Result<Vec<Part>, SyncError> {
     let mut parts = Vec::new();
     loop {
         let frame = ep.recv().map_err(|_| SyncError::Desync("peer disconnected"))?;
-        let (&header, payload) =
-            frame.split_first().ok_or(SyncError::Desync("empty frame"))?;
-        let (phase, more) = parse_part_header(header).ok_or(SyncError::Desync("bad part header"))?;
+        let (&header, payload) = frame.split_first().ok_or(SyncError::Desync("empty frame"))?;
+        let (phase, more) =
+            parse_part_header(header).ok_or(SyncError::Desync("bad part header"))?;
         parts.push(Part { phase, payload: payload.to_vec() });
         if !more {
             return Ok(parts);
@@ -821,7 +835,11 @@ fn recv_parts(ep: &msync_protocol::Endpoint) -> Result<Vec<Part>, SyncError> {
 /// the library, as opposed to [`sync_file`]'s lockstep in-process
 /// driver. Byte accounting comes from the channel itself (one extra
 /// header byte per message part relative to `sync_file`).
-pub fn sync_over_channel(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOutcome, SyncError> {
+pub fn sync_over_channel(
+    old: &[u8],
+    new: &[u8],
+    cfg: &ProtocolConfig,
+) -> Result<SyncOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
     let (mut client_ep, mut server_ep) = msync_protocol::Endpoint::pair();
 
@@ -863,9 +881,7 @@ pub fn sync_over_channel(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result
     };
     let traffic = client_ep.stats();
     drop(client_ep);
-    handle
-        .join()
-        .map_err(|_| SyncError::Desync("server thread panicked"))??;
+    handle.join().map_err(|_| SyncError::Desync("server thread panicked"))??;
 
     let (data, fell_back) = result;
     let stats = SyncStats {
@@ -907,7 +923,12 @@ mod channel_tests {
         // part, so totals agree within that overhead.
         let diff = b.stats.total_bytes().abs_diff(a.stats.total_bytes());
         let parts_bound = 4 * (a.stats.traffic.roundtrips as u64 + 2);
-        assert!(diff <= parts_bound, "channel {} vs driver {}", b.stats.total_bytes(), a.stats.total_bytes());
+        assert!(
+            diff <= parts_bound,
+            "channel {} vs driver {}",
+            b.stats.total_bytes(),
+            a.stats.total_bytes()
+        );
         assert_eq!(b.stats.traffic.roundtrips, a.stats.traffic.roundtrips);
         assert_eq!(b.stats.levels, a.stats.levels);
     }

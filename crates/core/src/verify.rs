@@ -37,7 +37,9 @@ impl VerifyState {
     /// Start verification of `candidate_count` candidates.
     pub fn new(strategy: &VerifyStrategy, candidate_count: usize) -> Self {
         let batches = match strategy {
-            VerifyStrategy::PerCandidate { bits } => vec![BatchConfig { group_size: 1, bits: *bits }],
+            VerifyStrategy::PerCandidate { bits } => {
+                vec![BatchConfig { group_size: 1, bits: *bits }]
+            }
             VerifyStrategy::GroupTesting { batches } => batches.clone(),
         };
         let pending: Vec<usize> = (0..candidate_count).collect();
@@ -153,9 +155,8 @@ mod tests {
 
     #[test]
     fn failed_group_at_last_batch_rejected_wholesale() {
-        let strategy = VerifyStrategy::GroupTesting {
-            batches: vec![BatchConfig { group_size: 4, bits: 12 }],
-        };
+        let strategy =
+            VerifyStrategy::GroupTesting { batches: vec![BatchConfig { group_size: 4, bits: 12 }] };
         let mut v = VerifyState::new(&strategy, 4);
         assert_eq!(v.apply_results(&[false]), StepOutcome::Done);
         assert!(v.confirmed().is_empty());

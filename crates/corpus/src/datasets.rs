@@ -8,10 +8,9 @@
 //! given its seed.
 
 use crate::edits::{apply_edits, EditProfile};
+use crate::rng::Rng;
 use crate::text::{html_page, lognormal_size, source_file};
 use crate::versioned::{Collection, VersionedCollection};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of a source-tree release pair.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +63,7 @@ pub fn emacs_like(scale: f64) -> ReleaseParams {
 
 /// Build the (old, new) release pair.
 pub fn release_pair(p: &ReleaseParams) -> VersionedCollection {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let mut old = Collection::new();
     for i in 0..p.files {
         let size = lognormal_size(&mut rng, p.median_size, 1.1, 400, 400_000);
@@ -122,7 +121,7 @@ pub fn web_params(scale: f64) -> WebParams {
 /// Build the base crawl plus snapshots after each of `days` consecutive
 /// days of churn (versions[0] = base, versions[k] = day k).
 pub fn web_collection(p: &WebParams, days: u32) -> VersionedCollection {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let mut base = Collection::new();
     for i in 0..p.pages {
         let size = lognormal_size(&mut rng, p.median_size, 0.9, 600, 200_000);
@@ -190,11 +189,8 @@ mod tests {
         let vc = web_collection(&web_params(0.01), 2); // 100 pages, 2 days
         assert_eq!(vc.versions.len(), 3);
         let (d0, d1) = (&vc.versions[0], &vc.versions[1]);
-        let unchanged = d1
-            .files()
-            .iter()
-            .filter(|f| d0.get(&f.name).is_some_and(|o| o.data == f.data))
-            .count();
+        let unchanged =
+            d1.files().iter().filter(|f| d0.get(&f.name).is_some_and(|o| o.data == f.data)).count();
         let frac = unchanged as f64 / d1.files().len() as f64;
         assert!(frac > 0.7, "daily unchanged fraction {frac}");
     }

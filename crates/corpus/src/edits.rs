@@ -8,9 +8,8 @@
 //! [`apply_edits`] produces the next version, operating on lines so edits
 //! look like real source/markup edits.
 
+use crate::rng::Rng;
 use crate::text::source_line;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Parameters of the per-file edit process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,19 +31,37 @@ impl EditProfile {
     /// Small, clustered edits typical of a minor release (gcc 2.7.0 →
     /// 2.7.1 changed few files, lightly).
     pub fn minor_release() -> Self {
-        Self { clusters: 2.5, cluster_span: 6, insert_prob: 0.25, delete_prob: 0.2, move_prob: 0.05 }
+        Self {
+            clusters: 2.5,
+            cluster_span: 6,
+            insert_prob: 0.25,
+            delete_prob: 0.2,
+            move_prob: 0.05,
+        }
     }
 
     /// Heavier, more dispersed edits (emacs 19.28 → 19.29 was a bigger
     /// release: the paper's emacs deltas are ~5–8× its gcc deltas).
     pub fn major_release() -> Self {
-        Self { clusters: 14.0, cluster_span: 10, insert_prob: 0.3, delete_prob: 0.25, move_prob: 0.15 }
+        Self {
+            clusters: 14.0,
+            cluster_span: 10,
+            insert_prob: 0.3,
+            delete_prob: 0.25,
+            move_prob: 0.15,
+        }
     }
 
     /// Web-page recrawl churn: a couple of tiny localized changes (date,
     /// counter, a rotated item).
     pub fn web_touch() -> Self {
-        Self { clusters: 2.0, cluster_span: 3, insert_prob: 0.3, delete_prob: 0.25, move_prob: 0.02 }
+        Self {
+            clusters: 2.0,
+            cluster_span: 3,
+            insert_prob: 0.3,
+            delete_prob: 0.25,
+            move_prob: 0.02,
+        }
     }
 }
 
@@ -55,7 +72,7 @@ impl EditProfile {
 /// (lossily — invalid sequences become U+FFFD), which is the right
 /// model for the source/markup corpora this crate generates. Do not
 /// feed binary files through it.
-pub fn apply_edits(data: &[u8], profile: &EditProfile, rng: &mut StdRng) -> Vec<u8> {
+pub fn apply_edits(data: &[u8], profile: &EditProfile, rng: &mut Rng) -> Vec<u8> {
     let text = String::from_utf8_lossy(data);
     let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
     if lines.is_empty() {
@@ -71,7 +88,7 @@ pub fn apply_edits(data: &[u8], profile: &EditProfile, rng: &mut StdRng) -> Vec<
         }
         let at = rng.gen_range(0..lines.len());
         let span = rng.gen_range(1..=profile.cluster_span).min(lines.len() - at);
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.gen_f64();
         if roll < profile.delete_prob {
             lines.drain(at..at + span);
         } else if roll < profile.delete_prob + profile.insert_prob {
@@ -99,7 +116,7 @@ pub fn apply_edits(data: &[u8], profile: &EditProfile, rng: &mut StdRng) -> Vec<
 
 /// Expected-value `mean` count: `floor(mean)` plus one with the
 /// fractional probability.
-fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+fn sample_count(rng: &mut Rng, mean: f64) -> usize {
     let base = mean.floor() as usize;
     let frac = mean - mean.floor();
     base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0)))
@@ -123,20 +140,19 @@ pub fn novelty(old: &[u8], new: &[u8]) -> f64 {
 mod tests {
     use super::*;
     use crate::text::source_file;
-    use rand::SeedableRng;
 
     #[test]
     fn edits_are_deterministic() {
-        let base = source_file(&mut StdRng::seed_from_u64(1), 10_000);
-        let a = apply_edits(&base, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(2));
-        let b = apply_edits(&base, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(2));
+        let base = source_file(&mut Rng::seed_from_u64(1), 10_000);
+        let a = apply_edits(&base, &EditProfile::minor_release(), &mut Rng::seed_from_u64(2));
+        let b = apply_edits(&base, &EditProfile::minor_release(), &mut Rng::seed_from_u64(2));
         assert_eq!(a, b);
     }
 
     #[test]
     fn minor_edits_are_small() {
-        let base = source_file(&mut StdRng::seed_from_u64(3), 30_000);
-        let mut rng = StdRng::seed_from_u64(4);
+        let base = source_file(&mut Rng::seed_from_u64(3), 30_000);
+        let mut rng = Rng::seed_from_u64(4);
         let edited = apply_edits(&base, &EditProfile::minor_release(), &mut rng);
         let nov = novelty(&base, &edited);
         assert!(nov < 0.12, "minor release novelty too high: {nov}");
@@ -145,16 +161,30 @@ mod tests {
 
     #[test]
     fn major_edits_bigger_than_minor() {
-        let base = source_file(&mut StdRng::seed_from_u64(5), 30_000);
+        let base = source_file(&mut Rng::seed_from_u64(5), 30_000);
         let minor: f64 = (0..5)
             .map(|i| {
-                novelty(&base, &apply_edits(&base, &EditProfile::minor_release(), &mut StdRng::seed_from_u64(100 + i)))
+                novelty(
+                    &base,
+                    &apply_edits(
+                        &base,
+                        &EditProfile::minor_release(),
+                        &mut Rng::seed_from_u64(100 + i),
+                    ),
+                )
             })
             .sum::<f64>()
             / 5.0;
         let major: f64 = (0..5)
             .map(|i| {
-                novelty(&base, &apply_edits(&base, &EditProfile::major_release(), &mut StdRng::seed_from_u64(200 + i)))
+                novelty(
+                    &base,
+                    &apply_edits(
+                        &base,
+                        &EditProfile::major_release(),
+                        &mut Rng::seed_from_u64(200 + i),
+                    ),
+                )
             })
             .sum::<f64>()
             / 5.0;
@@ -163,7 +193,7 @@ mod tests {
 
     #[test]
     fn empty_input_survives() {
-        let out = apply_edits(b"", &EditProfile::minor_release(), &mut StdRng::seed_from_u64(6));
+        let out = apply_edits(b"", &EditProfile::minor_release(), &mut Rng::seed_from_u64(6));
         // Must produce something valid, not panic.
         assert!(out.ends_with(b"\n"));
     }
@@ -172,7 +202,7 @@ mod tests {
     fn novelty_bounds() {
         assert_eq!(novelty(b"same", b"same"), 0.0);
         assert_eq!(novelty(b"a", b"b"), 1.0);
-        let base = source_file(&mut StdRng::seed_from_u64(7), 5000);
+        let base = source_file(&mut Rng::seed_from_u64(7), 5000);
         assert_eq!(novelty(&base, &base), 0.0);
     }
 }

@@ -11,14 +11,18 @@
 //! have them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod datasets;
 pub mod edits;
 pub mod fsload;
+pub mod rng;
 pub mod text;
 pub mod versioned;
 
-pub use datasets::{emacs_like, gcc_like, release_pair, web_collection, web_params, ReleaseParams, WebParams};
+pub use datasets::{
+    emacs_like, gcc_like, release_pair, web_collection, web_params, ReleaseParams, WebParams,
+};
 pub use edits::{apply_edits, novelty, EditProfile};
+pub use rng::Rng;
 pub use versioned::{Collection, File, VersionedCollection};

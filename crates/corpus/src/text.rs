@@ -9,35 +9,40 @@
 //! [`html_page`] emits tag-soup web pages (for the crawl stand-in), both
 //! fully deterministic given the seed.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::Rng;
 
 const IDENTS: &[&str] = &[
     "buffer", "offset", "length", "result", "status", "index", "count", "state", "handle",
     "config", "cursor", "stream", "packet", "header", "record", "symbol", "token", "parser",
-    "node", "tree", "hash", "table", "entry", "value", "block", "chunk", "frame", "queue",
-    "cache", "flags",
+    "node", "tree", "hash", "table", "entry", "value", "block", "chunk", "frame", "queue", "cache",
+    "flags",
 ];
 
 const TYPES: &[&str] = &["int", "char", "long", "void", "unsigned", "size_t", "struct node *"];
 
 const WORDS: &[&str] = &[
-    "the", "of", "and", "to", "a", "in", "that", "is", "was", "for", "on", "are", "with",
-    "as", "his", "they", "be", "at", "one", "have", "this", "from", "or", "had", "by",
-    "word", "but", "what", "some", "we", "can", "out", "other", "were", "all", "there",
-    "when", "up", "use", "your", "how", "said", "an", "each", "she", "which", "their",
-    "time", "if", "will", "way", "about", "many", "then", "them", "would", "write", "like",
-    "so", "these", "her", "long", "make", "thing", "see", "him", "two", "has", "look",
-    "more", "day", "could", "go", "come", "did", "number", "sound", "no", "most", "people",
+    "the", "of", "and", "to", "a", "in", "that", "is", "was", "for", "on", "are", "with", "as",
+    "his", "they", "be", "at", "one", "have", "this", "from", "or", "had", "by", "word", "but",
+    "what", "some", "we", "can", "out", "other", "were", "all", "there", "when", "up", "use",
+    "your", "how", "said", "an", "each", "she", "which", "their", "time", "if", "will", "way",
+    "about", "many", "then", "them", "would", "write", "like", "so", "these", "her", "long",
+    "make", "thing", "see", "him", "two", "has", "look", "more", "day", "could", "go", "come",
+    "did", "number", "sound", "no", "most", "people",
 ];
 
 /// Generate one pseudo-C source line (used for whole files and for the
 /// replacement lines of edits, so edits look like the surrounding text).
-pub fn source_line(rng: &mut StdRng, indent: usize) -> String {
+pub fn source_line(rng: &mut Rng, indent: usize) -> String {
     let pad = "    ".repeat(indent);
     match rng.gen_range(0..8u32) {
-        0 => format!("{pad}{} {}_{} = {};", pick(rng, TYPES), pick(rng, IDENTS), rng.gen_range(0..100), rng.gen_range(0..65536)),
-        1 => format!("{pad}if ({} > {}) {{", pick(rng, IDENTS), rng.gen_range(0..256)),
+        0 => format!(
+            "{pad}{} {}_{} = {};",
+            pick(rng, TYPES),
+            pick(rng, IDENTS),
+            rng.gen_range(0..100u32),
+            rng.gen_range(0..65536u32)
+        ),
+        1 => format!("{pad}if ({} > {}) {{", pick(rng, IDENTS), rng.gen_range(0..256u32)),
         2 => format!("{pad}{}({}, {});", pick(rng, IDENTS), pick(rng, IDENTS), pick(rng, IDENTS)),
         3 => format!("{pad}return {};", pick(rng, IDENTS)),
         4 => format!("{pad}/* {} {} {} */", pick(rng, WORDS), pick(rng, WORDS), pick(rng, WORDS)),
@@ -48,7 +53,7 @@ pub fn source_line(rng: &mut StdRng, indent: usize) -> String {
 }
 
 /// A C-like source file of roughly `target_bytes`.
-pub fn source_file(rng: &mut StdRng, target_bytes: usize) -> Vec<u8> {
+pub fn source_file(rng: &mut Rng, target_bytes: usize) -> Vec<u8> {
     let mut out = String::with_capacity(target_bytes + 128);
     out.push_str("/* generated module */\n#include <stdio.h>\n#include <stdlib.h>\n\n");
     let mut indent = 0usize;
@@ -58,7 +63,7 @@ pub fn source_file(rng: &mut StdRng, target_bytes: usize) -> Vec<u8> {
                 "\n{} {}_{}({} {}) {{\n",
                 pick(rng, TYPES),
                 pick(rng, IDENTS),
-                rng.gen_range(0..1000),
+                rng.gen_range(0..1000u32),
                 pick(rng, TYPES),
                 pick(rng, IDENTS)
             ));
@@ -77,8 +82,8 @@ pub fn source_file(rng: &mut StdRng, target_bytes: usize) -> Vec<u8> {
 }
 
 /// One line of prose-like HTML body text.
-pub fn html_line(rng: &mut StdRng) -> String {
-    let n = rng.gen_range(6..14);
+pub fn html_line(rng: &mut Rng) -> String {
+    let n = rng.gen_range(6..14usize);
     let mut line = String::new();
     for i in 0..n {
         if i > 0 {
@@ -92,13 +97,13 @@ pub fn html_line(rng: &mut StdRng) -> String {
 /// An HTML-ish web page of roughly `target_bytes` (the paper's pages
 /// average ~15 KB). Pages carry a date stamp and a counter — the fields
 /// that typically change between recrawls.
-pub fn html_page(rng: &mut StdRng, target_bytes: usize, day: u32) -> Vec<u8> {
+pub fn html_page(rng: &mut Rng, target_bytes: usize, day: u32) -> Vec<u8> {
     let mut out = String::with_capacity(target_bytes + 256);
     out.push_str("<!DOCTYPE html>\n<html>\n<head>\n");
     out.push_str(&format!("<title>{} {}</title>\n", pick(rng, WORDS), pick(rng, WORDS)));
     out.push_str(&format!("<meta name=\"date\" content=\"2001-10-{:02}\">\n", day % 28 + 1));
     out.push_str("</head>\n<body>\n");
-    out.push_str(&format!("<!-- visit counter: {} -->\n", rng.gen_range(0..100_000)));
+    out.push_str(&format!("<!-- visit counter: {} -->\n", rng.gen_range(0..100_000u32)));
     while out.len() < target_bytes {
         match rng.gen_range(0..6u32) {
             0 => out.push_str(&format!("<h2>{}</h2>\n", html_line(rng))),
@@ -117,13 +122,13 @@ pub fn html_page(rng: &mut StdRng, target_bytes: usize, day: u32) -> Vec<u8> {
     out.into_bytes()
 }
 
-fn pick<'a>(rng: &mut StdRng, table: &[&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut Rng, table: &[&'a str]) -> &'a str {
     table[rng.gen_range(0..table.len())]
 }
 
 /// Log-normal-ish file size: `median` scaled by 2^N(0,sigma). Clamped to
 /// `[min, max]`.
-pub fn lognormal_size(rng: &mut StdRng, median: usize, sigma: f64, min: usize, max: usize) -> usize {
+pub fn lognormal_size(rng: &mut Rng, median: usize, sigma: f64, min: usize, max: usize) -> usize {
     // Box-Muller from two uniforms.
     let u1: f64 = rng.gen_range(1e-9..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
@@ -135,28 +140,27 @@ pub fn lognormal_size(rng: &mut StdRng, median: usize, sigma: f64, min: usize, m
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn source_file_deterministic() {
-        let a = source_file(&mut StdRng::seed_from_u64(7), 5000);
-        let b = source_file(&mut StdRng::seed_from_u64(7), 5000);
+        let a = source_file(&mut Rng::seed_from_u64(7), 5000);
+        let b = source_file(&mut Rng::seed_from_u64(7), 5000);
         assert_eq!(a, b);
-        let c = source_file(&mut StdRng::seed_from_u64(8), 5000);
+        let c = source_file(&mut Rng::seed_from_u64(8), 5000);
         assert_ne!(a, c);
     }
 
     #[test]
     fn sizes_roughly_hit_target() {
-        let f = source_file(&mut StdRng::seed_from_u64(1), 20_000);
+        let f = source_file(&mut Rng::seed_from_u64(1), 20_000);
         assert!(f.len() >= 20_000 && f.len() < 21_000);
-        let p = html_page(&mut StdRng::seed_from_u64(2), 15_000, 3);
+        let p = html_page(&mut Rng::seed_from_u64(2), 15_000, 3);
         assert!(p.len() >= 15_000 && p.len() < 16_000);
     }
 
     #[test]
     fn generated_text_is_compressible_but_not_trivial() {
-        let f = source_file(&mut StdRng::seed_from_u64(3), 30_000);
+        let f = source_file(&mut Rng::seed_from_u64(3), 30_000);
         let c = msync_compress_ratio(&f);
         assert!(c < 0.6, "source should compress below 60%, got {c}");
         assert!(c > 0.02, "source should not be degenerate, got {c}");
@@ -171,7 +175,7 @@ mod tests {
 
     #[test]
     fn lognormal_in_bounds() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for _ in 0..1000 {
             let s = lognormal_size(&mut rng, 20_000, 1.2, 500, 300_000);
             assert!((500..=300_000).contains(&s));
@@ -183,8 +187,8 @@ mod tests {
         // Same rng stream → different content; but two pages generated
         // with the same seed and different day differ only slightly in
         // the date line.
-        let a = html_page(&mut StdRng::seed_from_u64(5), 2000, 1);
-        let b = html_page(&mut StdRng::seed_from_u64(5), 2000, 2);
+        let a = html_page(&mut Rng::seed_from_u64(5), 2000, 1);
+        let b = html_page(&mut Rng::seed_from_u64(5), 2000, 2);
         let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
         assert!(diff <= 4, "only the date should differ, got {diff} bytes");
     }

@@ -11,7 +11,7 @@
 pub struct BitWriter {
     buf: Vec<u8>,
     /// Bits already used in the final byte of `buf` (0 means byte-aligned).
-    bit_pos: u32,
+    bit_pos: usize,
 }
 
 impl BitWriter {
@@ -25,7 +25,7 @@ impl BitWriter {
         if self.bit_pos == 0 {
             self.buf.len() * 8
         } else {
-            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+            (self.buf.len() - 1) * 8 + self.bit_pos
         }
     }
 
@@ -33,22 +33,23 @@ impl BitWriter {
     /// (a no-op) and at most 64.
     pub fn write_bits(&mut self, value: u64, bits: u32) {
         debug_assert!(bits <= 64);
-        let mut remaining = bits;
-        let mut value = if bits < 64 {
-            value & ((1u64 << bits) - 1)
-        } else {
-            value
-        };
+        let mut remaining = usize::try_from(bits.min(64)).unwrap_or(64);
+        let mut value = if remaining < 64 { value & ((1u64 << remaining) - 1) } else { value };
         while remaining > 0 {
             if self.bit_pos == 0 {
                 self.buf.push(0);
             }
-            let last = self.buf.last_mut().expect("buffer populated above");
-            let avail = 8 - self.bit_pos;
+            // Non-empty: the push above covers the byte-aligned case.
+            let bit_pos = self.bit_pos;
+            let Some(last) = self.buf.last_mut() else { return };
+            let avail = 8 - bit_pos;
             let take = avail.min(remaining);
-            let chunk = (value & ((1u64 << take) - 1)) as u8;
-            *last |= chunk << self.bit_pos;
-            self.bit_pos = (self.bit_pos + take) % 8;
+            // take ≤ 8, so the masked chunk always fits one byte;
+            // try_from keeps that invariant checked instead of silently
+            // truncating the way `as u8` would.
+            let chunk = u8::try_from(value & ((1u64 << take) - 1)).unwrap_or(u8::MAX);
+            *last |= chunk << bit_pos;
+            self.bit_pos = (bit_pos + take) % 8;
             value >>= take;
             remaining -= take;
         }
@@ -118,20 +119,21 @@ impl<'a> BitReader<'a> {
     /// Read `bits` bits (LSB first). Fails if fewer remain.
     pub fn read_bits(&mut self, bits: u32) -> Result<u64, BitReadError> {
         debug_assert!(bits <= 64);
-        if bits as usize > self.remaining_bits() {
+        let nbits = usize::try_from(bits.min(64)).unwrap_or(64);
+        if nbits > self.remaining_bits() {
             return Err(BitReadError);
         }
         let mut out = 0u64;
-        let mut got = 0u32;
-        while got < bits {
-            let byte = self.buf[self.bit_pos / 8];
-            let offset = (self.bit_pos % 8) as u32;
+        let mut got = 0usize;
+        while got < nbits {
+            let byte = self.buf.get(self.bit_pos / 8).copied().unwrap_or(0);
+            let offset = self.bit_pos % 8;
             let avail = 8 - offset;
-            let take = avail.min(bits - got);
-            let chunk = ((byte >> offset) as u64) & ((1u64 << take) - 1);
+            let take = avail.min(nbits - got);
+            let chunk = (u64::from(byte) >> offset) & ((1u64 << take) - 1);
             out |= chunk << got;
             got += take;
-            self.bit_pos += take as usize;
+            self.bit_pos += take;
         }
         Ok(out)
     }

@@ -94,10 +94,7 @@ impl DecomposableDigest {
     pub fn compose(&self, right: &Self) -> Self {
         Self {
             a: self.a.wrapping_add(right.a),
-            b: self
-                .b
-                .wrapping_add(right.b)
-                .wrapping_add((right.len as u32).wrapping_mul(self.a)),
+            b: self.b.wrapping_add(right.b).wrapping_add((right.len as u32).wrapping_mul(self.a)),
             len: self.len + right.len,
         }
     }
@@ -108,10 +105,7 @@ impl DecomposableDigest {
     pub fn decompose_right(&self, left: &Self) -> Option<Self> {
         let right_len = self.len.checked_sub(left.len)?;
         let a = self.a.wrapping_sub(left.a);
-        let b = self
-            .b
-            .wrapping_sub(left.b)
-            .wrapping_sub((right_len as u32).wrapping_mul(left.a));
+        let b = self.b.wrapping_sub(left.b).wrapping_sub((right_len as u32).wrapping_mul(left.a));
         Some(Self { a, b, len: right_len })
     }
 
@@ -119,10 +113,7 @@ impl DecomposableDigest {
     pub fn decompose_left(&self, right: &Self) -> Option<Self> {
         let left_len = self.len.checked_sub(right.len)?;
         let a = self.a.wrapping_sub(right.a);
-        let b = self
-            .b
-            .wrapping_sub(right.b)
-            .wrapping_sub((right.len as u32).wrapping_mul(a));
+        let b = self.b.wrapping_sub(right.b).wrapping_sub((right.len as u32).wrapping_mul(a));
         Some(Self { a, b, len: left_len })
     }
 
@@ -183,25 +174,31 @@ fn compact(x: u64) -> u32 {
 /// transmission of hash bits that can be computed from sibling and ancestor
 /// hashes"). `left_len` and `right_len` are known to both sides from the
 /// block tree.
-pub fn prefix_decompose_right(parent_prefix: u64, left_prefix: u64, bits: u32, right_len: u64) -> u64 {
+pub fn prefix_decompose_right(
+    parent_prefix: u64,
+    left_prefix: u64,
+    bits: u32,
+    right_len: u64,
+) -> u64 {
     let (pa, pb) = deinterleave(parent_prefix);
     let (la, lb) = deinterleave(left_prefix);
     let ra = pa.wrapping_sub(la);
-    let rb = pb
-        .wrapping_sub(lb)
-        .wrapping_sub((right_len as u32).wrapping_mul(la));
+    let rb = pb.wrapping_sub(lb).wrapping_sub((right_len as u32).wrapping_mul(la));
     crate::truncate_bits(interleave(ra, rb), bits)
 }
 
 /// Derive the `bits`-bit prefix of the *left* sibling's hash value from the
 /// parent's and right sibling's prefixes. See [`prefix_decompose_right`].
-pub fn prefix_decompose_left(parent_prefix: u64, right_prefix: u64, bits: u32, right_len: u64) -> u64 {
+pub fn prefix_decompose_left(
+    parent_prefix: u64,
+    right_prefix: u64,
+    bits: u32,
+    right_len: u64,
+) -> u64 {
     let (pa, pb) = deinterleave(parent_prefix);
     let (ra, rb) = deinterleave(right_prefix);
     let la = pa.wrapping_sub(ra);
-    let lb = pb
-        .wrapping_sub(rb)
-        .wrapping_sub((right_len as u32).wrapping_mul(la));
+    let lb = pb.wrapping_sub(rb).wrapping_sub((right_len as u32).wrapping_mul(la));
     crate::truncate_bits(interleave(la, lb), bits)
 }
 
@@ -233,10 +230,7 @@ impl RollingHash for DecomposableAdler {
         let go = G[out as usize];
         let gi = G[in_ as usize];
         self.a = self.a.wrapping_sub(go).wrapping_add(gi);
-        self.b = self
-            .b
-            .wrapping_sub((self.len as u32).wrapping_mul(go))
-            .wrapping_add(self.a);
+        self.b = self.b.wrapping_sub((self.len as u32).wrapping_mul(go)).wrapping_add(self.a);
     }
 
     fn value(&self) -> u64 {

@@ -23,7 +23,7 @@
 //!   bit width (the protocol routinely sends 3–24 bit hashes).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adler;
 pub mod bitio;
@@ -42,6 +42,20 @@ pub use md4::Md4;
 pub use md5::Md5;
 pub use rabin::RabinHash;
 pub use rolling::{RollingHash, RsyncRolling};
+
+/// Little-endian `u64` from the first 8 bytes of a digest, zero-padded
+/// if the slice is shorter. Collapsing strong digests to 64-bit test
+/// values this way is used throughout the protocol (verification hashes,
+/// reconciliation bucket indices), so it lives here, panic-free.
+#[inline]
+#[must_use]
+pub fn u64_prefix_le(digest: &[u8]) -> u64 {
+    let mut bytes = [0u8; 8];
+    for (dst, src) in bytes.iter_mut().zip(digest) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(bytes)
+}
 
 /// Truncate a 64-bit hash value to its low `bits` bits (`1..=64`).
 #[inline]
@@ -64,6 +78,14 @@ mod tests {
         assert_eq!(truncate_bits(0xABCD, 8), 0xCD);
         assert_eq!(truncate_bits(0xABCD, 64), 0xABCD);
         assert_eq!(truncate_bits(u64::MAX, 63), u64::MAX >> 1);
+    }
+
+    #[test]
+    fn u64_prefix_reads_first_eight_bytes() {
+        let d = [1u8, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF];
+        assert_eq!(u64_prefix_le(&d), 1);
+        assert_eq!(u64_prefix_le(&[0xABu8]), 0xAB);
+        assert_eq!(u64_prefix_le(&[]), 0);
     }
 
     #[test]

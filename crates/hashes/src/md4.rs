@@ -51,9 +51,8 @@ impl Md4 {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            self.process(block.try_into().expect("64-byte block"));
+        while let Some((block, rest)) = data.split_first_chunk::<64>() {
+            self.process(block);
             data = rest;
         }
         if !data.is_empty() {
@@ -91,8 +90,8 @@ impl Md4 {
 
     fn process(&mut self, block: &[u8; 64]) {
         let mut x = [0u32; 16];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            x[i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        for (word, chunk) in x.iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         let [mut a, mut b, mut c, mut d] = self.state;
 
@@ -111,10 +110,7 @@ impl Md4 {
 
         macro_rules! r1 {
             ($a:ident, $b:ident, $c:ident, $d:ident, $k:expr, $s:expr) => {
-                $a = $a
-                    .wrapping_add(f($b, $c, $d))
-                    .wrapping_add(x[$k])
-                    .rotate_left($s);
+                $a = $a.wrapping_add(f($b, $c, $d)).wrapping_add(x[$k]).rotate_left($s);
             };
         }
         macro_rules! r2 {
@@ -208,18 +204,13 @@ mod tests {
         assert_eq!(hex(Md4::digest(b"")), "31d6cfe0d16ae931b73c59d7e0c089c0");
         assert_eq!(hex(Md4::digest(b"a")), "bde52cb31de33e46245e05fbdbd6fb24");
         assert_eq!(hex(Md4::digest(b"abc")), "a448017aaf21d8525fc10ae87aa6729d");
-        assert_eq!(
-            hex(Md4::digest(b"message digest")),
-            "d9130a8164549fe818874806e1c7014b"
-        );
+        assert_eq!(hex(Md4::digest(b"message digest")), "d9130a8164549fe818874806e1c7014b");
         assert_eq!(
             hex(Md4::digest(b"abcdefghijklmnopqrstuvwxyz")),
             "d79e1c308aa5bbcdeea8ed63df412da9"
         );
         assert_eq!(
-            hex(Md4::digest(
-                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
-            )),
+            hex(Md4::digest(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
             "043f8582f241db351ce627e153e7f0e4"
         );
         assert_eq!(

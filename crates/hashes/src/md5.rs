@@ -67,9 +67,8 @@ impl Md5 {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            self.process(block.try_into().expect("64-byte block"));
+        while let Some((block, rest)) = data.split_first_chunk::<64>() {
+            self.process(block);
             data = rest;
         }
         if !data.is_empty() {
@@ -108,14 +107,13 @@ impl Md5 {
     /// verification hashes, we used another MD5-based hash").
     pub fn digest_bits(data: &[u8], bits: u32) -> u64 {
         let d = Self::digest(data);
-        let v = u64::from_le_bytes(d[..8].try_into().expect("8 bytes"));
-        crate::truncate_bits(v, bits)
+        crate::truncate_bits(crate::u64_prefix_le(&d), bits)
     }
 
     fn process(&mut self, block: &[u8; 64]) {
         let mut m = [0u32; 16];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        for (word, chunk) in m.iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         let [mut a, mut b, mut c, mut d] = self.state;
         for i in 0..64 {
@@ -129,10 +127,7 @@ impl Md5 {
             d = c;
             c = b;
             b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
+                a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]).rotate_left(S[i]),
             );
             a = tmp;
         }
@@ -156,18 +151,13 @@ mod tests {
         assert_eq!(hex(Md5::digest(b"")), "d41d8cd98f00b204e9800998ecf8427e");
         assert_eq!(hex(Md5::digest(b"a")), "0cc175b9c0f1b6a831c399e269772661");
         assert_eq!(hex(Md5::digest(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
-        assert_eq!(
-            hex(Md5::digest(b"message digest")),
-            "f96b697d7cb7938d525a2f31aaf161d0"
-        );
+        assert_eq!(hex(Md5::digest(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
         assert_eq!(
             hex(Md5::digest(b"abcdefghijklmnopqrstuvwxyz")),
             "c3fcd3d76192e4007dfb496cca67e13b"
         );
         assert_eq!(
-            hex(Md5::digest(
-                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
-            )),
+            hex(Md5::digest(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
             "d174ab98d277d9f5a5611c2c9f419d9f"
         );
         assert_eq!(

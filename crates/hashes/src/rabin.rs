@@ -87,11 +87,7 @@ impl RollingHash for RabinHash {
         }
         self.value = v;
         self.len = data.len();
-        self.top_power = if data.is_empty() {
-            0
-        } else {
-            mod_pow(BASE, data.len() as u64 - 1)
-        };
+        self.top_power = if data.is_empty() { 0 } else { mod_pow(BASE, data.len() as u64 - 1) };
     }
 
     fn roll(&mut self, out: u8, in_: u8) {

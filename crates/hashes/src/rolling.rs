@@ -63,16 +63,8 @@ impl RollingHash for RsyncRolling {
 
     fn roll(&mut self, out: u8, in_: u8) {
         let l = self.len as u32;
-        self.a = self
-            .a
-            .wrapping_sub(out as u32)
-            .wrapping_add(in_ as u32)
-            & 0xFFFF;
-        self.b = self
-            .b
-            .wrapping_sub(l.wrapping_mul(out as u32))
-            .wrapping_add(self.a)
-            & 0xFFFF;
+        self.a = self.a.wrapping_sub(out as u32).wrapping_add(in_ as u32) & 0xFFFF;
+        self.b = self.b.wrapping_sub(l.wrapping_mul(out as u32)).wrapping_add(self.a) & 0xFFFF;
         // NOTE: `self.a` above is already the *new* a, matching rsync's
         // recurrence b' = b − L·out + a'.
     }
@@ -91,7 +83,12 @@ impl RollingHash for RsyncRolling {
 ///
 /// Returns immediately if `haystack` is shorter than `window` or the window
 /// is empty.
-pub fn scan_rolling<H: RollingHash>(hash: &mut H, haystack: &[u8], window: usize, mut f: impl FnMut(usize, u64)) {
+pub fn scan_rolling<H: RollingHash>(
+    hash: &mut H,
+    haystack: &[u8],
+    window: usize,
+    mut f: impl FnMut(usize, u64),
+) {
     if window == 0 || haystack.len() < window {
         return;
     }

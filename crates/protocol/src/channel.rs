@@ -10,9 +10,8 @@
 //! communication" per round.
 
 use crate::stats::{Direction, Phase, TrafficStats};
-use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A single frame on the wire.
 #[derive(Debug, Clone)]
@@ -66,8 +65,8 @@ impl Endpoint {
     /// from the client end are attributed to [`Direction::ClientToServer`]
     /// and vice versa.
     pub fn pair() -> (Endpoint, Endpoint) {
-        let (tx_c2s, rx_c2s) = unbounded();
-        let (tx_s2c, rx_s2c) = unbounded();
+        let (tx_c2s, rx_c2s) = channel();
+        let (tx_s2c, rx_s2c) = channel();
         let shared = Arc::new(Mutex::new(Shared::default()));
         let client = Endpoint {
             dir: Direction::ClientToServer,
@@ -91,13 +90,19 @@ impl Endpoint {
         self.phase = phase;
     }
 
+    /// Lock the shared statistics. A poisoned mutex (a peer thread that
+    /// panicked while holding it) is recovered rather than propagated:
+    /// traffic counters stay well-formed and the channel must never add
+    /// a second panic on top of the original failure.
+    fn lock_shared(&self) -> MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Send a frame to the peer, charging its wire size.
     pub fn send(&self, payload: Vec<u8>) {
         {
-            let mut shared = self.shared.lock();
-            shared
-                .stats
-                .record(self.dir, self.phase, frame_wire_size(payload.len()));
+            let mut shared = self.lock_shared();
+            shared.stats.record(self.dir, self.phase, frame_wire_size(payload.len()));
             if shared.last_dir != Some(self.dir) {
                 shared.half_trips += 1;
                 shared.last_dir = Some(self.dir);
@@ -119,7 +124,7 @@ impl Endpoint {
 
     /// Snapshot of the traffic statistics shared by both endpoints.
     pub fn stats(&self) -> TrafficStats {
-        self.shared.lock().stats
+        self.lock_shared().stats
     }
 }
 

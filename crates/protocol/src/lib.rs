@@ -9,7 +9,7 @@
 //! targets.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod channel;
 pub mod link;

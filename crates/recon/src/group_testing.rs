@@ -24,7 +24,7 @@ fn bucketize(items: &[Item], depth: u32) -> Vec<Vec<Item>> {
     let mut buckets: Vec<Vec<Item>> = vec![Vec::new(); 1usize << depth];
     for item in items {
         let d = Md5::digest(item.name.as_bytes());
-        let v = u64::from_le_bytes(d[..8].try_into().expect("8 bytes"));
+        let v = msync_hash::u64_prefix_le(&d);
         let idx = if depth == 0 { 0 } else { (v >> (64 - depth)) as usize };
         buckets[idx].push(item.clone());
     }
@@ -45,8 +45,7 @@ fn range_hash(buckets: &[Vec<Item>], lo: usize, hi: usize) -> u64 {
         h.update(&[1]); // bucket separator
     }
     let d = h.finish();
-    let v = u64::from_le_bytes(d[..8].try_into().expect("8 bytes"));
-    v & ((1u64 << TEST_BITS) - 1)
+    msync_hash::u64_prefix_le(&d) & ((1u64 << TEST_BITS) - 1)
 }
 
 /// Run adaptive group-testing reconciliation.
@@ -154,5 +153,100 @@ mod tests {
     fn empty_inputs() {
         let out = reconcile(&[], &[]);
         assert!(out.differing.is_empty());
+    }
+
+    // --- salvage path: a failed group test converges by sub-group
+    // retesting rather than giving up or re-probing the same range. ---
+
+    #[test]
+    fn failed_group_salvaged_by_subgroup_retesting() {
+        // One changed file: the root test fails, and every wave after it
+        // splits the one failed range in two, retests, and discards the
+        // clean half. That walk takes exactly depth+1 probe waves plus
+        // the final content exchange.
+        let n = 1_024usize;
+        let (a, b, expect) = corpus(n, &[500], &[], &[]);
+        let depth = crate::merkle::depth_for(n);
+        let out = reconcile(&a, &b);
+        assert_eq!(out.differing, expect);
+        assert_eq!(out.roundtrips, depth + 2, "depth+1 test waves + 1 exchange");
+        // Pruning bound: after the root, each wave keeps at most the two
+        // halves of the single failed range, so probe traffic is
+        // O(depth), nowhere near the 2^depth of an unpruned sweep.
+        let max_probe_bytes = u64::from(depth + 1) * (1 + 2 * u64::from(TEST_BITS).div_ceil(8));
+        // The final exchange sends the failed bucket's full contents — the
+        // changed file plus any same-bucket neighbors — so allow a small
+        // bucket on top of the probe bytes. An unpruned sweep would probe
+        // all 2^depth ranges (~10 KB here); this bound stays ~10x below it.
+        let leaf_allowance = 16 * 64;
+        assert!(
+            out.c2s <= max_probe_bytes + leaf_allowance,
+            "c2s {} exceeds pruned-walk bound {}",
+            out.c2s,
+            max_probe_bytes + leaf_allowance
+        );
+    }
+
+    #[test]
+    fn all_groups_fail_worst_case_converges() {
+        // Every file differs: every group test at every level fails, so
+        // the adaptive split visits the entire tree. The walk must still
+        // terminate at the leaves and report every file exactly once.
+        let n = 257usize;
+        let changed: Vec<usize> = (0..n).collect();
+        let (a, b, expect) = corpus(n, &changed, &[], &[]);
+        assert_eq!(expect.len(), n);
+        let depth = crate::merkle::depth_for(n);
+        let out = reconcile(&a, &b);
+        assert_eq!(out.differing, expect);
+        assert_eq!(out.roundtrips, depth + 2, "full-tree walk still bottoms out at the leaves");
+        // Worst case costs more than flat exchange (same contents moved,
+        // plus all the probes that bought nothing) — the documented
+        // trade-off of group testing under dense change.
+        let flat = flat_exchange(&a, &b);
+        assert_eq!(flat.differing, out.differing);
+        assert!(
+            out.c2s + out.s2c > flat.c2s + flat.s2c,
+            "dense change: group testing {} should exceed flat {}",
+            out.c2s + out.s2c,
+            flat.c2s + flat.s2c
+        );
+    }
+
+    #[test]
+    fn half_failed_tree_only_walks_failed_subranges() {
+        // Dense changes on one side of the bucket space, none elsewhere:
+        // cost sits between the sparse and all-fail extremes.
+        let n = 2_048usize;
+        let sparse = {
+            let (a, b, _) = corpus(n, &[3], &[], &[]);
+            let o = reconcile(&a, &b);
+            o.c2s + o.s2c
+        };
+        let dense = {
+            let changed: Vec<usize> = (0..n).collect();
+            let (a, b, _) = corpus(n, &changed, &[], &[]);
+            let o = reconcile(&a, &b);
+            o.c2s + o.s2c
+        };
+        let mixed = {
+            let changed: Vec<usize> = (0..n / 8).collect();
+            let (a, b, expect) = corpus(n, &changed, &[], &[]);
+            let o = reconcile(&a, &b);
+            assert_eq!(o.differing, expect);
+            o.c2s + o.s2c
+        };
+        assert!(sparse < mixed && mixed < dense, "{sparse} < {mixed} < {dense} expected");
+    }
+
+    #[test]
+    fn one_sided_files_survive_the_salvage_walk() {
+        // Additions and deletions change the group hashes through the
+        // bucket contents, so the split walk must surface them just like
+        // fingerprint flips.
+        let (a, b, expect) = corpus(512, &[100], &[7, 8], &[400]);
+        let out = reconcile(&a, &b);
+        assert_eq!(out.differing, expect);
+        assert_eq!(out.differing.len(), 4);
     }
 }

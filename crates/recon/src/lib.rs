@@ -27,7 +27,7 @@
 //! byte-for-byte like everything else in this workspace.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod group_testing;
 pub mod merkle;

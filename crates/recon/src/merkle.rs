@@ -26,7 +26,7 @@ fn bucket_of(name: &str, depth: u32) -> usize {
         return 0;
     }
     let d = Md5::digest(name.as_bytes());
-    let v = u64::from_le_bytes(d[..8].try_into().expect("8 bytes"));
+    let v = msync_hash::u64_prefix_le(&d);
     (v >> (64 - depth)) as usize
 }
 

@@ -29,15 +29,8 @@ use crate::signature::Signatures;
 /// sourced either from the old file at `src` or from literal bytes.
 #[derive(Debug, Clone)]
 enum Command {
-    CopyOld {
-        dst: usize,
-        src: usize,
-        len: usize,
-    },
-    Literal {
-        dst: usize,
-        bytes: Vec<u8>,
-    },
+    CopyOld { dst: usize, src: usize, len: usize },
+    Literal { dst: usize, bytes: Vec<u8> },
 }
 
 /// Statistics of one in-place run, for tests and curiosity.
@@ -95,9 +88,8 @@ pub fn apply_inplace(
     // copy needs to read from its destination. The sweep below is
     // quadratic in the number of copy commands, which is tens per file
     // for realistic token streams.
-    let mut pending: Vec<usize> = (0..commands.len())
-        .filter(|&i| matches!(commands[i], Command::CopyOld { .. }))
-        .collect();
+    let mut pending: Vec<usize> =
+        (0..commands.len()).filter(|&i| matches!(commands[i], Command::CopyOld { .. })).collect();
     let mut done = vec![false; commands.len()];
     let mut stats = InplaceStats::default();
 

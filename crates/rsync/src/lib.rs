@@ -21,7 +21,7 @@
 //! power-of-two block size for each file.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod inplace;
 pub mod matcher;
@@ -71,20 +71,22 @@ pub fn sync(old: &[u8], new: &[u8], block_size: usize) -> RsyncOutcome {
     let sig_wire = sigs.encode();
     stats.record(Direction::ClientToServer, Phase::Map, charged(sig_wire.len()));
 
-    // Step 2: server matches and sends the compressed token stream.
-    let sigs_at_server = Signatures::decode(&sig_wire).expect("self-encoded signatures decode");
-    let tokens = matcher::match_tokens(new, &sigs_at_server);
-    let token_wire = msync_compress::compress(&matcher::serialize_tokens(&tokens));
-    stats.record(Direction::ServerToClient, Phase::Delta, charged(token_wire.len()));
-
-    // Step 3: client reconstructs.
-    let decoded =
-        matcher::deserialize_tokens(&msync_compress::decompress(&token_wire).expect("own stream"))
-            .expect("own tokens");
-    let reconstructed = reconstruct::apply(old, &sigs, &decoded).expect("server-checked indices");
+    // Steps 2–3: server matches and sends the compressed token stream,
+    // client replays it. The streams are self-produced so the decodes
+    // cannot fail in practice, but protocol code must not panic: any
+    // failure degrades to the same full-file fallback a checksum
+    // collision takes.
+    let reconstructed = (|| {
+        let sigs_at_server = Signatures::decode(&sig_wire)?;
+        let tokens = matcher::match_tokens(new, &sigs_at_server);
+        let token_wire = msync_compress::compress(&matcher::serialize_tokens(&tokens));
+        stats.record(Direction::ServerToClient, Phase::Delta, charged(token_wire.len()));
+        let decoded = matcher::deserialize_tokens(&msync_compress::decompress(&token_wire).ok()?)?;
+        reconstruct::apply(old, &sigs, &decoded).ok()
+    })();
 
     stats.roundtrips = 1;
-    if file_fingerprint(&reconstructed) == new_fp {
+    if let Some(reconstructed) = reconstructed.filter(|r| file_fingerprint(r) == new_fp) {
         RsyncOutcome { reconstructed, stats, fell_back: false }
     } else {
         // Checksum collision slipped a wrong block through: fall back to
@@ -185,10 +187,6 @@ mod tests {
         let new = [b, a].concat();
         let out = sync(&old, &new, 500);
         assert_eq!(out.reconstructed, new);
-        assert!(
-            out.stats.total_bytes() < 2_000,
-            "block move cost {}",
-            out.stats.total_bytes()
-        );
+        assert!(out.stats.total_bytes() < 2_000, "block move cost {}", out.stats.total_bytes());
     }
 }

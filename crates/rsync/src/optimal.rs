@@ -15,18 +15,15 @@ pub const CANDIDATE_SIZES: &[usize] = &[64, 128, 256, 512, 1024, 2048, 4096, 819
 /// Run rsync at every candidate block size and return the cheapest
 /// outcome along with the block size that achieved it.
 pub fn sync_optimal(old: &[u8], new: &[u8]) -> (RsyncOutcome, usize) {
-    let mut best: Option<(RsyncOutcome, usize)> = None;
-    for &bs in CANDIDATE_SIZES {
+    let first = CANDIDATE_SIZES.first().copied().unwrap_or(crate::DEFAULT_BLOCK_SIZE);
+    let mut best = (sync(old, new, first), first);
+    for &bs in CANDIDATE_SIZES.iter().skip(1) {
         let out = sync(old, new, bs);
-        let better = match &best {
-            None => true,
-            Some((b, _)) => out.stats.total_bytes() < b.stats.total_bytes(),
-        };
-        if better {
-            best = Some((out, bs));
+        if out.stats.total_bytes() < best.0.stats.total_bytes() {
+            best = (out, bs);
         }
     }
-    best.expect("CANDIDATE_SIZES is non-empty")
+    best
 }
 
 /// Just the cost in bytes of the oracle run (convenience for benches).

@@ -47,10 +47,8 @@ impl Signatures {
         let mut blocks = Vec::with_capacity(old.len() / block_size + 1);
         let mut last_block_len = 0;
         for chunk in old.chunks(block_size) {
-            blocks.push(BlockSig {
-                rolling: RsyncRolling::checksum(chunk),
-                strong: strong16(chunk),
-            });
+            blocks
+                .push(BlockSig { rolling: RsyncRolling::checksum(chunk), strong: strong16(chunk) });
             last_block_len = chunk.len();
         }
         Self { block_size, blocks, last_block_len }

@@ -1,0 +1,190 @@
+//! The burn-down baseline.
+//!
+//! `lint-baseline.toml` records, per `(rule, file)`, how many findings
+//! existed when the gate was introduced. The gate fails only when a
+//! file *exceeds* its baselined count, so pre-existing debt never blocks
+//! a PR while any new violation does — and when a file gets cleaner the
+//! gate reports the entry as stale so the baseline can be ratcheted
+//! down with `cargo run -p xtask -- lint --update-baseline`.
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Allowed finding counts keyed by `(rule, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule key, file) -> allowed count`.
+    pub allowed: BTreeMap<(String, String), u32>,
+}
+
+/// Result of filtering findings through a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineOutcome {
+    /// Findings that exceed the baseline: these fail the gate.
+    pub active: Vec<Finding>,
+    /// Number of findings suppressed by baseline entries.
+    pub suppressed: usize,
+    /// Entries whose allowance is higher than reality: `(rule, file,
+    /// allowed, actual)`. A ratchet opportunity, not a failure.
+    pub stale: Vec<(String, String, u32, u32)>,
+}
+
+impl Baseline {
+    /// Parse the `lint-baseline.toml` format: a sequence of
+    /// `[[allow]]` tables with `rule`, `file`, and `count` keys.
+    /// Unknown keys are ignored; malformed entries are skipped.
+    #[must_use]
+    pub fn parse(text: &str) -> Baseline {
+        let mut allowed = BTreeMap::new();
+        let mut rule: Option<String> = None;
+        let mut file: Option<String> = None;
+        let mut count: Option<u32> = None;
+        let flush = |rule: &mut Option<String>,
+                     file: &mut Option<String>,
+                     count: &mut Option<u32>,
+                     allowed: &mut BTreeMap<(String, String), u32>| {
+            if let (Some(r), Some(f), Some(c)) = (rule.take(), file.take(), count.take()) {
+                if Rule::from_key(&r).is_some() {
+                    allowed.insert((r, f), c);
+                }
+            }
+        };
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line == "[[allow]]" {
+                flush(&mut rule, &mut file, &mut count, &mut allowed);
+                continue;
+            }
+            if let Some((key, value)) = line.split_once('=') {
+                let value = value.trim().trim_matches('"');
+                match key.trim() {
+                    "rule" => rule = Some(value.to_owned()),
+                    "file" => file = Some(value.to_owned()),
+                    "count" => count = value.parse().ok(),
+                    _ => {}
+                }
+            }
+        }
+        flush(&mut rule, &mut file, &mut count, &mut allowed);
+        Baseline { allowed }
+    }
+
+    /// Serialize in the format [`Baseline::parse`] reads.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# msync lint baseline: pre-existing violations the gate tolerates,\n\
+             # tracked per (rule, file) so they can only burn DOWN.\n\
+             # Regenerate after fixing violations:\n\
+             #   cargo run -p xtask -- lint --update-baseline\n",
+        );
+        for ((rule, file), count) in &self.allowed {
+            let _ =
+                write!(out, "\n[[allow]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n");
+        }
+        out
+    }
+
+    /// Build a baseline that exactly covers `findings`.
+    #[must_use]
+    pub fn covering(findings: &[Finding]) -> Baseline {
+        let mut allowed: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *allowed.entry((f.rule.key().to_owned(), f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { allowed }
+    }
+
+    /// Filter `findings` through this baseline.
+    #[must_use]
+    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+        let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for f in &findings {
+            *counts.entry((f.rule.key().to_owned(), f.file.clone())).or_insert(0) += 1;
+        }
+        let mut outcome = BaselineOutcome::default();
+        for f in findings {
+            let key = (f.rule.key().to_owned(), f.file.clone());
+            let actual = counts.get(&key).copied().unwrap_or(0);
+            let allowed = self.allowed.get(&key).copied().unwrap_or(0);
+            if actual > allowed {
+                outcome.active.push(f);
+            } else {
+                outcome.suppressed += 1;
+            }
+        }
+        for ((rule, file), &allowed) in &self.allowed {
+            let actual = counts.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+            if actual < allowed {
+                outcome.stale.push((rule.clone(), file.clone(), allowed, actual));
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, line: u32) -> Finding {
+        Finding { rule, file: file.to_owned(), line, message: String::new() }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fs = vec![
+            finding(Rule::PanicFreedom, "a.rs", 1),
+            finding(Rule::PanicFreedom, "a.rs", 9),
+            finding(Rule::LossyCast, "b.rs", 3),
+        ];
+        let base = Baseline::covering(&fs);
+        let text = base.serialize();
+        let parsed = Baseline::parse(&text);
+        assert_eq!(base, parsed);
+        assert_eq!(parsed.allowed[&("panic-freedom".into(), "a.rs".into())], 2);
+    }
+
+    #[test]
+    fn exact_coverage_suppresses_everything() {
+        let fs =
+            vec![finding(Rule::PanicFreedom, "a.rs", 1), finding(Rule::PanicFreedom, "a.rs", 2)];
+        let base = Baseline::covering(&fs);
+        let out = base.apply(fs);
+        assert!(out.active.is_empty());
+        assert_eq!(out.suppressed, 2);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn exceeding_count_activates_the_whole_file_group() {
+        let base = Baseline::covering(&[finding(Rule::PanicFreedom, "a.rs", 1)]);
+        let out = base.apply(vec![
+            finding(Rule::PanicFreedom, "a.rs", 1),
+            finding(Rule::PanicFreedom, "a.rs", 2),
+        ]);
+        assert_eq!(
+            out.active.len(),
+            2,
+            "a regression reports every instance so the fixer sees all candidates"
+        );
+    }
+
+    #[test]
+    fn improvement_reports_stale_entry() {
+        let base = Baseline::covering(&[
+            finding(Rule::LossyCast, "w.rs", 1),
+            finding(Rule::LossyCast, "w.rs", 2),
+        ]);
+        let out = base.apply(vec![finding(Rule::LossyCast, "w.rs", 1)]);
+        assert!(out.active.is_empty());
+        assert_eq!(out.stale, vec![("lossy-cast".to_owned(), "w.rs".to_owned(), 2, 1)]);
+    }
+
+    #[test]
+    fn unknown_rules_in_baseline_ignored() {
+        let parsed = Baseline::parse("[[allow]]\nrule = \"bogus\"\nfile = \"x.rs\"\ncount = 5\n");
+        assert!(parsed.allowed.is_empty());
+    }
+}

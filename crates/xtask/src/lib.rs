@@ -1,0 +1,74 @@
+//! First-party static-analysis gate for the msync workspace.
+//!
+//! The paper's multi-round map-construction protocol only works if the
+//! client and server compute byte-identical weak hashes, block
+//! partitions, and group-testing batches in every round. Three classes
+//! of source-level defect silently break that symmetry:
+//!
+//! 1. a panic on one endpoint mid-round (the peer blocks forever),
+//! 2. a lossy `as` narrowing cast in a wire-format encoder/decoder
+//!    (bytes differ between the sides), and
+//! 3. hidden nondeterminism — ambient clocks or RNG — inside protocol
+//!    logic (the two sides no longer compute the same partitions).
+//!
+//! `xtask` enforces the corresponding invariants plus crate hygiene
+//! (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`) and build
+//! hermeticity (first-party path dependencies only) with a
+//! dependency-free scanner: [`scanner`] masks comments/strings and
+//! `#[cfg(test)]` blocks, [`rules`] runs the five rule classes, and
+//! [`baseline`] tracks pre-existing debt so the gate ratchets down
+//! instead of blocking on history.
+//!
+//! Run it as `cargo run -p xtask -- lint`; the root integration test
+//! `tests/lint_gate.rs` runs the same [`gate`] entry point so plain
+//! `cargo test` enforces the invariants too.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+pub use baseline::{Baseline, BaselineOutcome};
+pub use rules::{lint_workspace, Finding, LintConfig, Rule};
+
+use std::io;
+use std::path::Path;
+
+/// Run the full gate: lint `root`, filter through the baseline file at
+/// `root/lint-baseline.toml` (treated as empty if absent), and return
+/// the outcome. The gate passes iff `outcome.active.is_empty()`.
+///
+/// # Errors
+/// Returns any I/O error encountered while reading the tree.
+pub fn gate(root: &Path, cfg: &LintConfig) -> io::Result<BaselineOutcome> {
+    let findings = lint_workspace(root, cfg)?;
+    let baseline_path = root.join("lint-baseline.toml");
+    let baseline = if baseline_path.is_file() {
+        Baseline::parse(&std::fs::read_to_string(&baseline_path)?)
+    } else {
+        Baseline::default()
+    };
+    Ok(baseline.apply(findings))
+}
+
+/// Locate the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing a `[workspace]` table is found.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,93 @@
+//! `cargo run -p xtask -- lint` — the workspace static-analysis gate.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::{find_workspace_root, gate, lint_workspace, Baseline, LintConfig};
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- lint [options]
+
+Static-analysis gate for the msync workspace. Enforces:
+  crate-headers    #![forbid(unsafe_code)] + #![deny(missing_docs)] in lib crates
+  panic-freedom    no unwrap()/expect(/panic!/todo!/unimplemented! in
+                   protocol-critical non-test code (hashes, protocol,
+                   rsync, recon, core)
+  lossy-cast       no narrowing `as` casts in wire-format modules
+  determinism      no ambient clock/RNG inside protocol logic
+  hermeticity      workspace crates use first-party path deps only
+
+options:
+  --json               machine-readable output
+  --update-baseline    rewrite lint-baseline.toml to cover current findings
+  --root <dir>         workspace root (default: discovered from cwd)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("xtask: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    if cmd != "lint" {
+        eprint!("unknown command `{cmd}`\n\n{USAGE}");
+        return Ok(ExitCode::from(2));
+    }
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?));
+            }
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root(&cwd)
+            .ok_or("no workspace root found above the current directory")?,
+    };
+    let cfg = LintConfig::msync();
+
+    if update_baseline {
+        let findings = lint_workspace(&root, &cfg).map_err(|e| e.to_string())?;
+        let baseline = Baseline::covering(&findings);
+        let path = root.join("lint-baseline.toml");
+        std::fs::write(&path, baseline.serialize()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {} covering {} finding(s) in {} (rule, file) group(s)",
+            path.display(),
+            findings.len(),
+            baseline.allowed.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let outcome = gate(&root, &cfg).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", xtask::report::json(&outcome));
+    } else {
+        print!("{}", xtask::report::human(&outcome));
+    }
+    Ok(if outcome.active.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}

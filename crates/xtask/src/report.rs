@@ -1,0 +1,118 @@
+//! Human and machine-readable rendering of lint outcomes.
+
+use crate::baseline::BaselineOutcome;
+use std::fmt::Write as _;
+
+/// `file:line: [rule] message` per finding, plus a summary and any
+/// stale-baseline ratchet hints.
+#[must_use]
+pub fn human(outcome: &BaselineOutcome) -> String {
+    let mut out = String::new();
+    for f in &outcome.active {
+        let _ = writeln!(out, "{f}");
+    }
+    if outcome.active.is_empty() {
+        let _ = writeln!(
+            out,
+            "xtask lint: clean ({} baselined finding(s) tolerated)",
+            outcome.suppressed
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "xtask lint: {} violation(s) ({} baselined finding(s) tolerated)",
+            outcome.active.len(),
+            outcome.suppressed
+        );
+    }
+    for (rule, file, allowed, actual) in &outcome.stale {
+        let _ = writeln!(
+            out,
+            "note: baseline for [{rule}] {file} allows {allowed} but only {actual} remain — run `cargo run -p xtask -- lint --update-baseline` to ratchet down"
+        );
+    }
+    out
+}
+
+/// Stable JSON for tooling: findings, counts, stale entries.
+#[must_use]
+pub fn json(outcome: &BaselineOutcome) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in outcome.active.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule,
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        );
+    }
+    let _ = write!(out, "],\"suppressed\":{},\"stale\":[", outcome.suppressed);
+    for (i, (rule, file, allowed, actual)) in outcome.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"allowed\":{allowed},\"actual\":{actual}}}",
+            escape(rule),
+            escape(file)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let outcome = BaselineOutcome {
+            active: vec![Finding {
+                rule: Rule::PanicFreedom,
+                file: "a\"b.rs".to_owned(),
+                line: 7,
+                message: "line1\nline2".to_owned(),
+            }],
+            suppressed: 3,
+            stale: vec![("lossy-cast".to_owned(), "w.rs".to_owned(), 2, 1)],
+        };
+        let j = json(&outcome);
+        assert!(j.contains("\\\"b.rs"));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"suppressed\":3"));
+        assert!(j.contains("\"allowed\":2"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn human_mentions_counts() {
+        let outcome = BaselineOutcome { active: vec![], suppressed: 5, stale: vec![] };
+        assert!(human(&outcome).contains("clean (5 baselined"));
+    }
+}

@@ -1,0 +1,413 @@
+//! The msync-specific invariant rules.
+//!
+//! Each rule exists because a violation can silently desynchronize the
+//! two protocol endpoints (see DESIGN.md, "The static-analysis gate"):
+//!
+//! * `crate-headers` — every lib crate must carry
+//!   `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//! * `panic-freedom` — no `unwrap()` / `expect(` / `panic!` / `todo!` /
+//!   `unimplemented!` in non-test code of the protocol-critical crates;
+//!   a panic mid-round kills one endpoint while the other waits forever.
+//! * `lossy-cast` — no narrowing `as` casts in the wire-format modules;
+//!   a silent truncation changes encoded bytes on one side only.
+//! * `determinism` — no ambient time or RNG inside protocol logic; both
+//!   endpoints must compute byte-identical hashes and partitions.
+//! * `hermeticity` — workspace crates may only use first-party path
+//!   dependencies, so the build never needs the network.
+
+use crate::scanner::{blank_test_blocks, line_of, mask_source, next_nonspace, word_occurrences};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Identifier of a rule class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Required crate-level attributes in every lib crate.
+    CrateHeaders,
+    /// Panicking constructs in protocol-critical non-test code.
+    PanicFreedom,
+    /// Narrowing `as` casts in wire-format modules.
+    LossyCast,
+    /// Ambient time / RNG in protocol logic.
+    Determinism,
+    /// Non-path dependencies in workspace crates.
+    Hermeticity,
+}
+
+impl Rule {
+    /// Stable string key used in baselines and JSON output.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::CrateHeaders => "crate-headers",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::LossyCast => "lossy-cast",
+            Rule::Determinism => "determinism",
+            Rule::Hermeticity => "hermeticity",
+        }
+    }
+
+    /// Parse a baseline key back into a rule.
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<Rule> {
+        [
+            Rule::CrateHeaders,
+            Rule::PanicFreedom,
+            Rule::LossyCast,
+            Rule::Determinism,
+            Rule::Hermeticity,
+        ]
+        .into_iter()
+        .find(|r| r.key() == key)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One diagnostic produced by the gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// What to check and where. [`LintConfig::msync`] is the configuration
+/// for this workspace; tests build ad-hoc configs over temp trees.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crate directory names (under `crates/`) whose non-test code must
+    /// be panic-free and deterministic.
+    pub protocol_critical: Vec<String>,
+    /// Workspace-relative files holding wire formats: no narrowing casts.
+    pub wire_modules: Vec<String>,
+    /// Crate directory names skipped entirely (excluded from the cargo
+    /// workspace, so allowed registry deps and exempt from code rules).
+    pub skip_crates: Vec<String>,
+}
+
+impl LintConfig {
+    /// The configuration for the msync workspace.
+    #[must_use]
+    pub fn msync() -> Self {
+        LintConfig {
+            protocol_critical: ["hashes", "protocol", "rsync", "recon", "core"]
+                .map(str::to_owned)
+                .to_vec(),
+            wire_modules: [
+                "crates/hashes/src/bitio.rs",
+                "crates/protocol/src/channel.rs",
+                "crates/compress/src/vcdiff.rs",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+            skip_crates: vec!["bench".to_owned()],
+        }
+    }
+}
+
+/// Run every rule over the workspace rooted at `root`.
+///
+/// # Errors
+/// Returns any I/O error encountered while reading the tree.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() && path.join("Cargo.toml").is_file() {
+                crate_dirs.push(path);
+            }
+        }
+    }
+    crate_dirs.sort();
+
+    for dir in &crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_owned();
+        if cfg.skip_crates.contains(&name) {
+            continue;
+        }
+        check_crate_headers(root, &dir.join("src/lib.rs"), &mut findings)?;
+        check_manifest(root, &dir.join("Cargo.toml"), false, &mut findings)?;
+        if cfg.protocol_critical.contains(&name) {
+            for file in rust_sources(&dir.join("src"))? {
+                let rel = rel_path(root, &file);
+                let text = fs::read_to_string(&file)?;
+                let scannable = blank_test_blocks(&mask_source(&text));
+                check_panic_freedom(&rel, &scannable, &mut findings);
+                check_determinism(&rel, &scannable, &mut findings);
+            }
+        }
+    }
+
+    // The root `msync` facade crate.
+    check_crate_headers(root, &root.join("src/lib.rs"), &mut findings)?;
+    check_manifest(root, &root.join("Cargo.toml"), true, &mut findings)?;
+
+    for rel in &cfg.wire_modules {
+        let path = root.join(rel);
+        if !path.is_file() {
+            findings.push(Finding {
+                rule: Rule::LossyCast,
+                file: rel.clone(),
+                line: 1,
+                message: "configured wire module does not exist (update LintConfig)".to_owned(),
+            });
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        let scannable = blank_test_blocks(&mask_source(&text));
+        check_lossy_casts(rel, &scannable, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn rust_sources(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Rule `crate-headers`.
+fn check_crate_headers(root: &Path, lib_rs: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    if !lib_rs.is_file() {
+        return Ok(());
+    }
+    let rel = rel_path(root, lib_rs);
+    let text = fs::read_to_string(lib_rs)?;
+    let masked = mask_source(&text);
+    let squashed: String = masked.chars().filter(|c| !c.is_whitespace()).collect();
+    for (attr, why) in [
+        ("#![forbid(unsafe_code)]", "unsafe code is banned workspace-wide"),
+        ("#![deny(missing_docs)]", "every public item must document its protocol role"),
+    ] {
+        if !squashed.contains(attr) {
+            findings.push(Finding {
+                rule: Rule::CrateHeaders,
+                file: rel.clone(),
+                line: 1,
+                message: format!("missing crate attribute `{attr}` ({why})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Rule `panic-freedom`.
+fn check_panic_freedom(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for (word, follow, label) in [
+        ("unwrap", b'(', "unwrap() can panic; return a Result instead"),
+        ("expect", b'(', "expect() can panic; return a Result instead"),
+        ("panic", b'!', "panic! aborts one endpoint mid-round"),
+        ("todo", b'!', "todo! is a guaranteed panic"),
+        ("unimplemented", b'!', "unimplemented! is a guaranteed panic"),
+    ] {
+        for pos in word_occurrences(text, word) {
+            let after = next_nonspace(text, pos + word.len());
+            if after.is_some_and(|(_, b)| b == follow) {
+                findings.push(Finding {
+                    rule: Rule::PanicFreedom,
+                    file: rel.to_owned(),
+                    line: line_of(text, pos),
+                    message: format!("`{word}` in protocol-critical code: {label}"),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `determinism`.
+fn check_determinism(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for (word, label) in [
+        ("Instant", "ambient clock; protocol decisions must not depend on wall time"),
+        ("SystemTime", "ambient clock; protocol decisions must not depend on wall time"),
+        ("thread_rng", "ambient RNG; both endpoints must compute identical bytes"),
+        ("from_entropy", "ambient RNG; both endpoints must compute identical bytes"),
+        ("RandomState", "randomly-seeded hasher; iteration order leaks into the protocol"),
+        ("rand", "RNG crate use inside protocol logic"),
+    ] {
+        for pos in word_occurrences(text, word) {
+            findings.push(Finding {
+                rule: Rule::Determinism,
+                file: rel.to_owned(),
+                line: line_of(text, pos),
+                message: format!("`{word}` in protocol logic: {label}"),
+            });
+        }
+    }
+}
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Rule `lossy-cast`.
+fn check_lossy_casts(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let bytes = text.as_bytes();
+    for pos in word_occurrences(text, "as") {
+        let Some((tstart, _)) = next_nonspace(text, pos + 2) else {
+            continue;
+        };
+        let mut tend = tstart;
+        while tend < bytes.len() && (bytes[tend].is_ascii_alphanumeric() || bytes[tend] == b'_') {
+            tend += 1;
+        }
+        let target = &text[tstart..tend];
+        if NARROW_TARGETS.contains(&target) {
+            findings.push(Finding {
+                rule: Rule::LossyCast,
+                file: rel.to_owned(),
+                line: line_of(text, pos),
+                message: format!(
+                    "narrowing `as {target}` in a wire-format module; use `{target}::try_from` so truncation is an error, not silent corruption"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `hermeticity`: every dependency of a workspace crate must be a
+/// first-party path dependency (`path = ...` or `workspace = true`
+/// pointing at a path entry). Registry deps belong only in the excluded
+/// bench crate.
+fn check_manifest(
+    root: &Path,
+    manifest: &Path,
+    is_root: bool,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    if !manifest.is_file() {
+        return Ok(());
+    }
+    let rel = rel_path(root, manifest);
+    let text = fs::read_to_string(manifest)?;
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_owned();
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') || !line.contains('=') {
+            continue;
+        }
+        let dep_section =
+            matches!(section.as_str(), "dependencies" | "dev-dependencies" | "build-dependencies");
+        let ws_dep_section = is_root && section == "workspace.dependencies";
+        if !dep_section && !ws_dep_section {
+            continue;
+        }
+        let ok = if ws_dep_section {
+            // The shared table itself must hold path deps only.
+            line.contains("path =") || line.contains("path=")
+        } else {
+            line.contains("workspace = true")
+                || line.contains("workspace=true")
+                || line.contains("path =")
+                || line.contains("path=")
+        };
+        if !ok {
+            let name = line.split(['=', '.']).next().unwrap_or(line).trim();
+            findings.push(Finding {
+                rule: Rule::Hermeticity,
+                file: rel.clone(),
+                line: lineno,
+                message: format!(
+                    "dependency `{name}` is not a first-party path dependency; registry deps break the offline build (confine them to crates/bench)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_tokens_found_with_lines() {
+        let text = "fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n}\n";
+        let scannable = blank_test_blocks(&mask_source(text));
+        let mut fs = Vec::new();
+        check_panic_freedom("f.rs", &scannable, &mut fs);
+        let lines: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let text =
+            "let a = x.unwrap_or(0); let b = y.unwrap_or_else(id); let c = z.unwrap_or_default();";
+        let mut fs = Vec::new();
+        check_panic_freedom("f.rs", text, &mut fs);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn narrowing_casts_flagged_widening_allowed() {
+        let text = "let a = x as u8; let b = y as u64; let c = z as usize; let d = w as f64;";
+        let mut fs = Vec::new();
+        check_lossy_casts("w.rs", text, &mut fs);
+        let targets: Vec<&str> = fs.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(fs.len(), 2, "{targets:?}");
+    }
+
+    #[test]
+    fn determinism_tokens_flagged() {
+        let text = "let t = Instant::now(); let r = rand::random(); let h = RandomState::new();";
+        let mut fs = Vec::new();
+        check_determinism("d.rs", text, &mut fs);
+        assert_eq!(fs.len(), 3, "{fs:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let text = "// x.unwrap()\nlet s = \"panic!( as u8 Instant\"; /* SystemTime */\n";
+        let scannable = blank_test_blocks(&mask_source(text));
+        let mut fs = Vec::new();
+        check_panic_freedom("f.rs", &scannable, &mut fs);
+        check_determinism("f.rs", &scannable, &mut fs);
+        check_lossy_casts("f.rs", &scannable, &mut fs);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -1,0 +1,389 @@
+//! A lightweight Rust source scanner.
+//!
+//! The lint rules only need to find *token-level* patterns (`.unwrap()`,
+//! `as u8`, `Instant::now`, crate-level attributes) in *non-test* code,
+//! so instead of a full parser this module masks the parts of a source
+//! file that must never produce matches — comments, string/char/byte
+//! literals, and `#[cfg(test)]` blocks — with spaces, preserving byte
+//! offsets and line structure exactly. Rules then run plain substring
+//! scans over the masked text and report `file:line` positions that are
+//! valid for the original file.
+
+/// Replace comments and string/char literals with spaces, preserving
+/// length and newlines, so later scans cannot match inside them.
+#[must_use]
+pub fn mask_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let len = bytes.len();
+    let mut i = 0;
+    while i < len {
+        match bytes[i] {
+            b'/' if i + 1 < len && bytes[i + 1] == b'/' => {
+                while i < len && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < len && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = mask_plain_string(bytes, &mut out, i),
+            b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                if let Some(next) = mask_prefixed_literal(bytes, &mut out, i) {
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => i = mask_char_or_lifetime(src, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    // Masking only writes ASCII spaces over existing bytes; multi-byte
+    // characters are either fully blanked (inside literals/comments) or
+    // untouched, so the result is still valid UTF-8.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Mask a `"..."` literal starting at `i`; returns the index just past it.
+fn mask_plain_string(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let len = bytes.len();
+    out[i] = b' ';
+    let mut j = i + 1;
+    while j < len {
+        match bytes[j] {
+            b'\\' if j + 1 < len => {
+                out[j] = b' ';
+                if bytes[j + 1] != b'\n' {
+                    out[j + 1] = b' ';
+                }
+                j += 2;
+            }
+            b'"' => {
+                out[j] = b' ';
+                return j + 1;
+            }
+            b'\n' => j += 1,
+            _ => {
+                out[j] = b' ';
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Mask `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, or `b'x'` starting
+/// at the prefix byte. Returns `None` if this is not actually a literal
+/// (e.g. an identifier starting with `r`/`b`).
+fn mask_prefixed_literal(bytes: &[u8], out: &mut [u8], i: usize) -> Option<usize> {
+    let len = bytes.len();
+    let mut j = i;
+    let mut raw = false;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j < len && bytes[j] == b'\'' {
+            // Byte literal b'x'.
+            out[i] = b' ';
+            out[j] = b' ';
+            let mut k = j + 1;
+            while k < len && bytes[k] != b'\'' {
+                if bytes[k] == b'\\' {
+                    out[k] = b' ';
+                    k += 1;
+                    if k >= len {
+                        break;
+                    }
+                }
+                if k < len && bytes[k] != b'\n' {
+                    out[k] = b' ';
+                }
+                k += 1;
+            }
+            if k < len {
+                out[k] = b' ';
+            }
+            return Some(k + 1);
+        }
+    }
+    if j < len && bytes[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < len && bytes[j] == b'#' && raw {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= len || bytes[j] != b'"' {
+        return None;
+    }
+    if raw {
+        // Raw string: no escapes; ends at `"` followed by `hashes` #s.
+        for b in out.iter_mut().take(j + 1).skip(i) {
+            *b = b' ';
+        }
+        let mut k = j + 1;
+        while k < len {
+            if bytes[k] == b'"'
+                && bytes[k + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+            {
+                for b in out.iter_mut().take(k + 1 + hashes).skip(k) {
+                    *b = b' ';
+                }
+                return Some(k + 1 + hashes);
+            }
+            if bytes[k] != b'\n' {
+                out[k] = b' ';
+            }
+            k += 1;
+        }
+        Some(k)
+    } else {
+        for b in out.iter_mut().take(j).skip(i) {
+            *b = b' ';
+        }
+        Some(mask_plain_string(bytes, out, j))
+    }
+}
+
+/// Distinguish `'a'` / `'\n'` char literals from `'a` lifetimes; mask
+/// literals, leave lifetimes alone. Returns the index to resume from.
+fn mask_char_or_lifetime(src: &str, out: &mut [u8], i: usize) -> usize {
+    let rest = &src[i + 1..];
+    let mut chars = rest.char_indices();
+    let Some((_, first)) = chars.next() else {
+        return i + 1;
+    };
+    if first == '\\' {
+        // Escaped char literal: mask to the closing quote.
+        let bytes = src.as_bytes();
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        for b in out.iter_mut().take((j + 1).min(bytes.len())).skip(i) {
+            *b = b' ';
+        }
+        return j + 1;
+    }
+    let Some((after_idx, after)) = chars.next() else {
+        return i + 1;
+    };
+    if after == '\'' && first != '\'' {
+        // Plain char literal 'x' (possibly multi-byte x).
+        let end = i + 1 + after_idx + 1;
+        for b in out.iter_mut().take(end).skip(i) {
+            *b = b' ';
+        }
+        return end;
+    }
+    // Lifetime or label: leave as-is.
+    i + 1
+}
+
+/// Blank every `#[cfg(test)]`-gated item body in already-masked source.
+///
+/// The heuristic covers the universal idiom: `#[cfg(test)]` followed by
+/// an item whose body is the next `{ ... }` block. Attribute and item
+/// header stay visible (they contain nothing the rules match on); the
+/// body is replaced by spaces.
+#[must_use]
+pub fn blank_test_blocks(masked: &str) -> String {
+    let mut out = masked.as_bytes().to_vec();
+    let bytes = masked.as_bytes();
+    let needle = b"#[cfg(test)]";
+    let mut from = 0usize;
+    while let Some(pos) = find(bytes, needle, from) {
+        from = pos + needle.len();
+        // Find the opening brace of the gated item.
+        let Some(open) = bytes[from..].iter().position(|&b| b == b'{').map(|o| from + o) else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = (j + 1).min(bytes.len());
+        for b in out.iter_mut().take(end).skip(open) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        from = end;
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Byte-substring find starting at `from`.
+#[must_use]
+pub fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || from >= haystack.len() {
+        return None;
+    }
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
+}
+
+/// 1-based line number of a byte offset.
+#[must_use]
+pub fn line_of(src: &str, offset: usize) -> u32 {
+    let upto = &src.as_bytes()[..offset.min(src.len())];
+    let mut line: u32 = 1;
+    for &b in upto {
+        if b == b'\n' {
+            line = line.saturating_add(1);
+        }
+    }
+    line
+}
+
+/// Iterate identifier-boundary occurrences of `word` in `text`,
+/// yielding byte offsets.
+pub fn word_occurrences<'a>(text: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = text.as_bytes();
+    let wlen = word.len();
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while let Some(pos) = find(bytes, word.as_bytes(), from) {
+            from = pos + 1;
+            let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+            let after_ok = pos + wlen >= bytes.len() || !is_ident_byte(bytes[pos + wlen]);
+            if before_ok && after_ok {
+                return Some(pos);
+            }
+        }
+        None
+    })
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// First non-whitespace byte at or after `from`.
+#[must_use]
+pub fn next_nonspace(text: &str, from: usize) -> Option<(usize, u8)> {
+    text.as_bytes()
+        .iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, b)| !b.is_ascii_whitespace())
+        .map(|(i, b)| (i, *b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let a = \"panic!()\"; // unwrap()\nlet b = 1; /* expect( */\n";
+        let m = mask_source(src);
+        assert_eq!(m.len(), src.len());
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("expect"));
+        assert!(m.contains("let a ="));
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let src = r###"let s = r#"as u8 "quoted" inside"#; let t = b"unwrap()"; let c = b'x';"###;
+        let m = mask_source(src);
+        assert!(!m.contains("as u8"));
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains('x'));
+        assert!(m.contains("let s ="));
+        assert!(m.contains("let t ="));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_masked() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'y' }";
+        let m = mask_source(src);
+        assert!(m.contains("<'a>"));
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'y'"));
+    }
+
+    #[test]
+    fn escaped_chars_masked() {
+        let src = "let nl = '\\n'; let q = '\\''; let u = unwrap_target();";
+        let m = mask_source(src);
+        assert!(!m.contains("\\n"));
+        assert!(m.contains("unwrap_target"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ code()";
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("code()"));
+    }
+
+    #[test]
+    fn blanks_cfg_test_mod() {
+        let src = "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.expect(\"\"); }\n}\nfn after() {}\n";
+        let m = blank_test_blocks(&mask_source(src));
+        assert!(m.contains("unwrap"), "non-test code stays");
+        assert!(!m.contains("expect"), "test code blanked");
+        assert!(m.contains("fn after"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let text = "a.unwrap() b.unwrap_or(c) my_unwrap() unwrap";
+        let hits: Vec<usize> = word_occurrences(text, "unwrap").collect();
+        assert_eq!(hits.len(), 2, "unwrap() and bare unwrap, not unwrap_or/my_unwrap: {hits:?}");
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\nc";
+        assert_eq!(line_of(src, 0), 1);
+        assert_eq!(line_of(src, 2), 2);
+        assert_eq!(line_of(src, 4), 3);
+    }
+}

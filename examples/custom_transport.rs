@@ -40,14 +40,13 @@ fn main() {
     // bytes. Where is the crossover vs rsync as latency grows?
     let rsync = msync::rsync::sync(&old, &new, 700);
     println!("\nrsync: {} bytes, 1 roundtrip", rsync.stats.total_bytes());
-    println!("\nestimated single-file times by round-trip latency (56 kbit/s up, 256 kbit/s down):");
+    println!(
+        "\nestimated single-file times by round-trip latency (56 kbit/s up, 256 kbit/s down):"
+    );
     println!("{:>10}  {:>10}  {:>10}  winner", "RTT", "msync", "rsync");
     for rtt_ms in [5u64, 20, 50, 100, 200, 500] {
-        let link = LinkModel {
-            up_bps: 56_000.0,
-            down_bps: 256_000.0,
-            rtt: Duration::from_millis(rtt_ms),
-        };
+        let link =
+            LinkModel { up_bps: 56_000.0, down_bps: 256_000.0, rtt: Duration::from_millis(rtt_ms) };
         let tm = link.estimate(&outcome.stats.traffic);
         let tr = link.estimate(&rsync.stats);
         println!(

@@ -54,9 +54,16 @@ fn main() {
         .sum();
     println!("old image : {} KiB", old.len() / 1024);
     println!("new image : {} KiB", new.len() / 1024);
-    println!("reused    : {} block copies ({} KiB moved in place)", stats.copies, (new.len() - literal_bytes) / 1024);
+    println!(
+        "reused    : {} block copies ({} KiB moved in place)",
+        stats.copies,
+        (new.len() - literal_bytes) / 1024
+    );
     println!("downloaded: {} KiB of literals", literal_bytes / 1024);
-    println!("cycles    : {} broken, peak scratch {} bytes", stats.cycles_broken, stats.peak_scratch);
+    println!(
+        "cycles    : {} broken, peak scratch {} bytes",
+        stats.cycles_broken, stats.peak_scratch
+    );
     println!("\nThe swap of the two 28 KiB sections forms a dependency cycle in");
     println!("the block-move graph; one scratch block is all the extra memory");
     println!("the update needed.");

@@ -20,9 +20,7 @@ fn main() {
     let mut new = old.clone();
     new.splice(
         10_000..10_000,
-        b"\n## Breaking change\nThe frobnicator now defaults to level 3.\n"
-            .iter()
-            .copied(),
+        b"\n## Breaking change\nThe frobnicator now defaults to level 3.\n".iter().copied(),
     );
     let at = new.len() - 100;
     new[at..at + 7].copy_from_slice(b"Plenty!");
@@ -35,9 +33,17 @@ fn main() {
     assert_eq!(outcome.reconstructed, new, "client now holds the server's file");
     let stats = &outcome.stats;
     println!("file size        : {} bytes", new.len());
-    println!("bytes on the wire: {} ({:.1}% of the file)", stats.total_bytes(), 100.0 * stats.total_bytes() as f64 / new.len() as f64);
+    println!(
+        "bytes on the wire: {} ({:.1}% of the file)",
+        stats.total_bytes(),
+        100.0 * stats.total_bytes() as f64 / new.len() as f64
+    );
     println!("roundtrips       : {}", stats.traffic.roundtrips);
-    println!("map knew         : {} of {} bytes before the delta phase", stats.known_bytes, new.len());
+    println!(
+        "map knew         : {} of {} bytes before the delta phase",
+        stats.known_bytes,
+        new.len()
+    );
     println!("final delta      : {} bytes", stats.delta_bytes);
     println!();
     println!("per-round harvest:");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the msync workspace. Fully offline: no registry, no
+# network. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> xtask lint gate"
+cargo run --release -q -p xtask -- lint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "ci.sh: all gates passed"

@@ -47,6 +47,9 @@
 //!          outcome.stats.total_bytes(), new.len());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use msync_cdc as cdc;
 pub use msync_compress as compress;
 pub use msync_core as core;

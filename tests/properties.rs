@@ -1,62 +1,67 @@
-//! Property-based tests over the core invariants.
+//! Randomized property tests over the core invariants.
 //!
 //! The one invariant the whole system hangs on: *whatever the inputs,
 //! the client ends up with exactly the server's bytes.* Plus the
 //! algebraic identities of the decomposable hash and the lossless-coding
 //! roundtrips, which the protocol's correctness argument relies on.
+//!
+//! These were proptest strategies in an earlier revision; the offline
+//! build (see DESIGN.md) replaces them with explicit deterministic
+//! case loops over the vendored [`msync::corpus::Rng`]. Every case is
+//! reproducible from its printed seed.
 
 use msync::core::{sync_file, ProtocolConfig, VerifyStrategy};
+use msync::corpus::Rng;
 use msync::hashes::decomposable::{
     prefix_decompose_left, prefix_decompose_right, DecomposableDigest,
 };
 use msync::hashes::rolling::RollingHash;
 use msync::hashes::{BitReader, BitWriter, DecomposableAdler};
-use proptest::prelude::*;
 
 /// Byte vectors with adversarial structure: random, repetitive, and
-/// mixed segments.
-fn file_strategy(max: usize) -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..max),
-        // Low-entropy: few distinct bytes, long runs.
-        proptest::collection::vec(prop_oneof![Just(0u8), Just(1u8), Just(b'a')], 0..max),
-        // Repeating phrase with occasional noise.
-        (0usize..max, any::<u8>()).prop_map(|(n, salt)| {
+/// phrase-repeating segments — the same three shapes the old proptest
+/// strategy drew from.
+fn gen_file(rng: &mut Rng, max: usize) -> Vec<u8> {
+    let n = rng.gen_range(0..=max);
+    match rng.gen_range(0..3u32) {
+        0 => (0..n).map(|_| rng.gen_range(0..256u32) as u8).collect(),
+        1 => {
+            // Low-entropy: few distinct bytes, long runs.
+            let alphabet = [0u8, 1, b'a'];
+            (0..n).map(|_| alphabet[rng.gen_range(0..3usize)]).collect()
+        }
+        _ => {
+            // Repeating phrase with occasional noise.
             let phrase = b"the quick brown fox ";
+            let salt = rng.gen_range(0..256u32) as u8;
             (0..n)
                 .map(|i| {
                     if i % 97 == 0 {
-                        salt.wrapping_add(i as u8)
+                        salt.wrapping_add((i % 256) as u8)
                     } else {
                         phrase[i % phrase.len()]
                     }
                 })
                 .collect()
-        }),
-    ]
+        }
+    }
 }
 
 /// A derived version: the old file plus random splices.
-pub fn edited_pair_pub(max: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    edited_pair(max)
-}
-
-fn edited_pair(max: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    (file_strategy(max), proptest::collection::vec((any::<u16>(), file_strategy(64)), 0..5)).prop_map(
-        |(old, edits)| {
-            let mut new = old.clone();
-            for (pos, insert) in edits {
-                if new.is_empty() {
-                    new = insert;
-                    continue;
-                }
-                let at = pos as usize % new.len();
-                let del = (insert.len() / 2).min(new.len() - at);
-                new.splice(at..at + del, insert);
-            }
-            (old, new)
-        },
-    )
+fn edited_pair(rng: &mut Rng, max: usize) -> (Vec<u8>, Vec<u8>) {
+    let old = gen_file(rng, max);
+    let mut new = old.clone();
+    for _ in 0..rng.gen_range(0..5u32) {
+        let insert = gen_file(rng, 64);
+        if new.is_empty() {
+            new = insert;
+            continue;
+        }
+        let at = rng.gen_range(0..new.len());
+        let del = (insert.len() / 2).min(new.len() - at);
+        new.splice(at..at + del, insert);
+    }
+    (old, new)
 }
 
 fn quick_cfg() -> ProtocolConfig {
@@ -68,103 +73,148 @@ fn quick_cfg() -> ProtocolConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Run `cases` deterministic cases, seeding each from `tag ^ case index`
+/// so a failure names the exact reproducing seed.
+fn for_cases(tag: u64, cases: u64, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = tag ^ case;
+        let mut rng = Rng::seed_from_u64(seed);
+        body(&mut rng);
+    }
+}
 
-    #[test]
-    fn msync_reconstructs_exactly((old, new) in edited_pair(4096)) {
+#[test]
+fn msync_reconstructs_exactly() {
+    for_cases(0x6d73796e_0001, 64, |rng| {
+        let (old, new) = edited_pair(rng, 4096);
         let out = sync_file(&old, &new, &quick_cfg()).unwrap();
-        prop_assert_eq!(&out.reconstructed, &new);
-    }
+        assert_eq!(out.reconstructed, new);
+    });
+}
 
-    #[test]
-    fn msync_exact_with_weak_hashes((old, new) in edited_pair(2048)) {
-        // Deliberately weak parameters: correctness must come from the
-        // fingerprint fallback, not from hash strength.
-        let cfg = ProtocolConfig {
-            global_extra_bits: 0,
-            cont_bits: 1,
-            verify: VerifyStrategy::PerCandidate { bits: 2 },
-            ..quick_cfg()
-        };
+#[test]
+fn msync_exact_with_weak_hashes() {
+    // Deliberately weak parameters: correctness must come from the
+    // fingerprint fallback, not from hash strength.
+    let cfg = ProtocolConfig {
+        global_extra_bits: 0,
+        cont_bits: 1,
+        verify: VerifyStrategy::PerCandidate { bits: 2 },
+        ..quick_cfg()
+    };
+    for_cases(0x6d73796e_0002, 64, |rng| {
+        let (old, new) = edited_pair(rng, 2048);
         let out = sync_file(&old, &new, &cfg).unwrap();
-        prop_assert_eq!(out.reconstructed, new);
-    }
+        assert_eq!(out.reconstructed, new);
+    });
+}
 
-    #[test]
-    fn rsync_reconstructs_exactly((old, new) in edited_pair(4096)) {
+#[test]
+fn rsync_reconstructs_exactly() {
+    for_cases(0x6d73796e_0003, 64, |rng| {
+        let (old, new) = edited_pair(rng, 4096);
         let out = msync::rsync::sync(&old, &new, 128);
-        prop_assert_eq!(out.reconstructed, new);
-    }
+        assert_eq!(out.reconstructed, new);
+    });
+}
 
-    #[test]
-    fn lz_roundtrip(data in file_strategy(8192)) {
+#[test]
+fn lz_roundtrip() {
+    for_cases(0x6d73796e_0004, 64, |rng| {
+        let data = gen_file(rng, 8192);
         let c = msync::compress::compress(&data);
-        prop_assert_eq!(msync::compress::decompress(&c).unwrap(), data);
-    }
+        assert_eq!(msync::compress::decompress(&c).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn delta_roundtrip((reference, target) in (file_strategy(4096), file_strategy(4096))) {
+#[test]
+fn delta_roundtrip() {
+    for_cases(0x6d73796e_0005, 64, |rng| {
+        let reference = gen_file(rng, 4096);
+        let target = gen_file(rng, 4096);
         let d = msync::compress::delta_encode(&reference, &target);
-        prop_assert_eq!(msync::compress::delta_decode(&reference, &d).unwrap(), target);
-    }
+        assert_eq!(msync::compress::delta_decode(&reference, &d).unwrap(), target);
+    });
+}
 
-    #[test]
-    fn delta_roundtrip_similar((old, new) in edited_pair(4096)) {
+#[test]
+fn delta_roundtrip_similar() {
+    for_cases(0x6d73796e_0006, 64, |rng| {
+        let (old, new) = edited_pair(rng, 4096);
         let d = msync::compress::delta_encode(&old, &new);
-        prop_assert_eq!(&msync::compress::delta_decode(&old, &d).unwrap(), &new);
+        assert_eq!(msync::compress::delta_decode(&old, &d).unwrap(), new);
         // Identity-ish deltas stay small relative to the file.
         if old == new && !old.is_empty() {
-            prop_assert!(d.len() < old.len().max(256));
+            assert!(d.len() < old.len().max(256));
         }
-    }
+    });
+}
 
-    #[test]
-    fn vcdiff_roundtrip((reference, target) in (file_strategy(4096), file_strategy(4096))) {
+#[test]
+fn vcdiff_roundtrip() {
+    for_cases(0x6d73796e_0007, 64, |rng| {
+        let reference = gen_file(rng, 4096);
+        let target = gen_file(rng, 4096);
         let d = msync::compress::vcdiff_encode(&reference, &target);
-        prop_assert_eq!(msync::compress::vcdiff_decode(&reference, &d).unwrap(), target);
-    }
+        assert_eq!(msync::compress::vcdiff_decode(&reference, &d).unwrap(), target);
+    });
+}
 
-    #[test]
-    fn decomposable_compose_decompose(data in file_strategy(2048), split_sel in any::<u16>()) {
-        let split = if data.is_empty() { 0 } else { split_sel as usize % (data.len() + 1) };
+#[test]
+fn decomposable_compose_decompose() {
+    for_cases(0x6d73796e_0008, 64, |rng| {
+        let data = gen_file(rng, 2048);
+        let split = rng.gen_range(0..=data.len());
         let l = DecomposableDigest::of(&data[..split]);
         let r = DecomposableDigest::of(&data[split..]);
         let p = l.compose(&r);
-        prop_assert_eq!(p, DecomposableDigest::of(&data));
-        prop_assert_eq!(p.decompose_right(&l), Some(r));
-        prop_assert_eq!(p.decompose_left(&r), Some(l));
-    }
+        assert_eq!(p, DecomposableDigest::of(&data));
+        assert_eq!(p.decompose_right(&l), Some(r));
+        assert_eq!(p.decompose_left(&r), Some(l));
+    });
+}
 
-    #[test]
-    fn decomposable_prefix_identities(data in file_strategy(1024), split_sel in any::<u16>(), bits in 1u32..=64) {
-        let split = if data.is_empty() { 0 } else { split_sel as usize % (data.len() + 1) };
+#[test]
+fn decomposable_prefix_identities() {
+    for_cases(0x6d73796e_0009, 64, |rng| {
+        let data = gen_file(rng, 1024);
+        let split = rng.gen_range(0..=data.len());
+        let bits = rng.gen_range(1..=64u32);
         let l = DecomposableDigest::of(&data[..split]);
         let r = DecomposableDigest::of(&data[split..]);
         let p = l.compose(&r);
-        prop_assert_eq!(
+        assert_eq!(
             prefix_decompose_right(p.prefix(bits), l.prefix(bits), bits, r.len),
             r.prefix(bits)
         );
-        prop_assert_eq!(
+        assert_eq!(
             prefix_decompose_left(p.prefix(bits), r.prefix(bits), bits, r.len),
             l.prefix(bits)
         );
-    }
+    });
+}
 
-    #[test]
-    fn rolling_equals_recompute(data in proptest::collection::vec(any::<u8>(), 2..512), window_sel in any::<u8>()) {
-        let window = 1 + (window_sel as usize) % (data.len() - 1);
+#[test]
+fn rolling_equals_recompute() {
+    for_cases(0x6d73796e_000a, 32, |rng| {
+        let n = rng.gen_range(2..512usize);
+        let data: Vec<u8> = (0..n).map(|_| rng.gen_range(0..256u32) as u8).collect();
+        let window = 1 + rng.gen_range(0..data.len() - 1);
         let mut h = DecomposableAdler::new();
         h.reset(&data[..window]);
         for start in 1..=(data.len() - window) {
             h.roll(data[start - 1], data[start + window - 1]);
-            prop_assert_eq!(h.value(), DecomposableDigest::of(&data[start..start + window]).value());
+            assert_eq!(h.value(), DecomposableDigest::of(&data[start..start + window]).value());
         }
-    }
+    });
+}
 
-    #[test]
-    fn bitio_roundtrip(ops in proptest::collection::vec((any::<u64>(), 0u32..=64), 0..64)) {
+#[test]
+fn bitio_roundtrip() {
+    for_cases(0x6d73796e_000b, 64, |rng| {
+        let ops: Vec<(u64, u32)> = (0..rng.gen_range(0..64u32))
+            .map(|_| (rng.next_u64(), rng.gen_range(0..=64u32)))
+            .collect();
         let mut w = BitWriter::new();
         for &(v, bits) in &ops {
             w.write_bits(v, bits);
@@ -172,144 +222,188 @@ proptest! {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for &(v, bits) in &ops {
-            let expect = if bits == 64 { v } else if bits == 0 { 0 } else { v & ((1u64 << bits) - 1) };
-            prop_assert_eq!(r.read_bits(bits).unwrap(), expect);
+            let expect = if bits == 64 {
+                v
+            } else if bits == 0 {
+                0
+            } else {
+                v & ((1u64 << bits) - 1)
+            };
+            assert_eq!(r.read_bits(bits).unwrap(), expect);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fingerprints_separate(a in file_strategy(512), b in file_strategy(512)) {
+#[test]
+fn fingerprints_separate() {
+    for_cases(0x6d73796e_000c, 64, |rng| {
+        let a = gen_file(rng, 512);
+        let b = gen_file(rng, 512);
         let fa = msync::hashes::file_fingerprint(&a);
         let fb = msync::hashes::file_fingerprint(&b);
-        prop_assert_eq!(a == b, fa == fb);
-    }
+        assert_eq!(a == b, fa == fb);
+    });
+}
 
-    #[test]
-    fn md5_md4_incremental(data in file_strategy(2048), chunk_sel in 1usize..64) {
+#[test]
+fn md5_md4_incremental() {
+    for_cases(0x6d73796e_000d, 64, |rng| {
+        let data = gen_file(rng, 2048);
+        let chunk = rng.gen_range(1..64usize);
         let mut m5 = msync::hashes::Md5::new();
         let mut m4 = msync::hashes::Md4::new();
-        for chunk in data.chunks(chunk_sel) {
+        for chunk in data.chunks(chunk) {
             m5.update(chunk);
             m4.update(chunk);
         }
-        prop_assert_eq!(m5.finish(), msync::hashes::Md5::digest(&data));
-        prop_assert_eq!(m4.finish(), msync::hashes::Md4::digest(&data));
-    }
+        assert_eq!(m5.finish(), msync::hashes::Md5::digest(&data));
+        assert_eq!(m4.finish(), msync::hashes::Md4::digest(&data));
+    });
 }
 
 /// Decoders must never panic on adversarial input — corrupt streams are
 /// a fact of life for a network tool. (Errors are fine; panics are not.)
 mod decoder_robustness {
-    use proptest::prelude::*;
+    use super::{edited_pair, for_cases, gen_file};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
+    fn junk(rng: &mut msync::corpus::Rng, max: usize) -> Vec<u8> {
+        let n = rng.gen_range(0..=max);
+        (0..n).map(|_| rng.gen_range(0..256u32) as u8).collect()
+    }
 
-        #[test]
-        fn lz_decompress_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..2048)) {
-            let _ = msync::compress::decompress(&junk);
-        }
+    #[test]
+    fn lz_decompress_never_panics() {
+        for_cases(0x6a756e6b_0001, 256, |rng| {
+            let _ = msync::compress::decompress(&junk(rng, 2048));
+        });
+    }
 
-        #[test]
-        fn delta_decode_never_panics(
-            reference in proptest::collection::vec(any::<u8>(), 0..512),
-            junk in proptest::collection::vec(any::<u8>(), 0..2048),
-        ) {
-            let _ = msync::compress::delta_decode(&reference, &junk);
-        }
+    #[test]
+    fn delta_decode_never_panics() {
+        for_cases(0x6a756e6b_0002, 256, |rng| {
+            let reference = junk(rng, 512);
+            let _ = msync::compress::delta_decode(&reference, &junk(rng, 2048));
+        });
+    }
 
-        #[test]
-        fn vcdiff_decode_never_panics(
-            reference in proptest::collection::vec(any::<u8>(), 0..512),
-            junk in proptest::collection::vec(any::<u8>(), 0..2048),
-        ) {
-            let _ = msync::compress::vcdiff_decode(&reference, &junk);
-        }
+    #[test]
+    fn vcdiff_decode_never_panics() {
+        for_cases(0x6a756e6b_0003, 256, |rng| {
+            let reference = junk(rng, 512);
+            let _ = msync::compress::vcdiff_decode(&reference, &junk(rng, 2048));
+        });
+    }
 
-        #[test]
-        fn signature_decode_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..1024)) {
-            let _ = msync::rsync::Signatures::decode(&junk);
-        }
+    #[test]
+    fn signature_decode_never_panics() {
+        for_cases(0x6a756e6b_0004, 256, |rng| {
+            let _ = msync::rsync::Signatures::decode(&junk(rng, 1024));
+        });
+    }
 
-        #[test]
-        fn token_deserialize_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..1024)) {
-            let _ = msync::rsync::matcher::deserialize_tokens(&junk);
-        }
+    #[test]
+    fn token_deserialize_never_panics() {
+        for_cases(0x6a756e6b_0005, 256, |rng| {
+            let _ = msync::rsync::matcher::deserialize_tokens(&junk(rng, 1024));
+        });
+    }
 
-        #[test]
-        fn bit_corrupted_delta_decodes_or_errors_never_wrong_silently(
-            (old, new) in super::edited_pair_pub(2048),
-            flip in any::<u16>(),
-        ) {
+    #[test]
+    fn bit_corrupted_delta_decodes_or_errors_never_panics() {
+        for_cases(0x6a756e6b_0006, 128, |rng| {
             // Flip one bit in a real delta: the decoder must either
             // error or produce bytes — and if it produces the *right*
-            // bytes the flip hit padding. It must never panic, and the
+            // bytes the flip hit padding. It must never panic; the
             // outer fingerprint check (exercised in the sync tests)
             // catches wrong output.
+            let (old, new) = edited_pair(rng, 2048);
             let mut d = msync::compress::delta_encode(&old, &new);
             if !d.is_empty() {
-                let bit = flip as usize % (d.len() * 8);
+                let bit = rng.gen_range(0..d.len() * 8);
                 d[bit / 8] ^= 1 << (bit % 8);
                 let _ = msync::compress::delta_decode(&old, &d);
             }
-        }
+        });
+    }
+
+    #[test]
+    fn gen_file_shapes_are_exercised() {
+        // Guard against the generator degenerating: all three shapes and
+        // a spread of lengths must appear across the seed range.
+        let mut empties = 0;
+        let mut large = 0;
+        for_cases(0x6a756e6b_0007, 64, |rng| {
+            let f = gen_file(rng, 4096);
+            if f.is_empty() {
+                empties += 1;
+            }
+            if f.len() > 1024 {
+                large += 1;
+            }
+        });
+        assert!(large > 5, "generator never produced large files");
+        assert!(empties < 60, "generator produced almost only empty files");
     }
 }
 
-/// Cross-implementation agreement and the new extension surfaces.
+/// Cross-implementation agreement and the extension surfaces.
 mod extensions {
+    use super::{edited_pair, for_cases};
     use msync::cdc::ChunkParams;
     use msync::core::{sync_over_channel, ProtocolConfig};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn cdc_sync_reconstructs_exactly((old, new) in super::edited_pair_pub(8192)) {
+    #[test]
+    fn cdc_sync_reconstructs_exactly() {
+        for_cases(0x65787431, 32, |rng| {
+            let (old, new) = edited_pair(rng, 8192);
             let params = ChunkParams { avg_size: 512, min_size: 64, max_size: 4096 };
             let out = msync::cdc::sync(&old, &new, &params);
-            prop_assert_eq!(&out.reconstructed, &new);
-        }
+            assert_eq!(out.reconstructed, new);
+        });
+    }
 
-        #[test]
-        fn inplace_matches_out_of_place((old, new) in super::edited_pair_pub(4096)) {
+    #[test]
+    fn inplace_matches_out_of_place() {
+        for_cases(0x65787432, 32, |rng| {
+            let (old, new) = edited_pair(rng, 4096);
             let sigs = msync::rsync::Signatures::compute(&old, 128);
             let tokens = msync::rsync::matcher::match_tokens(&new, &sigs);
             let expected = msync::rsync::reconstruct::apply(&old, &sigs, &tokens).unwrap();
             let mut buf = old.clone();
             msync::rsync::inplace::apply_inplace(&mut buf, &sigs, &tokens).unwrap();
-            prop_assert_eq!(&buf, &expected);
-        }
+            assert_eq!(buf, expected);
+        });
+    }
 
-        #[test]
-        fn channel_sync_reconstructs_exactly((old, new) in super::edited_pair_pub(4096)) {
-            let cfg = ProtocolConfig {
-                start_block: 1 << 10,
-                min_block_global: 32,
-                min_block_cont: 8,
-                ..ProtocolConfig::default()
-            };
+    #[test]
+    fn channel_sync_reconstructs_exactly() {
+        let cfg = ProtocolConfig {
+            start_block: 1 << 10,
+            min_block_global: 32,
+            min_block_cont: 8,
+            ..ProtocolConfig::default()
+        };
+        for_cases(0x65787433, 32, |rng| {
+            let (old, new) = edited_pair(rng, 4096);
             let out = sync_over_channel(&old, &new, &cfg).unwrap();
-            prop_assert_eq!(&out.reconstructed, &new);
-        }
+            assert_eq!(out.reconstructed, new);
+        });
     }
 }
 
 /// Structural invariants of the shared interval machinery and the
 /// broadcast variant's exactness.
 mod structures {
+    use super::{edited_pair, for_cases};
     use msync::core::coverage::Coverage;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn coverage_invariants_under_disjoint_inserts(blocks in proptest::collection::vec(0u8..200, 1..40)) {
+    #[test]
+    fn coverage_invariants_under_disjoint_inserts() {
+        for_cases(0x73747231, 128, |rng| {
             // Interpret each value as a grid slot of width 16; dedup to
             // keep inserts disjoint.
-            let mut slots: Vec<u64> = blocks.iter().map(|&b| b as u64).collect();
+            let mut slots: Vec<u64> =
+                (0..rng.gen_range(1..40u32)).map(|_| u64::from(rng.gen_range(0..200u32))).collect();
             slots.sort_unstable();
             slots.dedup();
             let mut c = Coverage::new();
@@ -321,33 +415,33 @@ mod structures {
                 c.insert(s * 16, 16);
                 total += 16;
             }
-            prop_assert_eq!(c.covered_bytes(), total);
+            assert_eq!(c.covered_bytes(), total);
             // Intervals sorted, disjoint, non-touching.
             let iv = c.intervals();
             for w in iv.windows(2) {
-                prop_assert!(w[0].1 < w[1].0, "{:?}", iv);
+                assert!(w[0].1 < w[1].0, "{iv:?}");
             }
             // Every inserted slot contained; gaps free.
             for &s in &slots {
-                prop_assert!(c.contains(s * 16, 16));
+                assert!(c.contains(s * 16, 16));
             }
             for probe in 0..200u64 {
                 let inside = slots.contains(&probe);
-                prop_assert_eq!(c.contains(probe * 16, 16), inside);
-                prop_assert_eq!(c.is_free(probe * 16, 16), !inside);
+                assert_eq!(c.contains(probe * 16, 16), inside);
+                assert_eq!(c.is_free(probe * 16, 16), !inside);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn broadcast_reconstructs_for_all_clients(
-            (old_a, new) in super::edited_pair_pub(4096),
-            extra_edit in any::<u16>(),
-        ) {
+    #[test]
+    fn broadcast_reconstructs_for_all_clients() {
+        for_cases(0x73747232, 32, |rng| {
             // Two clients: one with the generated old version, one with a
             // further perturbation of it.
+            let (old_a, new) = edited_pair(rng, 4096);
             let mut old_b = old_a.clone();
             if !old_b.is_empty() {
-                let at = extra_edit as usize % old_b.len();
+                let at = rng.gen_range(0..old_b.len());
                 old_b[at] ^= 0xA5;
             }
             let cfg = msync::core::ProtocolConfig {
@@ -357,33 +451,41 @@ mod structures {
             };
             let refs: Vec<&[u8]> = vec![&old_a, &old_b];
             let out = msync::core::sync_broadcast(&new, &refs, &cfg).unwrap();
-            prop_assert_eq!(&out.reconstructed[0], &new);
-            prop_assert_eq!(&out.reconstructed[1], &new);
-        }
+            assert_eq!(out.reconstructed[0], new);
+            assert_eq!(out.reconstructed[1], new);
+        });
+    }
 
-        #[test]
-        fn recon_strategies_always_agree(
-            names in proptest::collection::btree_set("[a-z]{1,12}", 0..60),
-            flips in proptest::collection::vec(any::<u8>(), 0..10),
-        ) {
-            use msync::recon::{self, Item};
+    #[test]
+    fn recon_strategies_always_agree() {
+        for_cases(0x73747233, 64, |rng| {
             use msync::hashes::file_fingerprint;
-            let mut a: Vec<Item> = names.iter().map(|n| Item {
-                name: n.clone(),
-                fp: file_fingerprint(n.as_bytes()),
-            }).collect();
+            use msync::recon::{self, Item};
+            let mut names = std::collections::BTreeSet::new();
+            for _ in 0..rng.gen_range(0..60u32) {
+                let len = rng.gen_range(1..=12usize);
+                let name: String =
+                    (0..len).map(|_| char::from(b'a' + rng.gen_range(0..26u32) as u8)).collect();
+                names.insert(name);
+            }
+            let mut a: Vec<Item> = names
+                .iter()
+                .map(|n| Item { name: n.clone(), fp: file_fingerprint(n.as_bytes()) })
+                .collect();
             let mut b = a.clone();
-            for &f in &flips {
-                if b.is_empty() { break; }
-                let idx = f as usize % b.len();
+            for _ in 0..rng.gen_range(0..10u32) {
+                if b.is_empty() {
+                    break;
+                }
+                let idx = rng.gen_range(0..b.len());
                 b[idx].fp = file_fingerprint(format!("flip-{}", b[idx].name).as_bytes());
             }
             recon::canonicalize(&mut a);
             recon::canonicalize(&mut b);
             let truth = recon::diff_names(&a, &b);
-            prop_assert_eq!(&recon::merkle::reconcile(&a, &b).differing, &truth);
-            prop_assert_eq!(&recon::group_testing::reconcile(&a, &b).differing, &truth);
-            prop_assert_eq!(&recon::flat_exchange(&a, &b).differing, &truth);
-        }
+            assert_eq!(recon::merkle::reconcile(&a, &b).differing, truth);
+            assert_eq!(recon::group_testing::reconcile(&a, &b).differing, truth);
+            assert_eq!(recon::flat_exchange(&a, &b).differing, truth);
+        });
     }
 }

@@ -4,9 +4,8 @@ use msync_core::{sync_file, ProtocolConfig};
 
 fn blob(n: usize, seed: u64) -> Vec<u8> {
     // Word-like compressible-ish content
-    let words = [
-        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
-    ];
+    let words =
+        ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa"];
     let mut state = seed | 1;
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
@@ -45,8 +44,10 @@ fn msync_vs_rsync_localized_edit() {
         new.len()
     );
     for l in &m.stats.levels {
-        eprintln!("  level bs={} items={} cont={} suppr={} cand={} conf={}",
-            l.block_size, l.items, l.cont_items, l.suppressed, l.candidates, l.confirmed);
+        eprintln!(
+            "  level bs={} items={} cont={} suppr={} cand={} conf={}",
+            l.block_size, l.items, l.cont_items, l.suppressed, l.candidates, l.confirmed
+        );
     }
     assert!(m.stats.total_bytes() < r.stats.total_bytes());
 }
