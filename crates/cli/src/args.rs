@@ -24,6 +24,11 @@ pub enum Command {
         compare: bool,
         /// Write the reconstructed files under this directory.
         write: Option<PathBuf>,
+        /// Run over a deterministically faulty channel with this
+        /// profile (see `msync_protocol::fault::PROFILE_NAMES`).
+        fault_profile: Option<String>,
+        /// Seed for the fault injector (reproduces a faulty run).
+        fault_seed: u64,
     },
     /// Per-round protocol trace for one file pair.
     Inspect {
@@ -71,6 +76,7 @@ msync — multi-round file synchronization over slow links
 
 USAGE:
     msync sync <OLD> <NEW> [--config FILE | --preset NAME] [--compare] [--write DIR]
+               [--fault-profile NAME] [--fault-seed N]
     msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
     msync chunks <FILE> [--avg BYTES]
     msync params [--preset NAME]
@@ -79,6 +85,9 @@ USAGE:
 OLD/NEW may both be files or both be directories.
 Presets: default, basic, restricted:<levels> (e.g. restricted:3).
 --config takes a parameter file (see `msync params` for the syntax).
+--fault-profile runs the sync over a deterministically faulty channel
+(profiles: none, drop, corrupt, truncate, duplicate, delay, disconnect,
+lossy, evil); --fault-seed reproduces a specific run.
 ";
 
 /// Parse `argv[1..]`.
@@ -93,6 +102,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let mut config = ConfigSource::default();
             let mut compare = false;
             let mut write = None;
+            let mut fault_profile = None;
+            let mut fault_seed = 0u64;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--config" => {
@@ -108,11 +119,22 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     "--write" if sub == "sync" => {
                         write = Some(PathBuf::from(it.next().ok_or("--write needs a directory")?))
                     }
+                    "--fault-profile" if sub == "sync" => {
+                        fault_profile =
+                            Some(it.next().ok_or("--fault-profile needs a name")?.clone())
+                    }
+                    "--fault-seed" if sub == "sync" => {
+                        fault_seed = it
+                            .next()
+                            .ok_or("--fault-seed needs an integer")?
+                            .parse()
+                            .map_err(|_| "--fault-seed needs an integer".to_string())?
+                    }
                     other => return Err(format!("unknown flag `{other}` for `{sub}`")),
                 }
             }
             if sub == "sync" {
-                Command::Sync { old, new, config, compare, write }
+                Command::Sync { old, new, config, compare, write, fault_profile, fault_seed }
             } else {
                 Command::Inspect { old, new, config }
             }
@@ -180,15 +202,32 @@ mod tests {
     fn sync_with_flags() {
         let cli = parse(&["sync", "a", "b", "--preset", "basic", "--compare"]).unwrap();
         match cli.command {
-            Command::Sync { old, new, config, compare, write } => {
+            Command::Sync { old, new, config, compare, write, fault_profile, fault_seed } => {
                 assert_eq!(old, PathBuf::from("a"));
                 assert_eq!(new, PathBuf::from("b"));
                 assert_eq!(config, ConfigSource::Preset("basic".into()));
                 assert!(compare);
                 assert!(write.is_none());
+                assert!(fault_profile.is_none());
+                assert_eq!(fault_seed, 0);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn sync_fault_flags() {
+        let cli =
+            parse(&["sync", "a", "b", "--fault-profile", "lossy", "--fault-seed", "42"]).unwrap();
+        match cli.command {
+            Command::Sync { fault_profile, fault_seed, .. } => {
+                assert_eq!(fault_profile.as_deref(), Some("lossy"));
+                assert_eq!(fault_seed, 42);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["sync", "a", "b", "--fault-seed", "x"]).is_err());
+        assert!(parse(&["inspect", "a", "b", "--fault-profile", "lossy"]).is_err());
     }
 
     #[test]

@@ -19,8 +19,11 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             Ok(msync_core::params::render(&cfg))
         }
         Command::Chunks { file, avg } => chunks(file, *avg),
-        Command::Sync { old, new, config, compare, write } => {
-            sync_cmd(old, new, config, *compare, write.as_deref())
+        Command::Sync { old, new, config, compare, write, fault_profile, fault_seed } => {
+            match fault_profile {
+                Some(profile) => faulty_sync_cmd(old, new, config, profile, *fault_seed),
+                None => sync_cmd(old, new, config, *compare, write.as_deref()),
+            }
         }
         Command::Inspect { old, new, config } => inspect(old, new, config),
     }
@@ -153,6 +156,69 @@ fn sync_cmd(
         }
         let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
     }
+    Ok(report)
+}
+
+/// `sync --fault-profile`: run each file pair over a deterministically
+/// faulty channel and report what the recovery machinery did — the
+/// operational view of the soak tests.
+fn faulty_sync_cmd(
+    old: &Path,
+    new: &Path,
+    config: &ConfigSource,
+    profile: &str,
+    seed: u64,
+) -> Result<String, String> {
+    let cfg = load_config(config)?;
+    let plan = msync_protocol::FaultPlan::profile(profile).ok_or_else(|| {
+        format!(
+            "unknown fault profile `{profile}` (try: {})",
+            msync_protocol::fault::PROFILE_NAMES.join(", ")
+        )
+    })?;
+    let (old_col, new_col) = load_pair(old, new)?;
+
+    let mut report = String::new();
+    let _ = writeln!(report, "fault profile `{profile}`, seed {seed}:");
+    let mut total = msync_protocol::TrafficStats::new();
+    let mut failures = 0usize;
+    let mut fallbacks = 0usize;
+    for (i, nf) in new_col.files().iter().enumerate() {
+        let old_data = old_col.get(&nf.name).map(|f| f.data.clone()).unwrap_or_default();
+        let opts = msync_core::ChannelOptions {
+            fault_plan: Some(plan),
+            fault_seed: seed.wrapping_add(i as u64),
+            ..Default::default()
+        };
+        match msync_core::sync_over_channel_with(&old_data, &nf.data, &cfg, &opts) {
+            Ok(out) => {
+                let verified = if out.reconstructed == nf.data { "exact" } else { "MISMATCH" };
+                fallbacks += usize::from(out.fell_back);
+                let _ = writeln!(
+                    report,
+                    "  {}: {} on the wire, {} retransmitted frame(s), {verified}{}",
+                    nf.name,
+                    human(out.stats.total_bytes()),
+                    out.stats.traffic.retransmits,
+                    if out.fell_back { " (fell back to full transfer)" } else { "" },
+                );
+                total.merge(&out.stats.traffic);
+            }
+            Err(e) => {
+                failures += 1;
+                let _ = writeln!(report, "  {}: FAILED: {e}", nf.name);
+            }
+        }
+    }
+    let _ = writeln!(
+        report,
+        "{} file(s): {} failed, {} fell back; {} total, {} retransmitted frame(s)",
+        new_col.len(),
+        failures,
+        fallbacks,
+        human(total.total_bytes()),
+        total.retransmits,
+    );
     Ok(report)
 }
 
@@ -340,6 +406,44 @@ mod tests {
         ])
         .unwrap();
         assert!(report.contains("wire:"));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn sync_over_faulty_channel_reports_recovery() {
+        let d = tmpdir("fault");
+        let old = d.join("old.txt");
+        let new = d.join("new.txt");
+        fs::write(&old, b"payload ".repeat(3000)).unwrap();
+        fs::write(
+            &new,
+            b"payload ".repeat(3000).iter().chain(b"suffix").copied().collect::<Vec<u8>>(),
+        )
+        .unwrap();
+        let report = run_words(&[
+            "sync",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--fault-profile",
+            "lossy",
+            "--fault-seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(report.contains("fault profile `lossy`, seed 7"), "{report}");
+        assert!(report.contains("retransmitted frame(s)"), "{report}");
+        assert!(report.contains("0 failed"), "{report}");
+        assert!(!report.contains("MISMATCH"), "{report}");
+        // Unknown profiles are a parse-time error with the menu.
+        let err = run_words(&[
+            "sync",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--fault-profile",
+            "gremlins",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown fault profile"), "{err}");
         fs::remove_dir_all(&d).unwrap();
     }
 

@@ -164,10 +164,11 @@ pub fn decode(reference: &[u8], delta: &[u8]) -> Result<Vec<u8>, VcdiffError> {
                     .map_err(|_| VcdiffError::Corrupt)?;
                 if addr < reference.len() {
                     // Copy from reference; may not cross into target space.
-                    if addr + size > reference.len() {
+                    let end = addr.checked_add(size).ok_or(VcdiffError::Corrupt)?;
+                    if end > reference.len() {
                         return Err(VcdiffError::Corrupt);
                     }
-                    out.extend_from_slice(&reference[addr..addr + size]);
+                    out.extend_from_slice(&reference[addr..end]);
                 } else {
                     let taddr = addr - reference.len();
                     if taddr >= out.len() {

@@ -239,6 +239,21 @@ impl ProtocolConfig {
     }
 }
 
+/// Transport options for [`crate::sync_over_channel_with`]: the
+/// timeout/retry policy the session applies to every receive, and an
+/// optional deterministic fault plan for the link (used by the soak
+/// tests and the CLI's `--fault-profile` flag to exercise recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelOptions {
+    /// Receive deadline, retry budget, and backoff for the session.
+    pub retry: msync_protocol::RetryPolicy,
+    /// Faults to inject into the channel; `None` for a clean link.
+    pub fault_plan: Option<msync_protocol::FaultPlan>,
+    /// Seed for the fault injector's PRNG (ignored for a clean link).
+    /// Together with `fault_plan` it reproduces a run exactly.
+    pub fault_seed: u64,
+}
+
 /// Number of halvings from `from` down to (and including) blocks of size
 /// `to`: e.g. 32768 → 128 is 9 levels (32768, 16384, …, 128).
 pub fn levels_between(from: usize, to: usize) -> u32 {

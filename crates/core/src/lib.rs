@@ -66,7 +66,7 @@ pub use broadcast::{sync_broadcast, BroadcastOutcome};
 pub use collection::{
     sync_collection, sync_collection_with, CollectionOutcome, FileEntry, ReconStrategy,
 };
-pub use config::{BatchConfig, ProtocolConfig, VerifyStrategy};
+pub use config::{BatchConfig, ChannelOptions, ProtocolConfig, VerifyStrategy};
 pub use map::{FileMap, Segment};
-pub use session::{sync_file, sync_over_channel, SyncError, SyncOutcome};
+pub use session::{sync_file, sync_over_channel, sync_over_channel_with, SyncError, SyncOutcome};
 pub use stats::{LevelStats, SyncStats};

@@ -25,7 +25,7 @@
 //! from shared state ([`Coverage`], the known-hash set, results bitmaps),
 //! so messages carry only hash bits and bitmaps, never structure.
 
-use crate::config::ProtocolConfig;
+use crate::config::{ChannelOptions, ProtocolConfig};
 use crate::coverage::Coverage;
 use crate::index::{matches_at, scan_neighborhood, PositionIndex};
 use crate::items::{self, global_hash_bits, Item, ItemKind, Side};
@@ -34,10 +34,14 @@ use crate::stats::{LevelStats, SyncStats};
 use crate::verify::{StepOutcome, VerifyState};
 use msync_hash::decomposable::{prefix_decompose_left, prefix_decompose_right, DecomposableDigest};
 use msync_hash::{file_fingerprint, BitReader, BitWriter, Md5};
-use msync_protocol::{frame_wire_size, Direction, Phase, TrafficStats};
+use msync_protocol::{
+    frame_wire_size, ChannelError, Direction, Endpoint, Phase, RetryPolicy, TrafficStats,
+};
 use std::collections::{HashMap, HashSet};
 
-/// Synchronization failure.
+/// Synchronization failure. A session never panics, never hangs, and
+/// never silently returns a wrong reconstruction: every failure mode of
+/// the link or the peer maps to one of these variants.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyncError {
     /// The configuration is invalid.
@@ -45,6 +49,14 @@ pub enum SyncError {
     /// The two endpoints fell out of lockstep — a protocol bug, never
     /// expected in a correct build.
     Desync(&'static str),
+    /// Retries were exhausted and at least one frame failed its
+    /// integrity checks: the link is corrupting traffic faster than the
+    /// bounded-retry recovery can repair.
+    FrameCorrupt,
+    /// The peer disconnected (or the link was cut) mid-session.
+    PeerGone,
+    /// The retry budget ran out with no frame from the peer at all.
+    Timeout,
 }
 
 impl std::fmt::Display for SyncError {
@@ -52,6 +64,9 @@ impl std::fmt::Display for SyncError {
         match self {
             Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Self::Desync(what) => write!(f, "protocol desync: {what}"),
+            Self::FrameCorrupt => write!(f, "persistent frame corruption exhausted retries"),
+            Self::PeerGone => write!(f, "peer disconnected mid-session"),
+            Self::Timeout => write!(f, "peer silent; retry budget exhausted"),
         }
     }
 }
@@ -241,7 +256,8 @@ impl<'a> ServerSession<'a> {
     /// Read the current batch's group hashes from `r`, evaluate them,
     /// and reply with the results bitmap (+ the next round when done).
     fn check_groups(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Part>, SyncError> {
-        let verify = self.verify.as_mut().expect("verify state set");
+        let verify =
+            self.verify.as_mut().ok_or(SyncError::Desync("server verify state missing"))?;
         if verify.is_trivially_done() {
             // No candidates at all: nothing to verify, no results bitmap.
             self.verify = None;
@@ -271,7 +287,8 @@ impl<'a> ServerSession<'a> {
                 self.state = SState::AwaitBatch;
             }
             StepOutcome::Done => {
-                let verify = self.verify.take().expect("verify state set");
+                let verify =
+                    self.verify.take().ok_or(SyncError::Desync("server verify state missing"))?;
                 for &cand in verify.confirmed() {
                     let it = &self.items[self.candidates[cand]];
                     self.coverage.insert(it.new_off, it.len);
@@ -463,7 +480,10 @@ impl<'a> ClientSession<'a> {
                 }
                 CState::AwaitResults => {
                     let mut r = BitReader::new(&part.payload);
-                    let verify = self.verify.as_mut().expect("verify set in AwaitResults");
+                    let verify = self
+                        .verify
+                        .as_mut()
+                        .ok_or(SyncError::Desync("client verify state missing"))?;
                     let mut results = Vec::with_capacity(verify.groups().len());
                     for _ in 0..verify.groups().len() {
                         results
@@ -475,7 +495,10 @@ impl<'a> ClientSession<'a> {
                             reply.push(part);
                         }
                         StepOutcome::Done => {
-                            let verify = self.verify.take().expect("verify set");
+                            let verify = self
+                                .verify
+                                .take()
+                                .ok_or(SyncError::Desync("client verify state missing"))?;
                             let mut confirmed_count = 0u64;
                             for &cand in verify.confirmed() {
                                 let c = self.candidates[cand];
@@ -615,18 +638,19 @@ impl<'a> ClientSession<'a> {
 
         // Compose bitmap + batch-1 hashes in one part.
         let mut payload = bitmap;
-        self.write_group_hashes(&mut payload);
+        self.write_group_hashes(&mut payload)?;
         Ok(Part { phase: Phase::Map, payload: payload.into_bytes() })
     }
 
     fn compose_batch(&mut self) -> Result<Part, SyncError> {
         let mut w = BitWriter::new();
-        self.write_group_hashes(&mut w);
+        self.write_group_hashes(&mut w)?;
         Ok(Part { phase: Phase::Map, payload: w.into_bytes() })
     }
 
-    fn write_group_hashes(&mut self, w: &mut BitWriter) {
-        let verify = self.verify.as_ref().expect("verify state set");
+    fn write_group_hashes(&mut self, w: &mut BitWriter) -> Result<(), SyncError> {
+        let verify =
+            self.verify.as_ref().ok_or(SyncError::Desync("client verify state missing"))?;
         let bits = if verify.is_trivially_done() { 0 } else { verify.batch_config().bits };
         for group in verify.groups() {
             let mut buf = Vec::new();
@@ -637,6 +661,7 @@ impl<'a> ClientSession<'a> {
             }
             w.write_bits(Md5::digest_bits(&buf, bits), bits);
         }
+        Ok(())
     }
 
     /// Predicted old-file position of a continuation probe.
@@ -780,8 +805,39 @@ pub fn sync_file(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOut
 }
 
 // ---------------------------------------------------------------------
-// Channel transport
+// Channel transport (ARQ layer)
 // ---------------------------------------------------------------------
+//
+// Over a real (possibly faulty) channel, each logical message is split
+// into frames carrying an ARQ header:
+//
+// ```text
+// varint message sequence number
+// varint part index within the message
+// 1 byte part header (bit 0 = more parts follow, bits 1..3 = phase)
+// payload bytes
+// ```
+//
+// Messages alternate strictly: the client owns even sequence numbers,
+// the server odd ones. Recovery is stop-and-wait, driven by whichever
+// side is waiting for a reply: after a receive deadline expires it
+// retransmits its whole last message; the peer deduplicates by sequence
+// number and answers a stale retransmission by resending its own cached
+// reply. Duplicated or reordered frames are idempotent (parts are
+// assembled by index), corrupt frames are dropped by the channel's CRC
+// and repaired by the same retransmission path, and every receive is
+// bounded by the `RetryPolicy`, so a dead peer surfaces as a typed
+// error — never a hang.
+
+/// Hard cap on frames processed while waiting for one message: a live
+/// peer never legitimately approaches it, so exceeding it means the
+/// link floods garbage faster than timeouts can fire.
+const MAX_FRAMES_PER_EXCHANGE: u32 = 10_000;
+
+/// Parts per message are small (bitmap + batch + round hashes); a
+/// larger index in an ARQ header is corruption that slipped past the
+/// CRC, not a real frame.
+const MAX_PARTS_PER_MESSAGE: usize = 256;
 
 /// Wire form of a message part on a real channel: 1 header byte
 /// (bit 0 = more parts follow in this logical message, bits 1..3 =
@@ -805,82 +861,287 @@ fn parse_part_header(b: u8) -> Option<(Phase, bool)> {
     Some((phase, b & 1 == 1))
 }
 
-fn send_parts(ep: &mut msync_protocol::Endpoint, parts: &[Part]) {
-    for (i, p) in parts.iter().enumerate() {
-        let more = i + 1 < parts.len();
-        let mut frame = Vec::with_capacity(p.payload.len() + 1);
-        frame.push(part_header(p.phase, more));
-        frame.extend_from_slice(&p.payload);
-        ep.set_phase(p.phase);
-        ep.send(frame);
-    }
+/// A decoded ARQ frame.
+struct ArqFrame {
+    seq: u64,
+    idx: usize,
+    more: bool,
+    part: Part,
 }
 
-fn recv_parts(ep: &msync_protocol::Endpoint) -> Result<Vec<Part>, SyncError> {
-    let mut parts = Vec::new();
-    loop {
-        let frame = ep.recv().map_err(|_| SyncError::Desync("peer disconnected"))?;
-        let (&header, payload) = frame.split_first().ok_or(SyncError::Desync("empty frame"))?;
-        let (phase, more) =
-            parse_part_header(header).ok_or(SyncError::Desync("bad part header"))?;
-        parts.push(Part { phase, payload: payload.to_vec() });
-        if !more {
-            return Ok(parts);
+fn parse_frame(bytes: &[u8]) -> Option<ArqFrame> {
+    let mut r = BitReader::new(bytes);
+    let seq = r.read_varint().ok()?;
+    let idx = usize::try_from(r.read_varint().ok()?).ok()?;
+    if idx >= MAX_PARTS_PER_MESSAGE {
+        return None;
+    }
+    let header = r.read_bits(8).ok()? as u8;
+    let (phase, more) = parse_part_header(header)?;
+    // The varints and header byte are whole bytes, so the payload
+    // starts byte-aligned.
+    let consumed = bytes.len() - r.remaining_bits() / 8;
+    Some(ArqFrame { seq, idx, more, part: Part { phase, payload: bytes[consumed..].to_vec() } })
+}
+
+fn send_frame(ep: &mut Endpoint, seq: u64, idx: usize, more: bool, part: &Part) {
+    let mut w = BitWriter::new();
+    w.write_varint(seq);
+    w.write_varint(idx as u64);
+    w.write_bits(u64::from(part_header(part.phase, more)), 8);
+    let mut frame = w.into_bytes();
+    frame.extend_from_slice(&part.payload);
+    ep.set_phase(part.phase);
+    ep.send(frame);
+}
+
+/// One side's view of the stop-and-wait message exchange.
+struct ArqLink {
+    ep: Endpoint,
+    retry: RetryPolicy,
+    /// Sequence number of the next message this side sends (client
+    /// even, server odd).
+    send_seq: u64,
+    /// Sequence number of the next message expected from the peer.
+    recv_seq: u64,
+    /// The last message sent, kept for retransmission.
+    cached: Vec<Part>,
+    /// Whether a stale final frame from the peer triggers a resend of
+    /// the cached message. Only the server answers stale frames: it is
+    /// how a client retransmission gets its lost reply back. If both
+    /// sides did this, one duplicated frame would echo resends back and
+    /// forth indefinitely; the client's recovery driver is its receive
+    /// timeout instead.
+    resend_on_stale: bool,
+}
+
+impl ArqLink {
+    fn client(ep: Endpoint, retry: RetryPolicy) -> Self {
+        ArqLink { ep, retry, send_seq: 0, recv_seq: 1, cached: Vec::new(), resend_on_stale: false }
+    }
+
+    fn server(ep: Endpoint, retry: RetryPolicy) -> Self {
+        ArqLink { ep, retry, send_seq: 1, recv_seq: 0, cached: Vec::new(), resend_on_stale: true }
+    }
+
+    fn send_message(&mut self, parts: Vec<Part>) {
+        let seq = self.send_seq;
+        self.send_seq += 2;
+        for (i, part) in parts.iter().enumerate() {
+            send_frame(&mut self.ep, seq, i, i + 1 < parts.len(), part);
+        }
+        self.cached = parts;
+    }
+
+    /// Retransmit the whole last message and count it in the stats.
+    fn retransmit_cached(&mut self) {
+        let seq = self.send_seq.wrapping_sub(2);
+        let n = self.cached.len();
+        for i in 0..n {
+            let more = i + 1 < n;
+            let mut w = BitWriter::new();
+            w.write_varint(seq);
+            w.write_varint(i as u64);
+            w.write_bits(u64::from(part_header(self.cached[i].phase, more)), 8);
+            let mut frame = w.into_bytes();
+            frame.extend_from_slice(&self.cached[i].payload);
+            self.ep.set_phase(self.cached[i].phase);
+            self.ep.send(frame);
+        }
+        self.ep.note_retransmits(n as u64);
+    }
+
+    /// Receive the peer's next message, driving recovery: timeouts
+    /// retransmit our cached message with exponential backoff (which
+    /// prompts the peer to resend its reply), duplicates and reordered
+    /// parts are assembled idempotently, and exhaustion of the retry
+    /// budget maps to a typed error naming the dominant failure.
+    fn recv_message(&mut self) -> Result<Vec<Part>, SyncError> {
+        let expected = self.recv_seq;
+        let mut slots: Vec<Option<Part>> = Vec::new();
+        let mut final_idx: Option<usize> = None;
+        let mut timeout = self.retry.timeout;
+        let mut attempts = 0u32;
+        let mut saw_corrupt = false;
+        let mut frames = 0u32;
+        loop {
+            match self.ep.recv_timeout(timeout) {
+                Ok(bytes) => {
+                    frames += 1;
+                    if frames > MAX_FRAMES_PER_EXCHANGE {
+                        return Err(SyncError::Desync("frame flood while awaiting message"));
+                    }
+                    let Some(frame) = parse_frame(&bytes) else {
+                        // CRC-clean but structurally invalid: treat like
+                        // a corrupt frame and let retransmission heal it.
+                        saw_corrupt = true;
+                        continue;
+                    };
+                    if frame.seq != expected {
+                        // A stale frame means the peer missed our last
+                        // message's effect — on the server, when its
+                        // final part shows up, answer with the cached
+                        // reply so the exchange moves again. Future
+                        // sequences (only possible via corruption) and
+                        // stale frames on the client are dropped.
+                        if self.resend_on_stale
+                            && frame.seq < expected
+                            && !frame.more
+                            && !self.cached.is_empty()
+                        {
+                            self.retransmit_cached();
+                        }
+                        continue;
+                    }
+                    attempts = 0;
+                    if frame.idx >= slots.len() {
+                        slots.resize_with(frame.idx + 1, || None);
+                    }
+                    slots[frame.idx] = Some(frame.part);
+                    if !frame.more {
+                        final_idx = Some(frame.idx);
+                    }
+                    if let Some(last) = final_idx {
+                        if slots.len() > last {
+                            let head = &slots[..=last];
+                            if head.iter().all(Option::is_some) {
+                                self.recv_seq += 2;
+                                slots.truncate(last + 1);
+                                return Ok(slots.into_iter().flatten().collect());
+                            }
+                        }
+                    }
+                }
+                Err(ChannelError::Corrupt(_)) => {
+                    frames += 1;
+                    if frames > MAX_FRAMES_PER_EXCHANGE {
+                        return Err(SyncError::Desync("frame flood while awaiting message"));
+                    }
+                    saw_corrupt = true;
+                }
+                Err(ChannelError::Timeout) => {
+                    attempts += 1;
+                    if attempts > self.retry.max_retries {
+                        return Err(if saw_corrupt {
+                            SyncError::FrameCorrupt
+                        } else {
+                            SyncError::Timeout
+                        });
+                    }
+                    if !self.cached.is_empty() {
+                        self.retransmit_cached();
+                    }
+                    timeout = self.retry.backoff(timeout);
+                }
+                Err(ChannelError::Disconnected) => return Err(SyncError::PeerGone),
+            }
         }
     }
+
+    /// After the server's final message: keep answering stale
+    /// retransmissions with the cached reply until the client hangs up
+    /// (success) or goes silent past the retry budget.
+    fn linger(&mut self) {
+        let mut quiet = 0u32;
+        let mut frames = 0u32;
+        while quiet <= self.retry.max_retries && frames < MAX_FRAMES_PER_EXCHANGE {
+            match self.ep.recv_timeout(self.retry.timeout) {
+                Ok(bytes) => {
+                    frames += 1;
+                    quiet = 0;
+                    if let Some(frame) = parse_frame(&bytes) {
+                        if frame.seq < self.recv_seq && !frame.more && !self.cached.is_empty() {
+                            self.retransmit_cached();
+                        }
+                    }
+                }
+                Err(ChannelError::Corrupt(_)) => {
+                    frames += 1;
+                    quiet = 0;
+                }
+                Err(ChannelError::Timeout) => quiet += 1,
+                Err(ChannelError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.ep.stats()
+    }
 }
 
-/// Run the protocol over a real duplex [`msync_protocol::Endpoint`]
-/// pair, with the server on its own thread — the deployment shape of
-/// the library, as opposed to [`sync_file`]'s lockstep in-process
-/// driver. Byte accounting comes from the channel itself (one extra
-/// header byte per message part relative to `sync_file`).
-pub fn sync_over_channel(
+/// Run the protocol over a real duplex [`Endpoint`] pair with the
+/// server on its own thread — the deployment shape of the library, as
+/// opposed to [`sync_file`]'s lockstep in-process driver — under
+/// explicit transport options: a timeout/retry policy and an optional
+/// deterministic fault plan for the link.
+///
+/// Byte accounting comes from the channel itself, including checksums
+/// and retransmissions. Whenever this returns `Ok`, the reconstruction
+/// is byte-exact; link failures that outlast the retry budget surface
+/// as [`SyncError::Timeout`] / [`SyncError::FrameCorrupt`] /
+/// [`SyncError::PeerGone`].
+pub fn sync_over_channel_with(
     old: &[u8],
     new: &[u8],
     cfg: &ProtocolConfig,
+    opts: &ChannelOptions,
 ) -> Result<SyncOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
-    let (mut client_ep, mut server_ep) = msync_protocol::Endpoint::pair();
+    let (client_ep, server_ep) = match &opts.fault_plan {
+        Some(plan) => Endpoint::pair_with_faults(plan, opts.fault_seed),
+        None => Endpoint::pair(),
+    };
 
     let server_new = new.to_vec();
     let server_cfg = cfg.clone();
+    let retry = opts.retry;
     let handle = std::thread::spawn(move || -> Result<(), SyncError> {
         let mut server = ServerSession::new(&server_new, &server_cfg);
-        let req = recv_parts(&server_ep)?;
+        let mut link = ArqLink::server(server_ep, retry);
+        let req = match link.recv_message() {
+            Ok(parts) => parts,
+            // Nothing ever arrived: the client will report its own
+            // error; there is no session to fail on this side.
+            Err(_) => return Ok(()),
+        };
         let first = req.first().ok_or(SyncError::Desync("empty request"))?;
         let mut reply = server.on_request(&first.payload)?;
         loop {
-            send_parts(&mut server_ep, &reply);
+            link.send_message(reply);
             if server.state == SState::Done {
-                return Ok(());
+                break;
             }
-            match recv_parts(&server_ep) {
+            match link.recv_message() {
                 Ok(parts) => reply = server.on_client(&parts)?,
-                // Client finished and hung up — normal termination for
-                // the states where no further client message is owed.
-                Err(_) => return Ok(()),
+                // Client finished and hung up, or gave up — either way
+                // the client side owns the verdict. Serve any pending
+                // resends before leaving.
+                Err(SyncError::PeerGone) => return Ok(()),
+                Err(_) => break,
             }
         }
+        link.linger();
+        Ok(())
     });
 
     let mut client = ClientSession::new(old, cfg);
-    let req = client.request();
-    send_parts(&mut client_ep, std::slice::from_ref(&req));
+    let mut link = ArqLink::client(client_ep, opts.retry);
+    link.send_message(vec![client.request()]);
     let result = loop {
-        let parts = recv_parts(&client_ep)?;
+        let parts = link.recv_message()?;
         match client.handle(parts)? {
             ClientAction::Done { data, fell_back } => break (data, fell_back),
             ClientAction::Reply(cparts) => {
                 if cparts.is_empty() {
                     return Err(SyncError::Desync("client had nothing to say"));
                 }
-                send_parts(&mut client_ep, &cparts);
+                link.send_message(cparts);
             }
         }
     };
-    let traffic = client_ep.stats();
-    drop(client_ep);
+    let traffic = link.stats();
+    drop(link);
     handle.join().map_err(|_| SyncError::Desync("server thread panicked"))??;
 
     let (data, fell_back) = result;
@@ -891,6 +1152,17 @@ pub fn sync_over_channel(
         delta_bytes: client.delta_bytes,
     };
     Ok(SyncOutcome { reconstructed: data, stats, fell_back })
+}
+
+/// [`sync_over_channel_with`] on a clean link with the default
+/// [`RetryPolicy`] — the drop-in successor of the original
+/// channel driver.
+pub fn sync_over_channel(
+    old: &[u8],
+    new: &[u8],
+    cfg: &ProtocolConfig,
+) -> Result<SyncOutcome, SyncError> {
+    sync_over_channel_with(old, new, cfg, &ChannelOptions::default())
 }
 
 #[cfg(test)]
@@ -919,18 +1191,22 @@ mod channel_tests {
         let b = sync_over_channel(&old, &new, &cfg).unwrap();
         assert_eq!(a.reconstructed, new);
         assert_eq!(b.reconstructed, new);
-        // Same protocol content; the channel adds one header byte per
-        // part, so totals agree within that overhead.
+        // Same protocol content; the channel adds the ARQ header
+        // (sequence + part-index varints + part header byte) per frame,
+        // so totals agree within a few bytes per frame transmitted.
         let diff = b.stats.total_bytes().abs_diff(a.stats.total_bytes());
-        let parts_bound = 4 * (a.stats.traffic.roundtrips as u64 + 2);
+        let header_bound = 8 * b.stats.traffic.frames;
         assert!(
-            diff <= parts_bound,
-            "channel {} vs driver {}",
+            diff <= header_bound,
+            "channel {} vs driver {} (frames {})",
             b.stats.total_bytes(),
-            a.stats.total_bytes()
+            a.stats.total_bytes(),
+            b.stats.traffic.frames,
         );
         assert_eq!(b.stats.traffic.roundtrips, a.stats.traffic.roundtrips);
         assert_eq!(b.stats.levels, a.stats.levels);
+        // A clean link never needs recovery.
+        assert_eq!(b.stats.traffic.retransmits, 0);
     }
 
     #[test]
@@ -938,7 +1214,7 @@ mod channel_tests {
         let data = blob(10_000, 5);
         let out = sync_over_channel(&data, &data, &ProtocolConfig::default()).unwrap();
         assert_eq!(out.reconstructed, data);
-        assert!(out.stats.total_bytes() < 48);
+        assert!(out.stats.total_bytes() < 64, "got {}", out.stats.total_bytes());
     }
 
     #[test]
@@ -946,5 +1222,87 @@ mod channel_tests {
         let new = blob(5_000, 6);
         let out = sync_over_channel(b"", &new, &ProtocolConfig::default()).unwrap();
         assert_eq!(out.reconstructed, new);
+    }
+
+    fn short_retry() -> msync_protocol::RetryPolicy {
+        msync_protocol::RetryPolicy {
+            timeout: std::time::Duration::from_millis(20),
+            max_retries: 8,
+            backoff_cap: std::time::Duration::from_millis(80),
+        }
+    }
+
+    #[test]
+    fn channel_run_survives_lossy_link() {
+        let old = blob(24_000, 7);
+        let mut new = old.clone();
+        new.splice(4_000..4_100, blob(300, 8));
+        let cfg = ProtocolConfig::default();
+        let plan = msync_protocol::FaultPlan::profile("lossy").unwrap();
+        let opts =
+            ChannelOptions { retry: short_retry(), fault_plan: Some(plan), fault_seed: 0xFA17 };
+        let out = sync_over_channel_with(&old, &new, &cfg, &opts).unwrap();
+        assert_eq!(out.reconstructed, new);
+    }
+
+    #[test]
+    fn channel_run_corruption_is_healed_or_typed() {
+        let old = blob(16_000, 9);
+        let new = blob(16_000, 10);
+        let cfg = ProtocolConfig::default();
+        let plan = msync_protocol::FaultPlan::profile("corrupt").unwrap();
+        let opts = ChannelOptions { retry: short_retry(), fault_plan: Some(plan), fault_seed: 99 };
+        match sync_over_channel_with(&old, &new, &cfg, &opts) {
+            Ok(out) => assert_eq!(out.reconstructed, new),
+            Err(
+                SyncError::FrameCorrupt
+                | SyncError::Timeout
+                | SyncError::PeerGone
+                | SyncError::Desync(_),
+            ) => {}
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+
+    #[test]
+    fn channel_run_disconnect_surfaces_typed_error() {
+        let old = blob(20_000, 11);
+        let new = blob(20_000, 12);
+        let cfg = ProtocolConfig::default();
+        let plan = msync_protocol::FaultPlan::profile("disconnect").unwrap();
+        let opts = ChannelOptions { retry: short_retry(), fault_plan: Some(plan), fault_seed: 1 };
+        match sync_over_channel_with(&old, &new, &cfg, &opts) {
+            // Severed before the session finished: must be a typed
+            // transport error, never a hang or a panic.
+            Err(SyncError::PeerGone | SyncError::Timeout | SyncError::FrameCorrupt) => {}
+            Ok(out) => assert_eq!(out.reconstructed, new),
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+
+    #[test]
+    fn arq_frame_roundtrip_and_garbage_rejection() {
+        let part = Part { phase: Phase::Map, payload: vec![1, 2, 3, 4] };
+        let mut w = BitWriter::new();
+        w.write_varint(6);
+        w.write_varint(1);
+        w.write_bits(u64::from(part_header(part.phase, true)), 8);
+        let mut frame = w.into_bytes();
+        frame.extend_from_slice(&part.payload);
+        let parsed = parse_frame(&frame).unwrap();
+        assert_eq!(parsed.seq, 6);
+        assert_eq!(parsed.idx, 1);
+        assert!(parsed.more);
+        assert_eq!(parsed.part.payload, part.payload);
+        assert_eq!(parsed.part.phase, Phase::Map);
+
+        // Truncated header and absurd part indices are rejected, not
+        // panicked on.
+        assert!(parse_frame(&[]).is_none());
+        let mut w = BitWriter::new();
+        w.write_varint(0);
+        w.write_varint(u64::from(u32::MAX));
+        w.write_bits(0, 8);
+        assert!(parse_frame(&w.into_bytes()).is_none());
     }
 }

@@ -1,29 +1,196 @@
-//! In-memory duplex channel with exact byte accounting.
+//! In-memory duplex channel with exact byte accounting and link faults.
 //!
 //! The two protocol endpoints (synchronization client and server) run as
-//! two threads connected by a pair of message queues. Every frame sent is
-//! charged to a `(direction, phase)` counter, including the framing
-//! overhead a real transport would pay (a varint length prefix), so the
-//! reported numbers correspond to bytes a TCP connection would carry.
-//! Roundtrips are counted as direction reversals observed at the channel,
-//! matching how the paper counts "one or more roundtrips of
-//! communication" per round.
+//! two threads connected by a pair of message queues. Every frame is
+//! encoded the way a real transport would carry it —
+//!
+//! ```text
+//! [LEB128 payload length][CRC32 of payload, little-endian][payload]
+//! ```
+//!
+//! — and charged to a `(direction, phase)` counter at its full wire
+//! size, so the reported numbers correspond to bytes a TCP connection
+//! would carry, checksums included. Roundtrips are counted as direction
+//! reversals observed at the channel, matching how the paper counts
+//! "one or more roundtrips of communication" per round.
+//!
+//! A channel built with [`Endpoint::pair_with_faults`] additionally runs
+//! every sent frame through a deterministic [`FaultInjector`]: frames
+//! may be dropped, bit-flipped, truncated, duplicated, delayed past the
+//! next frame, or the link may be cut mid-round. Receivers observe these
+//! as typed [`ChannelError`]s — corruption is caught by the CRC/length
+//! checks, loss by [`Endpoint::recv_timeout`]'s deadline, disconnects as
+//! [`ChannelError::Disconnected`]. There is no blocking `recv` without a
+//! deadline: a peer that dies must surface as an error, never a hang.
 
+use crate::crc::crc32;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{Direction, Phase, TrafficStats};
-use std::sync::mpsc::{channel, Receiver, RecvError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
-/// A single frame on the wire.
+/// A single encoded frame in flight (length word + CRC32 + payload).
 #[derive(Debug, Clone)]
 pub struct Frame {
-    /// Bit-packed payload produced by the protocol layer.
-    pub payload: Vec<u8>,
+    /// Encoded wire bytes as produced by the sender, after any injected
+    /// faults (so a corrupted frame carries the corrupted bytes).
+    pub bytes: Vec<u8>,
 }
 
-/// Size in bytes a length-prefixed frame occupies on the wire.
+/// Bytes of CRC32 carried by every frame.
+const CRC_LEN: u64 = 4;
+
+/// Frames larger than this are rejected as corrupt before any
+/// allocation: no real payload approaches it, so an inflated length
+/// word from a bit flip cannot demand unbounded memory.
+const MAX_FRAME_PAYLOAD: u64 = 1 << 32;
+
+/// Size in bytes a frame occupies on the wire: LEB128 length word +
+/// 4-byte CRC32 + payload. This is the documented fixed per-frame
+/// header overhead relative to a raw payload.
 pub fn frame_wire_size(payload_len: usize) -> u64 {
     let varint_len = (64 - (payload_len as u64 | 1).leading_zeros() as u64).div_ceil(7);
-    varint_len + payload_len as u64
+    varint_len + CRC_LEN + payload_len as u64
+}
+
+/// Encode a payload into its wire form.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    let mut v = payload.len() as u64;
+    loop {
+        let low = u8::try_from(v & 0x7F).unwrap_or(0);
+        v >>= 7;
+        if v == 0 {
+            out.push(low);
+            break;
+        }
+        out.push(low | 0x80);
+    }
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why a received frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame ended before the header said it would.
+    Truncated,
+    /// The length word is inconsistent with the bytes received.
+    Length,
+    /// The CRC32 over the payload does not match the header.
+    Checksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "frame truncated"),
+            Self::Length => write!(f, "frame length mismatch"),
+            Self::Checksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Decode and verify a wire frame, returning the payload.
+pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    let mut pos = 0usize;
+    loop {
+        let &b = bytes.get(pos).ok_or(FrameError::Truncated)?;
+        pos += 1;
+        if shift >= 64 {
+            return Err(FrameError::Length);
+        }
+        len |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Length);
+    }
+    let body = &bytes[pos..];
+    if body.len() < 4 {
+        return Err(FrameError::Truncated);
+    }
+    let (crc_bytes, payload) = body.split_at(4);
+    if u64::try_from(payload.len()).ok() != Some(len) {
+        return Err(FrameError::Length);
+    }
+    let mut crc = [0u8; 4];
+    crc.copy_from_slice(crc_bytes);
+    if crc32(payload) != u32::from_le_bytes(crc) {
+        return Err(FrameError::Checksum);
+    }
+    Ok(payload.to_vec())
+}
+
+/// Error returned by [`Endpoint::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// No frame arrived within the deadline.
+    Timeout,
+    /// The peer hung up (or the link was cut by a fault) and the queue
+    /// is drained.
+    Disconnected,
+    /// A frame arrived but failed integrity checks.
+    Corrupt(FrameError),
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "receive timed out"),
+            Self::Disconnected => write!(f, "peer disconnected"),
+            Self::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Timeout and bounded-retry policy for a session running over a real
+/// channel: how long one receive may wait, how many retransmission
+/// attempts are made after consecutive timeouts, and the exponential
+/// backoff cap. Protocol logic never reads a clock — the policy is
+/// applied per receive call, so runs stay deterministic given the frame
+/// sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Deadline for a single receive attempt.
+    pub timeout: Duration,
+    /// Retransmissions attempted after consecutive timeouts before the
+    /// session gives up with a typed error.
+    pub max_retries: u32,
+    /// Upper bound for the doubled per-attempt timeout.
+    pub backoff_cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Timeout of the attempt after one that waited `current`:
+    /// exponential backoff, doubled and capped.
+    #[must_use]
+    pub fn backoff(&self, current: Duration) -> Duration {
+        current.saturating_mul(2).min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Generous interactive defaults: 500 ms per attempt, 5 retries,
+    /// backoff capped at 2 s (worst-case ≈ 8 s before `Timeout`).
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: Duration::from_millis(500),
+            max_retries: 5,
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -31,6 +198,42 @@ struct Shared {
     stats: TrafficStats,
     last_dir: Option<Direction>,
     half_trips: u32,
+    /// Set when a disconnect fault cut the link: subsequent sends are
+    /// lost and receivers see `Disconnected` once their queue drains.
+    cut: bool,
+    c2s_faults: Option<FaultInjector>,
+    s2c_faults: Option<FaultInjector>,
+    /// Frame held back by a delay fault, per direction; delivered ahead
+    /// of the next frame sent in the same direction.
+    held_c2s: Option<Vec<u8>>,
+    held_s2c: Option<Vec<u8>>,
+}
+
+impl Shared {
+    fn injector_mut(&mut self, dir: Direction) -> Option<&mut FaultInjector> {
+        match dir {
+            Direction::ClientToServer => self.c2s_faults.as_mut(),
+            Direction::ServerToClient => self.s2c_faults.as_mut(),
+        }
+    }
+
+    fn held_mut(&mut self, dir: Direction) -> &mut Option<Vec<u8>> {
+        match dir {
+            Direction::ClientToServer => &mut self.held_c2s,
+            Direction::ServerToClient => &mut self.held_s2c,
+        }
+    }
+
+    /// Charge one transmission of a `payload_len`-byte frame.
+    fn charge(&mut self, dir: Direction, phase: Phase, payload_len: usize) {
+        self.stats.record(dir, phase, frame_wire_size(payload_len));
+        self.stats.frames += 1;
+        if self.last_dir != Some(dir) {
+            self.half_trips += 1;
+            self.last_dir = Some(dir);
+            self.stats.roundtrips = self.half_trips.div_ceil(2);
+        }
+    }
 }
 
 /// One side of a duplex channel.
@@ -48,26 +251,30 @@ impl std::fmt::Debug for Endpoint {
     }
 }
 
-/// Error returned by [`Endpoint::recv`] when the peer hung up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Disconnected;
-
-impl std::fmt::Display for Disconnected {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "peer disconnected")
-    }
-}
-
-impl std::error::Error for Disconnected {}
-
 impl Endpoint {
     /// Create a connected pair: `(client_end, server_end)`. Frames sent
     /// from the client end are attributed to [`Direction::ClientToServer`]
     /// and vice versa.
     pub fn pair() -> (Endpoint, Endpoint) {
+        Self::pair_shared(Shared::default())
+    }
+
+    /// Create a connected pair whose link injects faults per `plan`,
+    /// driven deterministically by `seed` (each direction derives its
+    /// own stream, so the two sides' faults are decorrelated but the
+    /// whole run is reproducible from `(plan, seed)`).
+    pub fn pair_with_faults(plan: &FaultPlan, seed: u64) -> (Endpoint, Endpoint) {
+        Self::pair_shared(Shared {
+            c2s_faults: Some(FaultInjector::new(plan.c2s, seed)),
+            s2c_faults: Some(FaultInjector::new(plan.s2c, seed ^ 0x9E37_79B9_7F4A_7C15)),
+            ..Shared::default()
+        })
+    }
+
+    fn pair_shared(shared: Shared) -> (Endpoint, Endpoint) {
         let (tx_c2s, rx_c2s) = channel();
         let (tx_s2c, rx_s2c) = channel();
-        let shared = Arc::new(Mutex::new(Shared::default()));
+        let shared = Arc::new(Mutex::new(shared));
         let client = Endpoint {
             dir: Direction::ClientToServer,
             tx: tx_c2s,
@@ -98,28 +305,90 @@ impl Endpoint {
         self.shared.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Send a frame to the peer, charging its wire size.
+    /// Send a frame to the peer, charging its wire size (every actual
+    /// transmission is charged — including duplicates and frames the
+    /// link then loses, because the sender paid for them either way).
     pub fn send(&self, payload: Vec<u8>) {
+        let mut deliveries: Vec<Vec<u8>> = Vec::new();
         {
             let mut shared = self.lock_shared();
-            shared.stats.record(self.dir, self.phase, frame_wire_size(payload.len()));
-            if shared.last_dir != Some(self.dir) {
-                shared.half_trips += 1;
-                shared.last_dir = Some(self.dir);
-                shared.stats.roundtrips = shared.half_trips.div_ceil(2);
+            if shared.cut {
+                return;
+            }
+            let fate = shared.injector_mut(self.dir).map(FaultInjector::next_fate);
+            if fate.is_some_and(|f| f.disconnect) {
+                shared.cut = true;
+                return;
+            }
+            shared.charge(self.dir, self.phase, payload.len());
+            // A previously delayed frame is released by the next send in
+            // the same direction: it travels ahead of the new frame.
+            if let Some(held) = shared.held_mut(self.dir).take() {
+                deliveries.push(held);
+            }
+            let mut bytes = encode_frame(&payload);
+            let fate = fate.unwrap_or_default();
+            if fate.corrupt {
+                if let Some(inj) = shared.injector_mut(self.dir) {
+                    inj.corrupt_frame(&mut bytes);
+                }
+            }
+            if fate.truncate {
+                if let Some(inj) = shared.injector_mut(self.dir) {
+                    inj.truncate_frame(&mut bytes);
+                }
+            }
+            if fate.duplicate {
+                shared.charge(self.dir, self.phase, payload.len());
+                deliveries.push(bytes.clone());
+            }
+            if fate.drop {
+                // Transmitted (and charged) but lost in transit.
+            } else if fate.delay {
+                *shared.held_mut(self.dir) = Some(bytes);
+            } else {
+                deliveries.push(bytes);
             }
         }
-        // A send can only fail if the receiver was dropped; the session
-        // driver treats that as a protocol bug, surfaced on recv instead.
-        let _ = self.tx.send(Frame { payload });
+        for bytes in deliveries {
+            // A send can only fail if the receiver was dropped; the
+            // session layer surfaces that on its next receive instead.
+            let _ = self.tx.send(Frame { bytes });
+        }
     }
 
-    /// Receive the next frame from the peer.
-    pub fn recv(&self) -> Result<Vec<u8>, Disconnected> {
-        match self.rx.recv() {
-            Ok(frame) => Ok(frame.payload),
-            Err(RecvError) => Err(Disconnected),
+    /// Receive the next frame from the peer, waiting at most `timeout`.
+    /// Integrity failures surface as [`ChannelError::Corrupt`]; a dead
+    /// peer or cut link as [`ChannelError::Disconnected`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, ChannelError> {
+        if self.lock_shared().cut {
+            // The link is gone: drain what already arrived, then report
+            // the disconnect immediately instead of burning the timeout.
+            return match self.rx.try_recv() {
+                Ok(frame) => decode_frame(&frame.bytes).map_err(ChannelError::Corrupt),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => {
+                    Err(ChannelError::Disconnected)
+                }
+            };
         }
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => decode_frame(&frame.bytes).map_err(ChannelError::Corrupt),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.lock_shared().cut {
+                    Err(ChannelError::Disconnected)
+                } else {
+                    Err(ChannelError::Timeout)
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ChannelError::Disconnected),
+        }
+    }
+
+    /// Record `frames` retransmitted frames in the shared stats. The
+    /// bytes themselves are charged by [`Endpoint::send`] like any other
+    /// transmission; this counter makes the recovery cost visible.
+    pub fn note_retransmits(&self, frames: u64) {
+        self.lock_shared().stats.retransmits += frames;
     }
 
     /// Snapshot of the traffic statistics shared by both endpoints.
@@ -131,27 +400,67 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRates;
     use std::thread;
+
+    const TICK: Duration = Duration::from_millis(200);
 
     #[test]
     fn send_recv_roundtrip() {
         let (client, server) = Endpoint::pair();
         client.send(vec![1, 2, 3]);
-        assert_eq!(server.recv().unwrap(), vec![1, 2, 3]);
+        assert_eq!(server.recv_timeout(TICK).unwrap(), vec![1, 2, 3]);
         server.send(vec![4]);
-        assert_eq!(client.recv().unwrap(), vec![4]);
+        assert_eq!(client.recv_timeout(TICK).unwrap(), vec![4]);
     }
 
     #[test]
     fn byte_accounting_includes_framing() {
         let (client, server) = Endpoint::pair();
         client.send(vec![0; 100]);
-        let _ = server.recv();
+        let _ = server.recv_timeout(TICK);
         let stats = client.stats();
         assert_eq!(stats.total_c2s(), frame_wire_size(100));
-        assert_eq!(frame_wire_size(100), 101);
-        assert_eq!(frame_wire_size(0), 1);
-        assert_eq!(frame_wire_size(128), 130);
+        // LEB128 length word + 4-byte CRC32 + payload.
+        assert_eq!(frame_wire_size(100), 105);
+        assert_eq!(frame_wire_size(0), 5);
+        assert_eq!(frame_wire_size(128), 134);
+        assert_eq!(stats.frames, 1);
+    }
+
+    #[test]
+    fn frame_encoding_roundtrips() {
+        for payload in [vec![], vec![7u8], vec![0xAB; 300], vec![1; 20_000]] {
+            let encoded = encode_frame(&payload);
+            assert_eq!(encoded.len() as u64, frame_wire_size(payload.len()));
+            assert_eq!(decode_frame(&encoded).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn frame_decode_rejects_damage() {
+        let encoded = encode_frame(&vec![0x5A; 64]);
+        // Truncation at every prefix length.
+        for cut in 0..encoded.len() {
+            assert!(decode_frame(&encoded[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // Single bit flips anywhere in the frame.
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut bad = encoded.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(decode_frame(&bad).is_err(), "flip at {byte}.{bit} accepted");
+            }
+        }
+        // Empty input.
+        assert_eq!(decode_frame(&[]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn oversized_length_word_rejected_without_allocation() {
+        // A length word claiming ~2^62 bytes must be rejected up front.
+        let huge = [0xFFu8, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x3F, 0, 0, 0, 0];
+        assert_eq!(decode_frame(&huge), Err(FrameError::Length));
     }
 
     #[test]
@@ -172,10 +481,17 @@ mod tests {
     }
 
     #[test]
-    fn disconnect_detected() {
+    fn dead_peer_surfaces_within_deadline() {
+        // The satellite regression: a peer that dies must surface as a
+        // typed error within the deadline, never a hang.
         let (client, server) = Endpoint::pair();
-        drop(server);
-        assert_eq!(client.recv(), Err(Disconnected));
+        let killer = thread::spawn(move || drop(server));
+        killer.join().unwrap();
+        assert_eq!(client.recv_timeout(Duration::from_secs(5)), Err(ChannelError::Disconnected));
+
+        // A silent (alive but mute) peer surfaces as Timeout instead.
+        let (client, _server) = Endpoint::pair();
+        assert_eq!(client.recv_timeout(Duration::from_millis(10)), Err(ChannelError::Timeout));
     }
 
     #[test]
@@ -183,13 +499,13 @@ mod tests {
         let (client, server) = Endpoint::pair();
         let h = thread::spawn(move || {
             for _ in 0..100 {
-                let m = server.recv().unwrap();
+                let m = server.recv_timeout(Duration::from_secs(5)).unwrap();
                 server.send(m);
             }
         });
         for i in 0..100u32 {
             client.send(i.to_le_bytes().to_vec());
-            assert_eq!(client.recv().unwrap(), i.to_le_bytes().to_vec());
+            assert_eq!(client.recv_timeout(Duration::from_secs(5)).unwrap(), i.to_le_bytes());
         }
         h.join().unwrap();
         assert_eq!(client.stats().roundtrips, 100);
@@ -204,11 +520,113 @@ mod tests {
         client.set_phase(Phase::Delta);
         client.send(vec![0; 30]);
         for _ in 0..3 {
-            let _ = server.recv();
+            let _ = server.recv_timeout(TICK);
         }
         let stats = client.stats();
-        assert_eq!(stats.c2s(Phase::Setup), 11);
-        assert_eq!(stats.c2s(Phase::Map), 21);
-        assert_eq!(stats.c2s(Phase::Delta), 31);
+        assert_eq!(stats.c2s(Phase::Setup), 15);
+        assert_eq!(stats.c2s(Phase::Map), 25);
+        assert_eq!(stats.c2s(Phase::Delta), 35);
+    }
+
+    #[test]
+    fn clean_fault_plan_is_transparent() {
+        let (faulty_c, faulty_s) = Endpoint::pair_with_faults(&FaultPlan::none(), 42);
+        let (plain_c, plain_s) = Endpoint::pair();
+        for ep in [&faulty_c, &plain_c] {
+            ep.send(vec![9; 50]);
+        }
+        assert_eq!(faulty_s.recv_timeout(TICK).unwrap(), plain_s.recv_timeout(TICK).unwrap());
+        assert_eq!(faulty_c.stats(), plain_c.stats());
+    }
+
+    #[test]
+    fn dropped_frames_still_charged() {
+        let rates = FaultRates { drop: 1.0, ..FaultRates::none() };
+        let (client, server) = Endpoint::pair_with_faults(&FaultPlan::symmetric(rates), 1);
+        client.send(vec![0; 10]);
+        assert_eq!(server.recv_timeout(Duration::from_millis(10)), Err(ChannelError::Timeout));
+        assert_eq!(client.stats().total_c2s(), frame_wire_size(10));
+    }
+
+    #[test]
+    fn corruption_detected_by_receiver() {
+        let rates = FaultRates { corrupt: 1.0, ..FaultRates::none() };
+        let (client, server) = Endpoint::pair_with_faults(&FaultPlan::symmetric(rates), 3);
+        client.send(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(matches!(server.recv_timeout(TICK), Err(ChannelError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_detected_by_receiver() {
+        let rates = FaultRates { truncate: 1.0, ..FaultRates::none() };
+        let (client, server) = Endpoint::pair_with_faults(&FaultPlan::symmetric(rates), 4);
+        client.send(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(matches!(server.recv_timeout(TICK), Err(ChannelError::Corrupt(_))));
+    }
+
+    #[test]
+    fn duplicates_delivered_and_charged_twice() {
+        let rates = FaultRates { duplicate: 1.0, ..FaultRates::none() };
+        let (client, server) = Endpoint::pair_with_faults(&FaultPlan::symmetric(rates), 5);
+        client.send(vec![7; 10]);
+        assert_eq!(server.recv_timeout(TICK).unwrap(), vec![7; 10]);
+        assert_eq!(server.recv_timeout(TICK).unwrap(), vec![7; 10]);
+        assert_eq!(client.stats().total_c2s(), 2 * frame_wire_size(10));
+        assert_eq!(client.stats().frames, 2);
+    }
+
+    #[test]
+    fn delay_reorders_past_next_frame() {
+        let rates = FaultRates { delay: 1.0, ..FaultRates::none() };
+        let mut plan = FaultPlan::none();
+        plan.c2s = rates;
+        let (client, server) = Endpoint::pair_with_faults(&plan, 6);
+        client.send(vec![1]); // held
+        assert_eq!(server.recv_timeout(Duration::from_millis(10)), Err(ChannelError::Timeout));
+        client.send(vec![2]); // releases [1]; [2] is itself held
+        assert_eq!(server.recv_timeout(TICK).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn disconnect_fault_cuts_both_sides() {
+        let rates = FaultRates { disconnect_after: Some(2), ..FaultRates::none() };
+        let mut plan = FaultPlan::none();
+        plan.c2s = rates;
+        let (client, server) = Endpoint::pair_with_faults(&plan, 7);
+        client.send(vec![1]);
+        client.send(vec![2]);
+        client.send(vec![3]); // triggers the cut; frame lost
+        assert_eq!(server.recv_timeout(TICK).unwrap(), vec![1]);
+        assert_eq!(server.recv_timeout(TICK).unwrap(), vec![2]);
+        assert_eq!(server.recv_timeout(TICK), Err(ChannelError::Disconnected));
+        // The cut link also swallows the server's sends.
+        server.send(vec![9]);
+        assert_eq!(client.recv_timeout(TICK), Err(ChannelError::Disconnected));
+    }
+
+    #[test]
+    fn retransmit_counter_accumulates() {
+        let (client, _server) = Endpoint::pair();
+        client.note_retransmits(3);
+        client.note_retransmits(2);
+        assert_eq!(client.stats().retransmits, 5);
+    }
+
+    #[test]
+    fn faulty_runs_reproduce_per_seed() {
+        let rates = FaultRates { drop: 0.4, corrupt: 0.3, ..FaultRates::none() };
+        let plan = FaultPlan::symmetric(rates);
+        let outcomes: Vec<Vec<Result<Vec<u8>, ChannelError>>> = (0..2)
+            .map(|_| {
+                let (client, server) = Endpoint::pair_with_faults(&plan, 1234);
+                (0..20u8)
+                    .map(|i| {
+                        client.send(vec![i; 8]);
+                        server.recv_timeout(Duration::from_millis(5))
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(outcomes[0], outcomes[1], "same seed must reproduce the same faults");
     }
 }

@@ -7,14 +7,25 @@
 //! cost numbers exact rather than estimated, and lets the [`LinkModel`]
 //! translate them into wall-clock time on the slow links the paper
 //! targets.
+//!
+//! The channel is not an idealized pipe: every frame carries a length
+//! word and a first-party CRC32 ([`crc`]), receives are bounded by a
+//! deadline, and a [`fault::FaultPlan`] can subject the link to a
+//! deterministic, seeded adversary (drops, bit flips, truncation,
+//! duplication, reordering delays, mid-round disconnects) so the
+//! session layer's recovery machinery can be soak-tested reproducibly.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod channel;
+pub mod crc;
+pub mod fault;
 pub mod link;
 pub mod stats;
 
-pub use channel::{frame_wire_size, Disconnected, Endpoint, Frame};
+pub use channel::{frame_wire_size, ChannelError, Endpoint, Frame, FrameError, RetryPolicy};
+pub use crc::crc32;
+pub use fault::{FaultPlan, FaultRates};
 pub use link::LinkModel;
 pub use stats::{Direction, Phase, TrafficStats};

@@ -50,6 +50,14 @@ pub struct TrafficStats {
     /// Number of communication roundtrips (direction reversals seen by
     /// the channel, divided by two, rounded up).
     pub roundtrips: u32,
+    /// Frames actually transmitted by the channel (including duplicates
+    /// injected by faults and retransmissions; zero for estimators that
+    /// only call [`TrafficStats::record`]).
+    pub frames: u64,
+    /// Frames the session layer retransmitted while recovering from
+    /// loss or corruption. Their bytes are already included in the
+    /// per-phase counters — this makes the recovery overhead visible.
+    pub retransmits: u64,
 }
 
 impl TrafficStats {
@@ -98,6 +106,8 @@ impl TrafficStats {
             self.s2c[i] += other.s2c[i];
         }
         self.roundtrips = self.roundtrips.max(other.roundtrips);
+        self.frames += other.frames;
+        self.retransmits += other.retransmits;
     }
 }
 
@@ -112,7 +122,11 @@ impl fmt::Display for TrafficStats {
             self.s2c(Phase::Delta) + self.c2s(Phase::Delta),
             self.s2c(Phase::Setup) + self.c2s(Phase::Setup),
             self.roundtrips,
-        )
+        )?;
+        if self.retransmits > 0 {
+            write!(f, " [{} retransmitted frames]", self.retransmits)?;
+        }
+        Ok(())
     }
 }
 
@@ -145,6 +159,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.c2s(Phase::Setup), 32);
         assert_eq!(a.roundtrips, 5);
+    }
+
+    #[test]
+    fn merge_sums_frames_and_retransmits() {
+        let mut a = TrafficStats::new();
+        a.frames = 10;
+        a.retransmits = 2;
+        let mut b = TrafficStats::new();
+        b.frames = 4;
+        b.retransmits = 1;
+        a.merge(&b);
+        assert_eq!(a.frames, 14);
+        assert_eq!(a.retransmits, 3);
+        assert!(format!("{a}").contains("3 retransmitted"));
     }
 
     #[test]

@@ -9,13 +9,15 @@
 //! 2. a lossy `as` narrowing cast in a wire-format encoder/decoder
 //!    (bytes differ between the sides), and
 //! 3. hidden nondeterminism — ambient clocks or RNG — inside protocol
-//!    logic (the two sides no longer compute the same partitions).
+//!    logic (the two sides no longer compute the same partitions), and
+//! 4. an unbounded blocking `recv()` (a dead peer turns a lost frame
+//!    into a session that hangs forever instead of a typed error).
 //!
 //! `xtask` enforces the corresponding invariants plus crate hygiene
 //! (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`) and build
 //! hermeticity (first-party path dependencies only) with a
 //! dependency-free scanner: [`scanner`] masks comments/strings and
-//! `#[cfg(test)]` blocks, [`rules`] runs the five rule classes, and
+//! `#[cfg(test)]` blocks, [`rules`] runs the six rule classes, and
 //! [`baseline`] tracks pre-existing debt so the gate ratchets down
 //! instead of blocking on history.
 //!

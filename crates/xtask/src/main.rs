@@ -20,6 +20,9 @@ Static-analysis gate for the msync workspace. Enforces:
   lossy-cast       no narrowing `as` casts in wire-format modules
   determinism      no ambient clock/RNG inside protocol logic
   hermeticity      workspace crates use first-party path deps only
+  channel-discipline
+                   no bare recv() in protocol-critical code; receives
+                   must be bounded (recv_timeout / try_recv)
 
 options:
   --json               machine-readable output

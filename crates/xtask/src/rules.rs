@@ -14,6 +14,10 @@
 //!   endpoints must compute byte-identical hashes and partitions.
 //! * `hermeticity` — workspace crates may only use first-party path
 //!   dependencies, so the build never needs the network.
+//! * `channel-discipline` — no bare `recv()` in protocol-critical
+//!   crates; an unbounded receive hangs forever when the peer dies, so
+//!   every wait must go through `recv_timeout` (or a non-blocking
+//!   `try_recv`).
 
 use crate::scanner::{blank_test_blocks, line_of, mask_source, next_nonspace, word_occurrences};
 use std::fmt;
@@ -34,6 +38,8 @@ pub enum Rule {
     Determinism,
     /// Non-path dependencies in workspace crates.
     Hermeticity,
+    /// Unbounded blocking receives in protocol-critical code.
+    ChannelDiscipline,
 }
 
 impl Rule {
@@ -46,6 +52,7 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::Determinism => "determinism",
             Rule::Hermeticity => "hermeticity",
+            Rule::ChannelDiscipline => "channel-discipline",
         }
     }
 
@@ -58,6 +65,7 @@ impl Rule {
             Rule::LossyCast,
             Rule::Determinism,
             Rule::Hermeticity,
+            Rule::ChannelDiscipline,
         ]
         .into_iter()
         .find(|r| r.key() == key)
@@ -114,6 +122,7 @@ impl LintConfig {
             wire_modules: [
                 "crates/hashes/src/bitio.rs",
                 "crates/protocol/src/channel.rs",
+                "crates/protocol/src/crc.rs",
                 "crates/compress/src/vcdiff.rs",
             ]
             .map(str::to_owned)
@@ -155,6 +164,7 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
                 let scannable = blank_test_blocks(&mask_source(&text));
                 check_panic_freedom(&rel, &scannable, &mut findings);
                 check_determinism(&rel, &scannable, &mut findings);
+                check_channel_discipline(&rel, &scannable, &mut findings);
             }
         }
     }
@@ -277,6 +287,23 @@ fn check_determinism(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule `channel-discipline`: a bare `recv()` blocks forever if the
+/// peer died, turning a lost frame into a hung session. `recv_timeout`
+/// and `try_recv` are distinct identifiers and do not fire.
+fn check_channel_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for pos in word_occurrences(text, "recv") {
+        let after = next_nonspace(text, pos + "recv".len());
+        if after.is_some_and(|(_, b)| b == b'(') {
+            findings.push(Finding {
+                rule: Rule::ChannelDiscipline,
+                file: rel.to_owned(),
+                line: line_of(text, pos),
+                message: "bare `recv()` can hang forever on a dead peer; use `recv_timeout` with a retry budget (or `try_recv`)".to_owned(),
+            });
+        }
+    }
+}
+
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 /// Rule `lossy-cast`.
@@ -390,6 +417,16 @@ mod tests {
         check_lossy_casts("w.rs", text, &mut fs);
         let targets: Vec<&str> = fs.iter().map(|f| f.message.as_str()).collect();
         assert_eq!(fs.len(), 2, "{targets:?}");
+    }
+
+    #[test]
+    fn bare_recv_flagged_bounded_receives_allowed() {
+        let text = "let a = rx.recv(); let b = rx.recv_timeout(d); let c = rx.try_recv();\n\
+                    fn recv_message() {} let d = self.recv ();";
+        let mut fs = Vec::new();
+        check_channel_discipline("c.rs", text, &mut fs);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == Rule::ChannelDiscipline));
     }
 
     #[test]

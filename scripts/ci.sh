@@ -16,4 +16,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> fault-injection soak (seeded, release)"
+MSYNC_SOAK_SEEDS="${MSYNC_SOAK_SEEDS:-40}" \
+    cargo test --release -q --test fault_injection
+
 echo "ci.sh: all gates passed"

@@ -162,6 +162,23 @@ fn detects_non_workspace_dependency() {
 }
 
 #[test]
+fn detects_bare_recv_in_protocol_critical_code() {
+    let body = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn wait(rx: &std::sync::mpsc::Receiver<u8>) {{\n    let _ = rx.recv();\n}}\n"
+    );
+    let ws = MiniWorkspace::new("channel", "core", &body);
+    let hits = ws.findings_for(Rule::ChannelDiscipline);
+    assert_eq!(hits.len(), 1, "bare recv() in a protocol-critical crate must fire: {hits:?}");
+
+    let bounded = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn wait(rx: &std::sync::mpsc::Receiver<u8>, d: std::time::Duration) {{\n    let _ = rx.recv_timeout(d);\n    let _ = rx.try_recv();\n}}\n"
+    );
+    let ws = MiniWorkspace::new("channel-ok", "core", &bounded);
+    let hits = ws.findings_for(Rule::ChannelDiscipline);
+    assert!(hits.is_empty(), "recv_timeout/try_recv must not fire: {hits:?}");
+}
+
+#[test]
 fn non_critical_crate_may_panic() {
     let body = format!(
         "{CLEAN_HEADER}\n/// Doc.\npub fn f(v: Option<u32>) -> u32 {{\n    v.unwrap()\n}}\n"
