@@ -16,8 +16,9 @@ pub enum Command {
     Sync {
         /// Outdated file or directory (the client side).
         old: PathBuf,
-        /// Current file or directory (the server side).
-        new: PathBuf,
+        /// Current file or directory (the server side). `None` when the
+        /// server side is a remote daemon (`--remote`).
+        new: Option<PathBuf>,
         /// Configuration source.
         config: ConfigSource,
         /// Also run rsync / CDC / zdelta for comparison.
@@ -29,6 +30,21 @@ pub enum Command {
         fault_profile: Option<String>,
         /// Seed for the fault injector (reproduces a faulty run).
         fault_seed: u64,
+        /// Address of an `msync serve` daemon to sync against.
+        remote: Option<String>,
+        /// Files in flight per batched flush when syncing remotely.
+        pipeline_depth: usize,
+        /// Explicit opt-in to wrapping the *real socket* in the fault
+        /// injector; required to combine `--remote` with
+        /// `--fault-profile`.
+        fault_wrap: bool,
+    },
+    /// Serve a directory to remote sync clients over TCP.
+    Serve {
+        /// Directory whose files are served.
+        root: PathBuf,
+        /// Listen address (e.g. `127.0.0.1:9631`, port 0 for ephemeral).
+        listen: String,
     },
     /// Per-round protocol trace for one file pair.
     Inspect {
@@ -77,6 +93,9 @@ msync — multi-round file synchronization over slow links
 USAGE:
     msync sync <OLD> <NEW> [--config FILE | --preset NAME] [--compare] [--write DIR]
                [--fault-profile NAME] [--fault-seed N]
+    msync sync <OLD> --remote ADDR [--config FILE | --preset NAME] [--write DIR]
+               [--pipeline-depth N] [--fault-profile NAME --fault-wrap] [--fault-seed N]
+    msync serve <ROOT> [--listen ADDR]
     msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
     msync chunks <FILE> [--avg BYTES]
     msync params [--preset NAME]
@@ -88,6 +107,14 @@ Presets: default, basic, restricted:<levels> (e.g. restricted:3).
 --fault-profile runs the sync over a deterministically faulty channel
 (profiles: none, drop, corrupt, truncate, duplicate, delay, disconnect,
 lossy, evil); --fault-seed reproduces a specific run.
+
+Remote mode: `msync serve <ROOT> --listen ADDR` starts a daemon serving
+<ROOT> (default 127.0.0.1:9631; thread per connection), and `msync sync
+<OLD> --remote ADDR` updates the local directory against it over real
+TCP, batching up to --pipeline-depth files (default 32) into one frame
+per direction per round. --compare needs both sides locally and cannot
+combine with --remote. Injecting faults into a real socket is opt-in:
+--remote with --fault-profile additionally requires --fault-wrap.
 ";
 
 /// Parse `argv[1..]`.
@@ -98,12 +125,20 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         "help" | "--help" | "-h" => Command::Help,
         "sync" | "inspect" => {
             let old = PathBuf::from(it.next().ok_or("missing <OLD> path")?);
-            let new = PathBuf::from(it.next().ok_or("missing <NEW> path")?);
+            // NEW is optional for `sync` (a remote daemon can stand in
+            // for it); anything that looks like a flag is not a path.
+            let new = match it.peek() {
+                Some(word) if !word.starts_with("--") => it.next().map(PathBuf::from),
+                _ => None,
+            };
             let mut config = ConfigSource::default();
             let mut compare = false;
             let mut write = None;
             let mut fault_profile = None;
             let mut fault_seed = 0u64;
+            let mut remote: Option<String> = None;
+            let mut pipeline_depth: Option<usize> = None;
+            let mut fault_wrap = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--config" => {
@@ -130,14 +165,82 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                             .parse()
                             .map_err(|_| "--fault-seed needs an integer".to_string())?
                     }
+                    "--remote" if sub == "sync" => {
+                        remote = Some(it.next().ok_or("--remote needs an address")?.clone())
+                    }
+                    "--pipeline-depth" if sub == "sync" => {
+                        let depth: usize = it
+                            .next()
+                            .ok_or("--pipeline-depth needs an integer")?
+                            .parse()
+                            .map_err(|_| "--pipeline-depth needs an integer".to_string())?;
+                        if depth == 0 {
+                            return Err("--pipeline-depth must be at least 1".into());
+                        }
+                        pipeline_depth = Some(depth);
+                    }
+                    "--fault-wrap" if sub == "sync" => fault_wrap = true,
                     other => return Err(format!("unknown flag `{other}` for `{sub}`")),
                 }
             }
             if sub == "sync" {
-                Command::Sync { old, new, config, compare, write, fault_profile, fault_seed }
+                match (&new, &remote) {
+                    (Some(_), Some(_)) => {
+                        return Err("give either <NEW> or --remote ADDR, not both".into())
+                    }
+                    (None, None) => return Err("missing <NEW> path (or --remote ADDR)".into()),
+                    _ => {}
+                }
+                if remote.is_none() {
+                    if pipeline_depth.is_some() {
+                        return Err("--pipeline-depth only applies to --remote syncs".into());
+                    }
+                    if fault_wrap {
+                        return Err("--fault-wrap only applies to --remote syncs".into());
+                    }
+                } else {
+                    if compare {
+                        return Err(
+                            "--compare needs both sides locally; it cannot combine with --remote"
+                                .into(),
+                        );
+                    }
+                    if fault_profile.is_some() && !fault_wrap {
+                        return Err("--fault-profile on a real socket is opt-in: \
+                                    add --fault-wrap to inject faults into the --remote link"
+                            .into());
+                    }
+                }
+                if fault_wrap && fault_profile.is_none() {
+                    return Err("--fault-wrap needs a --fault-profile to wrap".into());
+                }
+                Command::Sync {
+                    old,
+                    new,
+                    config,
+                    compare,
+                    write,
+                    fault_profile,
+                    fault_seed,
+                    remote,
+                    pipeline_depth: pipeline_depth.unwrap_or(32),
+                    fault_wrap,
+                }
             } else {
+                let new = new.ok_or("missing <NEW> path")?;
                 Command::Inspect { old, new, config }
             }
+        }
+        "serve" => {
+            let root = PathBuf::from(it.next().ok_or("missing <ROOT> directory")?);
+            let mut listen = "127.0.0.1:9631".to_string();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--listen" => listen = it.next().ok_or("--listen needs an address")?.clone(),
+                    other => return Err(format!("unknown flag `{other}` for `serve`")),
+                }
+            }
+            Command::Serve { root, listen }
         }
         "chunks" => {
             let file = PathBuf::from(it.next().ok_or("missing <FILE> path")?);
@@ -202,17 +305,108 @@ mod tests {
     fn sync_with_flags() {
         let cli = parse(&["sync", "a", "b", "--preset", "basic", "--compare"]).unwrap();
         match cli.command {
-            Command::Sync { old, new, config, compare, write, fault_profile, fault_seed } => {
+            Command::Sync {
+                old,
+                new,
+                config,
+                compare,
+                write,
+                fault_profile,
+                fault_seed,
+                remote,
+                pipeline_depth,
+                fault_wrap,
+            } => {
                 assert_eq!(old, PathBuf::from("a"));
-                assert_eq!(new, PathBuf::from("b"));
+                assert_eq!(new, Some(PathBuf::from("b")));
                 assert_eq!(config, ConfigSource::Preset("basic".into()));
                 assert!(compare);
                 assert!(write.is_none());
                 assert!(fault_profile.is_none());
                 assert_eq!(fault_seed, 0);
+                assert!(remote.is_none());
+                assert_eq!(pipeline_depth, 32);
+                assert!(!fault_wrap);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_parses_with_default_and_explicit_listen() {
+        let cli = parse(&["serve", "/srv/tree"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve { root: PathBuf::from("/srv/tree"), listen: "127.0.0.1:9631".into() }
+        );
+        let cli = parse(&["serve", "/srv/tree", "--listen", "0.0.0.0:7777"]).unwrap();
+        match cli.command {
+            Command::Serve { listen, .. } => assert_eq!(listen, "0.0.0.0:7777"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["serve"]).unwrap_err().contains("ROOT"));
+        assert!(parse(&["serve", "/srv", "--compare"]).is_err());
+    }
+
+    #[test]
+    fn remote_replaces_the_new_path() {
+        let cli =
+            parse(&["sync", "mirror", "--remote", "host:9631", "--pipeline-depth", "64"]).unwrap();
+        match cli.command {
+            Command::Sync { old, new, remote, pipeline_depth, .. } => {
+                assert_eq!(old, PathBuf::from("mirror"));
+                assert!(new.is_none());
+                assert_eq!(remote.as_deref(), Some("host:9631"));
+                assert_eq!(pipeline_depth, 64);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Both NEW and --remote, or neither, is a contradiction.
+        assert!(parse(&["sync", "a", "b", "--remote", "h:1"]).unwrap_err().contains("not both"));
+        assert!(parse(&["sync", "a"]).unwrap_err().contains("--remote"));
+    }
+
+    #[test]
+    fn pipeline_depth_validation() {
+        assert!(parse(&["sync", "a", "--remote", "h:1", "--pipeline-depth", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["sync", "a", "--remote", "h:1", "--pipeline-depth", "x"]).is_err());
+        // Depth is meaningless without a remote link.
+        assert!(parse(&["sync", "a", "b", "--pipeline-depth", "8"])
+            .unwrap_err()
+            .contains("--remote"));
+    }
+
+    #[test]
+    fn remote_conflicts_rejected() {
+        // Comparison baselines need the server's files locally.
+        assert!(parse(&["sync", "a", "--remote", "h:1", "--compare"])
+            .unwrap_err()
+            .contains("--compare"));
+        // Faults on a real socket require the explicit wrap opt-in...
+        assert!(parse(&["sync", "a", "--remote", "h:1", "--fault-profile", "lossy"])
+            .unwrap_err()
+            .contains("--fault-wrap"));
+        // ...and with it, the combination parses.
+        let cli =
+            parse(&["sync", "a", "--remote", "h:1", "--fault-profile", "lossy", "--fault-wrap"])
+                .unwrap();
+        match cli.command {
+            Command::Sync { fault_profile, fault_wrap, .. } => {
+                assert_eq!(fault_profile.as_deref(), Some("lossy"));
+                assert!(fault_wrap);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --fault-wrap alone wraps nothing.
+        assert!(parse(&["sync", "a", "--remote", "h:1", "--fault-wrap"])
+            .unwrap_err()
+            .contains("--fault-profile"));
+        // Local syncs have no socket to wrap.
+        assert!(parse(&["sync", "a", "b", "--fault-wrap", "--fault-profile", "lossy"])
+            .unwrap_err()
+            .contains("--remote"));
     }
 
     #[test]

@@ -19,14 +19,166 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             Ok(msync_core::params::render(&cfg))
         }
         Command::Chunks { file, avg } => chunks(file, *avg),
-        Command::Sync { old, new, config, compare, write, fault_profile, fault_seed } => {
-            match fault_profile {
+        Command::Sync {
+            old,
+            new,
+            config,
+            compare,
+            write,
+            fault_profile,
+            fault_seed,
+            remote,
+            pipeline_depth,
+            fault_wrap,
+        } => match (new, remote) {
+            (_, Some(addr)) => {
+                let faults = if *fault_wrap { fault_profile.as_deref() } else { None };
+                remote_sync_cmd(
+                    old,
+                    addr,
+                    config,
+                    *pipeline_depth,
+                    faults,
+                    *fault_seed,
+                    write.as_deref(),
+                )
+            }
+            (Some(new), None) => match fault_profile {
                 Some(profile) => faulty_sync_cmd(old, new, config, profile, *fault_seed),
                 None => sync_cmd(old, new, config, *compare, write.as_deref()),
-            }
-        }
+            },
+            // parse_args guarantees one of the two is present.
+            (None, None) => Err("missing <NEW> path (or --remote ADDR)".into()),
+        },
+        Command::Serve { root, listen } => serve_cmd(root, listen),
         Command::Inspect { old, new, config } => inspect(old, new, config),
     }
+}
+
+/// `serve`: load the root directory once, then serve it to every
+/// connection until killed. Never returns on success.
+fn serve_cmd(root: &Path, listen: &str) -> Result<String, String> {
+    if !root.is_dir() {
+        return Err(format!("{} is not a directory", root.display()));
+    }
+    let col = load_dir(root).map_err(|e| format!("cannot read {}: {e}", root.display()))?;
+    let files = entries(&col);
+    let summary = format!("serving {} file(s), {}", files.len(), human(col.total_bytes()));
+    let daemon = msync_net::Daemon::spawn(
+        listen,
+        files,
+        msync_net::DaemonOptions::default(),
+        |report: msync_net::daemon::SessionReport| {
+            let peer =
+                report.peer.map_or_else(|| "<unknown peer>".to_string(), |addr| addr.to_string());
+            match report.result {
+                Ok(outcome) => println!(
+                    "session {peer}: {} of {} file(s) engaged, {} on the wire, {} roundtrips",
+                    outcome.sessions,
+                    outcome.files,
+                    human(outcome.traffic.total_bytes()),
+                    outcome.traffic.roundtrips,
+                ),
+                Err(e) => println!("session {peer}: failed: {e}"),
+            }
+        },
+    )
+    .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    println!("{summary}");
+    println!("listening on {} (ctrl-c to stop)", daemon.local_addr());
+    daemon.wait();
+    Ok(String::new())
+}
+
+/// `sync --remote`: pipelined collection sync against a live daemon.
+fn remote_sync_cmd(
+    old: &Path,
+    addr: &str,
+    config: &ConfigSource,
+    pipeline_depth: usize,
+    fault_profile: Option<&str>,
+    fault_seed: u64,
+    write: Option<&Path>,
+) -> Result<String, String> {
+    let cfg = load_config(config)?;
+    let old_entries: Vec<FileEntry> = if old.exists() {
+        if !old.is_dir() {
+            return Err("--remote syncs directories; OLD must be a directory".into());
+        }
+        entries(&load_dir(old).map_err(|e| format!("cannot read {}: {e}", old.display()))?)
+    } else {
+        // A missing OLD is an empty mirror: everything transfers.
+        Vec::new()
+    };
+
+    let mut opts = msync_net::RemoteOptions { cfg, ..Default::default() };
+    opts.pipeline.depth = pipeline_depth;
+    if let Some(profile) = fault_profile {
+        let plan = msync_protocol::FaultPlan::profile(profile).ok_or_else(|| {
+            format!(
+                "unknown fault profile `{profile}` (try: {})",
+                msync_protocol::fault::PROFILE_NAMES.join(", ")
+            )
+        })?;
+        opts.fault_wrap = Some((plan, fault_seed));
+    }
+
+    let got = msync_net::sync_remote(addr, &old_entries, &opts).map_err(|e| e.to_string())?;
+    let out = &got.outcome;
+    let t = &out.traffic;
+    let raw: u64 = out.files.iter().map(|f| f.data.len() as u64).sum();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "synchronized {} file(s), {} total, against {addr} (pipeline depth {pipeline_depth})",
+        out.files.len(),
+        human(raw)
+    );
+    let changed = out.files.len().saturating_sub(out.unchanged + out.created);
+    let _ = writeln!(
+        report,
+        "  unchanged {} · changed {} · created {} · deleted {}",
+        out.unchanged, changed, out.created, out.deleted
+    );
+    let _ = writeln!(
+        report,
+        "wire: {} total ({:.2}% of raw), {} roundtrips, {} retransmitted frame(s)",
+        human(t.total_bytes()),
+        100.0 * t.total_bytes() as f64 / raw.max(1) as f64,
+        t.roundtrips,
+        t.retransmits,
+    );
+    let _ = writeln!(
+        report,
+        "socket: {} sent + {} received = {} ({} accounted)",
+        human(got.socket_sent),
+        human(got.socket_received),
+        human(got.socket_sent + got.socket_received),
+        human(t.total_bytes()),
+    );
+    let _ = writeln!(report, "estimated transfer time:");
+    for (name, link) in [
+        ("dial-up", LinkModel::dialup()),
+        ("dsl    ", LinkModel::dsl()),
+        ("cable  ", LinkModel::cable()),
+    ] {
+        let _ = writeln!(report, "  {name}  {:.1?}", link.estimate(t));
+    }
+
+    if let Some(dir) = write {
+        for f in &out.files {
+            let path = dir.join(&f.name);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+            fs::write(&path, &f.data)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
+    }
+    Ok(report)
 }
 
 fn load_config(source: &ConfigSource) -> Result<ProtocolConfig, String> {

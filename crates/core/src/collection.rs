@@ -61,11 +61,19 @@ pub struct CollectionOutcome {
 }
 
 /// Synchronize the client's `old` collection to the server's `new` one.
+///
+/// The name listings are exchanged in sorted order and the outcome's
+/// `files`/`per_file` follow that sorted order, so the result is a pure
+/// function of the two collections' *contents* — callers may present
+/// their entries in any order (directory walks differ across
+/// filesystems) and still get byte-identical outcomes.
 pub fn sync_collection(
     old: &[FileEntry],
     new: &[FileEntry],
     cfg: &ProtocolConfig,
 ) -> Result<CollectionOutcome, SyncError> {
+    let mut new_sorted: Vec<&FileEntry> = new.iter().collect();
+    new_sorted.sort_by(|a, b| a.name.cmp(&b.name));
     let mut traffic = TrafficStats::new();
 
     // Name exchange: client lists its file names; server answers with
@@ -100,10 +108,19 @@ pub fn sync_collection(
     // Rename detection: the client's name listing already travels with
     // per-file fingerprints inside the sessions, so the server can spot
     // a "new" file whose content equals an old file under another name
-    // and answer with a base-file reference instead of a transfer.
-    let old_by_fp: std::collections::HashMap<msync_hash::Fingerprint, &FileEntry> =
-        old.iter().map(|f| (msync_hash::file_fingerprint(&f.data), f)).collect();
-    for nf in new {
+    // and answer with a base-file reference instead of a transfer. When
+    // several old files share a fingerprint, the smallest name is the
+    // base so the choice never depends on input order.
+    let mut old_by_fp: std::collections::HashMap<msync_hash::Fingerprint, &FileEntry> =
+        std::collections::HashMap::with_capacity(old.len());
+    for f in old {
+        let fp = msync_hash::file_fingerprint(&f.data);
+        let slot = old_by_fp.entry(fp).or_insert(f);
+        if f.name < slot.name {
+            *slot = f;
+        }
+    }
+    for nf in new_sorted {
         let mut old_data = old_by_name.get(nf.name.as_str()).map(|f| f.data.as_slice());
         let mut was_rename = false;
         if old_data.is_none() {
@@ -199,7 +216,10 @@ mod tests {
         ];
         let out = sync_collection(&old, &new, &small_cfg()).unwrap();
         assert_eq!(out.files.len(), 3);
-        for (got, want) in out.files.iter().zip(&new) {
+        // Output follows sorted-name order regardless of input order.
+        let mut want: Vec<&FileEntry> = new.iter().collect();
+        want.sort_by(|a, b| a.name.cmp(&b.name));
+        for (got, want) in out.files.iter().zip(want) {
             assert_eq!(got, want);
         }
         assert_eq!(out.unchanged, 1);
@@ -207,6 +227,76 @@ mod tests {
         assert_eq!(out.deleted, 1);
         // The changed file's cost must be far below retransmission.
         assert!(out.traffic.total_bytes() < 8_000 + shared_a_new.len() as u64);
+    }
+
+    #[test]
+    fn outcome_is_independent_of_input_order() {
+        let mk = |i: u64| FileEntry::new(format!("f{i}.txt"), blob(2_000 + i as usize * 37, i));
+        let old: Vec<FileEntry> = (0..8).map(mk).collect();
+        let mut new: Vec<FileEntry> = (2..10)
+            .map(|i| {
+                let mut f = mk(i);
+                f.data.rotate_left(i as usize);
+                f
+            })
+            .collect();
+        let mut old_rev = old.clone();
+        old_rev.reverse();
+        let forward = sync_collection(&old, &new, &small_cfg()).unwrap();
+        new.reverse();
+        let backward = sync_collection(&old_rev, &new, &small_cfg()).unwrap();
+        assert_eq!(forward.files, backward.files);
+        assert_eq!(forward.traffic.total_bytes(), backward.traffic.total_bytes());
+        assert_eq!(
+            forward.per_file.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            backward.per_file.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn disjoint_name_sets_create_and_delete_everything() {
+        let old = vec![
+            FileEntry::new("only/mine-1", blob(1_500, 3)),
+            FileEntry::new("only/mine-2", blob(1_500, 5)),
+        ];
+        let new = vec![
+            FileEntry::new("theirs/b", blob(1_200, 17)),
+            FileEntry::new("theirs/a", blob(1_200, 19)),
+        ];
+        let out = sync_collection(&old, &new, &small_cfg()).unwrap();
+        assert_eq!(out.created, 2);
+        assert_eq!(out.deleted, 2);
+        assert_eq!(out.unchanged, 0);
+        assert_eq!(out.renamed, 0);
+        let names: Vec<&str> = out.files.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["theirs/a", "theirs/b"]);
+        assert_eq!(out.files[0].data, new[1].data);
+        assert_eq!(out.files[1].data, new[0].data);
+    }
+
+    #[test]
+    fn rename_mixed_with_creates_and_deletes() {
+        let kept = blob(6_000, 29);
+        let moved = blob(9_000, 31);
+        let old = vec![
+            FileEntry::new("keep.txt", kept.clone()),
+            FileEntry::new("before-rename.bin", moved.clone()),
+            FileEntry::new("victim.txt", blob(500, 37)),
+        ];
+        let new = vec![
+            FileEntry::new("after-rename.bin", moved.clone()),
+            FileEntry::new("keep.txt", kept.clone()),
+            FileEntry::new("extra.txt", blob(700, 43)),
+        ];
+        let out = sync_collection(&old, &new, &small_cfg()).unwrap();
+        assert_eq!(out.renamed, 1);
+        assert_eq!(out.created, 2); // rename counts as created + renamed
+        assert_eq!(out.deleted, 2); // both vanished names, incl. the rename source
+        assert_eq!(out.unchanged, 1);
+        let by_name: std::collections::HashMap<&str, &[u8]> =
+            out.files.iter().map(|f| (f.name.as_str(), f.data.as_slice())).collect();
+        assert_eq!(by_name["after-rename.bin"], moved.as_slice());
+        assert_eq!(by_name["keep.txt"], kept.as_slice());
     }
 
     #[test]

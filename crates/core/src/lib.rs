@@ -57,6 +57,7 @@ pub mod index;
 pub mod items;
 pub mod map;
 pub mod params;
+pub mod pipeline;
 pub mod session;
 pub mod stats;
 pub mod verify;
@@ -68,5 +69,9 @@ pub use collection::{
 };
 pub use config::{BatchConfig, ChannelOptions, ProtocolConfig, VerifyStrategy};
 pub use map::{FileMap, Segment};
-pub use session::{sync_file, sync_over_channel, sync_over_channel_with, SyncError, SyncOutcome};
+pub use pipeline::{serve_collection, sync_collection_client, PipelineOptions, ServeOutcome};
+pub use session::{
+    serve_file_transport, sync_file, sync_file_transport, sync_over_channel,
+    sync_over_channel_with, SyncError, SyncOutcome,
+};
 pub use stats::{LevelStats, SyncStats};

@@ -1,0 +1,577 @@
+//! Pipelined collection synchronization over a real transport.
+//!
+//! [`crate::collection::sync_collection`] models the collection
+//! workload analytically: it runs each file's session in-process and
+//! merges the accounting. This module is the wire version — a client
+//! and a server that only share a [`Transport`], suitable for the
+//! in-memory [`Endpoint`](msync_protocol::Endpoint) pair or a TCP
+//! socket.
+//!
+//! The paper's observation (§1) is that roundtrip latencies need not be
+//! paid per file "since many files can be processed simultaneously".
+//! The scheduler here realizes that: up to `depth` files are in flight
+//! at once, and each ARQ exchange carries **one batch frame per
+//! direction** holding the current round message of every in-flight
+//! file. A 1,000-file collection at depth 32 therefore pays roughly
+//! `ceil(1000/32) × rounds` flushes instead of `1000 × rounds`.
+//!
+//! ## Wire schedule
+//!
+//! 1. Client sends its sorted file-name roster (one `Setup` message).
+//! 2. Server replies with *its* sorted roster; the index of a name in
+//!    that listing becomes the file id used by every later batch.
+//! 3. Repeat until the client has no in-flight files: client packs one
+//!    message per in-flight file into a batch frame; server feeds each
+//!    file's message to that file's [`ServerSession`] and packs the
+//!    replies into the mirror batch. Files finish at their own pace;
+//!    freed slots admit the next unstarted file in roster order.
+//! 4. The client hangs up; the server treats the peer-gone condition
+//!    as the normal end of service and lingers briefly for stragglers.
+//!
+//! Deletions never cross the wire: the client computes them locally as
+//! its names minus the server roster. Renames are not detected on this
+//! path (the analytic `sync_collection` models them); a renamed file
+//! costs a create plus a delete here.
+
+use std::collections::{HashMap, HashSet};
+
+use msync_hash::{BitReader, BitWriter};
+use msync_protocol::{Direction, Phase, RetryPolicy, TrafficStats, Transport};
+
+use crate::collection::{CollectionOutcome, FileEntry};
+use crate::config::ProtocolConfig;
+use crate::session::{
+    parse_part_header, part_header, ArqLink, ClientAction, ClientSession, Part, SState,
+    ServerSession, SyncError, MAX_PARTS_PER_MESSAGE,
+};
+use crate::stats::SyncStats;
+
+/// Upper bound on files in one collection roster. A count above this in
+/// a decoded roster or batch is treated as a desync, not an allocation
+/// request.
+const MAX_COLLECTION_FILES: u64 = 1 << 20;
+
+/// Upper bound on a single file name in a roster.
+const MAX_NAME_BYTES: u64 = 4096;
+
+/// Knobs for the pipelined client.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Maximum files in flight at once (minimum 1). Each wire flush
+    /// carries one round message for every in-flight file, so depth
+    /// trades memory for fewer roundtrips.
+    pub depth: usize,
+    /// ARQ retry policy for the underlying link.
+    pub retry: RetryPolicy,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self { depth: 32, retry: RetryPolicy::default() }
+    }
+}
+
+/// What the server side saw while serving one connection.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Files in the served collection (the roster length).
+    pub files: usize,
+    /// Files the client actually engaged with a session.
+    pub sessions: usize,
+    /// Wire traffic as measured by the server's transport.
+    pub traffic: TrafficStats,
+}
+
+fn encode_roster(names: &[&str]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_varint(names.len() as u64);
+    for name in names {
+        w.write_varint(name.len() as u64);
+        for &b in name.as_bytes() {
+            w.write_bits(u64::from(b), 8);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_roster(payload: &[u8]) -> Result<Vec<String>, SyncError> {
+    let mut r = BitReader::new(payload);
+    let count = r.read_varint().map_err(|_| SyncError::Desync("roster count"))?;
+    if count > MAX_COLLECTION_FILES {
+        return Err(SyncError::Desync("roster count exceeds cap"));
+    }
+    let count = usize::try_from(count).map_err(|_| SyncError::Desync("roster count"))?;
+    let mut names = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let len = r.read_varint().map_err(|_| SyncError::Desync("roster name len"))?;
+        if len > MAX_NAME_BYTES {
+            return Err(SyncError::Desync("roster name too long"));
+        }
+        let len = usize::try_from(len).map_err(|_| SyncError::Desync("roster name len"))?;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            let b = r.read_bits(8).map_err(|_| SyncError::Desync("roster name byte"))?;
+            bytes.push(u8::try_from(b).map_err(|_| SyncError::Desync("roster name byte"))?);
+        }
+        let name =
+            String::from_utf8(bytes).map_err(|_| SyncError::Desync("roster name not UTF-8"))?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Pack one round message per in-flight file into a single frame
+/// payload: `varint n, then per file (varint id, varint n_parts, per
+/// part: 1 phase byte, varint len, payload bytes)`.
+fn encode_batch(entries: &[(usize, Vec<Part>)]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_varint(entries.len() as u64);
+    for (id, parts) in entries {
+        w.write_varint(*id as u64);
+        w.write_varint(parts.len() as u64);
+        for part in parts {
+            w.write_bits(u64::from(part_header(part.phase, false)), 8);
+            w.write_varint(part.payload.len() as u64);
+            for &b in &part.payload {
+                w.write_bits(u64::from(b), 8);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_batch(payload: &[u8]) -> Result<Vec<(usize, Vec<Part>)>, SyncError> {
+    let mut r = BitReader::new(payload);
+    let count = r.read_varint().map_err(|_| SyncError::Desync("batch count"))?;
+    if count > MAX_COLLECTION_FILES {
+        return Err(SyncError::Desync("batch count exceeds cap"));
+    }
+    let count = usize::try_from(count).map_err(|_| SyncError::Desync("batch count"))?;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let id = r.read_varint().map_err(|_| SyncError::Desync("batch file id"))?;
+        if id >= MAX_COLLECTION_FILES {
+            return Err(SyncError::Desync("batch file id exceeds cap"));
+        }
+        let id = usize::try_from(id).map_err(|_| SyncError::Desync("batch file id"))?;
+        let n_parts = r.read_varint().map_err(|_| SyncError::Desync("batch part count"))?;
+        if n_parts == 0 || n_parts > MAX_PARTS_PER_MESSAGE as u64 {
+            return Err(SyncError::Desync("batch part count out of range"));
+        }
+        let n_parts = usize::try_from(n_parts).map_err(|_| SyncError::Desync("batch parts"))?;
+        let mut parts = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            let header = r.read_bits(8).map_err(|_| SyncError::Desync("batch part header"))?;
+            let header = u8::try_from(header).map_err(|_| SyncError::Desync("batch header"))?;
+            let (phase, _more) =
+                parse_part_header(header).ok_or(SyncError::Desync("batch phase tag"))?;
+            let len = r.read_varint().map_err(|_| SyncError::Desync("batch part len"))?;
+            let len = usize::try_from(len).map_err(|_| SyncError::Desync("batch part len"))?;
+            let bits = len.checked_mul(8).ok_or(SyncError::Desync("batch part len"))?;
+            if bits > r.remaining_bits() {
+                return Err(SyncError::Desync("batch part truncated"));
+            }
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                let b = r.read_bits(8).map_err(|_| SyncError::Desync("batch part byte"))?;
+                bytes.push(u8::try_from(b).map_err(|_| SyncError::Desync("batch byte"))?);
+            }
+            parts.push(Part { phase, payload: bytes });
+        }
+        out.push((id, parts));
+    }
+    Ok(out)
+}
+
+/// Per-file client state while the pipeline runs.
+struct Slot<'a> {
+    session: ClientSession<'a>,
+    old_data: &'a [u8],
+    existed: bool,
+    traffic: TrafficStats,
+    done: Option<(Vec<u8>, bool)>,
+}
+
+/// Sync the local `old` collection against a remote server over `t`,
+/// with up to [`PipelineOptions::depth`] files in flight per flush.
+///
+/// The returned outcome's `traffic` is the transport's own wire
+/// accounting (framing and ARQ retransmits included); `per_file`
+/// carries payload-level per-file costs attributed by phase.
+pub fn sync_collection_client(
+    t: &mut dyn Transport,
+    old: &[FileEntry],
+    cfg: &ProtocolConfig,
+    opts: &PipelineOptions,
+) -> Result<CollectionOutcome, SyncError> {
+    cfg.validate().map_err(SyncError::Config)?;
+    let depth = opts.depth.max(1);
+    let mut link = ArqLink::client(t, opts.retry);
+
+    // 1. Roster exchange: our names out (sorted for determinism), the
+    // server's names back. Server roster order defines file ids.
+    let mut my_names: Vec<&str> = old.iter().map(|f| f.name.as_str()).collect();
+    my_names.sort_unstable();
+    link.send_message(vec![Part { phase: Phase::Setup, payload: encode_roster(&my_names) }])?;
+    let reply = link.recv_message()?;
+    let roster_part = reply.first().ok_or(SyncError::Desync("missing server roster"))?;
+    let server_names = decode_roster(&roster_part.payload)?;
+    let n = server_names.len();
+
+    let old_by_name: HashMap<&str, &FileEntry> = old.iter().map(|f| (f.name.as_str(), f)).collect();
+    let server_set: HashSet<&str> = server_names.iter().map(String::as_str).collect();
+    let deleted = old.iter().filter(|f| !server_set.contains(f.name.as_str())).count();
+
+    const EMPTY: &[u8] = &[];
+    let mut slots: Vec<Slot<'_>> = server_names
+        .iter()
+        .map(|name| {
+            let old_entry = old_by_name.get(name.as_str()).copied();
+            let old_data = old_entry.map_or(EMPTY, |f| f.data.as_slice());
+            Slot {
+                session: ClientSession::new(old_data, cfg),
+                old_data,
+                existed: old_entry.is_some(),
+                traffic: TrafficStats::new(),
+                done: None,
+            }
+        })
+        .collect();
+
+    // 2. Windowed batch loop: admit files in roster order as slots
+    // free, one ARQ message per direction per flush.
+    let mut outbox: Vec<(usize, Vec<Part>)> = Vec::new();
+    let mut next_admit = 0usize;
+    let mut in_flight = 0usize;
+    while next_admit < n && in_flight < depth {
+        let id = next_admit;
+        next_admit += 1;
+        in_flight += 1;
+        let part = slots[id].session.request();
+        slots[id].traffic.record(Direction::ClientToServer, part.phase, part.payload.len() as u64);
+        outbox.push((id, vec![part]));
+    }
+    while !outbox.is_empty() {
+        let batch = encode_batch(&outbox);
+        let mut expected: HashSet<usize> = outbox.iter().map(|(id, _)| *id).collect();
+        outbox.clear();
+        link.send_message(vec![Part { phase: Phase::Map, payload: batch }])?;
+        let reply = link.recv_message()?;
+        let part = reply.first().ok_or(SyncError::Desync("empty batch reply"))?;
+        for (id, parts) in decode_batch(&part.payload)? {
+            if !expected.remove(&id) {
+                return Err(SyncError::Desync("batch reply for a file not in flight"));
+            }
+            let slot = slots.get_mut(id).ok_or(SyncError::Desync("batch id out of range"))?;
+            for p in &parts {
+                slot.traffic.record(Direction::ServerToClient, p.phase, p.payload.len() as u64);
+            }
+            match slot.session.handle(parts)? {
+                ClientAction::Done { data, fell_back } => {
+                    slot.done = Some((data, fell_back));
+                    in_flight -= 1;
+                }
+                ClientAction::Reply(cparts) => {
+                    if cparts.is_empty() {
+                        return Err(SyncError::Desync("session yielded no reply"));
+                    }
+                    for p in &cparts {
+                        slot.traffic.record(
+                            Direction::ClientToServer,
+                            p.phase,
+                            p.payload.len() as u64,
+                        );
+                    }
+                    outbox.push((id, cparts));
+                }
+            }
+        }
+        if !expected.is_empty() {
+            return Err(SyncError::Desync("batch reply missing an in-flight file"));
+        }
+        while next_admit < n && in_flight < depth {
+            let id = next_admit;
+            next_admit += 1;
+            in_flight += 1;
+            let part = slots[id].session.request();
+            slots[id].traffic.record(
+                Direction::ClientToServer,
+                part.phase,
+                part.payload.len() as u64,
+            );
+            outbox.push((id, vec![part]));
+        }
+    }
+
+    // 3. Assemble the outcome in roster (sorted-name) order.
+    let traffic = link.stats();
+    let mut files = Vec::with_capacity(n);
+    let mut per_file = Vec::with_capacity(n);
+    let mut unchanged = 0usize;
+    let mut created = 0usize;
+    let mut fell_back = 0usize;
+    for (name, slot) in server_names.iter().zip(slots) {
+        let (data, fb) = slot.done.ok_or(SyncError::Desync("file never completed"))?;
+        if !slot.existed {
+            created += 1;
+        }
+        if fb {
+            fell_back += 1;
+        }
+        let levels = slot.session.levels;
+        if slot.existed && levels.is_empty() && data.as_slice() == slot.old_data {
+            unchanged += 1;
+        }
+        let stats = SyncStats {
+            traffic: slot.traffic,
+            levels,
+            known_bytes: slot.session.map.known_bytes(),
+            delta_bytes: slot.session.delta_bytes,
+        };
+        per_file.push((name.clone(), stats));
+        files.push(FileEntry { name: name.clone(), data });
+    }
+    Ok(CollectionOutcome {
+        files,
+        traffic,
+        per_file,
+        unchanged,
+        created,
+        renamed: 0,
+        deleted,
+        fell_back,
+    })
+}
+
+/// Server-side per-file session state.
+enum ServeSlot<'a> {
+    Idle,
+    Running(ServerSession<'a>),
+    Finished,
+}
+
+/// Serve the `new` collection to one pipelined client over `t`.
+///
+/// A vanished peer after the roster exchange is the normal end of
+/// service (the client simply hangs up once every file is done), not
+/// an error; protocol violations still surface as [`SyncError`].
+pub fn serve_collection(
+    t: &mut dyn Transport,
+    new: &[FileEntry],
+    cfg: &ProtocolConfig,
+    retry: RetryPolicy,
+) -> Result<ServeOutcome, SyncError> {
+    cfg.validate().map_err(SyncError::Config)?;
+    let mut link = ArqLink::server(t, retry);
+
+    let first = match link.recv_message() {
+        Ok(parts) => parts,
+        // The peer connected and said nothing — nothing was served.
+        Err(_) => return Ok(ServeOutcome { files: new.len(), sessions: 0, traffic: link.stats() }),
+    };
+    let roster_part = first.first().ok_or(SyncError::Desync("empty client roster"))?;
+    // The client's roster is advisory (it computes creates and deletes
+    // itself); decoding it validates the handshake.
+    decode_roster(&roster_part.payload)?;
+
+    let mut new_sorted: Vec<&FileEntry> = new.iter().collect();
+    new_sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let names: Vec<&str> = new_sorted.iter().map(|f| f.name.as_str()).collect();
+    link.send_message(vec![Part { phase: Phase::Setup, payload: encode_roster(&names) }])?;
+
+    let n = new_sorted.len();
+    let mut slots: Vec<ServeSlot<'_>> = (0..n).map(|_| ServeSlot::Idle).collect();
+    let mut sessions = 0usize;
+    loop {
+        let msg = match link.recv_message() {
+            Ok(m) => m,
+            // Peer gone or silent: the client is done with us.
+            Err(_) => break,
+        };
+        let part = msg.first().ok_or(SyncError::Desync("empty batch message"))?;
+        let mut out: Vec<(usize, Vec<Part>)> = Vec::new();
+        for (id, parts) in decode_batch(&part.payload)? {
+            let slot = slots.get_mut(id).ok_or(SyncError::Desync("batch id out of range"))?;
+            let reply = match slot {
+                ServeSlot::Idle => {
+                    let entry = new_sorted.get(id).ok_or(SyncError::Desync("batch id"))?;
+                    let mut session = ServerSession::new(&entry.data, cfg);
+                    let p0 = parts.first().ok_or(SyncError::Desync("empty file message"))?;
+                    let reply = session.on_request(&p0.payload)?;
+                    sessions += 1;
+                    *slot = ServeSlot::Running(session);
+                    reply
+                }
+                ServeSlot::Running(session) => session.on_client(&parts)?,
+                ServeSlot::Finished => {
+                    return Err(SyncError::Desync("message for a finished file"))
+                }
+            };
+            if let ServeSlot::Running(session) = slot {
+                if session.state == SState::Done {
+                    *slot = ServeSlot::Finished;
+                }
+            }
+            out.push((id, reply));
+        }
+        link.send_message(vec![Part { phase: Phase::Map, payload: encode_batch(&out) }])?;
+    }
+    link.linger();
+    Ok(ServeOutcome { files: n, sessions, traffic: link.stats() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msync_protocol::Endpoint;
+    use std::thread;
+
+    fn entry(name: &str, data: &[u8]) -> FileEntry {
+        FileEntry::new(name, data.to_vec())
+    }
+
+    fn run_pair(
+        old: &[FileEntry],
+        new: &[FileEntry],
+        cfg: &ProtocolConfig,
+        depth: usize,
+    ) -> (CollectionOutcome, ServeOutcome) {
+        let (mut client_ep, mut server_ep) = Endpoint::pair();
+        let server_files = new.to_vec();
+        let server_cfg = cfg.clone();
+        let handle = thread::spawn(move || {
+            serve_collection(&mut server_ep, &server_files, &server_cfg, RetryPolicy::default())
+        });
+        let opts = PipelineOptions { depth, retry: RetryPolicy::default() };
+        let out = sync_collection_client(&mut client_ep, old, cfg, &opts).unwrap();
+        drop(client_ep);
+        let srv = handle.join().unwrap().unwrap();
+        (out, srv)
+    }
+
+    fn sorted_names(files: &[FileEntry]) -> Vec<&str> {
+        files.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    #[test]
+    fn roster_roundtrips() {
+        let names = ["a.txt", "dir/b.txt", "z"];
+        let decoded = decode_roster(&encode_roster(&names)).unwrap();
+        assert_eq!(decoded, names);
+        assert!(decode_roster(&[0xff; 3]).is_err());
+    }
+
+    #[test]
+    fn batch_roundtrips() {
+        let entries = vec![
+            (0usize, vec![Part { phase: Phase::Setup, payload: vec![1, 2, 3] }]),
+            (
+                7usize,
+                vec![
+                    Part { phase: Phase::Map, payload: vec![] },
+                    Part { phase: Phase::Delta, payload: vec![9; 40] },
+                ],
+            ),
+        ];
+        let decoded = decode_batch(&encode_batch(&entries)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].0, 0);
+        assert_eq!(decoded[0].1[0].payload, vec![1, 2, 3]);
+        assert_eq!(decoded[1].0, 7);
+        assert_eq!(decoded[1].1[1].phase, Phase::Delta);
+        assert_eq!(decoded[1].1[1].payload, vec![9; 40]);
+        assert!(decode_batch(&[0xff; 2]).is_err());
+    }
+
+    #[test]
+    fn pipelined_collection_is_byte_exact() {
+        let base = b"the quick brown fox jumps over the lazy dog. ".repeat(120);
+        let mut changed = base.clone();
+        changed.truncate(3_000);
+        changed.extend_from_slice(b"a new ending entirely");
+        let old = vec![
+            entry("changed.txt", &base),
+            entry("deleted.txt", b"goes away"),
+            entry("same.txt", &base),
+        ];
+        let new = vec![
+            entry("same.txt", &base),
+            entry("changed.txt", &changed),
+            entry("fresh.txt", b"brand new file body"),
+        ];
+        let cfg = ProtocolConfig::default();
+        let (out, srv) = run_pair(&old, &new, &cfg, 8);
+
+        assert_eq!(sorted_names(&out.files), vec!["changed.txt", "fresh.txt", "same.txt"]);
+        let by_name: HashMap<&str, &[u8]> =
+            new.iter().map(|f| (f.name.as_str(), f.data.as_slice())).collect();
+        for f in &out.files {
+            assert_eq!(f.data.as_slice(), by_name[f.name.as_str()], "{}", f.name);
+        }
+        assert_eq!(out.created, 1);
+        assert_eq!(out.deleted, 1);
+        assert_eq!(out.unchanged, 1);
+        assert_eq!(srv.files, 3);
+        assert_eq!(srv.sessions, 3);
+        assert!(out.traffic.total_bytes() > 0);
+    }
+
+    #[test]
+    fn deeper_pipelines_use_fewer_roundtrips() {
+        let cfg = ProtocolConfig::default();
+        let files: Vec<FileEntry> = (0..24)
+            .map(|i| {
+                let body = format!("file {i} body ").repeat(200);
+                entry(&format!("f{i:03}.txt"), body.as_bytes())
+            })
+            .collect();
+        let old: Vec<FileEntry> = files
+            .iter()
+            .map(|f| {
+                let mut d = f.data.clone();
+                d.truncate(d.len() / 2);
+                d.extend_from_slice(b"divergent tail material");
+                FileEntry::new(f.name.clone(), d)
+            })
+            .collect();
+
+        let (seq, _) = run_pair(&old, &files, &cfg, 1);
+        let (pipe, _) = run_pair(&old, &files, &cfg, 16);
+        assert_eq!(sorted_names(&seq.files), sorted_names(&pipe.files));
+        for (a, b) in seq.files.iter().zip(&pipe.files) {
+            assert_eq!(a.data, b.data);
+        }
+        assert!(
+            pipe.traffic.roundtrips < seq.traffic.roundtrips,
+            "pipelined {} roundtrips vs sequential {}",
+            pipe.traffic.roundtrips,
+            seq.traffic.roundtrips
+        );
+    }
+
+    #[test]
+    fn empty_collections_terminate() {
+        let cfg = ProtocolConfig::default();
+        let old = vec![entry("only-local.txt", b"bytes")];
+        let (out, srv) = run_pair(&old, &[], &cfg, 4);
+        assert!(out.files.is_empty());
+        assert_eq!(out.deleted, 1);
+        assert_eq!(srv.files, 0);
+        assert_eq!(srv.sessions, 0);
+
+        let (out, srv) = run_pair(&[], &[], &cfg, 4);
+        assert!(out.files.is_empty());
+        assert_eq!(srv.sessions, 0);
+    }
+
+    #[test]
+    fn client_from_nothing_receives_everything() {
+        let cfg = ProtocolConfig::default();
+        let new = vec![entry("a", b"alpha contents"), entry("b", &b"beta ".repeat(500))];
+        let (out, _) = run_pair(&[], &new, &cfg, 4);
+        assert_eq!(out.created, 2);
+        assert_eq!(out.files.len(), 2);
+        assert_eq!(out.files[0].data, b"alpha contents");
+        assert_eq!(out.files[1].data, b"beta ".repeat(500));
+    }
+}

@@ -35,7 +35,7 @@ use crate::verify::{StepOutcome, VerifyState};
 use msync_hash::decomposable::{prefix_decompose_left, prefix_decompose_right, DecomposableDigest};
 use msync_hash::{file_fingerprint, BitReader, BitWriter, Md5};
 use msync_protocol::{
-    frame_wire_size, ChannelError, Direction, Endpoint, Phase, RetryPolicy, TrafficStats,
+    frame_wire_size, ChannelError, Direction, Endpoint, Phase, RetryPolicy, TrafficStats, Transport,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -87,9 +87,9 @@ pub struct SyncOutcome {
 
 /// One logical message part with its accounting phase.
 #[derive(Debug)]
-struct Part {
-    phase: Phase,
-    payload: Vec<u8>,
+pub(crate) struct Part {
+    pub(crate) phase: Phase,
+    pub(crate) payload: Vec<u8>,
 }
 
 // ---------------------------------------------------------------------
@@ -97,14 +97,14 @@ struct Part {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SState {
+pub(crate) enum SState {
     AwaitCandidates,
     AwaitBatch,
     AwaitMaybeResend,
     Done,
 }
 
-struct ServerSession<'a> {
+pub(crate) struct ServerSession<'a> {
     new: &'a [u8],
     cfg: &'a ProtocolConfig,
     coverage: Coverage,
@@ -122,11 +122,11 @@ struct ServerSession<'a> {
     /// Item indices the client flagged as candidates, in item order.
     candidates: Vec<usize>,
     verify: Option<VerifyState>,
-    state: SState,
+    pub(crate) state: SState,
 }
 
 impl<'a> ServerSession<'a> {
-    fn new(new: &'a [u8], cfg: &'a ProtocolConfig) -> Self {
+    pub(crate) fn new(new: &'a [u8], cfg: &'a ProtocolConfig) -> Self {
         Self {
             new,
             cfg,
@@ -143,7 +143,7 @@ impl<'a> ServerSession<'a> {
         }
     }
 
-    fn on_request(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
+    pub(crate) fn on_request(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
         let mut r = BitReader::new(payload);
         let old_len = r.read_varint().map_err(|_| SyncError::Desync("request len"))?;
         let mut old_fp = [0u8; 16];
@@ -224,7 +224,7 @@ impl<'a> ServerSession<'a> {
         vec![Part { phase: Phase::Delta, payload }]
     }
 
-    fn on_client(&mut self, parts: &[Part]) -> Result<Vec<Part>, SyncError> {
+    pub(crate) fn on_client(&mut self, parts: &[Part]) -> Result<Vec<Part>, SyncError> {
         let part = parts.first().ok_or(SyncError::Desync("empty client message"))?;
         match self.state {
             SState::AwaitCandidates => self.on_candidates(&part.payload),
@@ -356,19 +356,19 @@ struct Candidate {
     old_pos: u64,
 }
 
-enum ClientAction {
+pub(crate) enum ClientAction {
     Reply(Vec<Part>),
     Done { data: Vec<u8>, fell_back: bool },
 }
 
-struct ClientSession<'a> {
+pub(crate) struct ClientSession<'a> {
     old: &'a [u8],
     cfg: &'a ProtocolConfig,
     coverage: Coverage,
     known_hashes: HashSet<(u64, u64)>,
     /// Transmitted or derived global hash prefixes, for decomposition.
     hash_store: HashMap<(u64, u64), u64>,
-    map: FileMap,
+    pub(crate) map: FileMap,
     global_bits: u32,
     new_len: u64,
     new_fp: [u8; 16],
@@ -376,8 +376,8 @@ struct ClientSession<'a> {
     candidates: Vec<Candidate>,
     verify: Option<VerifyState>,
     state: CState,
-    levels: Vec<LevelStats>,
-    delta_bytes: u64,
+    pub(crate) levels: Vec<LevelStats>,
+    pub(crate) delta_bytes: u64,
     /// Cached position index for the current level's window size.
     index: Option<PositionIndex>,
     /// Mirror of the server's §5.4 subround bookkeeping.
@@ -386,7 +386,7 @@ struct ClientSession<'a> {
 }
 
 impl<'a> ClientSession<'a> {
-    fn new(old: &'a [u8], cfg: &'a ProtocolConfig) -> Self {
+    pub(crate) fn new(old: &'a [u8], cfg: &'a ProtocolConfig) -> Self {
         Self {
             old,
             cfg,
@@ -409,7 +409,7 @@ impl<'a> ClientSession<'a> {
         }
     }
 
-    fn request(&self) -> Part {
+    pub(crate) fn request(&self) -> Part {
         let mut w = BitWriter::new();
         w.write_varint(self.old.len() as u64);
         for &b in &file_fingerprint(self.old).0 {
@@ -418,7 +418,7 @@ impl<'a> ClientSession<'a> {
         Part { phase: Phase::Setup, payload: w.into_bytes() }
     }
 
-    fn handle(&mut self, parts: Vec<Part>) -> Result<ClientAction, SyncError> {
+    pub(crate) fn handle(&mut self, parts: Vec<Part>) -> Result<ClientAction, SyncError> {
         let mut reply: Vec<Part> = Vec::new();
         for part in parts {
             match self.state {
@@ -837,12 +837,12 @@ const MAX_FRAMES_PER_EXCHANGE: u32 = 10_000;
 /// Parts per message are small (bitmap + batch + round hashes); a
 /// larger index in an ARQ header is corruption that slipped past the
 /// CRC, not a real frame.
-const MAX_PARTS_PER_MESSAGE: usize = 256;
+pub(crate) const MAX_PARTS_PER_MESSAGE: usize = 256;
 
 /// Wire form of a message part on a real channel: 1 header byte
 /// (bit 0 = more parts follow in this logical message, bits 1..3 =
 /// phase tag) followed by the payload.
-fn part_header(phase: Phase, more: bool) -> u8 {
+pub(crate) fn part_header(phase: Phase, more: bool) -> u8 {
     let tag = match phase {
         Phase::Setup => 0u8,
         Phase::Map => 1,
@@ -851,7 +851,7 @@ fn part_header(phase: Phase, more: bool) -> u8 {
     (tag << 1) | u8::from(more)
 }
 
-fn parse_part_header(b: u8) -> Option<(Phase, bool)> {
+pub(crate) fn parse_part_header(b: u8) -> Option<(Phase, bool)> {
     let phase = match b >> 1 {
         0 => Phase::Setup,
         1 => Phase::Map,
@@ -884,20 +884,38 @@ fn parse_frame(bytes: &[u8]) -> Option<ArqFrame> {
     Some(ArqFrame { seq, idx, more, part: Part { phase, payload: bytes[consumed..].to_vec() } })
 }
 
-fn send_frame(ep: &mut Endpoint, seq: u64, idx: usize, more: bool, part: &Part) {
+/// Map a transport-level send failure to the session error it implies.
+/// (The in-memory channel never fails a send; a TCP transport reports a
+/// closed or wedged socket here.)
+pub(crate) fn channel_to_sync(e: ChannelError) -> SyncError {
+    match e {
+        ChannelError::Timeout => SyncError::Timeout,
+        ChannelError::Disconnected => SyncError::PeerGone,
+        ChannelError::Corrupt(_) => SyncError::FrameCorrupt,
+    }
+}
+
+fn send_frame(
+    t: &mut dyn Transport,
+    seq: u64,
+    idx: usize,
+    more: bool,
+    part: &Part,
+) -> Result<(), SyncError> {
     let mut w = BitWriter::new();
     w.write_varint(seq);
     w.write_varint(idx as u64);
     w.write_bits(u64::from(part_header(part.phase, more)), 8);
     let mut frame = w.into_bytes();
     frame.extend_from_slice(&part.payload);
-    ep.set_phase(part.phase);
-    ep.send(frame);
+    t.send(&frame, part.phase).map_err(channel_to_sync)
 }
 
-/// One side's view of the stop-and-wait message exchange.
-struct ArqLink {
-    ep: Endpoint,
+/// One side's view of the stop-and-wait message exchange, generic over
+/// the transport: the same recovery machinery drives the in-memory
+/// channel, the fault wrapper, and a real TCP connection.
+pub(crate) struct ArqLink<'a> {
+    t: &'a mut dyn Transport,
     retry: RetryPolicy,
     /// Sequence number of the next message this side sends (client
     /// even, server odd).
@@ -915,26 +933,27 @@ struct ArqLink {
     resend_on_stale: bool,
 }
 
-impl ArqLink {
-    fn client(ep: Endpoint, retry: RetryPolicy) -> Self {
-        ArqLink { ep, retry, send_seq: 0, recv_seq: 1, cached: Vec::new(), resend_on_stale: false }
+impl<'a> ArqLink<'a> {
+    pub(crate) fn client(t: &'a mut dyn Transport, retry: RetryPolicy) -> Self {
+        ArqLink { t, retry, send_seq: 0, recv_seq: 1, cached: Vec::new(), resend_on_stale: false }
     }
 
-    fn server(ep: Endpoint, retry: RetryPolicy) -> Self {
-        ArqLink { ep, retry, send_seq: 1, recv_seq: 0, cached: Vec::new(), resend_on_stale: true }
+    pub(crate) fn server(t: &'a mut dyn Transport, retry: RetryPolicy) -> Self {
+        ArqLink { t, retry, send_seq: 1, recv_seq: 0, cached: Vec::new(), resend_on_stale: true }
     }
 
-    fn send_message(&mut self, parts: Vec<Part>) {
+    pub(crate) fn send_message(&mut self, parts: Vec<Part>) -> Result<(), SyncError> {
         let seq = self.send_seq;
         self.send_seq += 2;
         for (i, part) in parts.iter().enumerate() {
-            send_frame(&mut self.ep, seq, i, i + 1 < parts.len(), part);
+            send_frame(self.t, seq, i, i + 1 < parts.len(), part)?;
         }
         self.cached = parts;
+        Ok(())
     }
 
     /// Retransmit the whole last message and count it in the stats.
-    fn retransmit_cached(&mut self) {
+    fn retransmit_cached(&mut self) -> Result<(), SyncError> {
         let seq = self.send_seq.wrapping_sub(2);
         let n = self.cached.len();
         for i in 0..n {
@@ -945,10 +964,10 @@ impl ArqLink {
             w.write_bits(u64::from(part_header(self.cached[i].phase, more)), 8);
             let mut frame = w.into_bytes();
             frame.extend_from_slice(&self.cached[i].payload);
-            self.ep.set_phase(self.cached[i].phase);
-            self.ep.send(frame);
+            self.t.send(&frame, self.cached[i].phase).map_err(channel_to_sync)?;
         }
-        self.ep.note_retransmits(n as u64);
+        self.t.note_retransmits(n as u64);
+        Ok(())
     }
 
     /// Receive the peer's next message, driving recovery: timeouts
@@ -956,7 +975,7 @@ impl ArqLink {
     /// prompts the peer to resend its reply), duplicates and reordered
     /// parts are assembled idempotently, and exhaustion of the retry
     /// budget maps to a typed error naming the dominant failure.
-    fn recv_message(&mut self) -> Result<Vec<Part>, SyncError> {
+    pub(crate) fn recv_message(&mut self) -> Result<Vec<Part>, SyncError> {
         let expected = self.recv_seq;
         let mut slots: Vec<Option<Part>> = Vec::new();
         let mut final_idx: Option<usize> = None;
@@ -965,7 +984,7 @@ impl ArqLink {
         let mut saw_corrupt = false;
         let mut frames = 0u32;
         loop {
-            match self.ep.recv_timeout(timeout) {
+            match self.t.recv_timeout(timeout) {
                 Ok(bytes) => {
                     frames += 1;
                     if frames > MAX_FRAMES_PER_EXCHANGE {
@@ -977,6 +996,9 @@ impl ArqLink {
                         saw_corrupt = true;
                         continue;
                     };
+                    // The transport cannot know an inbound frame's phase
+                    // until the ARQ header is parsed; attribute it now.
+                    self.t.attribute_inbound(frame.part.phase);
                     if frame.seq != expected {
                         // A stale frame means the peer missed our last
                         // message's effect — on the server, when its
@@ -989,7 +1011,7 @@ impl ArqLink {
                             && !frame.more
                             && !self.cached.is_empty()
                         {
-                            self.retransmit_cached();
+                            self.retransmit_cached()?;
                         }
                         continue;
                     }
@@ -1029,7 +1051,7 @@ impl ArqLink {
                         });
                     }
                     if !self.cached.is_empty() {
-                        self.retransmit_cached();
+                        self.retransmit_cached()?;
                     }
                     timeout = self.retry.backoff(timeout);
                 }
@@ -1041,17 +1063,22 @@ impl ArqLink {
     /// After the server's final message: keep answering stale
     /// retransmissions with the cached reply until the client hangs up
     /// (success) or goes silent past the retry budget.
-    fn linger(&mut self) {
+    pub(crate) fn linger(&mut self) {
         let mut quiet = 0u32;
         let mut frames = 0u32;
         while quiet <= self.retry.max_retries && frames < MAX_FRAMES_PER_EXCHANGE {
-            match self.ep.recv_timeout(self.retry.timeout) {
+            match self.t.recv_timeout(self.retry.timeout) {
                 Ok(bytes) => {
                     frames += 1;
                     quiet = 0;
                     if let Some(frame) = parse_frame(&bytes) {
-                        if frame.seq < self.recv_seq && !frame.more && !self.cached.is_empty() {
-                            self.retransmit_cached();
+                        self.t.attribute_inbound(frame.part.phase);
+                        if frame.seq < self.recv_seq
+                            && !frame.more
+                            && !self.cached.is_empty()
+                            && self.retransmit_cached().is_err()
+                        {
+                            return;
                         }
                     }
                 }
@@ -1065,9 +1092,90 @@ impl ArqLink {
         }
     }
 
-    fn stats(&self) -> TrafficStats {
-        self.ep.stats()
+    pub(crate) fn stats(&self) -> TrafficStats {
+        self.t.stats()
     }
+}
+
+/// Drive the client side of one file session over any [`Transport`]:
+/// the peer must be running [`serve_file_transport`] (or the server
+/// half of a daemon). Traffic accounting comes from the transport
+/// itself, including framing, checksums, and retransmissions. Whenever
+/// this returns `Ok`, the reconstruction is byte-exact; link failures
+/// that outlast the retry budget surface as [`SyncError::Timeout`] /
+/// [`SyncError::FrameCorrupt`] / [`SyncError::PeerGone`].
+pub fn sync_file_transport(
+    t: &mut dyn Transport,
+    old: &[u8],
+    cfg: &ProtocolConfig,
+    retry: RetryPolicy,
+) -> Result<SyncOutcome, SyncError> {
+    cfg.validate().map_err(SyncError::Config)?;
+    let mut client = ClientSession::new(old, cfg);
+    let mut link = ArqLink::client(t, retry);
+    link.send_message(vec![client.request()])?;
+    let (data, fell_back) = loop {
+        let parts = link.recv_message()?;
+        match client.handle(parts)? {
+            ClientAction::Done { data, fell_back } => break (data, fell_back),
+            ClientAction::Reply(cparts) => {
+                if cparts.is_empty() {
+                    return Err(SyncError::Desync("client had nothing to say"));
+                }
+                link.send_message(cparts)?;
+            }
+        }
+    };
+    let traffic = link.stats();
+    let stats = SyncStats {
+        traffic,
+        levels: client.levels,
+        known_bytes: client.map.known_bytes(),
+        delta_bytes: client.delta_bytes,
+    };
+    Ok(SyncOutcome { reconstructed: data, stats, fell_back })
+}
+
+/// Drive the server side of one file session over any [`Transport`]:
+/// answer a [`sync_file_transport`] client from `new`. Returns `Ok`
+/// both on a completed session and when the client goes away (the
+/// client side owns the verdict); errors are reserved for protocol
+/// desyncs, which indicate a bug rather than link weather.
+pub fn serve_file_transport(
+    t: &mut dyn Transport,
+    new: &[u8],
+    cfg: &ProtocolConfig,
+    retry: RetryPolicy,
+) -> Result<(), SyncError> {
+    cfg.validate().map_err(SyncError::Config)?;
+    let mut server = ServerSession::new(new, cfg);
+    let mut link = ArqLink::server(t, retry);
+    let req = match link.recv_message() {
+        Ok(parts) => parts,
+        // Nothing ever arrived: the client will report its own
+        // error; there is no session to fail on this side.
+        Err(_) => return Ok(()),
+    };
+    let first = req.first().ok_or(SyncError::Desync("empty request"))?;
+    let mut reply = server.on_request(&first.payload)?;
+    loop {
+        if link.send_message(reply).is_err() {
+            return Ok(());
+        }
+        if server.state == SState::Done {
+            break;
+        }
+        match link.recv_message() {
+            Ok(parts) => reply = server.on_client(&parts)?,
+            // Client finished and hung up, or gave up — either way
+            // the client side owns the verdict. Serve any pending
+            // resends before leaving.
+            Err(SyncError::PeerGone) => return Ok(()),
+            Err(_) => break,
+        }
+    }
+    link.linger();
+    Ok(())
 }
 
 /// Run the protocol over a real duplex [`Endpoint`] pair with the
@@ -1076,10 +1184,12 @@ impl ArqLink {
 /// explicit transport options: a timeout/retry policy and an optional
 /// deterministic fault plan for the link.
 ///
-/// Byte accounting comes from the channel itself, including checksums
-/// and retransmissions. Whenever this returns `Ok`, the reconstruction
-/// is byte-exact; link failures that outlast the retry budget surface
-/// as [`SyncError::Timeout`] / [`SyncError::FrameCorrupt`] /
+/// Both ends run through the [`Transport`] trait object, so this is
+/// the same code path a TCP session takes; byte accounting comes from
+/// the channel itself, including checksums and retransmissions.
+/// Whenever this returns `Ok`, the reconstruction is byte-exact; link
+/// failures that outlast the retry budget surface as
+/// [`SyncError::Timeout`] / [`SyncError::FrameCorrupt`] /
 /// [`SyncError::PeerGone`].
 pub fn sync_over_channel_with(
     old: &[u8],
@@ -1088,7 +1198,7 @@ pub fn sync_over_channel_with(
     opts: &ChannelOptions,
 ) -> Result<SyncOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
-    let (client_ep, server_ep) = match &opts.fault_plan {
+    let (mut client_ep, mut server_ep) = match &opts.fault_plan {
         Some(plan) => Endpoint::pair_with_faults(plan, opts.fault_seed),
         None => Endpoint::pair(),
     };
@@ -1097,61 +1207,17 @@ pub fn sync_over_channel_with(
     let server_cfg = cfg.clone();
     let retry = opts.retry;
     let handle = std::thread::spawn(move || -> Result<(), SyncError> {
-        let mut server = ServerSession::new(&server_new, &server_cfg);
-        let mut link = ArqLink::server(server_ep, retry);
-        let req = match link.recv_message() {
-            Ok(parts) => parts,
-            // Nothing ever arrived: the client will report its own
-            // error; there is no session to fail on this side.
-            Err(_) => return Ok(()),
-        };
-        let first = req.first().ok_or(SyncError::Desync("empty request"))?;
-        let mut reply = server.on_request(&first.payload)?;
-        loop {
-            link.send_message(reply);
-            if server.state == SState::Done {
-                break;
-            }
-            match link.recv_message() {
-                Ok(parts) => reply = server.on_client(&parts)?,
-                // Client finished and hung up, or gave up — either way
-                // the client side owns the verdict. Serve any pending
-                // resends before leaving.
-                Err(SyncError::PeerGone) => return Ok(()),
-                Err(_) => break,
-            }
-        }
-        link.linger();
-        Ok(())
+        serve_file_transport(&mut server_ep, &server_new, &server_cfg, retry)
     });
 
-    let mut client = ClientSession::new(old, cfg);
-    let mut link = ArqLink::client(client_ep, opts.retry);
-    link.send_message(vec![client.request()]);
-    let result = loop {
-        let parts = link.recv_message()?;
-        match client.handle(parts)? {
-            ClientAction::Done { data, fell_back } => break (data, fell_back),
-            ClientAction::Reply(cparts) => {
-                if cparts.is_empty() {
-                    return Err(SyncError::Desync("client had nothing to say"));
-                }
-                link.send_message(cparts);
-            }
-        }
-    };
-    let traffic = link.stats();
-    drop(link);
-    handle.join().map_err(|_| SyncError::Desync("server thread panicked"))??;
-
-    let (data, fell_back) = result;
-    let stats = SyncStats {
-        traffic,
-        levels: client.levels,
-        known_bytes: client.map.known_bytes(),
-        delta_bytes: client.delta_bytes,
-    };
-    Ok(SyncOutcome { reconstructed: data, stats, fell_back })
+    let result = sync_file_transport(&mut client_ep, old, cfg, opts.retry);
+    // Dropping the client endpoint is the hang-up signal that lets a
+    // lingering server finish.
+    drop(client_ep);
+    let joined = handle.join().map_err(|_| SyncError::Desync("server thread panicked"));
+    let outcome = result?;
+    joined??;
+    Ok(outcome)
 }
 
 /// [`sync_over_channel_with`] on a clean link with the default

@@ -1,0 +1,156 @@
+//! The `msync serve` daemon: accept, handshake, serve, repeat.
+//!
+//! One listener thread accepts connections; each accepted socket gets
+//! its own session thread running handshake + pipelined collection
+//! service ([`msync_core::pipeline::serve_collection`]), so a slow
+//! client on a slow link never blocks the others. The served collection
+//! is immutable for the daemon's lifetime and shared read-only across
+//! sessions.
+//!
+//! Failure semantics per connection: a client that never completes the
+//! handshake, violates the protocol, or vanishes mid-sync costs only
+//! its own session thread — the error is reported through the
+//! daemon's log callback and the listener keeps accepting.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use msync_core::pipeline::{serve_collection, ServeOutcome};
+use msync_core::FileEntry;
+use msync_protocol::RetryPolicy;
+
+use crate::handshake::{server_hello, NetError};
+use crate::tcp::TcpTransport;
+
+/// Daemon-side knobs. The protocol configuration is *not* one of them:
+/// the client proposes it in the handshake and the daemon adopts any
+/// proposal its own parser validates, so one daemon can serve clients
+/// running different experiments.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// ARQ retry policy for every session.
+    pub retry: RetryPolicy,
+    /// How long a fresh connection may take to say hello.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        Self { retry: RetryPolicy::default(), handshake_timeout: Duration::from_secs(10) }
+    }
+}
+
+/// What one connection amounted to, delivered to the log callback.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Peer address, if the socket could name it.
+    pub peer: Option<SocketAddr>,
+    /// How the session ended.
+    pub result: Result<ServeOutcome, NetError>,
+}
+
+/// A running serve daemon. Dropping the handle does **not** stop the
+/// listener; call [`Daemon::shutdown`].
+pub struct Daemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: thread::JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Bind `listen` (e.g. `127.0.0.1:0`) and start accepting.
+    ///
+    /// `log` receives one [`SessionReport`] per finished connection,
+    /// from that connection's own thread.
+    ///
+    /// # Errors
+    /// Binding or inspecting the listener socket.
+    pub fn spawn<F>(
+        listen: &str,
+        files: Vec<FileEntry>,
+        opts: DaemonOptions,
+        log: F,
+    ) -> std::io::Result<Daemon>
+    where
+        F: Fn(SessionReport) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let shared: Arc<(Vec<FileEntry>, DaemonOptions)> = Arc::new((files, opts));
+        let log: Arc<F> = Arc::new(log);
+        let accept_thread = thread::spawn(move || {
+            accept_loop(&listener, &stop_flag, &shared, &log);
+        });
+        Ok(Daemon { addr, stop, accept_thread })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Foreground mode: block on the listener thread (which normally
+    /// never exits). The CLI `serve` command lives here.
+    pub fn wait(self) {
+        let _ = self.accept_thread.join();
+    }
+
+    /// Stop accepting and join the listener thread. Sessions already
+    /// in flight run to completion on their own threads.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The listener blocks in accept(); a throwaway connection wakes
+        // it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn accept_loop<F>(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    shared: &Arc<(Vec<FileEntry>, DaemonOptions)>,
+    log: &Arc<F>,
+) where
+    F: Fn(SessionReport) + Send + Sync + 'static,
+{
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let log = Arc::clone(log);
+        thread::spawn(move || {
+            let peer = stream.peer_addr().ok();
+            let (files, opts) = &*shared;
+            let result = serve_session(stream, files, opts);
+            log(SessionReport { peer, result });
+        });
+    }
+}
+
+/// One connection: handshake, then pipelined collection service.
+fn serve_session(
+    stream: TcpStream,
+    files: &[FileEntry],
+    opts: &DaemonOptions,
+) -> Result<ServeOutcome, NetError> {
+    let mut t = TcpTransport::server(stream).map_err(NetError::Io)?;
+    let cfg = server_hello(&mut t, opts.handshake_timeout)?;
+    serve_collection(&mut t, files, &cfg, opts.retry).map_err(NetError::Sync)
+}

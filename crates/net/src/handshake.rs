@@ -1,0 +1,197 @@
+//! Version/config handshake and the crate's error type.
+//!
+//! Before any collection traffic, the connecting client sends one frame:
+//!
+//! ```text
+//! msync-net 1\n
+//! <parameter file, as rendered by msync_core::params::render>
+//! ```
+//!
+//! The daemon parses and validates the proposed configuration and
+//! answers either `ok\n<canonical render>` — the client adopts the
+//! echoed canonical form, so both sessions run the byte-identical
+//! config — or `err <reason>` and closes. An unknown version or an
+//! unparseable parameter file is a rejection, never a guess: the
+//! multi-round protocol desynchronizes silently if the two sides
+//! disagree on any knob, so the handshake is the one place that is
+//! allowed to be pedantic.
+//!
+//! Handshake frames ride the normal transport and are charged to
+//! [`Phase::Setup`], so they show up honestly in `TrafficStats`.
+
+use std::time::Duration;
+
+use msync_core::{params, ProtocolConfig, SyncError};
+use msync_protocol::{ChannelError, Phase, Transport};
+
+/// Version of the wire protocol spoken by this crate. Bumped on any
+/// change to the frame codec, the handshake, or the batch schedule.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic line opening every client hello.
+const MAGIC: &str = "msync-net";
+
+/// Cap on a handshake frame; a parameter file is a few hundred bytes.
+const MAX_HELLO: usize = 64 * 1024;
+
+/// Any failure establishing or running a remote sync.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (connect, accept, socket options).
+    Io(std::io::Error),
+    /// The peer spoke, but not this protocol — or refused ours.
+    Handshake(String),
+    /// Transport failure during the handshake exchange.
+    Channel(ChannelError),
+    /// The sync protocol itself failed after the handshake.
+    Sync(SyncError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Handshake(why) => write!(f, "handshake failed: {why}"),
+            Self::Channel(e) => write!(f, "handshake transport error: {e:?}"),
+            Self::Sync(e) => write!(f, "sync failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Client half: propose `cfg`, adopt the server's canonical echo.
+///
+/// # Errors
+/// [`NetError::Channel`] if the wire fails, [`NetError::Handshake`] if
+/// the server rejects the proposal or answers gibberish.
+pub fn client_hello(
+    t: &mut dyn Transport,
+    cfg: &ProtocolConfig,
+    timeout: Duration,
+) -> Result<ProtocolConfig, NetError> {
+    let hello = format!("{MAGIC} {PROTOCOL_VERSION}\n{}", params::render(cfg));
+    t.send(hello.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+    let reply = t.recv_timeout(timeout).map_err(NetError::Channel)?;
+    t.attribute_inbound(Phase::Setup);
+    let text = text_of(&reply)?;
+    if let Some(reason) = text.strip_prefix("err ") {
+        return Err(NetError::Handshake(format!("server refused: {}", reason.trim())));
+    }
+    let Some(rendered) = text.strip_prefix("ok\n") else {
+        return Err(NetError::Handshake("server reply is neither ok nor err".to_owned()));
+    };
+    let agreed = params::parse(rendered)
+        .map_err(|e| NetError::Handshake(format!("server echoed a bad config: {e}")))?;
+    Ok(agreed)
+}
+
+/// Server half: receive a hello, validate it, answer ok or err.
+///
+/// Returns the agreed configuration. A rejected client gets a typed
+/// `err` line before the error is returned, so it can report *why*
+/// instead of seeing a hangup.
+///
+/// # Errors
+/// [`NetError::Channel`] if the wire fails, [`NetError::Handshake`] if
+/// the hello is not this protocol or proposes an invalid config.
+pub fn server_hello(t: &mut dyn Transport, timeout: Duration) -> Result<ProtocolConfig, NetError> {
+    let hello = t.recv_timeout(timeout).map_err(NetError::Channel)?;
+    t.attribute_inbound(Phase::Setup);
+    let text = match text_of(&hello) {
+        Ok(text) => text,
+        Err(e) => {
+            reject(t, "hello is not text");
+            return Err(e);
+        }
+    };
+    let (magic_line, params_text) = text.split_once('\n').unwrap_or((text, ""));
+    let mut words = magic_line.split_whitespace();
+    if words.next() != Some(MAGIC) {
+        reject(t, "unknown magic");
+        return Err(NetError::Handshake("client hello has unknown magic".to_owned()));
+    }
+    let version = words.next().and_then(|v| v.parse::<u32>().ok());
+    if version != Some(PROTOCOL_VERSION) {
+        reject(t, "unsupported version");
+        return Err(NetError::Handshake(format!(
+            "client speaks version {version:?}, this daemon speaks {PROTOCOL_VERSION}"
+        )));
+    }
+    let cfg = match params::parse(params_text).and_then(|c| c.validate().map(|()| c)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            reject(t, &format!("bad config: {e}"));
+            return Err(NetError::Handshake(format!("client proposed a bad config: {e}")));
+        }
+    };
+    let reply = format!("ok\n{}", params::render(&cfg));
+    t.send(reply.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+    Ok(cfg)
+}
+
+fn text_of(payload: &[u8]) -> Result<&str, NetError> {
+    if payload.len() > MAX_HELLO {
+        return Err(NetError::Handshake("hello frame too large".to_owned()));
+    }
+    std::str::from_utf8(payload).map_err(|_| NetError::Handshake("hello is not UTF-8".to_owned()))
+}
+
+/// Best-effort refusal notice; the connection is being torn down
+/// anyway, so a failed send changes nothing.
+fn reject(t: &mut dyn Transport, reason: &str) {
+    let _ = t.send(format!("err {reason}").as_bytes(), Phase::Setup);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msync_protocol::Endpoint;
+    use std::thread;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn agreeing_sides_converge_on_one_config() {
+        let (mut c, mut s) = Endpoint::pair();
+        let cfg = ProtocolConfig { start_block: 1 << 13, ..Default::default() };
+        let want = cfg.clone();
+        let server = thread::spawn(move || server_hello(&mut s, T).unwrap());
+        let got = client_hello(&mut c, &cfg, T).unwrap();
+        let served = server.join().unwrap();
+        assert_eq!(got, want);
+        assert_eq!(served, want);
+    }
+
+    #[test]
+    fn wrong_magic_is_refused_with_a_reason() {
+        let (mut c, mut s) = Endpoint::pair();
+        let server = thread::spawn(move || server_hello(&mut s, T));
+        c.send(b"rsync 31".to_vec());
+        let reply = Transport::recv_timeout(&mut c, T).unwrap();
+        assert!(reply.starts_with(b"err "), "{reply:?}");
+        assert!(matches!(server.join().unwrap(), Err(NetError::Handshake(_))));
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let (mut c, mut s) = Endpoint::pair();
+        let server = thread::spawn(move || server_hello(&mut s, T));
+        let hello = format!("{MAGIC} 999\n");
+        Transport::send(&mut c, hello.as_bytes(), Phase::Setup).unwrap();
+        let reply = Transport::recv_timeout(&mut c, T).unwrap();
+        assert_eq!(&reply[..3], b"err");
+        assert!(matches!(server.join().unwrap(), Err(NetError::Handshake(_))));
+    }
+
+    #[test]
+    fn bad_config_is_refused() {
+        let (mut c, mut s) = Endpoint::pair();
+        let server = thread::spawn(move || server_hello(&mut s, T));
+        let hello = format!("{MAGIC} {PROTOCOL_VERSION}\nstart_block = nope");
+        Transport::send(&mut c, hello.as_bytes(), Phase::Setup).unwrap();
+        let reply = Transport::recv_timeout(&mut c, T).unwrap();
+        assert!(reply.starts_with(b"err "), "{reply:?}");
+        assert!(matches!(server.join().unwrap(), Err(NetError::Handshake(_))));
+    }
+}

@@ -1,0 +1,324 @@
+//! TCP-backed [`Transport`].
+//!
+//! The wire format is exactly the in-memory channel's: each frame is a
+//! LEB128 payload length, a CRC32 over the payload, then the payload
+//! ([`encode_frame`]/[`decode_frame`]). A stream socket adds only the
+//! need to reassemble frames from arbitrary read boundaries.
+//!
+//! Discipline (enforced by the xtask `channel-discipline` gate):
+//!
+//! * every socket read is preceded by `set_read_timeout`, so a dead or
+//!   silent peer surfaces as [`ChannelError::Timeout`] within the ARQ
+//!   retry budget instead of hanging the session forever;
+//! * every io error maps to a typed [`ChannelError`] — timeouts to
+//!   `Timeout`, connection teardown to `Disconnected`, and an inflated
+//!   length word to `Corrupt` before any allocation happens.
+//!
+//! Accounting: sends are charged to the caller's phase at full wire
+//! size, like the in-memory channel. Inbound bytes pool in an
+//! unattributed counter until the session layer parses the frame header
+//! and calls [`Transport::attribute_inbound`] with the real phase. The
+//! raw [`TcpTransport::socket_sent`] / [`TcpTransport::socket_received`]
+//! counters are kept separately so tests can assert that the accounting
+//! and the socket agree to the byte.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use msync_protocol::{
+    decode_frame, encode_frame, frame_wire_size, ChannelError, Direction, FrameError, Phase,
+    TrafficStats, Transport,
+};
+
+/// Hard cap on a decoded payload length. A length word above this is
+/// rejected as corrupt before any buffering: no real payload approaches
+/// a gigabyte, so a flipped length bit cannot demand unbounded memory.
+const MAX_PAYLOAD: u64 = 1 << 30;
+
+/// Bytes requested from the socket per read call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Upper bound on a blocking write before the peer is declared gone.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A [`Transport`] over one TCP stream.
+///
+/// Construct with [`TcpTransport::client`] on the connecting side and
+/// [`TcpTransport::server`] on the accepting side; the two differ only
+/// in which [`Direction`] their sends are charged to, so that a
+/// client's and a server's `TrafficStats` describe the same wire the
+/// same way the shared in-memory channel does.
+pub struct TcpTransport {
+    stream: TcpStream,
+    /// Received-but-not-yet-framed bytes.
+    inbound: Vec<u8>,
+    /// Reusable read buffer.
+    scratch: Vec<u8>,
+    stats: TrafficStats,
+    outbound_dir: Direction,
+    /// Last traffic direction seen, for roundtrip counting: a reversal
+    /// is a half-trip, two half-trips are a roundtrip — the same rule
+    /// the in-memory channel applies.
+    last_dir: Option<Direction>,
+    half_trips: u64,
+    /// Wire bytes of received frames not yet attributed to a phase.
+    pending_inbound: u64,
+    socket_sent: u64,
+    socket_received: u64,
+}
+
+impl TcpTransport {
+    /// Wrap the connecting side of a stream (sends are client→server).
+    ///
+    /// # Errors
+    /// Any socket-option error (the stream is unusable).
+    pub fn client(stream: TcpStream) -> std::io::Result<Self> {
+        Self::new(stream, Direction::ClientToServer)
+    }
+
+    /// Wrap the accepting side of a stream (sends are server→client).
+    ///
+    /// # Errors
+    /// Any socket-option error (the stream is unusable).
+    pub fn server(stream: TcpStream) -> std::io::Result<Self> {
+        Self::new(stream, Direction::ServerToClient)
+    }
+
+    fn new(stream: TcpStream, outbound_dir: Direction) -> std::io::Result<Self> {
+        // The protocol is request/response with small frames; Nagle
+        // would add an RTT of latency to every flush.
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        Ok(Self {
+            stream,
+            inbound: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            stats: TrafficStats::new(),
+            outbound_dir,
+            last_dir: None,
+            half_trips: 0,
+            pending_inbound: 0,
+            socket_sent: 0,
+            socket_received: 0,
+        })
+    }
+
+    /// Raw bytes written to the socket, frames and framing included.
+    #[must_use]
+    pub fn socket_sent(&self) -> u64 {
+        self.socket_sent
+    }
+
+    /// Raw bytes read from the socket.
+    #[must_use]
+    pub fn socket_received(&self) -> u64 {
+        self.socket_received
+    }
+
+    fn inbound_dir(&self) -> Direction {
+        match self.outbound_dir {
+            Direction::ClientToServer => Direction::ServerToClient,
+            Direction::ServerToClient => Direction::ClientToServer,
+        }
+    }
+
+    fn bump(&mut self, dir: Direction) {
+        if self.last_dir != Some(dir) {
+            self.half_trips += 1;
+            self.last_dir = Some(dir);
+        }
+    }
+
+    /// Split one complete frame off the inbound buffer, if present.
+    /// `Ok(None)` means more bytes are needed.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>, ChannelError> {
+        let mut len = 0u64;
+        let mut shift = 0u32;
+        let mut pos = 0usize;
+        loop {
+            let Some(&b) = self.inbound.get(pos) else {
+                return Ok(None);
+            };
+            pos += 1;
+            if shift >= 64 {
+                return Err(ChannelError::Corrupt(FrameError::Length));
+            }
+            len |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        if len > MAX_PAYLOAD {
+            return Err(ChannelError::Corrupt(FrameError::Length));
+        }
+        let len = usize::try_from(len).map_err(|_| ChannelError::Corrupt(FrameError::Length))?;
+        let total = pos
+            .checked_add(4)
+            .and_then(|t| t.checked_add(len))
+            .ok_or(ChannelError::Corrupt(FrameError::Length))?;
+        if self.inbound.len() < total {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.inbound.drain(..total).collect();
+        let payload = decode_frame(&frame).map_err(ChannelError::Corrupt)?;
+        self.pending_inbound += total as u64;
+        self.stats.frames += 1;
+        self.bump(self.inbound_dir());
+        Ok(Some(payload))
+    }
+}
+
+fn map_read_error(e: &std::io::Error) -> ChannelError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ChannelError::Timeout,
+        _ => ChannelError::Disconnected,
+    }
+}
+
+fn map_write_error(e: &std::io::Error) -> ChannelError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ChannelError::Timeout,
+        _ => ChannelError::Disconnected,
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, payload: &[u8], phase: Phase) -> Result<(), ChannelError> {
+        let frame = encode_frame(payload);
+        self.stream.write_all(&frame).map_err(|e| map_write_error(&e))?;
+        self.socket_sent += frame.len() as u64;
+        self.stats.record(self.outbound_dir, phase, frame_wire_size(payload.len()));
+        self.stats.frames += 1;
+        self.bump(self.outbound_dir);
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, ChannelError> {
+        // `set_read_timeout` rejects a zero duration; a 1 ms floor keeps
+        // degenerate retry configs bounded instead of erroring.
+        let timeout = timeout.max(Duration::from_millis(1));
+        loop {
+            if let Some(payload) = self.take_frame()? {
+                return Ok(payload);
+            }
+            // Each read is individually bounded by the deadline; a peer
+            // trickling bytes restarts the clock, a silent one times
+            // out after exactly one deadline.
+            self.stream.set_read_timeout(Some(timeout)).map_err(|_| ChannelError::Disconnected)?;
+            match self.stream.read(&mut self.scratch) {
+                Ok(0) => return Err(ChannelError::Disconnected),
+                Ok(n) => {
+                    self.socket_received += n as u64;
+                    self.inbound.extend_from_slice(&self.scratch[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(map_read_error(&e)),
+            }
+        }
+    }
+
+    fn attribute_inbound(&mut self, phase: Phase) {
+        let bytes = std::mem::take(&mut self.pending_inbound);
+        if bytes > 0 {
+            self.stats.record(self.inbound_dir(), phase, bytes);
+        }
+    }
+
+    fn note_retransmits(&mut self, frames: u64) {
+        self.stats.retransmits += frames;
+    }
+
+    fn stats(&self) -> TrafficStats {
+        let mut out = self.stats.clone();
+        // Bytes whose frames were received but never attributed (e.g. a
+        // frame that failed its CRC) are still wire reality; charge
+        // them to the map phase so totals always match the socket.
+        if self.pending_inbound > 0 {
+            out.record(self.inbound_dir(), Phase::Map, self.pending_inbound);
+        }
+        out.roundtrips = u32::try_from(self.half_trips.div_ceil(2)).unwrap_or(u32::MAX);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = thread::spawn(move || listener.accept().unwrap().0);
+        let client = TcpStream::connect(addr).unwrap();
+        let server = join.join().unwrap();
+        (TcpTransport::client(client).unwrap(), TcpTransport::server(server).unwrap())
+    }
+
+    #[test]
+    fn frames_cross_the_socket_byte_exact() {
+        let (mut c, mut s) = pair();
+        c.send(b"hello over tcp", Phase::Setup).unwrap();
+        let got = s.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, b"hello over tcp");
+        s.attribute_inbound(Phase::Setup);
+        // Both sides agree on the wire size of what crossed.
+        assert_eq!(c.socket_sent(), s.socket_received());
+        assert_eq!(c.stats().c2s(Phase::Setup), s.stats().c2s(Phase::Setup));
+        assert_eq!(c.stats().total_bytes(), c.socket_sent());
+    }
+
+    #[test]
+    fn large_frames_reassemble_across_reads() {
+        let (c, mut s) = pair();
+        let big = vec![0xA5u8; 300_000];
+        let big2 = big.clone();
+        let join = thread::spawn(move || {
+            let mut c = c;
+            c.send(&big2, Phase::Delta).unwrap();
+            c.send(b"tail", Phase::Delta).unwrap();
+            c
+        });
+        let got = s.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(got, big);
+        let tail = s.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(tail, b"tail");
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn silence_times_out_and_hangup_disconnects() {
+        let (c, mut s) = pair();
+        assert_eq!(s.recv_timeout(Duration::from_millis(50)), Err(ChannelError::Timeout));
+        drop(c);
+        // After the peer hangs up the read sees EOF.
+        assert_eq!(s.recv_timeout(Duration::from_secs(5)), Err(ChannelError::Disconnected));
+    }
+
+    #[test]
+    fn corrupt_length_word_is_typed_not_oom() {
+        let (c, mut s) = pair();
+        // 0xFF continuation bytes forever: an impossible length word.
+        c.stream.try_clone().unwrap().write_all(&[0xFF; 12]).unwrap();
+        let err = s.recv_timeout(Duration::from_secs(5));
+        assert!(matches!(err, Err(ChannelError::Corrupt(_))), "{err:?}");
+    }
+
+    #[test]
+    fn roundtrips_count_direction_reversals() {
+        let (mut c, mut s) = pair();
+        for _ in 0..3 {
+            c.send(b"ping", Phase::Map).unwrap();
+            s.recv_timeout(Duration::from_secs(5)).unwrap();
+            s.attribute_inbound(Phase::Map);
+            s.send(b"pong", Phase::Map).unwrap();
+            c.recv_timeout(Duration::from_secs(5)).unwrap();
+            c.attribute_inbound(Phase::Map);
+        }
+        assert_eq!(c.stats().roundtrips, 3);
+        assert_eq!(s.stats().roundtrips, 3);
+    }
+}

@@ -23,9 +23,14 @@ pub mod crc;
 pub mod fault;
 pub mod link;
 pub mod stats;
+pub mod transport;
 
-pub use channel::{frame_wire_size, ChannelError, Endpoint, Frame, FrameError, RetryPolicy};
+pub use channel::{
+    decode_frame, encode_frame, frame_wire_size, ChannelError, Endpoint, Frame, FrameError,
+    RetryPolicy,
+};
 pub use crc::crc32;
 pub use fault::{FaultPlan, FaultRates};
 pub use link::LinkModel;
 pub use stats::{Direction, Phase, TrafficStats};
+pub use transport::{FaultTransport, Transport};

@@ -22,7 +22,9 @@ Static-analysis gate for the msync workspace. Enforces:
   hermeticity      workspace crates use first-party path deps only
   channel-discipline
                    no bare recv() in protocol-critical code; receives
-                   must be bounded (recv_timeout / try_recv)
+                   must be bounded (recv_timeout / try_recv); in socket
+                   crates (net) every read-family call additionally
+                   requires a preceding set_read_timeout deadline
 
 options:
   --json               machine-readable output

@@ -17,7 +17,11 @@
 //! * `channel-discipline` — no bare `recv()` in protocol-critical
 //!   crates; an unbounded receive hangs forever when the peer dies, so
 //!   every wait must go through `recv_timeout` (or a non-blocking
-//!   `try_recv`).
+//!   `try_recv`). In the socket crates the same rule additionally bans
+//!   blocking socket reads without a deadline: any `read`-family call
+//!   must be preceded (in the same file) by a `set_read_timeout`, so a
+//!   dead TCP peer surfaces as a typed timeout instead of a hung
+//!   session. Filesystem reads (`fs::`-qualified) are exempt.
 
 use crate::scanner::{blank_test_blocks, line_of, mask_source, next_nonspace, word_occurrences};
 use std::fmt;
@@ -106,6 +110,9 @@ pub struct LintConfig {
     pub protocol_critical: Vec<String>,
     /// Workspace-relative files holding wire formats: no narrowing casts.
     pub wire_modules: Vec<String>,
+    /// Crate directory names doing raw socket I/O: every `read`-family
+    /// call must have a `set_read_timeout` earlier in the same file.
+    pub socket_crates: Vec<String>,
     /// Crate directory names skipped entirely (excluded from the cargo
     /// workspace, so allowed registry deps and exempt from code rules).
     pub skip_crates: Vec<String>,
@@ -116,7 +123,7 @@ impl LintConfig {
     #[must_use]
     pub fn msync() -> Self {
         LintConfig {
-            protocol_critical: ["hashes", "protocol", "rsync", "recon", "core"]
+            protocol_critical: ["hashes", "protocol", "rsync", "recon", "core", "net"]
                 .map(str::to_owned)
                 .to_vec(),
             wire_modules: [
@@ -124,9 +131,12 @@ impl LintConfig {
                 "crates/protocol/src/channel.rs",
                 "crates/protocol/src/crc.rs",
                 "crates/compress/src/vcdiff.rs",
+                "crates/core/src/pipeline.rs",
+                "crates/net/src/tcp.rs",
             ]
             .map(str::to_owned)
             .to_vec(),
+            socket_crates: vec!["net".to_owned()],
             skip_crates: vec!["bench".to_owned()],
         }
     }
@@ -157,14 +167,21 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
         }
         check_crate_headers(root, &dir.join("src/lib.rs"), &mut findings)?;
         check_manifest(root, &dir.join("Cargo.toml"), false, &mut findings)?;
-        if cfg.protocol_critical.contains(&name) {
+        let critical = cfg.protocol_critical.contains(&name);
+        let socket = cfg.socket_crates.contains(&name);
+        if critical || socket {
             for file in rust_sources(&dir.join("src"))? {
                 let rel = rel_path(root, &file);
                 let text = fs::read_to_string(&file)?;
                 let scannable = blank_test_blocks(&mask_source(&text));
-                check_panic_freedom(&rel, &scannable, &mut findings);
-                check_determinism(&rel, &scannable, &mut findings);
-                check_channel_discipline(&rel, &scannable, &mut findings);
+                if critical {
+                    check_panic_freedom(&rel, &scannable, &mut findings);
+                    check_determinism(&rel, &scannable, &mut findings);
+                    check_channel_discipline(&rel, &scannable, &mut findings);
+                }
+                if socket {
+                    check_socket_discipline(&rel, &scannable, &mut findings);
+                }
             }
         }
     }
@@ -304,6 +321,38 @@ fn check_channel_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) 
     }
 }
 
+/// Rule `channel-discipline`, socket-crate extension: a blocking
+/// socket read with no deadline hangs forever on a dead peer, exactly
+/// like a bare `recv()`. Every `read`-family call must therefore be
+/// preceded — earlier in the same file — by a `set_read_timeout`
+/// call establishing the deadline. `fs::`-qualified reads are
+/// filesystem I/O, not socket I/O, and are exempt.
+fn check_socket_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let deadline_at: Option<usize> = word_occurrences(text, "set_read_timeout").next();
+    for word in ["read", "read_exact", "read_to_end", "read_to_string"] {
+        for pos in word_occurrences(text, word) {
+            let after = next_nonspace(text, pos + word.len());
+            if !after.is_some_and(|(_, b)| b == b'(') {
+                continue;
+            }
+            if text[..pos].ends_with("fs::") {
+                continue;
+            }
+            if deadline_at.is_some_and(|d| d < pos) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::ChannelDiscipline,
+                file: rel.to_owned(),
+                line: line_of(text, pos),
+                message: format!(
+                    "blocking `{word}(` with no preceding `set_read_timeout` in this file; an undeadlined socket read hangs forever on a dead peer"
+                ),
+            });
+        }
+    }
+}
+
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 /// Rule `lossy-cast`.
@@ -427,6 +476,28 @@ mod tests {
         check_channel_discipline("c.rs", text, &mut fs);
         assert_eq!(fs.len(), 2, "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == Rule::ChannelDiscipline));
+    }
+
+    #[test]
+    fn undeadlined_socket_reads_flagged() {
+        // No set_read_timeout anywhere: every socket read fires.
+        let text = "stream.read(&mut buf); stream.read_exact(&mut b); fs::read(&p);";
+        let mut fs = Vec::new();
+        check_socket_discipline("t.rs", text, &mut fs);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == Rule::ChannelDiscipline));
+    }
+
+    #[test]
+    fn deadlined_socket_reads_allowed() {
+        let text = "s.set_read_timeout(Some(t))?;\nlet n = s.read(&mut buf)?;";
+        let mut fs = Vec::new();
+        check_socket_discipline("t.rs", text, &mut fs);
+        assert!(fs.is_empty(), "{fs:?}");
+        // ...but a read *before* the first deadline still fires.
+        let early = "s.read(&mut buf)?;\ns.set_read_timeout(Some(t))?;";
+        check_socket_discipline("t.rs", early, &mut fs);
+        assert_eq!(fs.len(), 1, "{fs:?}");
     }
 
     #[test]

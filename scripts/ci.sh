@@ -16,6 +16,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> network loopback gate (live daemon on 127.0.0.1, release)"
+cargo test --release -q --test net_loopback
+
 echo "==> fault-injection soak (seeded, release)"
 MSYNC_SOAK_SEEDS="${MSYNC_SOAK_SEEDS:-40}" \
     cargo test --release -q --test fault_injection

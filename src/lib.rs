@@ -29,6 +29,9 @@
 //!   a related-work baseline.
 //! * [`recon`] — changed-file identification (Merkle difference and
 //!   group-testing reconciliation), the §4 related-work substrate.
+//! * [`net`] — the real network layer: a TCP-backed transport speaking
+//!   the same frame codec, the `msync serve` daemon, and the
+//!   `--remote` client running the pipelined collection scheduler.
 //! * [`corpus`] — synthetic data sets with the statistical shape of the
 //!   paper's gcc, emacs, and web-crawl collections.
 //!
@@ -55,6 +58,7 @@ pub use msync_compress as compress;
 pub use msync_core as core;
 pub use msync_corpus as corpus;
 pub use msync_hash as hashes;
+pub use msync_net as net;
 pub use msync_protocol as protocol;
 pub use msync_recon as recon;
 pub use msync_rsync as rsync;
