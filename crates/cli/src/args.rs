@@ -38,6 +38,8 @@ pub enum Command {
         /// injector; required to combine `--remote` with
         /// `--fault-profile`.
         fault_wrap: bool,
+        /// Write a JSONL trace journal of the run to this file.
+        trace_out: Option<PathBuf>,
     },
     /// Serve a directory to remote sync clients over TCP.
     Serve {
@@ -45,6 +47,9 @@ pub enum Command {
         root: PathBuf,
         /// Listen address (e.g. `127.0.0.1:9631`, port 0 for ephemeral).
         listen: String,
+        /// Rewrite this file with Prometheus-style aggregate metrics
+        /// after every finished session.
+        metrics_out: Option<PathBuf>,
     },
     /// Per-round protocol trace for one file pair.
     Inspect {
@@ -92,10 +97,11 @@ msync — multi-round file synchronization over slow links
 
 USAGE:
     msync sync <OLD> <NEW> [--config FILE | --preset NAME] [--compare] [--write DIR]
-               [--fault-profile NAME] [--fault-seed N]
+               [--fault-profile NAME] [--fault-seed N] [--trace-out FILE]
     msync sync <OLD> --remote ADDR [--config FILE | --preset NAME] [--write DIR]
                [--pipeline-depth N] [--fault-profile NAME --fault-wrap] [--fault-seed N]
-    msync serve <ROOT> [--listen ADDR]
+               [--trace-out FILE]
+    msync serve <ROOT> [--listen ADDR] [--metrics-out FILE]
     msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
     msync chunks <FILE> [--avg BYTES]
     msync params [--preset NAME]
@@ -115,6 +121,13 @@ TCP, batching up to --pipeline-depth files (default 32) into one frame
 per direction per round. --compare needs both sides locally and cannot
 combine with --remote. Injecting faults into a real socket is opt-in:
 --remote with --fault-profile additionally requires --fault-wrap.
+
+Observability: `msync sync ... --trace-out run.jsonl` writes one JSON
+object per trace event (frame charges, map rounds, faults, sessions;
+schema v1 — validate with `cargo run -p xtask -- check-journal`), and
+`msync serve ... --metrics-out metrics.prom` keeps a Prometheus-style
+rendering of the daemon's aggregate counters and latency histograms
+fresh after every session.
 ";
 
 /// Parse `argv[1..]`.
@@ -139,6 +152,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let mut remote: Option<String> = None;
             let mut pipeline_depth: Option<usize> = None;
             let mut fault_wrap = false;
+            let mut trace_out: Option<PathBuf> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--config" => {
@@ -180,6 +194,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                         pipeline_depth = Some(depth);
                     }
                     "--fault-wrap" if sub == "sync" => fault_wrap = true,
+                    "--trace-out" if sub == "sync" => {
+                        trace_out =
+                            Some(PathBuf::from(it.next().ok_or("--trace-out needs a file path")?))
+                    }
                     other => return Err(format!("unknown flag `{other}` for `{sub}`")),
                 }
             }
@@ -225,6 +243,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     remote,
                     pipeline_depth: pipeline_depth.unwrap_or(32),
                     fault_wrap,
+                    trace_out,
                 }
             } else {
                 let new = new.ok_or("missing <NEW> path")?;
@@ -234,13 +253,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         "serve" => {
             let root = PathBuf::from(it.next().ok_or("missing <ROOT> directory")?);
             let mut listen = "127.0.0.1:9631".to_string();
+            let mut metrics_out: Option<PathBuf> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--listen" => listen = it.next().ok_or("--listen needs an address")?.clone(),
+                    "--metrics-out" => {
+                        metrics_out =
+                            Some(PathBuf::from(it.next().ok_or("--metrics-out needs a file path")?))
+                    }
                     other => return Err(format!("unknown flag `{other}` for `serve`")),
                 }
             }
-            Command::Serve { root, listen }
+            Command::Serve { root, listen, metrics_out }
         }
         "chunks" => {
             let file = PathBuf::from(it.next().ok_or("missing <FILE> path")?);
@@ -316,6 +340,7 @@ mod tests {
                 remote,
                 pipeline_depth,
                 fault_wrap,
+                trace_out,
             } => {
                 assert_eq!(old, PathBuf::from("a"));
                 assert_eq!(new, Some(PathBuf::from("b")));
@@ -327,6 +352,7 @@ mod tests {
                 assert!(remote.is_none());
                 assert_eq!(pipeline_depth, 32);
                 assert!(!fault_wrap);
+                assert!(trace_out.is_none());
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -337,7 +363,11 @@ mod tests {
         let cli = parse(&["serve", "/srv/tree"]).unwrap();
         assert_eq!(
             cli.command,
-            Command::Serve { root: PathBuf::from("/srv/tree"), listen: "127.0.0.1:9631".into() }
+            Command::Serve {
+                root: PathBuf::from("/srv/tree"),
+                listen: "127.0.0.1:9631".into(),
+                metrics_out: None,
+            }
         );
         let cli = parse(&["serve", "/srv/tree", "--listen", "0.0.0.0:7777"]).unwrap();
         match cli.command {
@@ -346,6 +376,34 @@ mod tests {
         }
         assert!(parse(&["serve"]).unwrap_err().contains("ROOT"));
         assert!(parse(&["serve", "/srv", "--compare"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let cli = parse(&["sync", "a", "b", "--trace-out", "run.jsonl"]).unwrap();
+        match cli.command {
+            Command::Sync { trace_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("run.jsonl")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Remote syncs trace too.
+        let cli = parse(&["sync", "a", "--remote", "h:1", "--trace-out", "t.jsonl"]).unwrap();
+        match cli.command {
+            Command::Sync { trace_out, .. } => assert!(trace_out.is_some()),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["sync", "a", "b", "--trace-out"]).unwrap_err().contains("file path"));
+        assert!(parse(&["inspect", "a", "b", "--trace-out", "x"]).is_err());
+
+        let cli = parse(&["serve", "/srv", "--metrics-out", "m.prom"]).unwrap();
+        match cli.command {
+            Command::Serve { metrics_out, .. } => {
+                assert_eq!(metrics_out, Some(PathBuf::from("m.prom")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["serve", "/srv", "--metrics-out"]).unwrap_err().contains("file path"));
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! so the logic is unit-testable without capturing stdout.
 
 use crate::args::{preset_config, Cli, Command, ConfigSource, USAGE};
-use msync_core::{sync_collection, sync_file, FileEntry, ProtocolConfig};
+use msync_core::{sync_collection_traced, sync_file, FileEntry, ProtocolConfig};
 use msync_corpus::fsload::load_dir;
 use msync_corpus::Collection;
 use msync_protocol::LinkModel;
+use msync_trace::{render_journal, Recorder};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -30,6 +31,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             remote,
             pipeline_depth,
             fault_wrap,
+            trace_out,
         } => match (new, remote) {
             (_, Some(addr)) => {
                 let faults = if *fault_wrap { fault_profile.as_deref() } else { None };
@@ -41,43 +43,51 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                     faults,
                     *fault_seed,
                     write.as_deref(),
+                    trace_out.as_deref(),
                 )
             }
             (Some(new), None) => match fault_profile {
-                Some(profile) => faulty_sync_cmd(old, new, config, profile, *fault_seed),
-                None => sync_cmd(old, new, config, *compare, write.as_deref()),
+                Some(profile) => {
+                    faulty_sync_cmd(old, new, config, profile, *fault_seed, trace_out.as_deref())
+                }
+                None => {
+                    sync_cmd(old, new, config, *compare, write.as_deref(), trace_out.as_deref())
+                }
             },
             // parse_args guarantees one of the two is present.
             (None, None) => Err("missing <NEW> path (or --remote ADDR)".into()),
         },
-        Command::Serve { root, listen } => serve_cmd(root, listen),
+        Command::Serve { root, listen, metrics_out } => {
+            serve_cmd(root, listen, metrics_out.as_deref())
+        }
         Command::Inspect { old, new, config } => inspect(old, new, config),
     }
 }
 
 /// `serve`: load the root directory once, then serve it to every
 /// connection until killed. Never returns on success.
-fn serve_cmd(root: &Path, listen: &str) -> Result<String, String> {
+fn serve_cmd(root: &Path, listen: &str, metrics_out: Option<&Path>) -> Result<String, String> {
     if !root.is_dir() {
         return Err(format!("{} is not a directory", root.display()));
     }
     let col = load_dir(root).map_err(|e| format!("cannot read {}: {e}", root.display()))?;
     let files = entries(&col);
     let summary = format!("serving {} file(s), {}", files.len(), human(col.total_bytes()));
+    let opts = msync_net::DaemonOptions {
+        metrics_out: metrics_out.map(Path::to_path_buf),
+        ..Default::default()
+    };
     let daemon = msync_net::Daemon::spawn(
         listen,
         files,
-        msync_net::DaemonOptions::default(),
+        opts,
         |report: msync_net::daemon::SessionReport| {
             let peer =
                 report.peer.map_or_else(|| "<unknown peer>".to_string(), |addr| addr.to_string());
             match report.result {
                 Ok(outcome) => println!(
-                    "session {peer}: {} of {} file(s) engaged, {} on the wire, {} roundtrips",
-                    outcome.sessions,
-                    outcome.files,
-                    human(outcome.traffic.total_bytes()),
-                    outcome.traffic.roundtrips,
+                    "session {peer}: {} of {} file(s) engaged, {}",
+                    outcome.sessions, outcome.files, outcome.traffic,
                 ),
                 Err(e) => println!("session {peer}: failed: {e}"),
             }
@@ -85,12 +95,40 @@ fn serve_cmd(root: &Path, listen: &str) -> Result<String, String> {
     )
     .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
     println!("{summary}");
+    if let Some(path) = metrics_out {
+        println!("metrics → {} (rewritten after every session)", path.display());
+    }
     println!("listening on {} (ctrl-c to stop)", daemon.local_addr());
     daemon.wait();
     Ok(String::new())
 }
 
+/// A live recorder when `--trace-out` was given, otherwise off (so the
+/// untraced path pays nothing).
+fn trace_recorder(trace_out: Option<&Path>) -> Recorder {
+    if trace_out.is_some() {
+        Recorder::system()
+    } else {
+        Recorder::off()
+    }
+}
+
+/// Drain a recorder into its JSONL journal file, if one was requested.
+fn write_journal(
+    report: &mut String,
+    recorder: &Recorder,
+    path: Option<&Path>,
+) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let events = recorder.drain_events();
+    fs::write(path, render_journal(&events))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    let _ = writeln!(report, "trace journal: {} event(s) → {}", events.len(), path.display());
+    Ok(())
+}
+
 /// `sync --remote`: pipelined collection sync against a live daemon.
+#[allow(clippy::too_many_arguments)]
 fn remote_sync_cmd(
     old: &Path,
     addr: &str,
@@ -99,6 +137,7 @@ fn remote_sync_cmd(
     fault_profile: Option<&str>,
     fault_seed: u64,
     write: Option<&Path>,
+    trace_out: Option<&Path>,
 ) -> Result<String, String> {
     let cfg = load_config(config)?;
     let old_entries: Vec<FileEntry> = if old.exists() {
@@ -111,8 +150,10 @@ fn remote_sync_cmd(
         Vec::new()
     };
 
+    let recorder = trace_recorder(trace_out);
     let mut opts = msync_net::RemoteOptions { cfg, ..Default::default() };
     opts.pipeline.depth = pipeline_depth;
+    opts.recorder = recorder.clone();
     if let Some(profile) = fault_profile {
         let plan = msync_protocol::FaultPlan::profile(profile).ok_or_else(|| {
             format!(
@@ -178,6 +219,7 @@ fn remote_sync_cmd(
         }
         let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
     }
+    write_journal(&mut report, &recorder, trace_out)?;
     Ok(report)
 }
 
@@ -231,11 +273,13 @@ fn sync_cmd(
     config: &ConfigSource,
     compare: bool,
     write: Option<&Path>,
+    trace_out: Option<&Path>,
 ) -> Result<String, String> {
     let cfg = load_config(config)?;
     let (old_col, new_col) = load_pair(old, new)?;
-    let out =
-        sync_collection(&entries(&old_col), &entries(&new_col), &cfg).map_err(|e| e.to_string())?;
+    let recorder = trace_recorder(trace_out);
+    let out = sync_collection_traced(&entries(&old_col), &entries(&new_col), &cfg, &recorder)
+        .map_err(|e| e.to_string())?;
 
     let mut report = String::new();
     let raw = new_col.total_bytes();
@@ -254,14 +298,7 @@ fn sync_cmd(
         100.0 * t.total_bytes() as f64 / raw.max(1) as f64,
         t.roundtrips
     );
-    let _ = writeln!(
-        report,
-        "  map s→c {} · map c→s {} · delta {} · setup {}",
-        human(t.s2c(msync_protocol::Phase::Map)),
-        human(t.c2s(msync_protocol::Phase::Map)),
-        human(t.s2c(msync_protocol::Phase::Delta) + t.c2s(msync_protocol::Phase::Delta)),
-        human(t.s2c(msync_protocol::Phase::Setup) + t.c2s(msync_protocol::Phase::Setup)),
-    );
+    report.push_str(&t.render_table());
     let _ = writeln!(report, "estimated transfer time:");
     for (name, link) in [
         ("dial-up", LinkModel::dialup()),
@@ -308,6 +345,7 @@ fn sync_cmd(
         }
         let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
     }
+    write_journal(&mut report, &recorder, trace_out)?;
     Ok(report)
 }
 
@@ -320,6 +358,7 @@ fn faulty_sync_cmd(
     config: &ConfigSource,
     profile: &str,
     seed: u64,
+    trace_out: Option<&Path>,
 ) -> Result<String, String> {
     let cfg = load_config(config)?;
     let plan = msync_protocol::FaultPlan::profile(profile).ok_or_else(|| {
@@ -332,6 +371,7 @@ fn faulty_sync_cmd(
 
     let mut report = String::new();
     let _ = writeln!(report, "fault profile `{profile}`, seed {seed}:");
+    let recorder = trace_recorder(trace_out);
     let mut total = msync_protocol::TrafficStats::new();
     let mut failures = 0usize;
     let mut fallbacks = 0usize;
@@ -342,7 +382,7 @@ fn faulty_sync_cmd(
             fault_seed: seed.wrapping_add(i as u64),
             ..Default::default()
         };
-        match msync_core::sync_over_channel_with(&old_data, &nf.data, &cfg, &opts) {
+        match msync_core::sync_over_channel_traced(&old_data, &nf.data, &cfg, &opts, &recorder) {
             Ok(out) => {
                 let verified = if out.reconstructed == nf.data { "exact" } else { "MISMATCH" };
                 fallbacks += usize::from(out.fell_back);
@@ -371,6 +411,7 @@ fn faulty_sync_cmd(
         human(total.total_bytes()),
         total.retransmits,
     );
+    write_journal(&mut report, &recorder, trace_out)?;
     Ok(report)
 }
 

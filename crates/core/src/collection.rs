@@ -16,9 +16,10 @@
 //!   files can be processed simultaneously".
 
 use crate::config::ProtocolConfig;
-use crate::session::{sync_file, SyncError};
+use crate::session::{sync_file, sync_file_with, SyncError};
 use crate::stats::SyncStats;
 use msync_protocol::{frame_wire_size, Direction, Phase, TrafficStats};
+use msync_trace::{DirTag, EventKind, PhaseTag, Recorder};
 
 /// A named file in a collection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +73,23 @@ pub fn sync_collection(
     new: &[FileEntry],
     cfg: &ProtocolConfig,
 ) -> Result<CollectionOutcome, SyncError> {
+    sync_collection_traced(old, new, cfg, &Recorder::off())
+}
+
+/// [`sync_collection`] with a trace [`Recorder`] attached.
+///
+/// Every byte charged to the outcome's `traffic` is mirrored by exactly
+/// one `frame_send`/`frame_recv` trace event (the collection-level name
+/// listings here, the per-session charges inside each file's driver), so
+/// a journal's per-direction/per-phase byte sums reproduce the returned
+/// [`TrafficStats`] exactly. File ids in events are indices into the
+/// sorted-name order, matching the outcome's `files`/`per_file` order.
+pub fn sync_collection_traced(
+    old: &[FileEntry],
+    new: &[FileEntry],
+    cfg: &ProtocolConfig,
+    recorder: &Recorder,
+) -> Result<CollectionOutcome, SyncError> {
     let mut new_sorted: Vec<&FileEntry> = new.iter().collect();
     new_sorted.sort_by(|a, b| a.name.cmp(&b.name));
     let mut traffic = TrafficStats::new();
@@ -81,6 +99,11 @@ pub fn sync_collection(
     // per-file session, so only the name bytes are charged here.
     let c2s_listing: u64 = old.iter().map(|f| frame_wire_size(f.name.len())).sum::<u64>().max(1);
     traffic.record(Direction::ClientToServer, Phase::Setup, c2s_listing);
+    recorder.record(EventKind::FrameSend {
+        dir: DirTag::C2s,
+        phase: PhaseTag::Setup,
+        bytes: c2s_listing,
+    });
     let old_names: std::collections::HashSet<&str> = old.iter().map(|f| f.name.as_str()).collect();
     let new_names: std::collections::HashSet<&str> = new.iter().map(|f| f.name.as_str()).collect();
     let s2c_listing: u64 = new
@@ -91,6 +114,11 @@ pub fn sync_collection(
         + old.iter().filter(|f| !new_names.contains(f.name.as_str())).count() as u64
         + 1;
     traffic.record(Direction::ServerToClient, Phase::Setup, s2c_listing);
+    recorder.record(EventKind::FrameRecv {
+        dir: DirTag::S2c,
+        phase: PhaseTag::Setup,
+        bytes: s2c_listing,
+    });
 
     let deleted = old.iter().filter(|f| !new_names.contains(f.name.as_str())).count();
 
@@ -120,7 +148,7 @@ pub fn sync_collection(
             *slot = f;
         }
     }
-    for nf in new_sorted {
+    for (file_id, nf) in new_sorted.into_iter().enumerate() {
         let mut old_data = old_by_name.get(nf.name.as_str()).map(|f| f.data.as_slice());
         let mut was_rename = false;
         if old_data.is_none() {
@@ -131,16 +159,18 @@ pub fn sync_collection(
                 // Charge the base-name reference the server sends.
                 renamed += 1;
                 was_rename = true;
-                traffic.record(
-                    Direction::ServerToClient,
-                    Phase::Setup,
-                    frame_wire_size(base.name.len()),
-                );
+                let base_ref = frame_wire_size(base.name.len());
+                traffic.record(Direction::ServerToClient, Phase::Setup, base_ref);
+                recorder.record(EventKind::FrameRecv {
+                    dir: DirTag::S2c,
+                    phase: PhaseTag::Setup,
+                    bytes: base_ref,
+                });
                 old_data = Some(base.data.as_slice());
             }
         }
         let old_bytes = old_data.unwrap_or(&empty);
-        let outcome = sync_file(old_bytes, &nf.data, cfg)?;
+        let outcome = sync_file_with(old_bytes, &nf.data, cfg, recorder, file_id as u64)?;
         debug_assert_eq!(outcome.reconstructed, nf.data);
         // Renames are categorized as `created` (+`renamed`), not
         // `unchanged` — the categories must partition the files.

@@ -65,13 +65,14 @@ pub mod verify;
 pub use adaptive::{sync_collection_adaptive, sync_file_adaptive, AdaptiveOutcome};
 pub use broadcast::{sync_broadcast, BroadcastOutcome};
 pub use collection::{
-    sync_collection, sync_collection_with, CollectionOutcome, FileEntry, ReconStrategy,
+    sync_collection, sync_collection_traced, sync_collection_with, CollectionOutcome, FileEntry,
+    ReconStrategy,
 };
 pub use config::{BatchConfig, ChannelOptions, ProtocolConfig, VerifyStrategy};
 pub use map::{FileMap, Segment};
 pub use pipeline::{serve_collection, sync_collection_client, PipelineOptions, ServeOutcome};
 pub use session::{
-    serve_file_transport, sync_file, sync_file_transport, sync_over_channel,
-    sync_over_channel_with, SyncError, SyncOutcome,
+    serve_file_transport, sync_file, sync_file_traced, sync_file_transport, sync_file_transport_as,
+    sync_over_channel, sync_over_channel_traced, sync_over_channel_with, SyncError, SyncOutcome,
 };
 pub use stats::{LevelStats, SyncStats};

@@ -37,6 +37,7 @@ use std::collections::{HashMap, HashSet};
 
 use msync_hash::{BitReader, BitWriter};
 use msync_protocol::{Direction, Phase, RetryPolicy, TrafficStats, Transport};
+use msync_trace::{EventKind, HistKind};
 
 use crate::collection::{CollectionOutcome, FileEntry};
 use crate::config::ProtocolConfig;
@@ -190,6 +191,8 @@ struct Slot<'a> {
     existed: bool,
     traffic: TrafficStats,
     done: Option<(Vec<u8>, bool)>,
+    /// Recorder timestamp at admission (0 when tracing is off).
+    t0_us: u64,
 }
 
 /// Sync the local `old` collection against a remote server over `t`,
@@ -206,6 +209,7 @@ pub fn sync_collection_client(
 ) -> Result<CollectionOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
     let depth = opts.depth.max(1);
+    let rec = t.recorder();
     let mut link = ArqLink::client(t, opts.retry);
 
     // 1. Roster exchange: our names out (sorted for determinism), the
@@ -225,15 +229,20 @@ pub fn sync_collection_client(
     const EMPTY: &[u8] = &[];
     let mut slots: Vec<Slot<'_>> = server_names
         .iter()
-        .map(|name| {
+        .enumerate()
+        .map(|(id, name)| {
             let old_entry = old_by_name.get(name.as_str()).copied();
             let old_data = old_entry.map_or(EMPTY, |f| f.data.as_slice());
+            let mut session = ClientSession::new(old_data, cfg);
+            session.recorder = rec.clone();
+            session.file_id = id as u64;
             Slot {
-                session: ClientSession::new(old_data, cfg),
+                session,
                 old_data,
                 existed: old_entry.is_some(),
                 traffic: TrafficStats::new(),
                 done: None,
+                t0_us: 0,
             }
         })
         .collect();
@@ -243,13 +252,23 @@ pub fn sync_collection_client(
     let mut outbox: Vec<(usize, Vec<Part>)> = Vec::new();
     let mut next_admit = 0usize;
     let mut in_flight = 0usize;
+    let mut done_count = 0usize;
     while next_admit < n && in_flight < depth {
         let id = next_admit;
         next_admit += 1;
         in_flight += 1;
+        rec.record(EventKind::SessionStart { file_id: id as u64 });
+        slots[id].t0_us = rec.now_micros();
         let part = slots[id].session.request();
         slots[id].traffic.record(Direction::ClientToServer, part.phase, part.payload.len() as u64);
         outbox.push((id, vec![part]));
+    }
+    if rec.is_enabled() && n > 0 {
+        rec.record(EventKind::WindowAdvance {
+            in_flight: in_flight as u64,
+            admitted: next_admit as u64,
+            done: done_count as u64,
+        });
     }
     while !outbox.is_empty() {
         let batch = encode_batch(&outbox);
@@ -268,8 +287,20 @@ pub fn sync_collection_client(
             }
             match slot.session.handle(parts)? {
                 ClientAction::Done { data, fell_back } => {
+                    if rec.is_enabled() {
+                        rec.observe(
+                            HistKind::SessionDuration,
+                            rec.now_micros().saturating_sub(slot.t0_us),
+                        );
+                        rec.record(EventKind::SessionEnd {
+                            file_id: id as u64,
+                            ok: true,
+                            fell_back,
+                        });
+                    }
                     slot.done = Some((data, fell_back));
                     in_flight -= 1;
+                    done_count += 1;
                 }
                 ClientAction::Reply(cparts) => {
                     if cparts.is_empty() {
@@ -293,6 +324,8 @@ pub fn sync_collection_client(
             let id = next_admit;
             next_admit += 1;
             in_flight += 1;
+            rec.record(EventKind::SessionStart { file_id: id as u64 });
+            slots[id].t0_us = rec.now_micros();
             let part = slots[id].session.request();
             slots[id].traffic.record(
                 Direction::ClientToServer,
@@ -300,6 +333,13 @@ pub fn sync_collection_client(
                 part.payload.len() as u64,
             );
             outbox.push((id, vec![part]));
+        }
+        if rec.is_enabled() {
+            rec.record(EventKind::WindowAdvance {
+                in_flight: in_flight as u64,
+                admitted: next_admit as u64,
+                done: done_count as u64,
+            });
         }
     }
 

@@ -37,6 +37,7 @@ use msync_hash::{file_fingerprint, BitReader, BitWriter, Md5};
 use msync_protocol::{
     frame_wire_size, ChannelError, Direction, Endpoint, Phase, RetryPolicy, TrafficStats, Transport,
 };
+use msync_trace::{DirTag, EventKind, HistKind, Recorder};
 use std::collections::{HashMap, HashSet};
 
 /// Synchronization failure. A session never panics, never hangs, and
@@ -383,6 +384,10 @@ pub(crate) struct ClientSession<'a> {
     /// Mirror of the server's §5.4 subround bookkeeping.
     excluded: Coverage,
     excluded_level: Option<u32>,
+    /// Trace recorder (off unless the driver attached one) and the
+    /// session's roster index for event attribution.
+    pub(crate) recorder: Recorder,
+    pub(crate) file_id: u64,
 }
 
 impl<'a> ClientSession<'a> {
@@ -406,6 +411,8 @@ impl<'a> ClientSession<'a> {
             index: None,
             excluded: Coverage::new(),
             excluded_level: None,
+            recorder: Recorder::off(),
+            file_id: 0,
         }
     }
 
@@ -445,6 +452,10 @@ impl<'a> ClientSession<'a> {
                         // a zero varint is exactly one byte).
                         let delta = &part.payload[1..];
                         self.delta_bytes = delta.len() as u64;
+                        self.recorder.record(EventKind::DeltaPhase {
+                            file_id: self.file_id,
+                            delta_bytes: self.delta_bytes,
+                        });
                         let reference = self.map.reference_from_old(self.old);
                         let result = msync_compress::delta_decode(&reference, delta)
                             .ok()
@@ -514,6 +525,11 @@ impl<'a> ClientSession<'a> {
                             if let Some(stats) = self.levels.last_mut() {
                                 stats.confirmed += confirmed_count as usize;
                             }
+                            self.recorder.record(EventKind::VerifyBatch {
+                                file_id: self.file_id,
+                                candidates: self.candidates.len() as u64,
+                                confirmed: confirmed_count,
+                            });
                             self.state = CState::AwaitSection;
                         }
                     }
@@ -531,6 +547,7 @@ impl<'a> ClientSession<'a> {
     /// Parse one (sub)round's hashes, find candidates, and compose the
     /// candidate bitmap + first verification batch.
     fn process_round(&mut self, vidx: u32, r: &mut BitReader<'_>) -> Result<Part, SyncError> {
+        let round_t0 = self.recorder.now_micros();
         let level = vidx / 2;
         let d = self.cfg.block_size_at(level) as u64;
         let Some((items, _, sub)) = round_items(
@@ -577,6 +594,8 @@ impl<'a> ClientSession<'a> {
             suppressed: 0,
             candidates: 0,
             confirmed: 0,
+            wall_us: 0,
+            retransmits: 0,
         };
 
         let mut candidates = Vec::new();
@@ -630,6 +649,16 @@ impl<'a> ClientSession<'a> {
             }
         }
         stats.candidates = candidates.len();
+        if self.recorder.is_enabled() {
+            stats.wall_us = self.recorder.now_micros().saturating_sub(round_t0);
+            self.recorder.observe(HistKind::RoundDuration, stats.wall_us);
+            self.recorder.record(EventKind::MapRound {
+                file_id: self.file_id,
+                block_size: d,
+                items: stats.items as u64,
+                candidates: stats.candidates as u64,
+            });
+        }
         self.levels.push(stats);
         self.items = items;
         self.candidates = candidates;
@@ -761,22 +790,71 @@ impl<'a> ClientSession<'a> {
 /// Synchronize one file: the client holds `old`, the server holds `new`;
 /// returns the client's (always exact) reconstruction plus cost stats.
 pub fn sync_file(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOutcome, SyncError> {
+    sync_file_with(old, new, cfg, &Recorder::off(), 0)
+}
+
+/// [`sync_file`] with a trace recorder attached: the driver emits
+/// session/round span events and mirrors every byte it charges to the
+/// traffic stats as a frame event, so the journal's per-(direction,
+/// phase) sums equal the returned `TrafficStats` exactly. Because this
+/// driver is single-threaded lockstep, a run under a deterministic
+/// `ManualClock` produces a byte-identical journal every time.
+pub fn sync_file_traced(
+    old: &[u8],
+    new: &[u8],
+    cfg: &ProtocolConfig,
+    recorder: &Recorder,
+) -> Result<SyncOutcome, SyncError> {
+    sync_file_with(old, new, cfg, recorder, 0)
+}
+
+pub(crate) fn sync_file_with(
+    old: &[u8],
+    new: &[u8],
+    cfg: &ProtocolConfig,
+    rec: &Recorder,
+    file_id: u64,
+) -> Result<SyncOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
+    let session_t0 = rec.now_micros();
+    rec.record(EventKind::SessionStart { file_id });
     let mut client = ClientSession::new(old, cfg);
+    client.recorder = rec.clone();
+    client.file_id = file_id;
     let mut server = ServerSession::new(new, cfg);
     let mut traffic = TrafficStats::new();
 
     let req = client.request();
-    traffic.record(Direction::ClientToServer, req.phase, frame_wire_size(req.payload.len()));
+    let req_wire = frame_wire_size(req.payload.len());
+    traffic.record(Direction::ClientToServer, req.phase, req_wire);
+    rec.record(EventKind::FrameSend { dir: DirTag::C2s, phase: req.phase.into(), bytes: req_wire });
     let mut parts = server.on_request(&req.payload)?;
     let mut roundtrips = 1u32;
 
     loop {
+        // One loop iteration is one exchange: the server's message plus
+        // (unless the session ends) the client's reply.
+        let mut exchange_bytes = 0u64;
         for p in &parts {
-            traffic.record(Direction::ServerToClient, p.phase, frame_wire_size(p.payload.len()));
+            let wire = frame_wire_size(p.payload.len());
+            traffic.record(Direction::ServerToClient, p.phase, wire);
+            rec.record(EventKind::FrameRecv {
+                dir: DirTag::S2c,
+                phase: p.phase.into(),
+                bytes: wire,
+            });
+            exchange_bytes += wire;
         }
         match client.handle(parts)? {
             ClientAction::Done { data, fell_back } => {
+                if rec.is_enabled() {
+                    rec.observe(HistKind::BytesPerRound, exchange_bytes);
+                    rec.observe(
+                        HistKind::SessionDuration,
+                        rec.now_micros().saturating_sub(session_t0),
+                    );
+                }
+                rec.record(EventKind::SessionEnd { file_id, ok: true, fell_back });
                 traffic.roundtrips = roundtrips;
                 let stats = SyncStats {
                     traffic,
@@ -791,11 +869,17 @@ pub fn sync_file(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOut
                     return Err(SyncError::Desync("client had nothing to say"));
                 }
                 for p in &cparts {
-                    traffic.record(
-                        Direction::ClientToServer,
-                        p.phase,
-                        frame_wire_size(p.payload.len()),
-                    );
+                    let wire = frame_wire_size(p.payload.len());
+                    traffic.record(Direction::ClientToServer, p.phase, wire);
+                    rec.record(EventKind::FrameSend {
+                        dir: DirTag::C2s,
+                        phase: p.phase.into(),
+                        bytes: wire,
+                    });
+                    exchange_bytes += wire;
+                }
+                if rec.is_enabled() {
+                    rec.observe(HistKind::BytesPerRound, exchange_bytes);
                 }
                 roundtrips += 1;
                 parts = server.on_client(&cparts)?;
@@ -931,15 +1015,39 @@ pub(crate) struct ArqLink<'a> {
     /// forth indefinitely; the client's recovery driver is its receive
     /// timeout instead.
     resend_on_stale: bool,
+    /// Trace recorder inherited from the transport, plus the send
+    /// timestamp of the in-flight message for RTT measurement.
+    rec: Recorder,
+    last_send_us: u64,
 }
 
 impl<'a> ArqLink<'a> {
     pub(crate) fn client(t: &'a mut dyn Transport, retry: RetryPolicy) -> Self {
-        ArqLink { t, retry, send_seq: 0, recv_seq: 1, cached: Vec::new(), resend_on_stale: false }
+        let rec = t.recorder();
+        ArqLink {
+            t,
+            retry,
+            send_seq: 0,
+            recv_seq: 1,
+            cached: Vec::new(),
+            resend_on_stale: false,
+            rec,
+            last_send_us: 0,
+        }
     }
 
     pub(crate) fn server(t: &'a mut dyn Transport, retry: RetryPolicy) -> Self {
-        ArqLink { t, retry, send_seq: 1, recv_seq: 0, cached: Vec::new(), resend_on_stale: true }
+        let rec = t.recorder();
+        ArqLink {
+            t,
+            retry,
+            send_seq: 1,
+            recv_seq: 0,
+            cached: Vec::new(),
+            resend_on_stale: true,
+            rec,
+            last_send_us: 0,
+        }
     }
 
     pub(crate) fn send_message(&mut self, parts: Vec<Part>) -> Result<(), SyncError> {
@@ -949,6 +1057,7 @@ impl<'a> ArqLink<'a> {
             send_frame(self.t, seq, i, i + 1 < parts.len(), part)?;
         }
         self.cached = parts;
+        self.last_send_us = self.rec.now_micros();
         Ok(())
     }
 
@@ -967,6 +1076,7 @@ impl<'a> ArqLink<'a> {
             self.t.send(&frame, self.cached[i].phase).map_err(channel_to_sync)?;
         }
         self.t.note_retransmits(n as u64);
+        self.rec.record(EventKind::Retransmit { frames: n as u64 });
         Ok(())
     }
 
@@ -1029,6 +1139,11 @@ impl<'a> ArqLink<'a> {
                             if head.iter().all(Option::is_some) {
                                 self.recv_seq += 2;
                                 slots.truncate(last + 1);
+                                if self.rec.is_enabled() && !self.cached.is_empty() {
+                                    let rtt =
+                                        self.rec.now_micros().saturating_sub(self.last_send_us);
+                                    self.rec.observe(HistKind::FrameRtt, rtt);
+                                }
                                 return Ok(slots.into_iter().flatten().collect());
                             }
                         }
@@ -1043,6 +1158,10 @@ impl<'a> ArqLink<'a> {
                 }
                 Err(ChannelError::Timeout) => {
                     attempts += 1;
+                    self.rec.record(EventKind::Backoff {
+                        attempt: u64::from(attempts),
+                        timeout_us: u64::try_from(timeout.as_micros()).unwrap_or(u64::MAX),
+                    });
                     if attempts > self.retry.max_retries {
                         return Err(if saw_corrupt {
                             SyncError::FrameCorrupt
@@ -1110,22 +1229,65 @@ pub fn sync_file_transport(
     cfg: &ProtocolConfig,
     retry: RetryPolicy,
 ) -> Result<SyncOutcome, SyncError> {
+    sync_file_transport_as(t, old, cfg, retry, 0)
+}
+
+/// [`sync_file_transport`] with an explicit roster index for trace
+/// attribution (the pipelined collection client syncs many files over
+/// one connection; each session's events carry its own `file_id`).
+pub fn sync_file_transport_as(
+    t: &mut dyn Transport,
+    old: &[u8],
+    cfg: &ProtocolConfig,
+    retry: RetryPolicy,
+    file_id: u64,
+) -> Result<SyncOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
+    let rec = t.recorder();
+    let session_t0 = rec.now_micros();
+    rec.record(EventKind::SessionStart { file_id });
     let mut client = ClientSession::new(old, cfg);
+    client.recorder = rec.clone();
+    client.file_id = file_id;
     let mut link = ArqLink::client(t, retry);
     link.send_message(vec![client.request()])?;
-    let (data, fell_back) = loop {
-        let parts = link.recv_message()?;
-        match client.handle(parts)? {
-            ClientAction::Done { data, fell_back } => break (data, fell_back),
-            ClientAction::Reply(cparts) => {
-                if cparts.is_empty() {
-                    return Err(SyncError::Desync("client had nothing to say"));
-                }
-                link.send_message(cparts)?;
+    let result = loop {
+        let retrans_before = link.stats().retransmits;
+        let parts = match link.recv_message() {
+            Ok(parts) => parts,
+            Err(e) => break Err(e),
+        };
+        // Attribute recovery cost to the round it interrupted.
+        let retrans = link.stats().retransmits.saturating_sub(retrans_before);
+        if retrans > 0 {
+            if let Some(level) = client.levels.last_mut() {
+                level.retransmits += retrans;
             }
         }
+        match client.handle(parts) {
+            Ok(ClientAction::Done { data, fell_back }) => break Ok((data, fell_back)),
+            Ok(ClientAction::Reply(cparts)) => {
+                if cparts.is_empty() {
+                    break Err(SyncError::Desync("client had nothing to say"));
+                }
+                if let Err(e) = link.send_message(cparts) {
+                    break Err(e);
+                }
+            }
+            Err(e) => break Err(e),
+        }
     };
+    let (data, fell_back) = match result {
+        Ok(done) => done,
+        Err(e) => {
+            rec.record(EventKind::SessionEnd { file_id, ok: false, fell_back: false });
+            return Err(e);
+        }
+    };
+    if rec.is_enabled() {
+        rec.observe(HistKind::SessionDuration, rec.now_micros().saturating_sub(session_t0));
+    }
+    rec.record(EventKind::SessionEnd { file_id, ok: true, fell_back });
     let traffic = link.stats();
     let stats = SyncStats {
         traffic,
@@ -1197,11 +1359,30 @@ pub fn sync_over_channel_with(
     cfg: &ProtocolConfig,
     opts: &ChannelOptions,
 ) -> Result<SyncOutcome, SyncError> {
+    sync_over_channel_traced(old, new, cfg, opts, &Recorder::off())
+}
+
+/// [`sync_over_channel_with`] with a trace recorder attached to the
+/// channel: both endpoints' frame charges and every injected fault
+/// become trace events, alongside the client session's span events.
+/// (Because client and server run on separate threads, event order
+/// interleaves — use [`sync_file_traced`] for byte-stable journals.)
+pub fn sync_over_channel_traced(
+    old: &[u8],
+    new: &[u8],
+    cfg: &ProtocolConfig,
+    opts: &ChannelOptions,
+    recorder: &Recorder,
+) -> Result<SyncOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
     let (mut client_ep, mut server_ep) = match &opts.fault_plan {
         Some(plan) => Endpoint::pair_with_faults(plan, opts.fault_seed),
         None => Endpoint::pair(),
     };
+    if recorder.is_enabled() {
+        // The endpoints share channel state, so one attach covers both.
+        client_ep.set_recorder(recorder.clone());
+    }
 
     let server_new = new.to_vec();
     let server_cfg = cfg.clone();

@@ -24,6 +24,12 @@ pub struct LevelStats {
     pub candidates: usize,
     /// Candidates confirmed by verification.
     pub confirmed: usize,
+    /// Wall-clock duration of the round in microseconds (0 when the
+    /// session ran without a trace recorder).
+    pub wall_us: u64,
+    /// Frames the ARQ layer retransmitted while this round was the
+    /// most recent one (0 on clean links or untraced runs).
+    pub retransmits: u64,
 }
 
 impl LevelStats {

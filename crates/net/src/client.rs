@@ -13,6 +13,7 @@ use std::time::Duration;
 use msync_core::pipeline::{sync_collection_client, PipelineOptions};
 use msync_core::{CollectionOutcome, FileEntry, ProtocolConfig};
 use msync_protocol::{FaultPlan, FaultTransport};
+use msync_trace::Recorder;
 
 use crate::handshake::{client_hello, NetError};
 use crate::tcp::TcpTransport;
@@ -31,6 +32,10 @@ pub struct RemoteOptions {
     /// collection traffic is subjected to faults, mirroring how the
     /// in-memory soak suite treats setup.
     pub fault_wrap: Option<(FaultPlan, u64)>,
+    /// Trace recorder attached to the socket transport before the
+    /// handshake; off by default. Every charged wire byte, injected
+    /// fault, and session milestone lands in it.
+    pub recorder: Recorder,
 }
 
 impl Default for RemoteOptions {
@@ -40,6 +45,7 @@ impl Default for RemoteOptions {
             pipeline: PipelineOptions::default(),
             handshake_timeout: Duration::from_secs(10),
             fault_wrap: None,
+            recorder: Recorder::off(),
         }
     }
 }
@@ -69,6 +75,7 @@ pub fn sync_remote(
 ) -> Result<RemoteOutcome, NetError> {
     let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
     let mut t = TcpTransport::client(stream).map_err(NetError::Io)?;
+    t.set_recorder(opts.recorder.clone());
     let cfg = client_hello(&mut t, &opts.cfg, opts.handshake_timeout)?;
     match opts.fault_wrap {
         None => {

@@ -13,14 +13,16 @@
 //! daemon's log callback and the listener keeps accepting.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 
 use msync_core::pipeline::{serve_collection, ServeOutcome};
 use msync_core::FileEntry;
 use msync_protocol::RetryPolicy;
+use msync_trace::{MetricsSnapshot, Recorder};
 
 use crate::handshake::{server_hello, NetError};
 use crate::tcp::TcpTransport;
@@ -35,11 +37,20 @@ pub struct DaemonOptions {
     pub retry: RetryPolicy,
     /// How long a fresh connection may take to say hello.
     pub handshake_timeout: Duration,
+    /// If set, the daemon rewrites this file with a Prometheus-style
+    /// rendering of its aggregate metrics after every finished session
+    /// (`msync serve --metrics-out FILE`). Best-effort: an unwritable
+    /// path never fails a session.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for DaemonOptions {
     fn default() -> Self {
-        Self { retry: RetryPolicy::default(), handshake_timeout: Duration::from_secs(10) }
+        Self {
+            retry: RetryPolicy::default(),
+            handshake_timeout: Duration::from_secs(10),
+            metrics_out: None,
+        }
     }
 }
 
@@ -50,6 +61,9 @@ pub struct SessionReport {
     pub peer: Option<SocketAddr>,
     /// How the session ended.
     pub result: Result<ServeOutcome, NetError>,
+    /// This session's trace metrics (byte grid, handshake and frame
+    /// counters, latency histograms), snapshotted at session end.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A running serve daemon. Dropping the handle does **not** stop the
@@ -58,6 +72,7 @@ pub struct Daemon {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: thread::JoinHandle<()>,
+    metrics: Arc<Mutex<MetricsSnapshot>>,
 }
 
 impl Daemon {
@@ -83,16 +98,26 @@ impl Daemon {
         let stop_flag = Arc::clone(&stop);
         let shared: Arc<(Vec<FileEntry>, DaemonOptions)> = Arc::new((files, opts));
         let log: Arc<F> = Arc::new(log);
+        let metrics = Arc::new(Mutex::new(MetricsSnapshot::new()));
+        let metrics_agg = Arc::clone(&metrics);
         let accept_thread = thread::spawn(move || {
-            accept_loop(&listener, &stop_flag, &shared, &log);
+            accept_loop(&listener, &stop_flag, &shared, &log, &metrics_agg);
         });
-        Ok(Daemon { addr, stop, accept_thread })
+        Ok(Daemon { addr, stop, accept_thread, metrics })
     }
 
     /// The bound address (resolves port 0 to the real port).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Aggregate metrics over every finished session so far: exactly
+    /// the merge of each [`SessionReport::metrics`] delivered to the
+    /// log callback. Sessions still in flight are not included.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Foreground mode: block on the listener thread (which normally
@@ -117,6 +142,7 @@ fn accept_loop<F>(
     stop: &AtomicBool,
     shared: &Arc<(Vec<FileEntry>, DaemonOptions)>,
     log: &Arc<F>,
+    metrics: &Arc<Mutex<MetricsSnapshot>>,
 ) where
     F: Fn(SessionReport) + Send + Sync + 'static,
 {
@@ -135,22 +161,39 @@ fn accept_loop<F>(
         }
         let shared = Arc::clone(shared);
         let log = Arc::clone(log);
+        let metrics = Arc::clone(metrics);
         thread::spawn(move || {
             let peer = stream.peer_addr().ok();
             let (files, opts) = &*shared;
-            let result = serve_session(stream, files, opts);
-            log(SessionReport { peer, result });
+            let (result, session_metrics) = serve_session(stream, files, opts);
+            let aggregate = {
+                let mut agg = metrics.lock().unwrap_or_else(PoisonError::into_inner);
+                agg.merge(&session_metrics);
+                agg.clone()
+            };
+            if let Some(path) = &opts.metrics_out {
+                // Best-effort: metrics must never fail a session.
+                let _ = std::fs::write(path, aggregate.render_prometheus());
+            }
+            log(SessionReport { peer, result, metrics: session_metrics });
         });
     }
 }
 
-/// One connection: handshake, then pipelined collection service.
+/// One connection: handshake, then pipelined collection service. The
+/// session runs under its own trace recorder; whatever it measured is
+/// returned alongside the outcome, even on failure.
 fn serve_session(
     stream: TcpStream,
     files: &[FileEntry],
     opts: &DaemonOptions,
-) -> Result<ServeOutcome, NetError> {
-    let mut t = TcpTransport::server(stream).map_err(NetError::Io)?;
-    let cfg = server_hello(&mut t, opts.handshake_timeout)?;
-    serve_collection(&mut t, files, &cfg, opts.retry).map_err(NetError::Sync)
+) -> (Result<ServeOutcome, NetError>, MetricsSnapshot) {
+    let recorder = Recorder::system();
+    let result = (|| {
+        let mut t = TcpTransport::server(stream).map_err(NetError::Io)?;
+        t.set_recorder(recorder.clone());
+        let cfg = server_hello(&mut t, opts.handshake_timeout)?;
+        serve_collection(&mut t, files, &cfg, opts.retry).map_err(NetError::Sync)
+    })();
+    (result, recorder.snapshot())
 }

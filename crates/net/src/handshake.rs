@@ -23,6 +23,7 @@ use std::time::Duration;
 
 use msync_core::{params, ProtocolConfig, SyncError};
 use msync_protocol::{ChannelError, Phase, Transport};
+use msync_trace::EventKind;
 
 /// Version of the wire protocol spoken by this crate. Bumped on any
 /// change to the frame codec, the handshake, or the batch schedule.
@@ -70,6 +71,17 @@ pub fn client_hello(
     cfg: &ProtocolConfig,
     timeout: Duration,
 ) -> Result<ProtocolConfig, NetError> {
+    let rec = t.recorder();
+    let result = client_hello_inner(t, cfg, timeout);
+    rec.record(EventKind::Handshake { ok: result.is_ok() });
+    result
+}
+
+fn client_hello_inner(
+    t: &mut dyn Transport,
+    cfg: &ProtocolConfig,
+    timeout: Duration,
+) -> Result<ProtocolConfig, NetError> {
     let hello = format!("{MAGIC} {PROTOCOL_VERSION}\n{}", params::render(cfg));
     t.send(hello.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
     let reply = t.recv_timeout(timeout).map_err(NetError::Channel)?;
@@ -96,6 +108,16 @@ pub fn client_hello(
 /// [`NetError::Channel`] if the wire fails, [`NetError::Handshake`] if
 /// the hello is not this protocol or proposes an invalid config.
 pub fn server_hello(t: &mut dyn Transport, timeout: Duration) -> Result<ProtocolConfig, NetError> {
+    let rec = t.recorder();
+    let result = server_hello_inner(t, timeout);
+    rec.record(EventKind::Handshake { ok: result.is_ok() });
+    result
+}
+
+fn server_hello_inner(
+    t: &mut dyn Transport,
+    timeout: Duration,
+) -> Result<ProtocolConfig, NetError> {
     let hello = t.recv_timeout(timeout).map_err(NetError::Channel)?;
     t.attribute_inbound(Phase::Setup);
     let text = match text_of(&hello) {

@@ -30,6 +30,7 @@ use msync_protocol::{
     decode_frame, encode_frame, frame_wire_size, ChannelError, Direction, FrameError, Phase,
     TrafficStats, Transport,
 };
+use msync_trace::{EventKind, Recorder};
 
 /// Hard cap on a decoded payload length. A length word above this is
 /// rejected as corrupt before any buffering: no real payload approaches
@@ -66,6 +67,8 @@ pub struct TcpTransport {
     pending_inbound: u64,
     socket_sent: u64,
     socket_received: u64,
+    /// Trace recorder; off unless [`TcpTransport::set_recorder`] ran.
+    recorder: Recorder,
 }
 
 impl TcpTransport {
@@ -101,7 +104,16 @@ impl TcpTransport {
             pending_inbound: 0,
             socket_sent: 0,
             socket_received: 0,
+            recorder: Recorder::off(),
         })
+    }
+
+    /// Attach a trace recorder. Every byte subsequently charged to
+    /// `TrafficStats` is mirrored by exactly one `frame_send` /
+    /// `frame_recv` event (sends at charge time, receives when the
+    /// session layer attributes them to a phase).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Raw bytes written to the socket, frames and framing included.
@@ -189,7 +201,13 @@ impl Transport for TcpTransport {
         let frame = encode_frame(payload);
         self.stream.write_all(&frame).map_err(|e| map_write_error(&e))?;
         self.socket_sent += frame.len() as u64;
-        self.stats.record(self.outbound_dir, phase, frame_wire_size(payload.len()));
+        let wire = frame_wire_size(payload.len());
+        self.stats.record(self.outbound_dir, phase, wire);
+        self.recorder.record(EventKind::FrameSend {
+            dir: self.outbound_dir.into(),
+            phase: phase.into(),
+            bytes: wire,
+        });
         self.stats.frames += 1;
         self.bump(self.outbound_dir);
         Ok(())
@@ -223,11 +241,20 @@ impl Transport for TcpTransport {
         let bytes = std::mem::take(&mut self.pending_inbound);
         if bytes > 0 {
             self.stats.record(self.inbound_dir(), phase, bytes);
+            self.recorder.record(EventKind::FrameRecv {
+                dir: self.inbound_dir().into(),
+                phase: phase.into(),
+                bytes,
+            });
         }
     }
 
     fn note_retransmits(&mut self, frames: u64) {
         self.stats.retransmits += frames;
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.recorder.clone()
     }
 
     fn stats(&self) -> TrafficStats {

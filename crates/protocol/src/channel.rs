@@ -26,6 +26,8 @@
 use crate::crc::crc32;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{Direction, Phase, TrafficStats};
+use crate::transport::record_fate;
+use msync_trace::{EventKind, Recorder};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
@@ -207,6 +209,8 @@ struct Shared {
     /// of the next frame sent in the same direction.
     held_c2s: Option<Vec<u8>>,
     held_s2c: Option<Vec<u8>>,
+    /// Trace recorder shared by both endpoints (disabled by default).
+    recorder: Recorder,
 }
 
 impl Shared {
@@ -224,10 +228,20 @@ impl Shared {
         }
     }
 
-    /// Charge one transmission of a `payload_len`-byte frame.
+    /// Charge one transmission of a `payload_len`-byte frame. This is
+    /// the single point where wire bytes enter the stats, so the
+    /// matching `FrameSend` trace event is emitted here too — a
+    /// journal's per-(direction, phase) byte sums therefore equal the
+    /// run's `TrafficStats` by construction.
     fn charge(&mut self, dir: Direction, phase: Phase, payload_len: usize) {
-        self.stats.record(dir, phase, frame_wire_size(payload_len));
+        let wire = frame_wire_size(payload_len);
+        self.stats.record(dir, phase, wire);
         self.stats.frames += 1;
+        self.recorder.record(EventKind::FrameSend {
+            dir: dir.into(),
+            phase: phase.into(),
+            bytes: wire,
+        });
         if self.last_dir != Some(dir) {
             self.half_trips += 1;
             self.last_dir = Some(dir);
@@ -316,6 +330,11 @@ impl Endpoint {
                 return;
             }
             let fate = shared.injector_mut(self.dir).map(FaultInjector::next_fate);
+            if let Some(f) = &fate {
+                let seq = shared.injector_mut(self.dir).map_or(0, |i| i.frames_seen());
+                let rec = shared.recorder.clone();
+                record_fate(&rec, self.dir.into(), f, seq);
+            }
             if fate.is_some_and(|f| f.disconnect) {
                 shared.cut = true;
                 return;
@@ -394,6 +413,19 @@ impl Endpoint {
     /// Snapshot of the traffic statistics shared by both endpoints.
     pub fn stats(&self) -> TrafficStats {
         self.lock_shared().stats
+    }
+
+    /// Attach a trace recorder to the channel. Both endpoints share
+    /// it: the channel emits `FrameSend` events at its charge points
+    /// and `FaultInjected` events for every fate the injector assigns.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        self.lock_shared().recorder = recorder;
+    }
+
+    /// The trace recorder shared by both endpoints (disabled unless
+    /// [`Endpoint::set_recorder`] was called).
+    pub fn recorder(&self) -> Recorder {
+        self.lock_shared().recorder.clone()
     }
 }
 
@@ -610,6 +642,44 @@ mod tests {
         client.note_retransmits(3);
         client.note_retransmits(2);
         assert_eq!(client.stats().retransmits, 5);
+    }
+
+    #[test]
+    fn frame_send_events_mirror_charged_bytes() {
+        use msync_trace::{DirTag, ManualClock, PhaseTag};
+        let (mut client, server) = Endpoint::pair();
+        let rec = Recorder::with_clock(std::sync::Arc::new(ManualClock::ticking(0, 1)));
+        client.set_recorder(rec.clone());
+        client.set_phase(Phase::Map);
+        client.send(vec![0; 100]);
+        server.send(vec![0; 10]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.dir_phase_bytes(DirTag::C2s, PhaseTag::Map), frame_wire_size(100));
+        assert_eq!(snap.dir_phase_bytes(DirTag::S2c, PhaseTag::Setup), frame_wire_size(10));
+        assert_eq!(snap.total_bytes(), client.stats().total_bytes());
+        assert_eq!(snap.frames_sent, client.stats().frames);
+    }
+
+    #[test]
+    fn injected_faults_become_trace_events() {
+        use msync_trace::{EventKind as Ev, FaultKind};
+        let rates = FaultRates { duplicate: 1.0, ..FaultRates::none() };
+        let (client, server) = Endpoint::pair_with_faults(&FaultPlan::symmetric(rates), 5);
+        let rec = Recorder::system();
+        client.set_recorder(rec.clone());
+        client.send(vec![7; 10]);
+        let _ = server.recv_timeout(TICK);
+        let faults: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                Ev::FaultInjected { kind, seq, .. } => Some((kind, seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults, vec![(FaultKind::Duplicate, 1)]);
+        // The duplicate was charged twice, so two FrameSend events too.
+        assert_eq!(rec.snapshot().frames_sent, 2);
     }
 
     #[test]

@@ -205,6 +205,15 @@ impl FaultInjector {
         bytes[bit / 8] ^= 1 << (bit % 8);
     }
 
+    /// Frames this injector has assigned fates to so far. Fault trace
+    /// events use this as the 1-based per-direction frame sequence
+    /// number, so a replay with the same `(rates, seed)` can line its
+    /// fates up against a recorded journal.
+    #[must_use]
+    pub fn frames_seen(&self) -> u64 {
+        self.sent
+    }
+
     /// Truncate `bytes` to a uniformly chosen proper prefix.
     pub fn truncate_frame(&mut self, bytes: &mut Vec<u8>) {
         if bytes.is_empty() {

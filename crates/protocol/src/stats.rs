@@ -6,6 +6,7 @@
 //! the accounting is first-class: channels attribute every frame to a
 //! `(direction, phase)` pair.
 
+use msync_trace::{DirTag, PhaseTag};
 use std::fmt;
 
 /// Transfer direction, named from the synchronization client's viewpoint
@@ -29,6 +30,25 @@ pub enum Phase {
     Map,
     /// The final delta transfer.
     Delta,
+}
+
+impl From<Direction> for DirTag {
+    fn from(d: Direction) -> Self {
+        match d {
+            Direction::ClientToServer => DirTag::C2s,
+            Direction::ServerToClient => DirTag::S2c,
+        }
+    }
+}
+
+impl From<Phase> for PhaseTag {
+    fn from(p: Phase) -> Self {
+        match p {
+            Phase::Setup => PhaseTag::Setup,
+            Phase::Map => PhaseTag::Map,
+            Phase::Delta => PhaseTag::Delta,
+        }
+    }
 }
 
 const PHASES: usize = 3;
@@ -109,6 +129,51 @@ impl TrafficStats {
         self.frames += other.frames;
         self.retransmits += other.retransmits;
     }
+
+    /// Render the per-phase byte grid as an aligned multi-line table —
+    /// the canonical report format shared by `msync sync` and the
+    /// serve daemon's session log.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  {:<8} {:>12} {:>12} {:>12}\n", "phase", "c→s", "s→c", "total"));
+        for (name, phase) in [("setup", Phase::Setup), ("map", Phase::Map), ("delta", Phase::Delta)]
+        {
+            out.push_str(&format!(
+                "  {:<8} {:>12} {:>12} {:>12}\n",
+                name,
+                human_bytes(self.c2s(phase)),
+                human_bytes(self.s2c(phase)),
+                human_bytes(self.c2s(phase) + self.s2c(phase)),
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<8} {:>12} {:>12} {:>12}\n",
+            "total",
+            human_bytes(self.total_c2s()),
+            human_bytes(self.total_s2c()),
+            human_bytes(self.total_bytes()),
+        ));
+        out.push_str(&format!(
+            "  {} roundtrips · {} frames · {} retransmitted\n",
+            self.roundtrips, self.frames, self.retransmits
+        ));
+        out
+    }
+}
+
+/// `1234` → `"1.2 KB"`; decimal units to match the paper's figures.
+fn human_bytes(n: u64) -> String {
+    if n < 1000 {
+        return format!("{n} B");
+    }
+    let mut v = n as f64;
+    for unit in ["KB", "MB", "GB", "TB"] {
+        v /= 1000.0;
+        if v < 1000.0 {
+            return format!("{v:.1} {unit}");
+        }
+    }
+    format!("{v:.1} PB")
 }
 
 impl fmt::Display for TrafficStats {
@@ -173,6 +238,39 @@ mod tests {
         assert_eq!(a.frames, 14);
         assert_eq!(a.retransmits, 3);
         assert!(format!("{a}").contains("3 retransmitted"));
+    }
+
+    #[test]
+    fn render_table_lists_every_phase_row() {
+        let mut s = TrafficStats::new();
+        s.record(Direction::ClientToServer, Phase::Map, 1500);
+        s.record(Direction::ServerToClient, Phase::Delta, 2_500_000);
+        s.roundtrips = 4;
+        s.frames = 9;
+        let table = s.render_table();
+        for needle in
+            ["phase", "setup", "map", "delta", "total", "1.5 KB", "2.5 MB", "4 roundtrips"]
+        {
+            assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
+        }
+        assert_eq!(table.lines().count(), 6);
+    }
+
+    #[test]
+    fn human_bytes_picks_sane_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(999), "999 B");
+        assert_eq!(human_bytes(1000), "1.0 KB");
+        assert_eq!(human_bytes(1_234_567), "1.2 MB");
+    }
+
+    #[test]
+    fn tags_mirror_protocol_enums() {
+        assert_eq!(DirTag::from(Direction::ClientToServer), DirTag::C2s);
+        assert_eq!(DirTag::from(Direction::ServerToClient), DirTag::S2c);
+        assert_eq!(PhaseTag::from(Phase::Setup), PhaseTag::Setup);
+        assert_eq!(PhaseTag::from(Phase::Map), PhaseTag::Map);
+        assert_eq!(PhaseTag::from(Phase::Delta), PhaseTag::Delta);
     }
 
     #[test]

@@ -28,8 +28,9 @@
 //! [`Endpoint::pair_with_faults`].
 
 use crate::channel::{ChannelError, Endpoint, FrameError};
-use crate::fault::{FaultInjector, FaultPlan, FaultRates};
+use crate::fault::{FaultInjector, FaultPlan, FaultRates, FrameFate};
 use crate::stats::{Phase, TrafficStats};
+use msync_trace::{DirTag, EventKind, FaultKind, Recorder};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -62,6 +63,13 @@ pub trait Transport: Send {
 
     /// Snapshot of this side's traffic accounting.
     fn stats(&self) -> TrafficStats;
+
+    /// The trace recorder attached to this transport (a disabled
+    /// recorder by default). The session layer reads this to emit
+    /// span events alongside the transport's own frame events.
+    fn recorder(&self) -> Recorder {
+        Recorder::off()
+    }
 }
 
 impl Transport for Endpoint {
@@ -81,6 +89,10 @@ impl Transport for Endpoint {
 
     fn stats(&self) -> TrafficStats {
         Endpoint::stats(self)
+    }
+
+    fn recorder(&self) -> Recorder {
+        Endpoint::recorder(self)
     }
 }
 
@@ -116,6 +128,10 @@ pub struct FaultTransport<T: Transport> {
     inner: T,
     outbound: FaultInjector,
     inbound: FaultInjector,
+    /// Trace direction of outbound frames (the inbound direction is
+    /// its mirror). `new` assumes the client side; `client`/`server`
+    /// set it explicitly.
+    outbound_tag: DirTag,
     /// Frames ready for immediate delivery (duplicates, released
     /// delays).
     pending: VecDeque<Vec<u8>>,
@@ -135,6 +151,7 @@ impl<T: Transport> FaultTransport<T> {
             inner,
             outbound: FaultInjector::new(outbound, seed),
             inbound: FaultInjector::new(inbound, seed ^ 0x9E37_79B9_7F4A_7C15),
+            outbound_tag: DirTag::C2s,
             pending: VecDeque::new(),
             delayed: None,
             held_out: None,
@@ -150,13 +167,44 @@ impl<T: Transport> FaultTransport<T> {
 
     /// Wrap the server side of a connection.
     pub fn server(inner: T, plan: &FaultPlan, seed: u64) -> Self {
-        Self::new(inner, plan.s2c, plan.c2s, seed)
+        let mut t = Self::new(inner, plan.s2c, plan.c2s, seed);
+        t.outbound_tag = DirTag::S2c;
+        t
     }
 
     /// Recover the wrapped transport (e.g. to read backend-specific
     /// counters after a session).
     pub fn into_inner(self) -> T {
         self.inner
+    }
+
+    fn inbound_tag(&self) -> DirTag {
+        match self.outbound_tag {
+            DirTag::C2s => DirTag::S2c,
+            DirTag::S2c => DirTag::C2s,
+        }
+    }
+}
+
+/// Emit one `FaultInjected` trace event per fault class set on `fate`,
+/// in the injector's draw order, tagged with the injector's 1-based
+/// frame sequence number. Shared by [`FaultTransport`] and the
+/// fault-injecting in-memory channel.
+pub(crate) fn record_fate(rec: &Recorder, dir: DirTag, fate: &FrameFate, seq: u64) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for (active, kind) in [
+        (fate.disconnect, FaultKind::Disconnect),
+        (fate.drop, FaultKind::Drop),
+        (fate.corrupt, FaultKind::Corrupt),
+        (fate.truncate, FaultKind::Truncate),
+        (fate.duplicate, FaultKind::Duplicate),
+        (fate.delay, FaultKind::Delay),
+    ] {
+        if active {
+            rec.record(EventKind::FaultInjected { dir, kind, seq });
+        }
     }
 }
 
@@ -166,6 +214,7 @@ impl<T: Transport> Transport for FaultTransport<T> {
             return Ok(());
         }
         let fate = self.outbound.next_fate();
+        record_fate(&self.inner.recorder(), self.outbound_tag, &fate, self.outbound.frames_seen());
         if fate.disconnect {
             self.cut = true;
             return Ok(());
@@ -198,6 +247,12 @@ impl<T: Transport> Transport for FaultTransport<T> {
         match self.inner.recv_timeout(timeout) {
             Ok(frame) => {
                 let fate = self.inbound.next_fate();
+                record_fate(
+                    &self.inner.recorder(),
+                    self.inbound_tag(),
+                    &fate,
+                    self.inbound.frames_seen(),
+                );
                 if fate.disconnect {
                     self.cut = true;
                     return Err(ChannelError::Disconnected);
@@ -246,6 +301,10 @@ impl<T: Transport> Transport for FaultTransport<T> {
 
     fn stats(&self) -> TrafficStats {
         self.inner.stats()
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.inner.recorder()
     }
 }
 

@@ -1,0 +1,111 @@
+//! The clock model: one trait, two implementations.
+//!
+//! Instrumented code never touches `std::time` directly (the xtask
+//! `clock-discipline` rule bans `Instant::now`/`SystemTime::now`
+//! outside this crate). Instead it reads microseconds through a
+//! [`Clock`], which is either the monotonic [`SystemClock`] on live
+//! runs or the fully deterministic [`ManualClock`] in tests — the
+//! golden-journal test is byte-identical across runs precisely because
+//! its timestamps come from a `ManualClock`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond source.
+pub trait Clock: Send + Sync {
+    /// Microseconds elapsed since this clock's epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// The real monotonic clock, anchored at construction time so values
+/// start near zero and never go backwards. This is the sole user of
+/// `std::time::Instant` in the workspace.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: starts at `start` and advances by
+/// a fixed `step` on every read, so the Nth timestamp a run observes
+/// is a pure function of N. `step = 0` freezes time entirely.
+#[derive(Debug)]
+pub struct ManualClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl ManualClock {
+    /// A frozen clock pinned at `start`.
+    #[must_use]
+    pub fn fixed(start: u64) -> Self {
+        ManualClock { now: AtomicU64::new(start), step: 0 }
+    }
+
+    /// A clock that returns `start`, `start + step`, `start + 2*step`,
+    /// … on successive reads.
+    #[must_use]
+    pub fn ticking(start: u64, step: u64) -> Self {
+        ManualClock { now: AtomicU64::new(start), step }
+    }
+
+    /// Manually advance the clock by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_ticks_deterministically() {
+        let c = ManualClock::ticking(100, 7);
+        assert_eq!(c.now_micros(), 100);
+        assert_eq!(c.now_micros(), 107);
+        assert_eq!(c.now_micros(), 114);
+        c.advance(1000);
+        assert_eq!(c.now_micros(), 1121);
+    }
+
+    #[test]
+    fn fixed_clock_never_moves() {
+        let c = ManualClock::fixed(42);
+        assert_eq!(c.now_micros(), 42);
+        assert_eq!(c.now_micros(), 42);
+    }
+}

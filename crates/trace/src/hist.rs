@@ -1,0 +1,217 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! Why log2: the latencies this workspace observes span loopback frame
+//! round-trips (tens of microseconds) to dial-up session durations
+//! (minutes) — six orders of magnitude. Sixty-four power-of-two
+//! buckets cover the entire `u64` range with constant memory, no
+//! allocation, and a bucket lookup that is one `leading_zeros`
+//! instruction, so observation is cheap enough to leave on in
+//! production paths. Bucket `0` holds exactly the value `0`; bucket
+//! `b ≥ 1` holds values in `[2^(b-1), 2^b)`; the last bucket saturates
+//! (holds everything from `2^62` up).
+
+/// A 64-bucket log2 histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// Number of buckets in every [`Histogram`].
+pub const BUCKETS: usize = 64;
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram { counts: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Bucket index for a value: `0 → 0`, else `min(63, 64 - clz(v))`,
+    /// i.e. one plus the position of the highest set bit, saturating.
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` covered by bucket
+    /// `i`; the final bucket's `hi` is `u64::MAX` (saturating).
+    #[must_use]
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            _ if i >= BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+            _ => (1u64 << (i - 1), 1u64 << i),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation seen.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Observations in bucket `i` (0 for out-of-range `i`).
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Mean observation, or 0 with no data.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The four histograms every recorder keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistKind {
+    /// Microseconds between an ARQ message send and its reply.
+    FrameRtt,
+    /// Microseconds one map-construction round took.
+    RoundDuration,
+    /// Microseconds one per-file session took.
+    SessionDuration,
+    /// Wire bytes moved per protocol round.
+    BytesPerRound,
+}
+
+impl HistKind {
+    /// All kinds, in snapshot-array order.
+    pub const ALL: [HistKind; 4] = [
+        HistKind::FrameRtt,
+        HistKind::RoundDuration,
+        HistKind::SessionDuration,
+        HistKind::BytesPerRound,
+    ];
+
+    /// Stable metric name (unit suffix included where applicable).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HistKind::FrameRtt => "frame_rtt_us",
+            HistKind::RoundDuration => "round_duration_us",
+            HistKind::SessionDuration => "session_duration_us",
+            HistKind::BytesPerRound => "bytes_per_round",
+        }
+    }
+
+    /// Index into the snapshot's histogram array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            HistKind::FrameRtt => 0,
+            HistKind::RoundDuration => 1,
+            HistKind::SessionDuration => 2,
+            HistKind::BytesPerRound => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // Bucket 0 is exactly {0}; bucket b ≥ 1 is [2^(b-1), 2^b).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        for b in 1..BUCKETS - 1 {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(Histogram::bucket_index(lo), b, "low edge of bucket {b}");
+            assert_eq!(Histogram::bucket_index(hi - 1), b, "high edge of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(1u64 << 63), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(1u64 << 62), BUCKETS - 1);
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.bucket_count(BUCKETS - 1), 2);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn observe_and_merge_accumulate() {
+        let mut a = Histogram::new();
+        a.observe(0);
+        a.observe(5);
+        a.observe(5);
+        let mut b = Histogram::new();
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 110);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.bucket_count(0), 1);
+        assert_eq!(a.bucket_count(Histogram::bucket_index(5)), 2);
+        assert_eq!(a.bucket_count(Histogram::bucket_index(100)), 1);
+        assert!((a.mean() - 27.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist_kind_indices_match_all_order() {
+        for (i, k) in HistKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Process-wide metric aggregation and the Prometheus-style text sink.
+//!
+//! A [`MetricsSnapshot`] is what a [`crate::Recorder`] maintains
+//! incrementally as events arrive, and what the serve daemon merges
+//! across sessions into its live process totals. The byte grid is the
+//! same `[direction][phase]` shape as `TrafficStats`, which is what
+//! lets tests assert `daemon metrics totals == summed per-session
+//! TrafficStats` exactly.
+
+use crate::event::{DirTag, EventKind, PhaseTag};
+use crate::hist::{HistKind, Histogram, BUCKETS};
+use std::fmt::Write as _;
+
+/// Counters and histograms aggregated from a stream of events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Wire bytes by `[direction][phase]` (indices from
+    /// [`DirTag::index`] / [`PhaseTag::index`]).
+    pub bytes: [[u64; 3]; 2],
+    /// `FrameSend` events seen.
+    pub frames_sent: u64,
+    /// `FrameRecv` events seen (attribution batches, not raw frames).
+    pub frames_recv: u64,
+    /// Frames retransmitted by the ARQ layer.
+    pub retransmits: u64,
+    /// Backoff (deadline-growth) events.
+    pub backoffs: u64,
+    /// Faults injected by the deterministic fault layer.
+    pub faults: u64,
+    /// Handshakes that agreed on a configuration.
+    pub handshakes_ok: u64,
+    /// Handshakes that were refused.
+    pub handshakes_failed: u64,
+    /// Per-file sessions started.
+    pub sessions_started: u64,
+    /// Per-file sessions ended.
+    pub sessions_ended: u64,
+    /// Sessions that fell back to a full transfer.
+    pub fallbacks: u64,
+    /// Events recorded (including any later evicted from the ring).
+    pub events_recorded: u64,
+    /// Events evicted from the bounded ring.
+    pub events_dropped: u64,
+    /// The four latency/size histograms, indexed by [`HistKind::index`].
+    pub hists: [Histogram; 4],
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsSnapshot {
+            bytes: [[0; 3]; 2],
+            frames_sent: 0,
+            frames_recv: 0,
+            retransmits: 0,
+            backoffs: 0,
+            faults: 0,
+            handshakes_ok: 0,
+            handshakes_failed: 0,
+            sessions_started: 0,
+            sessions_ended: 0,
+            fallbacks: 0,
+            events_recorded: 0,
+            events_dropped: 0,
+            hists: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
+        }
+    }
+
+    /// Tally one event into the counters. (Histograms are fed through
+    /// [`MetricsSnapshot::observe`], not through events.)
+    pub fn apply(&mut self, kind: &EventKind) {
+        match *kind {
+            EventKind::SessionStart { .. } => self.sessions_started += 1,
+            EventKind::SessionEnd { fell_back, .. } => {
+                self.sessions_ended += 1;
+                self.fallbacks += u64::from(fell_back);
+            }
+            EventKind::FrameSend { dir, phase, bytes } => {
+                self.bytes[dir.index()][phase.index()] += bytes;
+                self.frames_sent += 1;
+            }
+            EventKind::FrameRecv { dir, phase, bytes } => {
+                self.bytes[dir.index()][phase.index()] += bytes;
+                self.frames_recv += 1;
+            }
+            EventKind::Retransmit { frames } => self.retransmits += frames,
+            EventKind::Backoff { .. } => self.backoffs += 1,
+            EventKind::FaultInjected { .. } => self.faults += 1,
+            EventKind::Handshake { ok } => {
+                if ok {
+                    self.handshakes_ok += 1;
+                } else {
+                    self.handshakes_failed += 1;
+                }
+            }
+            EventKind::MapRound { .. }
+            | EventKind::VerifyBatch { .. }
+            | EventKind::DeltaPhase { .. }
+            | EventKind::WindowAdvance { .. } => {}
+        }
+    }
+
+    /// Record one histogram observation.
+    pub fn observe(&mut self, kind: HistKind, v: u64) {
+        self.hists[kind.index()].observe(v);
+    }
+
+    /// Bytes charged to one direction+phase cell.
+    #[must_use]
+    pub fn dir_phase_bytes(&self, dir: DirTag, phase: PhaseTag) -> u64 {
+        self.bytes[dir.index()][phase.index()]
+    }
+
+    /// Total wire bytes across the grid.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().flatten().sum()
+    }
+
+    /// Fold another snapshot into this one (daemon-wide aggregation).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (row, orow) in self.bytes.iter_mut().zip(&other.bytes) {
+            for (cell, ocell) in row.iter_mut().zip(orow) {
+                *cell += ocell;
+            }
+        }
+        self.frames_sent += other.frames_sent;
+        self.frames_recv += other.frames_recv;
+        self.retransmits += other.retransmits;
+        self.backoffs += other.backoffs;
+        self.faults += other.faults;
+        self.handshakes_ok += other.handshakes_ok;
+        self.handshakes_failed += other.handshakes_failed;
+        self.sessions_started += other.sessions_started;
+        self.sessions_ended += other.sessions_ended;
+        self.fallbacks += other.fallbacks;
+        self.events_recorded += other.events_recorded;
+        self.events_dropped += other.events_dropped;
+        for (h, oh) in self.hists.iter_mut().zip(&other.hists) {
+            h.merge(oh);
+        }
+    }
+
+    /// Render as Prometheus-style exposition text (counters with
+    /// `dir`/`phase` labels, histograms with cumulative `le` buckets).
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE msync_bytes_total counter");
+        for dir in [DirTag::C2s, DirTag::S2c] {
+            for phase in [PhaseTag::Setup, PhaseTag::Map, PhaseTag::Delta] {
+                let _ = writeln!(
+                    out,
+                    "msync_bytes_total{{dir=\"{}\",phase=\"{}\"}} {}",
+                    dir.as_str(),
+                    phase.as_str(),
+                    self.dir_phase_bytes(dir, phase)
+                );
+            }
+        }
+        for (name, v) in [
+            ("msync_frames_sent_total", self.frames_sent),
+            ("msync_frame_recv_batches_total", self.frames_recv),
+            ("msync_retransmits_total", self.retransmits),
+            ("msync_backoffs_total", self.backoffs),
+            ("msync_faults_injected_total", self.faults),
+            ("msync_handshakes_ok_total", self.handshakes_ok),
+            ("msync_handshakes_failed_total", self.handshakes_failed),
+            ("msync_sessions_started_total", self.sessions_started),
+            ("msync_sessions_ended_total", self.sessions_ended),
+            ("msync_session_fallbacks_total", self.fallbacks),
+            ("msync_trace_events_total", self.events_recorded),
+            ("msync_trace_events_dropped_total", self.events_dropped),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for kind in HistKind::ALL {
+            let h = &self.hists[kind.index()];
+            let name = format!("msync_{}", kind.as_str());
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for b in 0..BUCKETS {
+                let n = h.bucket_count(b);
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let (_, hi) = Histogram::bucket_bounds(b);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_tallies_the_grid_and_counters() {
+        let mut m = MetricsSnapshot::new();
+        m.apply(&EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 100 });
+        m.apply(&EventKind::FrameRecv { dir: DirTag::S2c, phase: PhaseTag::Delta, bytes: 50 });
+        m.apply(&EventKind::Retransmit { frames: 3 });
+        m.apply(&EventKind::Handshake { ok: true });
+        m.apply(&EventKind::Handshake { ok: false });
+        m.apply(&EventKind::SessionStart { file_id: 0 });
+        m.apply(&EventKind::SessionEnd { file_id: 0, ok: true, fell_back: true });
+        assert_eq!(m.dir_phase_bytes(DirTag::C2s, PhaseTag::Map), 100);
+        assert_eq!(m.dir_phase_bytes(DirTag::S2c, PhaseTag::Delta), 50);
+        assert_eq!(m.total_bytes(), 150);
+        assert_eq!(m.frames_sent, 1);
+        assert_eq!(m.frames_recv, 1);
+        assert_eq!(m.retransmits, 3);
+        assert_eq!(m.handshakes_ok, 1);
+        assert_eq!(m.handshakes_failed, 1);
+        assert_eq!(m.sessions_started, 1);
+        assert_eq!(m.sessions_ended, 1);
+        assert_eq!(m.fallbacks, 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = MetricsSnapshot::new();
+        a.apply(&EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Setup, bytes: 10 });
+        a.observe(HistKind::FrameRtt, 500);
+        let mut b = MetricsSnapshot::new();
+        b.apply(&EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Setup, bytes: 5 });
+        b.observe(HistKind::FrameRtt, 700);
+        a.merge(&b);
+        assert_eq!(a.dir_phase_bytes(DirTag::C2s, PhaseTag::Setup), 15);
+        assert_eq!(a.frames_sent, 2);
+        assert_eq!(a.hists[HistKind::FrameRtt.index()].count(), 2);
+        assert_eq!(a.hists[HistKind::FrameRtt.index()].sum(), 1200);
+    }
+
+    #[test]
+    fn prometheus_text_has_the_expected_series() {
+        let mut m = MetricsSnapshot::new();
+        m.apply(&EventKind::FrameSend { dir: DirTag::S2c, phase: PhaseTag::Map, bytes: 123 });
+        m.observe(HistKind::SessionDuration, 42);
+        let text = m.render_prometheus();
+        assert!(text.contains("msync_bytes_total{dir=\"s2c\",phase=\"map\"} 123"), "{text}");
+        assert!(text.contains("msync_frames_sent_total 1"), "{text}");
+        assert!(text.contains("msync_session_duration_us_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("msync_session_duration_us_sum 42"), "{text}");
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.rsplit_once(' ').is_some(), "{line}");
+        }
+    }
+}

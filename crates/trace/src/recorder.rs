@@ -1,0 +1,219 @@
+//! The per-session event recorder.
+//!
+//! A [`Recorder`] is a cheap clonable handle; clones share one bounded
+//! ring of events and one incrementally-maintained
+//! [`MetricsSnapshot`]. The default recorder is *off*: it holds no
+//! allocation, and every operation on it is a no-op that compiles down
+//! to an `Option` check, so instrumentation can be left in place on
+//! every hot path and cost nothing when tracing is not requested.
+
+use crate::clock::{Clock, SystemClock};
+use crate::event::{EventKind, TraceEvent};
+use crate::hist::HistKind;
+use crate::metrics::MetricsSnapshot;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Maximum events kept in the ring; older events are evicted (and
+/// counted as dropped) beyond this.
+const RING_CAPACITY: usize = 65_536;
+
+struct State {
+    ring: VecDeque<TraceEvent>,
+    dropped: u64,
+    snap: MetricsSnapshot,
+}
+
+struct Inner {
+    clock: Arc<dyn Clock>,
+    state: Mutex<State>,
+}
+
+/// A shared handle for recording trace events and histogram
+/// observations. `Recorder::off()` (the default) disables everything.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A disabled recorder: all operations are no-ops.
+    #[must_use]
+    pub fn off() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder on the monotonic [`SystemClock`].
+    #[must_use]
+    pub fn system() -> Self {
+        Self::with_clock(Arc::new(SystemClock::new()))
+    }
+
+    /// An enabled recorder on the given clock (tests pass a
+    /// [`crate::ManualClock`] for deterministic timestamps).
+    #[must_use]
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                clock,
+                state: Mutex::new(State {
+                    ring: VecDeque::new(),
+                    dropped: 0,
+                    snap: MetricsSnapshot::new(),
+                }),
+            })),
+        }
+    }
+
+    /// Whether this recorder actually records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current clock reading, or 0 when disabled. Instrumented code
+    /// uses this to measure durations without touching `std::time`.
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.clock.now_micros(),
+            None => 0,
+        }
+    }
+
+    /// Record one event, stamped with the current clock reading.
+    pub fn record(&self, kind: EventKind) {
+        let Some(inner) = &self.inner else { return };
+        let t_us = inner.clock.now_micros();
+        let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.snap.apply(&kind);
+        st.snap.events_recorded += 1;
+        if st.ring.len() >= RING_CAPACITY {
+            st.ring.pop_front();
+            st.dropped += 1;
+            st.snap.events_dropped += 1;
+        }
+        st.ring.push_back(TraceEvent { t_us, kind });
+    }
+
+    /// Record one histogram observation.
+    pub fn observe(&self, kind: HistKind, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.snap.observe(kind, v);
+    }
+
+    /// Take all buffered events out of the ring (metrics are kept).
+    #[must_use]
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => {
+                let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.ring.drain(..).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Copy of the currently buffered events.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => {
+                let st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.ring.iter().copied().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Copy of the aggregated metrics so far.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => {
+                let st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.snap.clone()
+            }
+            None => MetricsSnapshot::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => {
+                let st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+                f.debug_struct("Recorder")
+                    .field("enabled", &true)
+                    .field("buffered", &st.ring.len())
+                    .field("dropped", &st.dropped)
+                    .finish()
+            }
+            None => f.debug_struct("Recorder").field("enabled", &false).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::event::{DirTag, PhaseTag};
+
+    #[test]
+    fn off_recorder_is_a_no_op() {
+        let r = Recorder::off();
+        assert!(!r.is_enabled());
+        assert_eq!(r.now_micros(), 0);
+        r.record(EventKind::Handshake { ok: true });
+        r.observe(HistKind::FrameRtt, 10);
+        assert!(r.events().is_empty());
+        assert!(r.drain_events().is_empty());
+        assert_eq!(r.snapshot(), MetricsSnapshot::new());
+    }
+
+    #[test]
+    fn clones_share_state_and_stamp_the_clock() {
+        let r = Recorder::with_clock(Arc::new(ManualClock::ticking(100, 10)));
+        let r2 = r.clone();
+        r.record(EventKind::SessionStart { file_id: 0 });
+        r2.record(EventKind::SessionEnd { file_id: 0, ok: true, fell_back: false });
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].t_us, 100);
+        assert_eq!(evs[1].t_us, 110);
+        let snap = r2.snapshot();
+        assert_eq!(snap.sessions_started, 1);
+        assert_eq!(snap.sessions_ended, 1);
+        assert_eq!(snap.events_recorded, 2);
+    }
+
+    #[test]
+    fn drain_empties_the_ring_but_keeps_metrics() {
+        let r = Recorder::with_clock(Arc::new(ManualClock::fixed(0)));
+        r.record(EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 7 });
+        assert_eq!(r.drain_events().len(), 1);
+        assert!(r.events().is_empty());
+        assert_eq!(r.snapshot().dir_phase_bytes(DirTag::C2s, PhaseTag::Map), 7);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let r = Recorder::with_clock(Arc::new(ManualClock::ticking(0, 1)));
+        let extra = 10u64;
+        for i in 0..(RING_CAPACITY as u64 + extra) {
+            r.record(EventKind::SessionStart { file_id: i });
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), RING_CAPACITY);
+        // The oldest `extra` events were evicted.
+        assert_eq!(evs[0].kind, EventKind::SessionStart { file_id: extra });
+        let snap = r.snapshot();
+        assert_eq!(snap.events_dropped, extra);
+        assert_eq!(snap.events_recorded, RING_CAPACITY as u64 + extra);
+        // Counters still reflect every recorded event, dropped or not.
+        assert_eq!(snap.sessions_started, RING_CAPACITY as u64 + extra);
+    }
+}

@@ -17,7 +17,7 @@
 //! (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`) and build
 //! hermeticity (first-party path dependencies only) with a
 //! dependency-free scanner: [`scanner`] masks comments/strings and
-//! `#[cfg(test)]` blocks, [`rules`] runs the six rule classes, and
+//! `#[cfg(test)]` blocks, [`rules`] runs the seven rule classes, and
 //! [`baseline`] tracks pre-existing debt so the gate ratchets down
 //! instead of blocking on history.
 //!

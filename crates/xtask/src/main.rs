@@ -1,4 +1,6 @@
-//! `cargo run -p xtask -- lint` — the workspace static-analysis gate.
+//! `cargo run -p xtask -- lint` — the workspace static-analysis gate —
+//! and `cargo run -p xtask -- check-journal FILE` — the trace-journal
+//! schema validator.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
@@ -11,6 +13,7 @@ use xtask::{find_workspace_root, gate, lint_workspace, Baseline, LintConfig};
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [options]
+       cargo run -p xtask -- check-journal <FILE>
 
 Static-analysis gate for the msync workspace. Enforces:
   crate-headers    #![forbid(unsafe_code)] + #![deny(missing_docs)] in lib crates
@@ -25,11 +28,17 @@ Static-analysis gate for the msync workspace. Enforces:
                    must be bounded (recv_timeout / try_recv); in socket
                    crates (net) every read-family call additionally
                    requires a preceding set_read_timeout deadline
+  clock-discipline no Instant::now / SystemTime::now outside crates/trace;
+                   time flows through msync_trace::Clock so traced runs
+                   replay deterministically
 
 options:
   --json               machine-readable output
   --update-baseline    rewrite lint-baseline.toml to cover current findings
   --root <dir>         workspace root (default: discovered from cwd)
+
+check-journal validates a --trace-out JSONL journal offline (no jq
+needed): every line must parse under schema v1 with monotone t_us.
 ";
 
 fn main() -> ExitCode {
@@ -49,6 +58,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         eprint!("{USAGE}");
         return Ok(ExitCode::from(2));
     };
+    if cmd == "check-journal" {
+        let path = it.next().ok_or("check-journal needs a journal file path")?;
+        if it.next().is_some() {
+            return Err(format!("check-journal takes exactly one argument\n\n{USAGE}"));
+        }
+        return check_journal(std::path::Path::new(path));
+    }
     if cmd != "lint" {
         eprint!("unknown command `{cmd}`\n\n{USAGE}");
         return Ok(ExitCode::from(2));
@@ -95,4 +111,55 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         print!("{}", xtask::report::human(&outcome));
     }
     Ok(if outcome.active.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// Validate a `--trace-out` JSONL journal: every non-empty line must parse
+/// under schema v1, declare `v == 1`, and carry a non-decreasing `t_us`.
+fn check_journal(path: &std::path::Path) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut lines = 0usize;
+    let mut bad = 0usize;
+    let mut last_t_us = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        match msync_trace::parse_line(line) {
+            Ok(parsed) => {
+                if parsed.v != u64::from(msync_trace::SCHEMA_VERSION) {
+                    eprintln!(
+                        "{}:{}: schema version {} (expected {})",
+                        path.display(),
+                        idx + 1,
+                        parsed.v,
+                        msync_trace::SCHEMA_VERSION
+                    );
+                    bad += 1;
+                } else if parsed.t_us < last_t_us {
+                    eprintln!(
+                        "{}:{}: t_us {} goes backwards (previous {last_t_us})",
+                        path.display(),
+                        idx + 1,
+                        parsed.t_us
+                    );
+                    bad += 1;
+                } else {
+                    last_t_us = parsed.t_us;
+                }
+            }
+            Err(err) => {
+                eprintln!("{}:{}: {err}", path.display(), idx + 1);
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        println!("{}: {lines} journal line(s) OK", path.display());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("{}: {bad} of {lines} line(s) invalid", path.display());
+        Ok(ExitCode::FAILURE)
+    }
 }

@@ -22,6 +22,12 @@
 //!   must be preceded (in the same file) by a `set_read_timeout`, so a
 //!   dead TCP peer surfaces as a typed timeout instead of a hung
 //!   session. Filesystem reads (`fs::`-qualified) are exempt.
+//! * `clock-discipline` — no `Instant::now` / `SystemTime::now` in any
+//!   workspace crate except `crates/trace`: all timing flows through
+//!   the `msync_trace::Clock` trait, so a traced run can be replayed
+//!   byte-identically under a manual clock. (The `determinism` rule
+//!   already bans the *words* in protocol-critical crates; this one
+//!   closes the gap for the rest of the workspace.)
 
 use crate::scanner::{blank_test_blocks, line_of, mask_source, next_nonspace, word_occurrences};
 use std::fmt;
@@ -44,6 +50,8 @@ pub enum Rule {
     Hermeticity,
     /// Unbounded blocking receives in protocol-critical code.
     ChannelDiscipline,
+    /// Ambient `::now` clock reads outside the trace crate.
+    ClockDiscipline,
 }
 
 impl Rule {
@@ -57,6 +65,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::Hermeticity => "hermeticity",
             Rule::ChannelDiscipline => "channel-discipline",
+            Rule::ClockDiscipline => "clock-discipline",
         }
     }
 
@@ -70,6 +79,7 @@ impl Rule {
             Rule::Determinism,
             Rule::Hermeticity,
             Rule::ChannelDiscipline,
+            Rule::ClockDiscipline,
         ]
         .into_iter()
         .find(|r| r.key() == key)
@@ -116,6 +126,10 @@ pub struct LintConfig {
     /// Crate directory names skipped entirely (excluded from the cargo
     /// workspace, so allowed registry deps and exempt from code rules).
     pub skip_crates: Vec<String>,
+    /// Crate directory names allowed to read the ambient clock
+    /// (`Instant::now` / `SystemTime::now`). Everyone else must take
+    /// time from a `msync_trace::Clock`.
+    pub clock_exempt: Vec<String>,
 }
 
 impl LintConfig {
@@ -138,6 +152,7 @@ impl LintConfig {
             .to_vec(),
             socket_crates: vec!["net".to_owned()],
             skip_crates: vec!["bench".to_owned()],
+            clock_exempt: vec!["trace".to_owned()],
         }
     }
 }
@@ -169,19 +184,21 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
         check_manifest(root, &dir.join("Cargo.toml"), false, &mut findings)?;
         let critical = cfg.protocol_critical.contains(&name);
         let socket = cfg.socket_crates.contains(&name);
-        if critical || socket {
-            for file in rust_sources(&dir.join("src"))? {
-                let rel = rel_path(root, &file);
-                let text = fs::read_to_string(&file)?;
-                let scannable = blank_test_blocks(&mask_source(&text));
-                if critical {
-                    check_panic_freedom(&rel, &scannable, &mut findings);
-                    check_determinism(&rel, &scannable, &mut findings);
-                    check_channel_discipline(&rel, &scannable, &mut findings);
-                }
-                if socket {
-                    check_socket_discipline(&rel, &scannable, &mut findings);
-                }
+        let ambient_clock_ok = cfg.clock_exempt.contains(&name);
+        for file in rust_sources(&dir.join("src"))? {
+            let rel = rel_path(root, &file);
+            let text = fs::read_to_string(&file)?;
+            let scannable = blank_test_blocks(&mask_source(&text));
+            if critical {
+                check_panic_freedom(&rel, &scannable, &mut findings);
+                check_determinism(&rel, &scannable, &mut findings);
+                check_channel_discipline(&rel, &scannable, &mut findings);
+            }
+            if socket {
+                check_socket_discipline(&rel, &scannable, &mut findings);
+            }
+            if !ambient_clock_ok {
+                check_clock_discipline(&rel, &scannable, &mut findings);
             }
         }
     }
@@ -189,6 +206,12 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
     // The root `msync` facade crate.
     check_crate_headers(root, &root.join("src/lib.rs"), &mut findings)?;
     check_manifest(root, &root.join("Cargo.toml"), true, &mut findings)?;
+    for file in rust_sources(&root.join("src"))? {
+        let rel = rel_path(root, &file);
+        let text = fs::read_to_string(&file)?;
+        let scannable = blank_test_blocks(&mask_source(&text));
+        check_clock_discipline(&rel, &scannable, &mut findings);
+    }
 
     for rel in &cfg.wire_modules {
         let path = root.join(rel);
@@ -353,6 +376,39 @@ fn check_socket_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule `clock-discipline`: an ambient `Instant::now()` /
+/// `SystemTime::now()` timestamps events with wall time nothing can
+/// replay. Outside the exempt trace crate (whose `SystemClock` is the
+/// one sanctioned caller), time must come from a `msync_trace::Clock`
+/// handle, so golden-journal tests can substitute a manual clock.
+/// Other members (`Instant::checked_add`, `SystemTime::UNIX_EPOCH`, a
+/// bare `Duration`) are untimed and allowed.
+fn check_clock_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for word in ["Instant", "SystemTime"] {
+        for pos in word_occurrences(text, word) {
+            let Some((cpos, first)) = next_nonspace(text, pos + word.len()) else {
+                continue;
+            };
+            if first != b':' || !text[cpos..].starts_with("::") {
+                continue;
+            }
+            let Some((npos, _)) = next_nonspace(text, cpos + 2) else {
+                continue;
+            };
+            if text[npos..].starts_with("now") {
+                findings.push(Finding {
+                    rule: Rule::ClockDiscipline,
+                    file: rel.to_owned(),
+                    line: line_of(text, pos),
+                    message: format!(
+                        "`{word}::now` outside crates/trace; take time from a `msync_trace::Clock` so traced runs replay deterministically"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 /// Rule `lossy-cast`.
@@ -506,6 +562,26 @@ mod tests {
         let mut fs = Vec::new();
         check_determinism("d.rs", text, &mut fs);
         assert_eq!(fs.len(), 3, "{fs:?}");
+    }
+
+    #[test]
+    fn ambient_clock_reads_flagged() {
+        let text = "let a = Instant::now(); let b = SystemTime::now();\n\
+                    let c = std::time::Instant :: now();";
+        let mut fs = Vec::new();
+        check_clock_discipline("c.rs", text, &mut fs);
+        assert_eq!(fs.len(), 3, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == Rule::ClockDiscipline));
+    }
+
+    #[test]
+    fn untimed_clock_members_allowed() {
+        let text = "let e = SystemTime::UNIX_EPOCH; let d = Duration::from_secs(1);\n\
+                    let s = earlier.checked_add(d); fn now_micros() -> u64 { 0 }\n\
+                    let n = clock.now_micros();";
+        let mut fs = Vec::new();
+        check_clock_discipline("c.rs", text, &mut fs);
+        assert!(fs.is_empty(), "{fs:?}");
     }
 
     #[test]

@@ -10,8 +10,8 @@ cargo fmt --check
 echo "==> xtask lint gate"
 cargo run --release -q -p xtask -- lint
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
@@ -22,5 +22,23 @@ cargo test --release -q --test net_loopback
 echo "==> fault-injection soak (seeded, release)"
 MSYNC_SOAK_SEEDS="${MSYNC_SOAK_SEEDS:-40}" \
     cargo test --release -q --test fault_injection
+
+echo "==> golden trace journal (byte-identical under ManualClock)"
+cargo test --release -q --test trace_journal
+
+echo "==> journal schema validation (xtask check-journal, jq-free)"
+journal="$(mktemp /tmp/msync-ci-journal.XXXXXX)"
+trap 'rm -f "$journal"' EXIT
+tree="$(mktemp -d /tmp/msync-ci-tree.XXXXXX)"
+trap 'rm -f "$journal"; rm -rf "$tree"' EXIT
+mkdir -p "$tree/old" "$tree/new"
+printf 'hello msync observability\n%.0s' {1..200} > "$tree/old/a.txt"
+{ cat "$tree/old/a.txt"; echo "changed tail"; } > "$tree/new/a.txt"
+cp "$tree/old/a.txt" "$tree/new/b.txt"
+./target/release/msync sync "$tree/old" "$tree/new" --trace-out "$journal" > /dev/null
+cargo run --release -q -p xtask -- check-journal "$journal"
+
+echo "==> tracing overhead gate (< 5%, BENCH_trace_overhead.json)"
+MSYNC_BENCH=1 cargo test --release -q --test trace_overhead
 
 echo "ci.sh: all gates passed"

@@ -34,6 +34,9 @@
 //!   `--remote` client running the pipelined collection scheduler.
 //! * [`corpus`] — synthetic data sets with the statistical shape of the
 //!   paper's gcc, emacs, and web-crawl collections.
+//! * [`trace`] — first-party observability: typed span events, log2
+//!   latency histograms, the JSONL journal sink, and the Prometheus-style
+//!   metrics snapshot aggregated by the serve daemon.
 //!
 //! ## Quickstart
 //!
@@ -62,3 +65,4 @@ pub use msync_net as net;
 pub use msync_protocol as protocol;
 pub use msync_recon as recon;
 pub use msync_rsync as rsync;
+pub use msync_trace as trace;

@@ -19,10 +19,13 @@
 //! sweep (CI runs it with more seeds than the default 20).
 
 use msync::core::{
-    sync_file, sync_over_channel, sync_over_channel_with, ChannelOptions, ProtocolConfig, SyncError,
+    sync_file, sync_over_channel, sync_over_channel_traced, sync_over_channel_with, ChannelOptions,
+    ProtocolConfig, SyncError,
 };
 use msync::corpus::Rng;
+use msync::protocol::fault::FaultInjector;
 use msync::protocol::{FaultPlan, RetryPolicy};
+use msync::trace::{DirTag, EventKind, FaultKind, Recorder};
 use std::time::Duration;
 
 /// Fault classes under test — every profile the injector ships except
@@ -246,6 +249,74 @@ fn zero_fault_rates_change_nothing() {
         "channel overhead {diff} exceeds the per-frame ARQ header bound ({} frames)",
         zeroed.stats.traffic.frames
     );
+}
+
+#[test]
+fn every_injected_fault_is_traced_with_matching_direction_and_seq() {
+    // The channel stamps each fault event with the injector's 1-based
+    // per-direction frame sequence, so a mirror pair of injectors built
+    // from the same `(rates, seed)` must reproduce the recorded fates
+    // exactly. The `lossy` profile (drop + duplicate + delay) is the
+    // widest one whose fates consume no extra RNG draws beyond
+    // `next_fate()` (corrupt/truncate also draw for the bit flip /
+    // prefix length), which keeps the mirror replay a pure function of
+    // the frame index.
+    let plan = FaultPlan::profile("lossy").expect("profile exists");
+    let fault_seed = 0x5EEDu64;
+    let (old, new) = file_pair(42);
+    let recorder = Recorder::system();
+    let opts = ChannelOptions {
+        retry: RetryPolicy { timeout: Duration::from_millis(50), ..RetryPolicy::default() },
+        fault_plan: Some(plan),
+        fault_seed,
+    };
+    // Outcome is irrelevant here (Ok or typed failure both leave a
+    // valid journal); only the recorded fault events are under test.
+    let _ = sync_over_channel_traced(&old, &new, &ProtocolConfig::default(), &opts, &recorder);
+
+    let mut observed: [Vec<(u64, FaultKind)>; 2] = [Vec::new(), Vec::new()];
+    for ev in recorder.drain_events() {
+        if let EventKind::FaultInjected { dir, kind, seq } = ev.kind {
+            let d = match dir {
+                DirTag::C2s => 0,
+                DirTag::S2c => 1,
+            };
+            let last = observed[d].last().map_or(0, |&(s, _)| s);
+            assert!(seq >= last, "per-direction fault seqs must be non-decreasing");
+            observed[d].push((seq, kind));
+        }
+    }
+    assert!(
+        observed[0].len() + observed[1].len() > 0,
+        "a lossy run must inject (and trace) at least one fault"
+    );
+
+    // Mirror the channel's per-direction injector seeding and replay.
+    let mirrors = [
+        FaultInjector::new(plan.c2s, fault_seed),
+        FaultInjector::new(plan.s2c, fault_seed ^ 0x9E37_79B9_7F4A_7C15),
+    ];
+    for (mut mirror, events) in mirrors.into_iter().zip(observed) {
+        let max_seq = events.last().map_or(0, |&(s, _)| s);
+        let mut expected: Vec<(u64, FaultKind)> = Vec::new();
+        for seq in 1..=max_seq {
+            let fate = mirror.next_fate();
+            // Same order the channel emits fault events in.
+            for (hit, kind) in [
+                (fate.disconnect, FaultKind::Disconnect),
+                (fate.drop, FaultKind::Drop),
+                (fate.corrupt, FaultKind::Corrupt),
+                (fate.truncate, FaultKind::Truncate),
+                (fate.duplicate, FaultKind::Duplicate),
+                (fate.delay, FaultKind::Delay),
+            ] {
+                if hit {
+                    expected.push((seq, kind));
+                }
+            }
+        }
+        assert_eq!(events, expected, "traced fault events must match the mirror injector's fates");
+    }
 }
 
 #[test]

@@ -179,6 +179,22 @@ fn detects_bare_recv_in_protocol_critical_code() {
 }
 
 #[test]
+fn detects_ambient_clock_outside_trace_crate() {
+    // clock-discipline covers every crate, not just protocol-critical
+    // ones: a non-critical crate reading the ambient clock must fire.
+    let body = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn stamp() -> std::time::SystemTime {{\n    std::time::SystemTime::now()\n}}\n"
+    );
+    let ws = MiniWorkspace::new("clock", "corpus", &body);
+    let hits = ws.findings_for(Rule::ClockDiscipline);
+    assert_eq!(hits.len(), 1, "SystemTime::now outside crates/trace must fire: {hits:?}");
+
+    let ws = MiniWorkspace::new("clock-exempt", "trace", &body);
+    let hits = ws.findings_for(Rule::ClockDiscipline);
+    assert!(hits.is_empty(), "crates/trace owns the ambient clock: {hits:?}");
+}
+
+#[test]
 fn non_critical_crate_may_panic() {
     let body = format!(
         "{CLEAN_HEADER}\n/// Doc.\npub fn f(v: Option<u32>) -> u32 {{\n    v.unwrap()\n}}\n"

@@ -4,11 +4,13 @@
 //! accounting cross-checks that tie `TrafficStats` to socket reality.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use msync::core::{FileEntry, PipelineOptions, ProtocolConfig};
 use msync::corpus::{web_collection, WebParams};
 use msync::net::{sync_remote, Daemon, DaemonOptions, RemoteOptions, RemoteOutcome};
+use msync::protocol::{Direction, Phase, TrafficStats};
+use msync::trace::{DirTag, MetricsSnapshot, PhaseTag};
 
 /// A two-day web corpus: the daemon serves day 1, the client holds
 /// day 0. At least 100 files so the pipelined-vs-sequential comparison
@@ -110,4 +112,87 @@ fn pipelined_schedule_beats_sequential_roundtrips() {
     let seq = sequential.outcome.traffic.roundtrips;
     let pipe = pipelined.outcome.traffic.roundtrips;
     assert!(pipe < seq, "pipelined roundtrips {pipe} not fewer than sequential {seq}");
+}
+
+/// The daemon's live metrics are the exact sum of its per-session
+/// recorders: the aggregate byte grid equals the summed per-session
+/// `TrafficStats` cell by cell, the handshake counter equals the
+/// session count, and `--metrics-out` dumps parseable Prometheus text.
+#[test]
+fn daemon_metrics_equal_summed_session_stats() {
+    let (old, new) = corpus();
+    let metrics_path =
+        std::env::temp_dir().join(format!("msync-loopback-metrics-{}.prom", std::process::id()));
+    let _ = std::fs::remove_file(&metrics_path);
+
+    let reports: Arc<Mutex<Vec<(TrafficStats, MetricsSnapshot)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&reports);
+    let opts = DaemonOptions { metrics_out: Some(metrics_path.clone()), ..Default::default() };
+    let daemon = Daemon::spawn("127.0.0.1:0", new, opts, move |r| {
+        let outcome = r.result.as_ref().expect("loopback session succeeds");
+        sink.lock().expect("report sink").push((outcome.traffic, r.metrics.clone()));
+    })
+    .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+
+    // Two sessions, so the aggregate genuinely sums (not just copies).
+    run_remote(&addr, &old, 1);
+    run_remote(&addr, &old, 32);
+    // The client returns before the daemon's session thread finishes
+    // its bookkeeping; the log callback fires strictly after the
+    // aggregate merge, so two delivered reports mean a settled
+    // aggregate.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while reports.lock().expect("report sink").len() < 2 {
+        assert!(std::time::Instant::now() < deadline, "daemon reports never arrived");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let aggregate = daemon.metrics();
+    daemon.shutdown();
+
+    let reports = reports.lock().expect("report sink");
+    assert_eq!(reports.len(), 2, "expected exactly two sessions");
+
+    // Cell-by-cell: aggregate grid == sum of per-session TrafficStats.
+    let dirs = [(DirTag::C2s, Direction::ClientToServer), (DirTag::S2c, Direction::ServerToClient)];
+    let phases = [
+        (PhaseTag::Setup, Phase::Setup),
+        (PhaseTag::Map, Phase::Map),
+        (PhaseTag::Delta, Phase::Delta),
+    ];
+    for (dtag, dir) in dirs {
+        for (ptag, phase) in phases {
+            let traffic_sum: u64 = reports
+                .iter()
+                .map(|(t, _)| match dir {
+                    Direction::ClientToServer => t.c2s(phase),
+                    Direction::ServerToClient => t.s2c(phase),
+                })
+                .sum();
+            assert_eq!(
+                aggregate.dir_phase_bytes(dtag, ptag),
+                traffic_sum,
+                "daemon grid cell ({dtag:?}, {ptag:?}) != summed session TrafficStats"
+            );
+        }
+    }
+    assert!(aggregate.total_bytes() > 0, "loopback sessions must move bytes");
+
+    // The aggregate is also the merge of the per-session snapshots.
+    let mut merged = MetricsSnapshot::new();
+    for (_, m) in reports.iter() {
+        merged.merge(m);
+    }
+    assert_eq!(aggregate, merged, "daemon.metrics() must equal merged session snapshots");
+
+    // One successful handshake per session, none failed.
+    assert_eq!(aggregate.handshakes_ok, 2);
+    assert_eq!(aggregate.handshakes_failed, 0);
+
+    // --metrics-out dumped the same aggregate as Prometheus text.
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    assert_eq!(text, aggregate.render_prometheus());
+    assert!(text.contains("msync_bytes_total"), "metrics text missing byte series");
+    let _ = std::fs::remove_file(&metrics_path);
 }

@@ -1,0 +1,113 @@
+//! Tracing overhead gate: a fully traced sync must cost < 5% wall
+//! clock over an untraced one.
+//!
+//! Off by default (timing asserts don't belong in plain `cargo test`);
+//! CI runs it with `MSYNC_BENCH=1` in release mode and archives the
+//! measurement as `BENCH_trace_overhead.json` in the repo root.
+//!
+//! Method: the same deterministic workload — a multi-round single-file
+//! sync over a seeded ~96 KiB edit pair — runs `REPS` times per
+//! configuration, traced and untraced reps strictly interleaved so a
+//! frequency ramp or a noisy neighbour biases both sides equally; the
+//! minimum over reps is compared, which discards scheduler noise
+//! instead of averaging it in. (Root integration tests are outside the
+//! xtask clock-discipline scan, so `Instant` is fine here — this file
+//! measures the clock readers, it is not one.)
+
+use std::time::Instant;
+
+use msync::core::{sync_file, sync_file_traced, ProtocolConfig};
+use msync::corpus::Rng;
+use msync::trace::Recorder;
+
+const REPS: usize = 10;
+/// Absolute slack added to the 5% bound so a sub-millisecond workload
+/// on a noisy box cannot fail on scheduler jitter alone.
+const SLACK_US: u128 = 5_000;
+/// Full-measurement retries before the gate fails: one noisy minimum
+/// is forgiven, a real regression fails every attempt.
+const ATTEMPTS: usize = 3;
+
+fn corpus_pair(seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut byte = move || (rng.next_u64() >> 56) as u8;
+    let old: Vec<u8> = (0..96 * 1024).map(|_| byte()).collect();
+    let mut new = old.clone();
+    for start in [5_000usize, 30_000, 62_000] {
+        for b in &mut new[start..start + 400] {
+            *b = byte();
+        }
+    }
+    (old, new)
+}
+
+/// One timed call, in microseconds.
+fn time_us(f: impl FnOnce()) -> u128 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_micros()
+}
+
+/// One full interleaved measurement: `(untraced_min_us, traced_min_us)`.
+fn measure(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> (u128, u128) {
+    let recorder = Recorder::system();
+    let mut untraced_us = u128::MAX;
+    let mut traced_us = u128::MAX;
+    for _ in 0..REPS {
+        untraced_us = untraced_us.min(time_us(|| {
+            let out = sync_file(old, new, cfg).expect("untraced sync");
+            assert_eq!(out.reconstructed, new);
+        }));
+        traced_us = traced_us.min(time_us(|| {
+            let out = sync_file_traced(old, new, cfg, &recorder).expect("traced sync");
+            assert_eq!(out.reconstructed, new);
+            // Drain between reps so the ring never saturates (a full
+            // ring would make later reps artificially cheap).
+            assert!(!recorder.drain_events().is_empty());
+        }));
+    }
+    (untraced_us, traced_us)
+}
+
+#[test]
+fn traced_sync_overhead_is_under_five_percent() {
+    if std::env::var_os("MSYNC_BENCH").is_none() {
+        eprintln!("trace_overhead: set MSYNC_BENCH=1 to run the timing gate");
+        return;
+    }
+    let (old, new) = corpus_pair(0x0B5E55ED);
+    let cfg = ProtocolConfig::default();
+
+    // Warm-up run so neither side pays first-touch costs.
+    let _ = sync_file(&old, &new, &cfg).expect("warm-up sync");
+
+    let mut last = (0u128, u128::MAX);
+    for attempt in 1..=ATTEMPTS {
+        let (untraced_us, traced_us) = measure(&old, &new, &cfg);
+        last = (untraced_us, traced_us);
+        let bound = untraced_us + untraced_us / 20 + SLACK_US;
+        let overhead_pct = if untraced_us == 0 {
+            0.0
+        } else {
+            (traced_us as f64 - untraced_us as f64) * 100.0 / untraced_us as f64
+        };
+        eprintln!(
+            "trace_overhead attempt {attempt}: untraced {untraced_us} us, \
+             traced {traced_us} us ({overhead_pct:.2}%)"
+        );
+        if traced_us <= bound {
+            let json = format!(
+                "{{\n  \"bench\": \"trace_overhead\",\n  \"reps\": {REPS},\n  \"attempt\": {attempt},\n  \"untraced_us\": {untraced_us},\n  \"traced_us\": {traced_us},\n  \"overhead_pct\": {overhead_pct:.2},\n  \"bound_pct\": 5.0,\n  \"slack_us\": {SLACK_US}\n}}\n"
+            );
+            let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_trace_overhead.json");
+            std::fs::write(out, &json).expect("write bench json");
+            eprintln!("trace_overhead: gate passed -> {out}");
+            return;
+        }
+    }
+    let (untraced_us, traced_us) = last;
+    panic!(
+        "tracing overhead too high on all {ATTEMPTS} attempts: last traced {traced_us} us vs \
+         untraced {untraced_us} us (bound: +5% + {SLACK_US} us slack)"
+    );
+}
