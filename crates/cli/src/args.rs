@@ -50,6 +50,11 @@ pub enum Command {
         /// Rewrite this file with Prometheus-style aggregate metrics
         /// after every finished session.
         metrics_out: Option<PathBuf>,
+        /// Multiplexer worker threads (0 = one per core).
+        workers: usize,
+        /// Cap on concurrently admitted sessions; excess connections
+        /// get a typed capacity refusal.
+        max_sessions: Option<usize>,
     },
     /// Per-round protocol trace for one file pair.
     Inspect {
@@ -101,7 +106,8 @@ USAGE:
     msync sync <OLD> --remote ADDR [--config FILE | --preset NAME] [--write DIR]
                [--pipeline-depth N] [--fault-profile NAME --fault-wrap] [--fault-seed N]
                [--trace-out FILE]
-    msync serve <ROOT> [--listen ADDR] [--metrics-out FILE]
+    msync serve <ROOT> [--listen ADDR] [--metrics-out FILE] [--workers N]
+                [--max-sessions N]
     msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
     msync chunks <FILE> [--avg BYTES]
     msync params [--preset NAME]
@@ -115,12 +121,15 @@ Presets: default, basic, restricted:<levels> (e.g. restricted:3).
 lossy, evil); --fault-seed reproduces a specific run.
 
 Remote mode: `msync serve <ROOT> --listen ADDR` starts a daemon serving
-<ROOT> (default 127.0.0.1:9631; thread per connection), and `msync sync
-<OLD> --remote ADDR` updates the local directory against it over real
-TCP, batching up to --pipeline-depth files (default 32) into one frame
-per direction per round. --compare needs both sides locally and cannot
-combine with --remote. Injecting faults into a real socket is opt-in:
---remote with --fault-profile additionally requires --fault-wrap.
+<ROOT> (default 127.0.0.1:9631; sessions multiplexed over --workers
+event-loop threads, default available parallelism; --max-sessions N
+refuses clients over the cap with a typed capacity error), and `msync
+sync <OLD> --remote ADDR` updates the local directory against it over
+real TCP, batching up to --pipeline-depth files (default 32) into one
+frame per direction per round. --compare needs both sides locally and
+cannot combine with --remote. Injecting faults into a real socket is
+opt-in: --remote with --fault-profile additionally requires
+--fault-wrap.
 
 Observability: `msync sync ... --trace-out run.jsonl` writes one JSON
 object per trace event (frame charges, map rounds, faults, sessions;
@@ -254,6 +263,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let root = PathBuf::from(it.next().ok_or("missing <ROOT> directory")?);
             let mut listen = "127.0.0.1:9631".to_string();
             let mut metrics_out: Option<PathBuf> = None;
+            let mut workers = 0usize;
+            let mut max_sessions: Option<usize> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--listen" => listen = it.next().ok_or("--listen needs an address")?.clone(),
@@ -261,10 +272,25 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                         metrics_out =
                             Some(PathBuf::from(it.next().ok_or("--metrics-out needs a file path")?))
                     }
+                    "--workers" => {
+                        workers = it
+                            .next()
+                            .ok_or("--workers needs a thread count")?
+                            .parse()
+                            .map_err(|_| "--workers needs an integer".to_string())?
+                    }
+                    "--max-sessions" => {
+                        max_sessions = Some(
+                            it.next()
+                                .ok_or("--max-sessions needs a session count")?
+                                .parse()
+                                .map_err(|_| "--max-sessions needs an integer".to_string())?,
+                        )
+                    }
                     other => return Err(format!("unknown flag `{other}` for `serve`")),
                 }
             }
-            Command::Serve { root, listen, metrics_out }
+            Command::Serve { root, listen, metrics_out, workers, max_sessions }
         }
         "chunks" => {
             let file = PathBuf::from(it.next().ok_or("missing <FILE> path")?);
@@ -367,6 +393,8 @@ mod tests {
                 root: PathBuf::from("/srv/tree"),
                 listen: "127.0.0.1:9631".into(),
                 metrics_out: None,
+                workers: 0,
+                max_sessions: None,
             }
         );
         let cli = parse(&["serve", "/srv/tree", "--listen", "0.0.0.0:7777"]).unwrap();
@@ -376,6 +404,21 @@ mod tests {
         }
         assert!(parse(&["serve"]).unwrap_err().contains("ROOT"));
         assert!(parse(&["serve", "/srv", "--compare"]).is_err());
+    }
+
+    #[test]
+    fn serve_concurrency_flags_parse() {
+        let cli = parse(&["serve", "/srv", "--workers", "4", "--max-sessions", "64"]).unwrap();
+        match cli.command {
+            Command::Serve { workers, max_sessions, .. } => {
+                assert_eq!(workers, 4);
+                assert_eq!(max_sessions, Some(64));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["serve", "/srv", "--workers"]).unwrap_err().contains("thread count"));
+        assert!(parse(&["serve", "/srv", "--workers", "x"]).unwrap_err().contains("integer"));
+        assert!(parse(&["serve", "/srv", "--max-sessions", "no"]).is_err());
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             // parse_args guarantees one of the two is present.
             (None, None) => Err("missing <NEW> path (or --remote ADDR)".into()),
         },
-        Command::Serve { root, listen, metrics_out } => {
-            serve_cmd(root, listen, metrics_out.as_deref())
+        Command::Serve { root, listen, metrics_out, workers, max_sessions } => {
+            serve_cmd(root, listen, metrics_out.as_deref(), *workers, *max_sessions)
         }
         Command::Inspect { old, new, config } => inspect(old, new, config),
     }
@@ -66,7 +66,13 @@ pub fn run(cli: &Cli) -> Result<String, String> {
 
 /// `serve`: load the root directory once, then serve it to every
 /// connection until killed. Never returns on success.
-fn serve_cmd(root: &Path, listen: &str, metrics_out: Option<&Path>) -> Result<String, String> {
+fn serve_cmd(
+    root: &Path,
+    listen: &str,
+    metrics_out: Option<&Path>,
+    workers: usize,
+    max_sessions: Option<usize>,
+) -> Result<String, String> {
     if !root.is_dir() {
         return Err(format!("{} is not a directory", root.display()));
     }
@@ -75,6 +81,8 @@ fn serve_cmd(root: &Path, listen: &str, metrics_out: Option<&Path>) -> Result<St
     let summary = format!("serving {} file(s), {}", files.len(), human(col.total_bytes()));
     let opts = msync_net::DaemonOptions {
         metrics_out: metrics_out.map(Path::to_path_buf),
+        workers,
+        max_sessions,
         ..Default::default()
     };
     let daemon = msync_net::Daemon::spawn(
@@ -382,7 +390,12 @@ fn faulty_sync_cmd(
             fault_seed: seed.wrapping_add(i as u64),
             ..Default::default()
         };
-        match msync_core::sync_over_channel_traced(&old_data, &nf.data, &cfg, &opts, &recorder) {
+        let sync_opts = msync_core::SyncOptions {
+            recorder: recorder.clone(),
+            file_id: i as u64,
+            channel: Some(opts),
+        };
+        match msync_core::sync_file_with(&old_data, &nf.data, &cfg, &sync_opts) {
             Ok(out) => {
                 let verified = if out.reconstructed == nf.data { "exact" } else { "MISMATCH" };
                 fallbacks += usize::from(out.fell_back);

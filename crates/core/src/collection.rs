@@ -16,7 +16,7 @@
 //!   files can be processed simultaneously".
 
 use crate::config::ProtocolConfig;
-use crate::session::{sync_file, sync_file_with, SyncError};
+use crate::session::{sync_file, sync_file_with, SyncError, SyncOptions};
 use crate::stats::SyncStats;
 use msync_protocol::{frame_wire_size, Direction, Phase, TrafficStats};
 use msync_trace::{DirTag, EventKind, PhaseTag, Recorder};
@@ -170,7 +170,9 @@ pub fn sync_collection_traced(
             }
         }
         let old_bytes = old_data.unwrap_or(&empty);
-        let outcome = sync_file_with(old_bytes, &nf.data, cfg, recorder, file_id as u64)?;
+        let opts =
+            SyncOptions { recorder: recorder.clone(), file_id: file_id as u64, channel: None };
+        let outcome = sync_file_with(old_bytes, &nf.data, cfg, &opts)?;
         debug_assert_eq!(outcome.reconstructed, nf.data);
         // Renames are categorized as `created` (+`renamed`), not
         // `unchanged` — the categories must partition the files.

@@ -1,0 +1,331 @@
+//! Single-file session machines: [`ClientMachine`] drives one
+//! [`ClientSession`](crate::session) over the sans-IO ARQ core,
+//! [`ServerMachine`] answers it from the served file's bytes.
+//!
+//! State diagram (client):
+//!
+//! ```text
+//! new() ──request queued──▶ Awaiting ──final reply──▶ Finished
+//!                              │  ▲
+//!                              └──┘ reply queued, next await
+//! ```
+//!
+//! State diagram (server):
+//!
+//! ```text
+//! new() ─▶ AwaitRequest ─▶ Await ⟲ ─session done─▶ Linger ─▶ Done
+//!              │ budget out            budget out ▲   quiet budget /
+//!              ▼                         │────────┘   disconnect
+//!             Done                      Linger
+//! ```
+//!
+//! The linger state is the server's grace period after its final
+//! message: stale client retransmissions are answered from the cached
+//! reply until the client hangs up (success) or goes silent past the
+//! retry budget.
+
+use msync_protocol::RetryPolicy;
+use msync_trace::Recorder;
+
+use super::arq::{micros_of, parse_frame, ArqCore, MAX_FRAMES_PER_EXCHANGE};
+use super::{Machine, Output};
+use crate::config::ProtocolConfig;
+use crate::session::{ClientAction, ClientSession, SState, ServerSession, SyncError};
+use crate::stats::LevelStats;
+
+/// What a finished [`ClientMachine`] produced, extracted with
+/// [`ClientMachine::take_done`]. The driver combines this with the
+/// transport's own `TrafficStats` to build a
+/// [`SyncOutcome`](crate::session::SyncOutcome).
+#[derive(Debug)]
+pub struct ClientDone {
+    /// The reconstruction (always exact when the session succeeded).
+    pub data: Vec<u8>,
+    /// Whether the whole-file fallback fired.
+    pub fell_back: bool,
+    /// Per-level statistics gathered by the session.
+    pub levels: Vec<LevelStats>,
+    /// Bytes of the new file covered by the map at completion.
+    pub known_bytes: u64,
+    /// Size of the delta stream, when one was received.
+    pub delta_bytes: u64,
+}
+
+/// The client half of one file session as a sans-IO machine.
+pub struct ClientMachine<'a> {
+    session: ClientSession<'a>,
+    arq: ArqCore,
+    done: Option<ClientDone>,
+    finished: bool,
+}
+
+impl<'a> ClientMachine<'a> {
+    /// Build the machine and queue the opening request. `now_us` is the
+    /// caller's clock reading, the origin for the first ARQ deadline.
+    ///
+    /// # Errors
+    /// [`SyncError::Config`] when `cfg` fails validation.
+    pub fn new(
+        old: &'a [u8],
+        cfg: &'a ProtocolConfig,
+        retry: RetryPolicy,
+        rec: Recorder,
+        file_id: u64,
+        now_us: u64,
+    ) -> Result<Self, SyncError> {
+        cfg.validate().map_err(SyncError::Config)?;
+        let mut session = ClientSession::new(old, cfg);
+        session.recorder = rec.clone();
+        session.file_id = file_id;
+        let mut arq = ArqCore::client(retry, rec);
+        let request = session.request();
+        arq.send_message(vec![request], now_us);
+        arq.begin_await(now_us);
+        Ok(Self { session, arq, done: None, finished: false })
+    }
+
+    /// The finished session's result, once [`Output::Done`] was polled.
+    pub fn take_done(&mut self) -> Option<ClientDone> {
+        self.done.take()
+    }
+}
+
+impl Machine for ClientMachine<'_> {
+    type Ctx = ();
+
+    fn on_frame(&mut self, _ctx: &(), bytes: &[u8], now_us: u64) -> Result<(), SyncError> {
+        if self.finished {
+            return Ok(());
+        }
+        let Some(parts) = self.arq.on_frame(bytes, now_us)? else {
+            return Ok(());
+        };
+        // Attribute recovery cost to the round the wait interrupted,
+        // before `handle` opens the next round's level entry.
+        let retrans = self.arq.take_retrans_in_wait();
+        if retrans > 0 {
+            if let Some(level) = self.session.levels.last_mut() {
+                level.retransmits += retrans;
+            }
+        }
+        match self.session.handle(parts)? {
+            ClientAction::Done { data, fell_back } => {
+                self.done = Some(ClientDone {
+                    data,
+                    fell_back,
+                    levels: std::mem::take(&mut self.session.levels),
+                    known_bytes: self.session.map.known_bytes(),
+                    delta_bytes: self.session.delta_bytes,
+                });
+                self.finished = true;
+            }
+            ClientAction::Reply(cparts) => {
+                if cparts.is_empty() {
+                    return Err(SyncError::Desync("client had nothing to say"));
+                }
+                self.arq.send_message(cparts, now_us);
+                self.arq.begin_await(now_us);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_corrupt_frame(&mut self, now_us: u64) -> Result<(), SyncError> {
+        if self.finished {
+            return Ok(());
+        }
+        self.arq.on_corrupt(now_us)
+    }
+
+    fn on_disconnect(&mut self) -> Result<(), SyncError> {
+        if self.finished {
+            return Ok(());
+        }
+        Err(SyncError::PeerGone)
+    }
+
+    fn poll_output(&mut self, now_us: u64) -> Result<Output, SyncError> {
+        loop {
+            if let Some(effect) = self.arq.next_effect() {
+                return Ok(effect);
+            }
+            if self.finished {
+                return Ok(Output::Done);
+            }
+            self.arq.poll_deadline(now_us)?;
+            if !self.arq.has_effects() {
+                return Ok(Output::Wait { deadline_us: self.arq.deadline_us() });
+            }
+        }
+    }
+}
+
+enum ServerState {
+    AwaitRequest,
+    Await,
+    Linger { deadline_us: u64 },
+    Done,
+}
+
+/// The server half of one file session as a sans-IO machine. The served
+/// file's bytes are the per-call context (`Ctx = [u8]`), so one daemon
+/// can share a collection read-only across many machines.
+pub struct ServerMachine {
+    session: ServerSession,
+    arq: ArqCore,
+    state: ServerState,
+    quiet: u32,
+    linger_frames: u32,
+}
+
+impl ServerMachine {
+    /// Build the machine, waiting for a client request from `now_us`.
+    ///
+    /// # Errors
+    /// [`SyncError::Config`] when `cfg` fails validation.
+    pub fn new(
+        cfg: &ProtocolConfig,
+        retry: RetryPolicy,
+        rec: Recorder,
+        now_us: u64,
+    ) -> Result<Self, SyncError> {
+        cfg.validate().map_err(SyncError::Config)?;
+        let mut arq = ArqCore::server(retry, rec);
+        arq.begin_await(now_us);
+        Ok(Self {
+            session: ServerSession::new(cfg.clone()),
+            arq,
+            state: ServerState::AwaitRequest,
+            quiet: 0,
+            linger_frames: 0,
+        })
+    }
+
+    fn enter_linger(&mut self, now_us: u64) {
+        self.quiet = 0;
+        self.linger_frames = 0;
+        let deadline_us = now_us.saturating_add(micros_of(self.arq.retry().timeout));
+        self.state = ServerState::Linger { deadline_us };
+    }
+
+    fn on_linger_frame(&mut self, bytes: &[u8], now_us: u64) {
+        self.linger_frames += 1;
+        self.quiet = 0;
+        if let Some(frame) = parse_frame(bytes) {
+            self.arq.queue_attribute(frame.part.phase);
+            if frame.seq < self.arq.recv_seq() && !frame.more && self.arq.has_cached() {
+                self.arq.queue_retransmit();
+            }
+        }
+        if self.linger_frames >= MAX_FRAMES_PER_EXCHANGE {
+            self.state = ServerState::Done;
+        } else {
+            let deadline_us = now_us.saturating_add(micros_of(self.arq.retry().timeout));
+            self.state = ServerState::Linger { deadline_us };
+        }
+    }
+}
+
+impl Machine for ServerMachine {
+    type Ctx = [u8];
+
+    fn on_frame(&mut self, new: &[u8], bytes: &[u8], now_us: u64) -> Result<(), SyncError> {
+        match self.state {
+            ServerState::AwaitRequest | ServerState::Await => {
+                let Some(parts) = self.arq.on_frame(bytes, now_us)? else {
+                    return Ok(());
+                };
+                let reply = match self.state {
+                    ServerState::AwaitRequest => {
+                        let first = parts.first().ok_or(SyncError::Desync("empty request"))?;
+                        self.session.on_request(new, &first.payload)?
+                    }
+                    _ => self.session.on_client(new, &parts)?,
+                };
+                self.arq.send_message(reply, now_us);
+                if self.session.state == SState::Done {
+                    self.enter_linger(now_us);
+                } else {
+                    self.state = ServerState::Await;
+                    self.arq.begin_await(now_us);
+                }
+                Ok(())
+            }
+            ServerState::Linger { .. } => {
+                self.on_linger_frame(bytes, now_us);
+                Ok(())
+            }
+            ServerState::Done => Ok(()),
+        }
+    }
+
+    fn on_corrupt_frame(&mut self, now_us: u64) -> Result<(), SyncError> {
+        match self.state {
+            ServerState::AwaitRequest | ServerState::Await => self.arq.on_corrupt(now_us),
+            ServerState::Linger { .. } => {
+                self.linger_frames += 1;
+                self.quiet = 0;
+                if self.linger_frames >= MAX_FRAMES_PER_EXCHANGE {
+                    self.state = ServerState::Done;
+                } else {
+                    let deadline_us = now_us.saturating_add(micros_of(self.arq.retry().timeout));
+                    self.state = ServerState::Linger { deadline_us };
+                }
+                Ok(())
+            }
+            ServerState::Done => Ok(()),
+        }
+    }
+
+    fn on_disconnect(&mut self) -> Result<(), SyncError> {
+        // The client finished and hung up, or gave up — either way the
+        // client side owns the verdict; end service normally.
+        self.state = ServerState::Done;
+        Ok(())
+    }
+
+    fn poll_output(&mut self, now_us: u64) -> Result<Output, SyncError> {
+        loop {
+            if let Some(effect) = self.arq.next_effect() {
+                return Ok(effect);
+            }
+            match self.state {
+                ServerState::Done => return Ok(Output::Done),
+                ServerState::AwaitRequest | ServerState::Await => {
+                    match self.arq.poll_deadline(now_us) {
+                        Ok(()) => {
+                            if !self.arq.has_effects() {
+                                return Ok(Output::Wait { deadline_us: self.arq.deadline_us() });
+                            }
+                        }
+                        // Budget exhausted. Before the first request
+                        // there is no session to fail on this side; in
+                        // flight, serve any pending resends from the
+                        // linger state before leaving. The client owns
+                        // the verdict either way.
+                        Err(SyncError::Timeout | SyncError::FrameCorrupt) => {
+                            if matches!(self.state, ServerState::AwaitRequest) {
+                                self.state = ServerState::Done;
+                            } else {
+                                self.enter_linger(now_us);
+                            }
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                ServerState::Linger { deadline_us } => {
+                    if now_us < deadline_us {
+                        return Ok(Output::Wait { deadline_us });
+                    }
+                    self.quiet += 1;
+                    if self.quiet > self.arq.retry().max_retries {
+                        self.state = ServerState::Done;
+                    } else {
+                        let next = now_us.saturating_add(micros_of(self.arq.retry().timeout));
+                        self.state = ServerState::Linger { deadline_us: next };
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Sans-IO session engine.
+//!
+//! Every protocol exchange in this crate — the single-file session, the
+//! stop-and-wait ARQ recovery layer, and the pipelined collection
+//! schedule — is expressed here as a pure state machine. A machine never
+//! touches a socket, a channel, a thread, or a clock: the caller feeds
+//! it received frames ([`Machine::on_frame`]) and drains its effects
+//! ([`Machine::poll_output`]), supplying the current time on every call.
+//! What to do with those effects is the caller's business:
+//!
+//! * the blocking drivers in [`crate::session`] and [`crate::pipeline`]
+//!   pump a machine over a [`Transport`](msync_protocol::Transport),
+//!   sleeping in `recv_timeout` until the machine's deadline;
+//! * the `msync-net` daemon multiplexes many machines over nonblocking
+//!   sockets on a fixed worker pool, servicing deadlines from a poll
+//!   loop.
+//!
+//! Because machines are deterministic functions of (frames, clock
+//! readings), a recorded frame sequence replayed under a
+//! [`ManualClock`](msync_trace::ManualClock) reproduces the exact same
+//! output frames — the engine unit tests assert this.
+//!
+//! The module is I/O-free by construction and by lint: the xtask
+//! `io-discipline` rule bans `thread::spawn` and blocking
+//! `recv`/`read`-family calls anywhere under `crates/core/src/engine/`.
+
+pub mod arq;
+pub mod collection;
+pub mod machine;
+
+pub use collection::{CollectionClientMachine, CollectionServeMachine};
+pub use machine::{ClientDone, ClientMachine, ServerMachine};
+
+use crate::session::SyncError;
+use msync_protocol::Phase;
+
+/// One effect requested by a machine, drained via
+/// [`Machine::poll_output`]. Effects must be executed in the order they
+/// are returned; `Wait` and `Done` are always the last effect of a
+/// drain.
+#[derive(Debug)]
+pub enum Output {
+    /// Put this encoded ARQ frame on the wire, charged to `phase`.
+    /// `retransmit` marks recovery traffic so the transport's
+    /// retransmission counter stays honest.
+    Transmit {
+        /// Encoded frame bytes (ARQ header + payload), ready to send.
+        frame: Vec<u8>,
+        /// Accounting phase of the frame's payload.
+        phase: Phase,
+        /// Whether this is a retransmission of an earlier frame.
+        retransmit: bool,
+    },
+    /// Attribute the most recently received frame's wire bytes to
+    /// `phase` (the transport pools inbound bytes until the ARQ header
+    /// has been parsed — which only the machine can do).
+    Attribute {
+        /// Accounting phase parsed from the frame's ARQ header.
+        phase: Phase,
+    },
+    /// Nothing to do until a frame arrives or `deadline_us` passes
+    /// (on the same clock the caller supplies as `now_us`).
+    Wait {
+        /// Absolute deadline in microseconds.
+        deadline_us: u64,
+    },
+    /// The machine has finished; it will emit no further effects.
+    Done,
+}
+
+/// The uniform driving surface of a session machine.
+///
+/// The contract, identical for every implementation:
+///
+/// 1. call [`poll_output`](Machine::poll_output) repeatedly, executing
+///    effects, until it returns `Wait` or `Done`;
+/// 2. on `Wait`, sleep (or poll) until a frame arrives or the deadline
+///    passes, then call [`on_frame`](Machine::on_frame) /
+///    [`on_corrupt_frame`](Machine::on_corrupt_frame) /
+///    [`on_disconnect`](Machine::on_disconnect) as appropriate — a bare
+///    deadline expiry needs no call at all, the next `poll_output`
+///    observes it;
+/// 3. repeat from 1 until `Done` or an error.
+///
+/// `Ctx` is whatever per-call context the machine needs but must not
+/// own — the served file's bytes for a server machine (`[u8]`), the
+/// served collection for a collection server (`[FileEntry]`), or `()`
+/// for client machines, which borrow their inputs at construction.
+pub trait Machine {
+    /// Caller-supplied context passed to every `on_frame` call.
+    type Ctx: ?Sized;
+
+    /// Feed one received frame payload to the machine.
+    ///
+    /// # Errors
+    /// Any [`SyncError`] the frame provokes (desync, retry exhaustion).
+    fn on_frame(&mut self, ctx: &Self::Ctx, bytes: &[u8], now_us: u64) -> Result<(), SyncError>;
+
+    /// Report a frame that failed the transport's integrity checks.
+    ///
+    /// # Errors
+    /// [`SyncError::Desync`] if the link floods garbage past the cap.
+    fn on_corrupt_frame(&mut self, now_us: u64) -> Result<(), SyncError>;
+
+    /// Report that the peer disconnected.
+    ///
+    /// # Errors
+    /// [`SyncError::PeerGone`] on the client side; server machines treat
+    /// a hang-up as the normal end of service and return `Ok`.
+    fn on_disconnect(&mut self) -> Result<(), SyncError>;
+
+    /// Drain the machine's next effect.
+    ///
+    /// # Errors
+    /// Any [`SyncError`] raised by an expired retry budget.
+    fn poll_output(&mut self, now_us: u64) -> Result<Output, SyncError>;
+}

@@ -53,6 +53,7 @@ pub mod broadcast;
 pub mod collection;
 pub mod config;
 pub mod coverage;
+pub mod engine;
 pub mod index;
 pub mod items;
 pub mod map;
@@ -69,10 +70,16 @@ pub use collection::{
     ReconStrategy,
 };
 pub use config::{BatchConfig, ChannelOptions, ProtocolConfig, VerifyStrategy};
+pub use engine::{
+    ClientDone, ClientMachine, CollectionClientMachine, CollectionServeMachine, Machine, Output,
+    ServerMachine,
+};
 pub use map::{FileMap, Segment};
 pub use pipeline::{serve_collection, sync_collection_client, PipelineOptions, ServeOutcome};
+#[allow(deprecated)] // the deprecated wrappers stay exported for downstream callers
 pub use session::{
     serve_file_transport, sync_file, sync_file_traced, sync_file_transport, sync_file_transport_as,
-    sync_over_channel, sync_over_channel_traced, sync_over_channel_with, SyncError, SyncOutcome,
+    sync_file_with, sync_over_channel, sync_over_channel_traced, sync_over_channel_with, SyncError,
+    SyncOptions, SyncOutcome,
 };
 pub use stats::{LevelStats, SyncStats};

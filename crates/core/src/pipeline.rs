@@ -33,19 +33,15 @@
 //! path (the analytic `sync_collection` models them); a renamed file
 //! costs a create plus a delete here.
 
-use std::collections::{HashMap, HashSet};
-
 use msync_hash::{BitReader, BitWriter};
-use msync_protocol::{Direction, Phase, RetryPolicy, TrafficStats, Transport};
-use msync_trace::{EventKind, HistKind};
+use msync_protocol::{RetryPolicy, TrafficStats, Transport};
+use msync_trace::{Clock, SystemClock};
 
 use crate::collection::{CollectionOutcome, FileEntry};
 use crate::config::ProtocolConfig;
-use crate::session::{
-    parse_part_header, part_header, ArqLink, ClientAction, ClientSession, Part, SState,
-    ServerSession, SyncError, MAX_PARTS_PER_MESSAGE,
-};
-use crate::stats::SyncStats;
+use crate::engine::arq::{parse_part_header, part_header, MAX_PARTS_PER_MESSAGE};
+use crate::engine::{CollectionClientMachine, CollectionServeMachine};
+use crate::session::{pump, Part, SyncError};
 
 /// Upper bound on files in one collection roster. A count above this in
 /// a decoded roster or batch is treated as a desync, not an allocation
@@ -83,7 +79,7 @@ pub struct ServeOutcome {
     pub traffic: TrafficStats,
 }
 
-fn encode_roster(names: &[&str]) -> Vec<u8> {
+pub(crate) fn encode_roster(names: &[&str]) -> Vec<u8> {
     let mut w = BitWriter::new();
     w.write_varint(names.len() as u64);
     for name in names {
@@ -95,7 +91,7 @@ fn encode_roster(names: &[&str]) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_roster(payload: &[u8]) -> Result<Vec<String>, SyncError> {
+pub(crate) fn decode_roster(payload: &[u8]) -> Result<Vec<String>, SyncError> {
     let mut r = BitReader::new(payload);
     let count = r.read_varint().map_err(|_| SyncError::Desync("roster count"))?;
     if count > MAX_COLLECTION_FILES {
@@ -124,7 +120,7 @@ fn decode_roster(payload: &[u8]) -> Result<Vec<String>, SyncError> {
 /// Pack one round message per in-flight file into a single frame
 /// payload: `varint n, then per file (varint id, varint n_parts, per
 /// part: 1 phase byte, varint len, payload bytes)`.
-fn encode_batch(entries: &[(usize, Vec<Part>)]) -> Vec<u8> {
+pub(crate) fn encode_batch(entries: &[(usize, Vec<Part>)]) -> Vec<u8> {
     let mut w = BitWriter::new();
     w.write_varint(entries.len() as u64);
     for (id, parts) in entries {
@@ -141,7 +137,7 @@ fn encode_batch(entries: &[(usize, Vec<Part>)]) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_batch(payload: &[u8]) -> Result<Vec<(usize, Vec<Part>)>, SyncError> {
+pub(crate) fn decode_batch(payload: &[u8]) -> Result<Vec<(usize, Vec<Part>)>, SyncError> {
     let mut r = BitReader::new(payload);
     let count = r.read_varint().map_err(|_| SyncError::Desync("batch count"))?;
     if count > MAX_COLLECTION_FILES {
@@ -184,17 +180,6 @@ fn decode_batch(payload: &[u8]) -> Result<Vec<(usize, Vec<Part>)>, SyncError> {
     Ok(out)
 }
 
-/// Per-file client state while the pipeline runs.
-struct Slot<'a> {
-    session: ClientSession<'a>,
-    old_data: &'a [u8],
-    existed: bool,
-    traffic: TrafficStats,
-    done: Option<(Vec<u8>, bool)>,
-    /// Recorder timestamp at admission (0 when tracing is off).
-    t0_us: u64,
-}
-
 /// Sync the local `old` collection against a remote server over `t`,
 /// with up to [`PipelineOptions::depth`] files in flight per flush.
 ///
@@ -207,187 +192,12 @@ pub fn sync_collection_client(
     cfg: &ProtocolConfig,
     opts: &PipelineOptions,
 ) -> Result<CollectionOutcome, SyncError> {
-    cfg.validate().map_err(SyncError::Config)?;
-    let depth = opts.depth.max(1);
     let rec = t.recorder();
-    let mut link = ArqLink::client(t, opts.retry);
-
-    // 1. Roster exchange: our names out (sorted for determinism), the
-    // server's names back. Server roster order defines file ids.
-    let mut my_names: Vec<&str> = old.iter().map(|f| f.name.as_str()).collect();
-    my_names.sort_unstable();
-    link.send_message(vec![Part { phase: Phase::Setup, payload: encode_roster(&my_names) }])?;
-    let reply = link.recv_message()?;
-    let roster_part = reply.first().ok_or(SyncError::Desync("missing server roster"))?;
-    let server_names = decode_roster(&roster_part.payload)?;
-    let n = server_names.len();
-
-    let old_by_name: HashMap<&str, &FileEntry> = old.iter().map(|f| (f.name.as_str(), f)).collect();
-    let server_set: HashSet<&str> = server_names.iter().map(String::as_str).collect();
-    let deleted = old.iter().filter(|f| !server_set.contains(f.name.as_str())).count();
-
-    const EMPTY: &[u8] = &[];
-    let mut slots: Vec<Slot<'_>> = server_names
-        .iter()
-        .enumerate()
-        .map(|(id, name)| {
-            let old_entry = old_by_name.get(name.as_str()).copied();
-            let old_data = old_entry.map_or(EMPTY, |f| f.data.as_slice());
-            let mut session = ClientSession::new(old_data, cfg);
-            session.recorder = rec.clone();
-            session.file_id = id as u64;
-            Slot {
-                session,
-                old_data,
-                existed: old_entry.is_some(),
-                traffic: TrafficStats::new(),
-                done: None,
-                t0_us: 0,
-            }
-        })
-        .collect();
-
-    // 2. Windowed batch loop: admit files in roster order as slots
-    // free, one ARQ message per direction per flush.
-    let mut outbox: Vec<(usize, Vec<Part>)> = Vec::new();
-    let mut next_admit = 0usize;
-    let mut in_flight = 0usize;
-    let mut done_count = 0usize;
-    while next_admit < n && in_flight < depth {
-        let id = next_admit;
-        next_admit += 1;
-        in_flight += 1;
-        rec.record(EventKind::SessionStart { file_id: id as u64 });
-        slots[id].t0_us = rec.now_micros();
-        let part = slots[id].session.request();
-        slots[id].traffic.record(Direction::ClientToServer, part.phase, part.payload.len() as u64);
-        outbox.push((id, vec![part]));
-    }
-    if rec.is_enabled() && n > 0 {
-        rec.record(EventKind::WindowAdvance {
-            in_flight: in_flight as u64,
-            admitted: next_admit as u64,
-            done: done_count as u64,
-        });
-    }
-    while !outbox.is_empty() {
-        let batch = encode_batch(&outbox);
-        let mut expected: HashSet<usize> = outbox.iter().map(|(id, _)| *id).collect();
-        outbox.clear();
-        link.send_message(vec![Part { phase: Phase::Map, payload: batch }])?;
-        let reply = link.recv_message()?;
-        let part = reply.first().ok_or(SyncError::Desync("empty batch reply"))?;
-        for (id, parts) in decode_batch(&part.payload)? {
-            if !expected.remove(&id) {
-                return Err(SyncError::Desync("batch reply for a file not in flight"));
-            }
-            let slot = slots.get_mut(id).ok_or(SyncError::Desync("batch id out of range"))?;
-            for p in &parts {
-                slot.traffic.record(Direction::ServerToClient, p.phase, p.payload.len() as u64);
-            }
-            match slot.session.handle(parts)? {
-                ClientAction::Done { data, fell_back } => {
-                    if rec.is_enabled() {
-                        rec.observe(
-                            HistKind::SessionDuration,
-                            rec.now_micros().saturating_sub(slot.t0_us),
-                        );
-                        rec.record(EventKind::SessionEnd {
-                            file_id: id as u64,
-                            ok: true,
-                            fell_back,
-                        });
-                    }
-                    slot.done = Some((data, fell_back));
-                    in_flight -= 1;
-                    done_count += 1;
-                }
-                ClientAction::Reply(cparts) => {
-                    if cparts.is_empty() {
-                        return Err(SyncError::Desync("session yielded no reply"));
-                    }
-                    for p in &cparts {
-                        slot.traffic.record(
-                            Direction::ClientToServer,
-                            p.phase,
-                            p.payload.len() as u64,
-                        );
-                    }
-                    outbox.push((id, cparts));
-                }
-            }
-        }
-        if !expected.is_empty() {
-            return Err(SyncError::Desync("batch reply missing an in-flight file"));
-        }
-        while next_admit < n && in_flight < depth {
-            let id = next_admit;
-            next_admit += 1;
-            in_flight += 1;
-            rec.record(EventKind::SessionStart { file_id: id as u64 });
-            slots[id].t0_us = rec.now_micros();
-            let part = slots[id].session.request();
-            slots[id].traffic.record(
-                Direction::ClientToServer,
-                part.phase,
-                part.payload.len() as u64,
-            );
-            outbox.push((id, vec![part]));
-        }
-        if rec.is_enabled() {
-            rec.record(EventKind::WindowAdvance {
-                in_flight: in_flight as u64,
-                admitted: next_admit as u64,
-                done: done_count as u64,
-            });
-        }
-    }
-
-    // 3. Assemble the outcome in roster (sorted-name) order.
-    let traffic = link.stats();
-    let mut files = Vec::with_capacity(n);
-    let mut per_file = Vec::with_capacity(n);
-    let mut unchanged = 0usize;
-    let mut created = 0usize;
-    let mut fell_back = 0usize;
-    for (name, slot) in server_names.iter().zip(slots) {
-        let (data, fb) = slot.done.ok_or(SyncError::Desync("file never completed"))?;
-        if !slot.existed {
-            created += 1;
-        }
-        if fb {
-            fell_back += 1;
-        }
-        let levels = slot.session.levels;
-        if slot.existed && levels.is_empty() && data.as_slice() == slot.old_data {
-            unchanged += 1;
-        }
-        let stats = SyncStats {
-            traffic: slot.traffic,
-            levels,
-            known_bytes: slot.session.map.known_bytes(),
-            delta_bytes: slot.session.delta_bytes,
-        };
-        per_file.push((name.clone(), stats));
-        files.push(FileEntry { name: name.clone(), data });
-    }
-    Ok(CollectionOutcome {
-        files,
-        traffic,
-        per_file,
-        unchanged,
-        created,
-        renamed: 0,
-        deleted,
-        fell_back,
-    })
-}
-
-/// Server-side per-file session state.
-enum ServeSlot<'a> {
-    Idle,
-    Running(ServerSession<'a>),
-    Finished,
+    let clock = SystemClock::new();
+    let mut machine =
+        CollectionClientMachine::new(old, cfg, opts.depth, opts.retry, rec, clock.now_micros())?;
+    pump(t, &mut machine, &(), &clock)?;
+    machine.finish(t.stats())
 }
 
 /// Serve the `new` collection to one pipelined client over `t`.
@@ -401,69 +211,18 @@ pub fn serve_collection(
     cfg: &ProtocolConfig,
     retry: RetryPolicy,
 ) -> Result<ServeOutcome, SyncError> {
-    cfg.validate().map_err(SyncError::Config)?;
-    let mut link = ArqLink::server(t, retry);
-
-    let first = match link.recv_message() {
-        Ok(parts) => parts,
-        // The peer connected and said nothing — nothing was served.
-        Err(_) => return Ok(ServeOutcome { files: new.len(), sessions: 0, traffic: link.stats() }),
-    };
-    let roster_part = first.first().ok_or(SyncError::Desync("empty client roster"))?;
-    // The client's roster is advisory (it computes creates and deletes
-    // itself); decoding it validates the handshake.
-    decode_roster(&roster_part.payload)?;
-
-    let mut new_sorted: Vec<&FileEntry> = new.iter().collect();
-    new_sorted.sort_by(|a, b| a.name.cmp(&b.name));
-    let names: Vec<&str> = new_sorted.iter().map(|f| f.name.as_str()).collect();
-    link.send_message(vec![Part { phase: Phase::Setup, payload: encode_roster(&names) }])?;
-
-    let n = new_sorted.len();
-    let mut slots: Vec<ServeSlot<'_>> = (0..n).map(|_| ServeSlot::Idle).collect();
-    let mut sessions = 0usize;
-    loop {
-        let msg = match link.recv_message() {
-            Ok(m) => m,
-            // Peer gone or silent: the client is done with us.
-            Err(_) => break,
-        };
-        let part = msg.first().ok_or(SyncError::Desync("empty batch message"))?;
-        let mut out: Vec<(usize, Vec<Part>)> = Vec::new();
-        for (id, parts) in decode_batch(&part.payload)? {
-            let slot = slots.get_mut(id).ok_or(SyncError::Desync("batch id out of range"))?;
-            let reply = match slot {
-                ServeSlot::Idle => {
-                    let entry = new_sorted.get(id).ok_or(SyncError::Desync("batch id"))?;
-                    let mut session = ServerSession::new(&entry.data, cfg);
-                    let p0 = parts.first().ok_or(SyncError::Desync("empty file message"))?;
-                    let reply = session.on_request(&p0.payload)?;
-                    sessions += 1;
-                    *slot = ServeSlot::Running(session);
-                    reply
-                }
-                ServeSlot::Running(session) => session.on_client(&parts)?,
-                ServeSlot::Finished => {
-                    return Err(SyncError::Desync("message for a finished file"))
-                }
-            };
-            if let ServeSlot::Running(session) = slot {
-                if session.state == SState::Done {
-                    *slot = ServeSlot::Finished;
-                }
-            }
-            out.push((id, reply));
-        }
-        link.send_message(vec![Part { phase: Phase::Map, payload: encode_batch(&out) }])?;
-    }
-    link.linger();
-    Ok(ServeOutcome { files: n, sessions, traffic: link.stats() })
+    let rec = t.recorder();
+    let clock = SystemClock::new();
+    let mut machine = CollectionServeMachine::new(cfg, retry, rec, clock.now_micros())?;
+    pump(t, &mut machine, new, &clock)?;
+    Ok(machine.outcome(new.len(), t.stats()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msync_protocol::Endpoint;
+    use msync_protocol::{Endpoint, Phase};
+    use std::collections::HashMap;
     use std::thread;
 
     fn entry(name: &str, data: &[u8]) -> FileEntry {

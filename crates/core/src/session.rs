@@ -27,6 +27,7 @@
 
 use crate::config::{ChannelOptions, ProtocolConfig};
 use crate::coverage::Coverage;
+use crate::engine::{ClientMachine, Machine, Output, ServerMachine};
 use crate::index::{matches_at, scan_neighborhood, PositionIndex};
 use crate::items::{self, global_hash_bits, Item, ItemKind, Side};
 use crate::map::{FileMap, Segment};
@@ -37,7 +38,7 @@ use msync_hash::{file_fingerprint, BitReader, BitWriter, Md5};
 use msync_protocol::{
     frame_wire_size, ChannelError, Direction, Endpoint, Phase, RetryPolicy, TrafficStats, Transport,
 };
-use msync_trace::{DirTag, EventKind, HistKind, Recorder};
+use msync_trace::{Clock, DirTag, EventKind, HistKind, Recorder, SystemClock};
 use std::collections::{HashMap, HashSet};
 
 /// Synchronization failure. A session never panics, never hangs, and
@@ -105,9 +106,13 @@ pub(crate) enum SState {
     Done,
 }
 
-pub(crate) struct ServerSession<'a> {
-    new: &'a [u8],
-    cfg: &'a ProtocolConfig,
+/// The server's protocol state for one file. The served file's bytes
+/// are *not* owned here: every entry point takes them as a parameter,
+/// so a daemon can share one in-memory collection read-only across many
+/// concurrent sessions. The caller must pass the same bytes on every
+/// call.
+pub(crate) struct ServerSession {
+    cfg: ProtocolConfig,
     coverage: Coverage,
     known_hashes: HashSet<(u64, u64)>,
     global_bits: u32,
@@ -126,10 +131,9 @@ pub(crate) struct ServerSession<'a> {
     pub(crate) state: SState,
 }
 
-impl<'a> ServerSession<'a> {
-    pub(crate) fn new(new: &'a [u8], cfg: &'a ProtocolConfig) -> Self {
+impl ServerSession {
+    pub(crate) fn new(cfg: ProtocolConfig) -> Self {
         Self {
-            new,
             cfg,
             coverage: Coverage::new(),
             known_hashes: HashSet::new(),
@@ -144,14 +148,18 @@ impl<'a> ServerSession<'a> {
         }
     }
 
-    pub(crate) fn on_request(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
+    pub(crate) fn on_request(
+        &mut self,
+        new: &[u8],
+        payload: &[u8],
+    ) -> Result<Vec<Part>, SyncError> {
         let mut r = BitReader::new(payload);
         let old_len = r.read_varint().map_err(|_| SyncError::Desync("request len"))?;
         let mut old_fp = [0u8; 16];
         for b in old_fp.iter_mut() {
             *b = r.read_bits(8).map_err(|_| SyncError::Desync("request fp"))? as u8;
         }
-        let new_fp = file_fingerprint(self.new);
+        let new_fp = file_fingerprint(new);
         let mut setup = BitWriter::new();
         if old_fp == new_fp.0 {
             setup.write_bit(true); // unchanged
@@ -159,28 +167,28 @@ impl<'a> ServerSession<'a> {
             return Ok(vec![Part { phase: Phase::Setup, payload: setup.into_bytes() }]);
         }
         setup.write_bit(false);
-        setup.write_varint(self.new.len() as u64);
+        setup.write_varint(new.len() as u64);
         for &b in &new_fp.0 {
             setup.write_bits(b as u64, 8);
         }
         self.global_bits = global_hash_bits(old_len, self.cfg.global_extra_bits);
         let mut parts = vec![Part { phase: Phase::Setup, payload: setup.into_bytes() }];
-        parts.extend(self.advance());
+        parts.extend(self.advance(new));
         Ok(parts)
     }
 
     /// Move to the next (sub)round with items, or the delta phase, and
     /// emit the corresponding part.
-    fn advance(&mut self) -> Vec<Part> {
+    fn advance(&mut self, new: &[u8]) -> Vec<Part> {
         let total = self.cfg.total_levels() * 2;
         while self.vidx < total {
             let vidx = self.vidx;
             self.vidx += 1;
             let Some((items, level, sub)) = round_items(
-                self.cfg,
+                &self.cfg,
                 &self.coverage,
                 &self.known_hashes,
-                self.new.len() as u64,
+                new.len() as u64,
                 vidx,
                 &self.excluded,
                 self.excluded_level,
@@ -201,9 +209,9 @@ impl<'a> ServerSession<'a> {
             let mut w = BitWriter::new();
             w.write_varint(vidx as u64 + 1);
             for it in &items {
-                let bits = it.wire_bits(self.cfg, self.global_bits);
+                let bits = it.wire_bits(&self.cfg, self.global_bits);
                 if bits > 0 {
-                    let range = &self.new[it.new_off as usize..(it.new_off + it.len) as usize];
+                    let range = &new[it.new_off as usize..(it.new_off + it.len) as usize];
                     w.write_bits(DecomposableDigest::of(range).prefix(bits), bits);
                 }
             }
@@ -214,9 +222,9 @@ impl<'a> ServerSession<'a> {
         // Delta phase: reference = known areas in new-file order.
         let mut reference = Vec::with_capacity(self.coverage.covered_bytes() as usize);
         for &(s, e) in self.coverage.intervals() {
-            reference.extend_from_slice(&self.new[s as usize..e as usize]);
+            reference.extend_from_slice(&new[s as usize..e as usize]);
         }
-        let delta = msync_compress::delta_encode(&reference, self.new);
+        let delta = msync_compress::delta_encode(&reference, new);
         let mut w = BitWriter::new();
         w.write_varint(0);
         let mut payload = w.into_bytes();
@@ -225,17 +233,17 @@ impl<'a> ServerSession<'a> {
         vec![Part { phase: Phase::Delta, payload }]
     }
 
-    pub(crate) fn on_client(&mut self, parts: &[Part]) -> Result<Vec<Part>, SyncError> {
+    pub(crate) fn on_client(&mut self, new: &[u8], parts: &[Part]) -> Result<Vec<Part>, SyncError> {
         let part = parts.first().ok_or(SyncError::Desync("empty client message"))?;
         match self.state {
-            SState::AwaitCandidates => self.on_candidates(&part.payload),
-            SState::AwaitBatch => self.on_batch(&part.payload),
-            SState::AwaitMaybeResend => Ok(self.on_resend()),
+            SState::AwaitCandidates => self.on_candidates(new, &part.payload),
+            SState::AwaitBatch => self.on_batch(new, &part.payload),
+            SState::AwaitMaybeResend => Ok(self.on_resend(new)),
             SState::Done => Err(SyncError::Desync("client message after completion")),
         }
     }
 
-    fn on_candidates(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
+    fn on_candidates(&mut self, new: &[u8], payload: &[u8]) -> Result<Vec<Part>, SyncError> {
         let mut r = BitReader::new(payload);
         let mut candidates = Vec::new();
         for i in 0..self.items.len() {
@@ -246,23 +254,23 @@ impl<'a> ServerSession<'a> {
         self.candidates = candidates;
         let verify = VerifyState::new(&self.cfg.verify, self.candidates.len());
         self.verify = Some(verify);
-        self.check_groups(&mut r)
+        self.check_groups(new, &mut r)
     }
 
-    fn on_batch(&mut self, payload: &[u8]) -> Result<Vec<Part>, SyncError> {
+    fn on_batch(&mut self, new: &[u8], payload: &[u8]) -> Result<Vec<Part>, SyncError> {
         let mut r = BitReader::new(payload);
-        self.check_groups(&mut r)
+        self.check_groups(new, &mut r)
     }
 
     /// Read the current batch's group hashes from `r`, evaluate them,
     /// and reply with the results bitmap (+ the next round when done).
-    fn check_groups(&mut self, r: &mut BitReader<'_>) -> Result<Vec<Part>, SyncError> {
+    fn check_groups(&mut self, new: &[u8], r: &mut BitReader<'_>) -> Result<Vec<Part>, SyncError> {
         let verify =
             self.verify.as_mut().ok_or(SyncError::Desync("server verify state missing"))?;
         if verify.is_trivially_done() {
             // No candidates at all: nothing to verify, no results bitmap.
             self.verify = None;
-            return Ok(self.advance());
+            return Ok(self.advance(new));
         }
         let bits = verify.batch_config().bits;
         let mut results = Vec::with_capacity(verify.groups().len());
@@ -272,9 +280,7 @@ impl<'a> ServerSession<'a> {
             let mut buf = Vec::new();
             for &cand in group {
                 let it = &self.items[self.candidates[cand]];
-                buf.extend_from_slice(
-                    &self.new[it.new_off as usize..(it.new_off + it.len) as usize],
-                );
+                buf.extend_from_slice(&new[it.new_off as usize..(it.new_off + it.len) as usize]);
             }
             let ours = Md5::digest_bits(&buf, bits);
             let passed = ours == sent;
@@ -294,15 +300,15 @@ impl<'a> ServerSession<'a> {
                     let it = &self.items[self.candidates[cand]];
                     self.coverage.insert(it.new_off, it.len);
                 }
-                parts.extend(self.advance());
+                parts.extend(self.advance(new));
             }
         }
         Ok(parts)
     }
 
-    fn on_resend(&mut self) -> Vec<Part> {
+    fn on_resend(&mut self, new: &[u8]) -> Vec<Part> {
         self.state = SState::Done;
-        vec![Part { phase: Phase::Delta, payload: msync_compress::compress(self.new) }]
+        vec![Part { phase: Phase::Delta, payload: msync_compress::compress(new) }]
     }
 }
 
@@ -787,28 +793,66 @@ impl<'a> ClientSession<'a> {
 // Driver
 // ---------------------------------------------------------------------
 
+/// Options for [`sync_file_with`] — the one entry point behind the
+/// historical `sync_file`/`sync_file_traced`/`sync_over_channel*`
+/// sprawl.
+///
+/// The default runs the single-threaded lockstep driver untraced: the
+/// two sessions exchange messages in-process with analytic byte
+/// accounting, and a run under a deterministic `ManualClock` produces a
+/// byte-identical journal every time. Setting `channel` switches to the
+/// deployment shape: a real duplex [`Endpoint`] pair with the server on
+/// its own thread, ARQ recovery, and wire-level accounting (framing,
+/// checksums, retransmissions) from the channel itself.
+#[derive(Debug, Clone, Default)]
+pub struct SyncOptions {
+    /// Trace recorder; [`Recorder::off()`] (the default) disables
+    /// tracing. When enabled, the driver emits session/round span
+    /// events and mirrors every byte it charges as a frame event, so
+    /// the journal's per-(direction, phase) sums equal the returned
+    /// `TrafficStats` exactly.
+    pub recorder: Recorder,
+    /// Roster index stamped on this session's trace events (the
+    /// pipelined collection client syncs many files over one
+    /// connection; each session's events carry its own id).
+    pub file_id: u64,
+    /// `Some` runs over a real in-memory channel (optionally with
+    /// injected faults) instead of the lockstep driver.
+    pub channel: Option<ChannelOptions>,
+}
+
 /// Synchronize one file: the client holds `old`, the server holds `new`;
 /// returns the client's (always exact) reconstruction plus cost stats.
 pub fn sync_file(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> Result<SyncOutcome, SyncError> {
-    sync_file_with(old, new, cfg, &Recorder::off(), 0)
+    sync_file_with(old, new, cfg, &SyncOptions::default())
 }
 
-/// [`sync_file`] with a trace recorder attached: the driver emits
-/// session/round span events and mirrors every byte it charges to the
-/// traffic stats as a frame event, so the journal's per-(direction,
-/// phase) sums equal the returned `TrafficStats` exactly. Because this
-/// driver is single-threaded lockstep, a run under a deterministic
-/// `ManualClock` produces a byte-identical journal every time.
+/// [`sync_file`] under explicit [`SyncOptions`]: tracing, trace file
+/// id, and the choice of lockstep or real-channel execution.
+pub fn sync_file_with(
+    old: &[u8],
+    new: &[u8],
+    cfg: &ProtocolConfig,
+    opts: &SyncOptions,
+) -> Result<SyncOutcome, SyncError> {
+    match &opts.channel {
+        None => sync_file_lockstep(old, new, cfg, &opts.recorder, opts.file_id),
+        Some(ch) => sync_channel_inner(old, new, cfg, ch, &opts.recorder, opts.file_id),
+    }
+}
+
+/// Deprecated spelling of [`sync_file_with`] with a recorder.
+#[deprecated(note = "use sync_file_with with SyncOptions { recorder, .. }")]
 pub fn sync_file_traced(
     old: &[u8],
     new: &[u8],
     cfg: &ProtocolConfig,
     recorder: &Recorder,
 ) -> Result<SyncOutcome, SyncError> {
-    sync_file_with(old, new, cfg, recorder, 0)
+    sync_file_lockstep(old, new, cfg, recorder, 0)
 }
 
-pub(crate) fn sync_file_with(
+fn sync_file_lockstep(
     old: &[u8],
     new: &[u8],
     cfg: &ProtocolConfig,
@@ -821,14 +865,14 @@ pub(crate) fn sync_file_with(
     let mut client = ClientSession::new(old, cfg);
     client.recorder = rec.clone();
     client.file_id = file_id;
-    let mut server = ServerSession::new(new, cfg);
+    let mut server = ServerSession::new(cfg.clone());
     let mut traffic = TrafficStats::new();
 
     let req = client.request();
     let req_wire = frame_wire_size(req.payload.len());
     traffic.record(Direction::ClientToServer, req.phase, req_wire);
     rec.record(EventKind::FrameSend { dir: DirTag::C2s, phase: req.phase.into(), bytes: req_wire });
-    let mut parts = server.on_request(&req.payload)?;
+    let mut parts = server.on_request(new, &req.payload)?;
     let mut roundtrips = 1u32;
 
     loop {
@@ -882,91 +926,21 @@ pub(crate) fn sync_file_with(
                     rec.observe(HistKind::BytesPerRound, exchange_bytes);
                 }
                 roundtrips += 1;
-                parts = server.on_client(&cparts)?;
+                parts = server.on_client(new, &cparts)?;
             }
         }
     }
 }
 
 // ---------------------------------------------------------------------
-// Channel transport (ARQ layer)
+// Transport drivers (blocking pumps over the sans-IO engine)
 // ---------------------------------------------------------------------
 //
-// Over a real (possibly faulty) channel, each logical message is split
-// into frames carrying an ARQ header:
-//
-// ```text
-// varint message sequence number
-// varint part index within the message
-// 1 byte part header (bit 0 = more parts follow, bits 1..3 = phase)
-// payload bytes
-// ```
-//
-// Messages alternate strictly: the client owns even sequence numbers,
-// the server odd ones. Recovery is stop-and-wait, driven by whichever
-// side is waiting for a reply: after a receive deadline expires it
-// retransmits its whole last message; the peer deduplicates by sequence
-// number and answers a stale retransmission by resending its own cached
-// reply. Duplicated or reordered frames are idempotent (parts are
-// assembled by index), corrupt frames are dropped by the channel's CRC
-// and repaired by the same retransmission path, and every receive is
-// bounded by the `RetryPolicy`, so a dead peer surfaces as a typed
-// error — never a hang.
-
-/// Hard cap on frames processed while waiting for one message: a live
-/// peer never legitimately approaches it, so exceeding it means the
-/// link floods garbage faster than timeouts can fire.
-const MAX_FRAMES_PER_EXCHANGE: u32 = 10_000;
-
-/// Parts per message are small (bitmap + batch + round hashes); a
-/// larger index in an ARQ header is corruption that slipped past the
-/// CRC, not a real frame.
-pub(crate) const MAX_PARTS_PER_MESSAGE: usize = 256;
-
-/// Wire form of a message part on a real channel: 1 header byte
-/// (bit 0 = more parts follow in this logical message, bits 1..3 =
-/// phase tag) followed by the payload.
-pub(crate) fn part_header(phase: Phase, more: bool) -> u8 {
-    let tag = match phase {
-        Phase::Setup => 0u8,
-        Phase::Map => 1,
-        Phase::Delta => 2,
-    };
-    (tag << 1) | u8::from(more)
-}
-
-pub(crate) fn parse_part_header(b: u8) -> Option<(Phase, bool)> {
-    let phase = match b >> 1 {
-        0 => Phase::Setup,
-        1 => Phase::Map,
-        2 => Phase::Delta,
-        _ => return None,
-    };
-    Some((phase, b & 1 == 1))
-}
-
-/// A decoded ARQ frame.
-struct ArqFrame {
-    seq: u64,
-    idx: usize,
-    more: bool,
-    part: Part,
-}
-
-fn parse_frame(bytes: &[u8]) -> Option<ArqFrame> {
-    let mut r = BitReader::new(bytes);
-    let seq = r.read_varint().ok()?;
-    let idx = usize::try_from(r.read_varint().ok()?).ok()?;
-    if idx >= MAX_PARTS_PER_MESSAGE {
-        return None;
-    }
-    let header = r.read_bits(8).ok()? as u8;
-    let (phase, more) = parse_part_header(header)?;
-    // The varints and header byte are whole bytes, so the payload
-    // starts byte-aligned.
-    let consumed = bytes.len() - r.remaining_bits() / 8;
-    Some(ArqFrame { seq, idx, more, part: Part { phase, payload: bytes[consumed..].to_vec() } })
-}
+// The ARQ wire format and its stop-and-wait recovery live in
+// `crate::engine::arq`; the session machines in `crate::engine` own all
+// protocol state. What remains here is the blocking shape: a pump loop
+// that executes a machine's effects against a `Transport`, sleeping in
+// `recv_timeout` until the machine's next deadline.
 
 /// Map a transport-level send failure to the session error it implies.
 /// (The in-memory channel never fails a send; a TCP transport reports a
@@ -979,240 +953,38 @@ pub(crate) fn channel_to_sync(e: ChannelError) -> SyncError {
     }
 }
 
-fn send_frame(
+/// Drive `m` over `t` until it finishes: transmit queued frames,
+/// attribute inbound bytes, and on `Wait` block in `recv_timeout` until
+/// a frame arrives or the machine's deadline passes. `clock` supplies
+/// the `now_us` timeline the machine's deadlines live on.
+pub(crate) fn pump<M: Machine>(
     t: &mut dyn Transport,
-    seq: u64,
-    idx: usize,
-    more: bool,
-    part: &Part,
+    m: &mut M,
+    ctx: &M::Ctx,
+    clock: &SystemClock,
 ) -> Result<(), SyncError> {
-    let mut w = BitWriter::new();
-    w.write_varint(seq);
-    w.write_varint(idx as u64);
-    w.write_bits(u64::from(part_header(part.phase, more)), 8);
-    let mut frame = w.into_bytes();
-    frame.extend_from_slice(&part.payload);
-    t.send(&frame, part.phase).map_err(channel_to_sync)
-}
-
-/// One side's view of the stop-and-wait message exchange, generic over
-/// the transport: the same recovery machinery drives the in-memory
-/// channel, the fault wrapper, and a real TCP connection.
-pub(crate) struct ArqLink<'a> {
-    t: &'a mut dyn Transport,
-    retry: RetryPolicy,
-    /// Sequence number of the next message this side sends (client
-    /// even, server odd).
-    send_seq: u64,
-    /// Sequence number of the next message expected from the peer.
-    recv_seq: u64,
-    /// The last message sent, kept for retransmission.
-    cached: Vec<Part>,
-    /// Whether a stale final frame from the peer triggers a resend of
-    /// the cached message. Only the server answers stale frames: it is
-    /// how a client retransmission gets its lost reply back. If both
-    /// sides did this, one duplicated frame would echo resends back and
-    /// forth indefinitely; the client's recovery driver is its receive
-    /// timeout instead.
-    resend_on_stale: bool,
-    /// Trace recorder inherited from the transport, plus the send
-    /// timestamp of the in-flight message for RTT measurement.
-    rec: Recorder,
-    last_send_us: u64,
-}
-
-impl<'a> ArqLink<'a> {
-    pub(crate) fn client(t: &'a mut dyn Transport, retry: RetryPolicy) -> Self {
-        let rec = t.recorder();
-        ArqLink {
-            t,
-            retry,
-            send_seq: 0,
-            recv_seq: 1,
-            cached: Vec::new(),
-            resend_on_stale: false,
-            rec,
-            last_send_us: 0,
-        }
-    }
-
-    pub(crate) fn server(t: &'a mut dyn Transport, retry: RetryPolicy) -> Self {
-        let rec = t.recorder();
-        ArqLink {
-            t,
-            retry,
-            send_seq: 1,
-            recv_seq: 0,
-            cached: Vec::new(),
-            resend_on_stale: true,
-            rec,
-            last_send_us: 0,
-        }
-    }
-
-    pub(crate) fn send_message(&mut self, parts: Vec<Part>) -> Result<(), SyncError> {
-        let seq = self.send_seq;
-        self.send_seq += 2;
-        for (i, part) in parts.iter().enumerate() {
-            send_frame(self.t, seq, i, i + 1 < parts.len(), part)?;
-        }
-        self.cached = parts;
-        self.last_send_us = self.rec.now_micros();
-        Ok(())
-    }
-
-    /// Retransmit the whole last message and count it in the stats.
-    fn retransmit_cached(&mut self) -> Result<(), SyncError> {
-        let seq = self.send_seq.wrapping_sub(2);
-        let n = self.cached.len();
-        for i in 0..n {
-            let more = i + 1 < n;
-            let mut w = BitWriter::new();
-            w.write_varint(seq);
-            w.write_varint(i as u64);
-            w.write_bits(u64::from(part_header(self.cached[i].phase, more)), 8);
-            let mut frame = w.into_bytes();
-            frame.extend_from_slice(&self.cached[i].payload);
-            self.t.send(&frame, self.cached[i].phase).map_err(channel_to_sync)?;
-        }
-        self.t.note_retransmits(n as u64);
-        self.rec.record(EventKind::Retransmit { frames: n as u64 });
-        Ok(())
-    }
-
-    /// Receive the peer's next message, driving recovery: timeouts
-    /// retransmit our cached message with exponential backoff (which
-    /// prompts the peer to resend its reply), duplicates and reordered
-    /// parts are assembled idempotently, and exhaustion of the retry
-    /// budget maps to a typed error naming the dominant failure.
-    pub(crate) fn recv_message(&mut self) -> Result<Vec<Part>, SyncError> {
-        let expected = self.recv_seq;
-        let mut slots: Vec<Option<Part>> = Vec::new();
-        let mut final_idx: Option<usize> = None;
-        let mut timeout = self.retry.timeout;
-        let mut attempts = 0u32;
-        let mut saw_corrupt = false;
-        let mut frames = 0u32;
-        loop {
-            match self.t.recv_timeout(timeout) {
-                Ok(bytes) => {
-                    frames += 1;
-                    if frames > MAX_FRAMES_PER_EXCHANGE {
-                        return Err(SyncError::Desync("frame flood while awaiting message"));
-                    }
-                    let Some(frame) = parse_frame(&bytes) else {
-                        // CRC-clean but structurally invalid: treat like
-                        // a corrupt frame and let retransmission heal it.
-                        saw_corrupt = true;
-                        continue;
-                    };
-                    // The transport cannot know an inbound frame's phase
-                    // until the ARQ header is parsed; attribute it now.
-                    self.t.attribute_inbound(frame.part.phase);
-                    if frame.seq != expected {
-                        // A stale frame means the peer missed our last
-                        // message's effect — on the server, when its
-                        // final part shows up, answer with the cached
-                        // reply so the exchange moves again. Future
-                        // sequences (only possible via corruption) and
-                        // stale frames on the client are dropped.
-                        if self.resend_on_stale
-                            && frame.seq < expected
-                            && !frame.more
-                            && !self.cached.is_empty()
-                        {
-                            self.retransmit_cached()?;
-                        }
-                        continue;
-                    }
-                    attempts = 0;
-                    if frame.idx >= slots.len() {
-                        slots.resize_with(frame.idx + 1, || None);
-                    }
-                    slots[frame.idx] = Some(frame.part);
-                    if !frame.more {
-                        final_idx = Some(frame.idx);
-                    }
-                    if let Some(last) = final_idx {
-                        if slots.len() > last {
-                            let head = &slots[..=last];
-                            if head.iter().all(Option::is_some) {
-                                self.recv_seq += 2;
-                                slots.truncate(last + 1);
-                                if self.rec.is_enabled() && !self.cached.is_empty() {
-                                    let rtt =
-                                        self.rec.now_micros().saturating_sub(self.last_send_us);
-                                    self.rec.observe(HistKind::FrameRtt, rtt);
-                                }
-                                return Ok(slots.into_iter().flatten().collect());
-                            }
-                        }
-                    }
+    loop {
+        match m.poll_output(clock.now_micros())? {
+            Output::Transmit { frame, phase, retransmit } => {
+                t.send(&frame, phase).map_err(channel_to_sync)?;
+                if retransmit {
+                    t.note_retransmits(1);
                 }
-                Err(ChannelError::Corrupt(_)) => {
-                    frames += 1;
-                    if frames > MAX_FRAMES_PER_EXCHANGE {
-                        return Err(SyncError::Desync("frame flood while awaiting message"));
-                    }
-                    saw_corrupt = true;
-                }
-                Err(ChannelError::Timeout) => {
-                    attempts += 1;
-                    self.rec.record(EventKind::Backoff {
-                        attempt: u64::from(attempts),
-                        timeout_us: u64::try_from(timeout.as_micros()).unwrap_or(u64::MAX),
-                    });
-                    if attempts > self.retry.max_retries {
-                        return Err(if saw_corrupt {
-                            SyncError::FrameCorrupt
-                        } else {
-                            SyncError::Timeout
-                        });
-                    }
-                    if !self.cached.is_empty() {
-                        self.retransmit_cached()?;
-                    }
-                    timeout = self.retry.backoff(timeout);
-                }
-                Err(ChannelError::Disconnected) => return Err(SyncError::PeerGone),
             }
-        }
-    }
-
-    /// After the server's final message: keep answering stale
-    /// retransmissions with the cached reply until the client hangs up
-    /// (success) or goes silent past the retry budget.
-    pub(crate) fn linger(&mut self) {
-        let mut quiet = 0u32;
-        let mut frames = 0u32;
-        while quiet <= self.retry.max_retries && frames < MAX_FRAMES_PER_EXCHANGE {
-            match self.t.recv_timeout(self.retry.timeout) {
-                Ok(bytes) => {
-                    frames += 1;
-                    quiet = 0;
-                    if let Some(frame) = parse_frame(&bytes) {
-                        self.t.attribute_inbound(frame.part.phase);
-                        if frame.seq < self.recv_seq
-                            && !frame.more
-                            && !self.cached.is_empty()
-                            && self.retransmit_cached().is_err()
-                        {
-                            return;
-                        }
-                    }
+            Output::Attribute { phase } => t.attribute_inbound(phase),
+            Output::Wait { deadline_us } => {
+                let remaining = deadline_us.saturating_sub(clock.now_micros()).max(1);
+                match t.recv_timeout(std::time::Duration::from_micros(remaining)) {
+                    Ok(bytes) => m.on_frame(ctx, &bytes, clock.now_micros())?,
+                    // A bare expiry needs no machine call: the next
+                    // `poll_output` observes the passed deadline.
+                    Err(ChannelError::Timeout) => {}
+                    Err(ChannelError::Corrupt(_)) => m.on_corrupt_frame(clock.now_micros())?,
+                    Err(ChannelError::Disconnected) => m.on_disconnect()?,
                 }
-                Err(ChannelError::Corrupt(_)) => {
-                    frames += 1;
-                    quiet = 0;
-                }
-                Err(ChannelError::Timeout) => quiet += 1,
-                Err(ChannelError::Disconnected) => return,
             }
+            Output::Done => return Ok(()),
         }
-    }
-
-    pub(crate) fn stats(&self) -> TrafficStats {
-        self.t.stats()
     }
 }
 
@@ -1246,38 +1018,14 @@ pub fn sync_file_transport_as(
     let rec = t.recorder();
     let session_t0 = rec.now_micros();
     rec.record(EventKind::SessionStart { file_id });
-    let mut client = ClientSession::new(old, cfg);
-    client.recorder = rec.clone();
-    client.file_id = file_id;
-    let mut link = ArqLink::client(t, retry);
-    link.send_message(vec![client.request()])?;
-    let result = loop {
-        let retrans_before = link.stats().retransmits;
-        let parts = match link.recv_message() {
-            Ok(parts) => parts,
-            Err(e) => break Err(e),
-        };
-        // Attribute recovery cost to the round it interrupted.
-        let retrans = link.stats().retransmits.saturating_sub(retrans_before);
-        if retrans > 0 {
-            if let Some(level) = client.levels.last_mut() {
-                level.retransmits += retrans;
-            }
-        }
-        match client.handle(parts) {
-            Ok(ClientAction::Done { data, fell_back }) => break Ok((data, fell_back)),
-            Ok(ClientAction::Reply(cparts)) => {
-                if cparts.is_empty() {
-                    break Err(SyncError::Desync("client had nothing to say"));
-                }
-                if let Err(e) = link.send_message(cparts) {
-                    break Err(e);
-                }
-            }
-            Err(e) => break Err(e),
-        }
+    let clock = SystemClock::new();
+    let mut machine =
+        ClientMachine::new(old, cfg, retry, rec.clone(), file_id, clock.now_micros())?;
+    let done = match pump(t, &mut machine, &(), &clock) {
+        Ok(()) => machine.take_done().ok_or(SyncError::Desync("client machine finished empty")),
+        Err(e) => Err(e),
     };
-    let (data, fell_back) = match result {
+    let done = match done {
         Ok(done) => done,
         Err(e) => {
             rec.record(EventKind::SessionEnd { file_id, ok: false, fell_back: false });
@@ -1287,15 +1035,14 @@ pub fn sync_file_transport_as(
     if rec.is_enabled() {
         rec.observe(HistKind::SessionDuration, rec.now_micros().saturating_sub(session_t0));
     }
-    rec.record(EventKind::SessionEnd { file_id, ok: true, fell_back });
-    let traffic = link.stats();
+    rec.record(EventKind::SessionEnd { file_id, ok: true, fell_back: done.fell_back });
     let stats = SyncStats {
-        traffic,
-        levels: client.levels,
-        known_bytes: client.map.known_bytes(),
-        delta_bytes: client.delta_bytes,
+        traffic: t.stats(),
+        levels: done.levels,
+        known_bytes: done.known_bytes,
+        delta_bytes: done.delta_bytes,
     };
-    Ok(SyncOutcome { reconstructed: data, stats, fell_back })
+    Ok(SyncOutcome { reconstructed: done.data, stats, fell_back: done.fell_back })
 }
 
 /// Drive the server side of one file session over any [`Transport`]:
@@ -1310,34 +1057,17 @@ pub fn serve_file_transport(
     retry: RetryPolicy,
 ) -> Result<(), SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
-    let mut server = ServerSession::new(new, cfg);
-    let mut link = ArqLink::server(t, retry);
-    let req = match link.recv_message() {
-        Ok(parts) => parts,
-        // Nothing ever arrived: the client will report its own
-        // error; there is no session to fail on this side.
-        Err(_) => return Ok(()),
-    };
-    let first = req.first().ok_or(SyncError::Desync("empty request"))?;
-    let mut reply = server.on_request(&first.payload)?;
-    loop {
-        if link.send_message(reply).is_err() {
-            return Ok(());
-        }
-        if server.state == SState::Done {
-            break;
-        }
-        match link.recv_message() {
-            Ok(parts) => reply = server.on_client(&parts)?,
-            // Client finished and hung up, or gave up — either way
-            // the client side owns the verdict. Serve any pending
-            // resends before leaving.
-            Err(SyncError::PeerGone) => return Ok(()),
-            Err(_) => break,
-        }
+    let rec = t.recorder();
+    let clock = SystemClock::new();
+    let mut machine = ServerMachine::new(cfg, retry, rec, clock.now_micros())?;
+    match pump(t, &mut machine, new, &clock) {
+        Ok(()) => Ok(()),
+        // Protocol desyncs indicate a bug and must surface; link
+        // weather (the client vanished or went silent mid-send) is the
+        // client's verdict to report, not ours.
+        Err(e @ (SyncError::Desync(_) | SyncError::Config(_))) => Err(e),
+        Err(_) => Ok(()),
     }
-    link.linger();
-    Ok(())
 }
 
 /// Run the protocol over a real duplex [`Endpoint`] pair with the
@@ -1353,26 +1083,39 @@ pub fn serve_file_transport(
 /// failures that outlast the retry budget surface as
 /// [`SyncError::Timeout`] / [`SyncError::FrameCorrupt`] /
 /// [`SyncError::PeerGone`].
+#[deprecated(note = "use sync_file_with with SyncOptions { channel: Some(..), .. }")]
 pub fn sync_over_channel_with(
     old: &[u8],
     new: &[u8],
     cfg: &ProtocolConfig,
     opts: &ChannelOptions,
 ) -> Result<SyncOutcome, SyncError> {
-    sync_over_channel_traced(old, new, cfg, opts, &Recorder::off())
+    sync_channel_inner(old, new, cfg, opts, &Recorder::off(), 0)
 }
 
-/// [`sync_over_channel_with`] with a trace recorder attached to the
-/// channel: both endpoints' frame charges and every injected fault
+/// Deprecated spelling of [`sync_file_with`] with a channel and a
+/// recorder: both endpoints' frame charges and every injected fault
 /// become trace events, alongside the client session's span events.
 /// (Because client and server run on separate threads, event order
-/// interleaves — use [`sync_file_traced`] for byte-stable journals.)
+/// interleaves — use the lockstep driver for byte-stable journals.)
+#[deprecated(note = "use sync_file_with with SyncOptions { channel: Some(..), recorder, .. }")]
 pub fn sync_over_channel_traced(
     old: &[u8],
     new: &[u8],
     cfg: &ProtocolConfig,
     opts: &ChannelOptions,
     recorder: &Recorder,
+) -> Result<SyncOutcome, SyncError> {
+    sync_channel_inner(old, new, cfg, opts, recorder, 0)
+}
+
+fn sync_channel_inner(
+    old: &[u8],
+    new: &[u8],
+    cfg: &ProtocolConfig,
+    opts: &ChannelOptions,
+    recorder: &Recorder,
+    file_id: u64,
 ) -> Result<SyncOutcome, SyncError> {
     cfg.validate().map_err(SyncError::Config)?;
     let (mut client_ep, mut server_ep) = match &opts.fault_plan {
@@ -1391,7 +1134,7 @@ pub fn sync_over_channel_traced(
         serve_file_transport(&mut server_ep, &server_new, &server_cfg, retry)
     });
 
-    let result = sync_file_transport(&mut client_ep, old, cfg, opts.retry);
+    let result = sync_file_transport_as(&mut client_ep, old, cfg, opts.retry, file_id);
     // Dropping the client endpoint is the hang-up signal that lets a
     // lingering server finish.
     drop(client_ep);
@@ -1401,20 +1144,24 @@ pub fn sync_over_channel_traced(
     Ok(outcome)
 }
 
-/// [`sync_over_channel_with`] on a clean link with the default
-/// [`RetryPolicy`] — the drop-in successor of the original
-/// channel driver.
+/// Deprecated spelling of [`sync_file_with`] over a clean channel with
+/// the default [`RetryPolicy`].
+#[deprecated(
+    note = "use sync_file_with with SyncOptions { channel: Some(ChannelOptions::default()), .. }"
+)]
 pub fn sync_over_channel(
     old: &[u8],
     new: &[u8],
     cfg: &ProtocolConfig,
 ) -> Result<SyncOutcome, SyncError> {
-    sync_over_channel_with(old, new, cfg, &ChannelOptions::default())
+    sync_channel_inner(old, new, cfg, &ChannelOptions::default(), &Recorder::off(), 0)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod channel_tests {
     use super::*;
+    use crate::engine::arq::{parse_frame, part_header};
 
     fn blob(n: usize, seed: u64) -> Vec<u8> {
         let mut state = seed.wrapping_mul(2).wrapping_add(1);

@@ -1,31 +1,58 @@
 //! The `msync serve` daemon: accept, handshake, serve, repeat.
 //!
-//! One listener thread accepts connections; each accepted socket gets
-//! its own session thread running handshake + pipelined collection
-//! service ([`msync_core::pipeline::serve_collection`]), so a slow
-//! client on a slow link never blocks the others. The served collection
-//! is immutable for the daemon's lifetime and shared read-only across
-//! sessions.
+//! The default serve model is an event-driven multiplexer
+//! ([`ServeModel::Multiplex`]): a fixed pool of worker threads
+//! (default: one per core, `--workers N`) runs nonblocking poll loops
+//! over per-session sans-IO machines
+//! ([`msync_core::CollectionServeMachine`]), so a slow client on a slow
+//! link never holds a thread — it holds a few kilobytes of state. The
+//! original thread-per-session model is retained
+//! ([`ServeModel::ThreadPerSession`]) as a baseline for the
+//! concurrency benchmark.
+//!
+//! Admission control: `--max-sessions N` caps concurrently admitted
+//! sessions. An over-capacity connection is not dropped silently — the
+//! daemon waits for its hello and answers with a typed
+//! `err server at capacity` refusal, so the client reports *why* it was
+//! turned away, and the refusal lands in the daemon's metrics as a
+//! failed handshake.
 //!
 //! Failure semantics per connection: a client that never completes the
 //! handshake, violates the protocol, or vanishes mid-sync costs only
-//! its own session thread — the error is reported through the
+//! its own session's state — the error is reported through the
 //! daemon's log callback and the listener keeps accepting.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 
 use msync_core::pipeline::{serve_collection, ServeOutcome};
 use msync_core::FileEntry;
-use msync_protocol::RetryPolicy;
-use msync_trace::{MetricsSnapshot, Recorder};
+use msync_protocol::{Phase, RetryPolicy, Transport};
+use msync_trace::{EventKind, MetricsSnapshot, Recorder};
 
 use crate::handshake::{server_hello, NetError};
+use crate::mux::{worker_loop, Shared};
 use crate::tcp::TcpTransport;
+
+/// Reason string sent on the wire (as `err <reason>`) when admission
+/// control turns a connection away.
+pub(crate) const REFUSAL_REASON: &str = "server at capacity";
+
+/// How accepted connections are serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeModel {
+    /// Event-driven: a fixed worker pool multiplexes all sessions over
+    /// nonblocking sockets and sans-IO machines. The default.
+    #[default]
+    Multiplex,
+    /// One dedicated thread per accepted connection, blocking I/O.
+    /// Kept as the baseline for the concurrency benchmark.
+    ThreadPerSession,
+}
 
 /// Daemon-side knobs. The protocol configuration is *not* one of them:
 /// the client proposes it in the handshake and the daemon adopts any
@@ -42,6 +69,15 @@ pub struct DaemonOptions {
     /// (`msync serve --metrics-out FILE`). Best-effort: an unwritable
     /// path never fails a session.
     pub metrics_out: Option<PathBuf>,
+    /// Worker threads for the multiplexing model (`--workers N`).
+    /// `0` means one per available core.
+    pub workers: usize,
+    /// Cap on concurrently admitted sessions (`--max-sessions N`).
+    /// `None` means unlimited. Excess connections receive a typed
+    /// `err server at capacity` handshake refusal.
+    pub max_sessions: Option<usize>,
+    /// How accepted connections are serviced.
+    pub model: ServeModel,
 }
 
 impl Default for DaemonOptions {
@@ -50,6 +86,9 @@ impl Default for DaemonOptions {
             retry: RetryPolicy::default(),
             handshake_timeout: Duration::from_secs(10),
             metrics_out: None,
+            workers: 0,
+            max_sessions: None,
+            model: ServeModel::Multiplex,
         }
     }
 }
@@ -71,15 +110,15 @@ pub struct SessionReport {
 pub struct Daemon {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: thread::JoinHandle<()>,
+    threads: Vec<thread::JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsSnapshot>>,
 }
 
 impl Daemon {
     /// Bind `listen` (e.g. `127.0.0.1:0`) and start accepting.
     ///
-    /// `log` receives one [`SessionReport`] per finished connection,
-    /// from that connection's own thread.
+    /// `log` receives one [`SessionReport`] per finished connection —
+    /// refused ones included.
     ///
     /// # Errors
     /// Binding or inspecting the listener socket.
@@ -95,15 +134,33 @@ impl Daemon {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let shared: Arc<(Vec<FileEntry>, DaemonOptions)> = Arc::new((files, opts));
-        let log: Arc<F> = Arc::new(log);
         let metrics = Arc::new(Mutex::new(MetricsSnapshot::new()));
-        let metrics_agg = Arc::clone(&metrics);
-        let accept_thread = thread::spawn(move || {
-            accept_loop(&listener, &stop_flag, &shared, &log, &metrics_agg);
+        let model = opts.model;
+        let workers = worker_count(opts.workers);
+        let shared = Arc::new(Shared {
+            files,
+            opts,
+            log,
+            metrics: Arc::clone(&metrics),
+            active: AtomicUsize::new(0),
+            stop: Arc::clone(&stop),
         });
-        Ok(Daemon { addr, stop, accept_thread, metrics })
+        let mut threads = Vec::new();
+        match model {
+            ServeModel::Multiplex => {
+                listener.set_nonblocking(true)?;
+                let listener = Arc::new(listener);
+                for _ in 0..workers {
+                    let listener = Arc::clone(&listener);
+                    let shared = Arc::clone(&shared);
+                    threads.push(thread::spawn(move || worker_loop(&listener, &shared)));
+                }
+            }
+            ServeModel::ThreadPerSession => {
+                threads.push(thread::spawn(move || accept_loop(&listener, &shared)));
+            }
+        }
+        Ok(Daemon { addr, stop, threads, metrics })
     }
 
     /// The bound address (resolves port 0 to the real port).
@@ -120,62 +177,71 @@ impl Daemon {
         self.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
-    /// Foreground mode: block on the listener thread (which normally
-    /// never exits). The CLI `serve` command lives here.
+    /// Foreground mode: block on the service threads (which normally
+    /// never exit). The CLI `serve` command lives here.
     pub fn wait(self) {
-        let _ = self.accept_thread.join();
+        for t in self.threads {
+            let _ = t.join();
+        }
     }
 
-    /// Stop accepting and join the listener thread. Sessions already
-    /// in flight run to completion on their own threads.
+    /// Stop accepting and join the service threads. Multiplex workers
+    /// drain their in-flight sessions before exiting; thread-per-session
+    /// sessions already in flight run to completion on their own
+    /// threads.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The listener blocks in accept(); a throwaway connection wakes
-        // it so it can observe the flag.
+        // The blocking model's listener sits in accept(); a throwaway
+        // connection wakes it so it can observe the flag. The
+        // multiplex workers poll the flag anyway.
         let _ = TcpStream::connect(self.addr);
-        let _ = self.accept_thread.join();
+        for t in self.threads {
+            let _ = t.join();
+        }
     }
 }
 
-fn accept_loop<F>(
-    listener: &TcpListener,
-    stop: &AtomicBool,
-    shared: &Arc<(Vec<FileEntry>, DaemonOptions)>,
-    log: &Arc<F>,
-    metrics: &Arc<Mutex<MetricsSnapshot>>,
-) where
+/// Resolve the configured worker count: `0` means one per core.
+fn worker_count(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4)
+    }
+}
+
+/// The thread-per-session accept loop: one blocking service thread per
+/// accepted connection, admission included.
+fn accept_loop<F>(listener: &TcpListener, shared: &Arc<Shared<F>>)
+where
     F: Fn(SessionReport) + Send + Sync + 'static,
 {
     loop {
         let (stream, _) = match listener.accept() {
             Ok(conn) => conn,
             Err(_) => {
-                if stop.load(Ordering::SeqCst) {
+                if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 continue;
             }
         };
-        if stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) {
             return;
         }
+        let admitted = shared.try_admit();
         let shared = Arc::clone(shared);
-        let log = Arc::clone(log);
-        let metrics = Arc::clone(metrics);
         thread::spawn(move || {
             let peer = stream.peer_addr().ok();
-            let (files, opts) = &*shared;
-            let (result, session_metrics) = serve_session(stream, files, opts);
-            let aggregate = {
-                let mut agg = metrics.lock().unwrap_or_else(PoisonError::into_inner);
-                agg.merge(&session_metrics);
-                agg.clone()
+            let (result, session_metrics) = if admitted {
+                serve_session(stream, &shared.files, &shared.opts)
+            } else {
+                refuse_session(stream, &shared.opts)
             };
-            if let Some(path) = &opts.metrics_out {
-                // Best-effort: metrics must never fail a session.
-                let _ = std::fs::write(path, aggregate.render_prometheus());
+            if admitted {
+                shared.release();
             }
-            log(SessionReport { peer, result, metrics: session_metrics });
+            shared.deliver(SessionReport { peer, result, metrics: session_metrics });
         });
     }
 }
@@ -195,5 +261,25 @@ fn serve_session(
         let cfg = server_hello(&mut t, opts.handshake_timeout)?;
         serve_collection(&mut t, files, &cfg, opts.retry).map_err(NetError::Sync)
     })();
+    (result, recorder.snapshot())
+}
+
+/// An over-capacity connection: wait for the hello, answer with the
+/// typed refusal, report a failed handshake.
+fn refuse_session(
+    stream: TcpStream,
+    opts: &DaemonOptions,
+) -> (Result<ServeOutcome, NetError>, MetricsSnapshot) {
+    let recorder = Recorder::system();
+    let result = (|| {
+        let mut t = TcpTransport::server(stream).map_err(NetError::Io)?;
+        t.set_recorder(recorder.clone());
+        let _hello = t.recv_timeout(opts.handshake_timeout).map_err(NetError::Channel)?;
+        t.attribute_inbound(Phase::Setup);
+        // Best-effort: the connection is being torn down anyway.
+        let _ = t.send(format!("err {REFUSAL_REASON}").as_bytes(), Phase::Setup);
+        Err(NetError::Handshake(format!("refused client: {REFUSAL_REASON}")))
+    })();
+    recorder.record(EventKind::Handshake { ok: false });
     (result, recorder.snapshot())
 }

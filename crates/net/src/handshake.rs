@@ -120,36 +120,83 @@ fn server_hello_inner(
 ) -> Result<ProtocolConfig, NetError> {
     let hello = t.recv_timeout(timeout).map_err(NetError::Channel)?;
     t.attribute_inbound(Phase::Setup);
-    let text = match text_of(&hello) {
-        Ok(text) => text,
-        Err(e) => {
-            reject(t, "hello is not text");
-            return Err(e);
+    match eval_hello(&hello) {
+        HelloOutcome::Accept { cfg, reply } => {
+            t.send(&reply, Phase::Setup).map_err(NetError::Channel)?;
+            Ok(cfg)
         }
+        HelloOutcome::Reject { reply, error } => {
+            // Best-effort refusal notice; the connection is being torn
+            // down anyway, so a failed send changes nothing.
+            let _ = t.send(&reply, Phase::Setup);
+            Err(error)
+        }
+    }
+}
+
+/// The server's verdict on one client hello frame, pure of any I/O.
+///
+/// Both daemon serve models — the blocking thread-per-session path and
+/// the nonblocking multiplexer — evaluate hellos through this one
+/// function, so acceptance rules and refusal wording cannot drift.
+pub(crate) enum HelloOutcome {
+    /// The proposal parsed and validated: send `reply` (the canonical
+    /// `ok` echo) and run the session under `cfg`.
+    Accept {
+        /// The agreed configuration (canonical form of the proposal).
+        cfg: ProtocolConfig,
+        /// The `ok\n<render>` frame to send back.
+        reply: Vec<u8>,
+    },
+    /// The hello is not this protocol or proposes an invalid config:
+    /// best-effort send `reply` (a typed `err` line), then fail the
+    /// session with `error`.
+    Reject {
+        /// The `err <reason>` frame to send back.
+        reply: Vec<u8>,
+        /// The error the session ends with.
+        error: NetError,
+    },
+}
+
+/// Evaluate one client hello payload. Pure: no transport access.
+pub(crate) fn eval_hello(hello: &[u8]) -> HelloOutcome {
+    let reject = |reason: &str, error: NetError| HelloOutcome::Reject {
+        reply: format!("err {reason}").into_bytes(),
+        error,
+    };
+    let text = match text_of(hello) {
+        Ok(text) => text,
+        Err(e) => return reject("hello is not text", e),
     };
     let (magic_line, params_text) = text.split_once('\n').unwrap_or((text, ""));
     let mut words = magic_line.split_whitespace();
     if words.next() != Some(MAGIC) {
-        reject(t, "unknown magic");
-        return Err(NetError::Handshake("client hello has unknown magic".to_owned()));
+        return reject(
+            "unknown magic",
+            NetError::Handshake("client hello has unknown magic".to_owned()),
+        );
     }
     let version = words.next().and_then(|v| v.parse::<u32>().ok());
     if version != Some(PROTOCOL_VERSION) {
-        reject(t, "unsupported version");
-        return Err(NetError::Handshake(format!(
-            "client speaks version {version:?}, this daemon speaks {PROTOCOL_VERSION}"
-        )));
+        return reject(
+            "unsupported version",
+            NetError::Handshake(format!(
+                "client speaks version {version:?}, this daemon speaks {PROTOCOL_VERSION}"
+            )),
+        );
     }
     let cfg = match params::parse(params_text).and_then(|c| c.validate().map(|()| c)) {
         Ok(cfg) => cfg,
         Err(e) => {
-            reject(t, &format!("bad config: {e}"));
-            return Err(NetError::Handshake(format!("client proposed a bad config: {e}")));
+            return reject(
+                &format!("bad config: {e}"),
+                NetError::Handshake(format!("client proposed a bad config: {e}")),
+            );
         }
     };
-    let reply = format!("ok\n{}", params::render(&cfg));
-    t.send(reply.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
-    Ok(cfg)
+    let reply = format!("ok\n{}", params::render(&cfg)).into_bytes();
+    HelloOutcome::Accept { cfg, reply }
 }
 
 fn text_of(payload: &[u8]) -> Result<&str, NetError> {
@@ -157,12 +204,6 @@ fn text_of(payload: &[u8]) -> Result<&str, NetError> {
         return Err(NetError::Handshake("hello frame too large".to_owned()));
     }
     std::str::from_utf8(payload).map_err(|_| NetError::Handshake("hello is not UTF-8".to_owned()))
-}
-
-/// Best-effort refusal notice; the connection is being torn down
-/// anyway, so a failed send changes nothing.
-fn reject(t: &mut dyn Transport, reason: &str) {
-    let _ = t.send(format!("err {reason}").as_bytes(), Phase::Setup);
 }
 
 #[cfg(test)]

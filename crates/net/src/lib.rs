@@ -11,9 +11,12 @@
 //!   read deadlines and typed [`ChannelError`](msync_protocol::ChannelError)
 //!   mapping for socket failures, plus raw socket byte counters so wire
 //!   reality can be cross-checked against `TrafficStats` accounting.
-//! * [`daemon`] — the `msync serve` side: a listener accepting
-//!   concurrent connections (thread per session), a version/config
-//!   handshake, and per-connection pipelined collection service.
+//! * [`daemon`] — the `msync serve` side: an event-driven multiplexer
+//!   running many concurrent sessions as sans-IO machines over
+//!   nonblocking sockets on a fixed worker pool (with the original
+//!   thread-per-session model retained as a benchmark baseline), a
+//!   version/config handshake, and admission control with typed
+//!   capacity refusals.
 //! * [`client`] — the `msync sync --remote` side: connect, handshake,
 //!   then run the pipelined collection scheduler
 //!   ([`msync_core::pipeline`]) against the daemon, optionally with the
@@ -30,9 +33,10 @@
 pub mod client;
 pub mod daemon;
 pub mod handshake;
+mod mux;
 pub mod tcp;
 
 pub use client::{sync_remote, RemoteOptions, RemoteOutcome};
-pub use daemon::{Daemon, DaemonOptions};
+pub use daemon::{Daemon, DaemonOptions, ServeModel, SessionReport};
 pub use handshake::{NetError, PROTOCOL_VERSION};
 pub use tcp::TcpTransport;

@@ -1,0 +1,586 @@
+//! Nonblocking session multiplexer: the event-driven half of the serve
+//! daemon.
+//!
+//! One worker thread owns many connections. Each connection is a small
+//! state holder — a [`FrameBuffer`] reassembling inbound frames, an
+//! outbound byte queue, and (once the handshake passes) a sans-IO
+//! [`CollectionServeMachine`] — and the worker's poll loop pumps all of
+//! them: read whatever the sockets have, feed complete frames to the
+//! machines, drain the machines' queued transmissions, and service
+//! per-session deadlines from the machines' own timer requests. No
+//! thread ever blocks on one peer, so a fixed worker pool (default: one
+//! per core) serves an arbitrary number of concurrent sessions.
+//!
+//! Accounting parity: every byte charged here follows exactly the rules
+//! of the blocking [`TcpTransport`](crate::tcp::TcpTransport) — sends
+//! charged to the caller's phase at wire size when queued, inbound
+//! bytes pooled unattributed until the machine names their phase, a
+//! direction reversal counted as a half-trip — so a session served by
+//! the multiplexer reports the same `TrafficStats` and trace events as
+//! one served by a dedicated thread.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use msync_core::pipeline::ServeOutcome;
+use msync_core::{CollectionServeMachine, FileEntry, Machine, Output, SyncError};
+use msync_protocol::{
+    encode_frame, frame_wire_size, ChannelError, Direction, Phase, RetryPolicy, TrafficStats,
+};
+use msync_trace::{Clock, EventKind, MetricsSnapshot, Recorder, SystemClock};
+
+use crate::daemon::{DaemonOptions, SessionReport, REFUSAL_REASON};
+use crate::handshake::{eval_hello, HelloOutcome, NetError};
+use crate::tcp::FrameBuffer;
+
+/// How long an idle worker sleeps between polls. Far below the ARQ
+/// retry timeout (500 ms default), so machine deadlines are observed
+/// with negligible slack.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Bytes requested from a socket per nonblocking read.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Upper bound on an outbound write stall before the peer is declared
+/// gone — the multiplexer's equivalent of the blocking transport's
+/// write timeout.
+const WRITE_STALL: Duration = Duration::from_secs(30);
+
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// State shared by every worker thread of one daemon, and by the
+/// blocking thread-per-session model: the served collection, the
+/// options, the admission counter, the stop flag, and the metrics
+/// aggregate + log-callback sink every finished session reports to.
+pub(crate) struct Shared<F> {
+    /// The served collection, immutable for the daemon's lifetime.
+    pub(crate) files: Vec<FileEntry>,
+    /// Daemon knobs (retry policy, timeouts, admission cap).
+    pub(crate) opts: DaemonOptions,
+    /// Per-session report callback.
+    pub(crate) log: F,
+    /// Aggregate of every finished session's metrics snapshot.
+    pub(crate) metrics: Arc<Mutex<MetricsSnapshot>>,
+    /// Sessions currently admitted (handshaking or serving).
+    pub(crate) active: AtomicUsize,
+    /// Set by [`Daemon::shutdown`](crate::daemon::Daemon::shutdown).
+    pub(crate) stop: Arc<AtomicBool>,
+}
+
+impl<F> Shared<F>
+where
+    F: Fn(SessionReport) + Send + Sync + 'static,
+{
+    /// Try to claim an admission slot. `false` means the connection
+    /// must be refused with the typed capacity reason.
+    pub(crate) fn try_admit(&self) -> bool {
+        let Some(max) = self.opts.max_sessions else {
+            self.active.fetch_add(1, Ordering::SeqCst);
+            return true;
+        };
+        loop {
+            let cur = self.active.load(Ordering::SeqCst);
+            if cur >= max {
+                return false;
+            }
+            if self
+                .active
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Release an admission slot claimed by [`Shared::try_admit`].
+    pub(crate) fn release(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Merge a finished session into the aggregate, rewrite the metrics
+    /// file if configured, and deliver the report. The admission slot
+    /// is released *before* this runs, so a report's delivery is proof
+    /// the slot is free again.
+    pub(crate) fn deliver(&self, report: SessionReport) {
+        let aggregate = {
+            let mut agg = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+            agg.merge(&report.metrics);
+            agg.clone()
+        };
+        if let Some(path) = &self.opts.metrics_out {
+            // Best-effort: metrics must never fail a session.
+            let _ = std::fs::write(path, aggregate.render_prometheus());
+        }
+        (self.log)(report);
+    }
+}
+
+/// Where one multiplexed connection is in its life.
+enum ConnPhase {
+    /// Admitted; waiting for the client hello.
+    Hello,
+    /// Over capacity; waiting for the hello so the typed refusal can be
+    /// delivered in reply (an unsolicited close would race the
+    /// client's own send and surface as a bare disconnect).
+    Refused,
+    /// Handshake agreed; the collection-serve machine is running.
+    Serving,
+    /// Session decided; flushing queued output, then closing.
+    Drain,
+}
+
+/// One multiplexed connection.
+struct MuxConn {
+    stream: TcpStream,
+    peer: Option<SocketAddr>,
+    admitted: bool,
+    phase: ConnPhase,
+    machine: Option<CollectionServeMachine>,
+    /// Hello deadline while in `Hello` / `Refused`.
+    deadline_us: u64,
+    result: Option<Result<ServeOutcome, NetError>>,
+    inbuf: FrameBuffer,
+    scratch: Vec<u8>,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// When the current outbound stall began, if one is in progress.
+    stall_since_us: Option<u64>,
+    eof: bool,
+    /// A corrupt frame poisoned the inbound stream (the reassembler
+    /// cannot advance past a bad length word); stop reading and let the
+    /// machine's retry budget conclude the session.
+    poisoned: bool,
+    stats: TrafficStats,
+    last_dir: Option<Direction>,
+    half_trips: u64,
+    pending_inbound: u64,
+    recorder: Recorder,
+}
+
+impl MuxConn {
+    fn new(
+        stream: TcpStream,
+        admitted: bool,
+        now_us: u64,
+        handshake_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let peer = stream.peer_addr().ok();
+        // Same socket posture as the blocking transport: no Nagle (the
+        // protocol is request/response), plus a defensive read deadline
+        // — nonblocking reads return immediately regardless, but no
+        // code path may ever issue an undeadlined blocking read.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(WRITE_STALL))?;
+        stream.set_nonblocking(true)?;
+        Ok(Self {
+            stream,
+            peer,
+            admitted,
+            phase: if admitted { ConnPhase::Hello } else { ConnPhase::Refused },
+            machine: None,
+            deadline_us: now_us.saturating_add(micros(handshake_timeout)),
+            result: None,
+            inbuf: FrameBuffer::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            outbuf: Vec::new(),
+            out_pos: 0,
+            stall_since_us: None,
+            eof: false,
+            poisoned: false,
+            stats: TrafficStats::new(),
+            last_dir: None,
+            half_trips: 0,
+            pending_inbound: 0,
+            recorder: Recorder::system(),
+        })
+    }
+
+    fn bump(&mut self, dir: Direction) {
+        if self.last_dir != Some(dir) {
+            self.half_trips += 1;
+            self.last_dir = Some(dir);
+        }
+    }
+
+    /// Queue one frame for sending, charged to `phase` at wire size —
+    /// the multiplexed mirror of `TcpTransport::send` plus the pump's
+    /// retransmit note.
+    fn queue_send(&mut self, payload: &[u8], phase: Phase, retransmit: bool) {
+        let frame = encode_frame(payload);
+        self.outbuf.extend_from_slice(&frame);
+        let wire = frame_wire_size(payload.len());
+        self.stats.record(Direction::ServerToClient, phase, wire);
+        self.recorder.record(EventKind::FrameSend {
+            dir: Direction::ServerToClient.into(),
+            phase: phase.into(),
+            bytes: wire,
+        });
+        self.stats.frames += 1;
+        self.bump(Direction::ServerToClient);
+        if retransmit {
+            self.stats.retransmits += 1;
+        }
+    }
+
+    /// Attribute pooled inbound bytes to `phase` — the multiplexed
+    /// mirror of `TcpTransport::attribute_inbound`.
+    fn attribute(&mut self, phase: Phase) {
+        let bytes = std::mem::take(&mut self.pending_inbound);
+        if bytes > 0 {
+            self.stats.record(Direction::ClientToServer, phase, bytes);
+            self.recorder.record(EventKind::FrameRecv {
+                dir: Direction::ClientToServer.into(),
+                phase: phase.into(),
+                bytes,
+            });
+        }
+    }
+
+    /// This session's `TrafficStats`, by the blocking transport's
+    /// rules: unattributed inbound bytes charged to the map phase, two
+    /// half-trips rounded up to a roundtrip.
+    fn stats_now(&self) -> TrafficStats {
+        let mut out = self.stats.clone();
+        if self.pending_inbound > 0 {
+            out.record(Direction::ClientToServer, Phase::Map, self.pending_inbound);
+        }
+        out.roundtrips = u32::try_from(self.half_trips.div_ceil(2)).unwrap_or(u32::MAX);
+        out
+    }
+
+    /// End the session with `error` (unless a verdict already landed)
+    /// and move to the drain phase.
+    fn fail(&mut self, error: NetError) {
+        if self.result.is_none() {
+            self.result = Some(Err(error));
+        }
+        self.phase = ConnPhase::Drain;
+    }
+
+    /// Drain the machine's queued effects. Returns whether anything
+    /// observable happened (a transmission or the session finishing).
+    fn pump_machine(&mut self, files: &[FileEntry], now_us: u64) -> bool {
+        let Some(mut m) = self.machine.take() else {
+            return false;
+        };
+        let mut progressed = false;
+        loop {
+            match m.poll_output(now_us) {
+                Ok(Output::Transmit { frame, phase, retransmit }) => {
+                    self.queue_send(&frame, phase, retransmit);
+                    progressed = true;
+                }
+                Ok(Output::Attribute { phase }) => self.attribute(phase),
+                Ok(Output::Wait { .. }) => break,
+                Ok(Output::Done) => {
+                    let outcome = m.outcome(files.len(), self.stats_now());
+                    self.result = Some(Ok(outcome));
+                    self.phase = ConnPhase::Drain;
+                    progressed = true;
+                    break;
+                }
+                Err(e) => {
+                    self.fail(NetError::Sync(e));
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        self.machine = Some(m);
+        progressed
+    }
+
+    /// The client hello arrived: evaluate it, queue the reply, and
+    /// either start the serve machine or begin draining the refusal.
+    fn on_hello(&mut self, payload: &[u8], retry: RetryPolicy, now_us: u64) {
+        self.attribute(Phase::Setup);
+        match eval_hello(payload) {
+            HelloOutcome::Accept { cfg, reply } => {
+                self.queue_send(&reply, Phase::Setup, false);
+                self.recorder.record(EventKind::Handshake { ok: true });
+                match CollectionServeMachine::new(&cfg, retry, self.recorder.clone(), now_us) {
+                    Ok(m) => {
+                        self.machine = Some(m);
+                        self.phase = ConnPhase::Serving;
+                    }
+                    Err(e) => self.fail(NetError::Sync(e)),
+                }
+            }
+            HelloOutcome::Reject { reply, error } => {
+                self.queue_send(&reply, Phase::Setup, false);
+                self.recorder.record(EventKind::Handshake { ok: false });
+                self.fail(error);
+            }
+        }
+    }
+
+    /// The hello of an over-capacity connection arrived: answer with
+    /// the typed refusal and drain.
+    fn on_refused_hello(&mut self) {
+        self.attribute(Phase::Setup);
+        self.queue_send(format!("err {REFUSAL_REASON}").as_bytes(), Phase::Setup, false);
+        self.recorder.record(EventKind::Handshake { ok: false });
+        self.fail(NetError::Handshake(format!("refused client: {REFUSAL_REASON}")));
+    }
+
+    /// One poll-loop visit: read, dispatch frames, service deadlines,
+    /// flush. Returns whether the connection made observable progress.
+    fn tick(&mut self, files: &[FileEntry], retry: RetryPolicy, clock: &SystemClock) -> bool {
+        let now_us = clock.now_micros();
+        let mut progressed = false;
+
+        // Read whatever the socket has. Drain mode stops reading: the
+        // verdict is in, and any unread bytes belong to no session.
+        if !self.eof && !self.poisoned && !matches!(self.phase, ConnPhase::Drain) {
+            loop {
+                match self.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        self.eof = true;
+                        progressed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend(&self.scratch[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        self.eof = true;
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Dispatch complete frames. The machine is pumped after every
+        // frame so attribution pools exactly one frame's bytes, the
+        // same interleaving the blocking pump produces.
+        loop {
+            if self.poisoned || matches!(self.phase, ConnPhase::Drain) {
+                break;
+            }
+            match self.inbuf.take_frame() {
+                Ok(Some((payload, wire))) => {
+                    progressed = true;
+                    self.pending_inbound += wire;
+                    self.stats.frames += 1;
+                    self.bump(Direction::ClientToServer);
+                    match self.phase {
+                        ConnPhase::Hello => {
+                            self.on_hello(&payload, retry, now_us);
+                            self.pump_machine(files, now_us);
+                        }
+                        ConnPhase::Refused => self.on_refused_hello(),
+                        ConnPhase::Serving => {
+                            if let Some(mut m) = self.machine.take() {
+                                let fed = m.on_frame(files, &payload, now_us);
+                                self.machine = Some(m);
+                                if let Err(e) = fed {
+                                    self.fail(NetError::Sync(e));
+                                } else {
+                                    self.pump_machine(files, now_us);
+                                }
+                            }
+                        }
+                        ConnPhase::Drain => {}
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    progressed = true;
+                    self.poisoned = true;
+                    match self.phase {
+                        ConnPhase::Hello | ConnPhase::Refused => {
+                            self.recorder.record(EventKind::Handshake { ok: false });
+                            self.fail(NetError::Channel(err));
+                        }
+                        ConnPhase::Serving => {
+                            if let Some(mut m) = self.machine.take() {
+                                let fed = m.on_corrupt_frame(now_us);
+                                self.machine = Some(m);
+                                if let Err(e) = fed {
+                                    self.fail(NetError::Sync(e));
+                                }
+                            }
+                        }
+                        ConnPhase::Drain => {}
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Peer hung up: during the handshake that is a failed session;
+        // in service it is the normal end (the client owns the verdict
+        // and disconnecting is how it signals completion).
+        if self.eof {
+            match self.phase {
+                ConnPhase::Hello | ConnPhase::Refused => {
+                    self.recorder.record(EventKind::Handshake { ok: false });
+                    self.fail(NetError::Channel(ChannelError::Disconnected));
+                }
+                ConnPhase::Serving => {
+                    if let Some(mut m) = self.machine.take() {
+                        let fed = m.on_disconnect();
+                        self.machine = Some(m);
+                        if let Err(e) = fed {
+                            self.fail(NetError::Sync(e));
+                        }
+                    }
+                }
+                ConnPhase::Drain => {}
+            }
+        }
+
+        // Deadlines: the hello has its own; a serving machine observes
+        // expiry itself when polled with the current time.
+        match self.phase {
+            ConnPhase::Hello | ConnPhase::Refused => {
+                if now_us >= self.deadline_us {
+                    self.recorder.record(EventKind::Handshake { ok: false });
+                    self.fail(NetError::Channel(ChannelError::Timeout));
+                    progressed = true;
+                }
+            }
+            ConnPhase::Serving => progressed |= self.pump_machine(files, now_us),
+            ConnPhase::Drain => {}
+        }
+
+        progressed |= self.flush(now_us);
+        progressed
+    }
+
+    /// Write as much queued output as the socket accepts. A stall
+    /// longer than [`WRITE_STALL`] or a hard write error declares the
+    /// peer gone, exactly as the blocking transport's write timeout
+    /// would.
+    fn flush(&mut self, now_us: u64) -> bool {
+        let mut progressed = false;
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => {
+                    self.give_up_output(NetError::Sync(SyncError::PeerGone));
+                    break;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.stall_since_us = None;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    let since = *self.stall_since_us.get_or_insert(now_us);
+                    if now_us.saturating_sub(since) >= micros(WRITE_STALL) {
+                        self.give_up_output(NetError::Sync(SyncError::Timeout));
+                    }
+                    break;
+                }
+                Err(_) => {
+                    self.give_up_output(NetError::Sync(SyncError::PeerGone));
+                    break;
+                }
+            }
+        }
+        if self.out_pos >= self.outbuf.len() && self.out_pos > 0 {
+            self.outbuf.clear();
+            self.out_pos = 0;
+        }
+        progressed
+    }
+
+    /// The peer stopped draining our output: discard it and end the
+    /// session (keeping any verdict that already landed).
+    fn give_up_output(&mut self, error: NetError) {
+        self.outbuf.clear();
+        self.out_pos = 0;
+        self.eof = true;
+        if self.result.is_none() {
+            self.result = Some(Err(error));
+        }
+        self.phase = ConnPhase::Drain;
+    }
+
+    /// Whether the session is over and fully flushed (or unflushable).
+    fn is_done(&self) -> bool {
+        matches!(self.phase, ConnPhase::Drain) && (self.out_pos >= self.outbuf.len() || self.eof)
+    }
+
+    /// Consume the connection into its report.
+    fn finish(self) -> SessionReport {
+        let result = self.result.unwrap_or(Err(NetError::Handshake(
+            "session ended before reaching a verdict".to_owned(),
+        )));
+        SessionReport { peer: self.peer, result, metrics: self.recorder.snapshot() }
+    }
+}
+
+/// One worker thread's poll loop: accept new connections (first worker
+/// to reach the listener wins), tick every owned connection, deliver
+/// finished sessions, sleep briefly when fully idle. On shutdown the
+/// worker stops accepting, drains its in-flight sessions, and returns.
+pub(crate) fn worker_loop<F>(listener: &TcpListener, shared: &Shared<F>)
+where
+    F: Fn(SessionReport) + Send + Sync + 'static,
+{
+    let clock = SystemClock::new();
+    let mut conns: Vec<MuxConn> = Vec::new();
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        let mut progressed = false;
+        if !stopping {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progressed = true;
+                        let admitted = shared.try_admit();
+                        let made = MuxConn::new(
+                            stream,
+                            admitted,
+                            clock.now_micros(),
+                            shared.opts.handshake_timeout,
+                        );
+                        match made {
+                            Ok(conn) => conns.push(conn),
+                            // Socket options failed: the stream is
+                            // unusable, drop it on the floor.
+                            Err(_) => {
+                                if admitted {
+                                    shared.release();
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            progressed |= conns[i].tick(&shared.files, shared.opts.retry, &clock);
+            if conns[i].is_done() {
+                let conn = conns.swap_remove(i);
+                if conn.admitted {
+                    shared.release();
+                }
+                shared.deliver(conn.finish());
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if stopping && conns.is_empty() {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}

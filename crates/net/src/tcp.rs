@@ -43,6 +43,74 @@ const READ_CHUNK: usize = 64 * 1024;
 /// Upper bound on a blocking write before the peer is declared gone.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Incremental frame reassembly over a byte stream.
+///
+/// A stream socket delivers bytes at arbitrary boundaries; this buffer
+/// accumulates them ([`FrameBuffer::extend`]) and splits complete
+/// frames off the front ([`FrameBuffer::take_frame`]). It is the one
+/// implementation of the wire framing shared by the blocking
+/// [`TcpTransport`] and the nonblocking daemon multiplexer, so the two
+/// cannot drift.
+#[derive(Debug, Default)]
+pub(crate) struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub(crate) fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Append raw bytes read from the stream.
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Split one complete frame off the front, if present, returning
+    /// the decoded payload and the frame's wire size. `Ok(None)` means
+    /// more bytes are needed.
+    ///
+    /// # Errors
+    /// [`ChannelError::Corrupt`] on an impossible length word (the
+    /// buffer cannot advance past it) or a failed CRC (the frame's
+    /// bytes are consumed, later frames remain readable) — the same
+    /// contract the blocking transport has always had.
+    pub(crate) fn take_frame(&mut self) -> Result<Option<(Vec<u8>, u64)>, ChannelError> {
+        let mut len = 0u64;
+        let mut shift = 0u32;
+        let mut pos = 0usize;
+        loop {
+            let Some(&b) = self.buf.get(pos) else {
+                return Ok(None);
+            };
+            pos += 1;
+            if shift >= 64 {
+                return Err(ChannelError::Corrupt(FrameError::Length));
+            }
+            len |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        if len > MAX_PAYLOAD {
+            return Err(ChannelError::Corrupt(FrameError::Length));
+        }
+        let len = usize::try_from(len).map_err(|_| ChannelError::Corrupt(FrameError::Length))?;
+        let total = pos
+            .checked_add(4)
+            .and_then(|t| t.checked_add(len))
+            .ok_or(ChannelError::Corrupt(FrameError::Length))?;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..total).collect();
+        let payload = decode_frame(&frame).map_err(ChannelError::Corrupt)?;
+        Ok(Some((payload, total as u64)))
+    }
+}
+
 /// A [`Transport`] over one TCP stream.
 ///
 /// Construct with [`TcpTransport::client`] on the connecting side and
@@ -53,7 +121,7 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 pub struct TcpTransport {
     stream: TcpStream,
     /// Received-but-not-yet-framed bytes.
-    inbound: Vec<u8>,
+    inbound: FrameBuffer,
     /// Reusable read buffer.
     scratch: Vec<u8>,
     stats: TrafficStats,
@@ -95,7 +163,7 @@ impl TcpTransport {
         stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         Ok(Self {
             stream,
-            inbound: Vec::new(),
+            inbound: FrameBuffer::new(),
             scratch: vec![0u8; READ_CHUNK],
             stats: TrafficStats::new(),
             outbound_dir,
@@ -145,37 +213,10 @@ impl TcpTransport {
     /// Split one complete frame off the inbound buffer, if present.
     /// `Ok(None)` means more bytes are needed.
     fn take_frame(&mut self) -> Result<Option<Vec<u8>>, ChannelError> {
-        let mut len = 0u64;
-        let mut shift = 0u32;
-        let mut pos = 0usize;
-        loop {
-            let Some(&b) = self.inbound.get(pos) else {
-                return Ok(None);
-            };
-            pos += 1;
-            if shift >= 64 {
-                return Err(ChannelError::Corrupt(FrameError::Length));
-            }
-            len |= u64::from(b & 0x7F) << shift;
-            if b & 0x80 == 0 {
-                break;
-            }
-            shift += 7;
-        }
-        if len > MAX_PAYLOAD {
-            return Err(ChannelError::Corrupt(FrameError::Length));
-        }
-        let len = usize::try_from(len).map_err(|_| ChannelError::Corrupt(FrameError::Length))?;
-        let total = pos
-            .checked_add(4)
-            .and_then(|t| t.checked_add(len))
-            .ok_or(ChannelError::Corrupt(FrameError::Length))?;
-        if self.inbound.len() < total {
+        let Some((payload, wire)) = self.inbound.take_frame()? else {
             return Ok(None);
-        }
-        let frame: Vec<u8> = self.inbound.drain(..total).collect();
-        let payload = decode_frame(&frame).map_err(ChannelError::Corrupt)?;
-        self.pending_inbound += total as u64;
+        };
+        self.pending_inbound += wire;
         self.stats.frames += 1;
         self.bump(self.inbound_dir());
         Ok(Some(payload))
@@ -229,7 +270,7 @@ impl Transport for TcpTransport {
                 Ok(0) => return Err(ChannelError::Disconnected),
                 Ok(n) => {
                     self.socket_received += n as u64;
-                    self.inbound.extend_from_slice(&self.scratch[..n]);
+                    self.inbound.extend(&self.scratch[..n]);
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(map_read_error(&e)),

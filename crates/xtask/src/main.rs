@@ -31,6 +31,10 @@ Static-analysis gate for the msync workspace. Enforces:
   clock-discipline no Instant::now / SystemTime::now outside crates/trace;
                    time flows through msync_trace::Clock so traced runs
                    replay deterministically
+  io-discipline    no thread::spawn / blocking recv / read-family calls /
+                   sleep inside the sans-IO engine modules
+                   (crates/core/src/engine/); machines emit frames and
+                   timer requests, drivers own all I/O
 
 options:
   --json               machine-readable output

@@ -28,6 +28,12 @@
 //!   byte-identically under a manual clock. (The `determinism` rule
 //!   already bans the *words* in protocol-critical crates; this one
 //!   closes the gap for the rest of the workspace.)
+//! * `io-discipline` — the sans-IO engine modules must stay sans-IO:
+//!   no `thread::spawn`, no blocking receives (`recv`, `recv_timeout`,
+//!   `try_recv`), no `read`-family calls, no `sleep` inside
+//!   `crates/core/src/engine/`. A machine that hides its own I/O or
+//!   threads cannot be driven by the nonblocking daemon multiplexer or
+//!   replayed deterministically in tests.
 
 use crate::scanner::{blank_test_blocks, line_of, mask_source, next_nonspace, word_occurrences};
 use std::fmt;
@@ -52,6 +58,8 @@ pub enum Rule {
     ChannelDiscipline,
     /// Ambient `::now` clock reads outside the trace crate.
     ClockDiscipline,
+    /// Threads or blocking I/O inside the sans-IO engine modules.
+    IoDiscipline,
 }
 
 impl Rule {
@@ -66,6 +74,7 @@ impl Rule {
             Rule::Hermeticity => "hermeticity",
             Rule::ChannelDiscipline => "channel-discipline",
             Rule::ClockDiscipline => "clock-discipline",
+            Rule::IoDiscipline => "io-discipline",
         }
     }
 
@@ -80,6 +89,7 @@ impl Rule {
             Rule::Hermeticity,
             Rule::ChannelDiscipline,
             Rule::ClockDiscipline,
+            Rule::IoDiscipline,
         ]
         .into_iter()
         .find(|r| r.key() == key)
@@ -130,6 +140,9 @@ pub struct LintConfig {
     /// (`Instant::now` / `SystemTime::now`). Everyone else must take
     /// time from a `msync_trace::Clock`.
     pub clock_exempt: Vec<String>,
+    /// Workspace-relative path prefixes of the sans-IO engine modules:
+    /// no threads, no blocking I/O, no sleeps inside.
+    pub engine_modules: Vec<String>,
 }
 
 impl LintConfig {
@@ -153,6 +166,7 @@ impl LintConfig {
             socket_crates: vec!["net".to_owned()],
             skip_crates: vec!["bench".to_owned()],
             clock_exempt: vec!["trace".to_owned()],
+            engine_modules: vec!["crates/core/src/engine/".to_owned()],
         }
     }
 }
@@ -199,6 +213,9 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
             }
             if !ambient_clock_ok {
                 check_clock_discipline(&rel, &scannable, &mut findings);
+            }
+            if cfg.engine_modules.iter().any(|m| rel.starts_with(m.as_str())) {
+                check_io_discipline(&rel, &scannable, &mut findings);
             }
         }
     }
@@ -409,6 +426,39 @@ fn check_clock_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule `io-discipline`: the engine modules are the protocol as pure
+/// state machines — frames in, frames and timer requests out. A
+/// `thread::spawn`, a blocking receive, a socket/stream `read`, or a
+/// `sleep` inside them reintroduces exactly the ambient I/O the sans-IO
+/// refactor removed, and silently breaks both the nonblocking daemon
+/// multiplexer (which trusts machines never to block its poll loop) and
+/// deterministic replay under a manual clock.
+fn check_io_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for (word, label) in [
+        ("spawn", "engine machines must not create threads; drivers own all concurrency"),
+        ("recv", "engine machines must not receive; frames arrive via `on_frame`"),
+        ("recv_timeout", "engine machines must not block; deadlines are timer requests"),
+        ("try_recv", "engine machines must not poll channels; frames arrive via `on_frame`"),
+        ("read", "engine machines must not read streams; bytes arrive via `on_frame`"),
+        ("read_exact", "engine machines must not read streams; bytes arrive via `on_frame`"),
+        ("read_to_end", "engine machines must not read streams; bytes arrive via `on_frame`"),
+        ("read_to_string", "engine machines must not read streams; bytes arrive via `on_frame`"),
+        ("sleep", "engine machines must not sleep; waits are `Output::Wait` deadlines"),
+    ] {
+        for pos in word_occurrences(text, word) {
+            let after = next_nonspace(text, pos + word.len());
+            if after.is_some_and(|(_, b)| b == b'(') {
+                findings.push(Finding {
+                    rule: Rule::IoDiscipline,
+                    file: rel.to_owned(),
+                    line: line_of(text, pos),
+                    message: format!("`{word}(` inside a sans-IO engine module: {label}"),
+                });
+            }
+        }
+    }
+}
+
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 /// Rule `lossy-cast`.
@@ -582,6 +632,18 @@ mod tests {
         let mut fs = Vec::new();
         check_clock_discipline("c.rs", text, &mut fs);
         assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn engine_io_tokens_flagged() {
+        let text = "thread::spawn(|| {}); rx.recv_timeout(d); s.read(&mut b);\n\
+                    thread::sleep(d); let x = self.read_pos; read_varint(&b);";
+        let mut fs = Vec::new();
+        check_io_discipline("crates/core/src/engine/arq.rs", text, &mut fs);
+        // spawn, recv_timeout, read, sleep fire; `read_pos` (field) and
+        // `read_varint` (distinct identifier) do not.
+        assert_eq!(fs.len(), 4, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == Rule::IoDiscipline));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! cargo run --release --example custom_transport
 //! ```
 
-use msync::core::{sync_over_channel, ProtocolConfig};
+use msync::core::{sync_file_with, ChannelOptions, ProtocolConfig, SyncOptions};
 use msync::protocol::LinkModel;
 use std::time::Duration;
 
@@ -27,7 +27,9 @@ fn main() {
 
     // Client and server talk through a real duplex channel; the server
     // runs on its own thread. Byte accounting comes from the channel.
-    let outcome = sync_over_channel(&old, &new, &ProtocolConfig::default()).expect("sync succeeds");
+    let opts = SyncOptions { channel: Some(ChannelOptions::default()), ..SyncOptions::default() };
+    let outcome =
+        sync_file_with(&old, &new, &ProtocolConfig::default(), &opts).expect("sync succeeds");
     assert_eq!(outcome.reconstructed, new);
     println!(
         "channel run: {} bytes, {} roundtrips (file {} KiB)",

@@ -16,8 +16,11 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-echo "==> network loopback gate (live daemon on 127.0.0.1, release)"
+echo "==> network loopback gate (live daemon, 32-client soak, admission control)"
 cargo test --release -q --test net_loopback
+
+echo "==> sans-IO engine determinism gate (ManualClock replay)"
+cargo test --release -q --test engine_machine
 
 echo "==> fault-injection soak (seeded, release)"
 MSYNC_SOAK_SEEDS="${MSYNC_SOAK_SEEDS:-40}" \
@@ -40,5 +43,8 @@ cargo run --release -q -p xtask -- check-journal "$journal"
 
 echo "==> tracing overhead gate (< 5%, BENCH_trace_overhead.json)"
 MSYNC_BENCH=1 cargo test --release -q --test trace_overhead
+
+echo "==> daemon throughput gate (mux >= thread-per-session, BENCH_daemon_concurrency.json)"
+MSYNC_BENCH=1 cargo test --release -q --test daemon_bench
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,120 @@
+//! Daemon concurrency benchmark gate (ISSUE PR 5): the event-driven
+//! multiplexer must sustain at least the sessions-per-second of the
+//! original thread-per-session model on a burst of tiny sessions.
+//!
+//! Off by default (timing asserts don't belong in plain `cargo test`);
+//! CI runs it with `MSYNC_BENCH=1` in release mode and archives the
+//! measurement as `BENCH_daemon_concurrency.json` in the repo root.
+//!
+//! Method: `SESSIONS` tiny collection syncs are fired from a fixed
+//! `CLIENT_THREADS`-thread client pool at one daemon; the wall clock
+//! over the whole burst gives sessions/sec. Each attempt measures the
+//! baseline and the multiplexer back to back on fresh daemons (same
+//! corpus, same client pool shape), and the gate passes on the first
+//! attempt where the multiplexer is at least as fast; the minimum over
+//! attempts is never averaged, so one noisy neighbour is forgiven but
+//! a real regression fails every attempt. (Root integration tests are
+//! outside the xtask clock-discipline scan, so `Instant` is fine here.)
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use msync::core::{FileEntry, PipelineOptions, ProtocolConfig};
+use msync::net::{sync_remote, Daemon, DaemonOptions, RemoteOptions, ServeModel};
+
+/// Total sessions per measured burst.
+const SESSIONS: usize = 200;
+/// Client pool width: enough to keep the daemon saturated without
+/// drowning a small CI box in client-side threads.
+const CLIENT_THREADS: usize = 16;
+/// Full-measurement retries before the gate fails.
+const ATTEMPTS: usize = 3;
+
+/// A deliberately tiny collection: per-session protocol work is a few
+/// round trips, so session setup/teardown — the thing the two serve
+/// models differ on — dominates the measurement.
+fn tiny_corpus() -> (Vec<FileEntry>, Vec<FileEntry>) {
+    let make = |tag: &str| -> Vec<FileEntry> {
+        (0..4)
+            .map(|i| {
+                let body: Vec<u8> = format!("{tag} page {i} ").bytes().cycle().take(600).collect();
+                FileEntry::new(format!("page{i}.html"), body)
+            })
+            .collect()
+    };
+    (make("old"), make("new"))
+}
+
+/// Run one burst of `SESSIONS` syncs against a daemon using `model`;
+/// returns sessions per second over the burst's wall clock.
+fn burst(model: ServeModel, old: &Arc<Vec<FileEntry>>, new: &[FileEntry]) -> f64 {
+    let opts = DaemonOptions { model, ..DaemonOptions::default() };
+    let daemon = Daemon::spawn("127.0.0.1:0", new.to_vec(), opts, |_| {}).expect("bind daemon");
+    let addr = Arc::new(daemon.local_addr().to_string());
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|worker| {
+            let addr = Arc::clone(&addr);
+            let old = Arc::clone(old);
+            std::thread::spawn(move || {
+                let share =
+                    SESSIONS / CLIENT_THREADS + usize::from(worker < SESSIONS % CLIENT_THREADS);
+                let opts = RemoteOptions {
+                    cfg: ProtocolConfig { start_block: 256, ..ProtocolConfig::default() },
+                    pipeline: PipelineOptions::default(),
+                    ..RemoteOptions::default()
+                };
+                for _ in 0..share {
+                    let got = sync_remote(&addr, &old, &opts).expect("bench session");
+                    assert_eq!(got.outcome.files.len(), 4, "bench session must fully sync");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client worker");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    daemon.shutdown();
+    SESSIONS as f64 / elapsed.max(1e-9)
+}
+
+#[test]
+fn multiplexer_matches_thread_per_session_throughput() {
+    if std::env::var_os("MSYNC_BENCH").is_none() {
+        eprintln!("daemon_bench: set MSYNC_BENCH=1 to run the throughput gate");
+        return;
+    }
+    let (old, new) = tiny_corpus();
+    let old = Arc::new(old);
+
+    // Warm-up burst so neither side pays first-touch costs.
+    let _ = burst(ServeModel::Multiplex, &old, &new);
+
+    let mut last = (0.0f64, 0.0f64);
+    for attempt in 1..=ATTEMPTS {
+        let baseline_sps = burst(ServeModel::ThreadPerSession, &old, &new);
+        let mux_sps = burst(ServeModel::Multiplex, &old, &new);
+        last = (baseline_sps, mux_sps);
+        eprintln!(
+            "daemon_bench attempt {attempt}: thread-per-session {baseline_sps:.1}/s, \
+             multiplex {mux_sps:.1}/s"
+        );
+        if mux_sps >= baseline_sps {
+            let json = format!(
+                "{{\n  \"bench\": \"daemon_concurrency\",\n  \"sessions\": {SESSIONS},\n  \"client_threads\": {CLIENT_THREADS},\n  \"attempt\": {attempt},\n  \"thread_per_session_sps\": {baseline_sps:.2},\n  \"multiplex_sps\": {mux_sps:.2},\n  \"speedup\": {:.3}\n}}\n",
+                mux_sps / baseline_sps.max(1e-9)
+            );
+            let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_daemon_concurrency.json");
+            std::fs::write(out, &json).expect("write bench json");
+            eprintln!("daemon_bench: gate passed -> {out}");
+            return;
+        }
+    }
+    let (baseline_sps, mux_sps) = last;
+    panic!(
+        "multiplexer slower than thread-per-session on all {ATTEMPTS} attempts: \
+         last multiplex {mux_sps:.1}/s vs baseline {baseline_sps:.1}/s"
+    );
+}

@@ -3,7 +3,7 @@
 //!
 //! Sweeps every fault class of `msync::protocol::fault` across a seed
 //! range and two block-size schedules, driving real two-thread
-//! [`msync::core::sync_over_channel_with`] sessions over a faulty
+//! [`msync::core::sync_file_with`] sessions over a faulty
 //! channel. The contract under test (ISSUE: "graceful degradation"):
 //!
 //! * **no panic, no hang** — every run finishes within a watchdog
@@ -19,8 +19,7 @@
 //! sweep (CI runs it with more seeds than the default 20).
 
 use msync::core::{
-    sync_file, sync_over_channel, sync_over_channel_traced, sync_over_channel_with, ChannelOptions,
-    ProtocolConfig, SyncError,
+    sync_file, sync_file_with, ChannelOptions, ProtocolConfig, SyncError, SyncOptions,
 };
 use msync::corpus::Rng;
 use msync::protocol::fault::FaultInjector;
@@ -112,7 +111,8 @@ fn run_with_deadline(
 ) -> Result<(Vec<u8>, u64), SyncError> {
     let (tx, rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {
-        let result = sync_over_channel_with(&old, &new, &cfg, &opts)
+        let sync_opts = SyncOptions { channel: Some(opts), ..SyncOptions::default() };
+        let result = sync_file_with(&old, &new, &cfg, &sync_opts)
             .map(|out| (out.reconstructed, out.stats.traffic.retransmits));
         let _ = tx.send(result);
     });
@@ -231,13 +231,16 @@ fn zero_fault_rates_change_nothing() {
     // per-frame ARQ header overhead versus the in-process driver.
     let (old, new) = file_pair(7);
     let cfg = ProtocolConfig::default();
-    let clean = sync_over_channel(&old, &new, &cfg).expect("clean run");
+    let clean_opts =
+        SyncOptions { channel: Some(ChannelOptions::default()), ..SyncOptions::default() };
+    let clean = sync_file_with(&old, &new, &cfg, &clean_opts).expect("clean run");
     let opts = ChannelOptions {
         retry: RetryPolicy::default(),
         fault_plan: Some(FaultPlan::none()),
         fault_seed: 1234,
     };
-    let zeroed = sync_over_channel_with(&old, &new, &cfg, &opts).expect("zero-fault run");
+    let zeroed_opts = SyncOptions { channel: Some(opts), ..SyncOptions::default() };
+    let zeroed = sync_file_with(&old, &new, &cfg, &zeroed_opts).expect("zero-fault run");
     assert_eq!(zeroed.reconstructed, new);
     assert_eq!(zeroed.stats.traffic, clean.stats.traffic, "zero-rate plan perturbed accounting");
     assert_eq!(zeroed.stats.traffic.retransmits, 0);
@@ -272,7 +275,9 @@ fn every_injected_fault_is_traced_with_matching_direction_and_seq() {
     };
     // Outcome is irrelevant here (Ok or typed failure both leave a
     // valid journal); only the recorded fault events are under test.
-    let _ = sync_over_channel_traced(&old, &new, &ProtocolConfig::default(), &opts, &recorder);
+    let sync_opts =
+        SyncOptions { channel: Some(opts), recorder: recorder.clone(), ..SyncOptions::default() };
+    let _ = sync_file_with(&old, &new, &ProtocolConfig::default(), &sync_opts);
 
     let mut observed: [Vec<(u64, FaultKind)>; 2] = [Vec::new(), Vec::new()];
     for ev in recorder.drain_events() {
@@ -337,7 +342,8 @@ fn faulty_runs_are_reproducible() {
         // spuriously flaky under a heavily loaded test machine.
         let retry = RetryPolicy { timeout: Duration::from_secs(10), ..RetryPolicy::default() };
         let opts = ChannelOptions { retry, fault_plan: Some(plan), fault_seed: seed };
-        sync_over_channel_with(&old, &new, &ProtocolConfig::default(), &opts)
+        let opts = SyncOptions { channel: Some(opts), ..SyncOptions::default() };
+        sync_file_with(&old, &new, &ProtocolConfig::default(), &opts)
             .map(|out| {
                 let mut traffic = out.stats.traffic;
                 traffic.roundtrips = 0;

@@ -195,6 +195,34 @@ fn detects_ambient_clock_outside_trace_crate() {
 }
 
 #[test]
+fn detects_blocking_io_inside_engine_modules() {
+    // io-discipline is path-scoped: the same code is legal in a driver
+    // module but must fire inside crates/core/src/engine/.
+    let dir = std::env::temp_dir().join(format!("msync-lint-gate-engine-{}", std::process::id()));
+    let src = dir.join("crates").join("core").join("src");
+    fs::create_dir_all(src.join("engine")).expect("scratch dir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n").expect("manifest");
+    fs::write(
+        dir.join("crates").join("core").join("Cargo.toml"),
+        "[package]\nname = \"core\"\nversion = \"0.0.0\"\n",
+    )
+    .expect("crate manifest");
+    fs::write(src.join("lib.rs"), format!("{CLEAN_HEADER}\npub mod engine;\npub mod driver;\n"))
+        .expect("lib.rs");
+    let offending = "//! Engine module.\n/// Doc.\npub fn bad(rx: &std::sync::mpsc::Receiver<u8>, d: std::time::Duration) {\n    std::thread::spawn(|| {});\n    let _ = rx.recv_timeout(d);\n}\n";
+    fs::write(src.join("engine").join("mod.rs"), offending).expect("engine/mod.rs");
+    // Identical body outside the engine tree: io-discipline stays quiet
+    // there (channel-discipline has its own opinion about recv, which
+    // recv_timeout satisfies).
+    fs::write(src.join("driver.rs"), offending).expect("driver.rs");
+    let findings = lint_workspace(&dir, &LintConfig::msync()).expect("scan");
+    let hits: Vec<_> = findings.into_iter().filter(|f| f.rule == Rule::IoDiscipline).collect();
+    fs::remove_dir_all(&dir).ok();
+    assert_eq!(hits.len(), 2, "spawn + recv_timeout inside engine/ must fire: {hits:?}");
+    assert!(hits.iter().all(|f| f.file == "crates/core/src/engine/mod.rs"), "{hits:?}");
+}
+
+#[test]
 fn non_critical_crate_may_panic() {
     let body = format!(
         "{CLEAN_HEADER}\n/// Doc.\npub fn f(v: Option<u32>) -> u32 {{\n    v.unwrap()\n}}\n"

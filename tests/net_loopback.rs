@@ -114,6 +114,149 @@ fn pipelined_schedule_beats_sequential_roundtrips() {
     assert!(pipe < seq, "pipelined roundtrips {pipe} not fewer than sequential {seq}");
 }
 
+/// Concurrency soak (ISSUE PR 5): 32 clients sync the same collection
+/// against one multiplexed daemon at once. Every client lands on a
+/// byte-exact mirror, and the daemon's aggregate metrics grid equals
+/// the 32 summed per-session `TrafficStats` cell by cell — the
+/// multiplexer's shared-nothing accounting holds under contention.
+#[test]
+fn soak_32_concurrent_clients_byte_exact_and_accounted() {
+    let (old, new) = corpus();
+    const CLIENTS: usize = 32;
+
+    let reports: Arc<Mutex<Vec<(TrafficStats, MetricsSnapshot)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&reports);
+    let daemon = Daemon::spawn("127.0.0.1:0", new.clone(), DaemonOptions::default(), move |r| {
+        let outcome = r.result.as_ref().expect("soak session succeeds");
+        sink.lock().expect("report sink").push((outcome.traffic, r.metrics.clone()));
+    })
+    .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+
+    let mut want: Vec<FileEntry> = new.clone();
+    want.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let old = old.clone();
+            std::thread::spawn(move || run_remote(&addr, &old, 16))
+        })
+        .collect();
+    for handle in handles {
+        let got = handle.join().expect("client thread");
+        assert_eq!(got.outcome.files.len(), want.len());
+        for (have, want) in got.outcome.files.iter().zip(&want) {
+            assert_eq!(have.name, want.name);
+            assert_eq!(have.data, want.data, "soak mirror mismatch for {}", want.name);
+        }
+    }
+
+    // All 32 reports land (the log callback fires after the aggregate
+    // merge, so 32 reports mean a settled aggregate).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while reports.lock().expect("report sink").len() < CLIENTS {
+        assert!(std::time::Instant::now() < deadline, "daemon reports never arrived");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let aggregate = daemon.metrics();
+    daemon.shutdown();
+
+    let reports = reports.lock().expect("report sink");
+    assert_eq!(reports.len(), CLIENTS);
+    let dirs = [(DirTag::C2s, Direction::ClientToServer), (DirTag::S2c, Direction::ServerToClient)];
+    let phases = [
+        (PhaseTag::Setup, Phase::Setup),
+        (PhaseTag::Map, Phase::Map),
+        (PhaseTag::Delta, Phase::Delta),
+    ];
+    for (dtag, dir) in dirs {
+        for (ptag, phase) in phases {
+            let traffic_sum: u64 = reports
+                .iter()
+                .map(|(t, _)| match dir {
+                    Direction::ClientToServer => t.c2s(phase),
+                    Direction::ServerToClient => t.s2c(phase),
+                })
+                .sum();
+            assert_eq!(
+                aggregate.dir_phase_bytes(dtag, ptag),
+                traffic_sum,
+                "soak daemon grid cell ({dtag:?}, {ptag:?}) != summed session TrafficStats"
+            );
+        }
+    }
+    let mut merged = MetricsSnapshot::new();
+    for (_, m) in reports.iter() {
+        merged.merge(m);
+    }
+    assert_eq!(aggregate, merged, "daemon.metrics() must equal merged session snapshots");
+    assert_eq!(aggregate.handshakes_ok, CLIENTS as u64);
+    assert_eq!(aggregate.handshakes_failed, 0);
+}
+
+/// Admission control: a daemon at capacity answers the hello with a
+/// typed `err server at capacity` refusal — the client learns *why* —
+/// and the refusal is metered as a failed handshake. Freed capacity
+/// admits the next client.
+#[test]
+fn admission_control_refuses_with_reason_and_frees_capacity() {
+    let (old, new) = corpus();
+
+    // Capacity zero: every connection is refused, with the reason.
+    let reports = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&reports);
+    let opts = DaemonOptions { max_sessions: Some(0), ..DaemonOptions::default() };
+    let daemon = Daemon::spawn("127.0.0.1:0", new.clone(), opts, move |r| {
+        assert!(r.result.is_err(), "a refused session must report an error");
+        seen.fetch_add(1, Ordering::SeqCst);
+    })
+    .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+    let remote_opts = RemoteOptions { cfg: small_cfg(), ..RemoteOptions::default() };
+    let err = sync_remote(&addr, &old, &remote_opts);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while reports.load(Ordering::SeqCst) < 1 {
+        assert!(std::time::Instant::now() < deadline, "refusal report never arrived");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let metrics = daemon.metrics();
+    daemon.shutdown();
+    match err {
+        Err(msync::net::NetError::Handshake(reason)) => {
+            assert!(reason.contains("capacity"), "refusal must name the reason: {reason}");
+        }
+        other => panic!("expected a typed handshake refusal, got {other:?}"),
+    }
+    assert_eq!(metrics.handshakes_failed, 1, "the refusal is metered");
+    assert_eq!(metrics.handshakes_ok, 0);
+
+    // Capacity one: sequential syncs each get the slot back.
+    let finished = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&finished);
+    let opts = DaemonOptions { max_sessions: Some(1), ..DaemonOptions::default() };
+    let daemon = Daemon::spawn("127.0.0.1:0", new.clone(), opts, move |_| {
+        seen.fetch_add(1, Ordering::SeqCst);
+    })
+    .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+    for round in 1..=2 {
+        let got = run_remote(&addr, &old, 8);
+        assert_eq!(got.outcome.files.len(), new.len(), "round {round} must fully sync");
+        // The report is delivered only after the admission slot is
+        // released, so waiting for it makes the next round race-free.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while finished.load(Ordering::SeqCst) < round {
+            assert!(std::time::Instant::now() < deadline, "session report never arrived");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+    let metrics = daemon.metrics();
+    daemon.shutdown();
+    assert_eq!(metrics.handshakes_ok, 2, "both sequential sessions must be admitted");
+}
+
 /// The daemon's live metrics are the exact sum of its per-session
 /// recorders: the aggregate byte grid equals the summed per-session
 /// `TrafficStats` cell by cell, the handshake counter equals the

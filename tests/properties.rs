@@ -350,7 +350,7 @@ mod decoder_robustness {
 mod extensions {
     use super::{edited_pair, for_cases};
     use msync::cdc::ChunkParams;
-    use msync::core::{sync_over_channel, ProtocolConfig};
+    use msync::core::{sync_file_with, ChannelOptions, ProtocolConfig, SyncOptions};
 
     #[test]
     fn cdc_sync_reconstructs_exactly() {
@@ -383,9 +383,11 @@ mod extensions {
             min_block_cont: 8,
             ..ProtocolConfig::default()
         };
+        let opts =
+            SyncOptions { channel: Some(ChannelOptions::default()), ..SyncOptions::default() };
         for_cases(0x65787433, 32, |rng| {
             let (old, new) = edited_pair(rng, 4096);
-            let out = sync_over_channel(&old, &new, &cfg).unwrap();
+            let out = sync_file_with(&old, &new, &cfg, &opts).unwrap();
             assert_eq!(out.reconstructed, new);
         });
     }

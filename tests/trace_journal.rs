@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use msync::core::{sync_file, sync_file_traced, ProtocolConfig};
+use msync::core::{sync_file, sync_file_with, ProtocolConfig, SyncOptions};
 use msync::corpus::Rng;
 use msync::trace::{parse_line, ManualClock, Recorder, SCHEMA_VERSION};
 
@@ -39,8 +39,9 @@ fn corpus_pair(seed: u64) -> (Vec<u8>, Vec<u8>) {
 fn traced_run(old: &[u8], new: &[u8]) -> (String, msync::core::SyncOutcome) {
     let clock = ManualClock::ticking(1_000, 7);
     let recorder = Recorder::with_clock(Arc::new(clock));
-    let outcome = sync_file_traced(old, new, &ProtocolConfig::default(), &recorder)
-        .expect("traced sync succeeds");
+    let opts = SyncOptions { recorder: recorder.clone(), ..SyncOptions::default() };
+    let outcome =
+        sync_file_with(old, new, &ProtocolConfig::default(), &opts).expect("traced sync succeeds");
     (msync::trace::render_journal(&recorder.drain_events()), outcome)
 }
 

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use msync::core::{sync_file, sync_file_traced, ProtocolConfig};
+use msync::core::{sync_file, sync_file_with, ProtocolConfig, SyncOptions};
 use msync::corpus::Rng;
 use msync::trace::Recorder;
 
@@ -50,7 +50,7 @@ fn time_us(f: impl FnOnce()) -> u128 {
 
 /// One full interleaved measurement: `(untraced_min_us, traced_min_us)`.
 fn measure(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> (u128, u128) {
-    let recorder = Recorder::system();
+    let traced_opts = SyncOptions { recorder: Recorder::system(), ..SyncOptions::default() };
     let mut untraced_us = u128::MAX;
     let mut traced_us = u128::MAX;
     for _ in 0..REPS {
@@ -59,11 +59,11 @@ fn measure(old: &[u8], new: &[u8], cfg: &ProtocolConfig) -> (u128, u128) {
             assert_eq!(out.reconstructed, new);
         }));
         traced_us = traced_us.min(time_us(|| {
-            let out = sync_file_traced(old, new, cfg, &recorder).expect("traced sync");
+            let out = sync_file_with(old, new, cfg, &traced_opts).expect("traced sync");
             assert_eq!(out.reconstructed, new);
             // Drain between reps so the ring never saturates (a full
             // ring would make later reps artificially cheap).
-            assert!(!recorder.drain_events().is_empty());
+            assert!(!traced_opts.recorder.drain_events().is_empty());
         }));
     }
     (untraced_us, traced_us)
