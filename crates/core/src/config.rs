@@ -239,7 +239,8 @@ impl ProtocolConfig {
     }
 }
 
-/// Transport options for [`crate::sync_over_channel_with`]: the
+/// Transport options for channel-mode [`crate::sync_file_with`] (the
+/// `channel` field of `SyncOptions`): the
 /// timeout/retry policy the session applies to every receive, and an
 /// optional deterministic fault plan for the link (used by the soak
 /// tests and the CLI's `--fault-profile` flag to exercise recovery).

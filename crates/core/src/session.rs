@@ -1158,10 +1158,26 @@ pub fn sync_over_channel(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod channel_tests {
     use super::*;
     use crate::engine::arq::{parse_frame, part_header};
+
+    /// Channel-mode run through the one supported entry point; the
+    /// deprecated `sync_over_channel*` wrappers stay exported for
+    /// downstream callers but have no internal users left.
+    fn over_channel(
+        old: &[u8],
+        new: &[u8],
+        cfg: &ProtocolConfig,
+        channel: ChannelOptions,
+    ) -> Result<SyncOutcome, SyncError> {
+        sync_file_with(
+            old,
+            new,
+            cfg,
+            &SyncOptions { channel: Some(channel), ..SyncOptions::default() },
+        )
+    }
 
     fn blob(n: usize, seed: u64) -> Vec<u8> {
         let mut state = seed.wrapping_mul(2).wrapping_add(1);
@@ -1182,7 +1198,7 @@ mod channel_tests {
         new.splice(12_000..12_050, blob(200, 4));
         let cfg = ProtocolConfig::default();
         let a = sync_file(&old, &new, &cfg).unwrap();
-        let b = sync_over_channel(&old, &new, &cfg).unwrap();
+        let b = over_channel(&old, &new, &cfg, ChannelOptions::default()).unwrap();
         assert_eq!(a.reconstructed, new);
         assert_eq!(b.reconstructed, new);
         // Same protocol content; the channel adds the ARQ header
@@ -1206,7 +1222,8 @@ mod channel_tests {
     #[test]
     fn channel_run_unchanged_file() {
         let data = blob(10_000, 5);
-        let out = sync_over_channel(&data, &data, &ProtocolConfig::default()).unwrap();
+        let out = over_channel(&data, &data, &ProtocolConfig::default(), ChannelOptions::default())
+            .unwrap();
         assert_eq!(out.reconstructed, data);
         assert!(out.stats.total_bytes() < 64, "got {}", out.stats.total_bytes());
     }
@@ -1214,7 +1231,8 @@ mod channel_tests {
     #[test]
     fn channel_run_empty_to_full() {
         let new = blob(5_000, 6);
-        let out = sync_over_channel(b"", &new, &ProtocolConfig::default()).unwrap();
+        let out =
+            over_channel(b"", &new, &ProtocolConfig::default(), ChannelOptions::default()).unwrap();
         assert_eq!(out.reconstructed, new);
     }
 
@@ -1235,7 +1253,7 @@ mod channel_tests {
         let plan = msync_protocol::FaultPlan::profile("lossy").unwrap();
         let opts =
             ChannelOptions { retry: short_retry(), fault_plan: Some(plan), fault_seed: 0xFA17 };
-        let out = sync_over_channel_with(&old, &new, &cfg, &opts).unwrap();
+        let out = over_channel(&old, &new, &cfg, opts).unwrap();
         assert_eq!(out.reconstructed, new);
     }
 
@@ -1246,7 +1264,7 @@ mod channel_tests {
         let cfg = ProtocolConfig::default();
         let plan = msync_protocol::FaultPlan::profile("corrupt").unwrap();
         let opts = ChannelOptions { retry: short_retry(), fault_plan: Some(plan), fault_seed: 99 };
-        match sync_over_channel_with(&old, &new, &cfg, &opts) {
+        match over_channel(&old, &new, &cfg, opts) {
             Ok(out) => assert_eq!(out.reconstructed, new),
             Err(
                 SyncError::FrameCorrupt
@@ -1265,7 +1283,7 @@ mod channel_tests {
         let cfg = ProtocolConfig::default();
         let plan = msync_protocol::FaultPlan::profile("disconnect").unwrap();
         let opts = ChannelOptions { retry: short_retry(), fault_plan: Some(plan), fault_seed: 1 };
-        match sync_over_channel_with(&old, &new, &cfg, &opts) {
+        match over_channel(&old, &new, &cfg, opts) {
             // Severed before the session finished: must be a typed
             // transport error, never a hang or a panic.
             Err(SyncError::PeerGone | SyncError::Timeout | SyncError::FrameCorrupt) => {}

@@ -28,6 +28,10 @@ pub struct BaselineOutcome {
     /// Entries whose allowance is higher than reality: `(rule, file,
     /// allowed, actual)`. A ratchet opportunity, not a failure.
     pub stale: Vec<(String, String, u32, u32)>,
+    /// Count of `#[deprecated]` attributes in non-test workspace code —
+    /// informational debt reported alongside findings, never a failure.
+    /// Filled by [`crate::gate`]; [`Baseline::apply`] leaves it 0.
+    pub deprecation_debt: usize,
 }
 
 impl Baseline {
@@ -129,7 +133,7 @@ mod tests {
     use super::*;
 
     fn finding(rule: Rule, file: &str, line: u32) -> Finding {
-        Finding { rule, file: file.to_owned(), line, message: String::new() }
+        Finding { rule, file: file.to_owned(), line, col: 1, end_col: 1, message: String::new() }
     }
 
     #[test]

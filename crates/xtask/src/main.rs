@@ -1,6 +1,6 @@
 //! `cargo run -p xtask -- lint` — the workspace static-analysis gate —
-//! and `cargo run -p xtask -- check-journal FILE` — the trace-journal
-//! schema validator.
+//! plus the offline validators: `check-journal FILE` for trace journals
+//! and `check-lint-report FILE` for the JSON lint report CI archives.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
@@ -14,35 +14,53 @@ use xtask::{find_workspace_root, gate, lint_workspace, Baseline, LintConfig};
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [options]
        cargo run -p xtask -- check-journal <FILE>
+       cargo run -p xtask -- check-lint-report <FILE>
 
-Static-analysis gate for the msync workspace. Enforces:
+Static-analysis gate for the msync workspace: a token-aware engine
+(lexer + import/function/match model) runs per-file rules and
+cross-file protocol passes. Enforces:
   crate-headers    #![forbid(unsafe_code)] + #![deny(missing_docs)] in lib crates
   panic-freedom    no unwrap()/expect(/panic!/todo!/unimplemented! in
                    protocol-critical non-test code (hashes, protocol,
-                   rsync, recon, core)
+                   rsync, recon, core, net)
   lossy-cast       no narrowing `as` casts in wire-format modules
-  determinism      no ambient clock/RNG inside protocol logic
+  determinism      no ambient clock/RNG inside protocol logic, including
+                   through `use ... as` aliases
   hermeticity      workspace crates use first-party path deps only
   channel-discipline
                    no bare recv() in protocol-critical code; receives
                    must be bounded (recv_timeout / try_recv); in socket
                    crates (net) every read-family call additionally
                    requires a preceding set_read_timeout deadline
-  clock-discipline no Instant::now / SystemTime::now outside crates/trace;
-                   time flows through msync_trace::Clock so traced runs
-                   replay deterministically
-  io-discipline    no thread::spawn / blocking recv / read-family calls /
-                   sleep inside the sans-IO engine modules
-                   (crates/core/src/engine/); machines emit frames and
-                   timer requests, drivers own all I/O
+  clock-discipline no Instant::now / SystemTime::now outside crates/trace
+                   (alias-aware); time flows through msync_trace::Clock
+                   so traced runs replay deterministically
+  wire-schema      frame tags (enum Phase) are declared once, in the
+                   registry module, and every encode/decode match over
+                   them covers the identical variant set — a one-sided
+                   arm is a lint error, not a runtime desync
+  charge-point     every transport function (crates/net, crates/protocol)
+                   pairs its TrafficStats charge with the FrameSend/
+                   FrameRecv trace event, so journal == stats by
+                   construction
+  machine-discipline
+                   every drive loop polling a sans-IO machine handles
+                   all Output::{Transmit,Attribute,Wait,Done} variants,
+                   and the engine modules (crates/core/src/engine/) stay
+                   effect-pure: no thread::spawn / blocking recv /
+                   read-family calls / sleep
 
 options:
-  --json               machine-readable output
-  --update-baseline    rewrite lint-baseline.toml to cover current findings
-  --root <dir>         workspace root (default: discovered from cwd)
+  --format <human|json>  output format (default: human; json is the
+                         SARIF-lite report ci.sh archives as LINT_REPORT.json)
+  --json                 shorthand for --format json
+  --update-baseline      rewrite lint-baseline.toml to cover current findings
+  --root <dir>           workspace root (default: discovered from cwd)
 
 check-journal validates a --trace-out JSONL journal offline (no jq
 needed): every line must parse under schema v1 with monotone t_us.
+check-lint-report validates a `lint --format json` report: valid JSON
+with the msync-lint/1 shape (findings with rule/file/line/col spans).
 ";
 
 fn main() -> ExitCode {
@@ -69,6 +87,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         return check_journal(std::path::Path::new(path));
     }
+    if cmd == "check-lint-report" {
+        let path = it.next().ok_or("check-lint-report needs a report file path")?;
+        if it.next().is_some() {
+            return Err(format!("check-lint-report takes exactly one argument\n\n{USAGE}"));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return match xtask::report::validate_report(&text) {
+            Ok(()) => {
+                println!("{path}: valid {} report", xtask::report::REPORT_VERSION);
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(err) => {
+                eprintln!("{path}: {err}");
+                Ok(ExitCode::FAILURE)
+            }
+        };
+    }
     if cmd != "lint" {
         eprint!("unknown command `{cmd}`\n\n{USAGE}");
         return Ok(ExitCode::from(2));
@@ -79,6 +114,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                Some(other) => {
+                    return Err(format!("unknown format `{other}` (expected human or json)"))
+                }
+                None => return Err("--format needs a value (human or json)".to_owned()),
+            },
             "--update-baseline" => update_baseline = true,
             "--root" => {
                 root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?));

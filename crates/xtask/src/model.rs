@@ -1,0 +1,583 @@
+//! A lightweight structural model of one Rust source file.
+//!
+//! Built on the token stream from [`crate::tokens`], this layer
+//! resolves just enough structure for the lint passes without a full
+//! parser:
+//!
+//! * **code tokens** — the significant (non-whitespace, non-comment)
+//!   tokens, each knowing whether it sits inside a `#[cfg(test)]`-gated
+//!   item body or inside a `use` declaration;
+//! * **import map** — every `use` item, including grouped imports and
+//!   `as` aliases, resolved to `local name -> full path segments`, so a
+//!   rule can see through `use std::time::Instant as I`;
+//! * **function boundaries** — `fn name` with the token range of its
+//!   body, so cross-file passes can reason per function ("charge and
+//!   trace event in the *same* function");
+//! * **match extraction** — `match` expressions with their arm pattern
+//!   and arm body token ranges, so the wire-schema and
+//!   machine-discipline passes can compare arm coverage.
+//!
+//! Indices handed out by this module are positions into the *code
+//! token* list (`code`), not the raw token list; [`FileModel::tok`]
+//! maps back to the underlying [`Token`] for spans.
+
+use crate::tokens::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// One function item: its name and the code-token range of its body.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// Code-token index of the name identifier.
+    pub name_idx: usize,
+    /// Code-token range of the body, inclusive of both braces. `None`
+    /// for bodyless declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `match` expression: code-token positions of its parts.
+#[derive(Debug, Clone)]
+pub struct MatchInfo {
+    /// Code-token index of the `match` keyword.
+    pub kw_idx: usize,
+    /// Code-token range of the `{ ... }` arm block, braces inclusive.
+    pub block: (usize, usize),
+    /// Per arm: `(pattern range, body range)`, both inclusive. The
+    /// pattern range covers any `if` guard too.
+    pub arms: Vec<((usize, usize), (usize, usize))>,
+}
+
+/// Structural view of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// The raw source text.
+    pub src: String,
+    /// The complete token stream (tiles `src`).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the significant (code) tokens.
+    code: Vec<usize>,
+    /// Per code token: inside a `#[cfg(test)]`-gated item body.
+    in_test: Vec<bool>,
+    /// Per code token: inside a `use ... ;` declaration.
+    in_use: Vec<bool>,
+    /// `local name -> full path segments` for every use declaration.
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// Every `fn` item (including test functions; callers filter via
+    /// [`FileModel::is_test`]).
+    pub fns: Vec<FnInfo>,
+}
+
+impl FileModel {
+    /// Lex and model `src`.
+    #[must_use]
+    pub fn parse(src: &str) -> FileModel {
+        let tokens = lex(src);
+        let code: Vec<usize> = (0..tokens.len()).filter(|&i| tokens[i].is_code()).collect();
+        let mut model = FileModel {
+            src: src.to_owned(),
+            tokens,
+            code,
+            in_test: Vec::new(),
+            in_use: Vec::new(),
+            imports: BTreeMap::new(),
+            fns: Vec::new(),
+        };
+        model.in_test = model.compute_test_mask();
+        model.in_use = vec![false; model.code.len()];
+        model.compute_imports();
+        model.compute_fns();
+        model
+    }
+
+    /// Number of code tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file has no code tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The underlying token for code-token index `i`.
+    #[must_use]
+    pub fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.code[i]]
+    }
+
+    /// Text of code token `i`.
+    #[must_use]
+    pub fn text(&self, i: usize) -> &str {
+        self.tok(i).text(&self.src)
+    }
+
+    /// Whether code token `i` is inside a `#[cfg(test)]`-gated body.
+    #[must_use]
+    pub fn is_test(&self, i: usize) -> bool {
+        self.in_test[i]
+    }
+
+    /// Whether code token `i` is part of a `use` declaration.
+    #[must_use]
+    pub fn is_use(&self, i: usize) -> bool {
+        self.in_use[i]
+    }
+
+    /// Whether code token `i` is an identifier with text `word`.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, word: &str) -> bool {
+        self.tok(i).kind == TokenKind::Ident && self.text(i) == word
+    }
+
+    /// Whether code token `i` is punctuation `ch`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, ch: char) -> bool {
+        self.tok(i).kind == TokenKind::Punct && self.text(i).starts_with(ch)
+    }
+
+    /// Whether code tokens `i` and `i + 1` form `::` (adjacent colons).
+    #[must_use]
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        i + 1 < self.len()
+            && self.is_punct(i, ':')
+            && self.is_punct(i + 1, ':')
+            && self.tok(i).end == self.tok(i + 1).start
+    }
+
+    /// Resolve a local name through the import map: full path segments
+    /// if `name` was introduced by a `use` (aliased or not).
+    #[must_use]
+    pub fn resolve(&self, name: &str) -> Option<&[String]> {
+        self.imports.get(name).map(Vec::as_slice)
+    }
+
+    /// Iterate code-token indices of non-test identifiers equal to `word`.
+    pub fn idents<'a>(&'a self, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+        (0..self.len()).filter(move |&i| !self.is_test(i) && self.is_ident(i, word))
+    }
+
+    /// Find the first occurrence of `seq` (matched against token texts)
+    /// in non-test code starting at code index `from`. `::` counts as
+    /// two tokens.
+    #[must_use]
+    pub fn find_seq(&self, from: usize, seq: &[&str]) -> Option<usize> {
+        (from..self.len().saturating_sub(seq.len() - 1)).find(|&i| {
+            !self.is_test(i) && seq.iter().enumerate().all(|(k, w)| self.text(i + k) == *w)
+        })
+    }
+
+    /// Index of the matching close brace for the open brace at `open`,
+    /// tracking `{}` nesting only (sufficient once inside a body).
+    #[must_use]
+    pub fn matching_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for i in open..self.len() {
+            if self.is_punct(i, '{') {
+                depth += 1;
+            } else if self.is_punct(i, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Mark which code tokens fall inside `#[cfg(test)]`-gated bodies.
+    fn compute_test_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.code.len()];
+        let mut i = 0usize;
+        while i + 6 < self.code.len() {
+            let gated = self.is_punct(i, '#')
+                && self.is_punct(i + 1, '[')
+                && self.is_ident(i + 2, "cfg")
+                && self.is_punct(i + 3, '(')
+                && self.is_ident(i + 4, "test")
+                && self.is_punct(i + 5, ')')
+                && self.is_punct(i + 6, ']');
+            if !gated {
+                i += 1;
+                continue;
+            }
+            // Blank the gated item's body: the next top-level brace block.
+            let Some(open) = (i + 7..self.len()).find(|&j| self.is_punct(j, '{')) else {
+                break;
+            };
+            let close = self.matching_brace(open).unwrap_or(self.len() - 1);
+            for flag in &mut mask[open..=close] {
+                *flag = true;
+            }
+            i = close + 1;
+        }
+        mask
+    }
+
+    /// Parse every `use` declaration into the import map and mark the
+    /// declaration's tokens.
+    fn compute_imports(&mut self) {
+        let mut i = 0usize;
+        while i < self.len() {
+            if self.is_test(i) || !self.is_ident(i, "use") {
+                i += 1;
+                continue;
+            }
+            // Statement extent: up to the terminating `;`.
+            let end =
+                (i + 1..self.len()).find(|&j| self.is_punct(j, ';')).unwrap_or(self.len() - 1);
+            for j in i..=end {
+                self.in_use[j] = true;
+            }
+            let mut entries: Vec<(String, Vec<String>)> = Vec::new();
+            self.parse_use_tree(i + 1, end, &mut Vec::new(), &mut entries);
+            for (name, path) in entries {
+                self.imports.insert(name, path);
+            }
+            i = end + 1;
+        }
+    }
+
+    /// Recursive descent over a use tree between code indices
+    /// `(from..to)`: `a::b::{c, d as e, f::g}`.
+    fn parse_use_tree(
+        &self,
+        from: usize,
+        to: usize,
+        prefix: &mut Vec<String>,
+        out: &mut Vec<(String, Vec<String>)>,
+    ) {
+        let saved = prefix.len();
+        let mut i = from;
+        while i < to {
+            if self.tok(i).kind == TokenKind::Ident {
+                let seg = self.text(i).to_owned();
+                if seg == "as" {
+                    // `as Alias`: rename the entry just emitted for the
+                    // current path.
+                    if i + 1 < to && self.tok(i + 1).kind == TokenKind::Ident {
+                        let alias = self.text(i + 1).to_owned();
+                        out.pop();
+                        out.push((alias, prefix.clone()));
+                        i += 2;
+                        continue;
+                    }
+                } else {
+                    prefix.push(seg.clone());
+                    // Leaf unless followed by `::`.
+                    if !(i + 2 < to && self.is_path_sep(i + 1)) {
+                        let name = if seg == "self" {
+                            prefix[prefix.len().saturating_sub(2)].clone()
+                        } else {
+                            seg
+                        };
+                        out.push((name, prefix.clone()));
+                        // Keep the full path only while an `as` alias
+                        // may still rename this entry.
+                        if !(i + 1 < to && self.is_ident(i + 1, "as")) {
+                            prefix.truncate(saved);
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+            }
+            if self.is_punct(i, '{') {
+                // Group: each comma-separated subtree shares the prefix.
+                let close = self.matching_brace(i).unwrap_or(to);
+                let mut part = i + 1;
+                let mut depth = 0usize;
+                for j in i + 1..close {
+                    if self.is_punct(j, '{') {
+                        depth += 1;
+                    } else if self.is_punct(j, '}') {
+                        depth = depth.saturating_sub(1);
+                    } else if depth == 0 && self.is_punct(j, ',') {
+                        self.parse_use_tree(part, j, &mut prefix.clone(), out);
+                        part = j + 1;
+                    }
+                }
+                self.parse_use_tree(part, close, &mut prefix.clone(), out);
+                prefix.truncate(saved);
+                i = close + 1;
+                continue;
+            }
+            if self.is_punct(i, ',') {
+                prefix.truncate(saved);
+            }
+            i += 1;
+        }
+        prefix.truncate(saved);
+    }
+
+    /// Find every `fn` item and its body range.
+    fn compute_fns(&mut self) {
+        let mut fns = Vec::new();
+        let mut i = 0usize;
+        while i + 1 < self.len() {
+            if !self.is_ident(i, "fn") {
+                i += 1;
+                continue;
+            }
+            // `fn(` is a function-pointer type, not an item.
+            let name_idx = i + 1;
+            if self.tok(name_idx).kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = self.text(name_idx).to_owned();
+            // Scan for the body `{` at paren/bracket depth 0, stopping
+            // at `;` (bodyless) or another `fn`.
+            let mut depth = 0i32;
+            let mut body = None;
+            let mut j = name_idx + 1;
+            while j < self.len() {
+                if self.is_punct(j, '(') || self.is_punct(j, '[') {
+                    depth += 1;
+                } else if self.is_punct(j, ')') || self.is_punct(j, ']') {
+                    depth -= 1;
+                } else if depth == 0 && self.is_punct(j, ';') {
+                    break;
+                } else if depth == 0 && self.is_punct(j, '{') {
+                    let close = self.matching_brace(j).unwrap_or(self.len() - 1);
+                    body = Some((j, close));
+                    break;
+                }
+                j += 1;
+            }
+            fns.push(FnInfo { name, name_idx, body });
+            // Resume after the header; nested fns inside the body are
+            // found by the continuing scan.
+            i = name_idx + 1;
+        }
+        self.fns = fns;
+    }
+
+    /// Extract every `match` expression whose `match` keyword lies in
+    /// `range` (code-token indices, inclusive).
+    #[must_use]
+    pub fn matches_in(&self, range: (usize, usize)) -> Vec<MatchInfo> {
+        let mut out = Vec::new();
+        let mut i = range.0;
+        while i <= range.1.min(self.len().saturating_sub(1)) {
+            if !self.is_ident(i, "match") || self.is_test(i) {
+                i += 1;
+                continue;
+            }
+            // Scrutinee: up to the arm block's `{` at depth 0. Struct
+            // literals are syntactically banned in match scrutinees, so
+            // the first depth-0 `{` opens the arm block.
+            let mut depth = 0i32;
+            let mut open = None;
+            for j in i + 1..=range.1.min(self.len() - 1) {
+                if self.is_punct(j, '(') || self.is_punct(j, '[') {
+                    depth += 1;
+                } else if self.is_punct(j, ')') || self.is_punct(j, ']') {
+                    depth -= 1;
+                } else if depth == 0 && self.is_punct(j, '{') {
+                    open = Some(j);
+                    break;
+                }
+            }
+            let Some(open) = open else {
+                i += 1;
+                continue;
+            };
+            let close = match self.matching_brace(open) {
+                Some(c) => c,
+                None => {
+                    i = open + 1;
+                    continue;
+                }
+            };
+            out.push(MatchInfo {
+                kw_idx: i,
+                block: (open, close),
+                arms: self.split_arms(open, close),
+            });
+            i = open + 1; // nested matches inside arms are still found
+        }
+        out
+    }
+
+    /// Split the arm block `(open, close)` into `(pattern, body)` ranges.
+    fn split_arms(&self, open: usize, close: usize) -> Vec<((usize, usize), (usize, usize))> {
+        let mut arms = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            // Pattern: until `=>` at depth 0. Patterns may contain
+            // braces (struct patterns), parens, brackets.
+            let pat_start = i;
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut j = i;
+            while j < close {
+                if self.is_punct(j, '(') || self.is_punct(j, '[') || self.is_punct(j, '{') {
+                    depth += 1;
+                } else if self.is_punct(j, ')') || self.is_punct(j, ']') || self.is_punct(j, '}') {
+                    depth -= 1;
+                } else if depth == 0
+                    && self.is_punct(j, '=')
+                    && j + 1 < close
+                    && self.is_punct(j + 1, '>')
+                    && self.tok(j).end == self.tok(j + 1).start
+                {
+                    arrow = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            if arrow == pat_start {
+                break; // malformed; bail rather than loop
+            }
+            // Body: a brace block (optionally followed by `,`), or an
+            // expression up to `,` at depth 0 (or the block's end).
+            let body_start = arrow + 2;
+            if body_start >= close {
+                arms.push(((pat_start, arrow - 1), (arrow + 1, close.saturating_sub(1))));
+                break;
+            }
+            let body_end;
+            if self.is_punct(body_start, '{') {
+                let bclose = self.matching_brace(body_start).unwrap_or(close - 1).min(close - 1);
+                body_end = bclose;
+                i = bclose + 1;
+                if i < close && self.is_punct(i, ',') {
+                    i += 1;
+                }
+            } else {
+                let mut depth = 0i32;
+                let mut k = body_start;
+                while k < close {
+                    if self.is_punct(k, '(') || self.is_punct(k, '[') || self.is_punct(k, '{') {
+                        depth += 1;
+                    } else if self.is_punct(k, ')')
+                        || self.is_punct(k, ']')
+                        || self.is_punct(k, '}')
+                    {
+                        depth -= 1;
+                    } else if depth == 0 && self.is_punct(k, ',') {
+                        break;
+                    }
+                    k += 1;
+                }
+                body_end = k.saturating_sub(1).max(body_start);
+                i = (k + 1).min(close);
+            }
+            arms.push(((pat_start, arrow - 1), (body_start, body_end)));
+        }
+        arms
+    }
+
+    /// Collect the set of `Enum::Variant` mentions within a code-token
+    /// range (inclusive), for a given enum name.
+    #[must_use]
+    pub fn variant_mentions(&self, enum_name: &str, range: (usize, usize)) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        let hi = range.1.min(self.len().saturating_sub(1));
+        let mut i = range.0;
+        while i + 3 <= hi {
+            if self.is_ident(i, enum_name)
+                && self.is_path_sep(i + 1)
+                && self.tok(i + 3).kind == TokenKind::Ident
+            {
+                out.push((i, self.text(i + 3).to_owned()));
+                i += 4;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn import_map_resolves_aliases_and_groups() {
+        let m = FileModel::parse(
+            "use std::time::Instant as I;\nuse std::sync::mpsc::{channel, Receiver as Rx};\nuse crate::foo::bar;\n",
+        );
+        assert_eq!(m.resolve("I").unwrap().join("::"), "std::time::Instant");
+        assert_eq!(m.resolve("Rx").unwrap().join("::"), "std::sync::mpsc::Receiver");
+        assert_eq!(m.resolve("channel").unwrap().join("::"), "std::sync::mpsc::channel");
+        assert_eq!(m.resolve("bar").unwrap().join("::"), "crate::foo::bar");
+        assert!(m.resolve("Instant").is_none(), "aliased import introduces only the alias");
+    }
+
+    #[test]
+    fn use_self_in_group() {
+        let m = FileModel::parse("use std::fmt::{self, Write};\n");
+        assert_eq!(m.resolve("fmt").unwrap().join("::"), "std::fmt::self");
+        assert_eq!(m.resolve("Write").unwrap().join("::"), "std::fmt::Write");
+    }
+
+    #[test]
+    fn fn_bodies_found() {
+        let m = FileModel::parse(
+            "fn a(x: u8) -> u8 { x }\ntrait T { fn decl(&self); }\nfn b() { let c = |v: u8| v; }\n",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "decl", "b"]);
+        assert!(m.fns[0].body.is_some());
+        assert!(m.fns[1].body.is_none());
+        assert!(m.fns[2].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_bodies_masked() {
+        let m = FileModel::parse(
+            "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n",
+        );
+        let unwraps: Vec<usize> = m.idents("unwrap").collect();
+        assert_eq!(unwraps.len(), 1, "only the non-test unwrap is visible");
+    }
+
+    #[test]
+    fn match_arms_split_with_struct_patterns() {
+        let m = FileModel::parse(
+            "fn f(o: Output) {\n  match o {\n    Output::Transmit { frame, phase } => send(frame, phase),\n    Output::Wait { .. } => {}\n    Output::Done => return,\n    _ => {}\n  }\n}\n",
+        );
+        let body = m.fns[0].body.unwrap();
+        let matches = m.matches_in(body);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].arms.len(), 4);
+        let pats: Vec<String> = matches[0]
+            .arms
+            .iter()
+            .map(|(p, _)| (p.0..=p.1).map(|i| m.text(i)).collect::<Vec<_>>().join(" "))
+            .collect();
+        assert!(pats[0].contains("Transmit"));
+        assert!(pats[1].contains("Wait"));
+        assert!(pats[2].contains("Done"));
+        assert_eq!(pats[3], "_");
+    }
+
+    #[test]
+    fn variant_mentions_in_patterns_and_bodies() {
+        let m = FileModel::parse(
+            "fn enc(p: Phase) -> u8 { match p { Phase::Setup => 0, Phase::Map => 1 } }\nfn dec(b: u8) -> Option<Phase> { match b { 0 => Some(Phase::Setup), _ => None } }\n",
+        );
+        let enc_body = m.fns[0].body.unwrap();
+        let mentions = m.variant_mentions("Phase", enc_body);
+        let names: Vec<&str> = mentions.iter().map(|(_, v)| v.as_str()).collect();
+        assert_eq!(names, vec!["Setup", "Map"]);
+        // ConnPhase::Setup must NOT count as Phase::Setup.
+        let m2 = FileModel::parse("fn g() { let x = ConnPhase::Hello; }\n");
+        assert!(m2.variant_mentions("Phase", (0, m2.len() - 1)).is_empty());
+    }
+
+    #[test]
+    fn nested_match_found() {
+        let m = FileModel::parse(
+            "fn f(a: u8, b: u8) { match a { 0 => match b { 1 => x(), _ => y() }, _ => z() } }\n",
+        );
+        let body = m.fns[0].body.unwrap();
+        assert_eq!(m.matches_in(body).len(), 2);
+    }
+}

@@ -1,9 +1,14 @@
-//! Human and machine-readable rendering of lint outcomes.
+//! Human and machine-readable rendering of lint outcomes, plus the
+//! offline validator for the JSON report CI archives.
 
 use crate::baseline::BaselineOutcome;
 use std::fmt::Write as _;
 
-/// `file:line: [rule] message` per finding, plus a summary and any
+/// The `version` string stamped into every JSON report; bump when the
+/// shape changes so downstream tooling can dispatch.
+pub const REPORT_VERSION: &str = "msync-lint/1";
+
+/// `file:line:col: [rule] message` per finding, plus a summary and any
 /// stale-baseline ratchet hints.
 #[must_use]
 pub fn human(outcome: &BaselineOutcome) -> String {
@@ -25,6 +30,13 @@ pub fn human(outcome: &BaselineOutcome) -> String {
             outcome.suppressed
         );
     }
+    if outcome.deprecation_debt > 0 {
+        let _ = writeln!(
+            out,
+            "note: {} `#[deprecated]` item(s) still exported — migrate callers, then drop the wrappers",
+            outcome.deprecation_debt
+        );
+    }
     for (rule, file, allowed, actual) in &outcome.stale {
         let _ = writeln!(
             out,
@@ -34,24 +46,32 @@ pub fn human(outcome: &BaselineOutcome) -> String {
     out
 }
 
-/// Stable JSON for tooling: findings, counts, stale entries.
+/// Stable SARIF-lite JSON for tooling: a version tag, findings with
+/// spans, baseline counts, stale entries, and the deprecation debt.
+/// [`validate_report`] checks exactly this shape.
 #[must_use]
 pub fn json(outcome: &BaselineOutcome) -> String {
-    let mut out = String::from("{\"findings\":[");
+    let mut out = format!("{{\"version\":\"{REPORT_VERSION}\",\"findings\":[");
     for (i, f) in outcome.active.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"end_col\":{},\"message\":\"{}\"}}",
             f.rule,
             escape(&f.file),
             f.line,
+            f.col,
+            f.end_col,
             escape(&f.message)
         );
     }
-    let _ = write!(out, "],\"suppressed\":{},\"stale\":[", outcome.suppressed);
+    let _ = write!(
+        out,
+        "],\"suppressed\":{},\"deprecation_debt\":{},\"stale\":[",
+        outcome.suppressed, outcome.deprecation_debt
+    );
     for (i, (rule, file, allowed, actual)) in outcome.stale.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -85,34 +105,305 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Validate a JSON report produced by [`json`]: syntactically valid
+/// JSON and structurally a report — version tag, `findings` array whose
+/// entries carry `rule`/`file` strings and `line`/`col`/`end_col`
+/// numbers plus a `message`, numeric `suppressed` and
+/// `deprecation_debt`, and a `stale` array.
+///
+/// # Errors
+/// Returns a human-readable description of the first problem found.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after the JSON document at offset {}", p.pos));
+    }
+    let Json::Obj(top) = value else {
+        return Err("top level must be an object".to_owned());
+    };
+    match top.iter().find(|(k, _)| k == "version").map(|(_, v)| v) {
+        Some(Json::Str(v)) if v == REPORT_VERSION => {}
+        Some(Json::Str(v)) => {
+            return Err(format!("unknown version `{v}` (expected `{REPORT_VERSION}`)"))
+        }
+        _ => return Err("missing string key `version`".to_owned()),
+    }
+    for key in ["suppressed", "deprecation_debt"] {
+        match top.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+            Some(Json::Num) => {}
+            _ => return Err(format!("missing numeric key `{key}`")),
+        }
+    }
+    let Some(Json::Arr(findings)) = top.iter().find(|(k, _)| k == "findings").map(|(_, v)| v)
+    else {
+        return Err("missing array key `findings`".to_owned());
+    };
+    for (i, f) in findings.iter().enumerate() {
+        let Json::Obj(f) = f else {
+            return Err(format!("findings[{i}] is not an object"));
+        };
+        for key in ["rule", "file", "message"] {
+            match f.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                Some(Json::Str(_)) => {}
+                _ => return Err(format!("findings[{i}] missing string key `{key}`")),
+            }
+        }
+        for key in ["line", "col", "end_col"] {
+            match f.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                Some(Json::Num) => {}
+                _ => return Err(format!("findings[{i}] missing numeric key `{key}`")),
+            }
+        }
+    }
+    match top.iter().find(|(k, _)| k == "stale").map(|(_, v)| v) {
+        Some(Json::Arr(_)) => {}
+        _ => return Err("missing array key `stale`".to_owned()),
+    }
+    Ok(())
+}
+
+/// A minimal JSON value: just enough to validate report shape.
+enum Json {
+    Null,
+    Bool,
+    Num,
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|_| Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    self.pos += 2;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b' | b'f') => out.push(' '),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at offset {}", self.pos))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos - 1)),
+                    }
+                }
+                Some(&b) => {
+                    // Copy the raw byte run up to the next quote/escape;
+                    // multi-byte UTF-8 passes through untouched.
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|b| *b != b'"' && *b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let _ = b;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string".to_owned())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            out.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rules::{Finding, Rule};
 
-    #[test]
-    fn json_escapes_and_structures() {
-        let outcome = BaselineOutcome {
+    fn outcome() -> BaselineOutcome {
+        BaselineOutcome {
             active: vec![Finding {
                 rule: Rule::PanicFreedom,
                 file: "a\"b.rs".to_owned(),
                 line: 7,
+                col: 9,
+                end_col: 15,
                 message: "line1\nline2".to_owned(),
             }],
             suppressed: 3,
             stale: vec![("lossy-cast".to_owned(), "w.rs".to_owned(), 2, 1)],
-        };
-        let j = json(&outcome);
+            deprecation_debt: 4,
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let j = json(&outcome());
         assert!(j.contains("\\\"b.rs"));
         assert!(j.contains("line1\\nline2"));
         assert!(j.contains("\"suppressed\":3"));
+        assert!(j.contains("\"col\":9"));
+        assert!(j.contains("\"end_col\":15"));
+        assert!(j.contains("\"deprecation_debt\":4"));
         assert!(j.contains("\"allowed\":2"));
         assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]
-    fn human_mentions_counts() {
-        let outcome = BaselineOutcome { active: vec![], suppressed: 5, stale: vec![] };
-        assert!(human(&outcome).contains("clean (5 baselined"));
+    fn emitted_json_validates() {
+        validate_report(&json(&outcome())).expect("report validates against its own schema");
+        let empty = BaselineOutcome::default();
+        validate_report(&json(&empty)).expect("empty report validates too");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_and_misshapen() {
+        assert!(validate_report("not json").is_err());
+        assert!(validate_report("{\"findings\":[]}").is_err(), "missing version must fail");
+        assert!(
+            validate_report(
+                "{\"version\":\"msync-lint/1\",\"findings\":[{}],\"suppressed\":0,\"deprecation_debt\":0,\"stale\":[]}"
+            )
+            .is_err(),
+            "finding without keys must fail"
+        );
+        assert!(
+            validate_report(&format!("{} trailing", json(&BaselineOutcome::default()))).is_err(),
+            "trailing garbage must fail"
+        );
+    }
+
+    #[test]
+    fn human_mentions_counts_and_debt() {
+        let text = human(&outcome());
+        assert!(text.contains("1 violation(s) (3 baselined"));
+        assert!(text.contains("a\"b.rs:7:9: [panic-freedom]"));
+        assert!(text.contains("4 `#[deprecated]` item(s)"));
+        let clean = BaselineOutcome { suppressed: 5, ..BaselineOutcome::default() };
+        assert!(human(&clean).contains("clean (5 baselined"));
+        assert!(!human(&clean).contains("#[deprecated]"), "zero debt stays quiet");
     }
 }

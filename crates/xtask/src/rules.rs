@@ -11,7 +11,9 @@
 //! * `lossy-cast` — no narrowing `as` casts in the wire-format modules;
 //!   a silent truncation changes encoded bytes on one side only.
 //! * `determinism` — no ambient time or RNG inside protocol logic; both
-//!   endpoints must compute byte-identical hashes and partitions.
+//!   endpoints must compute byte-identical hashes and partitions. The
+//!   token-aware scan also resolves `use ... as` aliases, so
+//!   `use std::time::Instant as I; I::now()` fires too.
 //! * `hermeticity` — workspace crates may only use first-party path
 //!   dependencies, so the build never needs the network.
 //! * `channel-discipline` — no bare `recv()` in protocol-critical
@@ -25,17 +27,24 @@
 //! * `clock-discipline` — no `Instant::now` / `SystemTime::now` in any
 //!   workspace crate except `crates/trace`: all timing flows through
 //!   the `msync_trace::Clock` trait, so a traced run can be replayed
-//!   byte-identically under a manual clock. (The `determinism` rule
-//!   already bans the *words* in protocol-critical crates; this one
-//!   closes the gap for the rest of the workspace.)
-//! * `io-discipline` — the sans-IO engine modules must stay sans-IO:
-//!   no `thread::spawn`, no blocking receives (`recv`, `recv_timeout`,
-//!   `try_recv`), no `read`-family calls, no `sleep` inside
-//!   `crates/core/src/engine/`. A machine that hides its own I/O or
-//!   threads cannot be driven by the nonblocking daemon multiplexer or
-//!   replayed deterministically in tests.
+//!   byte-identically under a manual clock. Alias-aware like
+//!   `determinism`. (The `determinism` rule already bans the *words* in
+//!   protocol-critical crates; this one closes the gap for the rest of
+//!   the workspace.)
+//!
+//! Three cross-file passes live in [`crate::passes`] and run over the
+//! same per-file models:
+//!
+//! * `wire-schema` — single frame-tag registry, symmetric match arms.
+//! * `charge-point` — `TrafficStats` charge and trace frame event are
+//!   paired within every transport function.
+//! * `machine-discipline` — drive loops handle every `Output` variant
+//!   and the sans-IO engine modules stay effect-pure (subsumes the
+//!   retired word-grep `io-discipline` rule).
 
-use crate::scanner::{blank_test_blocks, line_of, mask_source, next_nonspace, word_occurrences};
+use crate::model::FileModel;
+use crate::passes;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -58,8 +67,12 @@ pub enum Rule {
     ChannelDiscipline,
     /// Ambient `::now` clock reads outside the trace crate.
     ClockDiscipline,
-    /// Threads or blocking I/O inside the sans-IO engine modules.
-    IoDiscipline,
+    /// One-sided frame-tag match arms or duplicate tag registries.
+    WireSchema,
+    /// Unpaired traffic charge / trace frame event in transport code.
+    ChargePoint,
+    /// Incomplete drive loops or effectful sans-IO engine modules.
+    MachineDiscipline,
 }
 
 impl Rule {
@@ -74,7 +87,9 @@ impl Rule {
             Rule::Hermeticity => "hermeticity",
             Rule::ChannelDiscipline => "channel-discipline",
             Rule::ClockDiscipline => "clock-discipline",
-            Rule::IoDiscipline => "io-discipline",
+            Rule::WireSchema => "wire-schema",
+            Rule::ChargePoint => "charge-point",
+            Rule::MachineDiscipline => "machine-discipline",
         }
     }
 
@@ -89,7 +104,9 @@ impl Rule {
             Rule::Hermeticity,
             Rule::ChannelDiscipline,
             Rule::ClockDiscipline,
-            Rule::IoDiscipline,
+            Rule::WireSchema,
+            Rule::ChargePoint,
+            Rule::MachineDiscipline,
         ]
         .into_iter()
         .find(|r| r.key() == key)
@@ -102,7 +119,7 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One diagnostic produced by the gate.
+/// One diagnostic produced by the gate, with a token-accurate span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Which rule fired.
@@ -111,14 +128,65 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// 1-based column one past the offending token.
+    pub end_col: u32,
     /// Human-readable explanation.
     pub message: String,
 }
 
+impl Finding {
+    /// A finding anchored at code token `i` of `m`.
+    #[must_use]
+    pub fn at(rule: Rule, file: &str, m: &FileModel, i: usize, message: String) -> Finding {
+        let t = m.tok(i);
+        let width = u32::try_from(t.end - t.start).unwrap_or(1);
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line: t.line,
+            col: t.col,
+            end_col: t.col + width,
+            message,
+        }
+    }
+
+    /// A finding about a whole file (missing file, missing declaration).
+    #[must_use]
+    pub fn file_level(rule: Rule, file: &str, message: String) -> Finding {
+        Finding { rule, file: file.to_owned(), line: 1, col: 1, end_col: 1, message }
+    }
+}
+
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        write!(f, "{}:{}:{}: [{}] {}", self.file, self.line, self.col, self.rule, self.message)
     }
+}
+
+/// One wire-schema registry: an enum whose variants are the frame-tag
+/// vocabulary, declared in exactly one module, with every dispatching
+/// `match` in the scoped paths covering the full variant set.
+#[derive(Debug, Clone)]
+pub struct WireSchema {
+    /// The registry enum's name (e.g. `Phase`).
+    pub enum_name: String,
+    /// Workspace-relative path of the one module allowed to declare it.
+    pub registry: String,
+    /// Workspace-relative path prefixes whose matches must be symmetric.
+    pub scopes: Vec<String>,
+}
+
+/// The sans-IO machine contract checked by `machine-discipline`.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// The machine output enum's name (e.g. `Output`).
+    pub output_enum: String,
+    /// Workspace-relative path of the module declaring the output enum.
+    pub registry: String,
+    /// The polling method every drive loop calls (e.g. `poll_output`).
+    pub poll_fn: String,
 }
 
 /// What to check and where. [`LintConfig::msync`] is the configuration
@@ -143,6 +211,13 @@ pub struct LintConfig {
     /// Workspace-relative path prefixes of the sans-IO engine modules:
     /// no threads, no blocking I/O, no sleeps inside.
     pub engine_modules: Vec<String>,
+    /// Frame-tag registries checked by the `wire-schema` pass.
+    pub wire_schemas: Vec<WireSchema>,
+    /// Crate directory names whose functions must pair `TrafficStats`
+    /// charges with trace frame events (`charge-point` pass).
+    pub charge_crates: Vec<String>,
+    /// The machine output contract for the `machine-discipline` pass.
+    pub machine: Option<MachineSpec>,
 }
 
 impl LintConfig {
@@ -167,15 +242,48 @@ impl LintConfig {
             skip_crates: vec!["bench".to_owned()],
             clock_exempt: vec!["trace".to_owned()],
             engine_modules: vec!["crates/core/src/engine/".to_owned()],
+            wire_schemas: vec![WireSchema {
+                enum_name: "Phase".to_owned(),
+                registry: "crates/protocol/src/stats.rs".to_owned(),
+                scopes: ["crates/protocol/src/", "crates/core/src/engine/", "crates/net/src/"]
+                    .map(str::to_owned)
+                    .to_vec(),
+            }],
+            charge_crates: vec!["net".to_owned(), "protocol".to_owned()],
+            machine: Some(MachineSpec {
+                output_enum: "Output".to_owned(),
+                registry: "crates/core/src/engine/mod.rs".to_owned(),
+                poll_fn: "poll_output".to_owned(),
+            }),
         }
     }
 }
 
-/// Run every rule over the workspace rooted at `root`.
+/// Everything one scan produces: the findings plus informational
+/// counters reported alongside them.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, sorted by `(file, line, col, rule)`.
+    pub findings: Vec<Finding>,
+    /// Count of `#[deprecated]` attributes in non-test workspace code.
+    pub deprecation_debt: usize,
+}
+
+/// Run every rule over the workspace rooted at `root` and return the
+/// findings only. See [`analyze`] for the full result.
 ///
 /// # Errors
 /// Returns any I/O error encountered while reading the tree.
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>> {
+    analyze(root, cfg).map(|a| a.findings)
+}
+
+/// Model every source file, run the per-file rules and the cross-file
+/// passes, and return findings plus the deprecation-debt count.
+///
+/// # Errors
+/// Returns any I/O error encountered while reading the tree.
+pub fn analyze(root: &Path, cfg: &LintConfig) -> io::Result<Analysis> {
     let mut findings = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = Vec::new();
@@ -189,65 +297,63 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
     }
     crate_dirs.sort();
 
+    // Model every source file once; rules and passes share the models.
+    let mut models: BTreeMap<String, FileModel> = BTreeMap::new();
     for dir in &crate_dirs {
         let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_owned();
         if cfg.skip_crates.contains(&name) {
             continue;
         }
-        check_crate_headers(root, &dir.join("src/lib.rs"), &mut findings)?;
         check_manifest(root, &dir.join("Cargo.toml"), false, &mut findings)?;
-        let critical = cfg.protocol_critical.contains(&name);
-        let socket = cfg.socket_crates.contains(&name);
-        let ambient_clock_ok = cfg.clock_exempt.contains(&name);
         for file in rust_sources(&dir.join("src"))? {
             let rel = rel_path(root, &file);
-            let text = fs::read_to_string(&file)?;
-            let scannable = blank_test_blocks(&mask_source(&text));
-            if critical {
-                check_panic_freedom(&rel, &scannable, &mut findings);
-                check_determinism(&rel, &scannable, &mut findings);
-                check_channel_discipline(&rel, &scannable, &mut findings);
-            }
-            if socket {
-                check_socket_discipline(&rel, &scannable, &mut findings);
-            }
-            if !ambient_clock_ok {
-                check_clock_discipline(&rel, &scannable, &mut findings);
-            }
-            if cfg.engine_modules.iter().any(|m| rel.starts_with(m.as_str())) {
-                check_io_discipline(&rel, &scannable, &mut findings);
-            }
+            models.insert(rel, FileModel::parse(&fs::read_to_string(&file)?));
         }
     }
-
-    // The root `msync` facade crate.
-    check_crate_headers(root, &root.join("src/lib.rs"), &mut findings)?;
     check_manifest(root, &root.join("Cargo.toml"), true, &mut findings)?;
     for file in rust_sources(&root.join("src"))? {
         let rel = rel_path(root, &file);
-        let text = fs::read_to_string(&file)?;
-        let scannable = blank_test_blocks(&mask_source(&text));
-        check_clock_discipline(&rel, &scannable, &mut findings);
+        models.insert(rel, FileModel::parse(&fs::read_to_string(&file)?));
+    }
+
+    for (rel, m) in &models {
+        if rel.ends_with("/lib.rs") && rel.matches('/').count() <= 3 {
+            check_crate_headers(rel, m, &mut findings);
+        }
+        let crate_name = rel.strip_prefix("crates/").and_then(|r| r.split('/').next());
+        let critical = crate_name.is_some_and(|n| cfg.protocol_critical.iter().any(|c| c == n));
+        let socket = crate_name.is_some_and(|n| cfg.socket_crates.iter().any(|c| c == n));
+        let clock_ok = crate_name.is_some_and(|n| cfg.clock_exempt.iter().any(|c| c == n));
+        if critical {
+            check_panic_freedom(rel, m, &mut findings);
+            check_determinism(rel, m, &mut findings);
+            check_channel_discipline(rel, m, &mut findings);
+        }
+        if socket {
+            check_socket_discipline(rel, m, &mut findings);
+        }
+        if !clock_ok {
+            check_clock_discipline(rel, m, &mut findings);
+        }
     }
 
     for rel in &cfg.wire_modules {
-        let path = root.join(rel);
-        if !path.is_file() {
-            findings.push(Finding {
-                rule: Rule::LossyCast,
-                file: rel.clone(),
-                line: 1,
-                message: "configured wire module does not exist (update LintConfig)".to_owned(),
-            });
-            continue;
+        match models.get(rel) {
+            Some(m) => check_lossy_casts(rel, m, &mut findings),
+            None => findings.push(Finding::file_level(
+                Rule::LossyCast,
+                rel,
+                "configured wire module does not exist (update LintConfig)".to_owned(),
+            )),
         }
-        let text = fs::read_to_string(&path)?;
-        let scannable = blank_test_blocks(&mask_source(&text));
-        check_lossy_casts(rel, &scannable, &mut findings);
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    passes::run(&models, cfg, &mut findings);
+    let deprecation_debt = passes::deprecation_debt(&models);
+
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(Analysis { findings, deprecation_debt })
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {
@@ -276,70 +382,98 @@ fn rust_sources(dir: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// Rule `crate-headers`.
-fn check_crate_headers(root: &Path, lib_rs: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
-    if !lib_rs.is_file() {
-        return Ok(());
-    }
-    let rel = rel_path(root, lib_rs);
-    let text = fs::read_to_string(lib_rs)?;
-    let masked = mask_source(&text);
-    let squashed: String = masked.chars().filter(|c| !c.is_whitespace()).collect();
-    for (attr, why) in [
-        ("#![forbid(unsafe_code)]", "unsafe code is banned workspace-wide"),
-        ("#![deny(missing_docs)]", "every public item must document its protocol role"),
+fn check_crate_headers(rel: &str, m: &FileModel, findings: &mut Vec<Finding>) {
+    for (seq, attr, why) in [
+        (
+            ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+            "#![forbid(unsafe_code)]",
+            "unsafe code is banned workspace-wide",
+        ),
+        (
+            ["#", "!", "[", "deny", "(", "missing_docs", ")", "]"],
+            "#![deny(missing_docs)]",
+            "every public item must document its protocol role",
+        ),
     ] {
-        if !squashed.contains(attr) {
-            findings.push(Finding {
-                rule: Rule::CrateHeaders,
-                file: rel.clone(),
-                line: 1,
-                message: format!("missing crate attribute `{attr}` ({why})"),
-            });
+        if m.is_empty() || m.find_seq(0, &seq).is_none() {
+            findings.push(Finding::file_level(
+                Rule::CrateHeaders,
+                rel,
+                format!("missing crate attribute `{attr}` ({why})"),
+            ));
         }
     }
-    Ok(())
 }
 
 /// Rule `panic-freedom`.
-fn check_panic_freedom(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+fn check_panic_freedom(rel: &str, m: &FileModel, findings: &mut Vec<Finding>) {
     for (word, follow, label) in [
-        ("unwrap", b'(', "unwrap() can panic; return a Result instead"),
-        ("expect", b'(', "expect() can panic; return a Result instead"),
-        ("panic", b'!', "panic! aborts one endpoint mid-round"),
-        ("todo", b'!', "todo! is a guaranteed panic"),
-        ("unimplemented", b'!', "unimplemented! is a guaranteed panic"),
+        ("unwrap", '(', "unwrap() can panic; return a Result instead"),
+        ("expect", '(', "expect() can panic; return a Result instead"),
+        ("panic", '!', "panic! aborts one endpoint mid-round"),
+        ("todo", '!', "todo! is a guaranteed panic"),
+        ("unimplemented", '!', "unimplemented! is a guaranteed panic"),
     ] {
-        for pos in word_occurrences(text, word) {
-            let after = next_nonspace(text, pos + word.len());
-            if after.is_some_and(|(_, b)| b == follow) {
-                findings.push(Finding {
-                    rule: Rule::PanicFreedom,
-                    file: rel.to_owned(),
-                    line: line_of(text, pos),
-                    message: format!("`{word}` in protocol-critical code: {label}"),
-                });
+        for i in m.idents(word) {
+            if i + 1 < m.len() && m.is_punct(i + 1, follow) {
+                findings.push(Finding::at(
+                    Rule::PanicFreedom,
+                    rel,
+                    m,
+                    i,
+                    format!("`{word}` in protocol-critical code: {label}"),
+                ));
             }
         }
     }
 }
 
-/// Rule `determinism`.
-fn check_determinism(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    for (word, label) in [
-        ("Instant", "ambient clock; protocol decisions must not depend on wall time"),
-        ("SystemTime", "ambient clock; protocol decisions must not depend on wall time"),
-        ("thread_rng", "ambient RNG; both endpoints must compute identical bytes"),
-        ("from_entropy", "ambient RNG; both endpoints must compute identical bytes"),
-        ("RandomState", "randomly-seeded hasher; iteration order leaks into the protocol"),
-        ("rand", "RNG crate use inside protocol logic"),
-    ] {
-        for pos in word_occurrences(text, word) {
-            findings.push(Finding {
-                rule: Rule::Determinism,
-                file: rel.to_owned(),
-                line: line_of(text, pos),
-                message: format!("`{word}` in protocol logic: {label}"),
-            });
+const BANNED_NONDETERMINISM: &[(&str, &str)] = &[
+    ("Instant", "ambient clock; protocol decisions must not depend on wall time"),
+    ("SystemTime", "ambient clock; protocol decisions must not depend on wall time"),
+    ("thread_rng", "ambient RNG; both endpoints must compute identical bytes"),
+    ("from_entropy", "ambient RNG; both endpoints must compute identical bytes"),
+    ("RandomState", "randomly-seeded hasher; iteration order leaks into the protocol"),
+    ("rand", "RNG crate use inside protocol logic"),
+];
+
+/// Rule `determinism`: the banned words directly, plus any local name a
+/// `use` declaration resolves to a banned path segment — so
+/// `use std::time::Instant as I` does not launder the ambient clock.
+fn check_determinism(rel: &str, m: &FileModel, findings: &mut Vec<Finding>) {
+    for (word, label) in BANNED_NONDETERMINISM {
+        for i in m.idents(word) {
+            findings.push(Finding::at(
+                Rule::Determinism,
+                rel,
+                m,
+                i,
+                format!("`{word}` in protocol logic: {label}"),
+            ));
+        }
+    }
+    for (name, path) in &m.imports {
+        if BANNED_NONDETERMINISM.iter().any(|(w, _)| w == name) {
+            continue; // direct scan above already covers this name
+        }
+        let Some((word, label)) =
+            BANNED_NONDETERMINISM.iter().find(|(w, _)| path.iter().any(|seg| seg == w))
+        else {
+            continue;
+        };
+        for i in m.idents(name) {
+            if !m.is_use(i) {
+                findings.push(Finding::at(
+                    Rule::Determinism,
+                    rel,
+                    m,
+                    i,
+                    format!(
+                        "`{name}` resolves to `{}` (`{word}` in protocol logic: {label})",
+                        path.join("::")
+                    ),
+                ));
+            }
         }
     }
 }
@@ -347,16 +481,16 @@ fn check_determinism(rel: &str, text: &str, findings: &mut Vec<Finding>) {
 /// Rule `channel-discipline`: a bare `recv()` blocks forever if the
 /// peer died, turning a lost frame into a hung session. `recv_timeout`
 /// and `try_recv` are distinct identifiers and do not fire.
-fn check_channel_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    for pos in word_occurrences(text, "recv") {
-        let after = next_nonspace(text, pos + "recv".len());
-        if after.is_some_and(|(_, b)| b == b'(') {
-            findings.push(Finding {
-                rule: Rule::ChannelDiscipline,
-                file: rel.to_owned(),
-                line: line_of(text, pos),
-                message: "bare `recv()` can hang forever on a dead peer; use `recv_timeout` with a retry budget (or `try_recv`)".to_owned(),
-            });
+fn check_channel_discipline(rel: &str, m: &FileModel, findings: &mut Vec<Finding>) {
+    for i in m.idents("recv") {
+        if i + 1 < m.len() && m.is_punct(i + 1, '(') {
+            findings.push(Finding::at(
+                Rule::ChannelDiscipline,
+                rel,
+                m,
+                i,
+                "bare `recv()` can hang forever on a dead peer; use `recv_timeout` with a retry budget (or `try_recv`)".to_owned(),
+            ));
         }
     }
 }
@@ -367,28 +501,28 @@ fn check_channel_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) 
 /// preceded — earlier in the same file — by a `set_read_timeout`
 /// call establishing the deadline. `fs::`-qualified reads are
 /// filesystem I/O, not socket I/O, and are exempt.
-fn check_socket_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    let deadline_at: Option<usize> = word_occurrences(text, "set_read_timeout").next();
+fn check_socket_discipline(rel: &str, m: &FileModel, findings: &mut Vec<Finding>) {
+    let deadline: Option<usize> = m.idents("set_read_timeout").next();
     for word in ["read", "read_exact", "read_to_end", "read_to_string"] {
-        for pos in word_occurrences(text, word) {
-            let after = next_nonspace(text, pos + word.len());
-            if !after.is_some_and(|(_, b)| b == b'(') {
+        for i in m.idents(word) {
+            if i + 1 >= m.len() || !m.is_punct(i + 1, '(') {
                 continue;
             }
-            if text[..pos].ends_with("fs::") {
+            if i >= 3 && m.is_path_sep(i - 2) && m.is_ident(i - 3, "fs") {
                 continue;
             }
-            if deadline_at.is_some_and(|d| d < pos) {
+            if deadline.is_some_and(|d| d < i) {
                 continue;
             }
-            findings.push(Finding {
-                rule: Rule::ChannelDiscipline,
-                file: rel.to_owned(),
-                line: line_of(text, pos),
-                message: format!(
+            findings.push(Finding::at(
+                Rule::ChannelDiscipline,
+                rel,
+                m,
+                i,
+                format!(
                     "blocking `{word}(` with no preceding `set_read_timeout` in this file; an undeadlined socket read hangs forever on a dead peer"
                 ),
-            });
+            ));
         }
     }
 }
@@ -399,61 +533,47 @@ fn check_socket_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
 /// one sanctioned caller), time must come from a `msync_trace::Clock`
 /// handle, so golden-journal tests can substitute a manual clock.
 /// Other members (`Instant::checked_add`, `SystemTime::UNIX_EPOCH`, a
-/// bare `Duration`) are untimed and allowed.
-fn check_clock_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    for word in ["Instant", "SystemTime"] {
-        for pos in word_occurrences(text, word) {
-            let Some((cpos, first)) = next_nonspace(text, pos + word.len()) else {
-                continue;
-            };
-            if first != b':' || !text[cpos..].starts_with("::") {
-                continue;
-            }
-            let Some((npos, _)) = next_nonspace(text, cpos + 2) else {
-                continue;
-            };
-            if text[npos..].starts_with("now") {
-                findings.push(Finding {
-                    rule: Rule::ClockDiscipline,
-                    file: rel.to_owned(),
-                    line: line_of(text, pos),
-                    message: format!(
+/// bare `Duration`) are untimed and allowed. Aliased imports
+/// (`use std::time::Instant as I; I::now()`) fire too.
+fn check_clock_discipline(rel: &str, m: &FileModel, findings: &mut Vec<Finding>) {
+    let clock_types = ["Instant", "SystemTime"];
+    let fire = |m: &FileModel, i: usize| -> bool {
+        i + 3 < m.len() && m.is_path_sep(i + 1) && m.is_ident(i + 3, "now")
+    };
+    for word in clock_types {
+        for i in m.idents(word) {
+            if fire(m, i) {
+                findings.push(Finding::at(
+                    Rule::ClockDiscipline,
+                    rel,
+                    m,
+                    i,
+                    format!(
                         "`{word}::now` outside crates/trace; take time from a `msync_trace::Clock` so traced runs replay deterministically"
                     ),
-                });
+                ));
             }
         }
     }
-}
-
-/// Rule `io-discipline`: the engine modules are the protocol as pure
-/// state machines — frames in, frames and timer requests out. A
-/// `thread::spawn`, a blocking receive, a socket/stream `read`, or a
-/// `sleep` inside them reintroduces exactly the ambient I/O the sans-IO
-/// refactor removed, and silently breaks both the nonblocking daemon
-/// multiplexer (which trusts machines never to block its poll loop) and
-/// deterministic replay under a manual clock.
-fn check_io_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    for (word, label) in [
-        ("spawn", "engine machines must not create threads; drivers own all concurrency"),
-        ("recv", "engine machines must not receive; frames arrive via `on_frame`"),
-        ("recv_timeout", "engine machines must not block; deadlines are timer requests"),
-        ("try_recv", "engine machines must not poll channels; frames arrive via `on_frame`"),
-        ("read", "engine machines must not read streams; bytes arrive via `on_frame`"),
-        ("read_exact", "engine machines must not read streams; bytes arrive via `on_frame`"),
-        ("read_to_end", "engine machines must not read streams; bytes arrive via `on_frame`"),
-        ("read_to_string", "engine machines must not read streams; bytes arrive via `on_frame`"),
-        ("sleep", "engine machines must not sleep; waits are `Output::Wait` deadlines"),
-    ] {
-        for pos in word_occurrences(text, word) {
-            let after = next_nonspace(text, pos + word.len());
-            if after.is_some_and(|(_, b)| b == b'(') {
-                findings.push(Finding {
-                    rule: Rule::IoDiscipline,
-                    file: rel.to_owned(),
-                    line: line_of(text, pos),
-                    message: format!("`{word}(` inside a sans-IO engine module: {label}"),
-                });
+    for (name, path) in &m.imports {
+        if clock_types.contains(&name.as_str()) {
+            continue; // direct scan above already covers this name
+        }
+        let Some(word) = path.last().map(String::as_str).filter(|last| clock_types.contains(last))
+        else {
+            continue;
+        };
+        for i in m.idents(name) {
+            if !m.is_use(i) && fire(m, i) {
+                findings.push(Finding::at(
+                    Rule::ClockDiscipline,
+                    rel,
+                    m,
+                    i,
+                    format!(
+                        "`{name}::now` (alias of `{word}`) outside crates/trace; take time from a `msync_trace::Clock` so traced runs replay deterministically"
+                    ),
+                ));
             }
         }
     }
@@ -462,26 +582,22 @@ fn check_io_discipline(rel: &str, text: &str, findings: &mut Vec<Finding>) {
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 /// Rule `lossy-cast`.
-fn check_lossy_casts(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    let bytes = text.as_bytes();
-    for pos in word_occurrences(text, "as") {
-        let Some((tstart, _)) = next_nonspace(text, pos + 2) else {
+fn check_lossy_casts(rel: &str, m: &FileModel, findings: &mut Vec<Finding>) {
+    for i in m.idents("as") {
+        if m.is_use(i) || i + 1 >= m.len() {
             continue;
-        };
-        let mut tend = tstart;
-        while tend < bytes.len() && (bytes[tend].is_ascii_alphanumeric() || bytes[tend] == b'_') {
-            tend += 1;
         }
-        let target = &text[tstart..tend];
+        let target = m.text(i + 1);
         if NARROW_TARGETS.contains(&target) {
-            findings.push(Finding {
-                rule: Rule::LossyCast,
-                file: rel.to_owned(),
-                line: line_of(text, pos),
-                message: format!(
+            findings.push(Finding::at(
+                Rule::LossyCast,
+                rel,
+                m,
+                i,
+                format!(
                     "narrowing `as {target}` in a wire-format module; use `{target}::try_from` so truncation is an error, not silent corruption"
                 ),
-            });
+            ));
         }
     }
 }
@@ -533,6 +649,8 @@ fn check_manifest(
                 rule: Rule::Hermeticity,
                 file: rel.clone(),
                 line: lineno,
+                col: 1,
+                end_col: 1,
                 message: format!(
                     "dependency `{name}` is not a first-party path dependency; registry deps break the offline build (confine them to crates/bench)"
                 ),
@@ -546,114 +664,155 @@ fn check_manifest(
 mod tests {
     use super::*;
 
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(src)
+    }
+
     #[test]
-    fn panic_tokens_found_with_lines() {
-        let text = "fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n}\n";
-        let scannable = blank_test_blocks(&mask_source(text));
+    fn panic_tokens_found_with_lines_and_cols() {
+        let m = model("fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n}\n");
         let mut fs = Vec::new();
-        check_panic_freedom("f.rs", &scannable, &mut fs);
+        check_panic_freedom("f.rs", &m, &mut fs);
         let lines: Vec<u32> = fs.iter().map(|f| f.line).collect();
         assert_eq!(lines, vec![2, 3, 4]);
+        assert_eq!(fs[0].col, 7, "column points at the `unwrap` token");
+        assert_eq!(fs[0].end_col, 13);
     }
 
     #[test]
     fn unwrap_or_variants_not_flagged() {
-        let text =
-            "let a = x.unwrap_or(0); let b = y.unwrap_or_else(id); let c = z.unwrap_or_default();";
+        let m = model(
+            "fn f() { let a = x.unwrap_or(0); let b = y.unwrap_or_else(id); let c = z.unwrap_or_default(); }",
+        );
         let mut fs = Vec::new();
-        check_panic_freedom("f.rs", text, &mut fs);
+        check_panic_freedom("f.rs", &m, &mut fs);
         assert!(fs.is_empty(), "{fs:?}");
     }
 
     #[test]
-    fn narrowing_casts_flagged_widening_allowed() {
-        let text = "let a = x as u8; let b = y as u64; let c = z as usize; let d = w as f64;";
+    fn multi_line_calls_no_longer_blind() {
+        // The old masked-grep scan required `(` on the same lexical run;
+        // token streams see through arbitrary whitespace and comments.
+        let m = model("fn f() { x.unwrap\n        /* why */ ();\n}");
         let mut fs = Vec::new();
-        check_lossy_casts("w.rs", text, &mut fs);
-        let targets: Vec<&str> = fs.iter().map(|f| f.message.as_str()).collect();
-        assert_eq!(fs.len(), 2, "{targets:?}");
+        check_panic_freedom("f.rs", &m, &mut fs);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn narrowing_casts_flagged_widening_allowed() {
+        let m = model(
+            "fn f() { let a = x as u8; let b = y as u64; let c = z as usize; let d = w as f64; }",
+        );
+        let mut fs = Vec::new();
+        check_lossy_casts("w.rs", &m, &mut fs);
+        assert_eq!(fs.len(), 2, "{fs:?}");
     }
 
     #[test]
     fn bare_recv_flagged_bounded_receives_allowed() {
-        let text = "let a = rx.recv(); let b = rx.recv_timeout(d); let c = rx.try_recv();\n\
-                    fn recv_message() {} let d = self.recv ();";
+        let m = model(
+            "fn f() { let a = rx.recv(); let b = rx.recv_timeout(d); let c = rx.try_recv(); }\n\
+             fn recv_message() {}\nfn g() { let d = self.recv (); }",
+        );
         let mut fs = Vec::new();
-        check_channel_discipline("c.rs", text, &mut fs);
+        check_channel_discipline("c.rs", &m, &mut fs);
         assert_eq!(fs.len(), 2, "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == Rule::ChannelDiscipline));
     }
 
     #[test]
     fn undeadlined_socket_reads_flagged() {
-        // No set_read_timeout anywhere: every socket read fires.
-        let text = "stream.read(&mut buf); stream.read_exact(&mut b); fs::read(&p);";
+        // No set_read_timeout anywhere: every socket read fires, but
+        // fs-qualified reads are exempt.
+        let m = model(
+            "fn f() { stream.read(&mut buf); stream.read_exact(&mut b); fs::read(&p); std::fs::read(&p); }",
+        );
         let mut fs = Vec::new();
-        check_socket_discipline("t.rs", text, &mut fs);
+        check_socket_discipline("t.rs", &m, &mut fs);
         assert_eq!(fs.len(), 2, "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == Rule::ChannelDiscipline));
     }
 
     #[test]
     fn deadlined_socket_reads_allowed() {
-        let text = "s.set_read_timeout(Some(t))?;\nlet n = s.read(&mut buf)?;";
+        let m = model("fn f() { s.set_read_timeout(Some(t))?;\nlet n = s.read(&mut buf)?; }");
         let mut fs = Vec::new();
-        check_socket_discipline("t.rs", text, &mut fs);
+        check_socket_discipline("t.rs", &m, &mut fs);
         assert!(fs.is_empty(), "{fs:?}");
         // ...but a read *before* the first deadline still fires.
-        let early = "s.read(&mut buf)?;\ns.set_read_timeout(Some(t))?;";
-        check_socket_discipline("t.rs", early, &mut fs);
+        let early = model("fn f() { s.read(&mut buf)?;\ns.set_read_timeout(Some(t))?; }");
+        check_socket_discipline("t.rs", &early, &mut fs);
         assert_eq!(fs.len(), 1, "{fs:?}");
     }
 
     #[test]
     fn determinism_tokens_flagged() {
-        let text = "let t = Instant::now(); let r = rand::random(); let h = RandomState::new();";
+        let m = model("fn f() { let t = Instant::now(); let r = rand::random(); let h = RandomState::new(); }");
         let mut fs = Vec::new();
-        check_determinism("d.rs", text, &mut fs);
+        check_determinism("d.rs", &m, &mut fs);
         assert_eq!(fs.len(), 3, "{fs:?}");
     }
 
     #[test]
+    fn aliased_imports_no_longer_blind() {
+        // `use std::time::Instant as I` fires once at the use site
+        // (direct word) and at each later `I` usage (via resolution).
+        let m = model("use std::time::Instant as I;\nfn f() -> I { I::now() }\n");
+        let mut det = Vec::new();
+        check_determinism("d.rs", &m, &mut det);
+        assert_eq!(det.len(), 3, "use-site + two alias usages: {det:?}");
+        assert!(det.iter().any(|f| f.message.contains("resolves to `std::time::Instant`")));
+        let mut clock = Vec::new();
+        check_clock_discipline("d.rs", &m, &mut clock);
+        assert_eq!(clock.len(), 1, "only `I::now` is a clock read: {clock:?}");
+        assert!(clock[0].message.contains("alias of `Instant`"));
+    }
+
+    #[test]
     fn ambient_clock_reads_flagged() {
-        let text = "let a = Instant::now(); let b = SystemTime::now();\n\
-                    let c = std::time::Instant :: now();";
+        let m = model(
+            "fn f() { let a = Instant::now(); let b = SystemTime::now();\n\
+             let c = std::time::Instant :: now(); }",
+        );
         let mut fs = Vec::new();
-        check_clock_discipline("c.rs", text, &mut fs);
+        check_clock_discipline("c.rs", &m, &mut fs);
         assert_eq!(fs.len(), 3, "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == Rule::ClockDiscipline));
     }
 
     #[test]
     fn untimed_clock_members_allowed() {
-        let text = "let e = SystemTime::UNIX_EPOCH; let d = Duration::from_secs(1);\n\
-                    let s = earlier.checked_add(d); fn now_micros() -> u64 { 0 }\n\
-                    let n = clock.now_micros();";
+        let m = model(
+            "fn f() { let e = SystemTime::UNIX_EPOCH; let d = Duration::from_secs(1);\n\
+             let s = earlier.checked_add(d); let n = clock.now_micros(); }\nfn now_micros() -> u64 { 0 }",
+        );
         let mut fs = Vec::new();
-        check_clock_discipline("c.rs", text, &mut fs);
+        check_clock_discipline("c.rs", &m, &mut fs);
         assert!(fs.is_empty(), "{fs:?}");
     }
 
     #[test]
-    fn engine_io_tokens_flagged() {
-        let text = "thread::spawn(|| {}); rx.recv_timeout(d); s.read(&mut b);\n\
-                    thread::sleep(d); let x = self.read_pos; read_varint(&b);";
+    fn strings_comments_and_tests_never_fire() {
+        let m = model(
+            "// x.unwrap()\nfn f() { let s = \"panic!( as u8 Instant\"; } /* SystemTime */\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); panic!(\"boom\"); }\n}\n",
+        );
         let mut fs = Vec::new();
-        check_io_discipline("crates/core/src/engine/arq.rs", text, &mut fs);
-        // spawn, recv_timeout, read, sleep fire; `read_pos` (field) and
-        // `read_varint` (distinct identifier) do not.
-        assert_eq!(fs.len(), 4, "{fs:?}");
-        assert!(fs.iter().all(|f| f.rule == Rule::IoDiscipline));
+        check_panic_freedom("f.rs", &m, &mut fs);
+        check_determinism("f.rs", &m, &mut fs);
+        check_lossy_casts("f.rs", &m, &mut fs);
+        assert!(fs.is_empty(), "{fs:?}");
     }
 
     #[test]
-    fn strings_and_comments_never_fire() {
-        let text = "// x.unwrap()\nlet s = \"panic!( as u8 Instant\"; /* SystemTime */\n";
-        let scannable = blank_test_blocks(&mask_source(text));
+    fn crate_headers_found_by_token_sequence() {
+        let ok = model("#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! Docs.\n");
         let mut fs = Vec::new();
-        check_panic_freedom("f.rs", &scannable, &mut fs);
-        check_determinism("f.rs", &scannable, &mut fs);
-        check_lossy_casts("f.rs", &scannable, &mut fs);
+        check_crate_headers("l.rs", &ok, &mut fs);
         assert!(fs.is_empty(), "{fs:?}");
+        let bad = model("//! Docs but no headers.\npub fn f() {}\n");
+        check_crate_headers("l.rs", &bad, &mut fs);
+        assert_eq!(fs.len(), 2, "{fs:?}");
     }
 }

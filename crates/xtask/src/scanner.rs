@@ -1,13 +1,16 @@
-//! A lightweight Rust source scanner.
+//! A lightweight masked-string Rust source scanner (fallback layer).
 //!
-//! The lint rules only need to find *token-level* patterns (`.unwrap()`,
-//! `as u8`, `Instant::now`, crate-level attributes) in *non-test* code,
-//! so instead of a full parser this module masks the parts of a source
-//! file that must never produce matches — comments, string/char/byte
-//! literals, and `#[cfg(test)]` blocks — with spaces, preserving byte
-//! offsets and line structure exactly. Rules then run plain substring
-//! scans over the masked text and report `file:line` positions that are
-//! valid for the original file.
+//! This was the original engine under the lint rules: it masks the
+//! parts of a source file that must never produce matches — comments
+//! and string/char/byte literals — with spaces, preserving byte offsets
+//! and line structure exactly, so substring scans report `file:line`
+//! positions valid for the original file. The rules themselves now run
+//! on the token stream from [`crate::tokens`] via [`crate::model`],
+//! which additionally sees token boundaries, aliases, and match arms;
+//! this module stays as a dependency-light fallback and as an oracle:
+//! [`crate::tokens::mask_via_tokens`] must produce byte-identical
+//! masking, and `tests/lint_gate.rs` checks that differentially over
+//! the whole workspace.
 
 /// Replace comments and string/char literals with spaces, preserving
 /// length and newlines, so later scans cannot match inside them.
@@ -182,9 +185,12 @@ fn mask_char_or_lifetime(src: &str, out: &mut [u8], i: usize) -> usize {
         return i + 1;
     };
     if first == '\\' {
-        // Escaped char literal: mask to the closing quote.
+        // Escaped char literal: the byte after the backslash is the
+        // escape determinant and is consumed unconditionally, so `'\''`
+        // and `'\\'` terminate at their real closing quote instead of
+        // stopping early (or skipping past it).
         let bytes = src.as_bytes();
-        let mut j = i + 2;
+        let mut j = (i + 3).min(bytes.len());
         while j < bytes.len() && bytes[j] != b'\'' {
             if bytes[j] == b'\\' {
                 j += 1;
@@ -353,6 +359,36 @@ mod tests {
         let m = mask_source(src);
         assert!(!m.contains("\\n"));
         assert!(m.contains("unwrap_target"));
+    }
+
+    #[test]
+    fn escaped_quote_and_backslash_char_literals_end_at_closing_quote() {
+        // `'\''`: the escaped quote is the determinant, the third quote
+        // closes the literal — nothing after it may be masked.
+        let m = mask_source("let q = '\\''; q.unwrap();");
+        assert!(!m.contains('\''), "closing quote left behind: {m:?}");
+        assert!(m.contains(".unwrap()"), "code after literal masked: {m:?}");
+
+        // `'\\'`: the second backslash is the determinant; the old
+        // scanner skipped past the closing quote and swallowed code.
+        let m = mask_source("let b = '\\\\'; b.unwrap();");
+        assert!(!m.contains('\''), "closing quote left behind: {m:?}");
+        assert!(m.contains(".unwrap()"), "code after literal masked: {m:?}");
+
+        // Multi-char escapes (`'\x7f'`, `'\u{1F600}'`) still scan to
+        // their real closing quote.
+        let m = mask_source("let x = '\\x7f'; let u = '\\u{41}'; done()");
+        assert!(!m.contains('\''), "{m:?}");
+        assert!(m.contains("done()"));
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes_masked() {
+        let src = "let s = r##\"has \"# inside\"##; let t = br###\"x\"###; keep()";
+        let m = mask_source(src);
+        assert!(!m.contains("inside"), "{m:?}");
+        assert!(!m.contains('"'), "{m:?}");
+        assert!(m.contains("keep()"));
     }
 
     #[test]

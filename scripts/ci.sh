@@ -10,6 +10,10 @@ cargo fmt --check
 echo "==> xtask lint gate"
 cargo run --release -q -p xtask -- lint
 
+echo "==> lint report artifact (LINT_REPORT.json, schema-validated)"
+cargo run --release -q -p xtask -- lint --format json > LINT_REPORT.json
+cargo run --release -q -p xtask -- check-lint-report LINT_REPORT.json
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 

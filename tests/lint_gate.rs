@@ -194,32 +194,252 @@ fn detects_ambient_clock_outside_trace_crate() {
     assert!(hits.is_empty(), "crates/trace owns the ambient clock: {hits:?}");
 }
 
+/// The `Output` registry declaration the machine-discipline pass
+/// expects at `crates/core/src/engine/mod.rs` in scratch trees.
+const OUTPUT_REGISTRY: &str = "//! Engine module.\n/// Doc.\npub enum Output {\n    /// T.\n    Transmit,\n    /// A.\n    Attribute,\n    /// W.\n    Wait,\n    /// D.\n    Done,\n}\n";
+
+/// The `Phase` frame-tag registry the wire-schema pass expects at
+/// `crates/protocol/src/stats.rs` in scratch trees.
+const PHASE_REGISTRY: &str = "//! Stats module.\n/// Doc.\npub enum Phase {\n    /// S.\n    Setup,\n    /// M.\n    Map,\n    /// D.\n    Delta,\n}\n";
+
+/// A scratch tree shaped like the real workspace: several crates, each
+/// with a lib.rs plus optional extra modules at arbitrary `src/`-relative
+/// paths. [`MiniWorkspace`] is the single-crate special case.
+struct MultiCrateWorkspace {
+    dir: PathBuf,
+}
+
+impl MultiCrateWorkspace {
+    /// `files` maps `crates/<name>/src/<path>` (given as
+    /// `(crate, src_relative_path, contents)`) into the scratch tree.
+    fn new(tag: &str, files: &[(&str, &str, &str)]) -> MultiCrateWorkspace {
+        let dir =
+            std::env::temp_dir().join(format!("msync-lint-gate-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
+            .expect("workspace manifest");
+        for (krate, rel, contents) in files {
+            let crate_dir = dir.join("crates").join(krate);
+            let manifest = crate_dir.join("Cargo.toml");
+            if !manifest.is_file() {
+                fs::create_dir_all(&crate_dir).expect("crate dir");
+                fs::write(
+                    &manifest,
+                    format!("[package]\nname = \"{krate}\"\nversion = \"0.0.0\"\n"),
+                )
+                .expect("crate manifest");
+            }
+            let path = crate_dir.join("src").join(rel);
+            fs::create_dir_all(path.parent().expect("src parent")).expect("module dir");
+            fs::write(&path, contents).expect("module file");
+        }
+        MultiCrateWorkspace { dir }
+    }
+
+    fn findings_for(&self, rule: Rule) -> Vec<xtask::Finding> {
+        let findings = lint_workspace(&self.dir, &LintConfig::msync()).expect("scan scratch tree");
+        findings.into_iter().filter(|f| f.rule == rule).collect()
+    }
+}
+
+impl Drop for MultiCrateWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
 #[test]
-fn detects_blocking_io_inside_engine_modules() {
-    // io-discipline is path-scoped: the same code is legal in a driver
-    // module but must fire inside crates/core/src/engine/.
-    let dir = std::env::temp_dir().join(format!("msync-lint-gate-engine-{}", std::process::id()));
-    let src = dir.join("crates").join("core").join("src");
-    fs::create_dir_all(src.join("engine")).expect("scratch dir");
-    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n").expect("manifest");
-    fs::write(
-        dir.join("crates").join("core").join("Cargo.toml"),
-        "[package]\nname = \"core\"\nversion = \"0.0.0\"\n",
-    )
-    .expect("crate manifest");
-    fs::write(src.join("lib.rs"), format!("{CLEAN_HEADER}\npub mod engine;\npub mod driver;\n"))
-        .expect("lib.rs");
-    let offending = "//! Engine module.\n/// Doc.\npub fn bad(rx: &std::sync::mpsc::Receiver<u8>, d: std::time::Duration) {\n    std::thread::spawn(|| {});\n    let _ = rx.recv_timeout(d);\n}\n";
-    fs::write(src.join("engine").join("mod.rs"), offending).expect("engine/mod.rs");
-    // Identical body outside the engine tree: io-discipline stays quiet
-    // there (channel-discipline has its own opinion about recv, which
-    // recv_timeout satisfies).
-    fs::write(src.join("driver.rs"), offending).expect("driver.rs");
-    let findings = lint_workspace(&dir, &LintConfig::msync()).expect("scan");
-    let hits: Vec<_> = findings.into_iter().filter(|f| f.rule == Rule::IoDiscipline).collect();
-    fs::remove_dir_all(&dir).ok();
+fn wire_schema_detects_one_sided_decode_arm() {
+    // The decode side dispatches on registry variants in arm bodies but
+    // never produces `Phase::Delta`: the classic desynchronized decoder.
+    let decoder = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn decode(b: u8) -> Option<msync_protocol::Phase> {{\n    match b {{\n        0 => Some(msync_protocol::Phase::Setup),\n        1 => Some(msync_protocol::Phase::Map),\n        _ => None,\n    }}\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new(
+        "wire-decode",
+        &[("protocol", "stats.rs", PHASE_REGISTRY), ("net", "lib.rs", &decoder)],
+    );
+    let hits = ws.findings_for(Rule::WireSchema);
+    let hit = hits
+        .iter()
+        .find(|f| f.file == "crates/net/src/lib.rs")
+        .unwrap_or_else(|| panic!("one-sided decode arm must fire wire-schema: {hits:?}"));
+    assert!(hit.message.contains("Delta"), "names the missing variant: {}", hit.message);
+    assert!(hit.line > 1 && hit.col >= 1, "spanned diagnostic expected: {hit:?}");
+}
+
+#[test]
+fn wire_schema_accepts_symmetric_encode_and_decode() {
+    let encoder = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn encode(p: Phase) -> u8 {{\n    match p {{\n        Phase::Setup => 0,\n        Phase::Map => 1,\n        Phase::Delta => 2,\n    }}\n}}\n/// Doc.\npub fn decode(b: u8) -> Option<Phase> {{\n    match b {{\n        0 => Some(Phase::Setup),\n        1 => Some(Phase::Map),\n        2 => Some(Phase::Delta),\n        _ => None,\n    }}\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new(
+        "wire-symmetric",
+        &[("protocol", "stats.rs", PHASE_REGISTRY), ("net", "lib.rs", &encoder)],
+    );
+    let hits = ws.findings_for(Rule::WireSchema);
+    assert!(
+        hits.iter().all(|f| f.file != "crates/net/src/lib.rs"),
+        "complete matches must not fire: {hits:?}"
+    );
+}
+
+#[test]
+fn charge_point_detects_unattributed_socket_write() {
+    // A send path that charges TrafficStats but never journals the
+    // frame (the acceptance scenario: the trace event line deleted).
+    let unpaired = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub struct S {{\n    /// Doc.\n    pub stats: u8,\n}}\nimpl S {{\n    /// Doc.\n    pub fn send(&mut self, n: u64) {{\n        self.stats.record(n);\n    }}\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new("charge-unpaired", &[("net", "lib.rs", &unpaired)]);
+    let hits = ws.findings_for(Rule::ChargePoint);
+    assert_eq!(hits.len(), 1, "charge without trace event must fire: {hits:?}");
+    assert!(hits[0].message.contains("send"), "names the function: {}", hits[0].message);
+    assert!(hits[0].line > 1 && hits[0].col >= 1, "spanned diagnostic expected: {:?}", hits[0]);
+
+    // The paired shape — charge plus FrameSend journal in the same
+    // function — is the sanctioned idiom and must stay quiet.
+    let paired = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub struct S {{\n    /// Doc.\n    pub stats: u8,\n}}\nimpl S {{\n    /// Doc.\n    pub fn send(&mut self, n: u64) {{\n        self.stats.record(n);\n        self.rec.record(EventKind::FrameSend {{ bytes: n }});\n    }}\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new("charge-paired", &[("net", "lib.rs", &paired)]);
+    let hits = ws.findings_for(Rule::ChargePoint);
+    assert!(hits.is_empty(), "paired charge + frame event must not fire: {hits:?}");
+}
+
+#[test]
+fn charge_point_is_scoped_to_io_crates() {
+    // The same unpaired charge in a non-I/O crate is out of scope.
+    let unpaired = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn tally(stats: &mut Vec<u64>, n: u64) {{\n    stats.record(n);\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new("charge-scope", &[("hashes", "lib.rs", &unpaired)]);
+    let hits = ws.findings_for(Rule::ChargePoint);
+    assert!(hits.is_empty(), "charge-point only covers crates/net and crates/protocol: {hits:?}");
+}
+
+#[test]
+fn machine_discipline_detects_unhandled_output_wait() {
+    // A drive loop that polls the machine but never handles
+    // `Output::Wait` silently spins instead of arming a deadline.
+    let loop_body = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn pump(m: &mut Machine) {{\n    loop {{\n        match m.poll_output() {{\n            Output::Transmit => {{}}\n            Output::Attribute => {{}}\n            Output::Done => return,\n        }}\n    }}\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new(
+        "machine-wait",
+        &[("core", "engine/mod.rs", OUTPUT_REGISTRY), ("net", "lib.rs", &loop_body)],
+    );
+    let hits = ws.findings_for(Rule::MachineDiscipline);
+    let hit = hits
+        .iter()
+        .find(|f| f.file == "crates/net/src/lib.rs")
+        .unwrap_or_else(|| panic!("unhandled Output::Wait must fire: {hits:?}"));
+    assert!(hit.message.contains("Wait"), "names the missing variant: {}", hit.message);
+    assert!(hit.line > 1 && hit.col >= 1, "spanned diagnostic expected: {hit:?}");
+
+    // Handling all four variants satisfies the pass.
+    let complete = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn pump(m: &mut Machine) {{\n    loop {{\n        match m.poll_output() {{\n            Output::Transmit => {{}}\n            Output::Attribute => {{}}\n            Output::Wait => break,\n            Output::Done => return,\n        }}\n    }}\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new(
+        "machine-complete",
+        &[("core", "engine/mod.rs", OUTPUT_REGISTRY), ("net", "lib.rs", &complete)],
+    );
+    let hits = ws.findings_for(Rule::MachineDiscipline);
+    assert!(
+        hits.iter().all(|f| f.file != "crates/net/src/lib.rs"),
+        "complete drive loop must not fire: {hits:?}"
+    );
+}
+
+#[test]
+fn machine_discipline_keeps_engine_modules_effect_pure() {
+    // The sans-IO rule is path-scoped: the same code is legal in a
+    // driver module but must fire inside crates/core/src/engine/.
+    let offending = format!(
+        "{OUTPUT_REGISTRY}/// Doc.\npub fn bad(rx: &std::sync::mpsc::Receiver<u8>, d: std::time::Duration) {{\n    std::thread::spawn(|| {{}});\n    let _ = rx.recv_timeout(d);\n}}\n"
+    );
+    let lib = format!("{CLEAN_HEADER}\npub mod engine;\npub mod driver;\n");
+    let driver = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn ok(rx: &std::sync::mpsc::Receiver<u8>, d: std::time::Duration) {{\n    std::thread::spawn(|| {{}});\n    let _ = rx.recv_timeout(d);\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new(
+        "machine-purity",
+        &[
+            ("core", "lib.rs", &lib),
+            ("core", "engine/mod.rs", &offending),
+            ("core", "driver.rs", &driver),
+        ],
+    );
+    let hits: Vec<_> = ws
+        .findings_for(Rule::MachineDiscipline)
+        .into_iter()
+        .filter(|f| f.message.contains("sans-IO"))
+        .collect();
     assert_eq!(hits.len(), 2, "spawn + recv_timeout inside engine/ must fire: {hits:?}");
     assert!(hits.iter().all(|f| f.file == "crates/core/src/engine/mod.rs"), "{hits:?}");
+}
+
+/// Every `.rs` file in the workspace (crate sources, root `src/`, and
+/// this test directory), for corpus-wide lexer properties.
+fn workspace_rust_sources() -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = entry.file_name();
+                if name != "target" && name != ".git" {
+                    walk(&path, out);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let root = workspace_root();
+    let mut files = Vec::new();
+    walk(&root.join("crates"), &mut files);
+    walk(&root.join("src"), &mut files);
+    walk(&root.join("tests"), &mut files);
+    files.sort();
+    assert!(files.len() > 20, "workspace corpus unexpectedly small: {}", files.len());
+    files
+}
+
+#[test]
+fn lexer_tiles_every_workspace_source_exactly() {
+    // Property: for any real source file the token stream covers the
+    // input with no gaps, no overlaps, and consistent line counters —
+    // the invariant every rule's span reporting depends on.
+    for path in workspace_rust_sources() {
+        let src = fs::read_to_string(&path).expect("read source");
+        let tokens = xtask::tokens::lex(&src);
+        let mut pos = 0usize;
+        let mut line = 1u32;
+        for t in &tokens {
+            assert_eq!(t.start, pos, "gap/overlap at byte {pos} of {}", path.display());
+            assert!(t.end > t.start, "empty token at byte {pos} of {}", path.display());
+            assert_eq!(t.line, line, "line counter drift at byte {pos} of {}", path.display());
+            line += u32::try_from(src[t.start..t.end].matches('\n').count()).expect("line count");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "lexer stopped early in {}", path.display());
+    }
+}
+
+#[test]
+fn token_masker_matches_scanner_on_every_workspace_source() {
+    // Differential oracle: the legacy masked-string scanner and the
+    // token-derived masker must agree byte-for-byte on the whole tree,
+    // so the scanner stays a trustworthy fallback for the lexer.
+    for path in workspace_rust_sources() {
+        let src = fs::read_to_string(&path).expect("read source");
+        let via_tokens = xtask::tokens::mask_via_tokens(&src);
+        let via_scanner = xtask::scanner::mask_source(&src);
+        assert_eq!(via_tokens, via_scanner, "maskers diverge on {}", path.display());
+    }
 }
 
 #[test]
