@@ -40,6 +40,14 @@ pub enum Command {
         fault_wrap: bool,
         /// Write a JSONL trace journal of the run to this file.
         trace_out: Option<PathBuf>,
+        /// Keep durable session state (checkpoint journal + metadata
+        /// cache) in this directory across remote syncs.
+        state_dir: Option<PathBuf>,
+        /// Offer the last interrupted run's checkpoint to the daemon
+        /// so confirmed files skip their sessions.
+        resume: bool,
+        /// Ignore the metadata cache when building the resume offer.
+        no_cache: bool,
     },
     /// Serve a directory to remote sync clients over TCP.
     Serve {
@@ -105,7 +113,7 @@ USAGE:
                [--fault-profile NAME] [--fault-seed N] [--trace-out FILE]
     msync sync <OLD> --remote ADDR [--config FILE | --preset NAME] [--write DIR]
                [--pipeline-depth N] [--fault-profile NAME --fault-wrap] [--fault-seed N]
-               [--trace-out FILE]
+               [--trace-out FILE] [--state-dir DIR [--resume] [--no-cache]]
     msync serve <ROOT> [--listen ADDR] [--metrics-out FILE] [--workers N]
                 [--max-sessions N]
     msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
@@ -130,6 +138,15 @@ frame per direction per round. --compare needs both sides locally and
 cannot combine with --remote. Injecting faults into a real socket is
 opt-in: --remote with --fault-profile additionally requires
 --fault-wrap.
+
+Durability: --state-dir DIR (remote syncs with --write) keeps a
+checkpoint journal and a file-metadata cache in DIR. Every completed
+file is applied atomically (temp + fsync + rename) and checkpointed
+before the session moves on; after a crash, rerun with --resume to
+offer the checkpoint to the daemon — confirmed files skip their
+sessions entirely. The metadata cache makes repeat syncs of an
+unchanged tree exchange only the roster; --no-cache disables it for
+one run.
 
 Observability: `msync sync ... --trace-out run.jsonl` writes one JSON
 object per trace event (frame charges, map rounds, faults, sessions;
@@ -162,6 +179,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let mut pipeline_depth: Option<usize> = None;
             let mut fault_wrap = false;
             let mut trace_out: Option<PathBuf> = None;
+            let mut state_dir: Option<PathBuf> = None;
+            let mut resume = false;
+            let mut no_cache = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--config" => {
@@ -207,6 +227,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                         trace_out =
                             Some(PathBuf::from(it.next().ok_or("--trace-out needs a file path")?))
                     }
+                    "--state-dir" if sub == "sync" => {
+                        state_dir =
+                            Some(PathBuf::from(it.next().ok_or("--state-dir needs a directory")?))
+                    }
+                    "--resume" if sub == "sync" => resume = true,
+                    "--no-cache" if sub == "sync" => no_cache = true,
                     other => return Err(format!("unknown flag `{other}` for `{sub}`")),
                 }
             }
@@ -241,6 +267,25 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 if fault_wrap && fault_profile.is_none() {
                     return Err("--fault-wrap needs a --fault-profile to wrap".into());
                 }
+                if state_dir.is_some() {
+                    if remote.is_none() {
+                        return Err("--state-dir only applies to --remote syncs".into());
+                    }
+                    if write.is_none() {
+                        return Err("--state-dir needs --write DIR: durable state \
+                                    checkpoints files applied to disk"
+                            .into());
+                    }
+                } else {
+                    if resume {
+                        return Err(
+                            "--resume needs --state-dir DIR to read the checkpoint from".into()
+                        );
+                    }
+                    if no_cache {
+                        return Err("--no-cache only matters with --state-dir DIR".into());
+                    }
+                }
                 Command::Sync {
                     old,
                     new,
@@ -253,6 +298,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     pipeline_depth: pipeline_depth.unwrap_or(32),
                     fault_wrap,
                     trace_out,
+                    state_dir,
+                    resume,
+                    no_cache,
                 }
             } else {
                 let new = new.ok_or("missing <NEW> path")?;
@@ -367,6 +415,9 @@ mod tests {
                 pipeline_depth,
                 fault_wrap,
                 trace_out,
+                state_dir,
+                resume,
+                no_cache,
             } => {
                 assert_eq!(old, PathBuf::from("a"));
                 assert_eq!(new, Some(PathBuf::from("b")));
@@ -379,9 +430,50 @@ mod tests {
                 assert_eq!(pipeline_depth, 32);
                 assert!(!fault_wrap);
                 assert!(trace_out.is_none());
+                assert!(state_dir.is_none());
+                assert!(!resume);
+                assert!(!no_cache);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn durability_flags_parse_and_validate() {
+        let cli = parse(&[
+            "sync",
+            "m",
+            "--remote",
+            "h:1",
+            "--write",
+            "out",
+            "--state-dir",
+            ".msync",
+            "--resume",
+            "--no-cache",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Sync { state_dir, resume, no_cache, .. } => {
+                assert_eq!(state_dir, Some(PathBuf::from(".msync")));
+                assert!(resume);
+                assert!(no_cache);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Durable state is a remote-sync feature and needs a write dir.
+        assert!(parse(&["sync", "a", "b", "--state-dir", "s"]).unwrap_err().contains("--remote"));
+        assert!(parse(&["sync", "m", "--remote", "h:1", "--state-dir", "s"])
+            .unwrap_err()
+            .contains("--write"));
+        // --resume / --no-cache without state are meaningless.
+        assert!(parse(&["sync", "m", "--remote", "h:1", "--resume"])
+            .unwrap_err()
+            .contains("--state-dir"));
+        assert!(parse(&["sync", "m", "--remote", "h:1", "--no-cache"])
+            .unwrap_err()
+            .contains("--state-dir"));
+        assert!(parse(&["inspect", "a", "b", "--resume"]).is_err());
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //! so the logic is unit-testable without capturing stdout.
 
 use crate::args::{preset_config, Cli, Command, ConfigSource, USAGE};
-use msync_core::{sync_collection_traced, sync_file, FileEntry, ProtocolConfig};
+use msync_core::{
+    atomic_write_file, load_checkpoint, sync_collection_traced, sync_file, AtomicApplier,
+    CacheEntry, CheckpointLog, FileEntry, MetadataCache, ProtocolConfig, ResumePlan,
+};
 use msync_corpus::fsload::load_dir;
 use msync_corpus::Collection;
+use msync_hash::file_fingerprint;
 use msync_protocol::LinkModel;
 use msync_trace::{render_journal, Recorder};
 use std::fmt::Write as _;
@@ -32,9 +36,17 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             pipeline_depth,
             fault_wrap,
             trace_out,
+            state_dir,
+            resume,
+            no_cache,
         } => match (new, remote) {
             (_, Some(addr)) => {
                 let faults = if *fault_wrap { fault_profile.as_deref() } else { None };
+                let durability = state_dir.as_deref().map(|dir| DurabilityFlags {
+                    state_dir: dir,
+                    resume: *resume,
+                    no_cache: *no_cache,
+                });
                 remote_sync_cmd(
                     old,
                     addr,
@@ -44,6 +56,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                     *fault_seed,
                     write.as_deref(),
                     trace_out.as_deref(),
+                    durability.as_ref(),
                 )
             }
             (Some(new), None) => match fault_profile {
@@ -129,10 +142,58 @@ fn write_journal(
 ) -> Result<(), String> {
     let Some(path) = path else { return Ok(()) };
     let events = recorder.drain_events();
-    fs::write(path, render_journal(&events))
-        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    atomic_write_file(path, render_journal(&events).as_bytes())?;
     let _ = writeln!(report, "trace journal: {} event(s) → {}", events.len(), path.display());
     Ok(())
+}
+
+/// The `--state-dir` flag family, present only on durable syncs.
+struct DurabilityFlags<'a> {
+    state_dir: &'a Path,
+    resume: bool,
+    no_cache: bool,
+}
+
+/// Microseconds since the epoch of a file's mtime (0 if unreadable —
+/// which can only produce a cache miss, never a wrong hit).
+fn mtime_micros(md: &fs::Metadata) -> u64 {
+    md.modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
+/// Build the resume offer for a durable sync: the interrupted run's
+/// checkpoint entries (under `--resume`) plus every old file whose
+/// size+mtime still match the metadata cache. Entries are re-verified
+/// against the local data before going on the wire, so stale state can
+/// only shrink the offer.
+fn build_resume_plan(
+    cfg: &ProtocolConfig,
+    old: &Path,
+    old_entries: &[FileEntry],
+    flags: &DurabilityFlags<'_>,
+    cache: &MetadataCache,
+) -> Result<ResumePlan, String> {
+    let mut plan = ResumePlan::new(cfg);
+    if flags.resume {
+        if let Some(cp) = load_checkpoint(&flags.state_dir.join("checkpoint.jsonl"))? {
+            if cp.config_digest == plan.config_digest {
+                for (name, digest, _round) in cp.files {
+                    plan.add(name, digest);
+                }
+            }
+        }
+    }
+    if !flags.no_cache && !cache.is_empty() {
+        for f in old_entries {
+            let Ok(md) = fs::metadata(old.join(&f.name)) else { continue };
+            if let Some(digest) = cache.lookup(&f.name, md.len(), mtime_micros(&md)) {
+                plan.add(f.name.clone(), digest);
+            }
+        }
+    }
+    Ok(plan)
 }
 
 /// `sync --remote`: pipelined collection sync against a live daemon.
@@ -146,6 +207,7 @@ fn remote_sync_cmd(
     fault_seed: u64,
     write: Option<&Path>,
     trace_out: Option<&Path>,
+    durability: Option<&DurabilityFlags<'_>>,
 ) -> Result<String, String> {
     let cfg = load_config(config)?;
     let old_entries: Vec<FileEntry> = if old.exists() {
@@ -172,23 +234,65 @@ fn remote_sync_cmd(
         opts.fault_wrap = Some((plan, fault_seed));
     }
 
-    let got = msync_net::sync_remote(addr, &old_entries, &opts).map_err(|e| e.to_string())?;
+    // Durable mode: clean up temp orphans from a crashed run, read the
+    // checkpoint and cache, offer what they prove, and journal every
+    // completed file through an atomic applier as the session runs.
+    let mut orphans = 0usize;
+    let mut cache = MetadataCache::new();
+    let mut sink: Option<(AtomicApplier, CheckpointLog)> = None;
+    let mut report = String::new();
+    if let Some(flags) = durability {
+        // parse_args guarantees --state-dir comes with --write.
+        let write_dir = write.ok_or("--state-dir needs --write DIR")?;
+        fs::create_dir_all(flags.state_dir)
+            .map_err(|e| format!("cannot create {}: {e}", flags.state_dir.display()))?;
+        let applier = AtomicApplier::new(write_dir);
+        orphans = applier.clean_orphans()?;
+        if !flags.no_cache {
+            cache = MetadataCache::load(&flags.state_dir.join("cache.jsonl"))?;
+        }
+        let plan = build_resume_plan(&opts.cfg, old, &old_entries, flags, &cache)?;
+        let digest = plan.config_digest;
+        if !plan.is_empty() {
+            let _ = writeln!(
+                report,
+                "offering {} file(s) from {}",
+                plan.entries.len(),
+                if flags.resume { "checkpoint + cache" } else { "cache" }
+            );
+            opts.resume = Some(plan);
+        }
+        let log = CheckpointLog::create(&flags.state_dir.join("checkpoint.jsonl"), digest)?;
+        sink = Some((applier, log));
+    }
+
+    let mut applied = 0usize;
+    let got = msync_net::sync_remote_with(addr, &old_entries, &opts, &mut |f| {
+        let Some((applier, log)) = sink.as_mut() else { return Ok(()) };
+        // Resumed files are already on disk byte-exact; rewriting them
+        // would only churn mtimes and defeat the metadata cache.
+        if !f.resumed {
+            applier.apply(&f.name, &f.data)?;
+            applied += 1;
+        }
+        log.append(&f.name, file_fingerprint(&f.data), f.round)
+    })
+    .map_err(|e| e.to_string())?;
     let out = &got.outcome;
     let t = &out.traffic;
     let raw: u64 = out.files.iter().map(|f| f.data.len() as u64).sum();
 
-    let mut report = String::new();
     let _ = writeln!(
         report,
         "synchronized {} file(s), {} total, against {addr} (pipeline depth {pipeline_depth})",
         out.files.len(),
         human(raw)
     );
-    let changed = out.files.len().saturating_sub(out.unchanged + out.created);
+    let changed = out.files.len().saturating_sub(out.unchanged + out.created + out.resumed);
     let _ = writeln!(
         report,
-        "  unchanged {} · changed {} · created {} · deleted {}",
-        out.unchanged, changed, out.created, out.deleted
+        "  unchanged {} · changed {} · created {} · deleted {} · resumed {}",
+        out.unchanged, changed, out.created, out.deleted, out.resumed
     );
     let _ = writeln!(
         report,
@@ -215,17 +319,55 @@ fn remote_sync_cmd(
         let _ = writeln!(report, "  {name}  {:.1?}", link.estimate(t));
     }
 
-    if let Some(dir) = write {
-        for f in &out.files {
-            let path = dir.join(&f.name);
-            if let Some(parent) = path.parent() {
-                fs::create_dir_all(parent)
-                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    match (write, sink) {
+        // Durable mode already applied everything incrementally; the
+        // session finished, so the checkpoint has served its purpose.
+        (Some(dir), Some(_)) => {
+            let flags = durability.ok_or("durable sink without flags")?;
+            let _ = writeln!(
+                report,
+                "\nwrote {applied} file(s) under {} ({} resumed in place{})",
+                dir.display(),
+                out.resumed,
+                if orphans > 0 {
+                    format!(", {orphans} orphaned temp file(s) removed")
+                } else {
+                    String::new()
+                },
+            );
+            let checkpoint_path = flags.state_dir.join("checkpoint.jsonl");
+            fs::remove_file(&checkpoint_path)
+                .map_err(|e| format!("cannot remove {}: {e}", checkpoint_path.display()))?;
+            if !flags.no_cache {
+                for f in &out.files {
+                    let Ok(md) = fs::metadata(dir.join(&f.name)) else { continue };
+                    cache.record(
+                        f.name.clone(),
+                        CacheEntry {
+                            size: md.len(),
+                            mtime_us: mtime_micros(&md),
+                            digest: file_fingerprint(&f.data),
+                        },
+                    );
+                }
+                let cache_path = flags.state_dir.join("cache.jsonl");
+                cache.save(&cache_path)?;
+                let _ = writeln!(
+                    report,
+                    "state: {} file(s) cached in {}",
+                    cache.len(),
+                    flags.state_dir.display()
+                );
             }
-            fs::write(&path, &f.data)
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
-        let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
+        (Some(dir), None) => {
+            let applier = AtomicApplier::new(dir);
+            for f in &out.files {
+                applier.apply(&f.name, &f.data)?;
+            }
+            let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
+        }
+        (None, _) => {}
     }
     write_journal(&mut report, &recorder, trace_out)?;
     Ok(report)
@@ -342,14 +484,9 @@ fn sync_cmd(
     }
 
     if let Some(dir) = write {
+        let applier = AtomicApplier::new(dir);
         for f in &out.files {
-            let path = dir.join(&f.name);
-            if let Some(parent) = path.parent() {
-                fs::create_dir_all(parent)
-                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
-            }
-            fs::write(&path, &f.data)
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            applier.apply(&f.name, &f.data)?;
         }
         let _ = writeln!(report, "\nwrote {} file(s) under {}", out.files.len(), dir.display());
     }
@@ -650,6 +787,67 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("unknown fault profile"), "{err}");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn remote_sync_with_durable_state_and_warm_cache() {
+        let d = tmpdir("durable");
+        let server_dir = d.join("srv");
+        let mirror = d.join("mirror");
+        let state = d.join("state");
+        fs::create_dir_all(&server_dir).unwrap();
+        fs::create_dir_all(&mirror).unwrap();
+        fs::write(server_dir.join("a.txt"), b"alpha server body ".repeat(200)).unwrap();
+        fs::write(server_dir.join("b.txt"), b"beta server body ".repeat(300)).unwrap();
+        // A stale temp file from a "crashed" earlier apply.
+        fs::write(mirror.join("a.txt.msync-tmp"), b"torn").unwrap();
+
+        let files = entries(&load_dir(&server_dir).unwrap());
+        let daemon = msync_net::Daemon::spawn(
+            "127.0.0.1:0",
+            files,
+            msync_net::DaemonOptions::default(),
+            |_| {},
+        )
+        .unwrap();
+        let addr = daemon.local_addr().to_string();
+
+        let sync_words = |extra: &[&str]| {
+            let mut words = vec![
+                "sync",
+                mirror.to_str().unwrap(),
+                "--remote",
+                &addr,
+                "--write",
+                mirror.to_str().unwrap(),
+                "--state-dir",
+                state.to_str().unwrap(),
+            ];
+            words.extend_from_slice(extra);
+            run_words(&words)
+        };
+
+        // Cold run: everything transfers, orphan cleaned, cache written.
+        let report = sync_words(&[]).unwrap();
+        assert!(report.contains("wrote 2 file(s)"), "{report}");
+        assert!(report.contains("orphaned temp file(s) removed"), "{report}");
+        assert!(report.contains("2 file(s) cached"), "{report}");
+        assert!(!mirror.join("a.txt.msync-tmp").exists());
+        assert_eq!(fs::read(mirror.join("a.txt")).unwrap(), b"alpha server body ".repeat(200));
+        assert!(state.join("cache.jsonl").exists());
+        assert!(!state.join("checkpoint.jsonl").exists(), "removed on success");
+
+        // Warm run: the cache offers both files; both resume.
+        let report = sync_words(&[]).unwrap();
+        assert!(report.contains("offering 2 file(s)"), "{report}");
+        assert!(report.contains("resumed 2"), "{report}");
+
+        // --no-cache suppresses the offer.
+        let report = sync_words(&["--no-cache"]).unwrap();
+        assert!(!report.contains("offering"), "{report}");
+        assert!(report.contains("resumed 0"), "{report}");
+        daemon.shutdown();
         fs::remove_dir_all(&d).unwrap();
     }
 

@@ -186,6 +186,7 @@ fn sync_collection_fitted(
                 acc.renamed += out.renamed;
                 acc.deleted += out.deleted;
                 acc.fell_back += out.fell_back;
+                acc.resumed += out.resumed;
                 acc
             }
         });
@@ -200,6 +201,7 @@ fn sync_collection_fitted(
         // `new` was empty so no group ran; every old file is a deletion.
         deleted: deleted.len(),
         fell_back: 0,
+        resumed: 0,
     }))
 }
 

@@ -1,0 +1,215 @@
+//! Atomic file application — the single write path for sync results.
+//!
+//! A crash mid-`fs::write` leaves a torn file under the final name, and
+//! a re-run then "syncs" from garbage. Every byte a sync session puts
+//! on disk therefore goes through [`AtomicApplier`]: write to a sibling
+//! temp file, fsync it, rename over the final name, fsync the parent
+//! directory so the rename itself is durable. Readers either see the
+//! complete old file or the complete new one — never a prefix.
+//!
+//! Temp files use the [`TEMP_SUFFIX`] sibling-name convention so a
+//! crash between write and rename leaves an identifiable orphan;
+//! [`AtomicApplier::clean_orphans`] sweeps them on startup. The xtask
+//! `apply-discipline` lint pass bans bare `fs::write`/`File::create`
+//! on sync-apply paths outside this module, so the discipline holds by
+//! construction.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Component, Path, PathBuf};
+
+/// Suffix appended to a file's final name to form its sibling temp
+/// name. Chosen to be implausible as a real collection member.
+pub const TEMP_SUFFIX: &str = ".msync-tmp";
+
+/// Applies named files under a root directory, atomically.
+#[derive(Debug, Clone)]
+pub struct AtomicApplier {
+    root: PathBuf,
+}
+
+impl AtomicApplier {
+    /// An applier rooted at `root`. The directory itself is created on
+    /// the first [`AtomicApplier::apply`], not here.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        AtomicApplier { root: root.into() }
+    }
+
+    /// The root directory files are applied under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Write `data` to `rel` under the root, atomically: parents are
+    /// created as needed, the bytes land in a fsynced sibling temp
+    /// file, and a rename + parent-directory fsync publishes them.
+    /// Returns the final path.
+    ///
+    /// # Errors
+    /// If `rel` escapes the root (absolute, or contains `..`), or on
+    /// any filesystem error — each with the path in the message.
+    pub fn apply(&self, rel: &str, data: &[u8]) -> Result<PathBuf, String> {
+        let rel_path = sanitize_rel(rel)?;
+        let final_path = self.root.join(rel_path);
+        if let Some(parent) = final_path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create directory {}: {e}", parent.display()))?;
+        }
+        atomic_write_file(&final_path, data)?;
+        Ok(final_path)
+    }
+
+    /// Remove every `*.msync-tmp` orphan under the root (a crash
+    /// between temp write and rename leaves one). Returns how many
+    /// were removed; a missing root is not an error (nothing applied
+    /// yet).
+    ///
+    /// # Errors
+    /// On any filesystem error other than the root not existing.
+    pub fn clean_orphans(&self) -> Result<usize, String> {
+        if !self.root.exists() {
+            return Ok(0);
+        }
+        let mut removed = 0usize;
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = fs::read_dir(&dir)
+                .map_err(|e| format!("cannot list directory {}: {e}", dir.display()))?;
+            for entry in entries {
+                let entry =
+                    entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+                let path = entry.path();
+                let ty = entry
+                    .file_type()
+                    .map_err(|e| format!("cannot stat {}: {e}", path.display()))?;
+                if ty.is_dir() {
+                    stack.push(path);
+                } else if path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(TEMP_SUFFIX))
+                {
+                    fs::remove_file(&path)
+                        .map_err(|e| format!("cannot remove orphan {}: {e}", path.display()))?;
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Reject relative names that would write outside the applier root:
+/// absolute paths, drive prefixes, `..` components, and empty names.
+fn sanitize_rel(rel: &str) -> Result<&Path, String> {
+    let path = Path::new(rel);
+    if rel.is_empty() {
+        return Err("empty file name in apply request".to_owned());
+    }
+    for comp in path.components() {
+        match comp {
+            Component::Normal(_) | Component::CurDir => {}
+            Component::ParentDir => {
+                return Err(format!("file name `{rel}` escapes the output directory (`..`)"));
+            }
+            Component::RootDir | Component::Prefix(_) => {
+                return Err(format!("file name `{rel}` is absolute; expected a relative path"));
+            }
+        }
+    }
+    Ok(path)
+}
+
+/// Atomically replace `path` with `data`: sibling temp file, fsync,
+/// rename, fsync the parent directory. The parent must already exist.
+///
+/// # Errors
+/// On any filesystem error, with the offending path in the message.
+pub fn atomic_write_file(path: &Path, data: &[u8]) -> Result<(), String> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("cannot derive a temp name for {}", path.display()))?;
+    let tmp_path = path.with_file_name(format!("{file_name}{TEMP_SUFFIX}"));
+    let mut tmp = fs::File::create(&tmp_path)
+        .map_err(|e| format!("cannot create temp file {}: {e}", tmp_path.display()))?;
+    tmp.write_all(data).map_err(|e| format!("cannot write {}: {e}", tmp_path.display()))?;
+    tmp.sync_all().map_err(|e| format!("cannot fsync {}: {e}", tmp_path.display()))?;
+    drop(tmp);
+    fs::rename(&tmp_path, path).map_err(|e| {
+        format!("cannot rename {} over {}: {e}", tmp_path.display(), path.display())
+    })?;
+    if let Some(parent) = path.parent() {
+        // An empty parent means "current directory"; skip the fsync
+        // rather than trying to open "".
+        if !parent.as_os_str().is_empty() {
+            fsync_dir(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// fsync a directory so a just-completed rename within it is durable.
+fn fsync_dir(dir: &Path) -> Result<(), String> {
+    let handle = fs::File::open(dir)
+        .map_err(|e| format!("cannot open directory {} for fsync: {e}", dir.display()))?;
+    handle.sync_all().map_err(|e| format!("cannot fsync directory {}: {e}", dir.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msync-apply-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn apply_creates_parents_and_publishes_content() {
+        let root = tmp_root("apply");
+        let applier = AtomicApplier::new(&root);
+        let path = applier.apply("sub/dir/file.txt", b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        assert!(path.starts_with(&root));
+        // Overwrite is atomic too.
+        applier.apply("sub/dir/file.txt", b"rewritten").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"rewritten");
+        // No temp residue after a clean apply.
+        assert_eq!(applier.clean_orphans().unwrap(), 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn escaping_names_are_rejected() {
+        let root = tmp_root("escape");
+        let applier = AtomicApplier::new(&root);
+        assert!(applier.apply("../evil", b"x").is_err());
+        assert!(applier.apply("a/../../evil", b"x").is_err());
+        assert!(applier.apply("/abs/evil", b"x").is_err());
+        assert!(applier.apply("", b"x").is_err());
+        assert!(!root.exists() || fs::read_dir(&root).unwrap().next().is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn clean_orphans_removes_only_temps() {
+        let root = tmp_root("orphans");
+        let applier = AtomicApplier::new(&root);
+        applier.apply("keep.txt", b"real").unwrap();
+        fs::create_dir_all(root.join("nested")).unwrap();
+        fs::write(root.join(format!("torn.bin{TEMP_SUFFIX}")), b"partial").unwrap();
+        fs::write(root.join("nested").join(format!("torn2{TEMP_SUFFIX}")), b"partial").unwrap();
+        assert_eq!(applier.clean_orphans().unwrap(), 2);
+        assert_eq!(fs::read(root.join("keep.txt")).unwrap(), b"real");
+        assert!(!root.join(format!("torn.bin{TEMP_SUFFIX}")).exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_root_cleans_nothing() {
+        let root = tmp_root("absent");
+        assert_eq!(AtomicApplier::new(&root).clean_orphans().unwrap(), 0);
+    }
+}

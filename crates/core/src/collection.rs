@@ -59,6 +59,9 @@ pub struct CollectionOutcome {
     pub deleted: usize,
     /// Files whose session fell back to a full transfer.
     pub fell_back: usize,
+    /// Files confirmed complete by a resume offer (checkpoint or
+    /// metadata cache) — they skipped their sessions entirely.
+    pub resumed: usize,
 }
 
 /// Synchronize the client's `old` collection to the server's `new` one.
@@ -202,6 +205,7 @@ pub fn sync_collection_traced(
         renamed,
         deleted,
         fell_back,
+        resumed: 0,
     })
 }
 
@@ -474,6 +478,7 @@ pub fn sync_collection_with(
         renamed: 0,
         deleted,
         fell_back,
+        resumed: 0,
     })
 }
 

@@ -57,6 +57,7 @@ pub(crate) fn part_header(phase: Phase, more: bool) -> u8 {
         Phase::Setup => 0u8,
         Phase::Map => 1,
         Phase::Delta => 2,
+        Phase::Resume => 3,
     };
     (tag << 1) | u8::from(more)
 }
@@ -66,6 +67,7 @@ pub(crate) fn parse_part_header(b: u8) -> Option<(Phase, bool)> {
         0 => Phase::Setup,
         1 => Phase::Map,
         2 => Phase::Delta,
+        3 => Phase::Resume,
         _ => return None,
     };
     Some((phase, b & 1 == 1))

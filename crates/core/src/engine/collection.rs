@@ -11,16 +11,44 @@
 
 use std::collections::{HashMap, HashSet};
 
+use msync_hash::{file_fingerprint, Fingerprint};
 use msync_protocol::{Direction, Phase, RetryPolicy, TrafficStats};
-use msync_trace::{EventKind, HistKind, Recorder};
+use msync_trace::{EventKind, HistKind, Recorder, ResumeRejectTag};
 
 use super::arq::{micros_of, parse_frame, ArqCore, MAX_FRAMES_PER_EXCHANGE};
 use super::{Machine, Output};
 use crate::collection::{CollectionOutcome, FileEntry};
 use crate::config::ProtocolConfig;
-use crate::pipeline::{decode_batch, decode_roster, encode_batch, encode_roster, ServeOutcome};
+use crate::pipeline::{
+    decode_batch, decode_resume_offer, decode_resume_verdict, decode_roster, encode_batch,
+    encode_resume_offer, encode_resume_verdict, encode_roster, ResumeVerdict, ServeOutcome,
+};
+use crate::resume::{config_digest, ResumePlan};
 use crate::session::{ClientAction, ClientSession, Part, SState, ServerSession, SyncError};
 use crate::stats::SyncStats;
+
+/// One file the pipelined client has fully completed, surfaced through
+/// [`CollectionClientMachine::drain_completed`] so a durability hook
+/// can apply it atomically and checkpoint it while the session is
+/// still running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedFile {
+    /// Roster index (the server's sorted-name order).
+    pub file_id: usize,
+    /// Collection-relative name.
+    pub name: String,
+    /// Final file content.
+    pub data: Vec<u8>,
+    /// Whether the session fell back to a full transfer.
+    pub fell_back: bool,
+    /// Confirmed by a resume verdict rather than synced: the content
+    /// equals the client's local copy (the sink should checkpoint it
+    /// but need not rewrite it).
+    pub resumed: bool,
+    /// Scheduler round it completed in (0 = the roster/resume
+    /// exchange itself).
+    pub round: u64,
+}
 
 /// Per-file client state while the pipeline runs.
 struct Slot<'a> {
@@ -29,6 +57,8 @@ struct Slot<'a> {
     existed: bool,
     traffic: TrafficStats,
     done: Option<(Vec<u8>, bool)>,
+    /// Confirmed complete by the server's resume verdict (no session).
+    resumed: bool,
     /// Recorder timestamp at admission (0 when tracing is off).
     t0_us: u64,
 }
@@ -55,11 +85,24 @@ pub struct CollectionClientMachine<'a> {
     in_flight: usize,
     done_count: usize,
     deleted: usize,
+    /// Resume entries offered to the server (sorted by name). Empty
+    /// when no offer was sent.
+    offered: Vec<(String, Fingerprint)>,
+    /// Completed files awaiting [`Self::drain_completed`].
+    pending_completed: Vec<CompletedFile>,
+    /// Scheduler round counter (0 = the roster/resume exchange).
+    round: u64,
 }
 
 impl<'a> CollectionClientMachine<'a> {
-    /// Build the machine and queue the roster message. `now_us` is the
+    /// Build the machine and queue the roster message — plus a resume
+    /// offer when `resume` holds a usable plan. `now_us` is the
     /// caller's clock reading, the origin for the first ARQ deadline.
+    ///
+    /// Plan entries are verified against `old` before being offered:
+    /// only names whose local content actually carries the claimed
+    /// digest go on the wire, so a stale checkpoint degrades to a
+    /// smaller offer instead of corrupting the sync.
     ///
     /// # Errors
     /// [`SyncError::Config`] when `cfg` fails validation.
@@ -69,16 +112,35 @@ impl<'a> CollectionClientMachine<'a> {
         depth: usize,
         retry: RetryPolicy,
         rec: Recorder,
+        resume: Option<&ResumePlan>,
         now_us: u64,
     ) -> Result<Self, SyncError> {
         cfg.validate().map_err(SyncError::Config)?;
         let mut arq = ArqCore::client(retry, rec.clone());
         let mut my_names: Vec<&str> = old.iter().map(|f| f.name.as_str()).collect();
         my_names.sort_unstable();
-        arq.send_message(
-            vec![Part { phase: Phase::Setup, payload: encode_roster(&my_names) }],
-            now_us,
-        );
+        let mut message = vec![Part { phase: Phase::Setup, payload: encode_roster(&my_names) }];
+        let mut offered: Vec<(String, Fingerprint)> = Vec::new();
+        if let Some(plan) = resume {
+            let by_name: HashMap<&str, &FileEntry> =
+                old.iter().map(|f| (f.name.as_str(), f)).collect();
+            offered = plan
+                .entries
+                .iter()
+                .filter(|(name, digest)| {
+                    by_name.get(name.as_str()).is_some_and(|f| file_fingerprint(&f.data) == *digest)
+                })
+                .cloned()
+                .collect();
+            if !offered.is_empty() {
+                rec.record(EventKind::ResumeOffer { files: offered.len() as u64 });
+                message.push(Part {
+                    phase: Phase::Resume,
+                    payload: encode_resume_offer(&plan.config_digest, &offered),
+                });
+            }
+        }
+        arq.send_message(message, now_us);
         arq.begin_await(now_us);
         Ok(Self {
             old,
@@ -95,14 +157,29 @@ impl<'a> CollectionClientMachine<'a> {
             in_flight: 0,
             done_count: 0,
             deleted: 0,
+            offered,
+            pending_completed: Vec::new(),
+            round: 0,
         })
     }
 
+    /// Files completed since the last call, in completion order. The
+    /// driver's durability hook applies and checkpoints them while the
+    /// session keeps running; resumed files appear here too so a fresh
+    /// checkpoint re-records them.
+    pub fn drain_completed(&mut self) -> Vec<CompletedFile> {
+        std::mem::take(&mut self.pending_completed)
+    }
+
     /// Admit unstarted files into freed window slots, in roster order.
+    /// Slots pre-completed by a resume verdict are skipped.
     fn admit(&mut self) {
         while self.next_admit < self.slots.len() && self.in_flight < self.depth {
             let id = self.next_admit;
             self.next_admit += 1;
+            if self.slots[id].done.is_some() {
+                continue;
+            }
             self.in_flight += 1;
             self.rec.record(EventKind::SessionStart { file_id: id as u64 });
             self.slots[id].t0_us = self.rec.now_micros();
@@ -125,9 +202,55 @@ impl<'a> CollectionClientMachine<'a> {
         let batch = encode_batch(&self.outbox);
         self.expected = self.outbox.iter().map(|(id, _)| *id).collect();
         self.outbox.clear();
+        self.round += 1;
         self.arq.send_message(vec![Part { phase: Phase::Map, payload: batch }], now_us);
         self.arq.begin_await(now_us);
         self.state = ClientState::AwaitBatch;
+    }
+
+    /// Apply the server's resume verdict: mark accepted files done
+    /// before any session starts.
+    fn on_verdict(&mut self, payload: &[u8]) -> Result<(), SyncError> {
+        match decode_resume_verdict(payload)? {
+            ResumeVerdict::Accept(bits) => {
+                if bits.len() != self.offered.len() {
+                    return Err(SyncError::Desync("resume verdict length mismatch"));
+                }
+                let mut accepted = 0u64;
+                for ((name, _), ok) in self.offered.iter().zip(&bits) {
+                    if !ok {
+                        continue;
+                    }
+                    // Offered names came from `old`, but only roster
+                    // membership makes them resumable here.
+                    let Ok(id) = self.server_names.binary_search(name) else {
+                        return Err(SyncError::Desync("resume verdict for unknown file"));
+                    };
+                    let slot = &mut self.slots[id];
+                    slot.done = Some((slot.old_data.to_vec(), false));
+                    slot.resumed = true;
+                    self.done_count += 1;
+                    accepted += 1;
+                    self.rec.record(EventKind::CacheHit { file_id: id as u64 });
+                    self.pending_completed.push(CompletedFile {
+                        file_id: id,
+                        name: name.clone(),
+                        data: slot.old_data.to_vec(),
+                        fell_back: false,
+                        resumed: true,
+                        round: 0,
+                    });
+                }
+                self.rec.record(EventKind::ResumeAccept {
+                    accepted,
+                    declined: self.offered.len() as u64 - accepted,
+                });
+            }
+            ResumeVerdict::Reject(reason) => {
+                self.rec.record(EventKind::ResumeReject { reason });
+            }
+        }
+        Ok(())
     }
 
     fn on_roster(&mut self, parts: &[Part], now_us: u64) -> Result<(), SyncError> {
@@ -155,10 +278,18 @@ impl<'a> CollectionClientMachine<'a> {
                     existed: old_entry.is_some(),
                     traffic: TrafficStats::new(),
                     done: None,
+                    resumed: false,
                     t0_us: 0,
                 }
             })
             .collect();
+        if !self.offered.is_empty() {
+            let verdict = parts
+                .iter()
+                .find(|p| p.phase == Phase::Resume)
+                .ok_or(SyncError::Desync("missing resume verdict"))?;
+            self.on_verdict(&verdict.payload)?;
+        }
         self.admit();
         if self.rec.is_enabled() && !self.slots.is_empty() {
             self.rec.record(EventKind::WindowAdvance {
@@ -194,6 +325,14 @@ impl<'a> CollectionClientMachine<'a> {
                             fell_back,
                         });
                     }
+                    self.pending_completed.push(CompletedFile {
+                        file_id: id,
+                        name: self.server_names[id].clone(),
+                        data: data.clone(),
+                        fell_back,
+                        resumed: false,
+                        round: self.round,
+                    });
                     slot.done = Some((data, fell_back));
                     self.in_flight -= 1;
                     self.done_count += 1;
@@ -243,6 +382,7 @@ impl<'a> CollectionClientMachine<'a> {
         let mut unchanged = 0usize;
         let mut created = 0usize;
         let mut fell_back = 0usize;
+        let mut resumed = 0usize;
         for (name, slot) in self.server_names.iter().zip(self.slots) {
             let (data, fb) = slot.done.ok_or(SyncError::Desync("file never completed"))?;
             if !slot.existed {
@@ -252,7 +392,9 @@ impl<'a> CollectionClientMachine<'a> {
                 fell_back += 1;
             }
             let levels = slot.session.levels;
-            if slot.existed && levels.is_empty() && data.as_slice() == slot.old_data {
+            if slot.resumed {
+                resumed += 1;
+            } else if slot.existed && levels.is_empty() && data.as_slice() == slot.old_data {
                 unchanged += 1;
             }
             let stats = SyncStats {
@@ -273,6 +415,7 @@ impl<'a> CollectionClientMachine<'a> {
             renamed: 0,
             deleted: self.deleted,
             fell_back,
+            resumed,
         })
     }
 }
@@ -347,6 +490,7 @@ enum ServeState {
 /// collection by it thereafter.
 pub struct CollectionServeMachine {
     cfg: ProtocolConfig,
+    rec: Recorder,
     arq: ArqCore,
     state: ServeState,
     /// Index into the served collection, in sorted-name (roster) order.
@@ -370,10 +514,11 @@ impl CollectionServeMachine {
         now_us: u64,
     ) -> Result<Self, SyncError> {
         cfg.validate().map_err(SyncError::Config)?;
-        let mut arq = ArqCore::server(retry, rec);
+        let mut arq = ArqCore::server(retry, rec.clone());
         arq.begin_await(now_us);
         Ok(Self {
             cfg: cfg.clone(),
+            rec,
             arq,
             state: ServeState::AwaitRoster,
             order: Vec::new(),
@@ -401,6 +546,46 @@ impl CollectionServeMachine {
         self.state = ServeState::Linger { deadline_us };
     }
 
+    /// Evaluate a client's resume offer against the served collection.
+    /// Every entry whose name is in the roster *and* whose digest
+    /// matches the server's current content is accepted; its slot is
+    /// finished without ever running a session. Malformed or
+    /// incompatible offers produce a typed rejection, never an error —
+    /// the client falls back to a full sync.
+    fn eval_offer(&mut self, new: &[FileEntry], names: &[&str], payload: &[u8]) -> ResumeVerdict {
+        let (their_digest, entries) = match decode_resume_offer(payload) {
+            Ok(decoded) => decoded,
+            Err(reason) => {
+                self.rec.record(EventKind::ResumeReject { reason });
+                return ResumeVerdict::Reject(reason);
+            }
+        };
+        self.rec.record(EventKind::ResumeOffer { files: entries.len() as u64 });
+        if their_digest != config_digest(&self.cfg) {
+            self.rec.record(EventKind::ResumeReject { reason: ResumeRejectTag::ConfigMismatch });
+            return ResumeVerdict::Reject(ResumeRejectTag::ConfigMismatch);
+        }
+        let mut bits = Vec::with_capacity(entries.len());
+        let mut accepted = 0u64;
+        for (name, digest) in &entries {
+            let ok = names.binary_search(&name.as_str()).is_ok_and(|id| {
+                let data = &new[self.order[id]].data;
+                let fresh = file_fingerprint(data) == *digest;
+                if fresh {
+                    self.slots[id] = ServeSlot::Finished;
+                }
+                fresh
+            });
+            accepted += u64::from(ok);
+            bits.push(ok);
+        }
+        self.rec.record(EventKind::ResumeAccept {
+            accepted,
+            declined: entries.len() as u64 - accepted,
+        });
+        ResumeVerdict::Accept(bits)
+    }
+
     fn on_roster(
         &mut self,
         new: &[FileEntry],
@@ -414,12 +599,14 @@ impl CollectionServeMachine {
         let mut order: Vec<usize> = (0..new.len()).collect();
         order.sort_by(|&a, &b| new[a].name.cmp(&new[b].name));
         let names: Vec<&str> = order.iter().map(|&i| new[i].name.as_str()).collect();
-        self.arq.send_message(
-            vec![Part { phase: Phase::Setup, payload: encode_roster(&names) }],
-            now_us,
-        );
         self.slots = (0..order.len()).map(|_| ServeSlot::Idle).collect();
         self.order = order;
+        let mut reply = vec![Part { phase: Phase::Setup, payload: encode_roster(&names) }];
+        if let Some(offer) = parts.iter().find(|p| p.phase == Phase::Resume) {
+            let verdict = self.eval_offer(new, &names, &offer.payload);
+            reply.push(Part { phase: Phase::Resume, payload: encode_resume_verdict(&verdict) });
+        }
+        self.arq.send_message(reply, now_us);
         self.rostered = true;
         self.state = ServeState::Await;
         self.arq.begin_await(now_us);

@@ -28,7 +28,7 @@ pub mod arq;
 pub mod collection;
 pub mod machine;
 
-pub use collection::{CollectionClientMachine, CollectionServeMachine};
+pub use collection::{CollectionClientMachine, CollectionServeMachine, CompletedFile};
 pub use machine::{ClientDone, ClientMachine, ServerMachine};
 
 use crate::session::SyncError;

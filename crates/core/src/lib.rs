@@ -49,6 +49,7 @@
 
 pub mod adaptive;
 pub mod analysis;
+pub mod apply;
 pub mod broadcast;
 pub mod collection;
 pub mod config;
@@ -59,11 +60,13 @@ pub mod items;
 pub mod map;
 pub mod params;
 pub mod pipeline;
+pub mod resume;
 pub mod session;
 pub mod stats;
 pub mod verify;
 
 pub use adaptive::{sync_collection_adaptive, sync_file_adaptive, AdaptiveOutcome};
+pub use apply::{atomic_write_file, AtomicApplier, TEMP_SUFFIX};
 pub use broadcast::{sync_broadcast, BroadcastOutcome};
 pub use collection::{
     sync_collection, sync_collection_traced, sync_collection_with, CollectionOutcome, FileEntry,
@@ -71,15 +74,17 @@ pub use collection::{
 };
 pub use config::{BatchConfig, ChannelOptions, ProtocolConfig, VerifyStrategy};
 pub use engine::{
-    ClientDone, ClientMachine, CollectionClientMachine, CollectionServeMachine, Machine, Output,
-    ServerMachine,
+    ClientDone, ClientMachine, CollectionClientMachine, CollectionServeMachine, CompletedFile,
+    Machine, Output, ServerMachine,
 };
 pub use map::{FileMap, Segment};
 pub use pipeline::{serve_collection, sync_collection_client, PipelineOptions, ServeOutcome};
-#[allow(deprecated)] // the deprecated wrappers stay exported for downstream callers
+pub use resume::{
+    config_digest, load_checkpoint, CacheEntry, CheckpointLog, MetadataCache, ResumePlan,
+    SessionCheckpoint, STATE_VERSION,
+};
 pub use session::{
-    serve_file_transport, sync_file, sync_file_traced, sync_file_transport, sync_file_transport_as,
-    sync_file_with, sync_over_channel, sync_over_channel_traced, sync_over_channel_with, SyncError,
-    SyncOptions, SyncOutcome,
+    serve_file_transport, sync_file, sync_file_transport, sync_file_transport_as, sync_file_with,
+    SyncError, SyncOptions, SyncOutcome,
 };
 pub use stats::{LevelStats, SyncStats};

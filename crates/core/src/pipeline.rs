@@ -33,15 +33,16 @@
 //! path (the analytic `sync_collection` models them); a renamed file
 //! costs a create plus a delete here.
 
-use msync_hash::{BitReader, BitWriter};
+use msync_hash::{BitReader, BitWriter, Fingerprint};
 use msync_protocol::{RetryPolicy, TrafficStats, Transport};
-use msync_trace::{Clock, SystemClock};
+use msync_trace::{Clock, ResumeRejectTag, SystemClock};
 
 use crate::collection::{CollectionOutcome, FileEntry};
 use crate::config::ProtocolConfig;
 use crate::engine::arq::{parse_part_header, part_header, MAX_PARTS_PER_MESSAGE};
-use crate::engine::{CollectionClientMachine, CollectionServeMachine};
-use crate::session::{pump, Part, SyncError};
+use crate::engine::{CollectionClientMachine, CollectionServeMachine, CompletedFile};
+use crate::resume::ResumePlan;
+use crate::session::{pump, pump_with, Part, SyncError};
 
 /// Upper bound on files in one collection roster. A count above this in
 /// a decoded roster or batch is treated as a desync, not an allocation
@@ -180,6 +181,149 @@ pub(crate) fn decode_batch(payload: &[u8]) -> Result<Vec<(usize, Vec<Part>)>, Sy
     Ok(out)
 }
 
+/// The server's verdict on a resume offer, as it crosses the wire in
+/// the `Phase::Resume` part of the roster reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ResumeVerdict {
+    /// Per-offer-entry confirmation flags, in offer order. A declined
+    /// entry (stale digest, unknown name) simply syncs normally.
+    Accept(Vec<bool>),
+    /// The offer as a whole is unusable; the client falls back to a
+    /// full sync.
+    Reject(ResumeRejectTag),
+}
+
+/// Offer payload: 16 config-digest bytes, then `varint n` entries of
+/// `(varint name_len, name bytes, 16 digest bytes)`.
+pub(crate) fn encode_resume_offer(
+    config_digest: &[u8; 16],
+    entries: &[(String, Fingerprint)],
+) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for &b in config_digest {
+        w.write_bits(u64::from(b), 8);
+    }
+    w.write_varint(entries.len() as u64);
+    for (name, digest) in entries {
+        w.write_varint(name.len() as u64);
+        for &b in name.as_bytes() {
+            w.write_bits(u64::from(b), 8);
+        }
+        for &b in &digest.0 {
+            w.write_bits(u64::from(b), 8);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a resume offer. Failures map directly onto the typed
+/// rejection the server answers with — a malformed or oversized offer
+/// is the *client's* problem to fall back from, never a reason to kill
+/// the connection.
+pub(crate) fn decode_resume_offer(
+    payload: &[u8],
+) -> Result<([u8; 16], Vec<(String, Fingerprint)>), ResumeRejectTag> {
+    let mut r = BitReader::new(payload);
+    let mut config_digest = [0u8; 16];
+    for slot in &mut config_digest {
+        let b = r.read_bits(8).map_err(|_| ResumeRejectTag::MalformedOffer)?;
+        *slot = u8::try_from(b).map_err(|_| ResumeRejectTag::MalformedOffer)?;
+    }
+    let count = r.read_varint().map_err(|_| ResumeRejectTag::MalformedOffer)?;
+    if count > MAX_COLLECTION_FILES {
+        return Err(ResumeRejectTag::TooLarge);
+    }
+    let count = usize::try_from(count).map_err(|_| ResumeRejectTag::TooLarge)?;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let len = r.read_varint().map_err(|_| ResumeRejectTag::MalformedOffer)?;
+        if len > MAX_NAME_BYTES {
+            return Err(ResumeRejectTag::MalformedOffer);
+        }
+        let len = usize::try_from(len).map_err(|_| ResumeRejectTag::MalformedOffer)?;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            let b = r.read_bits(8).map_err(|_| ResumeRejectTag::MalformedOffer)?;
+            bytes.push(u8::try_from(b).map_err(|_| ResumeRejectTag::MalformedOffer)?);
+        }
+        let name = String::from_utf8(bytes).map_err(|_| ResumeRejectTag::MalformedOffer)?;
+        let mut digest = [0u8; 16];
+        for slot in &mut digest {
+            let b = r.read_bits(8).map_err(|_| ResumeRejectTag::MalformedOffer)?;
+            *slot = u8::try_from(b).map_err(|_| ResumeRejectTag::MalformedOffer)?;
+        }
+        entries.push((name, Fingerprint(digest)));
+    }
+    Ok((config_digest, entries))
+}
+
+/// Stable wire codes for [`ResumeRejectTag`]; the enum itself lives in
+/// `msync-trace` (journal tokens), the codes live here with the codec.
+fn reject_code(reason: ResumeRejectTag) -> u64 {
+    match reason {
+        ResumeRejectTag::ConfigMismatch => 0,
+        ResumeRejectTag::MalformedOffer => 1,
+        ResumeRejectTag::TooLarge => 2,
+    }
+}
+
+fn reject_from_code(code: u64) -> Option<ResumeRejectTag> {
+    match code {
+        0 => Some(ResumeRejectTag::ConfigMismatch),
+        1 => Some(ResumeRejectTag::MalformedOffer),
+        2 => Some(ResumeRejectTag::TooLarge),
+        _ => None,
+    }
+}
+
+/// Verdict payload: accept is `1, varint n, n bits`; reject is
+/// `0, varint reason_code`.
+pub(crate) fn encode_resume_verdict(verdict: &ResumeVerdict) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    match verdict {
+        ResumeVerdict::Accept(bits) => {
+            w.write_bits(1, 8);
+            w.write_varint(bits.len() as u64);
+            for &ok in bits {
+                w.write_bits(u64::from(ok), 1);
+            }
+        }
+        ResumeVerdict::Reject(reason) => {
+            w.write_bits(0, 8);
+            w.write_varint(reject_code(*reason));
+        }
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn decode_resume_verdict(payload: &[u8]) -> Result<ResumeVerdict, SyncError> {
+    let mut r = BitReader::new(payload);
+    let tag = r.read_bits(8).map_err(|_| SyncError::Desync("resume verdict tag"))?;
+    match tag {
+        1 => {
+            let count = r.read_varint().map_err(|_| SyncError::Desync("resume verdict count"))?;
+            if count > MAX_COLLECTION_FILES {
+                return Err(SyncError::Desync("resume verdict count exceeds cap"));
+            }
+            let count =
+                usize::try_from(count).map_err(|_| SyncError::Desync("resume verdict count"))?;
+            let mut bits = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let b = r.read_bits(1).map_err(|_| SyncError::Desync("resume verdict bit"))?;
+                bits.push(b == 1);
+            }
+            Ok(ResumeVerdict::Accept(bits))
+        }
+        0 => {
+            let code = r.read_varint().map_err(|_| SyncError::Desync("resume reject code"))?;
+            let reason =
+                reject_from_code(code).ok_or(SyncError::Desync("unknown resume reject code"))?;
+            Ok(ResumeVerdict::Reject(reason))
+        }
+        _ => Err(SyncError::Desync("resume verdict tag")),
+    }
+}
+
 /// Sync the local `old` collection against a remote server over `t`,
 /// with up to [`PipelineOptions::depth`] files in flight per flush.
 ///
@@ -192,11 +336,44 @@ pub fn sync_collection_client(
     cfg: &ProtocolConfig,
     opts: &PipelineOptions,
 ) -> Result<CollectionOutcome, SyncError> {
+    sync_collection_client_resumable(t, old, cfg, opts, None, &mut |_| Ok(()))
+}
+
+/// [`sync_collection_client`] with crash-recovery hooks: an optional
+/// [`ResumePlan`] offered to the server in the roster exchange (files
+/// the server confirms skip their sessions entirely), and an
+/// `on_complete` durability sink invoked for every file the moment it
+/// finishes — the CLI applies it atomically and appends a checkpoint
+/// line there, so an interrupted run can resume from the last
+/// completed file.
+///
+/// A sink error aborts the session as [`SyncError::Persist`]: progress
+/// that cannot be made durable must not be reported as such.
+pub fn sync_collection_client_resumable(
+    t: &mut dyn Transport,
+    old: &[FileEntry],
+    cfg: &ProtocolConfig,
+    opts: &PipelineOptions,
+    resume: Option<&ResumePlan>,
+    on_complete: &mut dyn FnMut(&CompletedFile) -> Result<(), String>,
+) -> Result<CollectionOutcome, SyncError> {
     let rec = t.recorder();
     let clock = SystemClock::new();
-    let mut machine =
-        CollectionClientMachine::new(old, cfg, opts.depth, opts.retry, rec, clock.now_micros())?;
-    pump(t, &mut machine, &(), &clock)?;
+    let mut machine = CollectionClientMachine::new(
+        old,
+        cfg,
+        opts.depth,
+        opts.retry,
+        rec,
+        resume,
+        clock.now_micros(),
+    )?;
+    pump_with(t, &mut machine, &(), &clock, &mut |m| {
+        for done in m.drain_completed() {
+            on_complete(&done).map_err(SyncError::Persist)?;
+        }
+        Ok(())
+    })?;
     machine.finish(t.stats())
 }
 
@@ -372,5 +549,175 @@ mod tests {
         assert_eq!(out.files.len(), 2);
         assert_eq!(out.files[0].data, b"alpha contents");
         assert_eq!(out.files[1].data, b"beta ".repeat(500));
+    }
+
+    #[test]
+    fn resume_offer_roundtrips() {
+        use msync_hash::file_fingerprint;
+        let digest = [7u8; 16];
+        let entries = vec![
+            ("a.txt".to_string(), file_fingerprint(b"alpha")),
+            ("dir/b".to_string(), file_fingerprint(b"beta")),
+        ];
+        let encoded = encode_resume_offer(&digest, &entries);
+        let (d, e) = decode_resume_offer(&encoded).unwrap();
+        assert_eq!(d, digest);
+        assert_eq!(e, entries);
+        assert!(matches!(
+            decode_resume_offer(&encoded[..encoded.len() - 1]),
+            Err(msync_trace::ResumeRejectTag::MalformedOffer)
+        ));
+        assert!(matches!(
+            decode_resume_offer(&[0u8; 4]),
+            Err(msync_trace::ResumeRejectTag::MalformedOffer)
+        ));
+    }
+
+    #[test]
+    fn resume_verdict_roundtrips() {
+        let accept = ResumeVerdict::Accept(vec![true, false, true, true]);
+        match decode_resume_verdict(&encode_resume_verdict(&accept)).unwrap() {
+            ResumeVerdict::Accept(bits) => assert_eq!(bits, vec![true, false, true, true]),
+            ResumeVerdict::Reject(_) => panic!("expected accept"),
+        }
+        for reason in [
+            msync_trace::ResumeRejectTag::ConfigMismatch,
+            msync_trace::ResumeRejectTag::MalformedOffer,
+            msync_trace::ResumeRejectTag::TooLarge,
+        ] {
+            let reject = ResumeVerdict::Reject(reason);
+            match decode_resume_verdict(&encode_resume_verdict(&reject)).unwrap() {
+                ResumeVerdict::Reject(r) => assert_eq!(r, reason),
+                ResumeVerdict::Accept(_) => panic!("expected reject"),
+            }
+        }
+        assert!(decode_resume_verdict(&[9]).is_err());
+    }
+
+    fn run_pair_resume(
+        old: &[FileEntry],
+        new: &[FileEntry],
+        cfg: &ProtocolConfig,
+        plan: &crate::resume::ResumePlan,
+    ) -> (CollectionOutcome, ServeOutcome, Vec<crate::engine::CompletedFile>) {
+        let (mut client_ep, mut server_ep) = Endpoint::pair();
+        let server_files = new.to_vec();
+        let server_cfg = cfg.clone();
+        let handle = thread::spawn(move || {
+            serve_collection(&mut server_ep, &server_files, &server_cfg, RetryPolicy::default())
+        });
+        let opts = PipelineOptions { depth: 8, retry: RetryPolicy::default() };
+        let mut completed = Vec::new();
+        let out = sync_collection_client_resumable(
+            &mut client_ep,
+            old,
+            cfg,
+            &opts,
+            Some(plan),
+            &mut |f| {
+                completed.push(f.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        drop(client_ep);
+        let srv = handle.join().unwrap().unwrap();
+        (out, srv, completed)
+    }
+
+    #[test]
+    fn accepted_resume_entries_skip_sessions() {
+        use msync_hash::file_fingerprint;
+        let big = b"shared content ".repeat(400);
+        let changed_old = b"old divergent body ".repeat(100);
+        let changed_new = b"new divergent body ".repeat(100);
+        let old = vec![entry("done.bin", &big), entry("wip.bin", &changed_old)];
+        let new = vec![entry("done.bin", &big), entry("wip.bin", &changed_new)];
+        let cfg = ProtocolConfig::default();
+
+        let mut plan = crate::resume::ResumePlan::new(&cfg);
+        plan.add("done.bin", file_fingerprint(&big));
+
+        let (out, srv, completed) = run_pair_resume(&old, &new, &cfg, &plan);
+        assert_eq!(out.resumed, 1);
+        assert_eq!(out.unchanged, 0);
+        // Only the changed file ran a session.
+        assert_eq!(srv.sessions, 1);
+        let by_name: HashMap<&str, &[u8]> =
+            new.iter().map(|f| (f.name.as_str(), f.data.as_slice())).collect();
+        for f in &out.files {
+            assert_eq!(f.data.as_slice(), by_name[f.name.as_str()], "{}", f.name);
+        }
+        // The sink saw both files; the resumed one is flagged, round 0.
+        assert_eq!(completed.len(), 2);
+        let resumed = completed.iter().find(|f| f.name == "done.bin").unwrap();
+        assert!(resumed.resumed);
+        assert_eq!(resumed.round, 0);
+        assert_eq!(resumed.data, big);
+        let synced = completed.iter().find(|f| f.name == "wip.bin").unwrap();
+        assert!(!synced.resumed);
+        assert!(synced.round > 0);
+    }
+
+    #[test]
+    fn stale_resume_entries_are_declined_not_fatal() {
+        use msync_hash::file_fingerprint;
+        let body = b"current server content ".repeat(200);
+        let old = vec![entry("f.bin", &body)];
+        let new = vec![entry("f.bin", &b"server moved on ".repeat(200))];
+        let cfg = ProtocolConfig::default();
+
+        // The checkpoint digest matches the client's copy but no longer
+        // matches the server's content: the server must decline it and
+        // the file syncs normally.
+        let mut plan = crate::resume::ResumePlan::new(&cfg);
+        plan.add("f.bin", file_fingerprint(&body));
+
+        let (out, srv, _) = run_pair_resume(&old, &new, &cfg, &plan);
+        assert_eq!(out.resumed, 0);
+        assert_eq!(srv.sessions, 1);
+        assert_eq!(out.files[0].data, new[0].data);
+    }
+
+    #[test]
+    fn config_mismatch_rejects_offer_and_full_sync_proceeds() {
+        use msync_hash::file_fingerprint;
+        let body = b"identical both sides ".repeat(200);
+        let old = vec![entry("f.bin", &body)];
+        let new = vec![entry("f.bin", &body)];
+        let cfg = ProtocolConfig::default();
+
+        // Plan built under a different protocol config: the server
+        // rejects the whole offer and every file runs a session.
+        let other = ProtocolConfig { start_block: cfg.start_block * 2, ..cfg.clone() };
+        let mut plan = crate::resume::ResumePlan::new(&other);
+        plan.add("f.bin", file_fingerprint(&body));
+
+        let (out, srv, _) = run_pair_resume(&old, &new, &cfg, &plan);
+        assert_eq!(out.resumed, 0);
+        assert_eq!(out.unchanged, 1);
+        assert_eq!(srv.sessions, 1);
+        assert_eq!(out.files[0].data, body);
+    }
+
+    #[test]
+    fn plan_entries_unverifiable_locally_are_not_offered() {
+        use msync_hash::file_fingerprint;
+        let body = b"real local bytes ".repeat(100);
+        let old = vec![entry("f.bin", &body)];
+        let new = vec![entry("f.bin", &body)];
+        let cfg = ProtocolConfig::default();
+
+        // The plan claims a digest the local file does not have (e.g. a
+        // crash between apply and checkpoint): the client must drop the
+        // entry before offering, and the sync stays correct.
+        let mut plan = crate::resume::ResumePlan::new(&cfg);
+        plan.add("f.bin", file_fingerprint(b"something else"));
+        plan.add("ghost.bin", file_fingerprint(&body));
+
+        let (out, srv, _) = run_pair_resume(&old, &new, &cfg, &plan);
+        assert_eq!(out.resumed, 0);
+        assert_eq!(srv.sessions, 1);
+        assert_eq!(out.files[0].data, body);
     }
 }

@@ -59,6 +59,10 @@ pub enum SyncError {
     PeerGone,
     /// The retry budget ran out with no frame from the peer at all.
     Timeout,
+    /// A durability sink (checkpoint journal, atomic apply) failed.
+    /// Protocol state was fine, but progress that cannot be persisted
+    /// must not be reported as durable.
+    Persist(String),
 }
 
 impl std::fmt::Display for SyncError {
@@ -69,6 +73,7 @@ impl std::fmt::Display for SyncError {
             Self::FrameCorrupt => write!(f, "persistent frame corruption exhausted retries"),
             Self::PeerGone => write!(f, "peer disconnected mid-session"),
             Self::Timeout => write!(f, "peer silent; retry budget exhausted"),
+            Self::Persist(msg) => write!(f, "cannot persist progress: {msg}"),
         }
     }
 }
@@ -841,17 +846,6 @@ pub fn sync_file_with(
     }
 }
 
-/// Deprecated spelling of [`sync_file_with`] with a recorder.
-#[deprecated(note = "use sync_file_with with SyncOptions { recorder, .. }")]
-pub fn sync_file_traced(
-    old: &[u8],
-    new: &[u8],
-    cfg: &ProtocolConfig,
-    recorder: &Recorder,
-) -> Result<SyncOutcome, SyncError> {
-    sync_file_lockstep(old, new, cfg, recorder, 0)
-}
-
 fn sync_file_lockstep(
     old: &[u8],
     new: &[u8],
@@ -963,6 +957,21 @@ pub(crate) fn pump<M: Machine>(
     ctx: &M::Ctx,
     clock: &SystemClock,
 ) -> Result<(), SyncError> {
+    pump_with(t, m, ctx, clock, &mut |_| Ok(()))
+}
+
+/// [`pump`] with a durability hook: `after_input` runs after every
+/// frame the machine absorbs (and once more when it finishes), which
+/// is exactly when new progress can exist to persist. The checkpoint
+/// writer drains completed files here without the machine itself
+/// touching any I/O — the engine stays effect-pure.
+pub(crate) fn pump_with<M: Machine>(
+    t: &mut dyn Transport,
+    m: &mut M,
+    ctx: &M::Ctx,
+    clock: &SystemClock,
+    after_input: &mut dyn FnMut(&mut M) -> Result<(), SyncError>,
+) -> Result<(), SyncError> {
     loop {
         match m.poll_output(clock.now_micros())? {
             Output::Transmit { frame, phase, retransmit } => {
@@ -975,7 +984,10 @@ pub(crate) fn pump<M: Machine>(
             Output::Wait { deadline_us } => {
                 let remaining = deadline_us.saturating_sub(clock.now_micros()).max(1);
                 match t.recv_timeout(std::time::Duration::from_micros(remaining)) {
-                    Ok(bytes) => m.on_frame(ctx, &bytes, clock.now_micros())?,
+                    Ok(bytes) => {
+                        m.on_frame(ctx, &bytes, clock.now_micros())?;
+                        after_input(m)?;
+                    }
                     // A bare expiry needs no machine call: the next
                     // `poll_output` observes the passed deadline.
                     Err(ChannelError::Timeout) => {}
@@ -983,7 +995,10 @@ pub(crate) fn pump<M: Machine>(
                     Err(ChannelError::Disconnected) => m.on_disconnect()?,
                 }
             }
-            Output::Done => return Ok(()),
+            Output::Done => {
+                after_input(m)?;
+                return Ok(());
+            }
         }
     }
 }
@@ -1070,45 +1085,11 @@ pub fn serve_file_transport(
     }
 }
 
-/// Run the protocol over a real duplex [`Endpoint`] pair with the
-/// server on its own thread — the deployment shape of the library, as
-/// opposed to [`sync_file`]'s lockstep in-process driver — under
-/// explicit transport options: a timeout/retry policy and an optional
-/// deterministic fault plan for the link.
-///
-/// Both ends run through the [`Transport`] trait object, so this is
-/// the same code path a TCP session takes; byte accounting comes from
-/// the channel itself, including checksums and retransmissions.
-/// Whenever this returns `Ok`, the reconstruction is byte-exact; link
-/// failures that outlast the retry budget surface as
-/// [`SyncError::Timeout`] / [`SyncError::FrameCorrupt`] /
-/// [`SyncError::PeerGone`].
-#[deprecated(note = "use sync_file_with with SyncOptions { channel: Some(..), .. }")]
-pub fn sync_over_channel_with(
-    old: &[u8],
-    new: &[u8],
-    cfg: &ProtocolConfig,
-    opts: &ChannelOptions,
-) -> Result<SyncOutcome, SyncError> {
-    sync_channel_inner(old, new, cfg, opts, &Recorder::off(), 0)
-}
-
-/// Deprecated spelling of [`sync_file_with`] with a channel and a
-/// recorder: both endpoints' frame charges and every injected fault
-/// become trace events, alongside the client session's span events.
-/// (Because client and server run on separate threads, event order
-/// interleaves — use the lockstep driver for byte-stable journals.)
-#[deprecated(note = "use sync_file_with with SyncOptions { channel: Some(..), recorder, .. }")]
-pub fn sync_over_channel_traced(
-    old: &[u8],
-    new: &[u8],
-    cfg: &ProtocolConfig,
-    opts: &ChannelOptions,
-    recorder: &Recorder,
-) -> Result<SyncOutcome, SyncError> {
-    sync_channel_inner(old, new, cfg, opts, recorder, 0)
-}
-
+/// The channel-mode body of [`sync_file_with`]: run the protocol over
+/// a real duplex [`Endpoint`] pair with the server on its own thread —
+/// the deployment shape of the library, as opposed to [`sync_file`]'s
+/// lockstep in-process driver. Byte accounting comes from the channel
+/// itself, including checksums and retransmissions.
 fn sync_channel_inner(
     old: &[u8],
     new: &[u8],
@@ -1144,27 +1125,12 @@ fn sync_channel_inner(
     Ok(outcome)
 }
 
-/// Deprecated spelling of [`sync_file_with`] over a clean channel with
-/// the default [`RetryPolicy`].
-#[deprecated(
-    note = "use sync_file_with with SyncOptions { channel: Some(ChannelOptions::default()), .. }"
-)]
-pub fn sync_over_channel(
-    old: &[u8],
-    new: &[u8],
-    cfg: &ProtocolConfig,
-) -> Result<SyncOutcome, SyncError> {
-    sync_channel_inner(old, new, cfg, &ChannelOptions::default(), &Recorder::off(), 0)
-}
-
 #[cfg(test)]
 mod channel_tests {
     use super::*;
     use crate::engine::arq::{parse_frame, part_header};
 
-    /// Channel-mode run through the one supported entry point; the
-    /// deprecated `sync_over_channel*` wrappers stay exported for
-    /// downstream callers but have no internal users left.
+    /// Channel-mode run through the one supported entry point.
     fn over_channel(
         old: &[u8],
         new: &[u8],

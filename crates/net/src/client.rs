@@ -10,8 +10,8 @@
 use std::net::TcpStream;
 use std::time::Duration;
 
-use msync_core::pipeline::{sync_collection_client, PipelineOptions};
-use msync_core::{CollectionOutcome, FileEntry, ProtocolConfig};
+use msync_core::pipeline::{sync_collection_client_resumable, PipelineOptions};
+use msync_core::{CollectionOutcome, CompletedFile, FileEntry, ProtocolConfig, ResumePlan};
 use msync_protocol::{FaultPlan, FaultTransport};
 use msync_trace::Recorder;
 
@@ -36,6 +36,10 @@ pub struct RemoteOptions {
     /// handshake; off by default. Every charged wire byte, injected
     /// fault, and session milestone lands in it.
     pub recorder: Recorder,
+    /// Files to offer the daemon as already complete (from a prior
+    /// run's checkpoint or the metadata cache). The daemon confirms or
+    /// declines each; declined files sync normally.
+    pub resume: Option<ResumePlan>,
 }
 
 impl Default for RemoteOptions {
@@ -46,6 +50,7 @@ impl Default for RemoteOptions {
             handshake_timeout: Duration::from_secs(10),
             fault_wrap: None,
             recorder: Recorder::off(),
+            resume: None,
         }
     }
 }
@@ -73,14 +78,39 @@ pub fn sync_remote(
     old: &[FileEntry],
     opts: &RemoteOptions,
 ) -> Result<RemoteOutcome, NetError> {
+    sync_remote_with(addr, old, opts, &mut |_| Ok(()))
+}
+
+/// [`sync_remote`] with a durability sink: `on_complete` fires for
+/// every file the moment the scheduler finishes it (including files
+/// confirmed by a resume verdict), so the caller can apply it
+/// atomically and checkpoint it before the session moves on. A sink
+/// error aborts the sync as [`NetError::Sync`].
+///
+/// # Errors
+/// As [`sync_remote`].
+pub fn sync_remote_with(
+    addr: &str,
+    old: &[FileEntry],
+    opts: &RemoteOptions,
+    on_complete: &mut dyn FnMut(&CompletedFile) -> Result<(), String>,
+) -> Result<RemoteOutcome, NetError> {
     let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
     let mut t = TcpTransport::client(stream).map_err(NetError::Io)?;
     t.set_recorder(opts.recorder.clone());
     let cfg = client_hello(&mut t, &opts.cfg, opts.handshake_timeout)?;
+    let resume = opts.resume.as_ref();
     match opts.fault_wrap {
         None => {
-            let outcome = sync_collection_client(&mut t, old, &cfg, &opts.pipeline)
-                .map_err(NetError::Sync)?;
+            let outcome = sync_collection_client_resumable(
+                &mut t,
+                old,
+                &cfg,
+                &opts.pipeline,
+                resume,
+                on_complete,
+            )
+            .map_err(NetError::Sync)?;
             Ok(RemoteOutcome {
                 outcome,
                 socket_sent: t.socket_sent(),
@@ -89,7 +119,14 @@ pub fn sync_remote(
         }
         Some((plan, seed)) => {
             let mut faulted = FaultTransport::client(t, &plan, seed);
-            let result = sync_collection_client(&mut faulted, old, &cfg, &opts.pipeline);
+            let result = sync_collection_client_resumable(
+                &mut faulted,
+                old,
+                &cfg,
+                &opts.pipeline,
+                resume,
+                on_complete,
+            );
             let inner = faulted.into_inner();
             let outcome = result.map_err(NetError::Sync)?;
             Ok(RemoteOutcome {
@@ -126,6 +163,38 @@ mod tests {
         assert_eq!(got.outcome.files[1].data, new[1].data);
         assert_eq!(got.outcome.created, 1);
         assert!(got.socket_sent > 0 && got.socket_received > 0);
+    }
+
+    #[test]
+    fn resume_offer_confirmed_by_live_daemon() {
+        let shared = b"already synced last run ".repeat(200);
+        let new = vec![
+            FileEntry::new("done.bin", shared.clone()),
+            FileEntry::new("todo.bin", b"still to transfer".repeat(50)),
+        ];
+        let daemon =
+            Daemon::spawn("127.0.0.1:0", new.clone(), DaemonOptions::default(), |_| {}).unwrap();
+        let addr = daemon.local_addr().to_string();
+        let old = vec![FileEntry::new("done.bin", shared.clone())];
+
+        let mut opts = RemoteOptions::default();
+        let mut plan = ResumePlan::new(&opts.cfg);
+        plan.add("done.bin", msync_hash::file_fingerprint(&shared));
+        opts.resume = Some(plan);
+
+        let mut completed = Vec::new();
+        let got = sync_remote_with(&addr, &old, &opts, &mut |f| {
+            completed.push((f.name.clone(), f.resumed));
+            Ok(())
+        })
+        .unwrap();
+        daemon.shutdown();
+        assert_eq!(got.outcome.resumed, 1);
+        assert_eq!(got.outcome.files.len(), 2);
+        assert_eq!(got.outcome.files[0].data, new[0].data);
+        assert_eq!(got.outcome.files[1].data, new[1].data);
+        assert!(completed.contains(&("done.bin".to_string(), true)));
+        assert!(completed.contains(&("todo.bin".to_string(), false)));
     }
 
     #[test]

@@ -27,7 +27,8 @@ use msync_trace::EventKind;
 
 /// Version of the wire protocol spoken by this crate. Bumped on any
 /// change to the frame codec, the handshake, or the batch schedule.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 added the resume offer/verdict parts to the roster exchange.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Magic line opening every client hello.
 const MAGIC: &str = "msync-net";

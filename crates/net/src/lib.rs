@@ -36,7 +36,7 @@ pub mod handshake;
 mod mux;
 pub mod tcp;
 
-pub use client::{sync_remote, RemoteOptions, RemoteOutcome};
+pub use client::{sync_remote, sync_remote_with, RemoteOptions, RemoteOutcome};
 pub use daemon::{Daemon, DaemonOptions, ServeModel, SessionReport};
 pub use handshake::{NetError, PROTOCOL_VERSION};
 pub use tcp::TcpTransport;

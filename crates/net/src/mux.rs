@@ -114,8 +114,9 @@ where
             agg.clone()
         };
         if let Some(path) = &self.opts.metrics_out {
-            // Best-effort: metrics must never fail a session.
-            let _ = std::fs::write(path, aggregate.render_prometheus());
+            // Best-effort: metrics must never fail a session. Atomic so
+            // a concurrent scrape never reads a torn rendering.
+            let _ = msync_core::atomic_write_file(path, aggregate.render_prometheus().as_bytes());
         }
         (self.log)(report);
     }

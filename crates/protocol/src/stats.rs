@@ -30,6 +30,10 @@ pub enum Phase {
     Map,
     /// The final delta transfer.
     Delta,
+    /// The crash-recovery extension: resume offers and verdicts
+    /// (checkpoint/cache digests presented by a reconnecting client and
+    /// the server's accept bitmap or typed rejection).
+    Resume,
 }
 
 impl From<Direction> for DirTag {
@@ -47,11 +51,12 @@ impl From<Phase> for PhaseTag {
             Phase::Setup => PhaseTag::Setup,
             Phase::Map => PhaseTag::Map,
             Phase::Delta => PhaseTag::Delta,
+            Phase::Resume => PhaseTag::Resume,
         }
     }
 }
 
-const PHASES: usize = 3;
+const PHASES: usize = 4;
 
 #[inline]
 fn phase_idx(p: Phase) -> usize {
@@ -59,6 +64,7 @@ fn phase_idx(p: Phase) -> usize {
         Phase::Setup => 0,
         Phase::Map => 1,
         Phase::Delta => 2,
+        Phase::Resume => 3,
     }
 }
 
@@ -136,8 +142,12 @@ impl TrafficStats {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("  {:<8} {:>12} {:>12} {:>12}\n", "phase", "c→s", "s→c", "total"));
-        for (name, phase) in [("setup", Phase::Setup), ("map", Phase::Map), ("delta", Phase::Delta)]
-        {
+        for (name, phase) in [
+            ("setup", Phase::Setup),
+            ("map", Phase::Map),
+            ("delta", Phase::Delta),
+            ("resume", Phase::Resume),
+        ] {
             out.push_str(&format!(
                 "  {:<8} {:>12} {:>12} {:>12}\n",
                 name,
@@ -248,12 +258,20 @@ mod tests {
         s.roundtrips = 4;
         s.frames = 9;
         let table = s.render_table();
-        for needle in
-            ["phase", "setup", "map", "delta", "total", "1.5 KB", "2.5 MB", "4 roundtrips"]
-        {
+        for needle in [
+            "phase",
+            "setup",
+            "map",
+            "delta",
+            "resume",
+            "total",
+            "1.5 KB",
+            "2.5 MB",
+            "4 roundtrips",
+        ] {
             assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
         }
-        assert_eq!(table.lines().count(), 6);
+        assert_eq!(table.lines().count(), 7);
     }
 
     #[test]
@@ -271,6 +289,7 @@ mod tests {
         assert_eq!(PhaseTag::from(Phase::Setup), PhaseTag::Setup);
         assert_eq!(PhaseTag::from(Phase::Map), PhaseTag::Map);
         assert_eq!(PhaseTag::from(Phase::Delta), PhaseTag::Delta);
+        assert_eq!(PhaseTag::from(Phase::Resume), PhaseTag::Resume);
     }
 
     #[test]

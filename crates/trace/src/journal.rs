@@ -1,7 +1,7 @@
-//! The JSONL journal sink: schema v1.
+//! The JSONL journal sink: schema v2.
 //!
 //! One event per line, each line a flat JSON object that is fully
-//! self-describing: `{"v":1,"t_us":<clock>,"kind":"<token>",...}` with
+//! self-describing: `{"v":2,"t_us":<clock>,"kind":"<token>",...}` with
 //! the kind-specific fields flattened alongside. Field values are only
 //! unsigned integers, booleans, and fixed enum tokens — never free
 //! text — so the first-party parser below is complete for everything
@@ -14,8 +14,10 @@
 use crate::event::{EventKind, TraceEvent};
 use std::fmt::Write as _;
 
-/// Version stamped into every line's `"v"` field.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version stamped into every line's `"v"` field. v2 added the resume
+/// kind tokens (`resume_offer`/`resume_accept`/`resume_reject`/
+/// `cache_hit`).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Render one event as its JSONL line (no trailing newline).
 #[must_use]
@@ -72,6 +74,18 @@ pub fn render_line(ev: &TraceEvent) -> String {
         }
         EventKind::WindowAdvance { in_flight, admitted, done } => {
             let _ = write!(s, ",\"in_flight\":{in_flight},\"admitted\":{admitted},\"done\":{done}");
+        }
+        EventKind::ResumeOffer { files } => {
+            let _ = write!(s, ",\"files\":{files}");
+        }
+        EventKind::ResumeAccept { accepted, declined } => {
+            let _ = write!(s, ",\"accepted\":{accepted},\"declined\":{declined}");
+        }
+        EventKind::ResumeReject { reason } => {
+            let _ = write!(s, ",\"reason\":\"{}\"", reason.as_str());
+        }
+        EventKind::CacheHit { file_id } => {
+            let _ = write!(s, ",\"file_id\":{file_id}");
         }
     }
     s.push('}');
@@ -143,6 +157,35 @@ impl JournalLine {
     }
 }
 
+/// Parse one flat JSON object into its `(key, value)` fields, in line
+/// order. Accepts exactly the subset the journal renderer emits —
+/// string/integer/boolean values, no nesting, no floats, no escapes —
+/// which also makes it the shared line parser for the other JSONL
+/// state files in the workspace (metadata cache, checkpoints).
+///
+/// # Errors
+/// A human-readable description of the first malformation found.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, FieldValue)>, String> {
+    let mut p = Parser { bytes: line.trim().as_bytes(), pos: 0 };
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        let value = p.value()?;
+        fields.push((key, value));
+        match p.next_byte()? {
+            b',' => continue,
+            b'}' => break,
+            other => return Err(format!("expected `,` or `}}`, found `{}`", other as char)),
+        }
+    }
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after the closing brace".to_owned());
+    }
+    Ok(fields)
+}
+
 /// Parse one journal line. Accepts exactly the flat-object subset of
 /// JSON the renderer emits; anything else (nesting, floats, escapes,
 /// missing `v`/`t_us`/`kind`) is an error.
@@ -150,16 +193,12 @@ impl JournalLine {
 /// # Errors
 /// A human-readable description of the first malformation found.
 pub fn parse_line(line: &str) -> Result<JournalLine, String> {
-    let mut p = Parser { bytes: line.trim().as_bytes(), pos: 0 };
-    p.expect(b'{')?;
+    let parsed = parse_flat_object(line)?;
     let mut v: Option<u64> = None;
     let mut t_us: Option<u64> = None;
     let mut kind: Option<String> = None;
     let mut fields = Vec::new();
-    loop {
-        let key = p.string()?;
-        p.expect(b':')?;
-        let value = p.value()?;
+    for (key, value) in parsed {
         match (key.as_str(), &value) {
             ("v", FieldValue::U64(n)) => v = Some(*n),
             ("t_us", FieldValue::U64(n)) => t_us = Some(*n),
@@ -169,14 +208,6 @@ pub fn parse_line(line: &str) -> Result<JournalLine, String> {
             }
             _ => fields.push((key, value)),
         }
-        match p.next_byte()? {
-            b',' => continue,
-            b'}' => break,
-            other => return Err(format!("expected `,` or `}}`, found `{}`", other as char)),
-        }
-    }
-    if p.pos != p.bytes.len() {
-        return Err("trailing bytes after the closing brace".to_owned());
     }
     Ok(JournalLine {
         v: v.ok_or("missing `v` field")?,
@@ -257,7 +288,7 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{DirTag, FaultKind, PhaseTag};
+    use crate::event::{DirTag, FaultKind, PhaseTag, ResumeRejectTag};
 
     #[test]
     fn every_kind_roundtrips_through_the_parser() {
@@ -274,6 +305,10 @@ mod tests {
             EventKind::FaultInjected { dir: DirTag::S2c, kind: FaultKind::Corrupt, seq: 17 },
             EventKind::Handshake { ok: false },
             EventKind::WindowAdvance { in_flight: 32, admitted: 40, done: 8 },
+            EventKind::ResumeOffer { files: 12 },
+            EventKind::ResumeAccept { accepted: 10, declined: 2 },
+            EventKind::ResumeReject { reason: ResumeRejectTag::ConfigMismatch },
+            EventKind::CacheHit { file_id: 7 },
         ];
         for (i, kind) in events.into_iter().enumerate() {
             let ev = TraceEvent { t_us: i as u64 * 10, kind };

@@ -43,10 +43,11 @@ pub mod metrics;
 pub mod recorder;
 
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use event::{DirTag, EventKind, FaultKind, PhaseTag, TraceEvent};
+pub use event::{DirTag, EventKind, FaultKind, PhaseTag, ResumeRejectTag, TraceEvent};
 pub use hist::{HistKind, Histogram};
 pub use journal::{
-    parse_line, render_journal, render_line, FieldValue, JournalLine, SCHEMA_VERSION,
+    parse_flat_object, parse_line, render_journal, render_line, FieldValue, JournalLine,
+    SCHEMA_VERSION,
 };
 pub use metrics::MetricsSnapshot;
 pub use recorder::Recorder;

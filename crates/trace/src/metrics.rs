@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 pub struct MetricsSnapshot {
     /// Wire bytes by `[direction][phase]` (indices from
     /// [`DirTag::index`] / [`PhaseTag::index`]).
-    pub bytes: [[u64; 3]; 2],
+    pub bytes: [[u64; 4]; 2],
     /// `FrameSend` events seen.
     pub frames_sent: u64,
     /// `FrameRecv` events seen (attribution batches, not raw frames).
@@ -41,6 +41,14 @@ pub struct MetricsSnapshot {
     pub events_recorded: u64,
     /// Events evicted from the bounded ring.
     pub events_dropped: u64,
+    /// Resume offers presented or received.
+    pub resume_offers: u64,
+    /// Files confirmed by resume accept verdicts.
+    pub resume_accepted_files: u64,
+    /// Resume offers rejected outright.
+    pub resume_rejects: u64,
+    /// Files satisfied by the client metadata cache.
+    pub cache_hits: u64,
     /// The four latency/size histograms, indexed by [`HistKind::index`].
     pub hists: [Histogram; 4],
 }
@@ -50,7 +58,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn new() -> Self {
         MetricsSnapshot {
-            bytes: [[0; 3]; 2],
+            bytes: [[0; 4]; 2],
             frames_sent: 0,
             frames_recv: 0,
             retransmits: 0,
@@ -63,6 +71,10 @@ impl MetricsSnapshot {
             fallbacks: 0,
             events_recorded: 0,
             events_dropped: 0,
+            resume_offers: 0,
+            resume_accepted_files: 0,
+            resume_rejects: 0,
+            cache_hits: 0,
             hists: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
         }
     }
@@ -94,6 +106,10 @@ impl MetricsSnapshot {
                     self.handshakes_failed += 1;
                 }
             }
+            EventKind::ResumeOffer { .. } => self.resume_offers += 1,
+            EventKind::ResumeAccept { accepted, .. } => self.resume_accepted_files += accepted,
+            EventKind::ResumeReject { .. } => self.resume_rejects += 1,
+            EventKind::CacheHit { .. } => self.cache_hits += 1,
             EventKind::MapRound { .. }
             | EventKind::VerifyBatch { .. }
             | EventKind::DeltaPhase { .. }
@@ -137,6 +153,10 @@ impl MetricsSnapshot {
         self.fallbacks += other.fallbacks;
         self.events_recorded += other.events_recorded;
         self.events_dropped += other.events_dropped;
+        self.resume_offers += other.resume_offers;
+        self.resume_accepted_files += other.resume_accepted_files;
+        self.resume_rejects += other.resume_rejects;
+        self.cache_hits += other.cache_hits;
         for (h, oh) in self.hists.iter_mut().zip(&other.hists) {
             h.merge(oh);
         }
@@ -149,7 +169,7 @@ impl MetricsSnapshot {
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE msync_bytes_total counter");
         for dir in [DirTag::C2s, DirTag::S2c] {
-            for phase in [PhaseTag::Setup, PhaseTag::Map, PhaseTag::Delta] {
+            for phase in [PhaseTag::Setup, PhaseTag::Map, PhaseTag::Delta, PhaseTag::Resume] {
                 let _ = writeln!(
                     out,
                     "msync_bytes_total{{dir=\"{}\",phase=\"{}\"}} {}",
@@ -172,6 +192,10 @@ impl MetricsSnapshot {
             ("msync_session_fallbacks_total", self.fallbacks),
             ("msync_trace_events_total", self.events_recorded),
             ("msync_trace_events_dropped_total", self.events_dropped),
+            ("msync_resume_offers_total", self.resume_offers),
+            ("msync_resume_accepted_files_total", self.resume_accepted_files),
+            ("msync_resume_rejects_total", self.resume_rejects),
+            ("msync_cache_hits_total", self.cache_hits),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {v}");
@@ -207,6 +231,7 @@ impl Default for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::ResumeRejectTag;
 
     #[test]
     fn apply_tallies_the_grid_and_counters() {
@@ -218,6 +243,10 @@ mod tests {
         m.apply(&EventKind::Handshake { ok: false });
         m.apply(&EventKind::SessionStart { file_id: 0 });
         m.apply(&EventKind::SessionEnd { file_id: 0, ok: true, fell_back: true });
+        m.apply(&EventKind::ResumeOffer { files: 5 });
+        m.apply(&EventKind::ResumeAccept { accepted: 4, declined: 1 });
+        m.apply(&EventKind::ResumeReject { reason: ResumeRejectTag::ConfigMismatch });
+        m.apply(&EventKind::CacheHit { file_id: 2 });
         assert_eq!(m.dir_phase_bytes(DirTag::C2s, PhaseTag::Map), 100);
         assert_eq!(m.dir_phase_bytes(DirTag::S2c, PhaseTag::Delta), 50);
         assert_eq!(m.total_bytes(), 150);
@@ -229,6 +258,10 @@ mod tests {
         assert_eq!(m.sessions_started, 1);
         assert_eq!(m.sessions_ended, 1);
         assert_eq!(m.fallbacks, 1);
+        assert_eq!(m.resume_offers, 1);
+        assert_eq!(m.resume_accepted_files, 4);
+        assert_eq!(m.resume_rejects, 1);
+        assert_eq!(m.cache_hits, 1);
     }
 
     #[test]

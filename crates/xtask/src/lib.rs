@@ -24,7 +24,8 @@
 //! exact spans, [`model`] resolves imports / function boundaries /
 //! match arms per file, [`rules`] runs the per-file rule classes over
 //! those models, [`passes`] runs the cross-file protocol passes
-//! (wire-schema, charge-point, machine-discipline), and [`baseline`]
+//! (wire-schema, charge-point, machine-discipline,
+//! apply-discipline), and [`baseline`]
 //! tracks pre-existing debt so the gate ratchets down instead of
 //! blocking on history. The older masked-string [`scanner`] remains as
 //! a fallback and is differentially tested against the lexer.

@@ -49,6 +49,10 @@ cross-file protocol passes. Enforces:
                    and the engine modules (crates/core/src/engine/) stay
                    effect-pure: no thread::spawn / blocking recv /
                    read-family calls / sleep
+  apply-discipline no bare fs::write( / File::create( on the sync-apply
+                   paths (crates/cli, crates/net); materialized files go
+                   through msync_core::AtomicApplier / atomic_write_file
+                   so a crash never leaves a torn replica
 
 options:
   --format <human|json>  output format (default: human; json is the
@@ -58,7 +62,7 @@ options:
   --root <dir>           workspace root (default: discovered from cwd)
 
 check-journal validates a --trace-out JSONL journal offline (no jq
-needed): every line must parse under schema v1 with monotone t_us.
+needed): every line must parse under the current schema with monotone t_us.
 check-lint-report validates a `lint --format json` report: valid JSON
 with the msync-lint/1 shape (findings with rule/file/line/col spans).
 ";
@@ -161,7 +165,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 }
 
 /// Validate a `--trace-out` JSONL journal: every non-empty line must parse
-/// under schema v1, declare `v == 1`, and carry a non-decreasing `t_us`.
+/// under the current schema, declare the matching `v`, and carry a
+/// non-decreasing `t_us`.
 fn check_journal(path: &std::path::Path) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;

@@ -18,6 +18,11 @@
 //!   machine handles all four `Output` variants, and the engine modules
 //!   stay effect-pure (no threads, blocking receives, stream reads, or
 //!   sleeps). Replaces the word-grep `io-discipline` rule.
+//! * **apply-discipline** — the sync-apply paths (the code that
+//!   materializes transferred file contents on disk) contain no bare
+//!   `fs::write(` or `File::create(`; every write goes through the
+//!   atomic applier so a crash mid-write leaves a temp file for the
+//!   orphan sweep, never a torn replica.
 //!
 //! Classification notes for wire-schema: a `match` is *about* the
 //! registry enum when variants appear in its arm **patterns**
@@ -39,6 +44,7 @@ pub fn run(models: &BTreeMap<String, FileModel>, cfg: &LintConfig, findings: &mu
     }
     charge_point(models, cfg, findings);
     machine_discipline(models, cfg, findings);
+    apply_discipline(models, cfg, findings);
 }
 
 /// Count `#[deprecated]` attributes in non-test code across the
@@ -428,6 +434,39 @@ fn machine_discipline(
     }
 }
 
+/// Rule `apply-discipline`: see module docs.
+fn apply_discipline(
+    models: &BTreeMap<String, FileModel>,
+    cfg: &LintConfig,
+    findings: &mut Vec<Finding>,
+) {
+    for (rel, m) in models {
+        if !in_scopes(rel, &cfg.apply_scopes) {
+            continue;
+        }
+        for (module, func) in [("fs", "write"), ("File", "create")] {
+            for i in m.idents(func) {
+                let qualified_call = i >= 3
+                    && m.is_ident(i - 3, module)
+                    && m.is_path_sep(i - 2)
+                    && i + 1 < m.len()
+                    && m.is_punct(i + 1, '(');
+                if qualified_call && !m.is_use(i) {
+                    findings.push(Finding::at(
+                        Rule::ApplyDiscipline,
+                        rel,
+                        m,
+                        i,
+                        format!(
+                            "bare `{module}::{func}(` on a sync-apply path; write through `msync_core::AtomicApplier` / `atomic_write_file` so a crash never leaves a torn replica"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +647,40 @@ mod tests {
         machine_discipline(&m, &cfg(), &mut fs);
         assert_eq!(fs.len(), 1, "{fs:?}");
         assert!(fs[0].message.contains("must declare `enum Output`"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn apply_discipline_flags_bare_writes_on_apply_paths() {
+        let m = models(&[
+            (
+                "crates/cli/src/commands.rs",
+                "fn apply(&self) {\n    fs::write(&path, &data)?;\n    std::fs::write(other, bytes)?;\n}\n\
+                 fn open(&self) -> io::Result<File> { File::create(&path) }\n\
+                 #[cfg(test)]\nmod tests {\n    fn t() { fs::write(p, d).unwrap(); let _ = File::create(p); }\n}\n",
+            ),
+            // Out of scope: the applier itself lives in core.
+            ("crates/core/src/apply.rs", "fn raw(&self) { fs::write(&tmp, data)?; }\n"),
+        ]);
+        let mut fs = Vec::new();
+        apply_discipline(&m, &cfg(), &mut fs);
+        assert_eq!(fs.len(), 3, "{fs:?}");
+        assert!(fs.iter().all(|f| f.file == "crates/cli/src/commands.rs"), "{fs:?}");
+        assert!(fs[0].message.contains("`fs::write(`"), "{}", fs[0].message);
+        assert!(fs[2].message.contains("`File::create(`"), "{}", fs[2].message);
+    }
+
+    #[test]
+    fn apply_discipline_accepts_applier_calls_and_unqualified_names() {
+        let m = models(&[(
+            "crates/net/src/mux.rs",
+            "fn metrics(&self) { let _ = msync_core::atomic_write_file(path, text.as_bytes()); }\n\
+             fn apply(&self) { self.applier.apply(&name, &data)?; }\n\
+             fn other(&self) { self.journal.write(entry); create(thing); }\n\
+             use std::fs::File;\n",
+        )]);
+        let mut fs = Vec::new();
+        apply_discipline(&m, &cfg(), &mut fs);
+        assert!(fs.is_empty(), "applier calls and unqualified names are clean: {fs:?}");
     }
 
     #[test]

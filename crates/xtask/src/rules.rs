@@ -32,7 +32,7 @@
 //!   protocol-critical crates; this one closes the gap for the rest of
 //!   the workspace.)
 //!
-//! Three cross-file passes live in [`crate::passes`] and run over the
+//! Four cross-file passes live in [`crate::passes`] and run over the
 //! same per-file models:
 //!
 //! * `wire-schema` — single frame-tag registry, symmetric match arms.
@@ -41,6 +41,10 @@
 //! * `machine-discipline` — drive loops handle every `Output` variant
 //!   and the sans-IO engine modules stay effect-pure (subsumes the
 //!   retired word-grep `io-discipline` rule).
+//! * `apply-discipline` — no bare `fs::write(` / `File::create(` on the
+//!   sync-apply paths; every materialized file goes through the atomic
+//!   applier (`msync_core::AtomicApplier` / `atomic_write_file`) so a
+//!   crash mid-write never leaves a torn replica.
 
 use crate::model::FileModel;
 use crate::passes;
@@ -73,6 +77,8 @@ pub enum Rule {
     ChargePoint,
     /// Incomplete drive loops or effectful sans-IO engine modules.
     MachineDiscipline,
+    /// Bare file writes on sync-apply paths outside the atomic applier.
+    ApplyDiscipline,
 }
 
 impl Rule {
@@ -90,6 +96,7 @@ impl Rule {
             Rule::WireSchema => "wire-schema",
             Rule::ChargePoint => "charge-point",
             Rule::MachineDiscipline => "machine-discipline",
+            Rule::ApplyDiscipline => "apply-discipline",
         }
     }
 
@@ -107,6 +114,7 @@ impl Rule {
             Rule::WireSchema,
             Rule::ChargePoint,
             Rule::MachineDiscipline,
+            Rule::ApplyDiscipline,
         ]
         .into_iter()
         .find(|r| r.key() == key)
@@ -218,6 +226,10 @@ pub struct LintConfig {
     pub charge_crates: Vec<String>,
     /// The machine output contract for the `machine-discipline` pass.
     pub machine: Option<MachineSpec>,
+    /// Workspace-relative path prefixes of the sync-apply code: file
+    /// writes there must go through the atomic applier, never bare
+    /// `fs::write` / `File::create` (`apply-discipline` pass).
+    pub apply_scopes: Vec<String>,
 }
 
 impl LintConfig {
@@ -255,6 +267,7 @@ impl LintConfig {
                 registry: "crates/core/src/engine/mod.rs".to_owned(),
                 poll_fn: "poll_output".to_owned(),
             }),
+            apply_scopes: ["crates/cli/src/", "crates/net/src/"].map(str::to_owned).to_vec(),
         }
     }
 }

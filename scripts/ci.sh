@@ -51,4 +51,7 @@ MSYNC_BENCH=1 cargo test --release -q --test trace_overhead
 echo "==> daemon throughput gate (mux >= thread-per-session, BENCH_daemon_concurrency.json)"
 MSYNC_BENCH=1 cargo test --release -q --test daemon_bench
 
+echo "==> crash-resume byte gate (resume < restart, warm cache = roster only, BENCH_resume.json)"
+MSYNC_BENCH=1 cargo test --release -q --test fault_injection resume_bench_gate
+
 echo "ci.sh: all gates passed"

@@ -381,6 +381,24 @@ fn machine_discipline_keeps_engine_modules_effect_pure() {
     assert!(hits.iter().all(|f| f.file == "crates/core/src/engine/mod.rs"), "{hits:?}");
 }
 
+#[test]
+fn apply_discipline_detects_bare_write_on_apply_paths() {
+    // A bare write in an apply-scoped crate (cli) must fire; the same
+    // code in an out-of-scope crate (core owns the applier) must not.
+    let body = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn apply(path: &std::path::Path, data: &[u8]) {{\n    let _ = std::fs::write(path, data);\n    let _ = std::fs::File::create(path);\n}}\n"
+    );
+    let ws = MiniWorkspace::new("apply", "cli", &body);
+    let hits = ws.findings_for(Rule::ApplyDiscipline);
+    assert_eq!(hits.len(), 2, "bare fs::write + File::create in crates/cli must fire: {hits:?}");
+    assert!(hits[0].message.contains("AtomicApplier"), "{}", hits[0].message);
+    assert!(hits[0].line > 1 && hits[0].col >= 1, "spanned diagnostic expected: {:?}", hits[0]);
+
+    let ws = MiniWorkspace::new("apply-scope", "core", &body);
+    let hits = ws.findings_for(Rule::ApplyDiscipline);
+    assert!(hits.is_empty(), "apply-discipline is scoped to the apply paths: {hits:?}");
+}
+
 /// Every `.rs` file in the workspace (crate sources, root `src/`, and
 /// this test directory), for corpus-wide lexer properties.
 fn workspace_rust_sources() -> Vec<PathBuf> {
