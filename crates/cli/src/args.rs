@@ -48,11 +48,15 @@ pub enum Command {
         resume: bool,
         /// Ignore the metadata cache when building the resume offer.
         no_cache: bool,
+        /// Which of the daemon's collections to sync (remote only);
+        /// `None` means the daemon's default collection.
+        collection: Option<String>,
     },
-    /// Serve a directory to remote sync clients over TCP.
+    /// Serve one or more directories to remote sync clients over TCP.
     Serve {
-        /// Directory whose files are served.
-        root: PathBuf,
+        /// Directory served as the default collection. Optional when
+        /// `--collection` or `--registry-dir` names the collections.
+        root: Option<PathBuf>,
         /// Listen address (e.g. `127.0.0.1:9631`, port 0 for ephemeral).
         listen: String,
         /// Rewrite this file with Prometheus-style aggregate metrics
@@ -63,6 +67,20 @@ pub enum Command {
         /// Cap on concurrently admitted sessions; excess connections
         /// get a typed capacity refusal.
         max_sessions: Option<usize>,
+        /// Named collections (`--collection name=path`, repeatable).
+        /// Names are validated and deduplicated at parse time.
+        collections: Vec<(String, PathBuf)>,
+        /// Directory whose immediate subdirectories each become a
+        /// collection named after the subdirectory.
+        registry_dir: Option<PathBuf>,
+    },
+    /// Ask a running daemon to atomically reload one collection from
+    /// its source tree.
+    Reload {
+        /// Name of the collection to reload.
+        name: String,
+        /// Address of the `msync serve` daemon.
+        remote: String,
     },
     /// Per-round protocol trace for one file pair.
     Inspect {
@@ -111,11 +129,14 @@ msync — multi-round file synchronization over slow links
 USAGE:
     msync sync <OLD> <NEW> [--config FILE | --preset NAME] [--compare] [--write DIR]
                [--fault-profile NAME] [--fault-seed N] [--trace-out FILE]
-    msync sync <OLD> --remote ADDR [--config FILE | --preset NAME] [--write DIR]
+    msync sync <OLD> --remote ADDR [--collection NAME]
+               [--config FILE | --preset NAME] [--write DIR]
                [--pipeline-depth N] [--fault-profile NAME --fault-wrap] [--fault-seed N]
                [--trace-out FILE] [--state-dir DIR [--resume] [--no-cache]]
-    msync serve <ROOT> [--listen ADDR] [--metrics-out FILE] [--workers N]
+    msync serve [ROOT] [--collection NAME=PATH]... [--registry-dir DIR]
+                [--listen ADDR] [--metrics-out FILE] [--workers N]
                 [--max-sessions N]
+    msync reload <NAME> --remote ADDR
     msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
     msync chunks <FILE> [--avg BYTES]
     msync params [--preset NAME]
@@ -138,6 +159,19 @@ frame per direction per round. --compare needs both sides locally and
 cannot combine with --remote. Injecting faults into a real socket is
 opt-in: --remote with --fault-profile additionally requires
 --fault-wrap.
+
+Collections: one daemon serves many named trees. A bare <ROOT> is the
+collection `default`; `--collection name=path` (repeatable) adds named
+trees, and `--registry-dir DIR` registers every immediate subdirectory
+of DIR under its own name. Repeated or invalid names are refused when
+the command line is parsed, not silently last-one-wins. Clients pick a
+tree with `msync sync <OLD> --remote ADDR --collection NAME`; clients
+that name nothing (including all v2 clients) get the default
+collection, and an unknown name gets a typed unknown-collection
+refusal. `msync reload NAME --remote ADDR` asks a running daemon to
+re-read that collection's source tree from disk and swap it in
+atomically: in-flight sessions finish against the snapshot they
+started with, new sessions see the new tree.
 
 Durability: --state-dir DIR (remote syncs with --write) keeps a
 checkpoint journal and a file-metadata cache in DIR. Every completed
@@ -182,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let mut state_dir: Option<PathBuf> = None;
             let mut resume = false;
             let mut no_cache = false;
+            let mut collection: Option<String> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--config" => {
@@ -233,6 +268,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     }
                     "--resume" if sub == "sync" => resume = true,
                     "--no-cache" if sub == "sync" => no_cache = true,
+                    "--collection" if sub == "sync" => {
+                        let name = it.next().ok_or("--collection needs a name")?.clone();
+                        msync_net::validate_collection_name(&name).map_err(|reason| {
+                            msync_net::RegistryError::InvalidName { name: name.clone(), reason }
+                                .to_string()
+                        })?;
+                        collection = Some(name);
+                    }
                     other => return Err(format!("unknown flag `{other}` for `{sub}`")),
                 }
             }
@@ -250,6 +293,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     }
                     if fault_wrap {
                         return Err("--fault-wrap only applies to --remote syncs".into());
+                    }
+                    if collection.is_some() {
+                        return Err("--collection names a daemon collection; it only \
+                                    applies to --remote syncs"
+                            .into());
                     }
                 } else {
                     if compare {
@@ -301,6 +349,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     state_dir,
                     resume,
                     no_cache,
+                    collection,
                 }
             } else {
                 let new = new.ok_or("missing <NEW> path")?;
@@ -308,11 +357,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
         "serve" => {
-            let root = PathBuf::from(it.next().ok_or("missing <ROOT> directory")?);
+            // ROOT is optional: --collection / --registry-dir can name
+            // every served tree. Anything flag-shaped is not a path.
+            let root = match it.peek() {
+                Some(word) if !word.starts_with("--") => it.next().map(PathBuf::from),
+                _ => None,
+            };
             let mut listen = "127.0.0.1:9631".to_string();
             let mut metrics_out: Option<PathBuf> = None;
             let mut workers = 0usize;
             let mut max_sessions: Option<usize> = None;
+            let mut collections: Vec<(String, PathBuf)> = Vec::new();
+            let mut registry_dir: Option<PathBuf> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--listen" => listen = it.next().ok_or("--listen needs an address")?.clone(),
@@ -335,10 +391,75 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                                 .map_err(|_| "--max-sessions needs an integer".to_string())?,
                         )
                     }
+                    "--collection" => {
+                        let spec = it.next().ok_or("--collection needs NAME=PATH")?;
+                        let (name, path) = spec
+                            .split_once('=')
+                            .ok_or_else(|| format!("--collection `{spec}`: expected NAME=PATH"))?;
+                        if path.is_empty() {
+                            return Err(format!("--collection `{spec}`: empty PATH"));
+                        }
+                        msync_net::validate_collection_name(name).map_err(|reason| {
+                            msync_net::RegistryError::InvalidName { name: name.to_owned(), reason }
+                                .to_string()
+                        })?;
+                        // Repeated names are a conflict, never
+                        // last-one-wins — each name maps to one tree.
+                        if collections.iter().any(|(n, _)| n == name) {
+                            return Err(
+                                msync_net::RegistryError::Duplicate(name.to_owned()).to_string()
+                            );
+                        }
+                        collections.push((name.to_owned(), PathBuf::from(path)));
+                    }
+                    "--registry-dir" => {
+                        registry_dir = Some(PathBuf::from(
+                            it.next().ok_or("--registry-dir needs a directory")?,
+                        ))
+                    }
                     other => return Err(format!("unknown flag `{other}` for `serve`")),
                 }
             }
-            Command::Serve { root, listen, metrics_out, workers, max_sessions }
+            if root.is_none() && collections.is_empty() && registry_dir.is_none() {
+                return Err("serve needs something to serve: a ROOT directory, \
+                            --collection NAME=PATH, or --registry-dir DIR"
+                    .into());
+            }
+            // A bare ROOT is registered as the default collection, so a
+            // --collection entry under that name would collide with it.
+            if root.is_some() && collections.iter().any(|(n, _)| n == msync_net::DEFAULT_COLLECTION)
+            {
+                return Err(format!(
+                    "{} (ROOT already serves as the default collection)",
+                    msync_net::RegistryError::Duplicate(msync_net::DEFAULT_COLLECTION.to_owned())
+                ));
+            }
+            Command::Serve {
+                root,
+                listen,
+                metrics_out,
+                workers,
+                max_sessions,
+                collections,
+                registry_dir,
+            }
+        }
+        "reload" => {
+            let name = it.next().ok_or("missing collection NAME")?.clone();
+            msync_net::validate_collection_name(&name).map_err(|reason| {
+                msync_net::RegistryError::InvalidName { name: name.clone(), reason }.to_string()
+            })?;
+            let mut remote: Option<String> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--remote" => {
+                        remote = Some(it.next().ok_or("--remote needs an address")?.clone())
+                    }
+                    other => return Err(format!("unknown flag `{other}` for `reload`")),
+                }
+            }
+            let remote = remote.ok_or("reload needs --remote ADDR (the daemon to ask)")?;
+            Command::Reload { name, remote }
         }
         "chunks" => {
             let file = PathBuf::from(it.next().ok_or("missing <FILE> path")?);
@@ -418,6 +539,7 @@ mod tests {
                 state_dir,
                 resume,
                 no_cache,
+                collection,
             } => {
                 assert_eq!(old, PathBuf::from("a"));
                 assert_eq!(new, Some(PathBuf::from("b")));
@@ -433,6 +555,7 @@ mod tests {
                 assert!(state_dir.is_none());
                 assert!(!resume);
                 assert!(!no_cache);
+                assert!(collection.is_none());
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -482,11 +605,13 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Serve {
-                root: PathBuf::from("/srv/tree"),
+                root: Some(PathBuf::from("/srv/tree")),
                 listen: "127.0.0.1:9631".into(),
                 metrics_out: None,
                 workers: 0,
                 max_sessions: None,
+                collections: Vec::new(),
+                registry_dir: None,
             }
         );
         let cli = parse(&["serve", "/srv/tree", "--listen", "0.0.0.0:7777"]).unwrap();
@@ -496,6 +621,77 @@ mod tests {
         }
         assert!(parse(&["serve"]).unwrap_err().contains("ROOT"));
         assert!(parse(&["serve", "/srv", "--compare"]).is_err());
+    }
+
+    #[test]
+    fn serve_collections_parse_and_conflicts_are_refused_at_parse_time() {
+        let cli = parse(&[
+            "serve",
+            "--collection",
+            "photos=/srv/photos",
+            "--collection",
+            "docs=/srv/docs",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Serve { root, collections, .. } => {
+                assert!(root.is_none());
+                assert_eq!(
+                    collections,
+                    vec![
+                        ("photos".to_string(), PathBuf::from("/srv/photos")),
+                        ("docs".to_string(), PathBuf::from("/srv/docs")),
+                    ]
+                );
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The same name twice is a conflict, not last-one-wins.
+        let err = parse(&["serve", "--collection", "a=/x", "--collection", "a=/y"]).unwrap_err();
+        assert!(err.contains("registered more than once"), "{err}");
+        // ROOT already occupies the default collection's name.
+        let err = parse(&["serve", "/srv", "--collection", "default=/other"]).unwrap_err();
+        assert!(err.contains("registered more than once"), "{err}");
+        // Bad names are caught before the daemon ever starts.
+        for bad in ["../etc=/x", "a/b=/x", "=/x", "..=/x"] {
+            assert!(parse(&["serve", "--collection", bad]).is_err(), "{bad}");
+        }
+        assert!(parse(&["serve", "--collection", "noequals"]).unwrap_err().contains("NAME=PATH"));
+        assert!(parse(&["serve", "--collection", "a="]).unwrap_err().contains("empty PATH"));
+    }
+
+    #[test]
+    fn serve_registry_dir_parses() {
+        let cli = parse(&["serve", "--registry-dir", "/srv/registry"]).unwrap();
+        match cli.command {
+            Command::Serve { root, registry_dir, .. } => {
+                assert!(root.is_none());
+                assert_eq!(registry_dir, Some(PathBuf::from("/srv/registry")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["serve", "--registry-dir"]).unwrap_err().contains("directory"));
+    }
+
+    #[test]
+    fn sync_collection_flag_is_remote_only_and_validated() {
+        let cli = parse(&["sync", "m", "--remote", "h:1", "--collection", "photos"]).unwrap();
+        match cli.command {
+            Command::Sync { collection, .. } => assert_eq!(collection.as_deref(), Some("photos")),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["sync", "a", "b", "--collection", "x"]).unwrap_err().contains("--remote"));
+        assert!(parse(&["sync", "m", "--remote", "h:1", "--collection", "../up"]).is_err());
+        assert!(parse(&["sync", "m", "--remote", "h:1", "--collection"]).is_err());
+    }
+
+    #[test]
+    fn reload_parses_and_validates() {
+        let cli = parse(&["reload", "crawl", "--remote", "h:1"]).unwrap();
+        assert_eq!(cli.command, Command::Reload { name: "crawl".into(), remote: "h:1".into() });
+        assert!(parse(&["reload", "crawl"]).unwrap_err().contains("--remote"));
+        assert!(parse(&["reload"]).unwrap_err().contains("NAME"));
+        assert!(parse(&["reload", "../up", "--remote", "h:1"]).is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             state_dir,
             resume,
             no_cache,
+            collection,
         } => match (new, remote) {
             (_, Some(addr)) => {
                 let faults = if *fault_wrap { fault_profile.as_deref() } else { None };
@@ -57,6 +58,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                     write.as_deref(),
                     trace_out.as_deref(),
                     durability.as_ref(),
+                    collection.as_deref(),
                 )
             }
             (Some(new), None) => match fault_profile {
@@ -70,52 +72,141 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             // parse_args guarantees one of the two is present.
             (None, None) => Err("missing <NEW> path (or --remote ADDR)".into()),
         },
-        Command::Serve { root, listen, metrics_out, workers, max_sessions } => {
-            serve_cmd(root, listen, metrics_out.as_deref(), *workers, *max_sessions)
-        }
+        Command::Serve {
+            root,
+            listen,
+            metrics_out,
+            workers,
+            max_sessions,
+            collections,
+            registry_dir,
+        } => serve_cmd(
+            root.as_deref(),
+            listen,
+            metrics_out.as_deref(),
+            *workers,
+            *max_sessions,
+            collections,
+            registry_dir.as_deref(),
+        ),
+        Command::Reload { name, remote } => reload_cmd(name, remote),
         Command::Inspect { old, new, config } => inspect(old, new, config),
     }
 }
 
-/// `serve`: load the root directory once, then serve it to every
+/// `msync reload NAME --remote ADDR`: ask the daemon to re-read one
+/// collection's source tree and swap it in atomically.
+fn reload_cmd(name: &str, remote: &str) -> Result<String, String> {
+    let timeout = std::time::Duration::from_secs(10);
+    let nfiles = msync_net::admin_reload(remote, name, timeout)
+        .map_err(|e| format!("reload failed: {e}"))?;
+    Ok(format!("reloaded collection `{name}` on {remote}: {nfiles} files\n"))
+}
+
+/// Load one directory into registry-ready entries.
+fn load_collection_dir(dir: &Path) -> Result<Vec<FileEntry>, String> {
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let col = load_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    Ok(entries(&col))
+}
+
+/// Build the daemon's collection registry from the three CLI sources:
+/// a bare ROOT (the default collection), repeated `--collection
+/// name=path` flags, and a `--registry-dir` whose immediate
+/// subdirectories each become a collection named after the
+/// subdirectory. Name collisions across sources are typed
+/// [`msync_net::RegistryError`]s, and every entry remembers its source
+/// directory so the `reload` admin verb can re-read it.
+fn build_registry(
+    root: Option<&Path>,
+    collections: &[(String, std::path::PathBuf)],
+    registry_dir: Option<&Path>,
+) -> Result<msync_net::CollectionRegistry, String> {
+    let mut builder = msync_net::RegistryBuilder::new();
+    builder.loader(load_collection_dir);
+    if let Some(root) = root {
+        let files = load_collection_dir(root)?;
+        builder
+            .add(msync_net::DEFAULT_COLLECTION, files, Some(root.to_path_buf()))
+            .map_err(|e| e.to_string())?;
+    }
+    for (name, path) in collections {
+        let files = load_collection_dir(path)?;
+        builder.add(name, files, Some(path.clone())).map_err(|e| e.to_string())?;
+    }
+    if let Some(dir) = registry_dir {
+        if !dir.is_dir() {
+            return Err(format!("{} is not a directory", dir.display()));
+        }
+        let mut subdirs: Vec<std::path::PathBuf> = fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        for sub in subdirs {
+            let Some(name) = sub.file_name().and_then(|n| n.to_str()) else {
+                return Err(format!("{}: subdirectory name is not UTF-8", sub.display()));
+            };
+            let files = load_collection_dir(&sub)?;
+            builder.add(name, files, Some(sub.clone())).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// `serve`: load every collection once, then serve them to every
 /// connection until killed. Never returns on success.
 fn serve_cmd(
-    root: &Path,
+    root: Option<&Path>,
     listen: &str,
     metrics_out: Option<&Path>,
     workers: usize,
     max_sessions: Option<usize>,
+    collections: &[(String, std::path::PathBuf)],
+    registry_dir: Option<&Path>,
 ) -> Result<String, String> {
-    if !root.is_dir() {
-        return Err(format!("{} is not a directory", root.display()));
+    let registry = std::sync::Arc::new(build_registry(root, collections, registry_dir)?);
+    let mut summary = String::new();
+    for name in registry.names() {
+        let snap = registry.snapshot(name).expect("listed name resolves");
+        let bytes: u64 = snap.files().iter().map(|f| f.data.len() as u64).sum();
+        let _ = writeln!(
+            summary,
+            "serving collection {name}{}: {} file(s), {}",
+            if name == registry.default_name() { " (default)" } else { "" },
+            snap.len(),
+            human(bytes)
+        );
     }
-    let col = load_dir(root).map_err(|e| format!("cannot read {}: {e}", root.display()))?;
-    let files = entries(&col);
-    let summary = format!("serving {} file(s), {}", files.len(), human(col.total_bytes()));
     let opts = msync_net::DaemonOptions {
         metrics_out: metrics_out.map(Path::to_path_buf),
         workers,
         max_sessions,
         ..Default::default()
     };
-    let daemon = msync_net::Daemon::spawn(
+    let daemon = msync_net::Daemon::spawn_registry(
         listen,
-        files,
+        registry,
         opts,
         |report: msync_net::daemon::SessionReport| {
             let peer =
                 report.peer.map_or_else(|| "<unknown peer>".to_string(), |addr| addr.to_string());
+            let coll = report.collection.as_deref().unwrap_or("-");
             match report.result {
                 Ok(outcome) => println!(
-                    "session {peer}: {} of {} file(s) engaged, {}",
+                    "session {peer} [{coll}]: {} of {} file(s) engaged, {}",
                     outcome.sessions, outcome.files, outcome.traffic,
                 ),
-                Err(e) => println!("session {peer}: failed: {e}"),
+                Err(e) => println!("session {peer} [{coll}]: failed: {e}"),
             }
         },
     )
     .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
-    println!("{summary}");
+    print!("{summary}");
     if let Some(path) = metrics_out {
         println!("metrics → {} (rewritten after every session)", path.display());
     }
@@ -208,6 +299,7 @@ fn remote_sync_cmd(
     write: Option<&Path>,
     trace_out: Option<&Path>,
     durability: Option<&DurabilityFlags<'_>>,
+    collection: Option<&str>,
 ) -> Result<String, String> {
     let cfg = load_config(config)?;
     let old_entries: Vec<FileEntry> = if old.exists() {
@@ -224,6 +316,7 @@ fn remote_sync_cmd(
     let mut opts = msync_net::RemoteOptions { cfg, ..Default::default() };
     opts.pipeline.depth = pipeline_depth;
     opts.recorder = recorder.clone();
+    opts.collection = collection.map(str::to_owned);
     if let Some(profile) = fault_profile {
         let plan = msync_protocol::FaultPlan::profile(profile).ok_or_else(|| {
             format!(

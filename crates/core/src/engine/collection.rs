@@ -10,6 +10,7 @@
 //! [`CollectionServeMachine`]s on a fixed worker pool.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use msync_hash::{file_fingerprint, Fingerprint};
 use msync_protocol::{Direction, Phase, RetryPolicy, TrafficStats};
@@ -25,6 +26,7 @@ use crate::pipeline::{
 };
 use crate::resume::{config_digest, ResumePlan};
 use crate::session::{ClientAction, ClientSession, Part, SState, ServerSession, SyncError};
+use crate::snapshot::{CollectionSnapshot, SessionCache};
 use crate::stats::SyncStats;
 
 /// One file the pipelined client has fully completed, surfaced through
@@ -482,14 +484,21 @@ enum ServeState {
 }
 
 /// The server half of a pipelined collection sync as a sans-IO machine.
-/// The served collection is the per-call context (`Ctx = [FileEntry]`),
-/// so a daemon shares it read-only across every concurrent session.
+/// The served collection is the per-call context
+/// (`Ctx = CollectionSnapshot`), so a daemon shares one immutable
+/// snapshot read-only across every concurrent session — and can swap
+/// its registry entry for a new snapshot without disturbing machines
+/// already bound to the old one.
 ///
 /// The context must be identical on every call: the machine captures
 /// the sorted roster order on the first message and indexes the
-/// collection by it thereafter.
+/// snapshot by it thereafter. The daemon guarantees this by binding
+/// each connection to one `Arc<CollectionSnapshot>` at handshake time.
 pub struct CollectionServeMachine {
     cfg: ProtocolConfig,
+    /// [`config_digest`] of `cfg`, computed once: half of every
+    /// session's hash-cache key.
+    cfg_digest: [u8; 16],
     rec: Recorder,
     arq: ArqCore,
     state: ServeState,
@@ -518,6 +527,7 @@ impl CollectionServeMachine {
         arq.begin_await(now_us);
         Ok(Self {
             cfg: cfg.clone(),
+            cfg_digest: config_digest(cfg),
             rec,
             arq,
             state: ServeState::AwaitRoster,
@@ -552,7 +562,12 @@ impl CollectionServeMachine {
     /// finished without ever running a session. Malformed or
     /// incompatible offers produce a typed rejection, never an error —
     /// the client falls back to a full sync.
-    fn eval_offer(&mut self, new: &[FileEntry], names: &[&str], payload: &[u8]) -> ResumeVerdict {
+    fn eval_offer(
+        &mut self,
+        snap: &CollectionSnapshot,
+        names: &[&str],
+        payload: &[u8],
+    ) -> ResumeVerdict {
         let (their_digest, entries) = match decode_resume_offer(payload) {
             Ok(decoded) => decoded,
             Err(reason) => {
@@ -569,8 +584,9 @@ impl CollectionServeMachine {
         let mut accepted = 0u64;
         for (name, digest) in &entries {
             let ok = names.binary_search(&name.as_str()).is_ok_and(|id| {
-                let data = &new[self.order[id]].data;
-                let fresh = file_fingerprint(data) == *digest;
+                // Fingerprints were computed once at snapshot build
+                // time; an offer check does no hashing at all.
+                let fresh = snap.fingerprint(self.order[id]) == *digest;
                 if fresh {
                     self.slots[id] = ServeSlot::Finished;
                 }
@@ -588,7 +604,7 @@ impl CollectionServeMachine {
 
     fn on_roster(
         &mut self,
-        new: &[FileEntry],
+        snap: &CollectionSnapshot,
         parts: &[Part],
         now_us: u64,
     ) -> Result<(), SyncError> {
@@ -596,6 +612,7 @@ impl CollectionServeMachine {
         // The client's roster is advisory (it computes creates and
         // deletes itself); decoding it validates the handshake.
         decode_roster(&roster_part.payload)?;
+        let new = snap.files();
         let mut order: Vec<usize> = (0..new.len()).collect();
         order.sort_by(|&a, &b| new[a].name.cmp(&new[b].name));
         let names: Vec<&str> = order.iter().map(|&i| new[i].name.as_str()).collect();
@@ -603,7 +620,7 @@ impl CollectionServeMachine {
         self.order = order;
         let mut reply = vec![Part { phase: Phase::Setup, payload: encode_roster(&names) }];
         if let Some(offer) = parts.iter().find(|p| p.phase == Phase::Resume) {
-            let verdict = self.eval_offer(new, &names, &offer.payload);
+            let verdict = self.eval_offer(snap, &names, &offer.payload);
             reply.push(Part { phase: Phase::Resume, payload: encode_resume_verdict(&verdict) });
         }
         self.arq.send_message(reply, now_us);
@@ -615,7 +632,7 @@ impl CollectionServeMachine {
 
     fn on_batch(
         &mut self,
-        new: &[FileEntry],
+        snap: &CollectionSnapshot,
         parts: &[Part],
         now_us: u64,
     ) -> Result<(), SyncError> {
@@ -624,10 +641,16 @@ impl CollectionServeMachine {
         for (id, parts) in decode_batch(&part.payload)? {
             let slot = self.slots.get_mut(id).ok_or(SyncError::Desync("batch id out of range"))?;
             let file_idx = *self.order.get(id).ok_or(SyncError::Desync("batch id"))?;
-            let entry = new.get(file_idx).ok_or(SyncError::Desync("collection shrank"))?;
+            let entry = snap.files().get(file_idx).ok_or(SyncError::Desync("collection shrank"))?;
             let reply = match slot {
                 ServeSlot::Idle => {
-                    let mut session = ServerSession::new(self.cfg.clone());
+                    let cache = SessionCache::new(
+                        Arc::clone(snap.cache()),
+                        snap.fingerprint(file_idx),
+                        self.cfg_digest,
+                        self.rec.clone(),
+                    );
+                    let mut session = ServerSession::with_cache(self.cfg.clone(), cache);
                     let p0 = parts.first().ok_or(SyncError::Desync("empty file message"))?;
                     let reply = session.on_request(&entry.data, &p0.payload)?;
                     self.sessions += 1;
@@ -671,17 +694,22 @@ impl CollectionServeMachine {
 }
 
 impl Machine for CollectionServeMachine {
-    type Ctx = [FileEntry];
+    type Ctx = CollectionSnapshot;
 
-    fn on_frame(&mut self, new: &[FileEntry], bytes: &[u8], now_us: u64) -> Result<(), SyncError> {
+    fn on_frame(
+        &mut self,
+        snap: &CollectionSnapshot,
+        bytes: &[u8],
+        now_us: u64,
+    ) -> Result<(), SyncError> {
         match self.state {
             ServeState::AwaitRoster | ServeState::Await => {
                 let Some(parts) = self.arq.on_frame(bytes, now_us)? else {
                     return Ok(());
                 };
                 match self.state {
-                    ServeState::AwaitRoster => self.on_roster(new, &parts, now_us),
-                    _ => self.on_batch(new, &parts, now_us),
+                    ServeState::AwaitRoster => self.on_roster(snap, &parts, now_us),
+                    _ => self.on_batch(snap, &parts, now_us),
                 }
             }
             ServeState::Linger { .. } => {

@@ -62,6 +62,7 @@ pub mod params;
 pub mod pipeline;
 pub mod resume;
 pub mod session;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 
@@ -87,4 +88,5 @@ pub use session::{
     serve_file_transport, sync_file, sync_file_transport, sync_file_transport_as, sync_file_with,
     SyncError, SyncOptions, SyncOutcome,
 };
+pub use snapshot::{CollectionSnapshot, HashCache, SessionCache};
 pub use stats::{LevelStats, SyncStats};

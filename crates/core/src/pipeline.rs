@@ -43,6 +43,7 @@ use crate::engine::arq::{parse_part_header, part_header, MAX_PARTS_PER_MESSAGE};
 use crate::engine::{CollectionClientMachine, CollectionServeMachine, CompletedFile};
 use crate::resume::ResumePlan;
 use crate::session::{pump, pump_with, Part, SyncError};
+use crate::snapshot::CollectionSnapshot;
 
 /// Upper bound on files in one collection roster. A count above this in
 /// a decoded roster or batch is treated as a desync, not an allocation
@@ -379,6 +380,13 @@ pub fn sync_collection_client_resumable(
 
 /// Serve the `new` collection to one pipelined client over `t`.
 ///
+/// Convenience wrapper around [`serve_collection_snapshot`] for
+/// one-shot callers (tests, single-connection servers): the files are
+/// snapshotted — fingerprinted once, given a private hash cache — and
+/// served. A daemon serving many connections should build one
+/// [`CollectionSnapshot`] and share it instead, so the cache is warm
+/// across sessions.
+///
 /// A vanished peer after the roster exchange is the normal end of
 /// service (the client simply hangs up once every file is done), not
 /// an error; protocol violations still surface as [`SyncError`].
@@ -388,11 +396,28 @@ pub fn serve_collection(
     cfg: &ProtocolConfig,
     retry: RetryPolicy,
 ) -> Result<ServeOutcome, SyncError> {
+    let snap = CollectionSnapshot::new(new.to_vec());
+    serve_collection_snapshot(t, &snap, cfg, retry)
+}
+
+/// Serve an immutable [`CollectionSnapshot`] to one pipelined client
+/// over `t`. Sessions memoize their map-phase hash work into the
+/// snapshot's shared cache, so a hot file is hashed once across every
+/// connection served from the same snapshot.
+///
+/// # Errors
+/// As [`serve_collection`].
+pub fn serve_collection_snapshot(
+    t: &mut dyn Transport,
+    snap: &CollectionSnapshot,
+    cfg: &ProtocolConfig,
+    retry: RetryPolicy,
+) -> Result<ServeOutcome, SyncError> {
     let rec = t.recorder();
     let clock = SystemClock::new();
     let mut machine = CollectionServeMachine::new(cfg, retry, rec, clock.now_micros())?;
-    pump(t, &mut machine, new, &clock)?;
-    Ok(machine.outcome(new.len(), t.stats()))
+    pump(t, &mut machine, snap, &clock)?;
+    Ok(machine.outcome(snap.len(), t.stats()))
 }
 
 #[cfg(test)]

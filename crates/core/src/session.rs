@@ -31,6 +31,7 @@ use crate::engine::{ClientMachine, Machine, Output, ServerMachine};
 use crate::index::{matches_at, scan_neighborhood, PositionIndex};
 use crate::items::{self, global_hash_bits, Item, ItemKind, Side};
 use crate::map::{FileMap, Segment};
+use crate::snapshot::SessionCache;
 use crate::stats::{LevelStats, SyncStats};
 use crate::verify::{StepOutcome, VerifyState};
 use msync_hash::decomposable::{prefix_decompose_left, prefix_decompose_right, DecomposableDigest};
@@ -133,6 +134,9 @@ pub(crate) struct ServerSession {
     /// Item indices the client flagged as candidates, in item order.
     candidates: Vec<usize>,
     verify: Option<VerifyState>,
+    /// Cross-session hash-cache handle; `None` outside a daemon (each
+    /// hash is then computed directly, exactly as before the cache).
+    cache: Option<SessionCache>,
     pub(crate) state: SState,
 }
 
@@ -149,8 +153,19 @@ impl ServerSession {
             items: Vec::new(),
             candidates: Vec::new(),
             verify: None,
+            cache: None,
             state: SState::Done,
         }
+    }
+
+    /// A session whose map-phase hash work (block digests, verification
+    /// hashes) is memoized in a shared [`SessionCache`], and whose
+    /// served-file fingerprint is taken precomputed from the handle
+    /// instead of rehashed per session.
+    pub(crate) fn with_cache(cfg: ProtocolConfig, cache: SessionCache) -> Self {
+        let mut s = Self::new(cfg);
+        s.cache = Some(cache);
+        s
     }
 
     pub(crate) fn on_request(
@@ -164,7 +179,10 @@ impl ServerSession {
         for b in old_fp.iter_mut() {
             *b = r.read_bits(8).map_err(|_| SyncError::Desync("request fp"))? as u8;
         }
-        let new_fp = file_fingerprint(new);
+        let new_fp = match &self.cache {
+            Some(c) => c.file_fingerprint(),
+            None => file_fingerprint(new),
+        };
         let mut setup = BitWriter::new();
         if old_fp == new_fp.0 {
             setup.write_bit(true); // unchanged
@@ -216,8 +234,13 @@ impl ServerSession {
             for it in &items {
                 let bits = it.wire_bits(&self.cfg, self.global_bits);
                 if bits > 0 {
-                    let range = &new[it.new_off as usize..(it.new_off + it.len) as usize];
-                    w.write_bits(DecomposableDigest::of(range).prefix(bits), bits);
+                    let digest = match &self.cache {
+                        Some(c) => c.range_digest(new, it.new_off, it.len),
+                        None => DecomposableDigest::of(
+                            &new[it.new_off as usize..(it.new_off + it.len) as usize],
+                        ),
+                    };
+                    w.write_bits(digest.prefix(bits), bits);
                 }
             }
             self.items = items;
@@ -282,12 +305,23 @@ impl ServerSession {
         let mut w = BitWriter::new();
         for group in verify.groups() {
             let sent = r.read_bits(bits).map_err(|_| SyncError::Desync("group hash"))?;
-            let mut buf = Vec::new();
-            for &cand in group {
-                let it = &self.items[self.candidates[cand]];
-                buf.extend_from_slice(&new[it.new_off as usize..(it.new_off + it.len) as usize]);
-            }
-            let ours = Md5::digest_bits(&buf, bits);
+            let ranges: Vec<(u64, u64)> = group
+                .iter()
+                .map(|&cand| {
+                    let it = &self.items[self.candidates[cand]];
+                    (it.new_off, it.len)
+                })
+                .collect();
+            let ours = match &self.cache {
+                Some(c) => c.group_hash(new, &ranges, bits),
+                None => {
+                    let mut buf = Vec::new();
+                    for &(off, len) in &ranges {
+                        buf.extend_from_slice(&new[off as usize..(off + len) as usize]);
+                    }
+                    Md5::digest_bits(&buf, bits)
+                }
+            };
             let passed = ours == sent;
             results.push(passed);
             w.write_bit(passed);

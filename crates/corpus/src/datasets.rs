@@ -150,6 +150,82 @@ pub fn web_collection(p: &WebParams, days: u32) -> VersionedCollection {
     VersionedCollection { versions }
 }
 
+/// Parameters of the nightly-recrawl churn model: what a crawler's
+/// output directory looks like night over night. Unlike the daily
+/// [`web_collection`] drift (small in-place edits), a recrawl rewrites
+/// a slice of pages wholesale — the crawler fetched a new copy — and
+/// adds and drops a few URLs at the frontier.
+#[derive(Debug, Clone, Copy)]
+pub struct RecrawlParams {
+    /// Number of pages in the base crawl.
+    pub pages: usize,
+    /// Median page size in bytes (sizes are log-normal around this).
+    pub median_size: usize,
+    /// Fraction of surviving pages fully rewritten each night (~10%).
+    pub rewrite_fraction: f64,
+    /// Fraction of pages newly discovered each night.
+    pub add_fraction: f64,
+    /// Fraction of pages that vanish each night.
+    pub remove_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The nightly-recrawl defaults: ~10% of pages rewritten per night,
+/// about 1% added and 1% removed — the profile the daemon's registry
+/// reload is built for (most files byte-identical across a swap, so a
+/// shared hash cache stays warm). `scale` shrinks the page count.
+pub fn recrawl_params(scale: f64) -> RecrawlParams {
+    RecrawlParams {
+        pages: ((10_000.0 * scale) as usize).max(2),
+        median_size: 11_000,
+        rewrite_fraction: 0.10,
+        add_fraction: 0.012,
+        remove_fraction: 0.010,
+        seed: 0xFEED_2002,
+    }
+}
+
+/// Build the base crawl plus one snapshot per night (versions[0] =
+/// base, versions[k] = after night k). Deterministic per seed.
+pub fn nightly_recrawl(p: &RecrawlParams, nights: u32) -> VersionedCollection {
+    let mut rng = Rng::seed_from_u64(p.seed);
+    let mut base = Collection::new();
+    for i in 0..p.pages {
+        let size = lognormal_size(&mut rng, p.median_size, 0.9, 600, 200_000);
+        base.push(format!("crawl/page_{i:05}.html"), html_page(&mut rng, size, 0));
+    }
+    let mut versions = vec![base];
+    for night in 1..=nights {
+        let prev = versions.last().expect("at least the base");
+        let mut next = Collection::new();
+        for f in prev.files() {
+            if rng.gen_bool(p.remove_fraction) {
+                continue; // URL gone from tonight's crawl
+            }
+            let data = if rng.gen_bool(p.rewrite_fraction) {
+                // The crawler fetched a fresh copy: a whole new page
+                // at the same URL, not an edit of the old bytes.
+                let size = lognormal_size(&mut rng, p.median_size, 0.9, 600, 200_000);
+                html_page(&mut rng, size, night)
+            } else {
+                f.data.clone()
+            };
+            next.push(f.name.clone(), data);
+        }
+        let added = ((p.pages as f64) * p.add_fraction) as usize;
+        for i in 0..added {
+            let size = lognormal_size(&mut rng, p.median_size, 0.9, 600, 200_000);
+            next.push(
+                format!("crawl/night{night}_new_{i:04}.html"),
+                html_page(&mut rng, size, night),
+            );
+        }
+        versions.push(next);
+    }
+    VersionedCollection { versions }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +289,45 @@ mod tests {
         let a = release_pair(&gcc_like(0.02));
         let b = release_pair(&gcc_like(0.02));
         assert_eq!(a.versions[1].files(), b.versions[1].files());
+    }
+
+    #[test]
+    fn nightly_recrawl_rewrites_about_a_tenth() {
+        let vc = nightly_recrawl(&recrawl_params(0.05), 1); // 500 pages
+        let (base, night) = (&vc.versions[0], &vc.versions[1]);
+        let survivors: Vec<_> =
+            night.files().iter().filter(|f| base.get(&f.name).is_some()).collect();
+        let rewritten = survivors
+            .iter()
+            .filter(|f| base.get(&f.name).is_some_and(|o| o.data != f.data))
+            .count();
+        let frac = rewritten as f64 / survivors.len() as f64;
+        assert!((0.05..0.18).contains(&frac), "rewrite fraction {frac}");
+        // Rewrites are replacements, not edits: every changed survivor
+        // is near-total novelty against its old bytes.
+        for f in survivors.iter().filter(|f| base.get(&f.name).is_some_and(|o| o.data != f.data)) {
+            let old = &base.get(&f.name).expect("survivor").data;
+            assert!(novelty(old, &f.data) > 0.5, "{} barely changed", f.name);
+        }
+    }
+
+    #[test]
+    fn nightly_recrawl_adds_and_removes_a_few() {
+        let vc = nightly_recrawl(&recrawl_params(0.05), 1); // 500 pages
+        let (base, night) = (&vc.versions[0], &vc.versions[1]);
+        let added = night.files().iter().filter(|f| base.get(&f.name).is_none()).count();
+        let removed = base.files().iter().filter(|f| night.get(&f.name).is_none()).count();
+        assert!((1..=25).contains(&added), "added {added}");
+        assert!((1..=25).contains(&removed), "removed {removed}");
+    }
+
+    #[test]
+    fn nightly_recrawl_is_deterministic_across_nights() {
+        let a = nightly_recrawl(&recrawl_params(0.02), 3);
+        let b = nightly_recrawl(&recrawl_params(0.02), 3);
+        assert_eq!(a.versions.len(), 4);
+        for (va, vb) in a.versions.iter().zip(&b.versions) {
+            assert_eq!(va.files(), vb.files());
+        }
     }
 }

@@ -21,7 +21,8 @@ pub mod text;
 pub mod versioned;
 
 pub use datasets::{
-    emacs_like, gcc_like, release_pair, web_collection, web_params, ReleaseParams, WebParams,
+    emacs_like, gcc_like, nightly_recrawl, recrawl_params, release_pair, web_collection,
+    web_params, RecrawlParams, ReleaseParams, WebParams,
 };
 pub use edits::{apply_edits, novelty, EditProfile};
 pub use rng::Rng;

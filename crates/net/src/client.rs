@@ -12,10 +12,10 @@ use std::time::Duration;
 
 use msync_core::pipeline::{sync_collection_client_resumable, PipelineOptions};
 use msync_core::{CollectionOutcome, CompletedFile, FileEntry, ProtocolConfig, ResumePlan};
-use msync_protocol::{FaultPlan, FaultTransport};
+use msync_protocol::{FaultPlan, FaultTransport, Phase, Transport};
 use msync_trace::Recorder;
 
-use crate::handshake::{client_hello, NetError};
+use crate::handshake::{client_hello_as, NetError};
 use crate::tcp::TcpTransport;
 
 /// Client-side knobs for a remote sync.
@@ -40,6 +40,11 @@ pub struct RemoteOptions {
     /// run's checkpoint or the metadata cache). The daemon confirms or
     /// declines each; declined files sync normally.
     pub resume: Option<ResumePlan>,
+    /// Which of the daemon's collections to sync (`msync sync
+    /// --collection NAME`). `None` means the daemon's default
+    /// collection, which is also all a v2 daemon can serve. An unknown
+    /// name surfaces as the typed [`NetError::UnknownCollection`].
+    pub collection: Option<String>,
 }
 
 impl Default for RemoteOptions {
@@ -51,6 +56,7 @@ impl Default for RemoteOptions {
             fault_wrap: None,
             recorder: Recorder::off(),
             resume: None,
+            collection: None,
         }
     }
 }
@@ -98,7 +104,8 @@ pub fn sync_remote_with(
     let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
     let mut t = TcpTransport::client(stream).map_err(NetError::Io)?;
     t.set_recorder(opts.recorder.clone());
-    let cfg = client_hello(&mut t, &opts.cfg, opts.handshake_timeout)?;
+    let cfg =
+        client_hello_as(&mut t, &opts.cfg, opts.collection.as_deref(), opts.handshake_timeout)?;
     let resume = opts.resume.as_ref();
     match opts.fault_wrap {
         None => {
@@ -136,6 +143,33 @@ pub fn sync_remote_with(
             })
         }
     }
+}
+
+/// Ask the daemon at `addr` to reload the named collection from its
+/// source directory (the `reload` admin verb). Returns the file count
+/// of the freshly loaded snapshot. The swap is atomic under live
+/// traffic: sessions in flight finish against the snapshot they bound
+/// at handshake; sessions handshaking after the reload get the new one.
+///
+/// # Errors
+/// [`NetError::Io`] / [`NetError::Channel`] for connection failures,
+/// [`NetError::Handshake`] when the daemon answers `err` (unknown
+/// name, no source directory, loader failure) or gibberish.
+pub fn admin_reload(addr: &str, collection: &str, timeout: Duration) -> Result<usize, NetError> {
+    let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+    let mut t = TcpTransport::client(stream).map_err(NetError::Io)?;
+    let cmd = format!("msync-admin reload {collection}");
+    t.send(cmd.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+    let reply = t.recv_timeout(timeout).map_err(NetError::Channel)?;
+    t.attribute_inbound(Phase::Setup);
+    let text = std::str::from_utf8(&reply)
+        .map_err(|_| NetError::Handshake("admin reply is not UTF-8".to_owned()))?;
+    if let Some(reason) = text.strip_prefix("err ") {
+        return Err(NetError::Handshake(format!("daemon refused reload: {}", reason.trim())));
+    }
+    text.strip_prefix("ok ")
+        .and_then(|n| n.trim().parse::<usize>().ok())
+        .ok_or_else(|| NetError::Handshake("admin reply is neither ok nor err".to_owned()))
 }
 
 /// Convenience: `Transport::stats` of a finished transport would also

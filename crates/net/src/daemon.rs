@@ -22,6 +22,7 @@
 //! its own session's state — the error is reported through the
 //! daemon's log callback and the listener keeps accepting.
 
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -29,13 +30,16 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 
-use msync_core::pipeline::{serve_collection, ServeOutcome};
+use msync_core::pipeline::{serve_collection_snapshot, ServeOutcome};
 use msync_core::FileEntry;
 use msync_protocol::{Phase, RetryPolicy, Transport};
 use msync_trace::{EventKind, MetricsSnapshot, Recorder};
 
-use crate::handshake::{server_hello, NetError};
+use crate::handshake::{
+    eval_hello, parse_admin, unknown_collection_reject, AdminCmd, HelloOutcome, NetError,
+};
 use crate::mux::{worker_loop, Shared};
+use crate::registry::CollectionRegistry;
 use crate::tcp::TcpTransport;
 
 /// Reason string sent on the wire (as `err <reason>`) when admission
@@ -103,6 +107,10 @@ pub struct SessionReport {
     /// This session's trace metrics (byte grid, handshake and frame
     /// counters, latency histograms), snapshotted at session end.
     pub metrics: MetricsSnapshot,
+    /// Canonical name of the collection the session was bound to;
+    /// `None` when it never got that far (refusals, failed
+    /// handshakes) or was an admin exchange.
+    pub collection: Option<String>,
 }
 
 /// A running serve daemon. Dropping the handle does **not** stop the
@@ -112,10 +120,13 @@ pub struct Daemon {
     stop: Arc<AtomicBool>,
     threads: Vec<thread::JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsSnapshot>>,
+    per_collection: Arc<Mutex<BTreeMap<String, MetricsSnapshot>>>,
+    registry: Arc<CollectionRegistry>,
 }
 
 impl Daemon {
-    /// Bind `listen` (e.g. `127.0.0.1:0`) and start accepting.
+    /// Bind `listen` (e.g. `127.0.0.1:0`) and start accepting, serving
+    /// `files` as the single default collection.
     ///
     /// `log` receives one [`SessionReport`] per finished connection —
     /// refused ones included.
@@ -131,17 +142,38 @@ impl Daemon {
     where
         F: Fn(SessionReport) + Send + Sync + 'static,
     {
+        Self::spawn_registry(listen, Arc::new(CollectionRegistry::single(files)), opts, log)
+    }
+
+    /// [`Daemon::spawn`] over a full [`CollectionRegistry`]: many named
+    /// collections, each an atomically swappable snapshot. Keep a clone
+    /// of the `Arc` to call [`CollectionRegistry::swap`] /
+    /// [`CollectionRegistry::reload`] while the daemon serves.
+    ///
+    /// # Errors
+    /// Binding or inspecting the listener socket.
+    pub fn spawn_registry<F>(
+        listen: &str,
+        registry: Arc<CollectionRegistry>,
+        opts: DaemonOptions,
+        log: F,
+    ) -> std::io::Result<Daemon>
+    where
+        F: Fn(SessionReport) + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(Mutex::new(MetricsSnapshot::new()));
+        let per_collection = Arc::new(Mutex::new(BTreeMap::new()));
         let model = opts.model;
         let workers = worker_count(opts.workers);
         let shared = Arc::new(Shared {
-            files,
+            registry: Arc::clone(&registry),
             opts,
             log,
             metrics: Arc::clone(&metrics),
+            per_collection: Arc::clone(&per_collection),
             active: AtomicUsize::new(0),
             stop: Arc::clone(&stop),
         });
@@ -160,7 +192,7 @@ impl Daemon {
                 threads.push(thread::spawn(move || accept_loop(&listener, &shared)));
             }
         }
-        Ok(Daemon { addr, stop, threads, metrics })
+        Ok(Daemon { addr, stop, threads, metrics, per_collection, registry })
     }
 
     /// The bound address (resolves port 0 to the real port).
@@ -175,6 +207,22 @@ impl Daemon {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The same finished-session metrics, bucketed by bound collection.
+    /// Sessions that never bound one (refusals, failed handshakes,
+    /// admin exchanges) are only in the aggregate, so the buckets sum
+    /// to [`Daemon::metrics`] exactly when every session bound.
+    #[must_use]
+    pub fn metrics_by_collection(&self) -> BTreeMap<String, MetricsSnapshot> {
+        self.per_collection.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The registry this daemon serves — the handle for live
+    /// [`CollectionRegistry::swap`] / [`CollectionRegistry::reload`].
+    #[must_use]
+    pub fn registry(&self) -> &Arc<CollectionRegistry> {
+        &self.registry
     }
 
     /// Foreground mode: block on the service threads (which normally
@@ -233,35 +281,82 @@ where
         let shared = Arc::clone(shared);
         thread::spawn(move || {
             let peer = stream.peer_addr().ok();
-            let (result, session_metrics) = if admitted {
-                serve_session(stream, &shared.files, &shared.opts)
+            let (result, session_metrics, collection) = if admitted {
+                serve_session(stream, &shared.registry, &shared.opts)
             } else {
                 refuse_session(stream, &shared.opts)
             };
             if admitted {
                 shared.release();
             }
-            shared.deliver(SessionReport { peer, result, metrics: session_metrics });
+            shared.deliver(SessionReport { peer, result, metrics: session_metrics, collection });
         });
     }
 }
 
-/// One connection: handshake, then pipelined collection service. The
-/// session runs under its own trace recorder; whatever it measured is
-/// returned alongside the outcome, even on failure.
+/// One connection: handshake (or admin command), then pipelined
+/// collection service against the snapshot resolved at handshake time.
+/// The session runs under its own trace recorder; whatever it measured
+/// is returned alongside the outcome, even on failure.
 fn serve_session(
     stream: TcpStream,
-    files: &[FileEntry],
+    registry: &CollectionRegistry,
     opts: &DaemonOptions,
-) -> (Result<ServeOutcome, NetError>, MetricsSnapshot) {
+) -> (Result<ServeOutcome, NetError>, MetricsSnapshot, Option<String>) {
     let recorder = Recorder::system();
+    let mut collection = None;
     let result = (|| {
         let mut t = TcpTransport::server(stream).map_err(NetError::Io)?;
         t.set_recorder(recorder.clone());
-        let cfg = server_hello(&mut t, opts.handshake_timeout)?;
-        serve_collection(&mut t, files, &cfg, opts.retry).map_err(NetError::Sync)
+        let hello = t.recv_timeout(opts.handshake_timeout).map_err(NetError::Channel)?;
+        t.attribute_inbound(Phase::Setup);
+        if let Some(cmd) = parse_admin(&hello) {
+            return admin_session(&mut t, cmd, registry, &recorder);
+        }
+        let (reply, error) = match eval_hello(&hello) {
+            HelloOutcome::Accept { cfg, collection: requested, reply } => {
+                match registry.resolve(requested.as_deref()) {
+                    Some((name, snap)) => {
+                        collection = Some(name);
+                        t.send(&reply, Phase::Setup).map_err(NetError::Channel)?;
+                        recorder.record(EventKind::Handshake { ok: true });
+                        return serve_collection_snapshot(&mut t, &snap, &cfg, opts.retry)
+                            .map_err(NetError::Sync);
+                    }
+                    None => unknown_collection_reject(requested.as_deref().unwrap_or_default()),
+                }
+            }
+            HelloOutcome::Reject { reply, error } => (reply, error),
+        };
+        // Best-effort refusal notice; the connection is being torn
+        // down anyway, so a failed send changes nothing.
+        let _ = t.send(&reply, Phase::Setup);
+        recorder.record(EventKind::Handshake { ok: false });
+        Err(error)
     })();
-    (result, recorder.snapshot())
+    (result, recorder.snapshot(), collection)
+}
+
+/// Execute one admin command on the blocking path and answer
+/// `ok …` / `err …`.
+fn admin_session(
+    t: &mut TcpTransport,
+    cmd: Result<AdminCmd, String>,
+    registry: &CollectionRegistry,
+    recorder: &Recorder,
+) -> Result<ServeOutcome, NetError> {
+    match cmd.and_then(|AdminCmd::Reload(name)| registry.reload(&name)) {
+        Ok(files) => {
+            t.send(format!("ok {files}").as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+            recorder.record(EventKind::Handshake { ok: true });
+            Ok(ServeOutcome { files, sessions: 0, traffic: t.stats() })
+        }
+        Err(reason) => {
+            let _ = t.send(format!("err {reason}").as_bytes(), Phase::Setup);
+            recorder.record(EventKind::Handshake { ok: false });
+            Err(NetError::Handshake(format!("admin command failed: {reason}")))
+        }
+    }
 }
 
 /// An over-capacity connection: wait for the hello, answer with the
@@ -269,7 +364,7 @@ fn serve_session(
 fn refuse_session(
     stream: TcpStream,
     opts: &DaemonOptions,
-) -> (Result<ServeOutcome, NetError>, MetricsSnapshot) {
+) -> (Result<ServeOutcome, NetError>, MetricsSnapshot, Option<String>) {
     let recorder = Recorder::system();
     let result = (|| {
         let mut t = TcpTransport::server(stream).map_err(NetError::Io)?;
@@ -281,5 +376,5 @@ fn refuse_session(
         Err(NetError::Handshake(format!("refused client: {REFUSAL_REASON}")))
     })();
     recorder.record(EventKind::Handshake { ok: false });
-    (result, recorder.snapshot())
+    (result, recorder.snapshot(), None)
 }

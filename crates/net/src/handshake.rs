@@ -3,7 +3,7 @@
 //! Before any collection traffic, the connecting client sends one frame:
 //!
 //! ```text
-//! msync-net 1\n
+//! msync-net 3 <collection>\n
 //! <parameter file, as rendered by msync_core::params::render>
 //! ```
 //!
@@ -16,6 +16,15 @@
 //! disagree on any knob, so the handshake is the one place that is
 //! allowed to be pedantic.
 //!
+//! The `<collection>` token (v3) names which of the daemon's
+//! registered collections this session syncs; it is optional, and a
+//! v2 hello (no token possible) is still accepted — both mean the
+//! registry's default collection, so old clients keep working against
+//! a multi-collection daemon. A name the daemon does not serve gets
+//! the typed `err unknown-collection <name>` refusal, which the
+//! client surfaces as [`NetError::UnknownCollection`] rather than a
+//! generic handshake failure.
+//!
 //! Handshake frames ride the normal transport and are charged to
 //! [`Phase::Setup`], so they show up honestly in `TrafficStats`.
 
@@ -25,13 +34,23 @@ use msync_core::{params, ProtocolConfig, SyncError};
 use msync_protocol::{ChannelError, Phase, Transport};
 use msync_trace::EventKind;
 
+use crate::registry::validate_collection_name;
+
 /// Version of the wire protocol spoken by this crate. Bumped on any
 /// change to the frame codec, the handshake, or the batch schedule.
-/// v2 added the resume offer/verdict parts to the roster exchange.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v2 added the resume offer/verdict parts to the roster exchange;
+/// v3 added the optional collection-name token to the hello line.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Oldest client version this daemon still accepts. v2 differs only
+/// in never naming a collection, which maps onto "serve the default".
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
 
 /// Magic line opening every client hello.
 const MAGIC: &str = "msync-net";
+
+/// Reason token opening an unknown-collection refusal line.
+const UNKNOWN_COLLECTION: &str = "unknown-collection";
 
 /// Cap on a handshake frame; a parameter file is a few hundred bytes.
 const MAX_HELLO: usize = 64 * 1024;
@@ -43,6 +62,11 @@ pub enum NetError {
     Io(std::io::Error),
     /// The peer spoke, but not this protocol — or refused ours.
     Handshake(String),
+    /// The daemon does not serve the requested collection. Typed so a
+    /// caller can degrade gracefully (fall back to the default
+    /// collection, list alternatives, retry later) instead of treating
+    /// it as protocol gibberish.
+    UnknownCollection(String),
     /// Transport failure during the handshake exchange.
     Channel(ChannelError),
     /// The sync protocol itself failed after the handshake.
@@ -54,6 +78,9 @@ impl std::fmt::Display for NetError {
         match self {
             Self::Io(e) => write!(f, "socket error: {e}"),
             Self::Handshake(why) => write!(f, "handshake failed: {why}"),
+            Self::UnknownCollection(name) => {
+                write!(f, "daemon does not serve collection {name:?}")
+            }
             Self::Channel(e) => write!(f, "handshake transport error: {e:?}"),
             Self::Sync(e) => write!(f, "sync failed: {e}"),
         }
@@ -62,7 +89,8 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-/// Client half: propose `cfg`, adopt the server's canonical echo.
+/// Client half: propose `cfg` for the daemon's default collection and
+/// adopt the server's canonical echo.
 ///
 /// # Errors
 /// [`NetError::Channel`] if the wire fails, [`NetError::Handshake`] if
@@ -72,8 +100,23 @@ pub fn client_hello(
     cfg: &ProtocolConfig,
     timeout: Duration,
 ) -> Result<ProtocolConfig, NetError> {
+    client_hello_as(t, cfg, None, timeout)
+}
+
+/// [`client_hello`] naming a collection: `Some(name)` asks the daemon
+/// for that registry entry; `None` means its default collection.
+///
+/// # Errors
+/// As [`client_hello`], plus [`NetError::UnknownCollection`] when the
+/// daemon answers the typed `err unknown-collection` refusal.
+pub fn client_hello_as(
+    t: &mut dyn Transport,
+    cfg: &ProtocolConfig,
+    collection: Option<&str>,
+    timeout: Duration,
+) -> Result<ProtocolConfig, NetError> {
     let rec = t.recorder();
-    let result = client_hello_inner(t, cfg, timeout);
+    let result = client_hello_inner(t, cfg, collection, timeout);
     rec.record(EventKind::Handshake { ok: result.is_ok() });
     result
 }
@@ -81,14 +124,21 @@ pub fn client_hello(
 fn client_hello_inner(
     t: &mut dyn Transport,
     cfg: &ProtocolConfig,
+    collection: Option<&str>,
     timeout: Duration,
 ) -> Result<ProtocolConfig, NetError> {
-    let hello = format!("{MAGIC} {PROTOCOL_VERSION}\n{}", params::render(cfg));
+    let hello = match collection {
+        Some(name) => format!("{MAGIC} {PROTOCOL_VERSION} {name}\n{}", params::render(cfg)),
+        None => format!("{MAGIC} {PROTOCOL_VERSION}\n{}", params::render(cfg)),
+    };
     t.send(hello.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
     let reply = t.recv_timeout(timeout).map_err(NetError::Channel)?;
     t.attribute_inbound(Phase::Setup);
     let text = text_of(&reply)?;
     if let Some(reason) = text.strip_prefix("err ") {
+        if let Some(name) = reason.trim().strip_prefix(UNKNOWN_COLLECTION) {
+            return Err(NetError::UnknownCollection(name.trim().to_owned()));
+        }
         return Err(NetError::Handshake(format!("server refused: {}", reason.trim())));
     }
     let Some(rendered) = text.strip_prefix("ok\n") else {
@@ -103,33 +153,40 @@ fn client_hello_inner(
 ///
 /// Returns the agreed configuration. A rejected client gets a typed
 /// `err` line before the error is returned, so it can report *why*
-/// instead of seeing a hangup.
+/// instead of seeing a hangup. This transport-level half accepts any
+/// syntactically valid collection name — resolving the name against a
+/// registry (and refusing unknown ones) is the daemon's job, which is
+/// why the daemon paths consume [`eval_hello`] directly.
 ///
 /// # Errors
 /// [`NetError::Channel`] if the wire fails, [`NetError::Handshake`] if
 /// the hello is not this protocol or proposes an invalid config.
 pub fn server_hello(t: &mut dyn Transport, timeout: Duration) -> Result<ProtocolConfig, NetError> {
     let rec = t.recorder();
-    let result = server_hello_inner(t, timeout);
-    rec.record(EventKind::Handshake { ok: result.is_ok() });
-    result
-}
-
-fn server_hello_inner(
-    t: &mut dyn Transport,
-    timeout: Duration,
-) -> Result<ProtocolConfig, NetError> {
-    let hello = t.recv_timeout(timeout).map_err(NetError::Channel)?;
+    let hello = match t.recv_timeout(timeout) {
+        Ok(hello) => hello,
+        Err(e) => {
+            rec.record(EventKind::Handshake { ok: false });
+            return Err(NetError::Channel(e));
+        }
+    };
     t.attribute_inbound(Phase::Setup);
     match eval_hello(&hello) {
-        HelloOutcome::Accept { cfg, reply } => {
-            t.send(&reply, Phase::Setup).map_err(NetError::Channel)?;
-            Ok(cfg)
-        }
+        HelloOutcome::Accept { cfg, reply, .. } => match t.send(&reply, Phase::Setup) {
+            Ok(()) => {
+                rec.record(EventKind::Handshake { ok: true });
+                Ok(cfg)
+            }
+            Err(e) => {
+                rec.record(EventKind::Handshake { ok: false });
+                Err(NetError::Channel(e))
+            }
+        },
         HelloOutcome::Reject { reply, error } => {
             // Best-effort refusal notice; the connection is being torn
             // down anyway, so a failed send changes nothing.
             let _ = t.send(&reply, Phase::Setup);
+            rec.record(EventKind::Handshake { ok: false });
             Err(error)
         }
     }
@@ -146,6 +203,12 @@ pub(crate) enum HelloOutcome {
     Accept {
         /// The agreed configuration (canonical form of the proposal).
         cfg: ProtocolConfig,
+        /// The collection the client asked for; `None` (v2 client, or
+        /// v3 without the token) means the registry's default. The
+        /// daemon must still resolve this against its registry and
+        /// answer [`unknown_collection_reject`] on a miss — *this*
+        /// reply is only correct once the name resolves.
+        collection: Option<String>,
         /// The `ok\n<render>` frame to send back.
         reply: Vec<u8>,
     },
@@ -160,7 +223,19 @@ pub(crate) enum HelloOutcome {
     },
 }
 
-/// Evaluate one client hello payload. Pure: no transport access.
+/// The typed refusal for a syntactically fine collection name the
+/// registry does not hold: the `err` frame to send and the error the
+/// session ends with. Shared by both serve models so the wire token
+/// and the error type cannot drift.
+pub(crate) fn unknown_collection_reject(name: &str) -> (Vec<u8>, NetError) {
+    (
+        format!("err {UNKNOWN_COLLECTION} {name}").into_bytes(),
+        NetError::UnknownCollection(name.to_owned()),
+    )
+}
+
+/// Evaluate one client hello payload. Pure: no transport access, no
+/// registry access (the requested collection comes back unresolved).
 pub(crate) fn eval_hello(hello: &[u8]) -> HelloOutcome {
     let reject = |reason: &str, error: NetError| HelloOutcome::Reject {
         reply: format!("err {reason}").into_bytes(),
@@ -179,14 +254,43 @@ pub(crate) fn eval_hello(hello: &[u8]) -> HelloOutcome {
         );
     }
     let version = words.next().and_then(|v| v.parse::<u32>().ok());
-    if version != Some(PROTOCOL_VERSION) {
-        return reject(
-            "unsupported version",
-            NetError::Handshake(format!(
-                "client speaks version {version:?}, this daemon speaks {PROTOCOL_VERSION}"
-            )),
-        );
+    match version {
+        Some(v) if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v) => {}
+        _ => {
+            return reject(
+                "unsupported version",
+                NetError::Handshake(format!(
+                    "client speaks version {version:?}, this daemon speaks \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+                )),
+            );
+        }
     }
+    // The collection token exists only from v3 on; a v2 line carries
+    // nothing after the version, and anything there anyway is a
+    // malformed hello rather than a name to guess at.
+    let collection = match version {
+        Some(v) if v >= 3 => {
+            let token = words.next();
+            // The grammar allows exactly one token after the version;
+            // anything beyond it is a name with whitespace in it.
+            let why = match token {
+                Some(_) if words.next().is_some() => Some("contains whitespace"),
+                Some(name) => validate_collection_name(name).err(),
+                None => None,
+            };
+            if let Some(why) = why {
+                return reject(
+                    &format!("bad collection name: {why}"),
+                    NetError::Handshake(format!(
+                        "client requested an invalid collection name: {why}"
+                    )),
+                );
+            }
+            token.map(str::to_owned)
+        }
+        _ => None,
+    };
     let cfg = match params::parse(params_text).and_then(|c| c.validate().map(|()| c)) {
         Ok(cfg) => cfg,
         Err(e) => {
@@ -197,7 +301,7 @@ pub(crate) fn eval_hello(hello: &[u8]) -> HelloOutcome {
         }
     };
     let reply = format!("ok\n{}", params::render(&cfg)).into_bytes();
-    HelloOutcome::Accept { cfg, reply }
+    HelloOutcome::Accept { cfg, collection, reply }
 }
 
 fn text_of(payload: &[u8]) -> Result<&str, NetError> {
@@ -205,6 +309,42 @@ fn text_of(payload: &[u8]) -> Result<&str, NetError> {
         return Err(NetError::Handshake("hello frame too large".to_owned()));
     }
     std::str::from_utf8(payload).map_err(|_| NetError::Handshake("hello is not UTF-8".to_owned()))
+}
+
+/// Magic opening an admin frame. Admin commands ride the same
+/// first-frame slot as a client hello; the daemon dispatches on the
+/// magic word.
+pub(crate) const ADMIN_MAGIC: &str = "msync-admin";
+
+/// A parsed admin command.
+#[derive(Debug)]
+pub(crate) enum AdminCmd {
+    /// `msync-admin reload <collection>`: re-read the named
+    /// collection's source directory and swap the snapshot in.
+    Reload(String),
+}
+
+/// Classify a first frame as an admin command. `None` means the frame
+/// is not admin-shaped at all (evaluate it as a hello instead);
+/// `Some(Err(reason))` is a malformed admin frame, answered with
+/// `err <reason>`.
+pub(crate) fn parse_admin(frame: &[u8]) -> Option<Result<AdminCmd, String>> {
+    let text = std::str::from_utf8(frame).ok()?;
+    let mut words = text.split_whitespace();
+    if words.next() != Some(ADMIN_MAGIC) {
+        return None;
+    }
+    Some(match words.next() {
+        Some("reload") => match words.next() {
+            Some(name) => match validate_collection_name(name) {
+                Ok(()) => Ok(AdminCmd::Reload(name.to_owned())),
+                Err(why) => Err(format!("bad collection name: {why}")),
+            },
+            None => Err("reload needs a collection name".to_owned()),
+        },
+        Some(other) => Err(format!("unknown admin verb {other}")),
+        None => Err("empty admin command".to_owned()),
+    })
 }
 
 #[cfg(test)]
@@ -257,5 +397,86 @@ mod tests {
         let reply = Transport::recv_timeout(&mut c, T).unwrap();
         assert!(reply.starts_with(b"err "), "{reply:?}");
         assert!(matches!(server.join().unwrap(), Err(NetError::Handshake(_))));
+    }
+
+    #[test]
+    fn v2_hello_is_accepted_with_no_collection() {
+        let cfg = ProtocolConfig::default();
+        let hello = format!("{MAGIC} 2\n{}", params::render(&cfg));
+        match eval_hello(hello.as_bytes()) {
+            HelloOutcome::Accept { collection, .. } => assert_eq!(collection, None),
+            HelloOutcome::Reject { error, .. } => panic!("v2 hello rejected: {error}"),
+        }
+    }
+
+    #[test]
+    fn v3_hello_carries_the_collection_name() {
+        let cfg = ProtocolConfig::default();
+        let hello = format!("{MAGIC} {PROTOCOL_VERSION} photos\n{}", params::render(&cfg));
+        match eval_hello(hello.as_bytes()) {
+            HelloOutcome::Accept { collection, .. } => {
+                assert_eq!(collection.as_deref(), Some("photos"));
+            }
+            HelloOutcome::Reject { error, .. } => panic!("v3 hello rejected: {error}"),
+        }
+    }
+
+    #[test]
+    fn v3_hello_without_a_token_means_default() {
+        let cfg = ProtocolConfig::default();
+        let hello = format!("{MAGIC} {PROTOCOL_VERSION}\n{}", params::render(&cfg));
+        match eval_hello(hello.as_bytes()) {
+            HelloOutcome::Accept { collection, .. } => assert_eq!(collection, None),
+            HelloOutcome::Reject { error, .. } => panic!("bare v3 hello rejected: {error}"),
+        }
+    }
+
+    #[test]
+    fn traversal_and_garbage_collection_names_are_refused() {
+        let cfg = ProtocolConfig::default();
+        for bad in ["../etc", "a/b", "a\\b", "..", ".", "has space"] {
+            let hello = format!("{MAGIC} {PROTOCOL_VERSION} {bad}\n{}", params::render(&cfg));
+            match eval_hello(hello.as_bytes()) {
+                HelloOutcome::Reject { reply, .. } => {
+                    let text = String::from_utf8(reply).unwrap();
+                    assert!(text.starts_with("err bad collection name"), "{bad}: {text}");
+                }
+                HelloOutcome::Accept { .. } => panic!("accepted bad name {bad:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_collection_reply_parses_into_the_typed_error() {
+        let (mut c, mut s) = Endpoint::pair();
+        let client = thread::spawn(move || {
+            client_hello_as(&mut c, &ProtocolConfig::default(), Some("ghost"), T)
+        });
+        let hello = Transport::recv_timeout(&mut s, T).unwrap();
+        match eval_hello(&hello) {
+            HelloOutcome::Accept { collection, .. } => {
+                assert_eq!(collection.as_deref(), Some("ghost"));
+            }
+            HelloOutcome::Reject { error, .. } => panic!("{error}"),
+        }
+        let (reply, _) = unknown_collection_reject("ghost");
+        Transport::send(&mut s, &reply, Phase::Setup).unwrap();
+        match client.join().unwrap() {
+            Err(NetError::UnknownCollection(name)) => assert_eq!(name, "ghost"),
+            other => panic!("expected UnknownCollection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admin_frames_parse_and_non_admin_frames_pass_through() {
+        assert!(parse_admin(b"msync-net 3 x\n").is_none());
+        assert!(parse_admin(b"").is_none());
+        match parse_admin(b"msync-admin reload photos") {
+            Some(Ok(AdminCmd::Reload(name))) => assert_eq!(name, "photos"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(parse_admin(b"msync-admin reload ../x"), Some(Err(_))));
+        assert!(matches!(parse_admin(b"msync-admin reload"), Some(Err(_))));
+        assert!(matches!(parse_admin(b"msync-admin explode y"), Some(Err(_))));
     }
 }

@@ -34,9 +34,14 @@ pub mod client;
 pub mod daemon;
 pub mod handshake;
 mod mux;
+pub mod registry;
 pub mod tcp;
 
-pub use client::{sync_remote, sync_remote_with, RemoteOptions, RemoteOutcome};
+pub use client::{admin_reload, sync_remote, sync_remote_with, RemoteOptions, RemoteOutcome};
 pub use daemon::{Daemon, DaemonOptions, ServeModel, SessionReport};
-pub use handshake::{NetError, PROTOCOL_VERSION};
+pub use handshake::{NetError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+pub use registry::{
+    validate_collection_name, CollectionRegistry, RegistryBuilder, RegistryError,
+    DEFAULT_COLLECTION,
+};
 pub use tcp::TcpTransport;

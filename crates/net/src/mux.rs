@@ -19,6 +19,7 @@
 //! the multiplexer reports the same `TrafficStats` and trace events as
 //! one served by a dedicated thread.
 
+use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -26,14 +27,17 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use msync_core::pipeline::ServeOutcome;
-use msync_core::{CollectionServeMachine, FileEntry, Machine, Output, SyncError};
+use msync_core::{CollectionServeMachine, CollectionSnapshot, Machine, Output, SyncError};
 use msync_protocol::{
     encode_frame, frame_wire_size, ChannelError, Direction, Phase, RetryPolicy, TrafficStats,
 };
 use msync_trace::{Clock, EventKind, MetricsSnapshot, Recorder, SystemClock};
 
 use crate::daemon::{DaemonOptions, SessionReport, REFUSAL_REASON};
-use crate::handshake::{eval_hello, HelloOutcome, NetError};
+use crate::handshake::{
+    eval_hello, parse_admin, unknown_collection_reject, AdminCmd, HelloOutcome, NetError,
+};
+use crate::registry::CollectionRegistry;
 use crate::tcp::FrameBuffer;
 
 /// How long an idle worker sleeps between polls. Far below the ARQ
@@ -54,18 +58,23 @@ fn micros(d: Duration) -> u64 {
 }
 
 /// State shared by every worker thread of one daemon, and by the
-/// blocking thread-per-session model: the served collection, the
+/// blocking thread-per-session model: the collection registry, the
 /// options, the admission counter, the stop flag, and the metrics
 /// aggregate + log-callback sink every finished session reports to.
 pub(crate) struct Shared<F> {
-    /// The served collection, immutable for the daemon's lifetime.
-    pub(crate) files: Vec<FileEntry>,
+    /// The served collections. Entry contents swap at runtime
+    /// (`reload`); the name set is fixed for the daemon's lifetime.
+    pub(crate) registry: Arc<CollectionRegistry>,
     /// Daemon knobs (retry policy, timeouts, admission cap).
     pub(crate) opts: DaemonOptions,
     /// Per-session report callback.
     pub(crate) log: F,
     /// Aggregate of every finished session's metrics snapshot.
     pub(crate) metrics: Arc<Mutex<MetricsSnapshot>>,
+    /// The same finished-session metrics, bucketed by the collection
+    /// the session was bound to. Every bucketed snapshot is also in
+    /// the aggregate, so the buckets sum to it.
+    pub(crate) per_collection: Arc<Mutex<BTreeMap<String, MetricsSnapshot>>>,
     /// Sessions currently admitted (handshaking or serving).
     pub(crate) active: AtomicUsize,
     /// Set by [`Daemon::shutdown`](crate::daemon::Daemon::shutdown).
@@ -103,22 +112,39 @@ where
         self.active.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Merge a finished session into the aggregate, rewrite the metrics
-    /// file if configured, and deliver the report. The admission slot
-    /// is released *before* this runs, so a report's delivery is proof
-    /// the slot is free again.
+    /// Merge a finished session into the aggregate (and, when the
+    /// session was bound to a collection, into that collection's
+    /// bucket), rewrite the metrics file if configured, and deliver
+    /// the report. The admission slot is released *before* this runs,
+    /// so a report's delivery is proof the slot is free again.
     pub(crate) fn deliver(&self, report: SessionReport) {
         let aggregate = {
             let mut agg = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
             agg.merge(&report.metrics);
             agg.clone()
         };
+        if let Some(name) = &report.collection {
+            let mut per = self.per_collection.lock().unwrap_or_else(PoisonError::into_inner);
+            per.entry(name.clone()).or_insert_with(MetricsSnapshot::new).merge(&report.metrics);
+        }
         if let Some(path) = &self.opts.metrics_out {
             // Best-effort: metrics must never fail a session. Atomic so
             // a concurrent scrape never reads a torn rendering.
-            let _ = msync_core::atomic_write_file(path, aggregate.render_prometheus().as_bytes());
+            let _ = msync_core::atomic_write_file(path, self.render_metrics(&aggregate).as_bytes());
         }
         (self.log)(report);
+    }
+
+    /// The daemon's full Prometheus dump: the aggregate (typed, with
+    /// histograms) followed by one `collection`-labeled counter block
+    /// per served collection.
+    pub(crate) fn render_metrics(&self, aggregate: &MetricsSnapshot) -> String {
+        let mut text = aggregate.render_prometheus();
+        let per = self.per_collection.lock().unwrap_or_else(PoisonError::into_inner);
+        for (name, snap) in per.iter() {
+            text.push_str(&snap.render_prometheus_collection(name));
+        }
+        text
     }
 }
 
@@ -143,6 +169,13 @@ struct MuxConn {
     admitted: bool,
     phase: ConnPhase,
     machine: Option<CollectionServeMachine>,
+    /// The snapshot this session was bound to at handshake time. A
+    /// registry swap replaces the entry's `Arc`, never this one: the
+    /// session finishes against the collection it started with.
+    snapshot: Option<Arc<CollectionSnapshot>>,
+    /// Canonical name of the bound collection, for per-collection
+    /// metrics bucketing.
+    collection: Option<String>,
     /// Hello deadline while in `Hello` / `Refused`.
     deadline_us: u64,
     result: Option<Result<ServeOutcome, NetError>>,
@@ -185,6 +218,8 @@ impl MuxConn {
             admitted,
             phase: if admitted { ConnPhase::Hello } else { ConnPhase::Refused },
             machine: None,
+            snapshot: None,
+            collection: None,
             deadline_us: now_us.saturating_add(micros(handshake_timeout)),
             result: None,
             inbuf: FrameBuffer::new(),
@@ -266,10 +301,11 @@ impl MuxConn {
 
     /// Drain the machine's queued effects. Returns whether anything
     /// observable happened (a transmission or the session finishing).
-    fn pump_machine(&mut self, files: &[FileEntry], now_us: u64) -> bool {
+    fn pump_machine(&mut self, now_us: u64) -> bool {
         let Some(mut m) = self.machine.take() else {
             return false;
         };
+        let files = self.snapshot.as_ref().map_or(0, |s| s.len());
         let mut progressed = false;
         loop {
             match m.poll_output(now_us) {
@@ -280,7 +316,7 @@ impl MuxConn {
                 Ok(Output::Attribute { phase }) => self.attribute(phase),
                 Ok(Output::Wait { .. }) => break,
                 Ok(Output::Done) => {
-                    let outcome = m.outcome(files.len(), self.stats_now());
+                    let outcome = m.outcome(files, self.stats_now());
                     self.result = Some(Ok(outcome));
                     self.phase = ConnPhase::Drain;
                     progressed = true;
@@ -297,12 +333,45 @@ impl MuxConn {
         progressed
     }
 
-    /// The client hello arrived: evaluate it, queue the reply, and
-    /// either start the serve machine or begin draining the refusal.
-    fn on_hello(&mut self, payload: &[u8], retry: RetryPolicy, now_us: u64) {
+    /// The first frame arrived on an admitted connection: an admin
+    /// command is executed and answered; a client hello is evaluated,
+    /// resolved against the registry, and — if everything holds — the
+    /// serve machine starts, bound to the resolved snapshot for the
+    /// life of the session.
+    fn on_hello(
+        &mut self,
+        payload: &[u8],
+        registry: &CollectionRegistry,
+        retry: RetryPolicy,
+        now_us: u64,
+    ) {
         self.attribute(Phase::Setup);
-        match eval_hello(payload) {
-            HelloOutcome::Accept { cfg, reply } => {
+        if let Some(cmd) = parse_admin(payload) {
+            self.on_admin(cmd, registry);
+            return;
+        }
+        let outcome = match eval_hello(payload) {
+            HelloOutcome::Accept { cfg, collection, reply } => {
+                match registry.resolve(collection.as_deref()) {
+                    Some((name, snap)) => {
+                        self.snapshot = Some(snap);
+                        self.collection = Some(name);
+                        HelloOutcome::Accept { cfg, collection, reply }
+                    }
+                    // `collection` is Some here: a `None` request
+                    // resolves to the default entry, which always
+                    // exists.
+                    None => {
+                        let (reply, error) =
+                            unknown_collection_reject(collection.as_deref().unwrap_or_default());
+                        HelloOutcome::Reject { reply, error }
+                    }
+                }
+            }
+            reject => reject,
+        };
+        match outcome {
+            HelloOutcome::Accept { cfg, reply, .. } => {
                 self.queue_send(&reply, Phase::Setup, false);
                 self.recorder.record(EventKind::Handshake { ok: true });
                 match CollectionServeMachine::new(&cfg, retry, self.recorder.clone(), now_us) {
@@ -321,6 +390,25 @@ impl MuxConn {
         }
     }
 
+    /// Execute one admin command and answer `ok …` / `err …`. The
+    /// connection then drains: admin exchanges are one-shot.
+    fn on_admin(&mut self, cmd: Result<AdminCmd, String>, registry: &CollectionRegistry) {
+        match cmd.and_then(|AdminCmd::Reload(name)| registry.reload(&name)) {
+            Ok(files) => {
+                self.queue_send(format!("ok {files}").as_bytes(), Phase::Setup, false);
+                self.recorder.record(EventKind::Handshake { ok: true });
+                self.result =
+                    Some(Ok(ServeOutcome { files, sessions: 0, traffic: self.stats_now() }));
+                self.phase = ConnPhase::Drain;
+            }
+            Err(reason) => {
+                self.queue_send(format!("err {reason}").as_bytes(), Phase::Setup, false);
+                self.recorder.record(EventKind::Handshake { ok: false });
+                self.fail(NetError::Handshake(format!("admin command failed: {reason}")));
+            }
+        }
+    }
+
     /// The hello of an over-capacity connection arrived: answer with
     /// the typed refusal and drain.
     fn on_refused_hello(&mut self) {
@@ -332,7 +420,12 @@ impl MuxConn {
 
     /// One poll-loop visit: read, dispatch frames, service deadlines,
     /// flush. Returns whether the connection made observable progress.
-    fn tick(&mut self, files: &[FileEntry], retry: RetryPolicy, clock: &SystemClock) -> bool {
+    fn tick(
+        &mut self,
+        registry: &CollectionRegistry,
+        retry: RetryPolicy,
+        clock: &SystemClock,
+    ) -> bool {
         let now_us = clock.now_micros();
         let mut progressed = false;
 
@@ -376,18 +469,25 @@ impl MuxConn {
                     self.bump(Direction::ClientToServer);
                     match self.phase {
                         ConnPhase::Hello => {
-                            self.on_hello(&payload, retry, now_us);
-                            self.pump_machine(files, now_us);
+                            self.on_hello(&payload, registry, retry, now_us);
+                            self.pump_machine(now_us);
                         }
                         ConnPhase::Refused => self.on_refused_hello(),
                         ConnPhase::Serving => {
                             if let Some(mut m) = self.machine.take() {
-                                let fed = m.on_frame(files, &payload, now_us);
+                                // Serving implies a bound snapshot; the
+                                // machine always sees the one Arc this
+                                // session bound at handshake time.
+                                let snap = self.snapshot.clone();
+                                let fed = match &snap {
+                                    Some(snap) => m.on_frame(snap, &payload, now_us),
+                                    None => Err(SyncError::Desync("serving without a snapshot")),
+                                };
                                 self.machine = Some(m);
                                 if let Err(e) = fed {
                                     self.fail(NetError::Sync(e));
                                 } else {
-                                    self.pump_machine(files, now_us);
+                                    self.pump_machine(now_us);
                                 }
                             }
                         }
@@ -451,7 +551,7 @@ impl MuxConn {
                     progressed = true;
                 }
             }
-            ConnPhase::Serving => progressed |= self.pump_machine(files, now_us),
+            ConnPhase::Serving => progressed |= self.pump_machine(now_us),
             ConnPhase::Drain => {}
         }
 
@@ -519,7 +619,12 @@ impl MuxConn {
         let result = self.result.unwrap_or(Err(NetError::Handshake(
             "session ended before reaching a verdict".to_owned(),
         )));
-        SessionReport { peer: self.peer, result, metrics: self.recorder.snapshot() }
+        SessionReport {
+            peer: self.peer,
+            result,
+            metrics: self.recorder.snapshot(),
+            collection: self.collection,
+        }
     }
 }
 
@@ -565,7 +670,7 @@ where
         }
         let mut i = 0;
         while i < conns.len() {
-            progressed |= conns[i].tick(&shared.files, shared.opts.retry, &clock);
+            progressed |= conns[i].tick(&shared.registry, shared.opts.retry, &clock);
             if conns[i].is_done() {
                 let conn = conns.swap_remove(i);
                 if conn.admitted {

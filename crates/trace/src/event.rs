@@ -258,6 +258,19 @@ pub enum EventKind {
         /// Roster index of the file.
         file_id: u64,
     },
+    /// The server's cross-session hash cache already held a map-phase
+    /// artifact (block hash tree or verification hash); no bytes were
+    /// rehashed for it.
+    HashCacheHit {
+        /// Source bytes the cached artifact covers (work avoided).
+        bytes: u64,
+    },
+    /// The server's cross-session hash cache missed; the artifact was
+    /// computed from the file data and inserted for later sessions.
+    HashCacheMiss {
+        /// Source bytes actually hashed to build the artifact.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -281,6 +294,8 @@ impl EventKind {
             EventKind::ResumeAccept { .. } => "resume_accept",
             EventKind::ResumeReject { .. } => "resume_reject",
             EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::HashCacheHit { .. } => "hash_cache_hit",
+            EventKind::HashCacheMiss { .. } => "hash_cache_miss",
         }
     }
 }
@@ -308,6 +323,8 @@ mod tests {
         assert_eq!(EventKind::Handshake { ok: true }.name(), "handshake");
         assert_eq!(EventKind::ResumeOffer { files: 3 }.name(), "resume_offer");
         assert_eq!(EventKind::CacheHit { file_id: 0 }.name(), "cache_hit");
+        assert_eq!(EventKind::HashCacheHit { bytes: 9 }.name(), "hash_cache_hit");
+        assert_eq!(EventKind::HashCacheMiss { bytes: 9 }.name(), "hash_cache_miss");
         assert_eq!(
             EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 1 }.name(),
             "frame_send"

@@ -1,7 +1,7 @@
-//! The JSONL journal sink: schema v2.
+//! The JSONL journal sink: schema v3.
 //!
 //! One event per line, each line a flat JSON object that is fully
-//! self-describing: `{"v":2,"t_us":<clock>,"kind":"<token>",...}` with
+//! self-describing: `{"v":3,"t_us":<clock>,"kind":"<token>",...}` with
 //! the kind-specific fields flattened alongside. Field values are only
 //! unsigned integers, booleans, and fixed enum tokens — never free
 //! text — so the first-party parser below is complete for everything
@@ -16,8 +16,9 @@ use std::fmt::Write as _;
 
 /// Version stamped into every line's `"v"` field. v2 added the resume
 /// kind tokens (`resume_offer`/`resume_accept`/`resume_reject`/
-/// `cache_hit`).
-pub const SCHEMA_VERSION: u32 = 2;
+/// `cache_hit`); v3 added the server hash-cache tokens
+/// (`hash_cache_hit`/`hash_cache_miss`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Render one event as its JSONL line (no trailing newline).
 #[must_use]
@@ -86,6 +87,9 @@ pub fn render_line(ev: &TraceEvent) -> String {
         }
         EventKind::CacheHit { file_id } => {
             let _ = write!(s, ",\"file_id\":{file_id}");
+        }
+        EventKind::HashCacheHit { bytes } | EventKind::HashCacheMiss { bytes } => {
+            let _ = write!(s, ",\"bytes\":{bytes}");
         }
     }
     s.push('}');
@@ -309,6 +313,8 @@ mod tests {
             EventKind::ResumeAccept { accepted: 10, declined: 2 },
             EventKind::ResumeReject { reason: ResumeRejectTag::ConfigMismatch },
             EventKind::CacheHit { file_id: 7 },
+            EventKind::HashCacheHit { bytes: 16384 },
+            EventKind::HashCacheMiss { bytes: 512 },
         ];
         for (i, kind) in events.into_iter().enumerate() {
             let ev = TraceEvent { t_us: i as u64 * 10, kind };

@@ -49,6 +49,15 @@ pub struct MetricsSnapshot {
     pub resume_rejects: u64,
     /// Files satisfied by the client metadata cache.
     pub cache_hits: u64,
+    /// Server hash-cache lookups satisfied from memory.
+    pub hash_cache_hits: u64,
+    /// Server hash-cache lookups that had to hash file data.
+    pub hash_cache_misses: u64,
+    /// Source bytes whose rehash the server hash cache avoided.
+    pub hash_cache_hit_bytes: u64,
+    /// Source bytes the server actually hashed on cache misses — the
+    /// map-phase hash work; ≈ 0 on a warm cache.
+    pub hash_cache_miss_bytes: u64,
     /// The four latency/size histograms, indexed by [`HistKind::index`].
     pub hists: [Histogram; 4],
 }
@@ -75,6 +84,10 @@ impl MetricsSnapshot {
             resume_accepted_files: 0,
             resume_rejects: 0,
             cache_hits: 0,
+            hash_cache_hits: 0,
+            hash_cache_misses: 0,
+            hash_cache_hit_bytes: 0,
+            hash_cache_miss_bytes: 0,
             hists: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
         }
     }
@@ -110,6 +123,14 @@ impl MetricsSnapshot {
             EventKind::ResumeAccept { accepted, .. } => self.resume_accepted_files += accepted,
             EventKind::ResumeReject { .. } => self.resume_rejects += 1,
             EventKind::CacheHit { .. } => self.cache_hits += 1,
+            EventKind::HashCacheHit { bytes } => {
+                self.hash_cache_hits += 1;
+                self.hash_cache_hit_bytes += bytes;
+            }
+            EventKind::HashCacheMiss { bytes } => {
+                self.hash_cache_misses += 1;
+                self.hash_cache_miss_bytes += bytes;
+            }
             EventKind::MapRound { .. }
             | EventKind::VerifyBatch { .. }
             | EventKind::DeltaPhase { .. }
@@ -157,6 +178,10 @@ impl MetricsSnapshot {
         self.resume_accepted_files += other.resume_accepted_files;
         self.resume_rejects += other.resume_rejects;
         self.cache_hits += other.cache_hits;
+        self.hash_cache_hits += other.hash_cache_hits;
+        self.hash_cache_misses += other.hash_cache_misses;
+        self.hash_cache_hit_bytes += other.hash_cache_hit_bytes;
+        self.hash_cache_miss_bytes += other.hash_cache_miss_bytes;
         for (h, oh) in self.hists.iter_mut().zip(&other.hists) {
             h.merge(oh);
         }
@@ -166,19 +191,39 @@ impl MetricsSnapshot {
     /// `dir`/`phase` labels, histograms with cumulative `le` buckets).
     #[must_use]
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_inner(None)
+    }
+
+    /// [`MetricsSnapshot::render_prometheus`] with an extra
+    /// `collection="<name>"` label on every series — the per-collection
+    /// blocks of the multi-collection daemon's metrics dump. Only
+    /// counter/byte series are emitted (no `# TYPE` comments, which the
+    /// unlabeled aggregate already declared).
+    #[must_use]
+    pub fn render_prometheus_collection(&self, collection: &str) -> String {
+        self.render_prometheus_inner(Some(collection))
+    }
+
+    fn render_prometheus_inner(&self, collection: Option<&str>) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "# TYPE msync_bytes_total counter");
+        // `{dir=...}` with no collection, `{dir=...,collection=...}` with.
+        let suffix = collection.map_or(String::new(), |c| format!(",collection=\"{c}\""));
+        if collection.is_none() {
+            let _ = writeln!(out, "# TYPE msync_bytes_total counter");
+        }
         for dir in [DirTag::C2s, DirTag::S2c] {
             for phase in [PhaseTag::Setup, PhaseTag::Map, PhaseTag::Delta, PhaseTag::Resume] {
                 let _ = writeln!(
                     out,
-                    "msync_bytes_total{{dir=\"{}\",phase=\"{}\"}} {}",
+                    "msync_bytes_total{{dir=\"{}\",phase=\"{}\"{suffix}}} {}",
                     dir.as_str(),
                     phase.as_str(),
                     self.dir_phase_bytes(dir, phase)
                 );
             }
         }
+        // Bare counters grow `{collection=...}` when labeled.
+        let bare = collection.map_or(String::new(), |c| format!("{{collection=\"{c}\"}}"));
         for (name, v) in [
             ("msync_frames_sent_total", self.frames_sent),
             ("msync_frame_recv_batches_total", self.frames_recv),
@@ -196,9 +241,18 @@ impl MetricsSnapshot {
             ("msync_resume_accepted_files_total", self.resume_accepted_files),
             ("msync_resume_rejects_total", self.resume_rejects),
             ("msync_cache_hits_total", self.cache_hits),
+            ("msync_hash_cache_hits_total", self.hash_cache_hits),
+            ("msync_hash_cache_misses_total", self.hash_cache_misses),
+            ("msync_hash_cache_hit_bytes_total", self.hash_cache_hit_bytes),
+            ("msync_hash_cache_miss_bytes_total", self.hash_cache_miss_bytes),
         ] {
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
+            if collection.is_none() {
+                let _ = writeln!(out, "# TYPE {name} counter");
+            }
+            let _ = writeln!(out, "{name}{bare} {v}");
+        }
+        if collection.is_some() {
+            return out;
         }
         for kind in HistKind::ALL {
             let h = &self.hists[kind.index()];
@@ -247,6 +301,8 @@ mod tests {
         m.apply(&EventKind::ResumeAccept { accepted: 4, declined: 1 });
         m.apply(&EventKind::ResumeReject { reason: ResumeRejectTag::ConfigMismatch });
         m.apply(&EventKind::CacheHit { file_id: 2 });
+        m.apply(&EventKind::HashCacheHit { bytes: 4096 });
+        m.apply(&EventKind::HashCacheMiss { bytes: 512 });
         assert_eq!(m.dir_phase_bytes(DirTag::C2s, PhaseTag::Map), 100);
         assert_eq!(m.dir_phase_bytes(DirTag::S2c, PhaseTag::Delta), 50);
         assert_eq!(m.total_bytes(), 150);
@@ -262,6 +318,10 @@ mod tests {
         assert_eq!(m.resume_accepted_files, 4);
         assert_eq!(m.resume_rejects, 1);
         assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.hash_cache_hits, 1);
+        assert_eq!(m.hash_cache_misses, 1);
+        assert_eq!(m.hash_cache_hit_bytes, 4096);
+        assert_eq!(m.hash_cache_miss_bytes, 512);
     }
 
     #[test]
@@ -272,9 +332,13 @@ mod tests {
         let mut b = MetricsSnapshot::new();
         b.apply(&EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Setup, bytes: 5 });
         b.observe(HistKind::FrameRtt, 700);
+        a.apply(&EventKind::HashCacheMiss { bytes: 30 });
+        b.apply(&EventKind::HashCacheMiss { bytes: 12 });
         a.merge(&b);
         assert_eq!(a.dir_phase_bytes(DirTag::C2s, PhaseTag::Setup), 15);
         assert_eq!(a.frames_sent, 2);
+        assert_eq!(a.hash_cache_misses, 2);
+        assert_eq!(a.hash_cache_miss_bytes, 42);
         assert_eq!(a.hists[HistKind::FrameRtt.index()].count(), 2);
         assert_eq!(a.hists[HistKind::FrameRtt.index()].sum(), 1200);
     }
@@ -292,6 +356,26 @@ mod tests {
         // Every line is either a comment or `name[{labels}] value`.
         for line in text.lines() {
             assert!(line.starts_with('#') || line.rsplit_once(' ').is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn collection_labeled_text_labels_every_series() {
+        let mut m = MetricsSnapshot::new();
+        m.apply(&EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 7 });
+        m.apply(&EventKind::HashCacheHit { bytes: 100 });
+        let text = m.render_prometheus_collection("docs");
+        assert!(
+            text.contains("msync_bytes_total{dir=\"c2s\",phase=\"map\",collection=\"docs\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("msync_hash_cache_hits_total{collection=\"docs\"} 1"), "{text}");
+        // No TYPE comments and no histograms in the labeled block; the
+        // aggregate section already declared both.
+        assert!(!text.contains("# TYPE"), "{text}");
+        assert!(!text.contains("_bucket"), "{text}");
+        for line in text.lines() {
+            assert!(line.contains("collection=\"docs\""), "{line}");
         }
     }
 }

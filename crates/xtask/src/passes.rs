@@ -14,6 +14,12 @@
 //!   event appear together or not at all, so a trace journal's
 //!   per-(direction, phase) byte sums equal the run's `TrafficStats`
 //!   by construction (the journal==stats invariant as a compile gate).
+//!   The same pass guards the handshake reject path: a function that
+//!   turns a `HelloOutcome::Reject` into wire bytes (it mentions the
+//!   variant *and* sends) must record `EventKind::Handshake` in the
+//!   same function, so refused hellos — capacity, bad config,
+//!   unknown collection — never vanish from the metrics. Pure
+//!   verdict-builders like `eval_hello` (no send) are exempt.
 //! * **machine-discipline** — every drive loop that polls a sans-IO
 //!   machine handles all four `Output` variants, and the engine modules
 //!   stay effect-pure (no threads, blocking receives, stream reads, or
@@ -286,6 +292,33 @@ fn charge_point(
                         f.name
                     ),
                 ));
+            }
+            // Handshake-reject metering: a function that sends a
+            // rejection must also meter it. "Sends" is any `send(` /
+            // `queue_send(` call in the body; functions that merely
+            // build or pattern-match the verdict without touching the
+            // wire are exempt.
+            let rejects = m.variant_mentions("HelloOutcome", body);
+            if let Some(&(reject_idx, _)) = rejects.iter().find(|(_, v)| v == "Reject") {
+                let sends = (body.0..=body.1).any(|i| {
+                    (m.is_ident(i, "send") || m.is_ident(i, "queue_send"))
+                        && i + 1 <= body.1
+                        && m.is_punct(i + 1, '(')
+                });
+                let metered =
+                    m.variant_mentions("EventKind", body).iter().any(|(_, v)| v == "Handshake");
+                if sends && !metered {
+                    findings.push(Finding::at(
+                        Rule::ChargePoint,
+                        rel,
+                        m,
+                        reject_idx,
+                        format!(
+                            "`{}` sends a handshake rejection (`HelloOutcome::Reject`) without recording EventKind::Handshake in the same function; refused hellos vanish from the metrics",
+                            f.name
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -572,6 +605,39 @@ mod tests {
         assert_eq!(fs.len(), 2, "{fs:?}");
         assert!(fs[0].message.contains("`uncharged`"), "{}", fs[0].message);
         assert!(fs[1].message.contains("`unjournaled`"), "{}", fs[1].message);
+    }
+
+    #[test]
+    fn charge_point_reject_path_must_be_metered() {
+        // Sends the rejection without metering it: flagged.
+        let m = models(&[(
+            "crates/net/src/handshake.rs",
+            "fn refuse(&mut self, o: HelloOutcome) {\n    if let HelloOutcome::Reject { reply, error } = o {\n        self.t.send(&reply, Phase::Setup);\n    }\n}\n",
+        )]);
+        let mut fs = Vec::new();
+        charge_point(&m, &cfg(), &mut fs);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("`refuse`"), "{}", fs[0].message);
+        assert!(fs[0].message.contains("Handshake"), "{}", fs[0].message);
+
+        // Same shape with the metering present: clean. (queue_send is
+        // the multiplexer's transmit spelling.)
+        let m = models(&[(
+            "crates/net/src/mux.rs",
+            "fn refuse(&mut self, o: HelloOutcome) {\n    if let HelloOutcome::Reject { reply, error } = o {\n        self.queue_send(&reply, Phase::Setup, false);\n        self.recorder.record(t, EventKind::Handshake { ok: false }, 0);\n    }\n}\n",
+        )]);
+        let mut fs = Vec::new();
+        charge_point(&m, &cfg(), &mut fs);
+        assert!(fs.is_empty(), "metered reject path is clean: {fs:?}");
+
+        // A pure verdict-builder never touches the wire: exempt.
+        let m = models(&[(
+            "crates/net/src/handshake.rs",
+            "fn eval(text: &str) -> HelloOutcome {\n    HelloOutcome::Reject { reply: Vec::new(), error: NetError::Handshake(text.into()) }\n}\n",
+        )]);
+        let mut fs = Vec::new();
+        charge_point(&m, &cfg(), &mut fs);
+        assert!(fs.is_empty(), "pure reject builders are exempt: {fs:?}");
     }
 
     #[test]

@@ -54,4 +54,7 @@ MSYNC_BENCH=1 cargo test --release -q --test daemon_bench
 echo "==> crash-resume byte gate (resume < restart, warm cache = roster only, BENCH_resume.json)"
 MSYNC_BENCH=1 cargo test --release -q --test fault_injection resume_bench_gate
 
+echo "==> server hash-cache gate (N warm sessions re-hash zero bytes, BENCH_hash_cache.json)"
+MSYNC_BENCH=1 cargo test --release -q --test hash_cache_bench
+
 echo "ci.sh: all gates passed"

@@ -1,0 +1,147 @@
+//! Server hash-cache benchmark gate (ISSUE PR 8): with many clients
+//! syncing one hot collection, the map-phase hashing for any file must
+//! be paid once — by whichever session misses first — and never again
+//! while the snapshot lives.
+//!
+//! Off by default (timing asserts don't belong in plain `cargo test`);
+//! CI runs it with `MSYNC_BENCH=1` in release mode and archives the
+//! measurement as `BENCH_hash_cache.json` in the repo root.
+//!
+//! Method: one cold client pays the whole map-phase hash bill
+//! (`cold_miss_bytes`, all misses); then `CLIENTS` concurrent clients
+//! re-sync the identical collection. The gate asserts the warm burst's
+//! server-side hash work is exactly zero bytes — N sessions, zero
+//! re-hashing — and records the cold-vs-warm wall-clock ratio per
+//! session. (Root integration tests are outside the xtask
+//! clock-discipline scan, so `Instant` is fine here.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use msync::core::{FileEntry, PipelineOptions, ProtocolConfig};
+use msync::corpus::{web_collection, WebParams};
+use msync::net::{sync_remote, Daemon, DaemonOptions, RemoteOptions};
+
+/// Concurrent clients in the warm burst.
+const CLIENTS: usize = 8;
+
+/// A corpus with enough changed bytes that map-phase hashing is real
+/// work: ~150 pages around 20 KB, half touched between the two days.
+fn hot_corpus() -> (Vec<FileEntry>, Vec<FileEntry>) {
+    let params = WebParams {
+        pages: 150,
+        median_size: 20_000,
+        daily_change_prob: 0.5,
+        rewrite_prob: 0.02,
+        seed: 0xCAC4_E001,
+    };
+    let versioned = web_collection(&params, 1);
+    let (day0, day1) = versioned.pair(0, 1);
+    let to_entries = |c: &msync::corpus::Collection| {
+        c.files().iter().map(|f| FileEntry::new(f.name.clone(), f.data.clone())).collect()
+    };
+    (to_entries(day0), to_entries(day1))
+}
+
+fn remote_opts() -> RemoteOptions {
+    RemoteOptions {
+        cfg: ProtocolConfig { start_block: 1024, ..ProtocolConfig::default() },
+        pipeline: PipelineOptions::default(),
+        ..RemoteOptions::default()
+    }
+}
+
+#[test]
+fn warm_cache_serves_n_sessions_with_zero_rehashing() {
+    if std::env::var_os("MSYNC_BENCH").is_none() {
+        eprintln!("hash_cache_bench: set MSYNC_BENCH=1 to run the hash-cache gate");
+        return;
+    }
+    let (old, new) = hot_corpus();
+    let nfiles = new.len();
+    // The client returns before the daemon's session bookkeeping lands
+    // in the aggregate; the log callback fires strictly after the
+    // merge, so reading metrics behind this counter is race-free.
+    let finished = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&finished);
+    let daemon = Daemon::spawn("127.0.0.1:0", new, DaemonOptions::default(), move |r| {
+        r.result.as_ref().expect("bench session succeeds");
+        seen.fetch_add(1, Ordering::SeqCst);
+    })
+    .expect("bind loopback daemon");
+    let addr = Arc::new(daemon.local_addr().to_string());
+    let old = Arc::new(old);
+    let settle = |want: usize| {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while finished.load(Ordering::SeqCst) < want {
+            assert!(Instant::now() < deadline, "daemon reports never arrived");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+
+    // Cold pass: one client, empty cache — every map-phase digest is
+    // computed (and memoized) here.
+    let t0 = Instant::now();
+    let got = sync_remote(&addr, &old, &remote_opts()).expect("cold session");
+    let cold_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(got.outcome.files.len(), nfiles, "cold session must fully sync");
+    settle(1);
+    let cold = daemon.metrics();
+    assert!(cold.hash_cache_miss_bytes > 0, "cold session must hash map-phase bytes");
+    assert_eq!(cold.hash_cache_hits, 0, "an empty cache cannot hit");
+
+    // Warm burst: N concurrent sessions on the now-hot collection.
+    let t1 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = Arc::clone(&addr);
+            let old = Arc::clone(&old);
+            std::thread::spawn(move || {
+                let got = sync_remote(&addr, &old, &remote_opts()).expect("warm session");
+                assert_eq!(got.outcome.files.len(), nfiles, "warm session must fully sync");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("warm client");
+    }
+    let warm_secs = t1.elapsed().as_secs_f64();
+    settle(1 + CLIENTS);
+    let warm = daemon.metrics();
+    daemon.shutdown();
+
+    let warm_miss_bytes = warm.hash_cache_miss_bytes - cold.hash_cache_miss_bytes;
+    let warm_hits = warm.hash_cache_hits - cold.hash_cache_hits;
+    eprintln!(
+        "hash_cache_bench: cold {} miss bytes in {cold_secs:.3}s; warm burst of {CLIENTS} \
+         sessions {warm_miss_bytes} miss bytes, {warm_hits} hits, in {warm_secs:.3}s",
+        cold.hash_cache_miss_bytes
+    );
+
+    // The gate: the hot collection is hashed once, not once per client.
+    assert_eq!(
+        warm_miss_bytes, 0,
+        "{CLIENTS} warm sessions re-hashed {warm_miss_bytes} bytes; the cache must absorb all \
+         map-phase hash work"
+    );
+    assert!(warm_hits > 0, "warm sessions must be served from the cache");
+
+    // Per-session wall clock, cold vs warm (ratio > 1 means the cache
+    // also buys latency, but only the hash-work invariant is gated —
+    // wall clock on a loopback CI box is dominated by the wire).
+    let warm_per_session = warm_secs / CLIENTS as f64;
+    let ratio = cold_secs / warm_per_session.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"hash_cache\",\n  \"clients\": {CLIENTS},\n  \"files\": {nfiles},\n  \
+         \"cold_miss_bytes\": {},\n  \"warm_miss_bytes\": {warm_miss_bytes},\n  \
+         \"warm_hit_bytes\": {},\n  \"cold_secs\": {cold_secs:.4},\n  \
+         \"warm_secs_per_session\": {warm_per_session:.4},\n  \
+         \"cold_vs_warm_ratio\": {ratio:.3}\n}}\n",
+        cold.hash_cache_miss_bytes,
+        warm.hash_cache_hit_bytes - cold.hash_cache_hit_bytes,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_hash_cache.json");
+    std::fs::write(out, &json).expect("write bench json");
+    eprintln!("hash_cache_bench: gate passed -> {out}");
+}

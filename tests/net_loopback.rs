@@ -5,10 +5,15 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use msync::core::{FileEntry, PipelineOptions, ProtocolConfig};
+use msync::core::{sync_collection_client, FileEntry, PipelineOptions, ProtocolConfig};
 use msync::corpus::{web_collection, WebParams};
-use msync::net::{sync_remote, Daemon, DaemonOptions, RemoteOptions, RemoteOutcome};
+use msync::net::handshake::client_hello_as;
+use msync::net::{
+    admin_reload, sync_remote, Daemon, DaemonOptions, NetError, RegistryBuilder, RemoteOptions,
+    RemoteOutcome, TcpTransport,
+};
 use msync::protocol::{Direction, Phase, TrafficStats};
 use msync::trace::{DirTag, MetricsSnapshot, PhaseTag};
 
@@ -333,9 +338,250 @@ fn daemon_metrics_equal_summed_session_stats() {
     assert_eq!(aggregate.handshakes_ok, 2);
     assert_eq!(aggregate.handshakes_failed, 0);
 
-    // --metrics-out dumped the same aggregate as Prometheus text.
+    // --metrics-out dumped the aggregate as Prometheus text, followed
+    // by the per-collection labeled blocks (both sessions bound the
+    // default collection).
     let text = std::fs::read_to_string(&metrics_path).expect("metrics file written");
-    assert_eq!(text, aggregate.render_prometheus());
+    assert!(
+        text.starts_with(&aggregate.render_prometheus()),
+        "metrics text must open with the unlabeled aggregate"
+    );
     assert!(text.contains("msync_bytes_total"), "metrics text missing byte series");
+    assert!(
+        text.contains("collection=\"default\""),
+        "metrics text missing the default collection's labeled block"
+    );
     let _ = std::fs::remove_file(&metrics_path);
+}
+
+/// Sort entries by name, as collection outcomes report them.
+fn sorted(entries: &[FileEntry]) -> Vec<FileEntry> {
+    let mut v = entries.to_vec();
+    v.sort_by(|a, b| a.name.cmp(&b.name));
+    v
+}
+
+fn assert_mirror(outcome: &msync::core::CollectionOutcome, want: &[FileEntry], label: &str) {
+    let want = sorted(want);
+    assert_eq!(outcome.files.len(), want.len(), "{label}: file count");
+    for (have, want) in outcome.files.iter().zip(&want) {
+        assert_eq!(have.name, want.name, "{label}: name order");
+        assert_eq!(have.data, want.data, "{label}: content mismatch for {}", want.name);
+    }
+}
+
+fn run_remote_collection(addr: &str, old: &[FileEntry], collection: &str) -> RemoteOutcome {
+    let opts = RemoteOptions {
+        cfg: small_cfg(),
+        collection: Some(collection.to_string()),
+        ..RemoteOptions::default()
+    };
+    sync_remote(addr, old, &opts).expect("remote sync over loopback")
+}
+
+/// The tentpole guarantee (ISSUE PR 8): a registry swap is atomic under
+/// live traffic. A client that finished its handshake before the
+/// `reload` admin verb ran keeps syncing — and lands byte-exact — on
+/// the snapshot it bound, while a client handshaking after the reload
+/// lands byte-exact on the new tree. The swap is driven over the wire
+/// exactly as `msync` would: `admin_reload` against a registry whose
+/// loader re-reads the collection's (here synthetic) source.
+#[test]
+fn snapshot_swap_is_atomic_under_live_traffic() {
+    let (old, v1) = corpus();
+    // The "recrawled" tree: most files unchanged, some rewritten, one
+    // new — the shape the nightly-recrawl profile models.
+    let mut v2: Vec<FileEntry> = v1.clone();
+    for f in v2.iter_mut().take(12) {
+        let mut data = f.data.clone();
+        data.extend_from_slice(b"<!-- recrawled tonight -->");
+        *f = FileEntry::new(f.name.clone(), data);
+    }
+    v2.push(FileEntry::new("www/page_new.html".to_string(), b"<html>new</html>".to_vec()));
+
+    let source: Arc<Mutex<Vec<FileEntry>>> = Arc::new(Mutex::new(Vec::new()));
+    let loader_src = Arc::clone(&source);
+    let mut builder = RegistryBuilder::new();
+    builder.add("crawl", v1.clone(), Some(std::path::PathBuf::from("/virtual/crawl"))).unwrap();
+    builder.loader(move |_path| Ok(loader_src.lock().expect("loader source").clone()));
+    let daemon = Daemon::spawn_registry(
+        "127.0.0.1:0",
+        Arc::new(builder.build()),
+        DaemonOptions::default(),
+        |_| {},
+    )
+    .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+
+    // In-flight session: handshake now, sync later. Once the hello
+    // reply arrives, the daemon has bound this session to the v1
+    // snapshot Arc.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect in-flight client");
+    let mut t = TcpTransport::client(stream).expect("wrap in-flight client");
+    let cfg = client_hello_as(&mut t, &small_cfg(), Some("crawl"), Duration::from_secs(5))
+        .expect("in-flight handshake");
+
+    // Swap the collection over the wire while that session is open.
+    *source.lock().expect("loader source") = v2.clone();
+    let loaded = admin_reload(&addr, "crawl", Duration::from_secs(5)).expect("admin reload");
+    assert_eq!(loaded, v2.len(), "reload reports the fresh tree's file count");
+
+    // A fresh client sees the new tree...
+    let fresh = run_remote_collection(&addr, &old, "crawl");
+    assert_mirror(&fresh.outcome, &v2, "fresh client after swap");
+
+    // ...while the in-flight session finishes byte-exact on the old
+    // snapshot it started with.
+    let outcome = sync_collection_client(&mut t, &old, &cfg, &PipelineOptions::default())
+        .expect("in-flight session completes after the swap");
+    assert_mirror(&outcome, &v1, "in-flight client across swap");
+
+    // The old snapshot becomes garbage only once the last session
+    // drops it; new handshakes keep getting the new tree.
+    let again = run_remote_collection(&addr, &old, "crawl");
+    daemon.shutdown();
+    assert_mirror(&again.outcome, &v2, "post-swap client");
+}
+
+/// Unknown names are a *typed* refusal, and nameless (or v2) clients
+/// degrade to the default collection rather than being turned away.
+#[test]
+fn unknown_collection_is_typed_and_nameless_clients_get_the_default() {
+    let (old, new) = corpus();
+    let daemon = Daemon::spawn("127.0.0.1:0", new.clone(), DaemonOptions::default(), |_| {})
+        .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+
+    let err = run_remote_try(&addr, &old, Some("ghost"));
+    match err {
+        Err(NetError::UnknownCollection(name)) => assert_eq!(name, "ghost"),
+        other => panic!("expected the typed unknown-collection refusal, got {other:?}"),
+    }
+
+    // No name → the default collection (exactly what a v2 client gets).
+    let got = run_remote(&addr, &old, 16);
+    daemon.shutdown();
+    assert_mirror(&got.outcome, &new, "nameless client on the default collection");
+}
+
+fn run_remote_try(
+    addr: &str,
+    old: &[FileEntry],
+    collection: Option<&str>,
+) -> Result<RemoteOutcome, NetError> {
+    let opts = RemoteOptions {
+        cfg: small_cfg(),
+        collection: collection.map(str::to_owned),
+        ..RemoteOptions::default()
+    };
+    sync_remote(addr, old, &opts)
+}
+
+/// Capacity check (ISSUE PR 8 satellite): with two collections served,
+/// the per-collection metric grids sum cell-by-cell to the daemon's
+/// aggregate — per-collection attribution loses nothing and invents
+/// nothing.
+#[test]
+fn two_collections_metric_grids_sum_to_the_aggregate() {
+    let (old, tree_a) = corpus();
+    let mut tree_b: Vec<FileEntry> = tree_a.iter().take(40).cloned().collect();
+    for f in tree_b.iter_mut() {
+        let mut data = f.data.clone();
+        data.extend_from_slice(b"tree b variant");
+        *f = FileEntry::new(f.name.clone(), data);
+    }
+
+    let mut builder = RegistryBuilder::new();
+    builder.add("alpha", tree_a.clone(), None).unwrap();
+    builder.add("beta", tree_b.clone(), None).unwrap();
+    let done = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&done);
+    let daemon = Daemon::spawn_registry(
+        "127.0.0.1:0",
+        Arc::new(builder.build()),
+        DaemonOptions::default(),
+        move |r| {
+            r.result.as_ref().expect("two-collection session succeeds");
+            seen.fetch_add(1, Ordering::SeqCst);
+        },
+    )
+    .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+
+    let a1 = run_remote_collection(&addr, &old, "alpha");
+    let a2 = run_remote_collection(&addr, &old, "alpha");
+    let b1 = run_remote_collection(&addr, &old, "beta");
+    assert_mirror(&a1.outcome, &tree_a, "alpha client 1");
+    assert_mirror(&a2.outcome, &tree_a, "alpha client 2");
+    assert_mirror(&b1.outcome, &tree_b, "beta client");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while done.load(Ordering::SeqCst) < 3 {
+        assert!(std::time::Instant::now() < deadline, "daemon reports never arrived");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let aggregate = daemon.metrics();
+    let by_collection = daemon.metrics_by_collection();
+    daemon.shutdown();
+
+    assert_eq!(
+        by_collection.keys().collect::<Vec<_>>(),
+        vec!["alpha", "beta"],
+        "exactly the two served collections have buckets"
+    );
+    let mut summed = MetricsSnapshot::new();
+    for snap in by_collection.values() {
+        summed.merge(snap);
+    }
+    // Every session bound a collection, so the buckets account for the
+    // whole aggregate — grid cells, handshakes, session counts, all.
+    assert_eq!(aggregate, summed, "per-collection buckets must sum to the aggregate");
+    assert_eq!(by_collection["alpha"].handshakes_ok, 2);
+    assert_eq!(by_collection["beta"].handshakes_ok, 1);
+}
+
+/// The cross-session hash cache: the first session on a collection pays
+/// the map-phase hashing (all misses), and a second session syncing the
+/// same files pays none of it (all hits) — a hot file is hashed once,
+/// not once per client.
+#[test]
+fn second_session_on_a_hot_collection_hits_the_hash_cache() {
+    let (old, new) = corpus();
+    let reports: Arc<Mutex<Vec<MetricsSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&reports);
+    let daemon = Daemon::spawn("127.0.0.1:0", new.clone(), DaemonOptions::default(), move |r| {
+        r.result.as_ref().expect("hot-collection session succeeds");
+        sink.lock().expect("report sink").push(r.metrics.clone());
+    })
+    .expect("bind loopback daemon");
+    let addr = daemon.local_addr().to_string();
+
+    // Identical syncs: same old mirror, same config, same collection.
+    run_remote(&addr, &old, 16);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while reports.lock().expect("report sink").len() < 1 {
+        assert!(std::time::Instant::now() < deadline, "first report never arrived");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    run_remote(&addr, &old, 16);
+    while reports.lock().expect("report sink").len() < 2 {
+        assert!(std::time::Instant::now() < deadline, "second report never arrived");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.shutdown();
+
+    let reports = reports.lock().expect("report sink");
+    let (first, second) = (&reports[0], &reports[1]);
+    assert!(first.hash_cache_misses > 0, "first session must compute map-phase hashes");
+    assert_eq!(first.hash_cache_hits, 0, "an empty cache cannot hit");
+    assert_eq!(
+        second.hash_cache_misses, 0,
+        "second identical session must re-hash nothing (misses: {})",
+        second.hash_cache_misses
+    );
+    assert!(second.hash_cache_hits > 0, "second session must be served from the cache");
+    assert_eq!(
+        second.hash_cache_hit_bytes, first.hash_cache_miss_bytes,
+        "the second session's hits cover exactly the bytes the first session hashed"
+    );
 }
