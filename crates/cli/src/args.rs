@@ -73,6 +73,10 @@ pub enum Command {
         /// Directory whose immediate subdirectories each become a
         /// collection named after the subdirectory.
         registry_dir: Option<PathBuf>,
+        /// Slow-session watchdog threshold in milliseconds; a session
+        /// stuck in one protocol phase longer than this gets one trace
+        /// event and one WARN line per stall. `None` disables it.
+        slow_session_ms: Option<u64>,
     },
     /// Ask a running daemon to atomically reload one collection from
     /// its source tree.
@@ -81,6 +85,29 @@ pub enum Command {
         name: String,
         /// Address of the `msync serve` daemon.
         remote: String,
+    },
+    /// Fetch a running daemon's metrics exposition (the `stats` admin
+    /// verb).
+    Stats {
+        /// Address of the `msync serve` daemon.
+        remote: String,
+        /// Print the flat JSON rendering instead of Prometheus text.
+        json: bool,
+    },
+    /// Live session/health view of a running daemon, refreshed until
+    /// interrupted (the `sessions` + `health` admin verbs).
+    Top {
+        /// Address of the `msync serve` daemon.
+        remote: String,
+        /// Refresh interval in milliseconds.
+        interval_ms: u64,
+    },
+    /// Re-render a JSONL trace journal as Chrome `trace_event` JSON.
+    TraceExport {
+        /// The journal file (from `msync sync --trace-out`).
+        input: PathBuf,
+        /// Where to write the trace JSON; stdout when omitted.
+        output: Option<PathBuf>,
     },
     /// Per-round protocol trace for one file pair.
     Inspect {
@@ -135,8 +162,11 @@ USAGE:
                [--trace-out FILE] [--state-dir DIR [--resume] [--no-cache]]
     msync serve [ROOT] [--collection NAME=PATH]... [--registry-dir DIR]
                 [--listen ADDR] [--metrics-out FILE] [--workers N]
-                [--max-sessions N]
+                [--max-sessions N] [--slow-session-ms N]
     msync reload <NAME> --remote ADDR
+    msync stats --remote ADDR [--json]
+    msync top --remote ADDR [--interval MS]
+    msync trace-export <JOURNAL> [--out FILE]
     msync inspect <OLD> <NEW> [--config FILE | --preset NAME]
     msync chunks <FILE> [--avg BYTES]
     msync params [--preset NAME]
@@ -183,11 +213,23 @@ unchanged tree exchange only the roster; --no-cache disables it for
 one run.
 
 Observability: `msync sync ... --trace-out run.jsonl` writes one JSON
-object per trace event (frame charges, map rounds, faults, sessions;
-schema v1 — validate with `cargo run -p xtask -- check-journal`), and
-`msync serve ... --metrics-out metrics.prom` keeps a Prometheus-style
-rendering of the daemon's aggregate counters and latency histograms
-fresh after every session.
+object per trace event (frame charges, map rounds, faults, sessions —
+validate with `cargo run -p xtask -- check-journal`), and `msync serve
+... --metrics-out metrics.prom` keeps a Prometheus-style rendering of
+the daemon's aggregate counters and latency histograms fresh after
+every session.
+
+Introspection: a running daemon answers admin verbs without disturbing
+live sessions. `msync stats --remote ADDR` fetches the full metrics
+exposition (Prometheus text plus 10s/60s windowed rate gauges; --json
+for the flat JSON rendering), `msync top --remote ADDR` refreshes a
+live table of in-flight sessions plus daemon vitals every --interval
+(default 1000 ms, Ctrl-C to quit). `msync serve ... --slow-session-ms
+N` arms a watchdog: a session stuck in one protocol phase longer than
+N ms gets a slow_session trace event and a WARN line, once per phase.
+`msync trace-export run.jsonl --out run.trace.json` re-renders a trace
+journal as Chrome trace_event JSON (load in chrome://tracing or
+Perfetto).
 ";
 
 /// Parse `argv[1..]`.
@@ -369,6 +411,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             let mut max_sessions: Option<usize> = None;
             let mut collections: Vec<(String, PathBuf)> = Vec::new();
             let mut registry_dir: Option<PathBuf> = None;
+            let mut slow_session_ms: Option<u64> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--listen" => listen = it.next().ok_or("--listen needs an address")?.clone(),
@@ -417,6 +460,17 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                             it.next().ok_or("--registry-dir needs a directory")?,
                         ))
                     }
+                    "--slow-session-ms" => {
+                        let ms: u64 = it
+                            .next()
+                            .ok_or("--slow-session-ms needs a threshold in milliseconds")?
+                            .parse()
+                            .map_err(|_| "--slow-session-ms needs an integer".to_string())?;
+                        if ms == 0 {
+                            return Err("--slow-session-ms must be at least 1".into());
+                        }
+                        slow_session_ms = Some(ms);
+                    }
                     other => return Err(format!("unknown flag `{other}` for `serve`")),
                 }
             }
@@ -442,6 +496,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 max_sessions,
                 collections,
                 registry_dir,
+                slow_session_ms,
             }
         }
         "reload" => {
@@ -460,6 +515,58 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             let remote = remote.ok_or("reload needs --remote ADDR (the daemon to ask)")?;
             Command::Reload { name, remote }
+        }
+        "stats" => {
+            let mut remote: Option<String> = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--remote" => {
+                        remote = Some(it.next().ok_or("--remote needs an address")?.clone())
+                    }
+                    "--json" => json = true,
+                    other => return Err(format!("unknown flag `{other}` for `stats`")),
+                }
+            }
+            let remote = remote.ok_or("stats needs --remote ADDR (the daemon to scrape)")?;
+            Command::Stats { remote, json }
+        }
+        "top" => {
+            let mut remote: Option<String> = None;
+            let mut interval_ms = 1000u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--remote" => {
+                        remote = Some(it.next().ok_or("--remote needs an address")?.clone())
+                    }
+                    "--interval" => {
+                        interval_ms = it
+                            .next()
+                            .ok_or("--interval needs milliseconds")?
+                            .parse()
+                            .map_err(|_| "--interval needs an integer".to_string())?;
+                        if interval_ms == 0 {
+                            return Err("--interval must be at least 1".into());
+                        }
+                    }
+                    other => return Err(format!("unknown flag `{other}` for `top`")),
+                }
+            }
+            let remote = remote.ok_or("top needs --remote ADDR (the daemon to watch)")?;
+            Command::Top { remote, interval_ms }
+        }
+        "trace-export" => {
+            let input = PathBuf::from(it.next().ok_or("missing <JOURNAL> path")?);
+            let mut output: Option<PathBuf> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => {
+                        output = Some(PathBuf::from(it.next().ok_or("--out needs a file path")?))
+                    }
+                    other => return Err(format!("unknown flag `{other}` for `trace-export`")),
+                }
+            }
+            Command::TraceExport { input, output }
         }
         "chunks" => {
             let file = PathBuf::from(it.next().ok_or("missing <FILE> path")?);
@@ -612,6 +719,7 @@ mod tests {
                 max_sessions: None,
                 collections: Vec::new(),
                 registry_dir: None,
+                slow_session_ms: None,
             }
         );
         let cli = parse(&["serve", "/srv/tree", "--listen", "0.0.0.0:7777"]).unwrap();
@@ -692,6 +800,60 @@ mod tests {
         assert!(parse(&["reload", "crawl"]).unwrap_err().contains("--remote"));
         assert!(parse(&["reload"]).unwrap_err().contains("NAME"));
         assert!(parse(&["reload", "../up", "--remote", "h:1"]).is_err());
+    }
+
+    #[test]
+    fn serve_slow_session_flag_parses_and_validates() {
+        let cli = parse(&["serve", "/srv", "--slow-session-ms", "2500"]).unwrap();
+        match cli.command {
+            Command::Serve { slow_session_ms, .. } => assert_eq!(slow_session_ms, Some(2500)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["serve", "/srv", "--slow-session-ms", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["serve", "/srv", "--slow-session-ms", "soon"]).is_err());
+        assert!(parse(&["serve", "/srv", "--slow-session-ms"]).is_err());
+    }
+
+    #[test]
+    fn stats_and_top_parse_and_require_remote() {
+        let cli = parse(&["stats", "--remote", "h:1"]).unwrap();
+        assert_eq!(cli.command, Command::Stats { remote: "h:1".into(), json: false });
+        let cli = parse(&["stats", "--remote", "h:1", "--json"]).unwrap();
+        assert_eq!(cli.command, Command::Stats { remote: "h:1".into(), json: true });
+        assert!(parse(&["stats"]).unwrap_err().contains("--remote"));
+        assert!(parse(&["stats", "--remote", "h:1", "--yaml"]).is_err());
+
+        let cli = parse(&["top", "--remote", "h:1"]).unwrap();
+        assert_eq!(cli.command, Command::Top { remote: "h:1".into(), interval_ms: 1000 });
+        let cli = parse(&["top", "--remote", "h:1", "--interval", "250"]).unwrap();
+        assert_eq!(cli.command, Command::Top { remote: "h:1".into(), interval_ms: 250 });
+        assert!(parse(&["top"]).unwrap_err().contains("--remote"));
+        assert!(parse(&["top", "--remote", "h:1", "--interval", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["top", "--remote", "h:1", "--interval", "x"]).is_err());
+    }
+
+    #[test]
+    fn trace_export_parses() {
+        let cli = parse(&["trace-export", "run.jsonl"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::TraceExport { input: PathBuf::from("run.jsonl"), output: None }
+        );
+        let cli = parse(&["trace-export", "run.jsonl", "--out", "run.trace.json"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::TraceExport {
+                input: PathBuf::from("run.jsonl"),
+                output: Some(PathBuf::from("run.trace.json")),
+            }
+        );
+        assert!(parse(&["trace-export"]).unwrap_err().contains("JOURNAL"));
+        assert!(parse(&["trace-export", "run.jsonl", "--out"]).unwrap_err().contains("file path"));
+        assert!(parse(&["trace-export", "run.jsonl", "--format", "x"]).is_err());
     }
 
     #[test]

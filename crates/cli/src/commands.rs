@@ -10,7 +10,7 @@ use msync_corpus::fsload::load_dir;
 use msync_corpus::Collection;
 use msync_hash::file_fingerprint;
 use msync_protocol::LinkModel;
-use msync_trace::{render_journal, Recorder};
+use msync_trace::{render_chrome_trace, render_journal, Recorder};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -80,6 +80,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             max_sessions,
             collections,
             registry_dir,
+            slow_session_ms,
         } => serve_cmd(
             root.as_deref(),
             listen,
@@ -88,8 +89,12 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             *max_sessions,
             collections,
             registry_dir.as_deref(),
+            *slow_session_ms,
         ),
         Command::Reload { name, remote } => reload_cmd(name, remote),
+        Command::Stats { remote, json } => stats_cmd(remote, *json),
+        Command::Top { remote, interval_ms } => top_cmd(remote, *interval_ms),
+        Command::TraceExport { input, output } => trace_export_cmd(input, output.as_deref()),
         Command::Inspect { old, new, config } => inspect(old, new, config),
     }
 }
@@ -101,6 +106,75 @@ fn reload_cmd(name: &str, remote: &str) -> Result<String, String> {
     let nfiles = msync_net::admin_reload(remote, name, timeout)
         .map_err(|e| format!("reload failed: {e}"))?;
     Ok(format!("reloaded collection `{name}` on {remote}: {nfiles} files\n"))
+}
+
+/// `msync stats --remote ADDR`: one scrape of the daemon's metrics
+/// exposition, printed verbatim.
+fn stats_cmd(remote: &str, json: bool) -> Result<String, String> {
+    let timeout = std::time::Duration::from_secs(10);
+    msync_net::admin_stats(remote, json, timeout).map_err(|e| format!("stats failed: {e}"))
+}
+
+/// One `msync top` frame. Pure so the layout is unit-testable; the
+/// live loop only adds the fetch and the screen clear.
+fn render_top(remote: &str, sessions: &str, health: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "msync top — {remote}");
+    let _ = writeln!(out, "\nsessions:");
+    if sessions.trim().is_empty() {
+        let _ = writeln!(out, "  (none in flight)");
+    } else {
+        for line in sessions.lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    let _ = writeln!(out, "\nhealth:");
+    for line in health.lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+/// One refresh against a live daemon: the `sessions` and `health`
+/// admin verbs, rendered as a `top` frame.
+fn fetch_top(remote: &str) -> Result<String, String> {
+    let timeout = std::time::Duration::from_secs(10);
+    let sessions =
+        msync_net::admin_sessions(remote, timeout).map_err(|e| format!("top failed: {e}"))?;
+    let health =
+        msync_net::admin_health(remote, timeout).map_err(|e| format!("top failed: {e}"))?;
+    Ok(render_top(remote, &sessions, &health))
+}
+
+/// `msync top --remote ADDR`: refresh the live view until interrupted
+/// (ctrl-c) or the daemon goes away.
+fn top_cmd(remote: &str, interval_ms: u64) -> Result<String, String> {
+    loop {
+        let frame = fetch_top(remote)?;
+        // Home + clear-to-end keeps refreshes from scrolling the
+        // terminal while leaving scrollback alone.
+        print!("\x1b[H\x1b[J{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// `msync trace-export`: re-render a JSONL trace journal as Chrome
+/// `trace_event` JSON (chrome://tracing, Perfetto).
+fn trace_export_cmd(input: &Path, output: Option<&Path>) -> Result<String, String> {
+    let journal =
+        fs::read_to_string(input).map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+    let trace = render_chrome_trace(&journal).map_err(|e| format!("{}: {e}", input.display()))?;
+    match output {
+        Some(path) => {
+            atomic_write_file(path, trace.as_bytes())?;
+            // The array renders one span per line between `[` and `]`.
+            let spans = trace.lines().count().saturating_sub(2);
+            Ok(format!("chrome trace: {spans} span(s) → {}\n", path.display()))
+        }
+        None => Ok(trace),
+    }
 }
 
 /// Load one directory into registry-ready entries.
@@ -160,6 +234,7 @@ fn build_registry(
 
 /// `serve`: load every collection once, then serve them to every
 /// connection until killed. Never returns on success.
+#[allow(clippy::too_many_arguments)]
 fn serve_cmd(
     root: Option<&Path>,
     listen: &str,
@@ -168,6 +243,7 @@ fn serve_cmd(
     max_sessions: Option<usize>,
     collections: &[(String, std::path::PathBuf)],
     registry_dir: Option<&Path>,
+    slow_session_ms: Option<u64>,
 ) -> Result<String, String> {
     let registry = std::sync::Arc::new(build_registry(root, collections, registry_dir)?);
     let mut summary = String::new();
@@ -186,6 +262,7 @@ fn serve_cmd(
         metrics_out: metrics_out.map(Path::to_path_buf),
         workers,
         max_sessions,
+        slow_session: slow_session_ms.map(std::time::Duration::from_millis),
         ..Default::default()
     };
     let daemon = msync_net::Daemon::spawn_registry(
@@ -210,6 +287,9 @@ fn serve_cmd(
     if let Some(path) = metrics_out {
         println!("metrics → {} (rewritten after every session)", path.display());
     }
+    if let Some(ms) = slow_session_ms {
+        println!("slow-session watchdog armed at {ms} ms per protocol phase");
+    }
     println!("listening on {} (ctrl-c to stop)", daemon.local_addr());
     daemon.wait();
     Ok(String::new())
@@ -233,8 +313,15 @@ fn write_journal(
 ) -> Result<(), String> {
     let Some(path) = path else { return Ok(()) };
     let events = recorder.drain_events();
+    let dropped = recorder.snapshot().events_dropped;
     atomic_write_file(path, render_journal(&events).as_bytes())?;
     let _ = writeln!(report, "trace journal: {} event(s) → {}", events.len(), path.display());
+    if dropped > 0 {
+        let _ = writeln!(
+            report,
+            "warning: trace ring dropped {dropped} event(s); the journal is incomplete"
+        );
+    }
     Ok(())
 }
 
@@ -960,5 +1047,101 @@ mod tests {
     fn help_is_usage() {
         let report = run_words(&["help"]).unwrap();
         assert!(report.contains("USAGE"));
+    }
+
+    #[test]
+    fn stats_and_top_scrape_a_live_daemon() {
+        let files = vec![FileEntry::new("a.txt", b"served body ".repeat(100))];
+        let daemon = msync_net::Daemon::spawn(
+            "127.0.0.1:0",
+            files,
+            msync_net::DaemonOptions::default(),
+            |_| {},
+        )
+        .unwrap();
+        let addr = daemon.local_addr().to_string();
+
+        let prom = run_words(&["stats", "--remote", &addr]).unwrap();
+        assert!(prom.contains("# TYPE msync_"), "{prom}");
+        assert!(prom.contains("msync_rate_bytes_per_sec"), "{prom}");
+        let json = run_words(&["stats", "--remote", &addr, "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('{'), "{json}");
+
+        let frame = fetch_top(&addr).unwrap();
+        assert!(frame.contains(&format!("msync top — {addr}")), "{frame}");
+        assert!(frame.contains("(none in flight)"), "{frame}");
+        assert!(frame.contains("uptime_us="), "{frame}");
+        assert!(frame.contains("workers="), "{frame}");
+        daemon.shutdown();
+
+        // A dead daemon is a typed failure, not a hang or a panic.
+        assert!(run_words(&["stats", "--remote", &addr]).unwrap_err().contains("stats failed"));
+    }
+
+    #[test]
+    fn render_top_formats_sessions_and_health() {
+        let frame = render_top("h:1", "id=1 phase=map\nid=2 phase=delta\n", "uptime_us=5\n");
+        assert!(frame.contains("msync top — h:1"), "{frame}");
+        assert!(frame.contains("  id=1 phase=map"), "{frame}");
+        assert!(frame.contains("  id=2 phase=delta"), "{frame}");
+        assert!(frame.contains("  uptime_us=5"), "{frame}");
+        assert!(render_top("h:1", "", "uptime_us=5\n").contains("(none in flight)"));
+    }
+
+    #[test]
+    fn trace_export_renders_chrome_json() {
+        let d = tmpdir("chrome");
+        let old = d.join("old.txt");
+        let new = d.join("new.txt");
+        fs::write(&old, b"spanful body ".repeat(2000)).unwrap();
+        fs::write(
+            &new,
+            b"spanful body ".repeat(2000).iter().chain(b"tail").copied().collect::<Vec<u8>>(),
+        )
+        .unwrap();
+        let journal = d.join("run.jsonl");
+        run_words(&[
+            "sync",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--trace-out",
+            journal.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // Stdout mode returns the array itself.
+        let text = run_words(&["trace-export", journal.to_str().unwrap()]).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+
+        // --out writes the file and reports the span count.
+        let out = d.join("run.trace.json");
+        let report =
+            run_words(&["trace-export", journal.to_str().unwrap(), "--out", out.to_str().unwrap()])
+                .unwrap();
+        assert!(report.contains("span(s)"), "{report}");
+        assert_eq!(fs::read_to_string(&out).unwrap(), text);
+
+        // A journal that is not a journal names the offending line.
+        let bad = d.join("bad.jsonl");
+        fs::write(&bad, "nonsense\n").unwrap();
+        assert!(run_words(&["trace-export", bad.to_str().unwrap()]).is_err());
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn write_journal_warns_when_the_ring_dropped_events() {
+        use msync_trace::{DirTag, EventKind, PhaseTag};
+        let d = tmpdir("dropwarn");
+        let rec = Recorder::system();
+        // Overfill the ring so the tail falls off.
+        for _ in 0..70_000 {
+            rec.record(EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 1 });
+        }
+        let mut report = String::new();
+        write_journal(&mut report, &rec, Some(&d.join("j.jsonl"))).unwrap();
+        assert!(report.contains("dropped"), "{report}");
+        assert!(report.contains("incomplete"), "{report}");
+        fs::remove_dir_all(&d).unwrap();
     }
 }

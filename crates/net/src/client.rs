@@ -156,19 +156,59 @@ pub fn sync_remote_with(
 /// [`NetError::Handshake`] when the daemon answers `err` (unknown
 /// name, no source directory, loader failure) or gibberish.
 pub fn admin_reload(addr: &str, collection: &str, timeout: Duration) -> Result<usize, NetError> {
+    let payload = admin_exchange(addr, &format!("reload {collection}"), timeout)?;
+    payload
+        .trim()
+        .parse::<usize>()
+        .map_err(|_| NetError::Handshake("reload reply is not a file count".to_owned()))
+}
+
+/// Fetch the daemon's metrics exposition (the `stats` admin verb):
+/// Prometheus text plus windowed rate gauges, or — with `json` — the
+/// flat JSON rendering of the aggregate counters.
+///
+/// # Errors
+/// As [`admin_reload`].
+pub fn admin_stats(addr: &str, json: bool, timeout: Duration) -> Result<String, NetError> {
+    admin_exchange(addr, if json { "stats json" } else { "stats" }, timeout)
+}
+
+/// Fetch the daemon's live session table (the `sessions` admin verb):
+/// one `key=value` line per in-flight session.
+///
+/// # Errors
+/// As [`admin_reload`].
+pub fn admin_sessions(addr: &str, timeout: Duration) -> Result<String, NetError> {
+    admin_exchange(addr, "sessions", timeout)
+}
+
+/// Fetch the daemon's vitals (the `health` admin verb): uptime, worker
+/// occupancy, admission headroom, drop and watchdog counters, reload
+/// stamps — as `key=value` lines.
+///
+/// # Errors
+/// As [`admin_reload`].
+pub fn admin_health(addr: &str, timeout: Duration) -> Result<String, NetError> {
+    admin_exchange(addr, "health", timeout)
+}
+
+/// One-shot admin exchange: connect, send `msync-admin <verb …>`,
+/// return the payload after the `ok` acknowledgement.
+fn admin_exchange(addr: &str, verb: &str, timeout: Duration) -> Result<String, NetError> {
     let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
     let mut t = TcpTransport::client(stream).map_err(NetError::Io)?;
-    let cmd = format!("msync-admin reload {collection}");
+    let cmd = format!("msync-admin {verb}");
     t.send(cmd.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
     let reply = t.recv_timeout(timeout).map_err(NetError::Channel)?;
     t.attribute_inbound(Phase::Setup);
     let text = std::str::from_utf8(&reply)
         .map_err(|_| NetError::Handshake("admin reply is not UTF-8".to_owned()))?;
     if let Some(reason) = text.strip_prefix("err ") {
-        return Err(NetError::Handshake(format!("daemon refused reload: {}", reason.trim())));
+        return Err(NetError::Handshake(format!("daemon refused {verb}: {}", reason.trim())));
     }
-    text.strip_prefix("ok ")
-        .and_then(|n| n.trim().parse::<usize>().ok())
+    // `ok <inline>` (reload) or `ok\n<payload>` (introspection verbs).
+    text.strip_prefix("ok")
+        .map(|rest| rest.strip_prefix(|c| c == '\n' || c == ' ').unwrap_or(rest).to_owned())
         .ok_or_else(|| NetError::Handshake("admin reply is neither ok nor err".to_owned()))
 }
 

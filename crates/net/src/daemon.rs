@@ -38,7 +38,7 @@ use msync_trace::{EventKind, MetricsSnapshot, Recorder};
 use crate::handshake::{
     eval_hello, parse_admin, unknown_collection_reject, AdminCmd, HelloOutcome, NetError,
 };
-use crate::mux::{worker_loop, Shared};
+use crate::mux::{worker_loop, Introspect, Shared};
 use crate::registry::CollectionRegistry;
 use crate::tcp::TcpTransport;
 
@@ -82,6 +82,12 @@ pub struct DaemonOptions {
     pub max_sessions: Option<usize>,
     /// How accepted connections are serviced.
     pub model: ServeModel,
+    /// Slow-session watchdog threshold (`--slow-session-ms N`): a
+    /// session stuck in one protocol phase longer than this gets one
+    /// `slow_session` trace event and one WARN line per stall. `None`
+    /// disables the watchdog. Multiplex model only — the blocking
+    /// model has no poll loop to run it on.
+    pub slow_session: Option<Duration>,
 }
 
 impl Default for DaemonOptions {
@@ -93,6 +99,7 @@ impl Default for DaemonOptions {
             workers: 0,
             max_sessions: None,
             model: ServeModel::Multiplex,
+            slow_session: None,
         }
     }
 }
@@ -168,6 +175,13 @@ impl Daemon {
         let per_collection = Arc::new(Mutex::new(BTreeMap::new()));
         let model = opts.model;
         let workers = worker_count(opts.workers);
+        let intro = Arc::new(Introspect::new(
+            match model {
+                ServeModel::Multiplex => workers,
+                ServeModel::ThreadPerSession => 1,
+            },
+            opts.slow_session,
+        ));
         let shared = Arc::new(Shared {
             registry: Arc::clone(&registry),
             opts,
@@ -176,6 +190,7 @@ impl Daemon {
             per_collection: Arc::clone(&per_collection),
             active: AtomicUsize::new(0),
             stop: Arc::clone(&stop),
+            intro,
         });
         let mut threads = Vec::new();
         match model {
@@ -282,7 +297,7 @@ where
         thread::spawn(move || {
             let peer = stream.peer_addr().ok();
             let (result, session_metrics, collection) = if admitted {
-                serve_session(stream, &shared.registry, &shared.opts)
+                serve_session(stream, &shared)
             } else {
                 refuse_session(stream, &shared.opts)
             };
@@ -296,14 +311,23 @@ where
 
 /// One connection: handshake (or admin command), then pipelined
 /// collection service against the snapshot resolved at handshake time.
-/// The session runs under its own trace recorder; whatever it measured
-/// is returned alongside the outcome, even on failure.
-fn serve_session(
+/// The session runs under its own trace recorder (on the daemon's
+/// shared clock, with a live status slot on the board); whatever it
+/// measured is returned alongside the outcome, even on failure.
+fn serve_session<F>(
     stream: TcpStream,
-    registry: &CollectionRegistry,
-    opts: &DaemonOptions,
-) -> (Result<ServeOutcome, NetError>, MetricsSnapshot, Option<String>) {
-    let recorder = Recorder::system();
+    shared: &Shared<F>,
+) -> (Result<ServeOutcome, NetError>, MetricsSnapshot, Option<String>)
+where
+    F: Fn(SessionReport) + Send + Sync + 'static,
+{
+    let opts = &shared.opts;
+    let recorder = Recorder::with_clock(shared.intro.clock.clone());
+    let peer_label = stream.peer_addr().map_or_else(|_| "-".to_owned(), |p| p.to_string());
+    let mut status = Some(shared.intro.board.register(&peer_label));
+    if let Some(handle) = &status {
+        recorder.set_status(handle.clone());
+    }
     let mut collection = None;
     let result = (|| {
         let mut t = TcpTransport::server(stream).map_err(NetError::Io)?;
@@ -311,12 +335,19 @@ fn serve_session(
         let hello = t.recv_timeout(opts.handshake_timeout).map_err(NetError::Channel)?;
         t.attribute_inbound(Phase::Setup);
         if let Some(cmd) = parse_admin(&hello) {
-            return admin_session(&mut t, cmd, registry, &recorder);
+            // An admin exchange is not a sync session: de-list it
+            // before rendering, so `sessions` never shows the scrape.
+            recorder.clear_status();
+            status = None;
+            return admin_session(&mut t, cmd, shared, &recorder);
         }
         let (reply, error) = match eval_hello(&hello) {
             HelloOutcome::Accept { cfg, collection: requested, reply } => {
-                match registry.resolve(requested.as_deref()) {
+                match shared.registry.resolve(requested.as_deref()) {
                     Some((name, snap)) => {
+                        if let Some(handle) = &status {
+                            handle.set_collection(&name);
+                        }
                         collection = Some(name);
                         t.send(&reply, Phase::Setup).map_err(NetError::Channel)?;
                         recorder.record(EventKind::Handshake { ok: true });
@@ -334,20 +365,25 @@ fn serve_session(
         recorder.record(EventKind::Handshake { ok: false });
         Err(error)
     })();
+    drop(status);
     (result, recorder.snapshot(), collection)
 }
 
 /// Execute one admin command on the blocking path and answer
-/// `ok …` / `err …`.
-fn admin_session(
+/// `ok …` / `err …`. The verbs themselves are shared with the
+/// multiplexer ([`Shared::execute_admin`]).
+fn admin_session<F>(
     t: &mut TcpTransport,
     cmd: Result<AdminCmd, String>,
-    registry: &CollectionRegistry,
+    shared: &Shared<F>,
     recorder: &Recorder,
-) -> Result<ServeOutcome, NetError> {
-    match cmd.and_then(|AdminCmd::Reload(name)| registry.reload(&name)) {
-        Ok(files) => {
-            t.send(format!("ok {files}").as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+) -> Result<ServeOutcome, NetError>
+where
+    F: Fn(SessionReport) + Send + Sync + 'static,
+{
+    match cmd.and_then(|cmd| shared.execute_admin(cmd)) {
+        Ok((reply, files)) => {
+            t.send(reply.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
             recorder.record(EventKind::Handshake { ok: true });
             Ok(ServeOutcome { files, sessions: 0, traffic: t.stats() })
         }

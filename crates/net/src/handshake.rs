@@ -322,6 +322,20 @@ pub(crate) enum AdminCmd {
     /// `msync-admin reload <collection>`: re-read the named
     /// collection's source directory and swap the snapshot in.
     Reload(String),
+    /// `msync-admin stats [json]`: the daemon-wide metrics exposition
+    /// (Prometheus text plus windowed rate gauges, or the flat JSON
+    /// rendering with the `json` token).
+    Stats {
+        /// Whether the reply is the flat JSON rendering instead of
+        /// Prometheus text.
+        json: bool,
+    },
+    /// `msync-admin sessions`: the live session table, one
+    /// `key=value` line per in-flight session.
+    Sessions,
+    /// `msync-admin health`: daemon vitals — uptime, worker occupancy,
+    /// admission headroom, drop/watchdog counters, reload stamps.
+    Health,
 }
 
 /// Classify a first frame as an admin command. `None` means the frame
@@ -334,7 +348,7 @@ pub(crate) fn parse_admin(frame: &[u8]) -> Option<Result<AdminCmd, String>> {
     if words.next() != Some(ADMIN_MAGIC) {
         return None;
     }
-    Some(match words.next() {
+    let cmd = match words.next() {
         Some("reload") => match words.next() {
             Some(name) => match validate_collection_name(name) {
                 Ok(()) => Ok(AdminCmd::Reload(name.to_owned())),
@@ -342,9 +356,36 @@ pub(crate) fn parse_admin(frame: &[u8]) -> Option<Result<AdminCmd, String>> {
             },
             None => Err("reload needs a collection name".to_owned()),
         },
+        Some("stats") => match words.next() {
+            None => Ok(AdminCmd::Stats { json: false }),
+            Some("json") => Ok(AdminCmd::Stats { json: true }),
+            Some(other) => Err(format!("stats takes only `json`, not {other}")),
+        },
+        Some("sessions") => Ok(AdminCmd::Sessions),
+        Some("health") => Ok(AdminCmd::Health),
         Some(other) => Err(format!("unknown admin verb {other}")),
         None => Err("empty admin command".to_owned()),
+    };
+    // Every verb's argument list is closed above; trailing tokens are
+    // a malformed command, not an extension point.
+    Some(match cmd {
+        Ok(cmd) if words.next().is_some() => {
+            Err(format!("trailing tokens after admin verb {}", cmd.verb()))
+        }
+        other => other,
     })
+}
+
+impl AdminCmd {
+    /// The wire verb this command was parsed from.
+    pub(crate) fn verb(&self) -> &'static str {
+        match self {
+            AdminCmd::Reload(_) => "reload",
+            AdminCmd::Stats { .. } => "stats",
+            AdminCmd::Sessions => "sessions",
+            AdminCmd::Health => "health",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -478,5 +519,28 @@ mod tests {
         assert!(matches!(parse_admin(b"msync-admin reload ../x"), Some(Err(_))));
         assert!(matches!(parse_admin(b"msync-admin reload"), Some(Err(_))));
         assert!(matches!(parse_admin(b"msync-admin explode y"), Some(Err(_))));
+    }
+
+    #[test]
+    fn introspection_verbs_parse_and_refuse_trailing_tokens() {
+        assert!(matches!(
+            parse_admin(b"msync-admin stats"),
+            Some(Ok(AdminCmd::Stats { json: false }))
+        ));
+        assert!(matches!(
+            parse_admin(b"msync-admin stats json"),
+            Some(Ok(AdminCmd::Stats { json: true }))
+        ));
+        assert!(matches!(parse_admin(b"msync-admin sessions"), Some(Ok(AdminCmd::Sessions))));
+        assert!(matches!(parse_admin(b"msync-admin health"), Some(Ok(AdminCmd::Health))));
+        for bad in [
+            b"msync-admin stats yaml".as_slice(),
+            b"msync-admin stats json extra",
+            b"msync-admin sessions now",
+            b"msync-admin health check",
+            b"msync-admin reload photos twice",
+        ] {
+            assert!(matches!(parse_admin(bad), Some(Err(_))), "{:?}", bad);
+        }
     }
 }

@@ -37,7 +37,10 @@ mod mux;
 pub mod registry;
 pub mod tcp;
 
-pub use client::{admin_reload, sync_remote, sync_remote_with, RemoteOptions, RemoteOutcome};
+pub use client::{
+    admin_health, admin_reload, admin_sessions, admin_stats, sync_remote, sync_remote_with,
+    RemoteOptions, RemoteOutcome,
+};
 pub use daemon::{Daemon, DaemonOptions, ServeModel, SessionReport};
 pub use handshake::{NetError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use registry::{

@@ -20,6 +20,7 @@
 //! one served by a dedicated thread.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -28,10 +29,11 @@ use std::time::Duration;
 
 use msync_core::pipeline::ServeOutcome;
 use msync_core::{CollectionServeMachine, CollectionSnapshot, Machine, Output, SyncError};
-use msync_protocol::{
-    encode_frame, frame_wire_size, ChannelError, Direction, Phase, RetryPolicy, TrafficStats,
+use msync_protocol::{encode_frame, frame_wire_size, ChannelError, Direction, Phase, TrafficStats};
+use msync_trace::{
+    render_sessions, Clock, EventKind, MetricsSnapshot, PhaseTag, RateWindows, Recorder,
+    StatusBoard, StatusHandle, SystemClock,
 };
-use msync_trace::{Clock, EventKind, MetricsSnapshot, Recorder, SystemClock};
 
 use crate::daemon::{DaemonOptions, SessionReport, REFUSAL_REASON};
 use crate::handshake::{
@@ -57,6 +59,67 @@ fn micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// How often each worker samples the aggregate into the rate windows.
+/// Several workers sample independently; [`RateWindows`] drops
+/// submissions closer than its own minimum spacing.
+const RATE_SAMPLE_US: u64 = 1_000_000;
+
+/// The daemon's live-introspection state, shared by both serve models:
+/// one clock for every session recorder (so ages, rates, and uptime
+/// share a single epoch — the daemon's start), the live session board,
+/// the windowed rate estimator, and the reload timestamps the `health`
+/// verb reports.
+pub(crate) struct Introspect {
+    /// The one clock every recorder, board registration, and worker
+    /// loop reads. Its epoch is daemon start, so `now_micros()` *is*
+    /// the uptime.
+    pub(crate) clock: Arc<SystemClock>,
+    /// Live per-session status registry (weak slots; sessions vanish
+    /// when their connection drops).
+    pub(crate) board: StatusBoard,
+    /// Cumulative-sample ring behind the `stats` rate gauges.
+    pub(crate) rates: Mutex<RateWindows>,
+    /// Clock reading of the last successful `reload`, per collection.
+    reloads: Mutex<BTreeMap<String, u64>>,
+    /// Worker-pool size (1 for the thread-per-session model).
+    pub(crate) workers: usize,
+    /// Slow-session watchdog threshold; `None` disables the watchdog.
+    pub(crate) slow_session_us: Option<u64>,
+}
+
+impl Introspect {
+    pub(crate) fn new(workers: usize, slow_session: Option<Duration>) -> Self {
+        let clock = Arc::new(SystemClock::new());
+        Introspect {
+            board: StatusBoard::new(clock.clone()),
+            rates: Mutex::new(RateWindows::new()),
+            reloads: Mutex::new(BTreeMap::new()),
+            workers,
+            slow_session_us: slow_session.map(micros),
+            clock,
+        }
+    }
+
+    /// Stamp a successful reload of `name` for the `health` report.
+    pub(crate) fn note_reload(&self, name: &str) {
+        let t_us = self.clock.now_micros();
+        self.reloads.lock().unwrap_or_else(PoisonError::into_inner).insert(name.to_owned(), t_us);
+    }
+}
+
+/// The one-line WARN the watchdog emits alongside the
+/// [`EventKind::SlowSession`] trace event. Split out so the format is
+/// unit-testable without a live socket.
+pub(crate) fn slow_session_warning(
+    id: u64,
+    peer: Option<SocketAddr>,
+    phase: PhaseTag,
+    waited_us: u64,
+) -> String {
+    let peer = peer.map_or_else(|| "-".to_owned(), |p| p.to_string());
+    format!("WARN slow-session id={id} peer={peer} phase={} waited_us={waited_us}", phase.as_str())
+}
+
 /// State shared by every worker thread of one daemon, and by the
 /// blocking thread-per-session model: the collection registry, the
 /// options, the admission counter, the stop flag, and the metrics
@@ -79,6 +142,9 @@ pub(crate) struct Shared<F> {
     pub(crate) active: AtomicUsize,
     /// Set by [`Daemon::shutdown`](crate::daemon::Daemon::shutdown).
     pub(crate) stop: Arc<AtomicBool>,
+    /// Live-introspection state behind the `stats`/`sessions`/`health`
+    /// admin verbs and the slow-session watchdog.
+    pub(crate) intro: Arc<Introspect>,
 }
 
 impl<F> Shared<F>
@@ -146,6 +212,83 @@ where
         }
         text
     }
+
+    /// Copy of the finished-session aggregate. Live sessions merge in
+    /// when they finish; the `sessions` verb is the live view.
+    fn aggregate_now(&self) -> MetricsSnapshot {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The `stats` verb's payload: the Prometheus dump plus the
+    /// windowed rate gauges, or the flat JSON rendering. Scraping also
+    /// feeds the rate estimator, so a lone scraper still gets rates.
+    pub(crate) fn stats_payload(&self, json: bool) -> String {
+        let aggregate = self.aggregate_now();
+        let now_us = self.intro.clock.now_micros();
+        let mut rates = self.intro.rates.lock().unwrap_or_else(PoisonError::into_inner);
+        rates.sample(now_us, &aggregate);
+        if json {
+            aggregate.render_json()
+        } else {
+            let mut text = self.render_metrics(&aggregate);
+            text.push_str(&rates.render_gauges(now_us));
+            text
+        }
+    }
+
+    /// The `sessions` verb's payload: the live session table.
+    pub(crate) fn sessions_payload(&self) -> String {
+        render_sessions(&self.intro.board.snapshot(), self.intro.clock.now_micros())
+    }
+
+    /// The `health` verb's payload: daemon vitals as `key=value` lines.
+    pub(crate) fn health_payload(&self) -> String {
+        let aggregate = self.aggregate_now();
+        let sessions = self.intro.board.snapshot();
+        let active = self.active.load(Ordering::SeqCst);
+        let mut out = String::new();
+        let _ = writeln!(out, "uptime_us={}", self.intro.clock.now_micros());
+        let _ = writeln!(out, "workers={}", self.intro.workers);
+        let _ = writeln!(out, "active_conns={active}");
+        let _ = writeln!(out, "live_sessions={}", sessions.len());
+        let _ = writeln!(
+            out,
+            "live_slow_sessions={}",
+            sessions.iter().filter(|s| s.slow_flagged).count()
+        );
+        match self.opts.max_sessions {
+            Some(max) => {
+                let _ = writeln!(out, "max_sessions={max}");
+                let _ = writeln!(out, "admission_headroom={}", max.saturating_sub(active));
+            }
+            None => {
+                let _ = writeln!(out, "max_sessions=unlimited");
+            }
+        }
+        let _ = writeln!(out, "watchdog_threshold_us={}", self.intro.slow_session_us.unwrap_or(0));
+        let _ = writeln!(out, "trace_events_dropped={}", aggregate.events_dropped);
+        let _ = writeln!(out, "slow_sessions_total={}", aggregate.slow_sessions);
+        let reloads = self.intro.reloads.lock().unwrap_or_else(PoisonError::into_inner);
+        for (name, t_us) in reloads.iter() {
+            let _ = writeln!(out, "last_reload_us.{name}={t_us}");
+        }
+        out
+    }
+
+    /// Execute one admin command: the full `ok …` reply plus the
+    /// reload file count for the session outcome, or the `err` reason.
+    /// Shared by both serve models so the verbs cannot drift.
+    pub(crate) fn execute_admin(&self, cmd: AdminCmd) -> Result<(String, usize), String> {
+        match cmd {
+            AdminCmd::Reload(name) => self.registry.reload(&name).map(|files| {
+                self.intro.note_reload(&name);
+                (format!("ok {files}"), files)
+            }),
+            AdminCmd::Stats { json } => Ok((format!("ok\n{}", self.stats_payload(json)), 0)),
+            AdminCmd::Sessions => Ok((format!("ok\n{}", self.sessions_payload()), 0)),
+            AdminCmd::Health => Ok((format!("ok\n{}", self.health_payload()), 0)),
+        }
+    }
 }
 
 /// Where one multiplexed connection is in its life.
@@ -195,6 +338,9 @@ struct MuxConn {
     half_trips: u64,
     pending_inbound: u64,
     recorder: Recorder,
+    /// Live status slot on the daemon's board; `None` for refused
+    /// connections and for admin exchanges (which de-list themselves).
+    status: Option<StatusHandle>,
 }
 
 impl MuxConn {
@@ -203,6 +349,7 @@ impl MuxConn {
         admitted: bool,
         now_us: u64,
         handshake_timeout: Duration,
+        intro: &Introspect,
     ) -> std::io::Result<Self> {
         let peer = stream.peer_addr().ok();
         // Same socket posture as the blocking transport: no Nagle (the
@@ -212,6 +359,16 @@ impl MuxConn {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(WRITE_STALL))?;
         stream.set_nonblocking(true)?;
+        // Every recorder shares the daemon clock, so the board's ages
+        // and the watchdog's waits are in one epoch.
+        let recorder = Recorder::with_clock(intro.clock.clone());
+        let status = admitted.then(|| {
+            let label = peer.map_or_else(|| "-".to_owned(), |p| p.to_string());
+            intro.board.register(&label)
+        });
+        if let Some(handle) = &status {
+            recorder.set_status(handle.clone());
+        }
         Ok(Self {
             stream,
             peer,
@@ -233,7 +390,8 @@ impl MuxConn {
             last_dir: None,
             half_trips: 0,
             pending_inbound: 0,
-            recorder: Recorder::system(),
+            recorder,
+            status,
         })
     }
 
@@ -338,23 +496,24 @@ impl MuxConn {
     /// resolved against the registry, and — if everything holds — the
     /// serve machine starts, bound to the resolved snapshot for the
     /// life of the session.
-    fn on_hello(
-        &mut self,
-        payload: &[u8],
-        registry: &CollectionRegistry,
-        retry: RetryPolicy,
-        now_us: u64,
-    ) {
+    fn on_hello<F>(&mut self, payload: &[u8], shared: &Shared<F>, now_us: u64)
+    where
+        F: Fn(SessionReport) + Send + Sync + 'static,
+    {
+        let retry = shared.opts.retry;
         self.attribute(Phase::Setup);
         if let Some(cmd) = parse_admin(payload) {
-            self.on_admin(cmd, registry);
+            self.on_admin(cmd, shared);
             return;
         }
         let outcome = match eval_hello(payload) {
             HelloOutcome::Accept { cfg, collection, reply } => {
-                match registry.resolve(collection.as_deref()) {
+                match shared.registry.resolve(collection.as_deref()) {
                     Some((name, snap)) => {
                         self.snapshot = Some(snap);
+                        if let Some(status) = &self.status {
+                            status.set_collection(&name);
+                        }
                         self.collection = Some(name);
                         HelloOutcome::Accept { cfg, collection, reply }
                     }
@@ -392,10 +551,17 @@ impl MuxConn {
 
     /// Execute one admin command and answer `ok …` / `err …`. The
     /// connection then drains: admin exchanges are one-shot.
-    fn on_admin(&mut self, cmd: Result<AdminCmd, String>, registry: &CollectionRegistry) {
-        match cmd.and_then(|AdminCmd::Reload(name)| registry.reload(&name)) {
-            Ok(files) => {
-                self.queue_send(format!("ok {files}").as_bytes(), Phase::Setup, false);
+    fn on_admin<F>(&mut self, cmd: Result<AdminCmd, String>, shared: &Shared<F>)
+    where
+        F: Fn(SessionReport) + Send + Sync + 'static,
+    {
+        // An admin exchange is not a sync session: de-list it before
+        // rendering, so `sessions` never shows the scrape itself.
+        self.recorder.clear_status();
+        self.status = None;
+        match cmd.and_then(|cmd| shared.execute_admin(cmd)) {
+            Ok((reply, files)) => {
+                self.queue_send(reply.as_bytes(), Phase::Setup, false);
                 self.recorder.record(EventKind::Handshake { ok: true });
                 self.result =
                     Some(Ok(ServeOutcome { files, sessions: 0, traffic: self.stats_now() }));
@@ -419,14 +585,13 @@ impl MuxConn {
     }
 
     /// One poll-loop visit: read, dispatch frames, service deadlines,
-    /// flush. Returns whether the connection made observable progress.
-    fn tick(
-        &mut self,
-        registry: &CollectionRegistry,
-        retry: RetryPolicy,
-        clock: &SystemClock,
-    ) -> bool {
-        let now_us = clock.now_micros();
+    /// run the watchdog, flush. Returns whether the connection made
+    /// observable progress.
+    fn tick<F>(&mut self, shared: &Shared<F>) -> bool
+    where
+        F: Fn(SessionReport) + Send + Sync + 'static,
+    {
+        let now_us = shared.intro.clock.now_micros();
         let mut progressed = false;
 
         // Read whatever the socket has. Drain mode stops reading: the
@@ -469,7 +634,7 @@ impl MuxConn {
                     self.bump(Direction::ClientToServer);
                     match self.phase {
                         ConnPhase::Hello => {
-                            self.on_hello(&payload, registry, retry, now_us);
+                            self.on_hello(&payload, shared, now_us);
                             self.pump_machine(now_us);
                         }
                         ConnPhase::Refused => self.on_refused_hello(),
@@ -555,6 +720,21 @@ impl MuxConn {
             ConnPhase::Drain => {}
         }
 
+        // Slow-session watchdog: a session sitting in one protocol
+        // phase past the threshold gets one trace event and one WARN
+        // line per stall (the flag rearms on phase change).
+        if !matches!(self.phase, ConnPhase::Drain) {
+            if let (Some(threshold_us), Some(status)) = (shared.intro.slow_session_us, &self.status)
+            {
+                if let Some((phase, waited_us)) = status.check_slow(now_us, threshold_us) {
+                    self.recorder.record(EventKind::SlowSession { phase, waited_us });
+                    let id = status.snapshot().id;
+                    eprintln!("{}", slow_session_warning(id, self.peer, phase, waited_us));
+                    progressed = true;
+                }
+            }
+        }
+
         progressed |= self.flush(now_us);
         progressed
     }
@@ -636,11 +816,25 @@ pub(crate) fn worker_loop<F>(listener: &TcpListener, shared: &Shared<F>)
 where
     F: Fn(SessionReport) + Send + Sync + 'static,
 {
-    let clock = SystemClock::new();
+    let clock = Arc::clone(&shared.intro.clock);
     let mut conns: Vec<MuxConn> = Vec::new();
+    let mut last_sample_us = 0u64;
     loop {
         let stopping = shared.stop.load(Ordering::SeqCst);
         let mut progressed = false;
+        // Feed the rate estimator about once a second per worker; the
+        // estimator itself drops submissions that land too close.
+        let now_us = clock.now_micros();
+        if now_us >= last_sample_us.saturating_add(RATE_SAMPLE_US) {
+            last_sample_us = now_us;
+            let aggregate = shared.metrics.lock().unwrap_or_else(PoisonError::into_inner).clone();
+            shared
+                .intro
+                .rates
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .sample(now_us, &aggregate);
+        }
         if !stopping {
             loop {
                 match listener.accept() {
@@ -652,6 +846,7 @@ where
                             admitted,
                             clock.now_micros(),
                             shared.opts.handshake_timeout,
+                            &shared.intro,
                         );
                         match made {
                             Ok(conn) => conns.push(conn),
@@ -670,7 +865,7 @@ where
         }
         let mut i = 0;
         while i < conns.len() {
-            progressed |= conns[i].tick(&shared.registry, shared.opts.retry, &clock);
+            progressed |= conns[i].tick(shared);
             if conns[i].is_done() {
                 let conn = conns.swap_remove(i);
                 if conn.admitted {

@@ -1,0 +1,245 @@
+//! Second journal renderer: Chrome `trace_event` JSON.
+//!
+//! A JSONL journal already carries everything a flamegraph needs —
+//! timestamps and per-file phase completion markers — it is just in
+//! the wrong shape for `chrome://tracing` / Perfetto. This module
+//! re-renders a captured journal as an array of complete (`"ph":"X"`)
+//! trace events on three levels: one *session* span covering the whole
+//! run (track 0), one *file* span per roster file (track `file_id+1`,
+//! from its `session_start` to its `session_end`), and *phase*
+//! sub-spans inside each file derived from the completion markers the
+//! engine already emits: a `map_round`/`verify_batch`/`delta_phase`
+//! event at time `t` closes a span that opened when the file's
+//! previous marker fired (or when the file started).
+//!
+//! Output discipline: the array is rendered one flat object per line,
+//! values restricted to unsigned integers and plain strings, so every
+//! line (minus its trailing comma) parses with the same strict
+//! [`crate::journal::parse_flat_object`] parser the journal uses —
+//! the export is verifiable by the workspace's own tooling, not just
+//! by a browser.
+
+use crate::journal::{parse_line, FieldValue, JournalLine};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rendered span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Span {
+    name: String,
+    cat: &'static str,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+}
+
+fn file_id_of(line: &JournalLine) -> Option<u64> {
+    line.fields.iter().find(|(k, _)| k == "file_id").and_then(|(_, v)| match v {
+        FieldValue::U64(n) => Some(*n),
+        _ => None,
+    })
+}
+
+/// Convert a JSONL journal into Chrome `trace_event` JSON.
+///
+/// # Errors
+/// A description naming the first unparseable line, or an error for a
+/// journal with no events.
+pub fn render_chrome_trace(journal: &str) -> Result<String, String> {
+    let mut lines = Vec::new();
+    for (i, raw) in journal.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = parse_line(raw).map_err(|e| format!("journal line {}: {e}", i + 1))?;
+        lines.push(line);
+    }
+    if lines.is_empty() {
+        return Err("journal has no events".to_owned());
+    }
+
+    let first_t = lines.iter().map(|l| l.t_us).min().unwrap_or(0);
+    let last_t = lines.iter().map(|l| l.t_us).max().unwrap_or(0);
+    let mut spans = vec![Span {
+        name: "session".to_owned(),
+        cat: "session",
+        ts: first_t,
+        dur: last_t - first_t,
+        tid: 0,
+    }];
+
+    // Per-file bounds and the rolling "previous marker" for sub-spans.
+    struct FileTrack {
+        start: u64,
+        end: u64,
+        prev_marker: u64,
+        phases: Vec<Span>,
+    }
+    let mut files: BTreeMap<u64, FileTrack> = BTreeMap::new();
+    for line in &lines {
+        let Some(fid) = file_id_of(line) else { continue };
+        let track = files.entry(fid).or_insert(FileTrack {
+            start: line.t_us,
+            end: line.t_us,
+            prev_marker: line.t_us,
+            phases: Vec::new(),
+        });
+        track.end = track.end.max(line.t_us);
+        if matches!(line.kind.as_str(), "map_round" | "verify_batch" | "delta_phase") {
+            track.phases.push(Span {
+                name: line.kind.clone(),
+                cat: "phase",
+                ts: track.prev_marker,
+                dur: line.t_us - track.prev_marker,
+                tid: fid + 1,
+            });
+            track.prev_marker = line.t_us;
+        }
+    }
+    for (fid, track) in files {
+        spans.push(Span {
+            name: format!("file_{fid}"),
+            cat: "file",
+            ts: track.start,
+            dur: track.end - track.start,
+            tid: fid + 1,
+        });
+        spans.extend(track.phases);
+    }
+
+    let mut out = String::with_capacity(spans.len() * 96 + 4);
+    out.push_str("[\n");
+    for (i, s) in spans.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            s.name, s.cat, s.ts, s.dur, s.tid
+        );
+        out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DirTag, EventKind, PhaseTag, TraceEvent};
+    use crate::journal::{parse_flat_object, render_journal};
+
+    fn sample_journal() -> String {
+        let evs = [
+            TraceEvent { t_us: 1_000, kind: EventKind::Handshake { ok: true } },
+            TraceEvent { t_us: 1_100, kind: EventKind::SessionStart { file_id: 0 } },
+            TraceEvent {
+                t_us: 1_150,
+                kind: EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 64 },
+            },
+            TraceEvent {
+                t_us: 1_400,
+                kind: EventKind::MapRound { file_id: 0, block_size: 1024, items: 4, candidates: 2 },
+            },
+            TraceEvent {
+                t_us: 1_700,
+                kind: EventKind::VerifyBatch { file_id: 0, candidates: 2, confirmed: 2 },
+            },
+            TraceEvent { t_us: 2_100, kind: EventKind::DeltaPhase { file_id: 0, delta_bytes: 40 } },
+            TraceEvent {
+                t_us: 2_200,
+                kind: EventKind::SessionEnd { file_id: 0, ok: true, fell_back: false },
+            },
+            TraceEvent { t_us: 2_300, kind: EventKind::SessionStart { file_id: 1 } },
+            TraceEvent { t_us: 2_800, kind: EventKind::DeltaPhase { file_id: 1, delta_bytes: 9 } },
+            TraceEvent {
+                t_us: 3_000,
+                kind: EventKind::SessionEnd { file_id: 1, ok: true, fell_back: true },
+            },
+        ];
+        render_journal(&evs)
+    }
+
+    /// Parse the rendered array back into flat objects via the strict
+    /// journal-subset parser.
+    fn parse_spans(text: &str) -> Vec<Vec<(String, crate::journal::FieldValue)>> {
+        let mut spans = Vec::new();
+        for line in text.lines() {
+            if line == "[" || line == "]" {
+                continue;
+            }
+            let obj = line.strip_suffix(',').unwrap_or(line);
+            spans.push(parse_flat_object(obj).unwrap_or_else(|e| panic!("{line}: {e}")));
+        }
+        spans
+    }
+
+    fn field_u64(span: &[(String, FieldValue)], name: &str) -> u64 {
+        span.iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| match v {
+                FieldValue::U64(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("missing {name}"))
+    }
+
+    fn field_str<'a>(span: &'a [(String, FieldValue)], name: &str) -> &'a str {
+        span.iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| match v {
+                FieldValue::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("missing {name}"))
+    }
+
+    #[test]
+    fn export_round_trips_through_the_strict_parser() {
+        let text = render_chrome_trace(&sample_journal()).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"), "{text}");
+        let spans = parse_spans(&text);
+        // 1 session + 2 files + 3 + 1 phase markers.
+        assert_eq!(spans.len(), 7, "{text}");
+        for span in &spans {
+            assert_eq!(field_str(span, "ph"), "X");
+            assert_eq!(field_u64(span, "pid"), 1);
+        }
+    }
+
+    #[test]
+    fn span_hierarchy_and_durations_are_consistent() {
+        let text = render_chrome_trace(&sample_journal()).unwrap();
+        let spans = parse_spans(&text);
+        let session = &spans[0];
+        assert_eq!(field_str(session, "name"), "session");
+        let (s_ts, s_dur) = (field_u64(session, "ts"), field_u64(session, "dur"));
+        assert_eq!((s_ts, s_dur), (1_000, 2_000));
+        for span in &spans[1..] {
+            let (ts, dur) = (field_u64(span, "ts"), field_u64(span, "dur"));
+            // Every child span is contained in the session span.
+            assert!(ts >= s_ts && ts + dur <= s_ts + s_dur, "{span:?}");
+        }
+        // File 0: starts at session_start, ends at session_end, and its
+        // phase sub-spans tile it exactly (markers close back-to-back).
+        let file0 = spans.iter().find(|s| field_str(s, "name") == "file_0").expect("file_0 span");
+        assert_eq!(field_str(file0, "cat"), "file");
+        assert_eq!(field_u64(file0, "ts"), 1_100);
+        assert_eq!(field_u64(file0, "dur"), 1_100);
+        let tid0 = field_u64(file0, "tid");
+        let phase_dur: u64 = spans
+            .iter()
+            .filter(|s| field_str(s, "cat") == "phase" && field_u64(s, "tid") == tid0)
+            .map(|s| field_u64(s, "dur"))
+            .sum();
+        // map_round (300) + verify_batch (300) + delta_phase (400).
+        assert_eq!(phase_dur, 1_000);
+        assert!(phase_dur <= field_u64(file0, "dur"));
+    }
+
+    #[test]
+    fn bad_input_is_rejected_with_line_numbers() {
+        assert!(render_chrome_trace("").unwrap_err().contains("no events"));
+        let err =
+            render_chrome_trace("{\"v\":4,\"t_us\":1,\"kind\":\"x\"}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -271,6 +271,16 @@ pub enum EventKind {
         /// Source bytes actually hashed to build the artifact.
         bytes: u64,
     },
+    /// The slow-session watchdog found a session stuck in one protocol
+    /// phase past the configured threshold. Fires at most once per
+    /// phase entry, so a journal shows each distinct stall, not a
+    /// repeating alarm.
+    SlowSession {
+        /// The phase the session has been stuck in.
+        phase: PhaseTag,
+        /// Microseconds spent in that phase when the watchdog fired.
+        waited_us: u64,
+    },
 }
 
 impl EventKind {
@@ -296,6 +306,7 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::HashCacheHit { .. } => "hash_cache_hit",
             EventKind::HashCacheMiss { .. } => "hash_cache_miss",
+            EventKind::SlowSession { .. } => "slow_session",
         }
     }
 }
@@ -325,6 +336,10 @@ mod tests {
         assert_eq!(EventKind::CacheHit { file_id: 0 }.name(), "cache_hit");
         assert_eq!(EventKind::HashCacheHit { bytes: 9 }.name(), "hash_cache_hit");
         assert_eq!(EventKind::HashCacheMiss { bytes: 9 }.name(), "hash_cache_miss");
+        assert_eq!(
+            EventKind::SlowSession { phase: PhaseTag::Map, waited_us: 5_000_000 }.name(),
+            "slow_session"
+        );
         assert_eq!(
             EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 1 }.name(),
             "frame_send"

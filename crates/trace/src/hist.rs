@@ -93,6 +93,37 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`, clamped).
+    ///
+    /// Bucket-bound guarantee: the returned estimate lies in the same
+    /// bucket as the true quantile of the observed values, because the
+    /// bucket is located by exact rank arithmetic over exact per-bucket
+    /// counts — only the position *within* the bucket is approximated.
+    /// The estimate is the bucket's inclusive upper bound, except in
+    /// the saturating top bucket where the tracked maximum (which is
+    /// exact) is returned. Returns 0 with no data.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation in sorted order.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if i >= BUCKETS - 1 {
+                    return self.max;
+                }
+                let (_, hi) = Self::bucket_bounds(i);
+                return hi - 1;
+            }
+        }
+        self.max
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -206,6 +237,73 @@ mod tests {
         assert_eq!(a.bucket_count(Histogram::bucket_index(5)), 2);
         assert_eq!(a.bucket_count(Histogram::bucket_index(100)), 1);
         assert!((a.mean() - 27.5).abs() < 1e-12);
+    }
+
+    /// True quantile of a sorted sample at 1-based rank `ceil(q * n)`.
+    fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn assert_same_bucket(h: &Histogram, sorted: &[u64], q: f64, label: &str) {
+        let truth = true_quantile(sorted, q);
+        let est = h.quantile(q);
+        assert_eq!(
+            Histogram::bucket_index(est),
+            Histogram::bucket_index(truth),
+            "{label}: q={q} estimate {est} not in the bucket of true value {truth}"
+        );
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_fall_in_the_true_bucket_for_uniform_input() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_same_bucket(&h, &values, q, "uniform");
+        }
+    }
+
+    #[test]
+    fn quantiles_fall_in_the_true_bucket_for_bimodal_input() {
+        // Two tight modes far apart: fast loopback RTTs vs dial-up.
+        let mut values = Vec::new();
+        values.extend(std::iter::repeat(40u64).take(900));
+        values.extend(std::iter::repeat(5_000_000u64).take(100));
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        for q in [0.5, 0.89, 0.91, 0.99] {
+            assert_same_bucket(&h, &values, q, "bimodal");
+        }
+        // p50 sits in the low mode, p99 in the high mode.
+        assert!(h.quantile(0.5) < 64);
+        assert!(h.quantile(0.99) >= 1 << 22);
+    }
+
+    #[test]
+    fn quantiles_fall_in_the_true_bucket_for_saturating_input() {
+        let mut values = vec![0u64; 10];
+        values.extend(std::iter::repeat(u64::MAX - 3).take(90));
+        values.sort_unstable();
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        for q in [0.05, 0.5, 0.99] {
+            assert_same_bucket(&h, &values, q, "saturating");
+        }
+        // In the top bucket the tracked max is returned exactly.
+        assert_eq!(h.quantile(0.99), u64::MAX - 3);
     }
 
     #[test]

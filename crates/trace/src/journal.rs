@@ -1,4 +1,4 @@
-//! The JSONL journal sink: schema v3.
+//! The JSONL journal sink: schema v4.
 //!
 //! One event per line, each line a flat JSON object that is fully
 //! self-describing: `{"v":3,"t_us":<clock>,"kind":"<token>",...}` with
@@ -17,8 +17,9 @@ use std::fmt::Write as _;
 /// Version stamped into every line's `"v"` field. v2 added the resume
 /// kind tokens (`resume_offer`/`resume_accept`/`resume_reject`/
 /// `cache_hit`); v3 added the server hash-cache tokens
-/// (`hash_cache_hit`/`hash_cache_miss`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// (`hash_cache_hit`/`hash_cache_miss`); v4 added the watchdog token
+/// (`slow_session`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Render one event as its JSONL line (no trailing newline).
 #[must_use]
@@ -90,6 +91,9 @@ pub fn render_line(ev: &TraceEvent) -> String {
         }
         EventKind::HashCacheHit { bytes } | EventKind::HashCacheMiss { bytes } => {
             let _ = write!(s, ",\"bytes\":{bytes}");
+        }
+        EventKind::SlowSession { phase, waited_us } => {
+            let _ = write!(s, ",\"phase\":\"{}\",\"waited_us\":{waited_us}", phase.as_str());
         }
     }
     s.push('}');
@@ -315,6 +319,7 @@ mod tests {
             EventKind::CacheHit { file_id: 7 },
             EventKind::HashCacheHit { bytes: 16384 },
             EventKind::HashCacheMiss { bytes: 512 },
+            EventKind::SlowSession { phase: PhaseTag::Delta, waited_us: 2_000_000 },
         ];
         for (i, kind) in events.into_iter().enumerate() {
             let ev = TraceEvent { t_us: i as u64 * 10, kind };

@@ -27,6 +27,12 @@
 //!   process-wide counters/histograms rendered as Prometheus-style
 //!   text for `msync serve --metrics-out`.
 //!
+//! The live-introspection layer builds on the same event stream:
+//! [`status`] derives per-session live state ([`StatusBoard`]) from
+//! events already recorded, [`rates`] turns periodic snapshot samples
+//! into windowed bytes/sec-style gauges, and [`chrome`] re-renders a
+//! journal as Chrome `trace_event` JSON for flamegraph viewers.
+//!
 //! The [`Recorder`] is the only handle the instrumented crates see. A
 //! disabled recorder (`Recorder::off()`, the `Default`) is a `None`
 //! inside and every call is a cheap no-op, so untraced runs pay
@@ -35,13 +41,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chrome;
 pub mod clock;
 pub mod event;
 pub mod hist;
 pub mod journal;
 pub mod metrics;
+pub mod rates;
 pub mod recorder;
+pub mod status;
 
+pub use chrome::render_chrome_trace;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use event::{DirTag, EventKind, FaultKind, PhaseTag, ResumeRejectTag, TraceEvent};
 pub use hist::{HistKind, Histogram};
@@ -50,4 +60,6 @@ pub use journal::{
     SCHEMA_VERSION,
 };
 pub use metrics::MetricsSnapshot;
+pub use rates::{RateWindows, WindowRates};
 pub use recorder::Recorder;
+pub use status::{render_sessions, SessionStatus, StatusBoard, StatusHandle};

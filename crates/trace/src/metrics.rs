@@ -58,6 +58,9 @@ pub struct MetricsSnapshot {
     /// Source bytes the server actually hashed on cache misses — the
     /// map-phase hash work; ≈ 0 on a warm cache.
     pub hash_cache_miss_bytes: u64,
+    /// Slow-session watchdog firings (one per phase a session stalled
+    /// in past the configured threshold).
+    pub slow_sessions: u64,
     /// The four latency/size histograms, indexed by [`HistKind::index`].
     pub hists: [Histogram; 4],
 }
@@ -88,6 +91,7 @@ impl MetricsSnapshot {
             hash_cache_misses: 0,
             hash_cache_hit_bytes: 0,
             hash_cache_miss_bytes: 0,
+            slow_sessions: 0,
             hists: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
         }
     }
@@ -131,6 +135,7 @@ impl MetricsSnapshot {
                 self.hash_cache_misses += 1;
                 self.hash_cache_miss_bytes += bytes;
             }
+            EventKind::SlowSession { .. } => self.slow_sessions += 1,
             EventKind::MapRound { .. }
             | EventKind::VerifyBatch { .. }
             | EventKind::DeltaPhase { .. }
@@ -182,6 +187,7 @@ impl MetricsSnapshot {
         self.hash_cache_misses += other.hash_cache_misses;
         self.hash_cache_hit_bytes += other.hash_cache_hit_bytes;
         self.hash_cache_miss_bytes += other.hash_cache_miss_bytes;
+        self.slow_sessions += other.slow_sessions;
         for (h, oh) in self.hists.iter_mut().zip(&other.hists) {
             h.merge(oh);
         }
@@ -245,11 +251,20 @@ impl MetricsSnapshot {
             ("msync_hash_cache_misses_total", self.hash_cache_misses),
             ("msync_hash_cache_hit_bytes_total", self.hash_cache_hit_bytes),
             ("msync_hash_cache_miss_bytes_total", self.hash_cache_miss_bytes),
+            ("msync_slow_sessions_total", self.slow_sessions),
         ] {
             if collection.is_none() {
                 let _ = writeln!(out, "# TYPE {name} counter");
             }
             let _ = writeln!(out, "{name}{bare} {v}");
+        }
+        // The ring-eviction alarm series: present only when events were
+        // actually lost, so scrapes can alert on mere existence.
+        if self.events_dropped > 0 {
+            if collection.is_none() {
+                let _ = writeln!(out, "# TYPE msync_trace_dropped_events_total counter");
+            }
+            let _ = writeln!(out, "msync_trace_dropped_events_total{bare} {}", self.events_dropped);
         }
         if collection.is_some() {
             return out;
@@ -272,6 +287,70 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{name}_sum {}", h.sum());
             let _ = writeln!(out, "{name}_count {}", h.count());
         }
+        out
+    }
+
+    /// Render as one flat JSON object — the `stats json` admin answer.
+    /// Every value is an unsigned integer, so the output parses with
+    /// [`crate::journal::parse_flat_object`] (the same strict subset
+    /// the journal uses); histograms are summarized as
+    /// `count`/`sum`/`max`/`p50`/`p99` per kind.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        for dir in [DirTag::C2s, DirTag::S2c] {
+            for phase in [PhaseTag::Setup, PhaseTag::Map, PhaseTag::Delta, PhaseTag::Resume] {
+                let _ = write!(
+                    out,
+                    "\"bytes_{}_{}\":{},",
+                    dir.as_str(),
+                    phase.as_str(),
+                    self.dir_phase_bytes(dir, phase)
+                );
+            }
+        }
+        for (name, v) in [
+            ("bytes_total", self.total_bytes()),
+            ("frames_sent", self.frames_sent),
+            ("frame_recv_batches", self.frames_recv),
+            ("retransmits", self.retransmits),
+            ("backoffs", self.backoffs),
+            ("faults_injected", self.faults),
+            ("handshakes_ok", self.handshakes_ok),
+            ("handshakes_failed", self.handshakes_failed),
+            ("sessions_started", self.sessions_started),
+            ("sessions_ended", self.sessions_ended),
+            ("session_fallbacks", self.fallbacks),
+            ("trace_events", self.events_recorded),
+            ("trace_events_dropped", self.events_dropped),
+            ("resume_offers", self.resume_offers),
+            ("resume_accepted_files", self.resume_accepted_files),
+            ("resume_rejects", self.resume_rejects),
+            ("cache_hits", self.cache_hits),
+            ("hash_cache_hits", self.hash_cache_hits),
+            ("hash_cache_misses", self.hash_cache_misses),
+            ("hash_cache_hit_bytes", self.hash_cache_hit_bytes),
+            ("hash_cache_miss_bytes", self.hash_cache_miss_bytes),
+            ("slow_sessions", self.slow_sessions),
+        ] {
+            let _ = write!(out, "\"{name}\":{v},");
+        }
+        for kind in HistKind::ALL {
+            let h = &self.hists[kind.index()];
+            let base = kind.as_str();
+            let _ = write!(
+                out,
+                "\"{base}_count\":{},\"{base}_sum\":{},\"{base}_max\":{},\"{base}_p50\":{},\"{base}_p99\":{},",
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+        }
+        out.pop(); // the trailing comma; the arrays above are never empty
+        out.push('}');
         out
     }
 }
@@ -303,6 +382,7 @@ mod tests {
         m.apply(&EventKind::CacheHit { file_id: 2 });
         m.apply(&EventKind::HashCacheHit { bytes: 4096 });
         m.apply(&EventKind::HashCacheMiss { bytes: 512 });
+        m.apply(&EventKind::SlowSession { phase: PhaseTag::Map, waited_us: 2_000_000 });
         assert_eq!(m.dir_phase_bytes(DirTag::C2s, PhaseTag::Map), 100);
         assert_eq!(m.dir_phase_bytes(DirTag::S2c, PhaseTag::Delta), 50);
         assert_eq!(m.total_bytes(), 150);
@@ -322,6 +402,7 @@ mod tests {
         assert_eq!(m.hash_cache_misses, 1);
         assert_eq!(m.hash_cache_hit_bytes, 4096);
         assert_eq!(m.hash_cache_miss_bytes, 512);
+        assert_eq!(m.slow_sessions, 1);
     }
 
     #[test]
@@ -334,11 +415,14 @@ mod tests {
         b.observe(HistKind::FrameRtt, 700);
         a.apply(&EventKind::HashCacheMiss { bytes: 30 });
         b.apply(&EventKind::HashCacheMiss { bytes: 12 });
+        a.apply(&EventKind::SlowSession { phase: PhaseTag::Delta, waited_us: 9 });
+        b.apply(&EventKind::SlowSession { phase: PhaseTag::Setup, waited_us: 7 });
         a.merge(&b);
         assert_eq!(a.dir_phase_bytes(DirTag::C2s, PhaseTag::Setup), 15);
         assert_eq!(a.frames_sent, 2);
         assert_eq!(a.hash_cache_misses, 2);
         assert_eq!(a.hash_cache_miss_bytes, 42);
+        assert_eq!(a.slow_sessions, 2);
         assert_eq!(a.hists[HistKind::FrameRtt.index()].count(), 2);
         assert_eq!(a.hists[HistKind::FrameRtt.index()].sum(), 1200);
     }
@@ -357,6 +441,48 @@ mod tests {
         for line in text.lines() {
             assert!(line.starts_with('#') || line.rsplit_once(' ').is_some(), "{line}");
         }
+        // No drops → no alarm series.
+        assert!(!text.contains("msync_trace_dropped_events_total"), "{text}");
+    }
+
+    #[test]
+    fn drop_alarm_series_appears_only_after_drops() {
+        let mut m = MetricsSnapshot::new();
+        m.events_dropped = 17;
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE msync_trace_dropped_events_total counter"), "{text}");
+        assert!(text.contains("msync_trace_dropped_events_total 17"), "{text}");
+        let labeled = m.render_prometheus_collection("docs");
+        assert!(
+            labeled.contains("msync_trace_dropped_events_total{collection=\"docs\"} 17"),
+            "{labeled}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_flat_and_parses_with_the_journal_parser() {
+        let mut m = MetricsSnapshot::new();
+        m.apply(&EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Delta, bytes: 99 });
+        m.apply(&EventKind::SlowSession { phase: PhaseTag::Map, waited_us: 1 });
+        m.observe(HistKind::FrameRtt, 250);
+        let json = m.render_json();
+        let fields = crate::journal::parse_flat_object(&json).unwrap();
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| match v {
+                    crate::journal::FieldValue::U64(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("missing {name} in {json}"))
+        };
+        assert_eq!(get("bytes_c2s_delta"), 99);
+        assert_eq!(get("bytes_total"), 99);
+        assert_eq!(get("frames_sent"), 1);
+        assert_eq!(get("slow_sessions"), 1);
+        assert_eq!(get("frame_rtt_us_count"), 1);
+        assert_eq!(get("frame_rtt_us_sum"), 250);
     }
 
     #[test]

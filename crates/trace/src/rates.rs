@@ -1,0 +1,232 @@
+//! Windowed rate estimation over cumulative metric snapshots.
+//!
+//! Prometheus counters only become rates after a scraper applies
+//! `rate()`; an operator staring at `msync top` has no scraper. A
+//! [`RateWindows`] keeps a short ring of timestamped *cumulative*
+//! counter samples and answers "bytes/sec, sessions/sec, hash-cache
+//! hit-rate over the last 10s/60s" directly, by differencing the
+//! newest sample against the oldest one still inside each window. The
+//! ring is fed from the daemon's existing aggregate snapshot — no new
+//! counters, just periodic sampling of ones already maintained.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One cumulative sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RateSample {
+    t_us: u64,
+    bytes: u64,
+    sessions: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// The reporting windows, widest last.
+const WINDOWS: [(&str, u64); 2] = [("10s", 10_000_000), ("60s", 60_000_000)];
+
+/// Minimum spacing between retained samples; closer submissions are
+/// ignored so several worker threads can sample unconditionally.
+const MIN_SPACING_US: u64 = 500_000;
+
+/// A bounded ring of cumulative samples with windowed differencing.
+#[derive(Debug, Default)]
+pub struct RateWindows {
+    samples: VecDeque<RateSample>,
+}
+
+/// Rates over one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRates {
+    /// Window label (`"10s"` / `"60s"`).
+    pub window: &'static str,
+    /// Wire bytes per second.
+    pub bytes_per_sec: f64,
+    /// Sessions finished per second.
+    pub sessions_per_sec: f64,
+    /// Hash-cache hit ratio in `[0, 1]` (0 with no lookups).
+    pub hash_cache_hit_ratio: f64,
+}
+
+impl RateWindows {
+    /// An empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        RateWindows { samples: VecDeque::new() }
+    }
+
+    /// Submit one cumulative sample taken from the daemon aggregate at
+    /// clock reading `t_us`. Out-of-order or too-frequent submissions
+    /// are dropped; the ring is trimmed to the widest window.
+    pub fn sample(&mut self, t_us: u64, snap: &MetricsSnapshot) {
+        if let Some(last) = self.samples.back() {
+            if t_us < last.t_us + MIN_SPACING_US {
+                return;
+            }
+        }
+        self.samples.push_back(RateSample {
+            t_us,
+            bytes: snap.total_bytes(),
+            sessions: snap.sessions_ended,
+            cache_hits: snap.hash_cache_hits,
+            cache_misses: snap.hash_cache_misses,
+        });
+        let horizon = WINDOWS[WINDOWS.len() - 1].1;
+        // Keep one sample older than the horizon as the diff base.
+        while self.samples.len() > 2 && self.samples[1].t_us + horizon < t_us {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Number of retained samples (tests / debugging).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been retained yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Rates for every window as of `now_us`. With fewer than two
+    /// samples in a window every rate is 0.
+    #[must_use]
+    pub fn rates(&self, now_us: u64) -> Vec<WindowRates> {
+        WINDOWS
+            .iter()
+            .map(|&(window, width_us)| {
+                let newest = self.samples.back();
+                let oldest = self.samples.iter().find(|s| s.t_us + width_us >= now_us).or(newest);
+                match (oldest, newest) {
+                    (Some(a), Some(b)) if b.t_us > a.t_us => {
+                        let dt_secs = (b.t_us - a.t_us) as f64 / 1e6;
+                        let lookups =
+                            (b.cache_hits - a.cache_hits) + (b.cache_misses - a.cache_misses);
+                        WindowRates {
+                            window,
+                            bytes_per_sec: (b.bytes - a.bytes) as f64 / dt_secs,
+                            sessions_per_sec: (b.sessions - a.sessions) as f64 / dt_secs,
+                            hash_cache_hit_ratio: if lookups == 0 {
+                                0.0
+                            } else {
+                                (b.cache_hits - a.cache_hits) as f64 / lookups as f64
+                            },
+                        }
+                    }
+                    _ => WindowRates {
+                        window,
+                        bytes_per_sec: 0.0,
+                        sessions_per_sec: 0.0,
+                        hash_cache_hit_ratio: 0.0,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Render the windowed rates as Prometheus gauge series, appended
+    /// to the counter exposition by the `stats` admin verb.
+    #[must_use]
+    pub fn render_gauges(&self, now_us: u64) -> String {
+        let rates = self.rates(now_us);
+        let mut out = String::new();
+        for (name, pick) in [
+            ("msync_rate_bytes_per_sec", 0usize),
+            ("msync_rate_sessions_per_sec", 1),
+            ("msync_rate_hash_cache_hit_ratio", 2),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for r in &rates {
+                let v = match pick {
+                    0 => r.bytes_per_sec,
+                    1 => r.sessions_per_sec,
+                    _ => r.hash_cache_hit_ratio,
+                };
+                let _ = writeln!(out, "{name}{{window=\"{}\"}} {v:.3}", r.window);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DirTag, EventKind, PhaseTag};
+
+    fn snap_with(bytes: u64, sessions: u64, hits: u64, misses: u64) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.apply(&EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Delta, bytes });
+        m.sessions_ended = sessions;
+        m.hash_cache_hits = hits;
+        m.hash_cache_misses = misses;
+        m
+    }
+
+    #[test]
+    fn differencing_yields_per_second_rates() {
+        let mut rw = RateWindows::new();
+        rw.sample(0, &snap_with(0, 0, 0, 0));
+        rw.sample(2_000_000, &snap_with(1_000_000, 4, 3, 1));
+        let rates = rw.rates(2_000_000);
+        assert_eq!(rates.len(), 2);
+        let ten = &rates[0];
+        assert_eq!(ten.window, "10s");
+        assert!((ten.bytes_per_sec - 500_000.0).abs() < 1e-6, "{ten:?}");
+        assert!((ten.sessions_per_sec - 2.0).abs() < 1e-9, "{ten:?}");
+        assert!((ten.hash_cache_hit_ratio - 0.75).abs() < 1e-9, "{ten:?}");
+    }
+
+    #[test]
+    fn narrow_window_ignores_old_samples() {
+        let mut rw = RateWindows::new();
+        // A burst long ago, then silence.
+        rw.sample(0, &snap_with(0, 0, 0, 0));
+        rw.sample(1_000_000, &snap_with(9_000_000, 1, 0, 0));
+        // 50s later, one more idle sample.
+        rw.sample(51_000_000, &snap_with(9_000_000, 1, 0, 0));
+        let rates = rw.rates(51_000_000);
+        // 10s window: only the idle tail → 0. 60s window: sees the burst.
+        assert!((rates[0].bytes_per_sec).abs() < 1e-9, "{rates:?}");
+        assert!(rates[1].bytes_per_sec > 0.0, "{rates:?}");
+    }
+
+    #[test]
+    fn too_frequent_and_out_of_order_samples_are_dropped() {
+        let mut rw = RateWindows::new();
+        rw.sample(1_000_000, &snap_with(10, 0, 0, 0));
+        rw.sample(1_100_000, &snap_with(20, 0, 0, 0)); // < MIN_SPACING_US later
+        rw.sample(900_000, &snap_with(30, 0, 0, 0)); // out of order
+        assert_eq!(rw.len(), 1);
+    }
+
+    #[test]
+    fn ring_is_trimmed_to_the_widest_window() {
+        let mut rw = RateWindows::new();
+        for i in 0..300u64 {
+            rw.sample(i * 1_000_000, &snap_with(i * 100, i, 0, 0));
+        }
+        // ~60s of 1s-spaced samples plus one older diff base.
+        assert!(rw.len() <= 63, "{}", rw.len());
+        let rates = rw.rates(299 * 1_000_000);
+        // Steady 100 bytes per second in both windows.
+        assert!((rates[0].bytes_per_sec - 100.0).abs() < 1.0, "{rates:?}");
+        assert!((rates[1].bytes_per_sec - 100.0).abs() < 1.0, "{rates:?}");
+    }
+
+    #[test]
+    fn gauges_render_every_window() {
+        let mut rw = RateWindows::new();
+        rw.sample(0, &snap_with(0, 0, 0, 0));
+        rw.sample(1_000_000, &snap_with(500, 1, 1, 1));
+        let text = rw.render_gauges(1_000_000);
+        assert!(text.contains("# TYPE msync_rate_bytes_per_sec gauge"), "{text}");
+        assert!(text.contains("msync_rate_bytes_per_sec{window=\"10s\"} 500.000"), "{text}");
+        assert!(text.contains("msync_rate_bytes_per_sec{window=\"60s\"} 500.000"), "{text}");
+        assert!(text.contains("msync_rate_sessions_per_sec{window=\"10s\"} 1.000"), "{text}");
+        assert!(text.contains("msync_rate_hash_cache_hit_ratio{window=\"10s\"} 0.500"), "{text}");
+    }
+}

@@ -11,6 +11,7 @@ use crate::clock::{Clock, SystemClock};
 use crate::event::{EventKind, TraceEvent};
 use crate::hist::HistKind;
 use crate::metrics::MetricsSnapshot;
+use crate::status::StatusHandle;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -22,6 +23,9 @@ struct State {
     ring: VecDeque<TraceEvent>,
     dropped: u64,
     snap: MetricsSnapshot,
+    /// Live session-status slot fed at every recorded event; the
+    /// derivation point for the daemon's `sessions` admin verb.
+    status: Option<StatusHandle>,
 }
 
 struct Inner {
@@ -60,6 +64,7 @@ impl Recorder {
                     ring: VecDeque::new(),
                     dropped: 0,
                     snap: MetricsSnapshot::new(),
+                    status: None,
                 }),
             })),
         }
@@ -87,6 +92,9 @@ impl Recorder {
         let t_us = inner.clock.now_micros();
         let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.snap.apply(&kind);
+        if let Some(status) = &st.status {
+            status.apply(t_us, &kind);
+        }
         st.snap.events_recorded += 1;
         if st.ring.len() >= RING_CAPACITY {
             st.ring.pop_front();
@@ -94,6 +102,24 @@ impl Recorder {
             st.snap.events_dropped += 1;
         }
         st.ring.push_back(TraceEvent { t_us, kind });
+    }
+
+    /// Attach a live status slot: every subsequently recorded event is
+    /// also folded into it (status derivation happens at the existing
+    /// record calls — no extra instrumentation sites). No-op when
+    /// disabled.
+    pub fn set_status(&self, handle: StatusHandle) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.status = Some(handle);
+    }
+
+    /// Detach the status slot (admin connections de-list themselves
+    /// from the session board this way).
+    pub fn clear_status(&self) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.status = None;
     }
 
     /// Record one histogram observation.
@@ -197,6 +223,25 @@ mod tests {
         assert_eq!(r.drain_events().len(), 1);
         assert!(r.events().is_empty());
         assert_eq!(r.snapshot().dir_phase_bytes(DirTag::C2s, PhaseTag::Map), 7);
+    }
+
+    #[test]
+    fn attached_status_follows_recorded_events() {
+        use crate::status::StatusBoard;
+        let clock: Arc<ManualClock> = Arc::new(ManualClock::ticking(1_000, 10));
+        let board = StatusBoard::new(clock.clone());
+        let r = Recorder::with_clock(clock);
+        let handle = board.register("peer");
+        r.set_status(handle.clone());
+        r.record(EventKind::FrameSend { dir: DirTag::C2s, phase: PhaseTag::Map, bytes: 64 });
+        r.record(EventKind::Retransmit { frames: 3 });
+        let s = handle.snapshot();
+        assert_eq!(s.bytes_out, 64);
+        assert_eq!(s.retransmits, 3);
+        assert_eq!(s.phase, PhaseTag::Map);
+        r.clear_status();
+        r.record(EventKind::Retransmit { frames: 1 });
+        assert_eq!(handle.snapshot().retransmits, 3);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod metrics;
 pub mod model;
 pub mod passes;
 pub mod report;

@@ -1,6 +1,7 @@
 //! `cargo run -p xtask -- lint` — the workspace static-analysis gate —
-//! plus the offline validators: `check-journal FILE` for trace journals
-//! and `check-lint-report FILE` for the JSON lint report CI archives.
+//! plus the offline validators: `check-journal FILE` for trace
+//! journals, `check-metrics FILE` for Prometheus expositions, and
+//! `check-lint-report FILE` for the JSON lint report CI archives.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
@@ -14,6 +15,7 @@ use xtask::{find_workspace_root, gate, lint_workspace, Baseline, LintConfig};
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [options]
        cargo run -p xtask -- check-journal <FILE>
+       cargo run -p xtask -- check-metrics <FILE>
        cargo run -p xtask -- check-lint-report <FILE>
 
 Static-analysis gate for the msync workspace: a token-aware engine
@@ -63,6 +65,10 @@ options:
 
 check-journal validates a --trace-out JSONL journal offline (no jq
 needed): every line must parse under the current schema with monotone t_us.
+check-metrics validates a Prometheus text exposition (a `msync stats`
+scrape or --metrics-out file) offline, no promtool needed: well-formed
+`# TYPE` lines declared once and before their samples, valid metric and
+label syntax, numeric values, and no duplicate series.
 check-lint-report validates a `lint --format json` report: valid JSON
 with the msync-lint/1 shape (findings with rule/file/line/col spans).
 ";
@@ -90,6 +96,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             return Err(format!("check-journal takes exactly one argument\n\n{USAGE}"));
         }
         return check_journal(std::path::Path::new(path));
+    }
+    if cmd == "check-metrics" {
+        let path = it.next().ok_or("check-metrics needs an exposition file path")?;
+        if it.next().is_some() {
+            return Err(format!("check-metrics takes exactly one argument\n\n{USAGE}"));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return match xtask::metrics::validate_metrics(&text) {
+            Ok(summary) => {
+                println!("{path}: {} series in {} families OK", summary.series, summary.families);
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(errors) => {
+                for err in &errors {
+                    eprintln!("{path}: {err}");
+                }
+                eprintln!("{path}: {} violation(s)", errors.len());
+                Ok(ExitCode::FAILURE)
+            }
+        };
     }
     if cmd == "check-lint-report" {
         let path = it.next().ok_or("check-lint-report needs a report file path")?;

@@ -1,0 +1,279 @@
+//! Offline validator for Prometheus text expositions (`check-metrics`).
+//!
+//! The daemon's `stats` admin verb and `--metrics-out` file both emit
+//! the classic text exposition format, and CI scrapes a live daemon to
+//! prove it. Nothing in the container can parse that format, so this
+//! module is the hand-rolled equivalent of `promtool check metrics`,
+//! restricted to what the workspace actually emits:
+//!
+//! * comment lines are `# TYPE name kind` (kind one of `counter`,
+//!   `gauge`, `histogram`, `summary`, `untyped`) or `# HELP name ...`;
+//! * a family's `# TYPE` appears before its first sample and only once;
+//! * sample lines are `name value` or `name{key="value",...} value`
+//!   with valid metric/label identifiers and a numeric value;
+//! * no series (name plus label set) appears twice;
+//! * every sample belongs to a declared family (histogram samples via
+//!   their `_bucket` / `_sum` / `_count` suffixes).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a clean validation run saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Number of `# TYPE`-declared metric families.
+    pub families: usize,
+    /// Number of distinct sample series.
+    pub series: usize,
+}
+
+const TYPE_KINDS: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split a sample line into `(name, labels-with-braces, value)`.
+/// Labels are returned verbatim (sorted order is the renderer's job;
+/// the duplicate-series check compares them as written).
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let (name, rest) = line.split_at(name_end);
+    if name.is_empty() || !valid_metric_name(name) {
+        return Err("sample line does not start with a metric name".to_owned());
+    }
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let close =
+            after_brace.find('}').ok_or_else(|| "unterminated `{` in label set".to_owned())?;
+        let labels = &after_brace[..close];
+        check_labels(labels)?;
+        let value = after_brace[close + 1..]
+            .strip_prefix(' ')
+            .ok_or_else(|| "expected a space between label set and value".to_owned())?;
+        Ok((name, &rest[..close + 2], value))
+    } else {
+        let value = rest
+            .strip_prefix(' ')
+            .ok_or_else(|| "expected a space between metric name and value".to_owned())?;
+        Ok((name, "", value))
+    }
+}
+
+/// Validate the inside of a `{...}` label set: `key="value"` pairs,
+/// comma-separated, no duplicate keys, no unescaped quotes in values.
+fn check_labels(labels: &str) -> Result<(), String> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut rest = labels;
+    loop {
+        let eq = rest.find('=').ok_or_else(|| format!("label pair `{rest}` has no `=`"))?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        if !seen.insert(key) {
+            return Err(format!("duplicate label `{key}`"));
+        }
+        let after_eq = &rest[eq + 1..];
+        let quoted = after_eq
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{key}` value is not quoted"))?;
+        // The workspace never emits escapes, so the strict subset bans
+        // them: the first quote closes the value.
+        let close =
+            quoted.find('"').ok_or_else(|| format!("label `{key}` value is unterminated"))?;
+        if quoted[..close].contains('\\') {
+            return Err(format!("label `{key}` value contains an escape"));
+        }
+        rest = &quoted[close + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| format!("expected `,` or end after label `{key}`"))?;
+    }
+}
+
+fn valid_value(value: &str) -> bool {
+    !value.is_empty()
+        && !value.contains(' ')
+        && (value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN"))
+}
+
+/// Resolve a sample name to its declared family: itself, or — for
+/// `_bucket` / `_sum` / `_count` samples of a declared histogram — the
+/// base name.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).is_some_and(|k| k == "histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Validate a full exposition. Returns the family/series counts on
+/// success, or every violation as a `line N: message` string.
+///
+/// # Errors
+/// One entry per malformed line, duplicate declaration, duplicate
+/// series, or sample without a declared family.
+pub fn validate_metrics(text: &str) -> Result<MetricsSummary, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    let mut series: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut fail = |msg: String| errors.push(format!("line {lineno}: {msg}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut words = decl.split(' ');
+            match (words.next(), words.next(), words.next()) {
+                (Some(name), Some(kind), None) => {
+                    if !valid_metric_name(name) {
+                        fail(format!("invalid family name `{name}` in TYPE"));
+                    } else if !TYPE_KINDS.contains(&kind) {
+                        fail(format!("unknown TYPE kind `{kind}` for `{name}`"));
+                    } else if types.contains_key(name) {
+                        fail(format!("duplicate TYPE for family `{name}`"));
+                    } else if sampled.contains(name) {
+                        fail(format!("TYPE for `{name}` appears after its samples"));
+                    } else {
+                        types.insert(name.to_owned(), kind.to_owned());
+                    }
+                }
+                _ => fail("TYPE needs exactly `# TYPE name kind`".to_owned()),
+            }
+            continue;
+        }
+        if let Some(help) = line.strip_prefix("# HELP ") {
+            if !valid_metric_name(help.split(' ').next().unwrap_or("")) {
+                fail("HELP needs `# HELP name text`".to_owned());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            fail("comments must be `# TYPE` or `# HELP`".to_owned());
+            continue;
+        }
+        match split_sample(line) {
+            Ok((name, labels, value)) => {
+                if !valid_value(value) {
+                    fail(format!("series `{name}{labels}` has non-numeric value `{value}`"));
+                }
+                if !series.insert(format!("{name}{labels}")) {
+                    fail(format!("duplicate series `{name}{labels}`"));
+                }
+                let family = family_of(name, &types);
+                if !types.contains_key(family) {
+                    fail(format!("sample `{name}` has no `# TYPE {family}` declaration"));
+                }
+                sampled.insert(family.to_owned());
+            }
+            Err(msg) => fail(msg),
+        }
+    }
+    if errors.is_empty() {
+        Ok(MetricsSummary { families: types.len(), series: series.len() })
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# TYPE msync_bytes_total counter
+msync_bytes_total{dir=\"c2s\",phase=\"map\"} 120
+msync_bytes_total{dir=\"s2c\",phase=\"map\"} 64
+msync_bytes_total{dir=\"c2s\",phase=\"map\",collection=\"default\"} 120
+# TYPE msync_sessions_ended_total counter
+msync_sessions_ended_total 3
+# TYPE msync_rate_bytes_per_sec gauge
+msync_rate_bytes_per_sec{window=\"10s\"} 512.375
+msync_rate_bytes_per_sec{window=\"60s\"} 0.000
+# TYPE msync_session_micros histogram
+msync_session_micros_bucket{le=\"1024\"} 2
+msync_session_micros_bucket{le=\"+Inf\"} 3
+msync_session_micros_sum 2100
+msync_session_micros_count 3
+";
+
+    #[test]
+    fn a_real_shaped_exposition_validates() {
+        let summary = validate_metrics(GOOD).unwrap();
+        assert_eq!(summary, MetricsSummary { families: 4, series: 10 });
+    }
+
+    #[test]
+    fn duplicate_type_and_late_type_are_flagged() {
+        let errs = validate_metrics("# TYPE a counter\n# TYPE a counter\nb 1\n# TYPE b counter\n")
+            .unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("duplicate TYPE for family `a`")), "{errs:?}");
+        // `b 1` samples an undeclared family, and its TYPE comes late.
+        assert!(errs.iter().any(|e| e.contains("no `# TYPE b`")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("after its samples")), "{errs:?}");
+    }
+
+    #[test]
+    fn duplicate_series_are_flagged() {
+        let errs = validate_metrics("# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\na{x=\"2\"} 3\n")
+            .unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].starts_with("line 3:"), "{errs:?}");
+        assert!(errs[0].contains("duplicate series"), "{errs:?}");
+    }
+
+    #[test]
+    fn label_syntax_is_checked() {
+        for bad in [
+            "# TYPE a counter\na{x=1} 1\n",             // unquoted value
+            "# TYPE a counter\na{2x=\"1\"} 1\n",        // bad label name
+            "# TYPE a counter\na{x=\"1\"y=\"2\"} 1\n",  // missing comma
+            "# TYPE a counter\na{x=\"1} 1\n",           // unterminated quote/brace
+            "# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n", // duplicate key
+        ] {
+            assert!(validate_metrics(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn values_and_comments_are_checked() {
+        assert!(validate_metrics("# TYPE a counter\na lots\n").is_err());
+        assert!(validate_metrics("# TYPE a bogus-kind\n").is_err());
+        assert!(validate_metrics("# random prose\n").is_err());
+        assert!(validate_metrics("# HELP a what a counts\n# TYPE a counter\na 1\n").is_ok());
+        // +Inf histograms bounds are numeric enough.
+        assert!(validate_metrics("# TYPE a gauge\na +Inf\n").is_ok());
+    }
+
+    #[test]
+    fn histogram_suffixes_resolve_to_their_family() {
+        // `_sum` of a non-histogram family is its own (undeclared) name.
+        let errs = validate_metrics("# TYPE a counter\na_sum 1\n").unwrap_err();
+        assert!(errs[0].contains("no `# TYPE a_sum`"), "{errs:?}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let errs = validate_metrics("# TYPE a counter\na 1\n\n{oops} 1\n").unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].starts_with("line 4:"), "{errs:?}");
+    }
+}

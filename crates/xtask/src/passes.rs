@@ -556,6 +556,47 @@ mod tests {
         assert!(fs[0].message.contains("misses {Delta}"), "{}", fs[0].message);
     }
 
+    fn admin_schema() -> WireSchemaSpec {
+        cfg()
+            .wire_schemas
+            .into_iter()
+            .find(|s| s.enum_name == "AdminCmd")
+            .expect("AdminCmd schema is registered")
+    }
+
+    const ADMIN_DECL: &str = "/// Verbs.\npub(crate) enum AdminCmd {\n    Reload(String),\n    Stats { json: bool },\n    Sessions,\n    Health,\n}\n";
+
+    #[test]
+    fn wire_schema_covers_admin_verb_dispatch() {
+        // An executor missing one verb arm is the admin-plane version of
+        // a one-sided frame tag: the parser accepts `health`, the
+        // dispatcher cannot answer it.
+        let m = models(&[
+            ("crates/net/src/handshake.rs", ADMIN_DECL),
+            (
+                "crates/net/src/mux.rs",
+                "fn execute(cmd: AdminCmd) -> String { match cmd { AdminCmd::Reload(n) => reload(n), AdminCmd::Stats { json } => stats(json), AdminCmd::Sessions => sessions() } }",
+            ),
+        ]);
+        let mut fs = Vec::new();
+        wire_schema(&m, &admin_schema(), &mut fs);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("misses {Health}"), "{}", fs[0].message);
+        assert_eq!(fs[0].file, "crates/net/src/mux.rs");
+
+        // The full verb set dispatches cleanly.
+        let ok = models(&[
+            ("crates/net/src/handshake.rs", ADMIN_DECL),
+            (
+                "crates/net/src/mux.rs",
+                "fn execute(cmd: AdminCmd) -> String { match cmd { AdminCmd::Reload(n) => reload(n), AdminCmd::Stats { json } => stats(json), AdminCmd::Sessions => sessions(), AdminCmd::Health => health() } }",
+            ),
+        ]);
+        let mut fs = Vec::new();
+        wire_schema(&ok, &admin_schema(), &mut fs);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
     #[test]
     fn wire_schema_accepts_complete_matches_and_value_uses() {
         let m = models(&[

@@ -35,7 +35,8 @@
 //! Four cross-file passes live in [`crate::passes`] and run over the
 //! same per-file models:
 //!
-//! * `wire-schema` — single frame-tag registry, symmetric match arms.
+//! * `wire-schema` — single registry per tag vocabulary (frame tags
+//!   `Phase`, admin verbs `AdminCmd`), symmetric match arms.
 //! * `charge-point` — `TrafficStats` charge and trace frame event are
 //!   paired within every transport function.
 //! * `machine-discipline` — drive loops handle every `Output` variant
@@ -254,13 +255,24 @@ impl LintConfig {
             skip_crates: vec!["bench".to_owned()],
             clock_exempt: vec!["trace".to_owned()],
             engine_modules: vec!["crates/core/src/engine/".to_owned()],
-            wire_schemas: vec![WireSchema {
-                enum_name: "Phase".to_owned(),
-                registry: "crates/protocol/src/stats.rs".to_owned(),
-                scopes: ["crates/protocol/src/", "crates/core/src/engine/", "crates/net/src/"]
-                    .map(str::to_owned)
-                    .to_vec(),
-            }],
+            wire_schemas: vec![
+                WireSchema {
+                    enum_name: "Phase".to_owned(),
+                    registry: "crates/protocol/src/stats.rs".to_owned(),
+                    scopes: ["crates/protocol/src/", "crates/core/src/engine/", "crates/net/src/"]
+                        .map(str::to_owned)
+                        .to_vec(),
+                },
+                // The admin verb vocabulary is a wire schema too: a verb
+                // the parser accepts but the executor does not dispatch
+                // (or vice versa) is the same one-sided desync as a
+                // missing frame-tag arm.
+                WireSchema {
+                    enum_name: "AdminCmd".to_owned(),
+                    registry: "crates/net/src/handshake.rs".to_owned(),
+                    scopes: vec!["crates/net/src/".to_owned()],
+                },
+            ],
             charge_crates: vec!["net".to_owned(), "protocol".to_owned()],
             machine: Some(MachineSpec {
                 output_enum: "Output".to_owned(),

@@ -20,8 +20,13 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-echo "==> network loopback gate (live daemon, 32-client soak, admission control)"
+echo "==> network loopback gate (live daemon, 32-client soak with admin scrapes, admission control)"
 cargo test --release -q --test net_loopback
+test -s ARTIFACT_sessions_scrape.txt || {
+    echo "soak did not archive its mid-soak sessions scrape"; exit 1; }
+
+echo "==> live introspection gate (sessions/health verbs, slow-session watchdog)"
+cargo test --release -q --test introspection
 
 echo "==> sans-IO engine determinism gate (ManualClock replay)"
 cargo test --release -q --test engine_machine
@@ -44,6 +49,28 @@ printf 'hello msync observability\n%.0s' {1..200} > "$tree/old/a.txt"
 cp "$tree/old/a.txt" "$tree/new/b.txt"
 ./target/release/msync sync "$tree/old" "$tree/new" --trace-out "$journal" > /dev/null
 cargo run --release -q -p xtask -- check-journal "$journal"
+
+echo "==> chrome trace export (msync trace-export, TRACE_chrome.json)"
+./target/release/msync trace-export "$journal" --out TRACE_chrome.json > /dev/null
+test -s TRACE_chrome.json
+
+echo "==> live daemon scrape (msync stats -> xtask check-metrics, SCRAPE_metrics.txt)"
+serve_log="$(mktemp /tmp/msync-ci-serve.XXXXXX)"
+./target/release/msync serve "$tree/new" --listen 127.0.0.1:0 --slow-session-ms 30000 \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$journal" "$serve_log"; rm -rf "$tree"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on \(.*\) (ctrl-c to stop)$/\1/p' "$serve_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never reported its address"; cat "$serve_log"; exit 1; }
+./target/release/msync sync "$tree/old" --remote "$addr" > /dev/null
+./target/release/msync stats --remote "$addr" > SCRAPE_metrics.txt
+cargo run --release -q -p xtask -- check-metrics SCRAPE_metrics.txt
+kill "$serve_pid" 2>/dev/null || true
 
 echo "==> tracing overhead gate (< 5%, BENCH_trace_overhead.json)"
 MSYNC_BENCH=1 cargo test --release -q --test trace_overhead

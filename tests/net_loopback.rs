@@ -149,6 +149,39 @@ fn soak_32_concurrent_clients_byte_exact_and_accounted() {
             std::thread::spawn(move || run_remote(&addr, &old, 16))
         })
         .collect();
+
+    // Introspection under contention: scrape `stats` / `sessions` /
+    // `health` continuously while all 32 clients hammer the daemon.
+    // The scrapes must never error or deadlock, and — since every
+    // admin exchange is itself a reported, metered connection — they
+    // land in the same accounting invariant checked below.
+    let scrape_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let timeout = Duration::from_secs(5);
+            let mut admin_count = 0usize;
+            let mut live_table = String::new();
+            while !stop.load(Ordering::SeqCst) {
+                let stats =
+                    msync::net::admin_stats(&addr, false, timeout).expect("mid-soak stats scrape");
+                assert!(stats.contains("# TYPE msync_bytes_total counter"), "{stats}");
+                let table =
+                    msync::net::admin_sessions(&addr, timeout).expect("mid-soak sessions scrape");
+                if !table.is_empty() {
+                    live_table = table;
+                }
+                let health =
+                    msync::net::admin_health(&addr, timeout).expect("mid-soak health scrape");
+                assert!(health.contains("live_sessions="), "{health}");
+                admin_count += 3;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (admin_count, live_table)
+        })
+    };
+
     for handle in handles {
         let got = handle.join().expect("client thread");
         assert_eq!(got.outcome.files.len(), want.len());
@@ -157,11 +190,23 @@ fn soak_32_concurrent_clients_byte_exact_and_accounted() {
             assert_eq!(have.data, want.data, "soak mirror mismatch for {}", want.name);
         }
     }
+    scrape_stop.store(true, Ordering::SeqCst);
+    let (admin_count, live_table) = scraper.join().expect("scraper thread");
+    assert!(admin_count > 0, "scraper never completed a scrape");
+    assert!(
+        live_table.lines().any(|l| l.contains("phase=")),
+        "scraper never caught a live session: {live_table:?}"
+    );
+    // Archive one mid-soak `sessions` scrape for CI.
+    let artifact = concat!(env!("CARGO_MANIFEST_DIR"), "/ARTIFACT_sessions_scrape.txt");
+    std::fs::write(artifact, &live_table).expect("write sessions artifact");
 
-    // All 32 reports land (the log callback fires after the aggregate
-    // merge, so 32 reports mean a settled aggregate).
+    // All reports land — 32 syncs plus every admin exchange (the log
+    // callback fires after the aggregate merge, so a full count means
+    // a settled aggregate).
+    let expected_reports = CLIENTS + admin_count;
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
-    while reports.lock().expect("report sink").len() < CLIENTS {
+    while reports.lock().expect("report sink").len() < expected_reports {
         assert!(std::time::Instant::now() < deadline, "daemon reports never arrived");
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
@@ -169,7 +214,7 @@ fn soak_32_concurrent_clients_byte_exact_and_accounted() {
     daemon.shutdown();
 
     let reports = reports.lock().expect("report sink");
-    assert_eq!(reports.len(), CLIENTS);
+    assert_eq!(reports.len(), expected_reports);
     let dirs = [(DirTag::C2s, Direction::ClientToServer), (DirTag::S2c, Direction::ServerToClient)];
     let phases = [
         (PhaseTag::Setup, Phase::Setup),
@@ -197,7 +242,9 @@ fn soak_32_concurrent_clients_byte_exact_and_accounted() {
         merged.merge(m);
     }
     assert_eq!(aggregate, merged, "daemon.metrics() must equal merged session snapshots");
-    assert_eq!(aggregate.handshakes_ok, CLIENTS as u64);
+    // Admin exchanges answer `ok` and are metered as successful
+    // handshakes alongside the 32 syncs.
+    assert_eq!(aggregate.handshakes_ok, (CLIENTS + admin_count) as u64);
     assert_eq!(aggregate.handshakes_failed, 0);
 }
 
