@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 use msync_hash::{BitReader, BitWriter};
-use msync_protocol::{Phase, RetryPolicy};
+use msync_protocol::{BufferPool, FrameBuf, Phase, RetryPolicy};
 use msync_trace::{EventKind, HistKind, Recorder};
 
 use super::Output;
@@ -81,8 +81,8 @@ pub(crate) struct ArqFrame {
     pub(crate) part: Part,
 }
 
-pub(crate) fn parse_frame(bytes: &[u8]) -> Option<ArqFrame> {
-    let mut r = BitReader::new(bytes);
+pub(crate) fn parse_frame(frame: &FrameBuf) -> Option<ArqFrame> {
+    let mut r = BitReader::new(frame);
     let seq = r.read_varint().ok()?;
     let idx = usize::try_from(r.read_varint().ok()?).ok()?;
     if idx >= MAX_PARTS_PER_MESSAGE {
@@ -91,20 +91,32 @@ pub(crate) fn parse_frame(bytes: &[u8]) -> Option<ArqFrame> {
     let header = r.read_bits(8).ok()? as u8;
     let (phase, more) = parse_part_header(header)?;
     // The varints and header byte are whole bytes, so the payload
-    // starts byte-aligned.
-    let consumed = bytes.len() - r.remaining_bits() / 8;
-    Some(ArqFrame { seq, idx, more, part: Part { phase, payload: bytes[consumed..].to_vec() } })
+    // starts byte-aligned — and a zero-copy view of the received frame
+    // suffices: the part shares the frame's allocation.
+    let consumed = frame.len() - r.remaining_bits() / 8;
+    let payload = frame.slice(consumed, frame.len());
+    Some(ArqFrame { seq, idx, more, part: Part { phase, payload } })
 }
 
-/// Encode one part as a wire frame payload.
-pub(crate) fn encode_arq_frame(seq: u64, idx: usize, more: bool, part: &Part) -> Vec<u8> {
+/// Encode one part as a wire frame: ARQ header bits followed by one
+/// metered copy of the payload into `buf` (a pool checkout or a plain
+/// `Vec` — the caller seals it into a [`FrameBuf`]).
+pub(crate) fn encode_arq_frame_into(
+    buf: &mut Vec<u8>,
+    seq: u64,
+    idx: usize,
+    more: bool,
+    part: &Part,
+) {
     let mut w = BitWriter::new();
     w.write_varint(seq);
     w.write_varint(idx as u64);
     w.write_bits(u64::from(part_header(part.phase, more)), 8);
-    let mut frame = w.into_bytes();
-    frame.extend_from_slice(&part.payload);
-    frame
+    let head = w.into_bytes();
+    buf.reserve(head.len() + part.payload.len());
+    buf.extend_from_slice(&head);
+    msync_protocol::note_frame_copy(part.payload.len());
+    buf.extend_from_slice(&part.payload);
 }
 
 pub(crate) fn micros_of(d: Duration) -> u64 {
@@ -122,8 +134,14 @@ pub(crate) struct ArqCore {
     send_seq: u64,
     /// Sequence number of the next message expected from the peer.
     recv_seq: u64,
-    /// The last message sent, kept for retransmission.
-    cached: Vec<Part>,
+    /// The last message sent, kept as encoded frames (with their
+    /// accounting phases) for retransmission: a resend is a refcount
+    /// bump of each cached [`FrameBuf`], never a re-encode.
+    cached: Vec<(FrameBuf, Phase)>,
+    /// Pool the encoded frames draw their buffers from (optional — the
+    /// blocking one-shot drivers don't bother; the daemon multiplexer
+    /// installs its shared pool via `set_pool`).
+    pool: Option<BufferPool>,
     /// Whether a stale final frame from the peer triggers a resend of
     /// the cached message. Only the server answers stale frames: it is
     /// how a client retransmission gets its lost reply back. If both
@@ -173,6 +191,7 @@ impl ArqCore {
             send_seq,
             recv_seq,
             cached: Vec::new(),
+            pool: None,
             resend_on_stale,
             rec,
             last_send_us: 0,
@@ -191,6 +210,25 @@ impl ArqCore {
 
     pub(crate) fn retry(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Draw encoded-frame buffers from `pool` from now on (frames
+    /// already cached keep their original allocations).
+    pub(crate) fn set_pool(&mut self, pool: BufferPool) {
+        self.pool = Some(pool);
+    }
+
+    /// Encode one part into a pooled (or plain) buffer.
+    fn encode_frame_buf(&self, seq: u64, idx: usize, more: bool, part: &Part) -> FrameBuf {
+        let mut buf = match &self.pool {
+            Some(p) => p.checkout(),
+            None => Vec::new(),
+        };
+        encode_arq_frame_into(&mut buf, seq, idx, more, part);
+        match &self.pool {
+            Some(p) => p.seal(buf),
+            None => FrameBuf::from(buf),
+        }
     }
 
     pub(crate) fn recv_seq(&self) -> u64 {
@@ -213,31 +251,34 @@ impl ArqCore {
         self.deadline_us
     }
 
-    /// Queue a whole logical message for transmission and cache it for
-    /// retransmission.
+    /// Queue a whole logical message for transmission: each part is
+    /// encoded exactly once, and the encoded frames are cached so a
+    /// retransmission is a refcount bump, never a re-encode.
     pub(crate) fn send_message(&mut self, parts: Vec<Part>, now_us: u64) {
         let seq = self.send_seq;
         self.send_seq += 2;
         let n = parts.len();
+        self.cached.clear();
         for (i, part) in parts.iter().enumerate() {
+            let frame = self.encode_frame_buf(seq, i, i + 1 < n, part);
             self.effects.push_back(Output::Transmit {
-                frame: encode_arq_frame(seq, i, i + 1 < n, part),
+                frame: frame.share(),
                 phase: part.phase,
                 retransmit: false,
             });
+            self.cached.push((frame, part.phase));
         }
-        self.cached = parts;
         self.last_send_us = now_us;
     }
 
-    /// Queue the whole cached message again as recovery traffic.
+    /// Queue the whole cached message again as recovery traffic — the
+    /// identical encoded frames, shared by refcount.
     pub(crate) fn queue_retransmit(&mut self) {
-        let seq = self.send_seq.wrapping_sub(2);
         let n = self.cached.len();
-        for (i, part) in self.cached.iter().enumerate() {
+        for (frame, phase) in &self.cached {
             self.effects.push_back(Output::Transmit {
-                frame: encode_arq_frame(seq, i, i + 1 < n, part),
-                phase: part.phase,
+                frame: frame.share(),
+                phase: *phase,
                 retransmit: true,
             });
         }
@@ -287,7 +328,7 @@ impl ArqCore {
     /// structurally invalid frames return `None`.
     pub(crate) fn on_frame(
         &mut self,
-        bytes: &[u8],
+        bytes: &FrameBuf,
         now_us: u64,
     ) -> Result<Option<Vec<Part>>, SyncError> {
         self.count_frame(now_us)?;

@@ -13,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use msync_hash::{file_fingerprint, Fingerprint};
-use msync_protocol::{Direction, Phase, RetryPolicy, TrafficStats};
+use msync_protocol::{BufferPool, Direction, FrameBuf, Phase, RetryPolicy, TrafficStats};
 use msync_trace::{EventKind, HistKind, Recorder, ResumeRejectTag};
 
 use super::arq::{micros_of, parse_frame, ArqCore, MAX_FRAMES_PER_EXCHANGE};
@@ -121,7 +121,8 @@ impl<'a> CollectionClientMachine<'a> {
         let mut arq = ArqCore::client(retry, rec.clone());
         let mut my_names: Vec<&str> = old.iter().map(|f| f.name.as_str()).collect();
         my_names.sort_unstable();
-        let mut message = vec![Part { phase: Phase::Setup, payload: encode_roster(&my_names) }];
+        let mut message =
+            vec![Part { phase: Phase::Setup, payload: encode_roster(&my_names).into() }];
         let mut offered: Vec<(String, Fingerprint)> = Vec::new();
         if let Some(plan) = resume {
             let by_name: HashMap<&str, &FileEntry> =
@@ -138,7 +139,7 @@ impl<'a> CollectionClientMachine<'a> {
                 rec.record(EventKind::ResumeOffer { files: offered.len() as u64 });
                 message.push(Part {
                     phase: Phase::Resume,
-                    payload: encode_resume_offer(&plan.config_digest, &offered),
+                    payload: encode_resume_offer(&plan.config_digest, &offered).into(),
                 });
             }
         }
@@ -163,6 +164,11 @@ impl<'a> CollectionClientMachine<'a> {
             pending_completed: Vec::new(),
             round: 0,
         })
+    }
+
+    /// Draw encoded-frame buffers for this session from `pool`.
+    pub fn set_pool(&mut self, pool: BufferPool) {
+        self.arq.set_pool(pool);
     }
 
     /// Files completed since the last call, in completion order. The
@@ -205,7 +211,7 @@ impl<'a> CollectionClientMachine<'a> {
         self.expected = self.outbox.iter().map(|(id, _)| *id).collect();
         self.outbox.clear();
         self.round += 1;
-        self.arq.send_message(vec![Part { phase: Phase::Map, payload: batch }], now_us);
+        self.arq.send_message(vec![Part { phase: Phase::Map, payload: batch.into() }], now_us);
         self.arq.begin_await(now_us);
         self.state = ClientState::AwaitBatch;
     }
@@ -425,7 +431,7 @@ impl<'a> CollectionClientMachine<'a> {
 impl Machine for CollectionClientMachine<'_> {
     type Ctx = ();
 
-    fn on_frame(&mut self, _ctx: &(), bytes: &[u8], now_us: u64) -> Result<(), SyncError> {
+    fn on_frame(&mut self, _ctx: &(), bytes: &FrameBuf, now_us: u64) -> Result<(), SyncError> {
         if matches!(self.state, ClientState::Finished) {
             return Ok(());
         }
@@ -540,6 +546,11 @@ impl CollectionServeMachine {
         })
     }
 
+    /// Draw encoded-frame buffers for this session from `pool`.
+    pub fn set_pool(&mut self, pool: BufferPool) {
+        self.arq.set_pool(pool);
+    }
+
     /// What this connection amounted to. `files_in_collection` is the
     /// served collection's size (used when the peer vanished before the
     /// roster exchange); `traffic` is the transport's wire accounting.
@@ -618,10 +629,13 @@ impl CollectionServeMachine {
         let names: Vec<&str> = order.iter().map(|&i| new[i].name.as_str()).collect();
         self.slots = (0..order.len()).map(|_| ServeSlot::Idle).collect();
         self.order = order;
-        let mut reply = vec![Part { phase: Phase::Setup, payload: encode_roster(&names) }];
+        let mut reply = vec![Part { phase: Phase::Setup, payload: encode_roster(&names).into() }];
         if let Some(offer) = parts.iter().find(|p| p.phase == Phase::Resume) {
             let verdict = self.eval_offer(snap, &names, &offer.payload);
-            reply.push(Part { phase: Phase::Resume, payload: encode_resume_verdict(&verdict) });
+            reply.push(Part {
+                phase: Phase::Resume,
+                payload: encode_resume_verdict(&verdict).into(),
+            });
         }
         self.arq.send_message(reply, now_us);
         self.rostered = true;
@@ -669,13 +683,15 @@ impl CollectionServeMachine {
             }
             out.push((id, reply));
         }
-        self.arq
-            .send_message(vec![Part { phase: Phase::Map, payload: encode_batch(&out) }], now_us);
+        self.arq.send_message(
+            vec![Part { phase: Phase::Map, payload: encode_batch(&out).into() }],
+            now_us,
+        );
         self.arq.begin_await(now_us);
         Ok(())
     }
 
-    fn on_linger_frame(&mut self, bytes: &[u8], now_us: u64) {
+    fn on_linger_frame(&mut self, bytes: &FrameBuf, now_us: u64) {
         self.linger_frames += 1;
         self.quiet = 0;
         if let Some(frame) = parse_frame(bytes) {
@@ -699,7 +715,7 @@ impl Machine for CollectionServeMachine {
     fn on_frame(
         &mut self,
         snap: &CollectionSnapshot,
-        bytes: &[u8],
+        bytes: &FrameBuf,
         now_us: u64,
     ) -> Result<(), SyncError> {
         match self.state {

@@ -24,7 +24,7 @@
 //! reply until the client hangs up (success) or goes silent past the
 //! retry budget.
 
-use msync_protocol::RetryPolicy;
+use msync_protocol::{BufferPool, FrameBuf, RetryPolicy};
 use msync_trace::Recorder;
 
 use super::arq::{micros_of, parse_frame, ArqCore, MAX_FRAMES_PER_EXCHANGE};
@@ -88,12 +88,17 @@ impl<'a> ClientMachine<'a> {
     pub fn take_done(&mut self) -> Option<ClientDone> {
         self.done.take()
     }
+
+    /// Draw encoded-frame buffers for this session from `pool`.
+    pub fn set_pool(&mut self, pool: BufferPool) {
+        self.arq.set_pool(pool);
+    }
 }
 
 impl Machine for ClientMachine<'_> {
     type Ctx = ();
 
-    fn on_frame(&mut self, _ctx: &(), bytes: &[u8], now_us: u64) -> Result<(), SyncError> {
+    fn on_frame(&mut self, _ctx: &(), bytes: &FrameBuf, now_us: u64) -> Result<(), SyncError> {
         if self.finished {
             return Ok(());
         }
@@ -201,6 +206,11 @@ impl ServerMachine {
         })
     }
 
+    /// Draw encoded-frame buffers for this session from `pool`.
+    pub fn set_pool(&mut self, pool: BufferPool) {
+        self.arq.set_pool(pool);
+    }
+
     fn enter_linger(&mut self, now_us: u64) {
         self.quiet = 0;
         self.linger_frames = 0;
@@ -208,7 +218,7 @@ impl ServerMachine {
         self.state = ServerState::Linger { deadline_us };
     }
 
-    fn on_linger_frame(&mut self, bytes: &[u8], now_us: u64) {
+    fn on_linger_frame(&mut self, bytes: &FrameBuf, now_us: u64) {
         self.linger_frames += 1;
         self.quiet = 0;
         if let Some(frame) = parse_frame(bytes) {
@@ -229,7 +239,7 @@ impl ServerMachine {
 impl Machine for ServerMachine {
     type Ctx = [u8];
 
-    fn on_frame(&mut self, new: &[u8], bytes: &[u8], now_us: u64) -> Result<(), SyncError> {
+    fn on_frame(&mut self, new: &[u8], bytes: &FrameBuf, now_us: u64) -> Result<(), SyncError> {
         match self.state {
             ServerState::AwaitRequest | ServerState::Await => {
                 let Some(parts) = self.arq.on_frame(bytes, now_us)? else {

@@ -32,7 +32,7 @@ pub use collection::{CollectionClientMachine, CollectionServeMachine, CompletedF
 pub use machine::{ClientDone, ClientMachine, ServerMachine};
 
 use crate::session::SyncError;
-use msync_protocol::Phase;
+use msync_protocol::{FrameBuf, Phase};
 
 /// One effect requested by a machine, drained via
 /// [`Machine::poll_output`]. Effects must be executed in the order they
@@ -44,8 +44,11 @@ pub enum Output {
     /// `retransmit` marks recovery traffic so the transport's
     /// retransmission counter stays honest.
     Transmit {
-        /// Encoded frame bytes (ARQ header + payload), ready to send.
-        frame: Vec<u8>,
+        /// Encoded frame (ARQ header + payload), ready to send. A
+        /// refcounted [`FrameBuf`]: retransmissions of the same frame
+        /// carry shares of one allocation, and transports that queue
+        /// output keep shares instead of copies.
+        frame: FrameBuf,
         /// Accounting phase of the frame's payload.
         phase: Phase,
         /// Whether this is a retransmission of an earlier frame.
@@ -90,11 +93,14 @@ pub trait Machine {
     /// Caller-supplied context passed to every `on_frame` call.
     type Ctx: ?Sized;
 
-    /// Feed one received frame payload to the machine.
+    /// Feed one received frame payload to the machine. The frame is a
+    /// refcounted [`FrameBuf`] so the machine can keep zero-copy views
+    /// of it (message parts slice the frame's allocation).
     ///
     /// # Errors
     /// Any [`SyncError`] the frame provokes (desync, retry exhaustion).
-    fn on_frame(&mut self, ctx: &Self::Ctx, bytes: &[u8], now_us: u64) -> Result<(), SyncError>;
+    fn on_frame(&mut self, ctx: &Self::Ctx, bytes: &FrameBuf, now_us: u64)
+        -> Result<(), SyncError>;
 
     /// Report a frame that failed the transport's integrity checks.
     ///

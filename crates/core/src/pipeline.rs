@@ -131,7 +131,7 @@ pub(crate) fn encode_batch(entries: &[(usize, Vec<Part>)]) -> Vec<u8> {
         for part in parts {
             w.write_bits(u64::from(part_header(part.phase, false)), 8);
             w.write_varint(part.payload.len() as u64);
-            for &b in &part.payload {
+            for &b in part.payload.iter() {
                 w.write_bits(u64::from(b), 8);
             }
         }
@@ -175,7 +175,7 @@ pub(crate) fn decode_batch(payload: &[u8]) -> Result<Vec<(usize, Vec<Part>)>, Sy
                 let b = r.read_bits(8).map_err(|_| SyncError::Desync("batch part byte"))?;
                 bytes.push(u8::try_from(b).map_err(|_| SyncError::Desync("batch byte"))?);
             }
-            parts.push(Part { phase, payload: bytes });
+            parts.push(Part { phase, payload: bytes.into() });
         }
         out.push((id, parts));
     }
@@ -465,12 +465,12 @@ mod tests {
     #[test]
     fn batch_roundtrips() {
         let entries = vec![
-            (0usize, vec![Part { phase: Phase::Setup, payload: vec![1, 2, 3] }]),
+            (0usize, vec![Part { phase: Phase::Setup, payload: vec![1, 2, 3].into() }]),
             (
                 7usize,
                 vec![
-                    Part { phase: Phase::Map, payload: vec![] },
-                    Part { phase: Phase::Delta, payload: vec![9; 40] },
+                    Part { phase: Phase::Map, payload: vec![].into() },
+                    Part { phase: Phase::Delta, payload: vec![9; 40].into() },
                 ],
             ),
         ];

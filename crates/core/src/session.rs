@@ -37,7 +37,8 @@ use crate::verify::{StepOutcome, VerifyState};
 use msync_hash::decomposable::{prefix_decompose_left, prefix_decompose_right, DecomposableDigest};
 use msync_hash::{file_fingerprint, BitReader, BitWriter, Md5};
 use msync_protocol::{
-    frame_wire_size, ChannelError, Direction, Endpoint, Phase, RetryPolicy, TrafficStats, Transport,
+    frame_wire_size, ChannelError, Direction, Endpoint, FrameBuf, Phase, RetryPolicy, TrafficStats,
+    Transport,
 };
 use msync_trace::{Clock, DirTag, EventKind, HistKind, Recorder, SystemClock};
 use std::collections::{HashMap, HashSet};
@@ -93,11 +94,13 @@ pub struct SyncOutcome {
     pub fell_back: bool,
 }
 
-/// One logical message part with its accounting phase.
+/// One logical message part with its accounting phase. The payload is
+/// a refcounted [`FrameBuf`]: freshly composed parts own their bytes,
+/// parts parsed from a received frame are zero-copy views of it.
 #[derive(Debug)]
 pub(crate) struct Part {
     pub(crate) phase: Phase,
-    pub(crate) payload: Vec<u8>,
+    pub(crate) payload: FrameBuf,
 }
 
 // ---------------------------------------------------------------------
@@ -137,6 +140,12 @@ pub(crate) struct ServerSession {
     /// Cross-session hash-cache handle; `None` outside a daemon (each
     /// hash is then computed directly, exactly as before the cache).
     cache: Option<SessionCache>,
+    /// Full-width digests of the previous partition round's blocks,
+    /// kept so this round's halves can be derived arithmetically
+    /// (parent minus sibling — the decomposable property) instead of
+    /// rescanned. Replaced wholesale each partition round: one level
+    /// of parents is all derivation ever needs.
+    level_digests: HashMap<(u64, u64), DecomposableDigest>,
     pub(crate) state: SState,
 }
 
@@ -154,6 +163,7 @@ impl ServerSession {
             candidates: Vec::new(),
             verify: None,
             cache: None,
+            level_digests: HashMap::new(),
             state: SState::Done,
         }
     }
@@ -187,7 +197,7 @@ impl ServerSession {
         if old_fp == new_fp.0 {
             setup.write_bit(true); // unchanged
             self.state = SState::Done;
-            return Ok(vec![Part { phase: Phase::Setup, payload: setup.into_bytes() }]);
+            return Ok(vec![Part { phase: Phase::Setup, payload: setup.into_bytes().into() }]);
         }
         setup.write_bit(false);
         setup.write_varint(new.len() as u64);
@@ -195,7 +205,7 @@ impl ServerSession {
             setup.write_bits(b as u64, 8);
         }
         self.global_bits = global_hash_bits(old_len, self.cfg.global_extra_bits);
-        let mut parts = vec![Part { phase: Phase::Setup, payload: setup.into_bytes() }];
+        let mut parts = vec![Part { phase: Phase::Setup, payload: setup.into_bytes().into() }];
         parts.extend(self.advance(new));
         Ok(parts)
     }
@@ -231,21 +241,10 @@ impl ServerSession {
             }
             let mut w = BitWriter::new();
             w.write_varint(vidx as u64 + 1);
-            for it in &items {
-                let bits = it.wire_bits(&self.cfg, self.global_bits);
-                if bits > 0 {
-                    let digest = match &self.cache {
-                        Some(c) => c.range_digest(new, it.new_off, it.len),
-                        None => DecomposableDigest::of(
-                            &new[it.new_off as usize..(it.new_off + it.len) as usize],
-                        ),
-                    };
-                    w.write_bits(digest.prefix(bits), bits);
-                }
-            }
+            self.write_round_hashes(new, &items, &mut w);
             self.items = items;
             self.state = SState::AwaitCandidates;
-            return vec![Part { phase: Phase::Map, payload: w.into_bytes() }];
+            return vec![Part { phase: Phase::Map, payload: w.into_bytes().into() }];
         }
         // Delta phase: reference = known areas in new-file order.
         let mut reference = Vec::with_capacity(self.coverage.covered_bytes() as usize);
@@ -258,7 +257,116 @@ impl ServerSession {
         let mut payload = w.into_bytes();
         payload.extend_from_slice(&delta);
         self.state = SState::AwaitMaybeResend;
-        vec![Part { phase: Phase::Delta, payload }]
+        vec![Part { phase: Phase::Delta, payload: payload.into() }]
+    }
+
+    /// Write one round's hash bits, batching digest work across the
+    /// round's sibling ranges instead of rescanning every range: a
+    /// partition block whose parent was digested last round and whose
+    /// sibling is already in hand this round is derived arithmetically
+    /// rather than scanned, so each round costs at most one pass over
+    /// the round's uncovered slice — and usually half of one.
+    /// Suppressed siblings (never transmitted) are derived the same way
+    /// at zero scan cost, so the *next* round finds their digests as
+    /// parents. Derivation is exact mod 2³², so the wire bits are
+    /// byte-identical to the scanned ones.
+    fn write_round_hashes(&mut self, new: &[u8], items: &[Item], w: &mut BitWriter) {
+        let mut level: HashMap<(u64, u64), DecomposableDigest> = HashMap::new();
+        let mut pending: Vec<&Item> = Vec::new();
+        for it in items {
+            let bits = it.wire_bits(&self.cfg, self.global_bits);
+            if bits == 0 {
+                if matches!(it.kind, ItemKind::Global { .. }) {
+                    pending.push(it);
+                }
+                continue;
+            }
+            let digest = if matches!(it.kind, ItemKind::Cont { .. }) {
+                // Probes sit at arbitrary offsets — never on the block
+                // grid, so they neither derive nor serve as parents.
+                self.scan_digest(new, it.new_off, it.len)
+            } else {
+                let d = self.block_digest(new, &level, it.new_off, it.len);
+                level.insert((it.new_off, it.len), d);
+                d
+            };
+            w.write_bits(digest.prefix(bits), bits);
+        }
+        // Suppressed siblings: with the transmitted half and the parent
+        // both in hand, their digests cost nothing now and would cost a
+        // full scan next round.
+        for it in pending {
+            if let Some(d) = self.derive_digest(&level, it.new_off, it.len) {
+                if let Some(c) = &self.cache {
+                    c.note_derived(it.new_off, it.len, d);
+                }
+                level.insert((it.new_off, it.len), d);
+            }
+        }
+        // Continuation-only subrounds leave `level` empty and must not
+        // wipe the parents the same level's global subround will need.
+        if !level.is_empty() {
+            self.level_digests = level;
+        }
+    }
+
+    /// Digest of one partition block: sibling derivation first (free),
+    /// then the shared cache, then a metered scan. Derivation comes
+    /// first so the hit/miss accounting of a warm session mirrors the
+    /// miss accounting of the cold one exactly — the derivation
+    /// decision depends only on session-local state, never on cache
+    /// temperature.
+    fn block_digest(
+        &self,
+        new: &[u8],
+        level: &HashMap<(u64, u64), DecomposableDigest>,
+        off: u64,
+        len: u64,
+    ) -> DecomposableDigest {
+        if let Some(d) = self.derive_digest(level, off, len) {
+            if let Some(c) = &self.cache {
+                c.note_derived(off, len, d);
+            }
+            return d;
+        }
+        if let Some(hit) = self.cache.as_ref().and_then(|c| c.cached_range(off, len)) {
+            return hit;
+        }
+        self.scan_digest(new, off, len)
+    }
+
+    /// Digest of `new[off..off + len]` by decomposition: the parent
+    /// block digested last round minus the sibling digested this
+    /// round. `None` when either half of that equation is missing —
+    /// the caller falls back to other sources.
+    fn derive_digest(
+        &self,
+        level: &HashMap<(u64, u64), DecomposableDigest>,
+        off: u64,
+        len: u64,
+    ) -> Option<DecomposableDigest> {
+        if len == 0 || !len.is_power_of_two() {
+            return None; // tail blocks pair with nothing
+        }
+        let parent_off = off & !(2 * len - 1);
+        let parent = self.level_digests.get(&(parent_off, 2 * len))?;
+        let is_right = off == parent_off + len;
+        let sibling_off = if is_right { parent_off } else { parent_off + len };
+        let sibling = level.get(&(sibling_off, len))?;
+        if is_right {
+            parent.decompose_right(sibling)
+        } else {
+            parent.decompose_left(sibling)
+        }
+    }
+
+    /// Metered scan of `new[off..off + len]` — through the shared
+    /// cache when present, directly otherwise.
+    fn scan_digest(&self, new: &[u8], off: u64, len: u64) -> DecomposableDigest {
+        match &self.cache {
+            Some(c) => c.range_digest(new, off, len),
+            None => DecomposableDigest::of(&new[off as usize..(off + len) as usize]),
+        }
     }
 
     pub(crate) fn on_client(&mut self, new: &[u8], parts: &[Part]) -> Result<Vec<Part>, SyncError> {
@@ -327,7 +435,7 @@ impl ServerSession {
             w.write_bit(passed);
         }
         let outcome = verify.apply_results(&results);
-        let mut parts = vec![Part { phase: Phase::Map, payload: w.into_bytes() }];
+        let mut parts = vec![Part { phase: Phase::Map, payload: w.into_bytes().into() }];
         match outcome {
             StepOutcome::NextBatch => {
                 self.state = SState::AwaitBatch;
@@ -347,7 +455,7 @@ impl ServerSession {
 
     fn on_resend(&mut self, new: &[u8]) -> Vec<Part> {
         self.state = SState::Done;
-        vec![Part { phase: Phase::Delta, payload: msync_compress::compress(new) }]
+        vec![Part { phase: Phase::Delta, payload: msync_compress::compress(new).into() }]
     }
 }
 
@@ -467,7 +575,7 @@ impl<'a> ClientSession<'a> {
         for &b in &file_fingerprint(self.old).0 {
             w.write_bits(b as u64, 8);
         }
-        Part { phase: Phase::Setup, payload: w.into_bytes() }
+        Part { phase: Phase::Setup, payload: w.into_bytes().into() }
     }
 
     pub(crate) fn handle(&mut self, parts: Vec<Part>) -> Result<ClientAction, SyncError> {
@@ -515,7 +623,7 @@ impl<'a> ClientSession<'a> {
                                 self.state = CState::AwaitFull;
                                 return Ok(ClientAction::Reply(vec![Part {
                                     phase: Phase::Delta,
-                                    payload: w.into_bytes(),
+                                    payload: w.into_bytes().into(),
                                 }]));
                             }
                         }
@@ -713,13 +821,13 @@ impl<'a> ClientSession<'a> {
         // Compose bitmap + batch-1 hashes in one part.
         let mut payload = bitmap;
         self.write_group_hashes(&mut payload)?;
-        Ok(Part { phase: Phase::Map, payload: payload.into_bytes() })
+        Ok(Part { phase: Phase::Map, payload: payload.into_bytes().into() })
     }
 
     fn compose_batch(&mut self) -> Result<Part, SyncError> {
         let mut w = BitWriter::new();
         self.write_group_hashes(&mut w)?;
-        Ok(Part { phase: Phase::Map, payload: w.into_bytes() })
+        Ok(Part { phase: Phase::Map, payload: w.into_bytes().into() })
     }
 
     fn write_group_hashes(&mut self, w: &mut BitWriter) -> Result<(), SyncError> {
@@ -1160,6 +1268,95 @@ fn sync_channel_inner(
 }
 
 #[cfg(test)]
+mod digest_batch_tests {
+    use super::*;
+    use crate::snapshot::HashCache;
+    use std::sync::Arc;
+
+    fn cfg_three_levels() -> ProtocolConfig {
+        ProtocolConfig {
+            start_block: 128,
+            min_block_global: 32,
+            min_block_cont: 32,
+            use_continuation: false,
+            use_local: false,
+            skip_sibling_of_matched: false,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    fn corpus() -> Vec<u8> {
+        (0..256u32).map(|i| (i.wrapping_mul(131) % 251) as u8).collect()
+    }
+
+    /// Drive three map rounds with no client matches and assert the
+    /// emitted hash bits equal a per-range rescan of every transmitted
+    /// item — derivation must be invisible on the wire.
+    fn run_rounds(cfg: &ProtocolConfig, s: &mut ServerSession, new: &[u8]) {
+        let cov = Coverage::new();
+        let mut known = HashSet::new();
+        for level in 0..3 {
+            let items = items::enumerate(cfg, &cov, &known, new.len() as u64, level);
+            let mut w = BitWriter::new();
+            s.write_round_hashes(new, &items, &mut w);
+            let mut reference = BitWriter::new();
+            for it in &items {
+                let bits = it.wire_bits(cfg, s.global_bits);
+                if bits > 0 {
+                    let d = DecomposableDigest::of(
+                        &new[it.new_off as usize..(it.new_off + it.len) as usize],
+                    );
+                    reference.write_bits(d.prefix(bits), bits);
+                }
+            }
+            assert_eq!(
+                w.into_bytes(),
+                reference.into_bytes(),
+                "level {level}: derived wire bits must equal scanned wire bits"
+            );
+            items::extend_known_hashes(&mut known, &items);
+        }
+    }
+
+    #[test]
+    fn derived_wire_bits_match_scanned_wire_bits() {
+        // Decomposable suppression off: every sibling is transmitted,
+        // so right halves are derived *onto the wire* — the strongest
+        // equality check.
+        let cfg = ProtocolConfig { use_decomposable: false, ..cfg_three_levels() };
+        let new = corpus();
+        let mut s = ServerSession::new(cfg.clone());
+        s.global_bits = 40;
+        run_rounds(&cfg, &mut s, &new);
+    }
+
+    #[test]
+    fn sibling_derivation_replaces_scans_and_is_metered() {
+        let cfg = cfg_three_levels();
+        let new = corpus();
+        let rec = Recorder::system();
+        let cache = SessionCache::new(
+            Arc::new(HashCache::default()),
+            file_fingerprint(&new),
+            [0; 16],
+            rec.clone(),
+        );
+        let mut s = ServerSession::with_cache(cfg.clone(), cache);
+        s.global_bits = 40;
+        run_rounds(&cfg, &mut s, &new);
+        let m = rec.snapshot();
+        // Level 0 scans both 128-byte blocks (no parents yet). Levels
+        // 1 and 2 scan only the transmitted left halves; every right
+        // half — suppressed on the wire — is derived from parent and
+        // left sibling without touching the file.
+        assert_eq!(m.hash_cache_miss_bytes, 256 + 128 + 128);
+        assert_eq!(m.hash_cache_derived_bytes, 128 + 128);
+        assert_eq!(m.hash_cache_derived, 2 + 4);
+        assert_eq!(m.hash_cache_hits, 0, "a single cold session never hits");
+    }
+}
+
+#[cfg(test)]
 mod channel_tests {
     use super::*;
     use crate::engine::arq::{parse_frame, part_header};
@@ -1294,14 +1491,14 @@ mod channel_tests {
 
     #[test]
     fn arq_frame_roundtrip_and_garbage_rejection() {
-        let part = Part { phase: Phase::Map, payload: vec![1, 2, 3, 4] };
+        let part = Part { phase: Phase::Map, payload: vec![1, 2, 3, 4].into() };
         let mut w = BitWriter::new();
         w.write_varint(6);
         w.write_varint(1);
         w.write_bits(u64::from(part_header(part.phase, true)), 8);
         let mut frame = w.into_bytes();
         frame.extend_from_slice(&part.payload);
-        let parsed = parse_frame(&frame).unwrap();
+        let parsed = parse_frame(&frame.into()).unwrap();
         assert_eq!(parsed.seq, 6);
         assert_eq!(parsed.idx, 1);
         assert!(parsed.more);
@@ -1310,11 +1507,11 @@ mod channel_tests {
 
         // Truncated header and absurd part indices are rejected, not
         // panicked on.
-        assert!(parse_frame(&[]).is_none());
+        assert!(parse_frame(&FrameBuf::default()).is_none());
         let mut w = BitWriter::new();
         w.write_varint(0);
         w.write_varint(u64::from(u32::MAX));
         w.write_bits(0, 8);
-        assert!(parse_frame(&w.into_bytes()).is_none());
+        assert!(parse_frame(&w.into_bytes().into()).is_none());
     }
 }

@@ -172,6 +172,24 @@ impl SessionCache {
         self.key.0
     }
 
+    /// Cached digest of `new[off..off + len]` if present, recording the
+    /// hit. Absence records nothing: the caller chooses how to obtain
+    /// the digest (derivation or a metered scan), so a lookup that
+    /// falls through is not yet a miss.
+    #[must_use]
+    pub fn cached_range(&self, off: u64, len: u64) -> Option<DecomposableDigest> {
+        let hit = self.cache.lookup_range(self.key, (off, len))?;
+        self.rec.record(EventKind::HashCacheHit { bytes: len });
+        Some(hit)
+    }
+
+    /// Record a digest obtained by sibling decomposition — no bytes
+    /// were scanned — and warm the cache with it for later sessions.
+    pub fn note_derived(&self, off: u64, len: u64, digest: DecomposableDigest) {
+        self.cache.insert_range(self.key, (off, len), digest);
+        self.rec.record(EventKind::HashCacheDerived { bytes: len });
+    }
+
     /// Full-width block digest of `new[off..off + len]`, memoized.
     ///
     /// # Panics
@@ -307,6 +325,23 @@ mod tests {
         let m = rec.snapshot();
         assert_eq!((m.hash_cache_misses, m.hash_cache_hits), (1, 1));
         assert_eq!((m.hash_cache_miss_bytes, m.hash_cache_hit_bytes), (8, 8));
+    }
+
+    #[test]
+    fn derived_digests_warm_the_cache_without_miss_accounting() {
+        let cache = Arc::new(HashCache::default());
+        let rec = Recorder::system();
+        let h = handle(&cache, &rec);
+        let new = b"0123456789abcdef".to_vec();
+        assert!(h.cached_range(0, 8).is_none(), "an empty cache has nothing to serve");
+        let digest = DecomposableDigest::of(&new[0..8]);
+        h.note_derived(0, 8, digest);
+        assert_eq!(h.cached_range(0, 8), Some(digest));
+        assert_eq!(h.range_digest(&new, 0, 8), digest);
+        let m = rec.snapshot();
+        assert_eq!(m.hash_cache_misses, 0, "derivation must not meter as a scan");
+        assert_eq!((m.hash_cache_derived, m.hash_cache_derived_bytes), (1, 8));
+        assert_eq!((m.hash_cache_hits, m.hash_cache_hit_bytes), (2, 16));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use msync_core::pipeline::{sync_collection_client_resumable, PipelineOptions};
 use msync_core::{CollectionOutcome, CompletedFile, FileEntry, ProtocolConfig, ResumePlan};
-use msync_protocol::{FaultPlan, FaultTransport, Phase, Transport};
+use msync_protocol::{FaultPlan, FaultTransport, FrameBuf, Phase, Transport};
 use msync_trace::Recorder;
 
 use crate::handshake::{client_hello_as, NetError};
@@ -198,7 +198,7 @@ fn admin_exchange(addr: &str, verb: &str, timeout: Duration) -> Result<String, N
     let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
     let mut t = TcpTransport::client(stream).map_err(NetError::Io)?;
     let cmd = format!("msync-admin {verb}");
-    t.send(cmd.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+    t.send(&FrameBuf::from(cmd.into_bytes()), Phase::Setup).map_err(NetError::Channel)?;
     let reply = t.recv_timeout(timeout).map_err(NetError::Channel)?;
     t.attribute_inbound(Phase::Setup);
     let text = std::str::from_utf8(&reply)

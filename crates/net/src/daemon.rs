@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use msync_core::pipeline::{serve_collection_snapshot, ServeOutcome};
 use msync_core::FileEntry;
-use msync_protocol::{Phase, RetryPolicy, Transport};
+use msync_protocol::{BufferPool, FrameBuf, Phase, RetryPolicy, Transport};
 use msync_trace::{EventKind, MetricsSnapshot, Recorder};
 
 use crate::handshake::{
@@ -45,6 +45,12 @@ use crate::tcp::TcpTransport;
 /// Reason string sent on the wire (as `err <reason>`) when admission
 /// control turns a connection away.
 pub(crate) const REFUSAL_REASON: &str = "server at capacity";
+
+/// Idle buffers the daemon's frame pool retains. The working set is
+/// (frames in flight per session) x (active sessions), but almost all
+/// of it is *outstanding*, not idle; the idle list only absorbs the
+/// churn between session teardowns and the next admissions.
+const POOL_MAX_IDLE: usize = 256;
 
 /// How accepted connections are serviced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -191,6 +197,7 @@ impl Daemon {
             active: AtomicUsize::new(0),
             stop: Arc::clone(&stop),
             intro,
+            pool: BufferPool::new(POOL_MAX_IDLE),
         });
         let mut threads = Vec::new();
         match model {
@@ -349,7 +356,7 @@ where
                             handle.set_collection(&name);
                         }
                         collection = Some(name);
-                        t.send(&reply, Phase::Setup).map_err(NetError::Channel)?;
+                        t.send(&FrameBuf::from(reply), Phase::Setup).map_err(NetError::Channel)?;
                         recorder.record(EventKind::Handshake { ok: true });
                         return serve_collection_snapshot(&mut t, &snap, &cfg, opts.retry)
                             .map_err(NetError::Sync);
@@ -361,7 +368,7 @@ where
         };
         // Best-effort refusal notice; the connection is being torn
         // down anyway, so a failed send changes nothing.
-        let _ = t.send(&reply, Phase::Setup);
+        let _ = t.send(&FrameBuf::from(reply), Phase::Setup);
         recorder.record(EventKind::Handshake { ok: false });
         Err(error)
     })();
@@ -383,12 +390,12 @@ where
 {
     match cmd.and_then(|cmd| shared.execute_admin(cmd)) {
         Ok((reply, files)) => {
-            t.send(reply.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+            t.send(&FrameBuf::from(reply.into_bytes()), Phase::Setup).map_err(NetError::Channel)?;
             recorder.record(EventKind::Handshake { ok: true });
             Ok(ServeOutcome { files, sessions: 0, traffic: t.stats() })
         }
         Err(reason) => {
-            let _ = t.send(format!("err {reason}").as_bytes(), Phase::Setup);
+            let _ = t.send(&FrameBuf::from(format!("err {reason}").into_bytes()), Phase::Setup);
             recorder.record(EventKind::Handshake { ok: false });
             Err(NetError::Handshake(format!("admin command failed: {reason}")))
         }
@@ -408,7 +415,8 @@ fn refuse_session(
         let _hello = t.recv_timeout(opts.handshake_timeout).map_err(NetError::Channel)?;
         t.attribute_inbound(Phase::Setup);
         // Best-effort: the connection is being torn down anyway.
-        let _ = t.send(format!("err {REFUSAL_REASON}").as_bytes(), Phase::Setup);
+        let refusal = format!("err {REFUSAL_REASON}").into_bytes();
+        let _ = t.send(&FrameBuf::from(refusal), Phase::Setup);
         Err(NetError::Handshake(format!("refused client: {REFUSAL_REASON}")))
     })();
     recorder.record(EventKind::Handshake { ok: false });

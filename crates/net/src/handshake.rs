@@ -31,7 +31,7 @@
 use std::time::Duration;
 
 use msync_core::{params, ProtocolConfig, SyncError};
-use msync_protocol::{ChannelError, Phase, Transport};
+use msync_protocol::{ChannelError, FrameBuf, Phase, Transport};
 use msync_trace::EventKind;
 
 use crate::registry::validate_collection_name;
@@ -131,7 +131,7 @@ fn client_hello_inner(
         Some(name) => format!("{MAGIC} {PROTOCOL_VERSION} {name}\n{}", params::render(cfg)),
         None => format!("{MAGIC} {PROTOCOL_VERSION}\n{}", params::render(cfg)),
     };
-    t.send(hello.as_bytes(), Phase::Setup).map_err(NetError::Channel)?;
+    t.send(&FrameBuf::from(hello.into_bytes()), Phase::Setup).map_err(NetError::Channel)?;
     let reply = t.recv_timeout(timeout).map_err(NetError::Channel)?;
     t.attribute_inbound(Phase::Setup);
     let text = text_of(&reply)?;
@@ -172,20 +172,22 @@ pub fn server_hello(t: &mut dyn Transport, timeout: Duration) -> Result<Protocol
     };
     t.attribute_inbound(Phase::Setup);
     match eval_hello(&hello) {
-        HelloOutcome::Accept { cfg, reply, .. } => match t.send(&reply, Phase::Setup) {
-            Ok(()) => {
-                rec.record(EventKind::Handshake { ok: true });
-                Ok(cfg)
+        HelloOutcome::Accept { cfg, reply, .. } => {
+            match t.send(&FrameBuf::from(reply), Phase::Setup) {
+                Ok(()) => {
+                    rec.record(EventKind::Handshake { ok: true });
+                    Ok(cfg)
+                }
+                Err(e) => {
+                    rec.record(EventKind::Handshake { ok: false });
+                    Err(NetError::Channel(e))
+                }
             }
-            Err(e) => {
-                rec.record(EventKind::Handshake { ok: false });
-                Err(NetError::Channel(e))
-            }
-        },
+        }
         HelloOutcome::Reject { reply, error } => {
             // Best-effort refusal notice; the connection is being torn
             // down anyway, so a failed send changes nothing.
-            let _ = t.send(&reply, Phase::Setup);
+            let _ = t.send(&FrameBuf::from(reply), Phase::Setup);
             rec.record(EventKind::Handshake { ok: false });
             Err(error)
         }
@@ -423,7 +425,7 @@ mod tests {
         let (mut c, mut s) = Endpoint::pair();
         let server = thread::spawn(move || server_hello(&mut s, T));
         let hello = format!("{MAGIC} 999\n");
-        Transport::send(&mut c, hello.as_bytes(), Phase::Setup).unwrap();
+        Transport::send(&mut c, &FrameBuf::from(hello.into_bytes()), Phase::Setup).unwrap();
         let reply = Transport::recv_timeout(&mut c, T).unwrap();
         assert_eq!(&reply[..3], b"err");
         assert!(matches!(server.join().unwrap(), Err(NetError::Handshake(_))));
@@ -434,7 +436,7 @@ mod tests {
         let (mut c, mut s) = Endpoint::pair();
         let server = thread::spawn(move || server_hello(&mut s, T));
         let hello = format!("{MAGIC} {PROTOCOL_VERSION}\nstart_block = nope");
-        Transport::send(&mut c, hello.as_bytes(), Phase::Setup).unwrap();
+        Transport::send(&mut c, &FrameBuf::from(hello.into_bytes()), Phase::Setup).unwrap();
         let reply = Transport::recv_timeout(&mut c, T).unwrap();
         assert!(reply.starts_with(b"err "), "{reply:?}");
         assert!(matches!(server.join().unwrap(), Err(NetError::Handshake(_))));
@@ -501,7 +503,7 @@ mod tests {
             HelloOutcome::Reject { error, .. } => panic!("{error}"),
         }
         let (reply, _) = unknown_collection_reject("ghost");
-        Transport::send(&mut s, &reply, Phase::Setup).unwrap();
+        Transport::send(&mut s, &FrameBuf::from(reply), Phase::Setup).unwrap();
         match client.join().unwrap() {
             Err(NetError::UnknownCollection(name)) => assert_eq!(name, "ghost"),
             other => panic!("expected UnknownCollection, got {other:?}"),

@@ -19,9 +19,9 @@
 //! the multiplexer reports the same `TrafficStats` and trace events as
 //! one served by a dedicated thread.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -29,7 +29,10 @@ use std::time::Duration;
 
 use msync_core::pipeline::ServeOutcome;
 use msync_core::{CollectionServeMachine, CollectionSnapshot, Machine, Output, SyncError};
-use msync_protocol::{encode_frame, frame_wire_size, ChannelError, Direction, Phase, TrafficStats};
+use msync_protocol::{
+    frame_header, frame_wire_size, BufferPool, ChannelError, Direction, FrameBuf, Phase,
+    TrafficStats,
+};
 use msync_trace::{
     render_sessions, Clock, EventKind, MetricsSnapshot, PhaseTag, RateWindows, Recorder,
     StatusBoard, StatusHandle, SystemClock,
@@ -145,6 +148,10 @@ pub(crate) struct Shared<F> {
     /// Live-introspection state behind the `stats`/`sessions`/`health`
     /// admin verbs and the slow-session watchdog.
     pub(crate) intro: Arc<Introspect>,
+    /// Frame-buffer pool shared by every session this daemon serves:
+    /// encoded ARQ frames and reassembled inbound payloads draw their
+    /// allocations here and return them on last drop.
+    pub(crate) pool: BufferPool,
 }
 
 impl<F> Shared<F>
@@ -209,6 +216,23 @@ where
         let per = self.per_collection.lock().unwrap_or_else(PoisonError::into_inner);
         for (name, snap) in per.iter() {
             text.push_str(&snap.render_prometheus_collection(name));
+        }
+        let p = self.pool.stats();
+        for (name, value) in [
+            ("msync_frame_pool_allocated_total", p.allocated_total),
+            ("msync_frame_pool_reused_total", p.reused_total),
+            ("msync_frame_pool_returned_total", p.returned_total),
+        ] {
+            let _ = writeln!(text, "# TYPE {name} counter");
+            let _ = writeln!(text, "{name} {value}");
+        }
+        for (name, value) in [
+            ("msync_frame_pool_outstanding", p.outstanding),
+            ("msync_frame_pool_high_water", p.high_water),
+            ("msync_frame_pool_idle", p.idle),
+        ] {
+            let _ = writeln!(text, "# TYPE {name} gauge");
+            let _ = writeln!(text, "{name} {value}");
         }
         text
     }
@@ -324,7 +348,11 @@ struct MuxConn {
     result: Option<Result<ServeOutcome, NetError>>,
     inbuf: FrameBuffer,
     scratch: Vec<u8>,
-    outbuf: Vec<u8>,
+    /// Outbound frames awaiting the socket, each a framing header plus
+    /// a refcounted payload share — never a flattened byte copy. The
+    /// whole queue flushes through one vectored write per pump.
+    outq: VecDeque<(Vec<u8>, FrameBuf)>,
+    /// Bytes of the queue's front frames already written.
     out_pos: usize,
     /// When the current outbound stall began, if one is in progress.
     stall_since_us: Option<u64>,
@@ -381,7 +409,7 @@ impl MuxConn {
             result: None,
             inbuf: FrameBuffer::new(),
             scratch: vec![0u8; READ_CHUNK],
-            outbuf: Vec::new(),
+            outq: VecDeque::new(),
             out_pos: 0,
             stall_since_us: None,
             eof: false,
@@ -405,9 +433,8 @@ impl MuxConn {
     /// Queue one frame for sending, charged to `phase` at wire size —
     /// the multiplexed mirror of `TcpTransport::send` plus the pump's
     /// retransmit note.
-    fn queue_send(&mut self, payload: &[u8], phase: Phase, retransmit: bool) {
-        let frame = encode_frame(payload);
-        self.outbuf.extend_from_slice(&frame);
+    fn queue_send(&mut self, payload: &FrameBuf, phase: Phase, retransmit: bool) {
+        self.outq.push_back((frame_header(payload), payload.share()));
         let wire = frame_wire_size(payload.len());
         self.stats.record(Direction::ServerToClient, phase, wire);
         self.recorder.record(EventKind::FrameSend {
@@ -531,10 +558,11 @@ impl MuxConn {
         };
         match outcome {
             HelloOutcome::Accept { cfg, reply, .. } => {
-                self.queue_send(&reply, Phase::Setup, false);
+                self.queue_send(&FrameBuf::from(reply), Phase::Setup, false);
                 self.recorder.record(EventKind::Handshake { ok: true });
                 match CollectionServeMachine::new(&cfg, retry, self.recorder.clone(), now_us) {
-                    Ok(m) => {
+                    Ok(mut m) => {
+                        m.set_pool(shared.pool.clone());
                         self.machine = Some(m);
                         self.phase = ConnPhase::Serving;
                     }
@@ -542,7 +570,7 @@ impl MuxConn {
                 }
             }
             HelloOutcome::Reject { reply, error } => {
-                self.queue_send(&reply, Phase::Setup, false);
+                self.queue_send(&FrameBuf::from(reply), Phase::Setup, false);
                 self.recorder.record(EventKind::Handshake { ok: false });
                 self.fail(error);
             }
@@ -561,14 +589,15 @@ impl MuxConn {
         self.status = None;
         match cmd.and_then(|cmd| shared.execute_admin(cmd)) {
             Ok((reply, files)) => {
-                self.queue_send(reply.as_bytes(), Phase::Setup, false);
+                self.queue_send(&FrameBuf::from(reply.into_bytes()), Phase::Setup, false);
                 self.recorder.record(EventKind::Handshake { ok: true });
                 self.result =
                     Some(Ok(ServeOutcome { files, sessions: 0, traffic: self.stats_now() }));
                 self.phase = ConnPhase::Drain;
             }
             Err(reason) => {
-                self.queue_send(format!("err {reason}").as_bytes(), Phase::Setup, false);
+                let reply = format!("err {reason}").into_bytes();
+                self.queue_send(&FrameBuf::from(reply), Phase::Setup, false);
                 self.recorder.record(EventKind::Handshake { ok: false });
                 self.fail(NetError::Handshake(format!("admin command failed: {reason}")));
             }
@@ -579,7 +608,8 @@ impl MuxConn {
     /// the typed refusal and drain.
     fn on_refused_hello(&mut self) {
         self.attribute(Phase::Setup);
-        self.queue_send(format!("err {REFUSAL_REASON}").as_bytes(), Phase::Setup, false);
+        let reply = format!("err {REFUSAL_REASON}").into_bytes();
+        self.queue_send(&FrameBuf::from(reply), Phase::Setup, false);
         self.recorder.record(EventKind::Handshake { ok: false });
         self.fail(NetError::Handshake(format!("refused client: {REFUSAL_REASON}")));
     }
@@ -745,8 +775,26 @@ impl MuxConn {
     /// would.
     fn flush(&mut self, now_us: u64) -> bool {
         let mut progressed = false;
-        while self.out_pos < self.outbuf.len() {
-            match self.stream.write(&self.outbuf[self.out_pos..]) {
+        while !self.outq.is_empty() {
+            // Gather the queue into one vectored write: each frame
+            // contributes its header slice and its payload slice (the
+            // shared allocation), with already-written bytes skipped.
+            let wrote = {
+                let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.outq.len() * 2);
+                let mut skip = self.out_pos;
+                for (header, payload) in &self.outq {
+                    for part in [&header[..], &payload[..]] {
+                        if skip >= part.len() {
+                            skip -= part.len();
+                        } else {
+                            slices.push(IoSlice::new(&part[skip..]));
+                            skip = 0;
+                        }
+                    }
+                }
+                self.stream.write_vectored(&slices)
+            };
+            match wrote {
                 Ok(0) => {
                     self.give_up_output(NetError::Sync(SyncError::PeerGone));
                     break;
@@ -755,6 +803,16 @@ impl MuxConn {
                     self.out_pos += n;
                     self.stall_since_us = None;
                     progressed = true;
+                    // Retire fully written frames; their payload shares
+                    // drop here and pooled buffers go home.
+                    while let Some((header, payload)) = self.outq.front() {
+                        let frame_len = header.len() + payload.len();
+                        if self.out_pos < frame_len {
+                            break;
+                        }
+                        self.out_pos -= frame_len;
+                        self.outq.pop_front();
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -770,17 +828,13 @@ impl MuxConn {
                 }
             }
         }
-        if self.out_pos >= self.outbuf.len() && self.out_pos > 0 {
-            self.outbuf.clear();
-            self.out_pos = 0;
-        }
         progressed
     }
 
     /// The peer stopped draining our output: discard it and end the
     /// session (keeping any verdict that already landed).
     fn give_up_output(&mut self, error: NetError) {
-        self.outbuf.clear();
+        self.outq.clear();
         self.out_pos = 0;
         self.eof = true;
         if self.result.is_none() {
@@ -791,7 +845,7 @@ impl MuxConn {
 
     /// Whether the session is over and fully flushed (or unflushable).
     fn is_done(&self) -> bool {
-        matches!(self.phase, ConnPhase::Drain) && (self.out_pos >= self.outbuf.len() || self.eof)
+        matches!(self.phase, ConnPhase::Drain) && (self.outq.is_empty() || self.eof)
     }
 
     /// Consume the connection into its report.
@@ -849,7 +903,10 @@ where
                             &shared.intro,
                         );
                         match made {
-                            Ok(conn) => conns.push(conn),
+                            Ok(mut conn) => {
+                                conn.inbuf.set_pool(shared.pool.clone());
+                                conns.push(conn);
+                            }
                             // Socket options failed: the stream is
                             // unusable, drop it on the floor.
                             Err(_) => {

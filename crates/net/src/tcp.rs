@@ -22,13 +22,13 @@
 //! counters are kept separately so tests can assert that the accounting
 //! and the socket agree to the byte.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use msync_protocol::{
-    decode_frame, encode_frame, frame_wire_size, ChannelError, Direction, FrameError, Phase,
-    TrafficStats, Transport,
+    decode_frame, frame_header, frame_wire_size, BufferPool, ChannelError, Direction, FrameBuf,
+    FrameError, Phase, TrafficStats, Transport,
 };
 use msync_trace::{EventKind, Recorder};
 
@@ -54,12 +54,20 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 #[derive(Debug, Default)]
 pub(crate) struct FrameBuffer {
     buf: Vec<u8>,
+    /// When set, extracted payloads are sealed into pooled buffers that
+    /// return to `pool` on last drop.
+    pool: Option<BufferPool>,
 }
 
 impl FrameBuffer {
     /// An empty buffer.
     pub(crate) fn new() -> Self {
-        Self { buf: Vec::new() }
+        Self { buf: Vec::new(), pool: None }
+    }
+
+    /// Draw payload buffers from `pool` from now on.
+    pub(crate) fn set_pool(&mut self, pool: BufferPool) {
+        self.pool = Some(pool);
     }
 
     /// Append raw bytes read from the stream.
@@ -76,7 +84,7 @@ impl FrameBuffer {
     /// buffer cannot advance past it) or a failed CRC (the frame's
     /// bytes are consumed, later frames remain readable) — the same
     /// contract the blocking transport has always had.
-    pub(crate) fn take_frame(&mut self) -> Result<Option<(Vec<u8>, u64)>, ChannelError> {
+    pub(crate) fn take_frame(&mut self) -> Result<Option<(FrameBuf, u64)>, ChannelError> {
         let mut len = 0u64;
         let mut shift = 0u32;
         let mut pos = 0usize;
@@ -105,8 +113,29 @@ impl FrameBuffer {
         if self.buf.len() < total {
             return Ok(None);
         }
-        let frame: Vec<u8> = self.buf.drain(..total).collect();
-        let payload = decode_frame(&frame).map_err(ChannelError::Corrupt)?;
+        // Validate in place, then copy the payload region once — out of
+        // the reassembly window into a (pooled) allocation of its own.
+        // The framing bytes are dropped where they lie; this is the only
+        // copy a received frame's payload undergoes in the daemon.
+        let payload_len = match decode_frame(&self.buf[..total]) {
+            Ok(payload) => payload.len(),
+            Err(e) => {
+                self.buf.drain(..total);
+                return Err(ChannelError::Corrupt(e));
+            }
+        };
+        msync_protocol::note_frame_copy(payload_len);
+        let start = total - payload_len;
+        let mut out = match &self.pool {
+            Some(pool) => pool.checkout(),
+            None => Vec::with_capacity(payload_len),
+        };
+        out.extend_from_slice(&self.buf[start..total]);
+        self.buf.drain(..total);
+        let payload = match &self.pool {
+            Some(pool) => pool.seal(out),
+            None => FrameBuf::from(out),
+        };
         Ok(Some((payload, total as u64)))
     }
 }
@@ -212,7 +241,7 @@ impl TcpTransport {
 
     /// Split one complete frame off the inbound buffer, if present.
     /// `Ok(None)` means more bytes are needed.
-    fn take_frame(&mut self) -> Result<Option<Vec<u8>>, ChannelError> {
+    fn take_frame(&mut self) -> Result<Option<FrameBuf>, ChannelError> {
         let Some((payload, wire)) = self.inbound.take_frame()? else {
             return Ok(None);
         };
@@ -238,10 +267,27 @@ fn map_write_error(e: &std::io::Error) -> ChannelError {
 }
 
 impl Transport for TcpTransport {
-    fn send(&mut self, payload: &[u8], phase: Phase) -> Result<(), ChannelError> {
-        let frame = encode_frame(payload);
-        self.stream.write_all(&frame).map_err(|e| map_write_error(&e))?;
-        self.socket_sent += frame.len() as u64;
+    fn send(&mut self, payload: &FrameBuf, phase: Phase) -> Result<(), ChannelError> {
+        // Vectored write of [header, payload]: the payload bytes go to
+        // the socket straight from the shared allocation, never copied
+        // into a contiguous frame image.
+        let header = frame_header(payload);
+        let total = header.len() + payload.len();
+        let mut written = 0usize;
+        while written < total {
+            let bufs: [IoSlice<'_>; 2] = if written < header.len() {
+                [IoSlice::new(&header[written..]), IoSlice::new(payload)]
+            } else {
+                [IoSlice::new(&payload[written - header.len()..]), IoSlice::new(&[])]
+            };
+            match self.stream.write_vectored(&bufs) {
+                Ok(0) => return Err(ChannelError::Disconnected),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(map_write_error(&e)),
+            }
+        }
+        self.socket_sent += total as u64;
         let wire = frame_wire_size(payload.len());
         self.stats.record(self.outbound_dir, phase, wire);
         self.recorder.record(EventKind::FrameSend {
@@ -254,7 +300,7 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, ChannelError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<FrameBuf, ChannelError> {
         // `set_read_timeout` rejects a zero duration; a 1 ms floor keeps
         // degenerate retry configs bounded instead of erroring.
         let timeout = timeout.max(Duration::from_millis(1));
@@ -317,6 +363,10 @@ mod tests {
     use std::net::TcpListener;
     use std::thread;
 
+    fn fb(bytes: &[u8]) -> FrameBuf {
+        FrameBuf::copy_from_slice(bytes)
+    }
+
     fn pair() -> (TcpTransport, TcpTransport) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -329,9 +379,9 @@ mod tests {
     #[test]
     fn frames_cross_the_socket_byte_exact() {
         let (mut c, mut s) = pair();
-        c.send(b"hello over tcp", Phase::Setup).unwrap();
+        c.send(&fb(b"hello over tcp"), Phase::Setup).unwrap();
         let got = s.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(got, b"hello over tcp");
+        assert_eq!(&got[..], b"hello over tcp");
         s.attribute_inbound(Phase::Setup);
         // Both sides agree on the wire size of what crossed.
         assert_eq!(c.socket_sent(), s.socket_received());
@@ -346,14 +396,14 @@ mod tests {
         let big2 = big.clone();
         let join = thread::spawn(move || {
             let mut c = c;
-            c.send(&big2, Phase::Delta).unwrap();
-            c.send(b"tail", Phase::Delta).unwrap();
+            c.send(&fb(&big2), Phase::Delta).unwrap();
+            c.send(&fb(b"tail"), Phase::Delta).unwrap();
             c
         });
         let got = s.recv_timeout(Duration::from_secs(10)).unwrap();
         assert_eq!(got, big);
         let tail = s.recv_timeout(Duration::from_secs(10)).unwrap();
-        assert_eq!(tail, b"tail");
+        assert_eq!(&tail[..], b"tail");
         join.join().unwrap();
     }
 
@@ -379,10 +429,10 @@ mod tests {
     fn roundtrips_count_direction_reversals() {
         let (mut c, mut s) = pair();
         for _ in 0..3 {
-            c.send(b"ping", Phase::Map).unwrap();
+            c.send(&fb(b"ping"), Phase::Map).unwrap();
             s.recv_timeout(Duration::from_secs(5)).unwrap();
             s.attribute_inbound(Phase::Map);
-            s.send(b"pong", Phase::Map).unwrap();
+            s.send(&fb(b"pong"), Phase::Map).unwrap();
             c.recv_timeout(Duration::from_secs(5)).unwrap();
             c.attribute_inbound(Phase::Map);
         }

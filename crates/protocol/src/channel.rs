@@ -2,17 +2,26 @@
 //!
 //! The two protocol endpoints (synchronization client and server) run as
 //! two threads connected by a pair of message queues. Every frame is
-//! encoded the way a real transport would carry it —
+//! *charged* at the wire size a real transport would carry it at —
 //!
 //! ```text
 //! [LEB128 payload length][CRC32 of payload, little-endian][payload]
 //! ```
 //!
-//! — and charged to a `(direction, phase)` counter at its full wire
-//! size, so the reported numbers correspond to bytes a TCP connection
-//! would carry, checksums included. Roundtrips are counted as direction
-//! reversals observed at the channel, matching how the paper counts
-//! "one or more roundtrips of communication" per round.
+//! — against a `(direction, phase)` counter, so the reported numbers
+//! correspond to bytes a TCP connection would carry, checksums included.
+//! Roundtrips are counted as direction reversals observed at the
+//! channel, matching how the paper counts "one or more roundtrips of
+//! communication" per round.
+//!
+//! The bytes themselves, however, are **never copied on the clean
+//! path**: a clean frame travels as a refcounted share of the sender's
+//! [`FrameBuf`] payload ([`Frame::Clean`]). Wire encoding exists to
+//! make damage detectable, so the channel materializes an encoded image
+//! only when a fault actually mutates a frame — via the one sanctioned
+//! copy site, [`crate::fault::copy_for_mutation`] — and the receiver
+//! rejects that [`Frame::Damaged`] image through the same CRC/length
+//! checks a real socket would apply.
 //!
 //! A channel built with [`Endpoint::pair_with_faults`] additionally runs
 //! every sent frame through a deterministic [`FaultInjector`]: frames
@@ -23,8 +32,9 @@
 //! [`ChannelError::Disconnected`]. There is no blocking `recv` without a
 //! deadline: a peer that dies must surface as an error, never a hang.
 
+use crate::bufpool::FrameBuf;
 use crate::crc::crc32;
-use crate::fault::{FaultInjector, FaultPlan};
+use crate::fault::{copy_for_mutation, FaultInjector, FaultPlan};
 use crate::stats::{Direction, Phase, TrafficStats};
 use crate::transport::record_fate;
 use msync_trace::{EventKind, Recorder};
@@ -32,12 +42,30 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-/// A single encoded frame in flight (length word + CRC32 + payload).
-#[derive(Debug, Clone)]
-pub struct Frame {
-    /// Encoded wire bytes as produced by the sender, after any injected
-    /// faults (so a corrupted frame carries the corrupted bytes).
-    pub bytes: Vec<u8>,
+/// A single frame in flight on the in-memory channel.
+#[derive(Debug)]
+pub enum Frame {
+    /// An intact frame: a refcounted share of the sender's payload
+    /// allocation. No wire image is built — framing exists to make
+    /// damage detectable, and this frame is undamaged by construction.
+    Clean(FrameBuf),
+    /// A frame a fault mutated: the injector's private encoded wire
+    /// image (length word + CRC32 + payload) after the bit flip or
+    /// truncation, which the receiver decodes — and rejects — exactly
+    /// as a real link would.
+    Damaged(FrameBuf),
+}
+
+impl Frame {
+    /// Another handle to the same frame: a refcount bump, never a byte
+    /// copy.
+    #[must_use]
+    pub fn share(&self) -> Frame {
+        match self {
+            Frame::Clean(b) => Frame::Clean(b.share()),
+            Frame::Damaged(b) => Frame::Damaged(b.share()),
+        }
+    }
 }
 
 /// Bytes of CRC32 carried by every frame.
@@ -56,9 +84,12 @@ pub fn frame_wire_size(payload_len: usize) -> u64 {
     varint_len + CRC_LEN + payload_len as u64
 }
 
-/// Encode a payload into its wire form.
-pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 16);
+/// Encode just the wire header (LEB128 length word + CRC32) for
+/// `payload`. The vectored write paths send `[header, payload]` as two
+/// I/O slices so the contiguous image [`encode_frame`] returns never
+/// has to exist.
+pub fn frame_header(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14);
     let mut v = payload.len() as u64;
     loop {
         let low = u8::try_from(v & 0x7F).unwrap_or(0);
@@ -70,6 +101,16 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
         out.push(low | 0x80);
     }
     out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Encode a payload into its contiguous wire form (one metered payload
+/// copy — prefer [`frame_header`] plus a vectored write where the
+/// backend allows it).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    crate::bufpool::note_frame_copy(payload.len());
+    let mut out = frame_header(payload);
+    out.reserve(payload.len());
     out.extend_from_slice(payload);
     out
 }
@@ -97,8 +138,9 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Decode and verify a wire frame, returning the payload.
-pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+/// Decode and verify a wire frame, returning the payload as a view
+/// into `bytes` — validation allocates and copies nothing.
+pub fn decode_frame(bytes: &[u8]) -> Result<&[u8], FrameError> {
     let mut len = 0u64;
     let mut shift = 0u32;
     let mut pos = 0usize;
@@ -130,7 +172,14 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
     if crc32(payload) != u32::from_le_bytes(crc) {
         return Err(FrameError::Checksum);
     }
-    Ok(payload.to_vec())
+    Ok(payload)
+}
+
+/// Decode a refcounted wire image into a zero-copy payload view: the
+/// returned [`FrameBuf`] is a slice of `wire`'s allocation.
+pub fn decode_frame_shared(wire: &FrameBuf) -> Result<FrameBuf, FrameError> {
+    let payload_len = decode_frame(wire)?.len();
+    Ok(wire.slice(wire.len() - payload_len, wire.len()))
 }
 
 /// Error returned by [`Endpoint::recv_timeout`].
@@ -207,8 +256,8 @@ struct Shared {
     s2c_faults: Option<FaultInjector>,
     /// Frame held back by a delay fault, per direction; delivered ahead
     /// of the next frame sent in the same direction.
-    held_c2s: Option<Vec<u8>>,
-    held_s2c: Option<Vec<u8>>,
+    held_c2s: Option<Frame>,
+    held_s2c: Option<Frame>,
     /// Trace recorder shared by both endpoints (disabled by default).
     recorder: Recorder,
 }
@@ -221,7 +270,7 @@ impl Shared {
         }
     }
 
-    fn held_mut(&mut self, dir: Direction) -> &mut Option<Vec<u8>> {
+    fn held_mut(&mut self, dir: Direction) -> &mut Option<Frame> {
         match dir {
             Direction::ClientToServer => &mut self.held_c2s,
             Direction::ServerToClient => &mut self.held_s2c,
@@ -322,8 +371,13 @@ impl Endpoint {
     /// Send a frame to the peer, charging its wire size (every actual
     /// transmission is charged — including duplicates and frames the
     /// link then loses, because the sender paid for them either way).
-    pub fn send(&self, payload: Vec<u8>) {
-        let mut deliveries: Vec<Vec<u8>> = Vec::new();
+    ///
+    /// Clean frames are delivered as refcounted shares of `payload`; an
+    /// encoded wire image is built (and paid for) only when a fault
+    /// actually mutates the frame.
+    pub fn send(&self, payload: impl Into<FrameBuf>) {
+        let payload = payload.into();
+        let mut deliveries: Vec<Frame> = Vec::new();
         {
             let mut shared = self.lock_shared();
             if shared.cut {
@@ -345,53 +399,70 @@ impl Endpoint {
             if let Some(held) = shared.held_mut(self.dir).take() {
                 deliveries.push(held);
             }
-            let mut bytes = encode_frame(&payload);
             let fate = fate.unwrap_or_default();
-            if fate.corrupt {
-                if let Some(inj) = shared.injector_mut(self.dir) {
-                    inj.corrupt_frame(&mut bytes);
+            let frame = if fate.corrupt || fate.truncate {
+                // Damage needs a private wire image: the injector's
+                // sanctioned copy, mutated below the CRC.
+                let mut wire = copy_for_mutation(&frame_header(&payload), &payload);
+                if fate.corrupt {
+                    if let Some(inj) = shared.injector_mut(self.dir) {
+                        inj.corrupt_frame(&mut wire);
+                    }
                 }
-            }
-            if fate.truncate {
-                if let Some(inj) = shared.injector_mut(self.dir) {
-                    inj.truncate_frame(&mut bytes);
+                if fate.truncate {
+                    if let Some(inj) = shared.injector_mut(self.dir) {
+                        inj.truncate_frame(&mut wire);
+                    }
                 }
-            }
+                Frame::Damaged(FrameBuf::from(wire))
+            } else {
+                Frame::Clean(payload.share())
+            };
             if fate.duplicate {
                 shared.charge(self.dir, self.phase, payload.len());
-                deliveries.push(bytes.clone());
+                deliveries.push(frame.share());
             }
             if fate.drop {
                 // Transmitted (and charged) but lost in transit.
             } else if fate.delay {
-                *shared.held_mut(self.dir) = Some(bytes);
+                *shared.held_mut(self.dir) = Some(frame);
             } else {
-                deliveries.push(bytes);
+                deliveries.push(frame);
             }
         }
-        for bytes in deliveries {
+        for frame in deliveries {
             // A send can only fail if the receiver was dropped; the
             // session layer surfaces that on its next receive instead.
-            let _ = self.tx.send(Frame { bytes });
+            let _ = self.tx.send(frame);
+        }
+    }
+
+    /// Unwrap a received [`Frame`]: a clean frame's payload share is
+    /// handed over as-is; a damaged wire image goes through the same
+    /// CRC/length validation a real link applies, and fails there.
+    fn open_frame(frame: Frame) -> Result<FrameBuf, ChannelError> {
+        match frame {
+            Frame::Clean(payload) => Ok(payload),
+            Frame::Damaged(wire) => decode_frame_shared(&wire).map_err(ChannelError::Corrupt),
         }
     }
 
     /// Receive the next frame from the peer, waiting at most `timeout`.
     /// Integrity failures surface as [`ChannelError::Corrupt`]; a dead
     /// peer or cut link as [`ChannelError::Disconnected`].
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, ChannelError> {
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<FrameBuf, ChannelError> {
         if self.lock_shared().cut {
             // The link is gone: drain what already arrived, then report
             // the disconnect immediately instead of burning the timeout.
             return match self.rx.try_recv() {
-                Ok(frame) => decode_frame(&frame.bytes).map_err(ChannelError::Corrupt),
+                Ok(frame) => Self::open_frame(frame),
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => {
                     Err(ChannelError::Disconnected)
                 }
             };
         }
         match self.rx.recv_timeout(timeout) {
-            Ok(frame) => decode_frame(&frame.bytes).map_err(ChannelError::Corrupt),
+            Ok(frame) => Self::open_frame(frame),
             Err(RecvTimeoutError::Timeout) => {
                 if self.lock_shared().cut {
                     Err(ChannelError::Disconnected)
@@ -465,7 +536,7 @@ mod tests {
         for payload in [vec![], vec![7u8], vec![0xAB; 300], vec![1; 20_000]] {
             let encoded = encode_frame(&payload);
             assert_eq!(encoded.len() as u64, frame_wire_size(payload.len()));
-            assert_eq!(decode_frame(&encoded).unwrap(), payload);
+            assert_eq!(decode_frame(&encoded).unwrap(), &payload[..]);
         }
     }
 
@@ -686,7 +757,7 @@ mod tests {
     fn faulty_runs_reproduce_per_seed() {
         let rates = FaultRates { drop: 0.4, corrupt: 0.3, ..FaultRates::none() };
         let plan = FaultPlan::symmetric(rates);
-        let outcomes: Vec<Vec<Result<Vec<u8>, ChannelError>>> = (0..2)
+        let outcomes: Vec<Vec<Result<FrameBuf, ChannelError>>> = (0..2)
             .map(|_| {
                 let (client, server) = Endpoint::pair_with_faults(&plan, 1234);
                 (0..20u8)

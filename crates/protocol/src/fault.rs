@@ -224,6 +224,25 @@ impl FaultInjector {
     }
 }
 
+/// Materialize the injector's private wire image `header ++ payload` so
+/// a corruption/truncation fault can damage it without touching the
+/// sender's shared (possibly cached-for-retransmit) payload allocation.
+///
+/// This is the **only sanctioned copy of live frame bytes** in the wire
+/// modules — the xtask `alloc-discipline` pass allowlists exactly this
+/// function; every other path must share [`crate::FrameBuf`]s by
+/// refcount. Clean frames are never encoded on the in-memory channel at
+/// all, so this copy is paid exactly when a fault actually mutates a
+/// frame, and it is metered like any other.
+#[must_use]
+pub fn copy_for_mutation(header: &[u8], payload: &[u8]) -> Vec<u8> {
+    crate::bufpool::note_frame_copy(header.len() + payload.len());
+    let mut image = Vec::with_capacity(header.len() + payload.len());
+    image.extend_from_slice(header);
+    image.extend_from_slice(payload);
+    image
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

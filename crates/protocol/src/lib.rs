@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bufpool;
 pub mod channel;
 pub mod crc;
 pub mod fault;
@@ -25,9 +26,10 @@ pub mod link;
 pub mod stats;
 pub mod transport;
 
+pub use bufpool::{frame_copy_bytes, note_frame_copy, BufferPool, FrameBuf, PoolStats};
 pub use channel::{
-    decode_frame, encode_frame, frame_wire_size, ChannelError, Endpoint, Frame, FrameError,
-    RetryPolicy,
+    decode_frame, decode_frame_shared, encode_frame, frame_header, frame_wire_size, ChannelError,
+    Endpoint, Frame, FrameError, RetryPolicy,
 };
 pub use crc::crc32;
 pub use fault::{FaultPlan, FaultRates};

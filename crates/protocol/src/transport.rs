@@ -27,6 +27,7 @@
 //! injector, so the soak machinery is no longer tied to
 //! [`Endpoint::pair_with_faults`].
 
+use crate::bufpool::FrameBuf;
 use crate::channel::{ChannelError, Endpoint, FrameError};
 use crate::fault::{FaultInjector, FaultPlan, FaultRates, FrameFate};
 use crate::stats::{Phase, TrafficStats};
@@ -43,10 +44,14 @@ pub trait Transport: Send {
     /// full wire size. Errors are transport failures (a peer that is
     /// already gone); in-memory channels report those on the next
     /// receive instead and always return `Ok`.
-    fn send(&mut self, payload: &[u8], phase: Phase) -> Result<(), ChannelError>;
+    ///
+    /// The payload arrives as a refcounted [`FrameBuf`]: a transport
+    /// that needs to keep it (a delay fault, an output queue) shares it
+    /// by refcount instead of copying the bytes.
+    fn send(&mut self, payload: &FrameBuf, phase: Phase) -> Result<(), ChannelError>;
 
     /// Receive the next frame's payload, waiting at most `timeout`.
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, ChannelError>;
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<FrameBuf, ChannelError>;
 
     /// Attribute the wire bytes of frames received since the last call
     /// to `phase`. Transports that learn phases from the sender (the
@@ -73,13 +78,13 @@ pub trait Transport: Send {
 }
 
 impl Transport for Endpoint {
-    fn send(&mut self, payload: &[u8], phase: Phase) -> Result<(), ChannelError> {
+    fn send(&mut self, payload: &FrameBuf, phase: Phase) -> Result<(), ChannelError> {
         self.set_phase(phase);
-        Endpoint::send(self, payload.to_vec());
+        Endpoint::send(self, payload.share());
         Ok(())
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, ChannelError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<FrameBuf, ChannelError> {
         Endpoint::recv_timeout(self, timeout)
     }
 
@@ -133,12 +138,12 @@ pub struct FaultTransport<T: Transport> {
     /// set it explicitly.
     outbound_tag: DirTag,
     /// Frames ready for immediate delivery (duplicates, released
-    /// delays).
-    pending: VecDeque<Vec<u8>>,
+    /// delays) — shares, never copies.
+    pending: VecDeque<FrameBuf>,
     /// Inbound frame held back by a delay fault.
-    delayed: Option<Vec<u8>>,
+    delayed: Option<FrameBuf>,
     /// Outbound frame (with its phase) held back by a delay fault.
-    held_out: Option<(Vec<u8>, Phase)>,
+    held_out: Option<(FrameBuf, Phase)>,
     cut: bool,
 }
 
@@ -209,7 +214,7 @@ pub(crate) fn record_fate(rec: &Recorder, dir: DirTag, fate: &FrameFate, seq: u6
 }
 
 impl<T: Transport> Transport for FaultTransport<T> {
-    fn send(&mut self, payload: &[u8], phase: Phase) -> Result<(), ChannelError> {
+    fn send(&mut self, payload: &FrameBuf, phase: Phase) -> Result<(), ChannelError> {
         if self.cut {
             return Ok(());
         }
@@ -231,13 +236,13 @@ impl<T: Transport> Transport for FaultTransport<T> {
             self.inner.send(payload, phase)?;
         }
         if fate.delay {
-            self.held_out = Some((payload.to_vec(), phase));
+            self.held_out = Some((payload.share(), phase));
             return Ok(());
         }
         self.inner.send(payload, phase)
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, ChannelError> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<FrameBuf, ChannelError> {
         if self.cut {
             return Err(ChannelError::Disconnected);
         }
@@ -267,7 +272,7 @@ impl<T: Transport> Transport for FaultTransport<T> {
                     return Err(ChannelError::Corrupt(FrameError::Truncated));
                 }
                 if fate.duplicate {
-                    self.pending.push_back(frame.clone());
+                    self.pending.push_back(frame.share());
                 }
                 if fate.delay {
                     if let Some(prev) = self.delayed.replace(frame) {
@@ -319,13 +324,19 @@ mod tests {
         Endpoint::pair()
     }
 
+    /// Tests build payloads from literals; production code shares
+    /// existing `FrameBuf`s instead.
+    fn fb(bytes: &[u8]) -> FrameBuf {
+        FrameBuf::copy_from_slice(bytes)
+    }
+
     #[test]
     fn endpoint_satisfies_the_trait() {
         let (mut c, mut s) = pair();
         let (ct, st): (&mut dyn Transport, &mut dyn Transport) = (&mut c, &mut s);
-        ct.send(&[1, 2, 3], Phase::Map).unwrap();
+        ct.send(&fb(&[1, 2, 3]), Phase::Map).unwrap();
         assert_eq!(st.recv_timeout(TICK).unwrap(), vec![1, 2, 3]);
-        st.send(&[4], Phase::Delta).unwrap();
+        st.send(&fb(&[4]), Phase::Delta).unwrap();
         assert_eq!(ct.recv_timeout(TICK).unwrap(), vec![4]);
         assert_eq!(ct.stats().roundtrips, 1);
     }
@@ -334,9 +345,9 @@ mod tests {
     fn clean_wrapper_is_transparent() {
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::client(c, &FaultPlan::none(), 7);
-        wrapped.send(&[9; 32], Phase::Setup).unwrap();
+        wrapped.send(&fb(&[9; 32]), Phase::Setup).unwrap();
         assert_eq!(Transport::recv_timeout(&mut s, TICK).unwrap(), vec![9; 32]);
-        Transport::send(&mut s, &[1], Phase::Setup).unwrap();
+        Transport::send(&mut s, &fb(&[1]), Phase::Setup).unwrap();
         assert_eq!(wrapped.recv_timeout(TICK).unwrap(), vec![1]);
     }
 
@@ -345,7 +356,7 @@ mod tests {
         let rates = FaultRates { drop: 1.0, ..FaultRates::none() };
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::new(c, FaultRates::none(), rates, 1);
-        Transport::send(&mut s, &[5; 8], Phase::Map).unwrap();
+        Transport::send(&mut s, &fb(&[5; 8]), Phase::Map).unwrap();
         assert_eq!(wrapped.recv_timeout(BLINK), Err(ChannelError::Timeout));
     }
 
@@ -354,7 +365,7 @@ mod tests {
         let rates = FaultRates { corrupt: 1.0, ..FaultRates::none() };
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::new(c, FaultRates::none(), rates, 2);
-        Transport::send(&mut s, &[5; 8], Phase::Map).unwrap();
+        Transport::send(&mut s, &fb(&[5; 8]), Phase::Map).unwrap();
         assert!(matches!(wrapped.recv_timeout(TICK), Err(ChannelError::Corrupt(_))));
     }
 
@@ -363,7 +374,7 @@ mod tests {
         let rates = FaultRates { duplicate: 1.0, ..FaultRates::none() };
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::new(c, FaultRates::none(), rates, 3);
-        Transport::send(&mut s, &[7; 4], Phase::Map).unwrap();
+        Transport::send(&mut s, &fb(&[7; 4]), Phase::Map).unwrap();
         assert_eq!(wrapped.recv_timeout(TICK).unwrap(), vec![7; 4]);
         assert_eq!(wrapped.recv_timeout(BLINK).unwrap(), vec![7; 4]);
     }
@@ -373,7 +384,7 @@ mod tests {
         let rates = FaultRates { delay: 1.0, ..FaultRates::none() };
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::new(c, FaultRates::none(), rates, 4);
-        Transport::send(&mut s, &[1], Phase::Map).unwrap();
+        Transport::send(&mut s, &fb(&[1]), Phase::Map).unwrap();
         // Held back: first receive times out, second delivers it.
         assert_eq!(wrapped.recv_timeout(BLINK), Err(ChannelError::Timeout));
         assert_eq!(wrapped.recv_timeout(BLINK).unwrap(), vec![1]);
@@ -384,7 +395,7 @@ mod tests {
         let rates = FaultRates { drop: 1.0, ..FaultRates::none() };
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::new(c, rates, FaultRates::none(), 5);
-        wrapped.send(&[1; 16], Phase::Map).unwrap();
+        wrapped.send(&fb(&[1; 16]), Phase::Map).unwrap();
         assert_eq!(Transport::recv_timeout(&mut s, BLINK), Err(ChannelError::Timeout));
     }
 
@@ -393,7 +404,7 @@ mod tests {
         let rates = FaultRates { duplicate: 1.0, ..FaultRates::none() };
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::new(c, rates, FaultRates::none(), 6);
-        wrapped.send(&[2; 4], Phase::Map).unwrap();
+        wrapped.send(&fb(&[2; 4]), Phase::Map).unwrap();
         assert_eq!(Transport::recv_timeout(&mut s, TICK).unwrap(), vec![2; 4]);
         assert_eq!(Transport::recv_timeout(&mut s, TICK).unwrap(), vec![2; 4]);
     }
@@ -403,8 +414,8 @@ mod tests {
         let rates = FaultRates { disconnect_after: Some(1), ..FaultRates::none() };
         let (c, mut s) = pair();
         let mut wrapped = FaultTransport::new(c, rates, FaultRates::none(), 7);
-        wrapped.send(&[1], Phase::Map).unwrap();
-        wrapped.send(&[2], Phase::Map).unwrap();
+        wrapped.send(&fb(&[1]), Phase::Map).unwrap();
+        wrapped.send(&fb(&[2]), Phase::Map).unwrap();
         assert_eq!(Transport::recv_timeout(&mut s, TICK).unwrap(), vec![1]);
         assert_eq!(wrapped.recv_timeout(BLINK), Err(ChannelError::Disconnected));
     }
@@ -417,7 +428,7 @@ mod tests {
             let mut wrapped = FaultTransport::new(c, FaultRates::none(), rates, 99);
             (0..16u8)
                 .map(|i| {
-                    Transport::send(&mut s, &[i; 4], Phase::Map).unwrap();
+                    Transport::send(&mut s, &fb(&[i; 4]), Phase::Map).unwrap();
                     wrapped.recv_timeout(BLINK)
                 })
                 .collect::<Vec<_>>()

@@ -271,6 +271,14 @@ pub enum EventKind {
         /// Source bytes actually hashed to build the artifact.
         bytes: u64,
     },
+    /// A map-phase block digest was obtained by sibling decomposition —
+    /// parent digest minus the other child — instead of scanning the
+    /// bytes; the result was inserted into the cache for later
+    /// sessions.
+    HashCacheDerived {
+        /// Source bytes the derivation covered without scanning.
+        bytes: u64,
+    },
     /// The slow-session watchdog found a session stuck in one protocol
     /// phase past the configured threshold. Fires at most once per
     /// phase entry, so a journal shows each distinct stall, not a
@@ -306,6 +314,7 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::HashCacheHit { .. } => "hash_cache_hit",
             EventKind::HashCacheMiss { .. } => "hash_cache_miss",
+            EventKind::HashCacheDerived { .. } => "hash_cache_derived",
             EventKind::SlowSession { .. } => "slow_session",
         }
     }
@@ -336,6 +345,7 @@ mod tests {
         assert_eq!(EventKind::CacheHit { file_id: 0 }.name(), "cache_hit");
         assert_eq!(EventKind::HashCacheHit { bytes: 9 }.name(), "hash_cache_hit");
         assert_eq!(EventKind::HashCacheMiss { bytes: 9 }.name(), "hash_cache_miss");
+        assert_eq!(EventKind::HashCacheDerived { bytes: 9 }.name(), "hash_cache_derived");
         assert_eq!(
             EventKind::SlowSession { phase: PhaseTag::Map, waited_us: 5_000_000 }.name(),
             "slow_session"

@@ -1,4 +1,4 @@
-//! The JSONL journal sink: schema v4.
+//! The JSONL journal sink: schema v5.
 //!
 //! One event per line, each line a flat JSON object that is fully
 //! self-describing: `{"v":3,"t_us":<clock>,"kind":"<token>",...}` with
@@ -18,8 +18,9 @@ use std::fmt::Write as _;
 /// kind tokens (`resume_offer`/`resume_accept`/`resume_reject`/
 /// `cache_hit`); v3 added the server hash-cache tokens
 /// (`hash_cache_hit`/`hash_cache_miss`); v4 added the watchdog token
-/// (`slow_session`).
-pub const SCHEMA_VERSION: u32 = 4;
+/// (`slow_session`); v5 added the sibling-decomposition token
+/// (`hash_cache_derived`).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Render one event as its JSONL line (no trailing newline).
 #[must_use]
@@ -89,7 +90,9 @@ pub fn render_line(ev: &TraceEvent) -> String {
         EventKind::CacheHit { file_id } => {
             let _ = write!(s, ",\"file_id\":{file_id}");
         }
-        EventKind::HashCacheHit { bytes } | EventKind::HashCacheMiss { bytes } => {
+        EventKind::HashCacheHit { bytes }
+        | EventKind::HashCacheMiss { bytes }
+        | EventKind::HashCacheDerived { bytes } => {
             let _ = write!(s, ",\"bytes\":{bytes}");
         }
         EventKind::SlowSession { phase, waited_us } => {
@@ -319,6 +322,7 @@ mod tests {
             EventKind::CacheHit { file_id: 7 },
             EventKind::HashCacheHit { bytes: 16384 },
             EventKind::HashCacheMiss { bytes: 512 },
+            EventKind::HashCacheDerived { bytes: 2048 },
             EventKind::SlowSession { phase: PhaseTag::Delta, waited_us: 2_000_000 },
         ];
         for (i, kind) in events.into_iter().enumerate() {

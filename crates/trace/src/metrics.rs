@@ -58,6 +58,11 @@ pub struct MetricsSnapshot {
     /// Source bytes the server actually hashed on cache misses — the
     /// map-phase hash work; ≈ 0 on a warm cache.
     pub hash_cache_miss_bytes: u64,
+    /// Map-phase digests obtained by sibling decomposition (parent
+    /// digest minus the other child) instead of a scan or a hit.
+    pub hash_cache_derived: u64,
+    /// Source bytes those derivations covered without scanning.
+    pub hash_cache_derived_bytes: u64,
     /// Slow-session watchdog firings (one per phase a session stalled
     /// in past the configured threshold).
     pub slow_sessions: u64,
@@ -91,6 +96,8 @@ impl MetricsSnapshot {
             hash_cache_misses: 0,
             hash_cache_hit_bytes: 0,
             hash_cache_miss_bytes: 0,
+            hash_cache_derived: 0,
+            hash_cache_derived_bytes: 0,
             slow_sessions: 0,
             hists: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
         }
@@ -134,6 +141,10 @@ impl MetricsSnapshot {
             EventKind::HashCacheMiss { bytes } => {
                 self.hash_cache_misses += 1;
                 self.hash_cache_miss_bytes += bytes;
+            }
+            EventKind::HashCacheDerived { bytes } => {
+                self.hash_cache_derived += 1;
+                self.hash_cache_derived_bytes += bytes;
             }
             EventKind::SlowSession { .. } => self.slow_sessions += 1,
             EventKind::MapRound { .. }
@@ -187,6 +198,8 @@ impl MetricsSnapshot {
         self.hash_cache_misses += other.hash_cache_misses;
         self.hash_cache_hit_bytes += other.hash_cache_hit_bytes;
         self.hash_cache_miss_bytes += other.hash_cache_miss_bytes;
+        self.hash_cache_derived += other.hash_cache_derived;
+        self.hash_cache_derived_bytes += other.hash_cache_derived_bytes;
         self.slow_sessions += other.slow_sessions;
         for (h, oh) in self.hists.iter_mut().zip(&other.hists) {
             h.merge(oh);
@@ -251,6 +264,8 @@ impl MetricsSnapshot {
             ("msync_hash_cache_misses_total", self.hash_cache_misses),
             ("msync_hash_cache_hit_bytes_total", self.hash_cache_hit_bytes),
             ("msync_hash_cache_miss_bytes_total", self.hash_cache_miss_bytes),
+            ("msync_hash_cache_derived_total", self.hash_cache_derived),
+            ("msync_hash_cache_derived_bytes_total", self.hash_cache_derived_bytes),
             ("msync_slow_sessions_total", self.slow_sessions),
         ] {
             if collection.is_none() {
@@ -332,6 +347,8 @@ impl MetricsSnapshot {
             ("hash_cache_misses", self.hash_cache_misses),
             ("hash_cache_hit_bytes", self.hash_cache_hit_bytes),
             ("hash_cache_miss_bytes", self.hash_cache_miss_bytes),
+            ("hash_cache_derived", self.hash_cache_derived),
+            ("hash_cache_derived_bytes", self.hash_cache_derived_bytes),
             ("slow_sessions", self.slow_sessions),
         ] {
             let _ = write!(out, "\"{name}\":{v},");
@@ -382,6 +399,7 @@ mod tests {
         m.apply(&EventKind::CacheHit { file_id: 2 });
         m.apply(&EventKind::HashCacheHit { bytes: 4096 });
         m.apply(&EventKind::HashCacheMiss { bytes: 512 });
+        m.apply(&EventKind::HashCacheDerived { bytes: 256 });
         m.apply(&EventKind::SlowSession { phase: PhaseTag::Map, waited_us: 2_000_000 });
         assert_eq!(m.dir_phase_bytes(DirTag::C2s, PhaseTag::Map), 100);
         assert_eq!(m.dir_phase_bytes(DirTag::S2c, PhaseTag::Delta), 50);
@@ -402,6 +420,8 @@ mod tests {
         assert_eq!(m.hash_cache_misses, 1);
         assert_eq!(m.hash_cache_hit_bytes, 4096);
         assert_eq!(m.hash_cache_miss_bytes, 512);
+        assert_eq!(m.hash_cache_derived, 1);
+        assert_eq!(m.hash_cache_derived_bytes, 256);
         assert_eq!(m.slow_sessions, 1);
     }
 

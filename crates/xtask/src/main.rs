@@ -15,7 +15,7 @@ use xtask::{find_workspace_root, gate, lint_workspace, Baseline, LintConfig};
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [options]
        cargo run -p xtask -- check-journal <FILE>
-       cargo run -p xtask -- check-metrics <FILE>
+       cargo run -p xtask -- check-metrics <FILE> [--require <prefix>]...
        cargo run -p xtask -- check-lint-report <FILE>
 
 Static-analysis gate for the msync workspace: a token-aware engine
@@ -55,6 +55,11 @@ cross-file protocol passes. Enforces:
                    paths (crates/cli, crates/net); materialized files go
                    through msync_core::AtomicApplier / atomic_write_file
                    so a crash never leaves a torn replica
+  alloc-discipline no .to_vec()/.clone() on frame/payload values in the
+                   wire modules (crates/protocol, crates/net,
+                   crates/core/src/engine); frames move as refcounted
+                   FrameBuf shares, and the only sanctioned copy is the
+                   allowlisted fault::copy_for_mutation
 
 options:
   --format <human|json>  output format (default: human; json is the
@@ -68,7 +73,10 @@ needed): every line must parse under the current schema with monotone t_us.
 check-metrics validates a Prometheus text exposition (a `msync stats`
 scrape or --metrics-out file) offline, no promtool needed: well-formed
 `# TYPE` lines declared once and before their samples, valid metric and
-label syntax, numeric values, and no duplicate series.
+label syntax, numeric values, and no duplicate series. Each
+`--require <prefix>` additionally demands at least one declared family
+whose name starts with the prefix (CI gates the live scrape on
+`msync_frame_pool_` this way), failing otherwise.
 check-lint-report validates a `lint --format json` report: valid JSON
 with the msync-lint/1 shape (findings with rule/file/line/col spans).
 ";
@@ -98,15 +106,40 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return check_journal(std::path::Path::new(path));
     }
     if cmd == "check-metrics" {
-        let path = it.next().ok_or("check-metrics needs an exposition file path")?;
-        if it.next().is_some() {
-            return Err(format!("check-metrics takes exactly one argument\n\n{USAGE}"));
+        let mut path: Option<&String> = None;
+        let mut required: Vec<String> = Vec::new();
+        while let Some(arg) = it.next() {
+            if arg == "--require" {
+                required.push(it.next().ok_or("--require needs a metric-name prefix")?.clone());
+            } else if path.is_none() {
+                path = Some(arg);
+            } else {
+                return Err(format!(
+                    "check-metrics takes one file plus --require options\n\n{USAGE}"
+                ));
+            }
         }
+        let path = path.ok_or("check-metrics needs an exposition file path")?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         return match xtask::metrics::validate_metrics(&text) {
             Ok(summary) => {
-                println!("{path}: {} series in {} families OK", summary.series, summary.families);
-                Ok(ExitCode::SUCCESS)
+                let missing: Vec<&String> = required
+                    .iter()
+                    .filter(|p| xtask::metrics::families_with_prefix(&text, p) == 0)
+                    .collect();
+                if missing.is_empty() {
+                    println!(
+                        "{path}: {} series in {} families OK",
+                        summary.series, summary.families
+                    );
+                    Ok(ExitCode::SUCCESS)
+                } else {
+                    for prefix in &missing {
+                        eprintln!("{path}: no metric family matches required prefix `{prefix}`");
+                    }
+                    eprintln!("{path}: {} missing required famil(y/ies)", missing.len());
+                    Ok(ExitCode::FAILURE)
+                }
             }
             Err(errors) => {
                 for err in &errors {

@@ -123,6 +123,19 @@ fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
     name
 }
 
+/// Count the `# TYPE`-declared metric families whose name starts with
+/// `prefix` — the `check-metrics --require` gate, which CI uses to
+/// prove a live scrape actually exposes a family group (e.g. the
+/// `msync_frame_pool_` buffer-pool block) rather than merely parsing.
+#[must_use]
+pub fn families_with_prefix(text: &str, prefix: &str) -> usize {
+    text.lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|decl| decl.split(' ').next())
+        .filter(|name| name.starts_with(prefix))
+        .count()
+}
+
 /// Validate a full exposition. Returns the family/series counts on
 /// success, or every violation as a `line N: message` string.
 ///
@@ -268,6 +281,15 @@ msync_session_micros_count 3
         // `_sum` of a non-histogram family is its own (undeclared) name.
         let errs = validate_metrics("# TYPE a counter\na_sum 1\n").unwrap_err();
         assert!(errs[0].contains("no `# TYPE a_sum`"), "{errs:?}");
+    }
+
+    #[test]
+    fn required_prefixes_count_declared_families() {
+        assert_eq!(families_with_prefix(GOOD, "msync_"), 4);
+        assert_eq!(families_with_prefix(GOOD, "msync_rate_"), 1);
+        assert_eq!(families_with_prefix(GOOD, "msync_frame_pool_"), 0);
+        // Only declarations count: a sample line is not a family.
+        assert_eq!(families_with_prefix("a 1\n", "a"), 0);
     }
 
     #[test]

@@ -29,6 +29,14 @@
 //!   `fs::write(` or `File::create(`; every write goes through the
 //!   atomic applier so a crash mid-write leaves a temp file for the
 //!   orphan sweep, never a torn replica.
+//! * **alloc-discipline** — the wire modules (protocol, net, the
+//!   sans-IO engine) never call `.to_vec()` / `.clone()` on a frame or
+//!   payload value. Frames are refcounted `FrameBuf`s: retransmission,
+//!   queueing, and fan-out all move shares of one allocation, so an
+//!   ad-hoc copy silently reintroduces the per-frame allocation the
+//!   zero-copy refactor removed — and dodges the `note_frame_copy`
+//!   meter the soak bench gates on. The allowlisted sites (the fault
+//!   injector's `copy_for_mutation`) are the only sanctioned copies.
 //!
 //! Classification notes for wire-schema: a `match` is *about* the
 //! registry enum when variants appear in its arm **patterns**
@@ -51,6 +59,7 @@ pub fn run(models: &BTreeMap<String, FileModel>, cfg: &LintConfig, findings: &mu
     charge_point(models, cfg, findings);
     machine_discipline(models, cfg, findings);
     apply_discipline(models, cfg, findings);
+    alloc_discipline(models, cfg, findings);
 }
 
 /// Count `#[deprecated]` attributes in non-test code across the
@@ -500,6 +509,89 @@ fn apply_discipline(
     }
 }
 
+/// Whether `name` names a frame or payload allocation — the values the
+/// zero-copy wire paths move as `FrameBuf` shares.
+fn frame_like(name: &str) -> bool {
+    name.contains("frame") || name.contains("payload") || name == "bytes"
+}
+
+/// Base identifier of the receiver of `<recv>.method(` where `method_i`
+/// is the method-name token, walking back over index/call suffixes so
+/// `frames[0].clone()` and `encode_frame(p).to_vec()` resolve to
+/// `frames` / `encode_frame`.
+fn receiver_ident(m: &FileModel, method_i: usize) -> Option<String> {
+    if method_i < 2 {
+        return None;
+    }
+    let mut j = method_i - 2;
+    loop {
+        let (open, close) = if m.is_punct(j, ']') {
+            ('[', ']')
+        } else if m.is_punct(j, ')') {
+            ('(', ')')
+        } else {
+            break;
+        };
+        let mut depth = 0usize;
+        loop {
+            if m.is_punct(j, close) {
+                depth += 1;
+            } else if m.is_punct(j, open) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    (m.tok(j).kind == crate::tokens::TokenKind::Ident).then(|| m.text(j).to_owned())
+}
+
+/// Rule `alloc-discipline`: see module docs.
+fn alloc_discipline(
+    models: &BTreeMap<String, FileModel>,
+    cfg: &LintConfig,
+    findings: &mut Vec<Finding>,
+) {
+    for (rel, m) in models {
+        if !in_scopes(rel, &cfg.alloc_scopes) {
+            continue;
+        }
+        for method in ["to_vec", "clone"] {
+            for i in m.idents(method) {
+                if i + 1 >= m.len() || !m.is_punct(i + 1, '(') || i == 0 || !m.is_punct(i - 1, '.')
+                {
+                    continue;
+                }
+                let Some(recv) = receiver_ident(m, i) else { continue };
+                if !frame_like(&recv) {
+                    continue;
+                }
+                // Sanctioned copy sites are exempt by (file, function);
+                // the innermost enclosing fn decides.
+                let enclosing =
+                    m.fns.iter().filter(|f| f.body.is_some_and(|(s, e)| s <= i && i <= e)).last();
+                if enclosing.is_some_and(|f| {
+                    cfg.alloc_allowed.iter().any(|(af, an)| af == rel && *an == f.name)
+                }) {
+                    continue;
+                }
+                findings.push(Finding::at(
+                    Rule::AllocDiscipline,
+                    rel,
+                    m,
+                    i,
+                    format!(
+                        "`{recv}.{method}()` copies a frame/payload allocation in a wire module; move a `FrameBuf` share (`share()` / `slice()`) instead, or route a genuinely needed copy through the sanctioned `copy_for_mutation`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,6 +891,48 @@ mod tests {
              #[cfg(test)]\nmod tests {\n    #[deprecated]\n    fn t() {}\n}\n",
         )]);
         assert_eq!(deprecation_debt(&m), 2, "test-gated attributes do not count");
+    }
+
+    #[test]
+    fn alloc_discipline_flags_frame_copies_in_wire_modules() {
+        let m = models(&[(
+            "crates/core/src/engine/arq.rs",
+            "fn resend(&mut self) {\n    let a = frame.clone();\n    let b = self.payload.to_vec();\n    let c = frames[0].clone();\n    let d = encode_frame(&p).to_vec();\n    let ok = pool.clone();\n    let ok2 = name.to_vec();\n}\n",
+        )]);
+        let mut fs = Vec::new();
+        alloc_discipline(&m, &cfg(), &mut fs);
+        assert_eq!(fs.len(), 4, "frame/payload receivers fire, pool/name do not: {fs:?}");
+        assert!(fs.iter().all(|f| f.rule == Rule::AllocDiscipline));
+        assert!(fs.iter().any(|f| f.message.contains("`frame.clone()`")), "{fs:?}");
+        assert!(fs.iter().any(|f| f.message.contains("`payload.to_vec()`")), "{fs:?}");
+        assert!(fs.iter().any(|f| f.message.contains("`frames.clone()`")), "{fs:?}");
+        assert!(fs.iter().any(|f| f.message.contains("`encode_frame.to_vec()`")), "{fs:?}");
+    }
+
+    #[test]
+    fn alloc_discipline_exempts_allowlisted_sites_tests_and_other_scopes() {
+        // The sanctioned copy site is exempt; the identical copy under
+        // any other function name in the same file still fires.
+        let m = models(&[(
+            "crates/protocol/src/fault.rs",
+            "fn copy_for_mutation(payload: &[u8]) -> Vec<u8> {\n    payload.to_vec()\n}\nfn sneaky(payload: &[u8]) -> Vec<u8> {\n    payload.to_vec()\n}\n",
+        )]);
+        let mut fs = Vec::new();
+        alloc_discipline(&m, &cfg(), &mut fs);
+        assert_eq!(fs.len(), 1, "only the unsanctioned copy fires: {fs:?}");
+        assert!(fs[0].message.contains("`payload.to_vec()`"), "{}", fs[0].message);
+
+        // Test code and out-of-scope modules never fire.
+        let m = models(&[
+            (
+                "crates/protocol/src/channel.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t() { let x = frame.clone(); }\n}\n",
+            ),
+            ("crates/core/src/session.rs", "fn f() { let x = frame.clone(); }\n"),
+        ]);
+        let mut fs = Vec::new();
+        alloc_discipline(&m, &cfg(), &mut fs);
+        assert!(fs.is_empty(), "tests and non-wire modules are out of scope: {fs:?}");
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //!   protocol-critical crates; this one closes the gap for the rest of
 //!   the workspace.)
 //!
-//! Four cross-file passes live in [`crate::passes`] and run over the
+//! Five cross-file passes live in [`crate::passes`] and run over the
 //! same per-file models:
 //!
 //! * `wire-schema` — single registry per tag vocabulary (frame tags
@@ -46,6 +46,11 @@
 //!   sync-apply paths; every materialized file goes through the atomic
 //!   applier (`msync_core::AtomicApplier` / `atomic_write_file`) so a
 //!   crash mid-write never leaves a torn replica.
+//! * `alloc-discipline` — no `.to_vec()` / `.clone()` on frame or
+//!   payload values inside the wire modules; frames move as refcounted
+//!   `FrameBuf` shares, and the only sanctioned wire-path copy is the
+//!   allowlisted `fault::copy_for_mutation` (an injected fault must
+//!   never mutate the ARQ resend cache's pristine image in place).
 
 use crate::model::FileModel;
 use crate::passes;
@@ -80,6 +85,9 @@ pub enum Rule {
     MachineDiscipline,
     /// Bare file writes on sync-apply paths outside the atomic applier.
     ApplyDiscipline,
+    /// Ad-hoc frame/payload copies on the wire paths outside the
+    /// sanctioned copy sites.
+    AllocDiscipline,
 }
 
 impl Rule {
@@ -98,6 +106,7 @@ impl Rule {
             Rule::ChargePoint => "charge-point",
             Rule::MachineDiscipline => "machine-discipline",
             Rule::ApplyDiscipline => "apply-discipline",
+            Rule::AllocDiscipline => "alloc-discipline",
         }
     }
 
@@ -116,6 +125,7 @@ impl Rule {
             Rule::ChargePoint,
             Rule::MachineDiscipline,
             Rule::ApplyDiscipline,
+            Rule::AllocDiscipline,
         ]
         .into_iter()
         .find(|r| r.key() == key)
@@ -231,6 +241,14 @@ pub struct LintConfig {
     /// writes there must go through the atomic applier, never bare
     /// `fs::write` / `File::create` (`apply-discipline` pass).
     pub apply_scopes: Vec<String>,
+    /// Workspace-relative path prefixes of the wire-path code: no
+    /// `.to_vec()` / `.clone()` on frame or payload values there
+    /// (`alloc-discipline` pass); frames move as `FrameBuf` shares.
+    pub alloc_scopes: Vec<String>,
+    /// `(file, function)` pairs exempt from `alloc-discipline`: the
+    /// sanctioned copy sites, each of which meters its copy through
+    /// `note_frame_copy`.
+    pub alloc_allowed: Vec<(String, String)>,
 }
 
 impl LintConfig {
@@ -280,6 +298,13 @@ impl LintConfig {
                 poll_fn: "poll_output".to_owned(),
             }),
             apply_scopes: ["crates/cli/src/", "crates/net/src/"].map(str::to_owned).to_vec(),
+            alloc_scopes: ["crates/protocol/src/", "crates/net/src/", "crates/core/src/engine/"]
+                .map(str::to_owned)
+                .to_vec(),
+            alloc_allowed: vec![(
+                "crates/protocol/src/fault.rs".to_owned(),
+                "copy_for_mutation".to_owned(),
+            )],
         }
     }
 }

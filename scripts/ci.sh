@@ -54,7 +54,7 @@ echo "==> chrome trace export (msync trace-export, TRACE_chrome.json)"
 ./target/release/msync trace-export "$journal" --out TRACE_chrome.json > /dev/null
 test -s TRACE_chrome.json
 
-echo "==> live daemon scrape (msync stats -> xtask check-metrics, SCRAPE_metrics.txt)"
+echo "==> live daemon scrape (msync stats -> xtask check-metrics, SCRAPE_metrics.txt, frame-pool family required)"
 serve_log="$(mktemp /tmp/msync-ci-serve.XXXXXX)"
 ./target/release/msync serve "$tree/new" --listen 127.0.0.1:0 --slow-session-ms 30000 \
     > "$serve_log" 2>&1 &
@@ -69,14 +69,16 @@ done
 [ -n "$addr" ] || { echo "serve never reported its address"; cat "$serve_log"; exit 1; }
 ./target/release/msync sync "$tree/old" --remote "$addr" > /dev/null
 ./target/release/msync stats --remote "$addr" > SCRAPE_metrics.txt
-cargo run --release -q -p xtask -- check-metrics SCRAPE_metrics.txt
+cargo run --release -q -p xtask -- check-metrics SCRAPE_metrics.txt --require msync_frame_pool_
 kill "$serve_pid" 2>/dev/null || true
 
 echo "==> tracing overhead gate (< 5%, BENCH_trace_overhead.json)"
 MSYNC_BENCH=1 cargo test --release -q --test trace_overhead
 
-echo "==> daemon throughput gate (mux >= thread-per-session, BENCH_daemon_concurrency.json)"
+echo "==> daemon 1k-session soak (mux >= thread-per-session, bytes-copied + peak-RSS ceilings, BENCH_daemon_concurrency.json)"
 MSYNC_BENCH=1 cargo test --release -q --test daemon_bench
+test -s BENCH_daemon_concurrency.json || {
+    echo "daemon soak did not archive its measurement"; exit 1; }
 
 echo "==> crash-resume byte gate (resume < restart, warm cache = roster only, BENCH_resume.json)"
 MSYNC_BENCH=1 cargo test --release -q --test fault_injection resume_bench_gate

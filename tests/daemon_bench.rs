@@ -1,6 +1,10 @@
-//! Daemon concurrency benchmark gate (ISSUE PR 5): the event-driven
+//! Daemon concurrency soak gate (ISSUE PR 5, extended to a 1k-session
+//! soak with a memory ceiling in ISSUE PR 10): the event-driven
 //! multiplexer must sustain at least the sessions-per-second of the
-//! original thread-per-session model on a burst of tiny sessions.
+//! original thread-per-session model on a burst of tiny sessions, the
+//! frame path must copy strictly fewer bytes per session than the
+//! pre-refactor (owned `Vec<u8>`) implementation did, and the whole
+//! soak must fit under a peak-RSS ceiling.
 //!
 //! Off by default (timing asserts don't belong in plain `cargo test`);
 //! CI runs it with `MSYNC_BENCH=1` in release mode and archives the
@@ -13,8 +17,12 @@
 //! corpus, same client pool shape), and the gate passes on the first
 //! attempt where the multiplexer is at least as fast; the minimum over
 //! attempts is never averaged, so one noisy neighbour is forgiven but
-//! a real regression fails every attempt. (Root integration tests are
-//! outside the xtask clock-discipline scan, so `Instant` is fine here.)
+//! a real regression fails every attempt. Copied frame bytes come from
+//! `msync_protocol::frame_copy_bytes()` (every wire-path memcpy is
+//! metered), snapshotted around the multiplex burst; peak RSS is the
+//! kernel's `VmHWM` for the whole test process. (Root integration
+//! tests are outside the xtask clock-discipline scan, so `Instant` is
+//! fine here.)
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,13 +30,25 @@ use std::time::Instant;
 use msync::core::{FileEntry, PipelineOptions, ProtocolConfig};
 use msync::net::{sync_remote, Daemon, DaemonOptions, RemoteOptions, ServeModel};
 
-/// Total sessions per measured burst.
-const SESSIONS: usize = 200;
+/// Total sessions per measured burst — the 1k soak.
+const SESSIONS: usize = 1000;
 /// Client pool width: enough to keep the daemon saturated without
 /// drowning a small CI box in client-side threads.
 const CLIENT_THREADS: usize = 16;
 /// Full-measurement retries before the gate fails.
 const ATTEMPTS: usize = 3;
+
+/// Pre-refactor frame bytes copied per multiplexed session, measured by
+/// this same bench (same corpus, same counter) on the owned-`Vec<u8>`
+/// frame path before the `FrameBuf` refactor. The gate requires the
+/// current number to be strictly below this — the ratchet that keeps
+/// the zero-copy path zero-copy.
+const PRE_REFACTOR_COPIED_PER_SESSION: u64 = 5141;
+/// Peak-RSS ceiling for the whole soak process (clients + both
+/// daemons). Measured 13 MiB on the reference box; the ceiling leaves
+/// ~5x headroom for allocator and platform variance while still
+/// catching any per-session copy or leak regression at 1k sessions.
+const PEAK_RSS_CEILING_BYTES: u64 = 64 * 1024 * 1024;
 
 /// A deliberately tiny collection: per-session protocol work is a few
 /// round trips, so session setup/teardown — the thing the two serve
@@ -43,6 +63,23 @@ fn tiny_corpus() -> (Vec<FileEntry>, Vec<FileEntry>) {
             .collect()
     };
     (make("old"), make("new"))
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// /proc/self/status). Returns 0 where procfs is unavailable, which
+/// trivially passes the ceiling — the gate is meaningful on the Linux
+/// CI boxes it runs on.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 /// Run one burst of `SESSIONS` syncs against a daemon using `model`;
@@ -81,9 +118,9 @@ fn burst(model: ServeModel, old: &Arc<Vec<FileEntry>>, new: &[FileEntry]) -> f64
 }
 
 #[test]
-fn multiplexer_matches_thread_per_session_throughput() {
+fn multiplexer_sustains_1k_session_soak() {
     if std::env::var_os("MSYNC_BENCH").is_none() {
-        eprintln!("daemon_bench: set MSYNC_BENCH=1 to run the throughput gate");
+        eprintln!("daemon_bench: set MSYNC_BENCH=1 to run the 1k-session soak gate");
         return;
     }
     let (old, new) = tiny_corpus();
@@ -95,15 +132,30 @@ fn multiplexer_matches_thread_per_session_throughput() {
     let mut last = (0.0f64, 0.0f64);
     for attempt in 1..=ATTEMPTS {
         let baseline_sps = burst(ServeModel::ThreadPerSession, &old, &new);
+        let copied_before = msync::protocol::frame_copy_bytes();
         let mux_sps = burst(ServeModel::Multiplex, &old, &new);
+        let copied_per_session =
+            (msync::protocol::frame_copy_bytes() - copied_before) / SESSIONS as u64;
         last = (baseline_sps, mux_sps);
+        let rss = peak_rss_bytes();
         eprintln!(
             "daemon_bench attempt {attempt}: thread-per-session {baseline_sps:.1}/s, \
-             multiplex {mux_sps:.1}/s"
+             multiplex {mux_sps:.1}/s, {copied_per_session} copied B/session, \
+             peak RSS {} MiB",
+            rss / (1024 * 1024)
+        );
+        assert!(
+            copied_per_session < PRE_REFACTOR_COPIED_PER_SESSION,
+            "frame path copies {copied_per_session} B/session — not below the \
+             pre-refactor {PRE_REFACTOR_COPIED_PER_SESSION} B/session ratchet"
+        );
+        assert!(
+            rss < PEAK_RSS_CEILING_BYTES,
+            "soak peak RSS {rss} B exceeds the {PEAK_RSS_CEILING_BYTES} B ceiling"
         );
         if mux_sps >= baseline_sps {
             let json = format!(
-                "{{\n  \"bench\": \"daemon_concurrency\",\n  \"sessions\": {SESSIONS},\n  \"client_threads\": {CLIENT_THREADS},\n  \"attempt\": {attempt},\n  \"thread_per_session_sps\": {baseline_sps:.2},\n  \"multiplex_sps\": {mux_sps:.2},\n  \"speedup\": {:.3}\n}}\n",
+                "{{\n  \"bench\": \"daemon_concurrency\",\n  \"sessions\": {SESSIONS},\n  \"client_threads\": {CLIENT_THREADS},\n  \"attempt\": {attempt},\n  \"thread_per_session_sps\": {baseline_sps:.2},\n  \"multiplex_sps\": {mux_sps:.2},\n  \"speedup\": {:.3},\n  \"bytes_copied_per_session\": {copied_per_session},\n  \"bytes_copied_per_session_pre_refactor\": {PRE_REFACTOR_COPIED_PER_SESSION},\n  \"peak_rss_bytes\": {rss}\n}}\n",
                 mux_sps / baseline_sps.max(1e-9)
             );
             let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_daemon_concurrency.json");

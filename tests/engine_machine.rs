@@ -6,7 +6,7 @@
 //! clock advance produces the same retransmission every run.
 
 use msync::core::{ClientMachine, Machine, Output, ProtocolConfig, ServerMachine};
-use msync::protocol::RetryPolicy;
+use msync::protocol::{BufferPool, FrameBuf, RetryPolicy};
 use msync::trace::{Clock, ManualClock, Recorder};
 
 /// An 80 KB old/new pair with a mid-file edit: enough content for a
@@ -29,7 +29,7 @@ fn cfg() -> ProtocolConfig {
 
 /// Drain one machine's queued effects, collecting transmissions.
 /// Returns `(done, frames)`; stops at `Wait` or `Done`.
-fn drain<M: Machine>(m: &mut M, now_us: u64) -> (bool, Vec<(Vec<u8>, bool)>) {
+fn drain<M: Machine>(m: &mut M, now_us: u64) -> (bool, Vec<(FrameBuf, bool)>) {
     let mut frames = Vec::new();
     loop {
         match m.poll_output(now_us).expect("machine healthy") {
@@ -43,7 +43,8 @@ fn drain<M: Machine>(m: &mut M, now_us: u64) -> (bool, Vec<(Vec<u8>, bool)>) {
 
 /// Run one full client↔server session over a lossless in-test shuttle,
 /// returning every frame in wire order plus the client's reconstruction.
-fn run_session(old: &[u8], new: &[u8]) -> (Vec<Vec<u8>>, Vec<u8>) {
+/// With a pool, both machines draw their encoded frames from it.
+fn run_session_with(old: &[u8], new: &[u8], pool: Option<&BufferPool>) -> (Vec<FrameBuf>, Vec<u8>) {
     let clock = ManualClock::fixed(0);
     let retry = RetryPolicy::default();
     let config = cfg();
@@ -51,7 +52,11 @@ fn run_session(old: &[u8], new: &[u8]) -> (Vec<Vec<u8>>, Vec<u8>) {
     let mut client =
         ClientMachine::new(old, &config, retry, Recorder::off(), 0, now).expect("client machine");
     let mut server = ServerMachine::new(&config, retry, Recorder::off(), now).expect("server");
-    let mut wire: Vec<Vec<u8>> = Vec::new();
+    if let Some(pool) = pool {
+        client.set_pool(pool.clone());
+        server.set_pool(pool.clone());
+    }
+    let mut wire: Vec<FrameBuf> = Vec::new();
 
     for _ in 0..10_000 {
         let now = clock.now_micros();
@@ -74,6 +79,10 @@ fn run_session(old: &[u8], new: &[u8]) -> (Vec<Vec<u8>>, Vec<u8>) {
         }
     }
     panic!("session did not converge within the frame budget");
+}
+
+fn run_session(old: &[u8], new: &[u8]) -> (Vec<FrameBuf>, Vec<u8>) {
+    run_session_with(old, new, None)
 }
 
 /// Replaying the identical inputs through fresh machines yields the
@@ -103,7 +112,7 @@ fn dropped_frame_retransmits_deterministically_under_manual_clock() {
     let config = cfg();
     let timeout_us = u64::try_from(retry.timeout.as_micros()).expect("sane timeout");
 
-    let mut retransmits: Vec<Vec<u8>> = Vec::new();
+    let mut retransmits: Vec<FrameBuf> = Vec::new();
     for _ in 0..2 {
         let clock = ManualClock::fixed(0);
         let mut client =
@@ -149,4 +158,59 @@ fn dropped_frame_retransmits_deterministically_under_manual_clock() {
         retransmits.push(resent[0].0.clone());
     }
     assert_eq!(retransmits[0], retransmits[1], "retransmission is deterministic across runs");
+}
+
+/// The ARQ resend path is a refcount bump, never a re-encode: the
+/// retransmitted frame is pointer-identical (`FrameBuf::ptr_eq`) to the
+/// allocation transmitted the first time, on every expiry.
+#[test]
+fn retransmission_shares_the_original_allocation() {
+    let (old, _new) = corpus();
+    let retry = RetryPolicy::default();
+    let config = cfg();
+    let timeout_us = u64::try_from(retry.timeout.as_micros()).expect("sane timeout");
+
+    let clock = ManualClock::fixed(0);
+    let mut client =
+        ClientMachine::new(&old, &config, retry, Recorder::off(), 0, clock.now_micros())
+            .expect("client machine");
+    let (_, lost) = drain(&mut client, clock.now_micros());
+    assert_eq!(lost.len(), 1, "the opening request is one frame");
+
+    for round in 1..=2u64 {
+        // Deadlines back off; a generous advance always crosses the next.
+        clock.advance(round * 8 * (timeout_us + 1));
+        let (_, resent) = drain(&mut client, clock.now_micros());
+        assert_eq!(resent.len(), 1, "round {round}: one retransmission per expiry");
+        assert!(
+            FrameBuf::ptr_eq(&resent[0].0, &lost[0].0),
+            "round {round}: the resend must share the original allocation, not re-encode"
+        );
+    }
+}
+
+/// Pooled frame buffers return to the pool at session teardown, and the
+/// pool's working set (high-water mark of concurrently outstanding
+/// buffers) stays flat across repeated sessions: steady-state service
+/// recycles allocations instead of growing.
+#[test]
+fn pooled_buffers_return_and_high_water_stays_flat() {
+    let (old, new) = corpus();
+    let pool = BufferPool::new(64);
+    let mut marks = Vec::new();
+    for i in 0..4 {
+        let (wire, data) = run_session_with(&old, &new, Some(&pool));
+        drop(wire);
+        assert_eq!(data, new, "session {i} reconstructs exactly");
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0, "session {i}: every pooled frame must return at teardown");
+        marks.push(s.high_water);
+    }
+    let s = pool.stats();
+    assert!(s.returned_total > 0, "pooled buffers must come back: {s:?}");
+    assert!(s.reused_total > 0, "later sessions must reuse returned buffers: {s:?}");
+    assert_eq!(
+        marks[1], marks[3],
+        "steady-state sessions must not grow the pool working set: {marks:?}"
+    );
 }

@@ -399,6 +399,32 @@ fn apply_discipline_detects_bare_write_on_apply_paths() {
     assert!(hits.is_empty(), "apply-discipline is scoped to the apply paths: {hits:?}");
 }
 
+#[test]
+fn alloc_discipline_detects_frame_copies_outside_the_allowlist() {
+    // A frame/payload copy in a wire module must fire; the sanctioned
+    // copy site (fault.rs copy_for_mutation) must not; a frame copy in
+    // a non-wire module is out of scope.
+    let offender = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn cache(frame: &[u8], payload: &[u8]) -> (Vec<u8>, Vec<u8>) {{\n    (frame.to_vec(), payload.to_vec())\n}}\n"
+    );
+    let sanctioned = format!(
+        "{CLEAN_HEADER}\n/// Doc.\npub fn copy_for_mutation(payload: &[u8]) -> Vec<u8> {{\n    payload.to_vec()\n}}\n"
+    );
+    let ws = MultiCrateWorkspace::new(
+        "alloc",
+        &[
+            ("protocol", "channel.rs", &offender),
+            ("protocol", "fault.rs", &sanctioned),
+            ("core", "session.rs", &offender),
+        ],
+    );
+    let hits = ws.findings_for(Rule::AllocDiscipline);
+    assert_eq!(hits.len(), 2, "both copies in the wire module must fire, nothing else: {hits:?}");
+    assert!(hits.iter().all(|f| f.file == "crates/protocol/src/channel.rs"), "{hits:?}");
+    assert!(hits[0].message.contains("FrameBuf"), "{}", hits[0].message);
+    assert!(hits[0].line > 1 && hits[0].col >= 1, "spanned diagnostic expected: {:?}", hits[0]);
+}
+
 /// Every `.rs` file in the workspace (crate sources, root `src/`, and
 /// this test directory), for corpus-wide lexer properties.
 fn workspace_rust_sources() -> Vec<PathBuf> {
